@@ -1,0 +1,70 @@
+"""Ablation: node merging (paper section 4.4).
+
+The paper merges same-stage, same-HBI state elements into ``mgnode_n``
+groups "to improve the efficiency and scalability of µspec model
+analyses". The repository ships two models emitted from the *same*
+full-synthesis run (same proven HBIs): the merged reference model and a
+no-merging variant. This bench measures µhb solve time on both and
+checks their verdicts agree.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.check import Checker
+from repro.designs.models import load_reference_model, load_unmerged_model
+from repro.litmus import suite_by_name
+
+TESTS = ["mp", "sb", "lb", "wrc", "iriw", "ssl", "corr", "2+2w"]
+
+
+@pytest.fixture(scope="module")
+def models():
+    return load_reference_model(), load_unmerged_model()
+
+
+def _suite_time_ms(model, tests):
+    checker = Checker(model)
+    by_name = suite_by_name()
+    return {name: checker.check_test(by_name[name]) for name in tests}
+
+
+def test_merging_reduces_locations_and_solve_time(benchmark, models):
+    merged, unmerged = models
+    assert len(merged.stage_names) < len(unmerged.stage_names)
+
+    results = {}
+
+    def run():
+        results["merged"] = _suite_time_ms(merged, TESTS)
+        results["unmerged"] = _suite_time_ms(unmerged, TESTS)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    merged_ms = sum(v.time_ms for v in results["merged"].values())
+    unmerged_ms = sum(v.time_ms for v in results["unmerged"].values())
+    ratio = unmerged_ms / max(merged_ms, 1e-9)
+
+    lines = ["# Ablation — node merging (section 4.4)", ""]
+    lines.append(f"µhb locations: merged={len(merged.stage_names)}  "
+                 f"unmerged={len(unmerged.stage_names)}")
+    lines.append(f"axioms:        merged={len(merged.axioms)}  "
+                 f"unmerged={len(unmerged.axioms)}")
+    lines.append("")
+    lines.append(f"{'test':<10}{'merged (ms)':>14}{'unmerged (ms)':>16}")
+    for name in TESTS:
+        lines.append(f"{name:<10}{results['merged'][name].time_ms:>14.1f}"
+                     f"{results['unmerged'][name].time_ms:>16.1f}")
+    lines.append("")
+    lines.append(f"total: merged {merged_ms:.0f} ms, unmerged {unmerged_ms:.0f} ms "
+                 f"-> merging speeds µhb solving {ratio:.1f}x")
+    write_report("ablation_merging.txt", "\n".join(lines) + "\n")
+
+    # Verdicts must agree between the two models.
+    for name in TESTS:
+        assert results["merged"][name].observable == \
+            results["unmerged"][name].observable, name
+        assert results["merged"][name].passed
+    # Merging is a genuine efficiency win (the point of section 4.4).
+    assert ratio > 1.5
+    benchmark.extra_info["speedup"] = ratio

@@ -1,0 +1,72 @@
+"""Section 6.4 (Scalability): per-SVA cost vs design size.
+
+The paper argues rtl2uspec scales because its properties are localized:
+proof times stay low as the design grows. This bench measures identical
+SVA instances on the 2-core and 4-core formal configurations.
+"""
+
+from conftest import write_report
+
+from repro.designs import (
+    FORMAL_CONFIG,
+    FORMAL_CONFIG_4CORE,
+    LW_SW_ENCODINGS,
+    load_design,
+    multi_vscale_metadata,
+)
+from repro.formal import PropertyChecker, bitblast
+from repro.sva import EventSpec, InstrSpec, SvaFactory
+
+
+def _measure(config):
+    netlist = load_design(config)
+    factory = SvaFactory(netlist, multi_vscale_metadata(config))
+    checker = PropertyChecker(bound=10, max_k=1)
+    sw, lw = LW_SW_ENCODINGS
+    results = {}
+    results["aig_nodes"] = bitblast(netlist).aig.stats()["nodes"]
+    results["a0_local"] = checker.check(factory.never_updates(
+        InstrSpec(0, sw), EventSpec("core_gen[0].core.wdata", 1)))
+    results["a0_regfile"] = checker.check(factory.never_updates(
+        InstrSpec(0, sw), EventSpec("core_gen[0].core.regfile", 2)))
+    results["order_fetch"] = checker.check(factory.ordering(
+        InstrSpec(0, sw), EventSpec("core_gen[0].core.inst_DX", 0),
+        InstrSpec(0, lw), EventSpec("core_gen[0].core.inst_DX", 0)))
+    results["order_mem"] = checker.check(factory.ordering(
+        InstrSpec(0, sw), EventSpec("the_mem.mem", 2, kind="resource"),
+        InstrSpec(0, lw), EventSpec("core_gen[0].core.regfile", 2)))
+    return results
+
+
+def test_sva_cost_scaling(benchmark):
+    results = {}
+
+    def run():
+        results["2core"] = _measure(FORMAL_CONFIG)
+        results["4core"] = _measure(FORMAL_CONFIG_4CORE)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["# Section 6.4 — SVA cost vs design size (locality argument)", ""]
+    lines.append(f"{'SVA':<14}{'2-core (s)':>12}{'4-core (s)':>12}{'growth':>9}")
+    for key in ("a0_local", "a0_regfile", "order_fetch", "order_mem"):
+        t2 = results["2core"][key].time_seconds
+        t4 = results["4core"][key].time_seconds
+        lines.append(f"{key:<14}{t2:>12.2f}{t4:>12.2f}{t4 / max(t2, 1e-9):>8.1f}x")
+    lines.append("")
+    lines.append(f"design size (AIG nodes): 2-core "
+                 f"{results['2core']['aig_nodes']}, 4-core "
+                 f"{results['4core']['aig_nodes']}")
+    lines.append("verdicts must agree across configurations (symmetry "
+                 "transfer argument):")
+    agree = True
+    for key in ("a0_local", "a0_regfile", "order_fetch", "order_mem"):
+        s2 = results["2core"][key].status
+        s4 = results["4core"][key].status
+        ok2 = results["2core"][key].proven or results["2core"][key].refuted
+        lines.append(f"  {key}: 2-core {s2}, 4-core {s4}")
+        if (results["2core"][key].refuted) != (results["4core"][key].refuted):
+            agree = False
+        del ok2
+    write_report("section6_4_scalability.txt", "\n".join(lines) + "\n")
+    assert agree, "verdicts diverged between 2-core and 4-core configs"

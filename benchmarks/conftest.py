@@ -1,0 +1,38 @@
+"""Benchmark fixtures and the experiment-report sink.
+
+Every benchmark writes its paper-vs-measured table into
+``build/experiments/`` so EXPERIMENTS.md can be regenerated from real
+runs. Heavy experiments (full synthesis, the complete RTLCheck sweep)
+are trimmed by default; set ``REPRO_BENCH_FULL=1`` to run them at paper
+scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+REPORT_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "build", "experiments")
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def write_report(name: str, text: str) -> None:
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+@pytest.fixture(scope="session")
+def reference_model():
+    from repro.designs.models import load_reference_model
+    return load_reference_model()
+
+
+@pytest.fixture(scope="session")
+def litmus_suite():
+    from repro.litmus import load_suite
+    return load_suite()

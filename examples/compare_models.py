@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Categorize memory models by the litmus outcomes they permit (§2).
+
+Runs the whole 56-test suite against three µspec models:
+
+* the **synthesized** multi-V-scale model (shipped, from the RTL),
+* a hand-written idealized **SC** machine,
+* a hand-written **x86-TSO** machine with store buffers.
+
+The multi-V-scale implements SC, so its verdicts coincide with the SC
+machine's; the TSO machine admits exactly the store-buffering
+relaxations (SB-shaped tests become observable).
+
+Run:  python examples/compare_models.py
+"""
+
+from repro import Checker, load_suite
+from repro.designs.models import load_reference_model
+from repro.uspec import sc_model, tso_model
+
+
+def main() -> None:
+    suite = load_suite()
+    models = {
+        "multi-V-scale (synthesized)": load_reference_model(),
+        "SC machine (hand-written)": sc_model(),
+        "TSO machine (hand-written)": tso_model(),
+    }
+    checkers = {name: Checker(model) for name, model in models.items()}
+
+    print(f"{'test':<14}{'SC-permits':>11}" +
+          "".join(f"{name.split()[0]:>16}" for name in models))
+    divergent = []
+    for test in suite:
+        observables = {name: checkers[name].check_test(test).observable
+                       for name in models}
+        row = f"{test.name:<14}{str(test.permitted_under_sc()):>11}"
+        for name in models:
+            row += f"{'observable' if observables[name] else 'forbidden':>16}"
+        print(row)
+        if len(set(observables.values())) > 1:
+            divergent.append(test.name)
+
+    print()
+    print("Tests on which the models diverge (the TSO relaxations):")
+    for name in divergent:
+        print(f"  {name}")
+    print()
+    print("The synthesized multi-V-scale model and the hand SC model agree "
+          "everywhere:\nthe RTL implements sequential consistency, as the "
+          "paper's case study verifies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""rtl2uspec on a second, structurally different design ("unicore").
+
+The paper's methodology is design-agnostic: given any in-order Verilog
+machine plus the four metadata items (IFR, PCR array, IM_PC, a
+request-response interface per remote resource), the same synthesis
+procedure applies. This example runs the full flow on ``unicore`` — a
+single-core 3-stage machine (FE -> DE -> CM) with completely different
+module and signal naming from the multi-V-scale — and then checks
+single-thread coherence litmus tests against the synthesized model.
+
+Run:  python examples/second_design.py   (~2-4 minutes)
+"""
+
+from repro.check import Checker
+from repro.core import Rtl2Uspec
+from repro.designs import load_unicore, unicore_metadata
+from repro.formal import PropertyChecker
+from repro.litmus import LitmusTest
+from repro.mcm.events import R, W
+from repro.uspec import format_model
+
+
+def main() -> None:
+    print("== synthesizing a µspec model for the unicore ==")
+    metadata = unicore_metadata()
+    synthesizer = Rtl2Uspec(
+        load_unicore(),
+        load_unicore(formal=True),
+        metadata,
+        checker=PropertyChecker(bound=10, max_k=1),
+        formal_cores=1,
+    )
+    result = synthesizer.synthesize()
+    print(result.summary())
+
+    print("\n== synthesized model ==")
+    print(format_model(result.model))
+
+    print("== single-thread coherence checks ==")
+    checker = Checker(result.model)
+    cases = [
+        # CoRW: a load must not see a program-later store.
+        LitmusTest("corw", ((R("x", "r1"), W("x", 1)),), (((0, "r1"), 1),)),
+        # CoWR: a load after a same-address store must see it.
+        LitmusTest("cowr_stale", ((W("x", 1), R("x", "r1")),), (((0, "r1"), 0),)),
+        # CoWW: the later store wins the final state.
+        LitmusTest("coww", ((W("x", 1), W("x", 2)),), (((-1, "x"), 1),)),
+        # ... and the sane outcomes are observable:
+        LitmusTest("cowr_fresh", ((W("x", 1), R("x", "r1")),), (((0, "r1"), 1),)),
+        LitmusTest("coww_ok", ((W("x", 1), W("x", 2)),), (((-1, "x"), 2),)),
+    ]
+    for test in cases:
+        verdict = checker.check_test(test)
+        print(f"  {verdict}")
+        assert verdict.passed
+
+    print("\nThe same synthesis procedure, metadata-driven, applied to a "
+          "different microarchitecture.")
+
+
+if __name__ == "__main__":
+    main()

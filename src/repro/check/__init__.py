@@ -1,0 +1,22 @@
+"""Check-style µhb verification of µspec models against litmus tests."""
+
+from .exhaustive import ExactnessReport, enumerate_programs, verify_exactness
+from .instance import GroundContext, Microop
+from .render import render_ascii
+from .solver import ObservabilityResult, UhbGraph, solve_observability
+from .verifier import Checker, TestVerdict, format_suite_report
+
+__all__ = [
+    "Microop",
+    "verify_exactness",
+    "ExactnessReport",
+    "enumerate_programs",
+    "GroundContext",
+    "solve_observability",
+    "ObservabilityResult",
+    "UhbGraph",
+    "Checker",
+    "TestVerdict",
+    "format_suite_report",
+    "render_ascii",
+]

@@ -1,0 +1,222 @@
+"""Grounding µspec axioms to CNF over µhb-edge variables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CheckError
+from ..sat import Cnf
+from ..uspec import ast as U
+from .instance import GroundContext, Microop
+
+#: A µhb node: (microop uid, location name).
+UhbNode = Tuple[int, str]
+#: A µhb edge between two nodes.
+UhbEdge = Tuple[UhbNode, UhbNode]
+
+
+class ModelEvaluator:
+    """Grounds a µspec model for one litmus instance.
+
+    Two passes: the first interprets the ``Path_*`` axioms to learn
+    which locations each microop touches (its µhb nodes and intra
+    edges); the second encodes every axiom into CNF over edge variables.
+    """
+
+    def __init__(self, model: U.Model, ctx: GroundContext):
+        self.model = model
+        self.ctx = ctx
+        self.cnf = Cnf()
+        self.edge_vars: Dict[UhbEdge, int] = {}
+        self.edge_labels: Dict[UhbEdge, str] = {}
+        #: location -> set of uids with a node there
+        self.accesses: Dict[str, set] = {}
+        #: uid -> ordered list of locations (µhb nodes)
+        self.nodes_of: Dict[int, List[str]] = {u.uid: [] for u in ctx.uops}
+        self._collect_paths()
+
+    # ------------------------------------------------------------------
+    # Pass 1: per-microop execution paths
+    # ------------------------------------------------------------------
+    def _collect_paths(self) -> None:
+        for axiom in self.model.axioms:
+            if not axiom.name.startswith("Path"):
+                continue
+            for uop in self.ctx.uops:
+                edges = self._path_edges(axiom.formula, {}, uop)
+                if edges is None:
+                    continue
+                for src, dst in edges:
+                    for loc in (src.location, dst.location):
+                        self.accesses.setdefault(loc, set()).add(uop.uid)
+                        if loc not in self.nodes_of[uop.uid]:
+                            self.nodes_of[uop.uid].append(loc)
+
+    def _path_edges(self, formula: U.Formula, env: Dict[str, Microop],
+                    uop: Microop) -> Optional[List[Tuple[U.Node, U.Node]]]:
+        """Evaluate a Path axiom body for one microop; None if the
+        premises do not hold."""
+        if isinstance(formula, U.Forall):
+            return self._path_edges(formula.body, {**env, formula.var: uop}, uop)
+        if isinstance(formula, U.Implies):
+            premise = self._eval_ground_pred(formula.lhs, env)
+            if premise is False:
+                return []
+            if premise is not True:
+                raise CheckError("Path axiom premises must be ground predicates")
+            return self._path_edges(formula.rhs, env, uop)
+        if isinstance(formula, U.And):
+            edges: List[Tuple[U.Node, U.Node]] = []
+            for part in formula.parts:
+                sub = self._path_edges(part, env, uop)
+                if sub is None:
+                    return None
+                edges.extend(sub)
+            return edges
+        if isinstance(formula, U.AddEdge):
+            return [(formula.src, formula.dst)]
+        raise CheckError(
+            f"unsupported construct in Path axiom: {type(formula).__name__}")
+
+    def _eval_ground_pred(self, formula: U.Formula, env: Dict[str, Microop]):
+        if isinstance(formula, U.Pred):
+            args = []
+            attr = formula.attr
+            for arg in formula.args:
+                if arg in env:
+                    args.append(env[arg])
+                else:
+                    # Literal argument (e.g. a location name).
+                    attr = arg
+            return self.ctx.eval_pred(formula.name, tuple(args), attr=attr,
+                                      accesses=self.accesses)
+        if isinstance(formula, U.Not):
+            inner = self._eval_ground_pred(formula.body, env)
+            return not inner
+        if isinstance(formula, U.TrueF):
+            return True
+        if isinstance(formula, U.FalseF):
+            return False
+        raise CheckError(f"expected ground predicate, got {type(formula).__name__}")
+
+    # ------------------------------------------------------------------
+    # Pass 2: CNF encoding
+    # ------------------------------------------------------------------
+    def edge_var(self, src: UhbNode, dst: UhbNode, label: str = "") -> int:
+        """CNF literal for a µhb edge (allocated on demand).
+
+        A self-edge is a contradiction and maps to the false literal.
+        """
+        if src == dst:
+            return self.cnf.false_lit
+        key = (src, dst)
+        var = self.edge_vars.get(key)
+        if var is None:
+            var = self.cnf.new_var()
+            self.edge_vars[key] = var
+            # Antisymmetry: a 2-cycle is a contradiction; forbid it
+            # eagerly (shortens the lazy acyclicity loop).
+            rev = self.edge_vars.get((dst, src))
+            if rev is not None:
+                self.cnf.add_clause([-var, -rev])
+        if label and key not in self.edge_labels:
+            self.edge_labels[key] = label
+        return var
+
+    def ground_model(self) -> None:
+        """Encode every axiom; asserts each axiom's root literal."""
+        for axiom in self.model.axioms:
+            lit = self._ground(axiom.formula, {})
+            if lit is False:
+                # The axiom is unsatisfiable for this instance (e.g. a
+                # final-memory value no write produces).
+                self.cnf.add_clause([])
+                raise _Unsatisfiable()
+            if lit is not True:
+                self.cnf.assert_lit(lit)
+
+    def _ground(self, formula: U.Formula, env: Dict[str, Microop]):
+        """Returns True/False or a CNF literal."""
+        cnf = self.cnf
+        if isinstance(formula, U.TrueF):
+            return True
+        if isinstance(formula, U.FalseF):
+            return False
+        if isinstance(formula, U.Forall):
+            lits = []
+            for uop in self.ctx.uops:
+                sub = self._ground(formula.body, {**env, formula.var: uop})
+                if sub is False:
+                    return False
+                if sub is not True:
+                    lits.append(sub)
+            if not lits:
+                return True
+            return cnf.encode_and(lits)
+        if isinstance(formula, U.Exists):
+            lits = []
+            for uop in self.ctx.uops:
+                sub = self._ground(formula.body, {**env, formula.var: uop})
+                if sub is True:
+                    return True
+                if sub is not False:
+                    lits.append(sub)
+            if not lits:
+                return False
+            return cnf.encode_or(lits)
+        if isinstance(formula, U.Implies):
+            lhs = self._ground(formula.lhs, env)
+            if lhs is False:
+                return True
+            rhs = self._ground(formula.rhs, env)
+            if lhs is True:
+                return rhs
+            if rhs is True:
+                return True
+            if rhs is False:
+                return -lhs
+            return cnf.encode_or([-lhs, rhs])
+        if isinstance(formula, U.And):
+            lits = []
+            for part in formula.parts:
+                sub = self._ground(part, env)
+                if sub is False:
+                    return False
+                if sub is not True:
+                    lits.append(sub)
+            if not lits:
+                return True
+            return cnf.encode_and(lits)
+        if isinstance(formula, U.Or):
+            lits = []
+            for part in formula.parts:
+                sub = self._ground(part, env)
+                if sub is True:
+                    return True
+                if sub is not False:
+                    lits.append(sub)
+            if not lits:
+                return False
+            return cnf.encode_or(lits)
+        if isinstance(formula, U.Not):
+            sub = self._ground(formula.body, env)
+            if sub is True:
+                return False
+            if sub is False:
+                return True
+            return -sub
+        if isinstance(formula, U.Pred):
+            return self._eval_ground_pred(formula, env)
+        if isinstance(formula, (U.AddEdge, U.EdgeExists)):
+            src_uop = env.get(formula.src.var)
+            dst_uop = env.get(formula.dst.var)
+            if src_uop is None or dst_uop is None:
+                raise CheckError("edge references unbound microop variable")
+            label = formula.label if isinstance(formula, U.AddEdge) else ""
+            return self.edge_var((src_uop.uid, formula.src.location),
+                                 (dst_uop.uid, formula.dst.location), label)
+        raise CheckError(f"cannot ground {type(formula).__name__}")
+
+
+class _Unsatisfiable(Exception):
+    """Raised when grounding already shows the instance unsatisfiable."""

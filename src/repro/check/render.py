@@ -1,0 +1,52 @@
+"""Terminal rendering of µhb graphs (a text-mode Fig. 1b).
+
+Lays instructions out as columns (program order left to right, grouped
+by core) and µhb locations as rows (stage order top to bottom), then
+lists the happens-before edges grouped by label — readable without
+GraphViz.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .solver import UhbGraph
+
+
+def render_ascii(graph: UhbGraph, max_width: int = 100) -> str:
+    """Render a witness µhb graph as text."""
+    uops = sorted(graph.ctx.uops, key=lambda u: (u.core, u.index))
+    columns = [uop.uid for uop in uops]
+    labels = {uop.uid: uop.label() for uop in uops}
+    locations = [loc for loc in graph.stage_order
+                 if any(loc in graph.nodes_of.get(uid, []) for uid in columns)]
+
+    col_width = max(12, max((len(l) for l in labels.values()), default=12) + 2)
+    col_width = min(col_width, max_width // max(len(columns), 1))
+    loc_width = max((len(loc) for loc in locations), default=8) + 2
+
+    lines: List[str] = []
+    header = " " * loc_width + "".join(
+        f"{labels[uid][:col_width - 1]:<{col_width}}" for uid in columns)
+    lines.append(header)
+    lines.append("-" * min(len(header), max_width))
+    for loc in locations:
+        row = f"{loc:<{loc_width}}"
+        for uid in columns:
+            mark = "●" if loc in graph.nodes_of.get(uid, []) else "·"
+            row += f"{mark:<{col_width}}"
+        lines.append(row)
+    lines.append("")
+
+    by_label: Dict[str, List[Tuple]] = {}
+    for src, dst, label in sorted(graph.edges):
+        by_label.setdefault(label or "uhb", []).append((src, dst))
+    short = {uid: f"i{uid}" for uid in columns}
+    for label in sorted(by_label):
+        edges = by_label[label]
+        rendered = ", ".join(
+            f"{short.get(s[0], s[0])}.{s[1]} -> {short.get(d[0], d[0])}.{d[1]}"
+            for s, d in edges[:12])
+        suffix = f" (+{len(edges) - 12} more)" if len(edges) > 12 else ""
+        lines.append(f"{label:>9}: {rendered}{suffix}")
+    return "\n".join(lines)

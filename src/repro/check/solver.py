@@ -1,0 +1,221 @@
+"""Observability solving: SAT with an eager happens-before order.
+
+The Check tools search for an acyclic µhb graph satisfying all axioms;
+acyclic = the execution is possible (paper section 2). Here acyclicity
+is encoded eagerly: a strict-partial-order relation R over the µhb
+nodes (antisymmetric + transitive) with every asserted edge implying
+R(src, dst). Any edge cycle would force both R(a,b) and R(b,a), so a
+single SAT call decides observability — SAT means the outcome is
+observable and the model yields a witness graph; UNSAT proves the
+outcome impossible on the modeled microarchitecture.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import CheckError
+from ..litmus import LitmusTest
+from ..sat import SAT, UNSAT, Solver
+from ..uspec import ast as U
+from .evaluator import ModelEvaluator, UhbEdge, UhbNode, _Unsatisfiable
+from .instance import GroundContext
+
+
+@dataclass
+class UhbGraph:
+    """A concrete (acyclic) µhb graph witnessing an execution."""
+
+    ctx: GroundContext
+    nodes_of: Dict[int, List[str]]
+    edges: List[Tuple[UhbNode, UhbNode, str]]
+    stage_order: List[str]
+
+    def to_dot(self, title: str = "uhb") -> str:
+        """Fig. 1b-style rendering: columns = instructions in program
+        order, rows = locations in stage order."""
+        lines = [f'digraph "{title}" {{',
+                 "  rankdir=TB; splines=true; node [shape=circle];"]
+        uops = sorted(self.ctx.uops, key=lambda u: (u.core, u.index))
+        # Column headers.
+        for uop in uops:
+            lines.append(f'  subgraph "cluster_i{uop.uid}" {{')
+            lines.append(f'    label="{uop.label()}";')
+            for loc in self.nodes_of.get(uop.uid, []):
+                lines.append(f'    "n{uop.uid}_{loc}" [label="{loc}"];')
+            lines.append("  }")
+        color_of = {"PO": "green", "rf": "deeppink", "fr": "red",
+                    "co": "black", "path": "black"}
+        for src, dst, label in self.edges:
+            color = color_of.get(label, "blue")
+            lines.append(
+                f'  "n{src[0]}_{src[1]}" -> "n{dst[0]}_{dst[1]}" '
+                f'[label="{label}", color="{color}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ObservabilityResult:
+    observable: bool
+    graph: Optional[UhbGraph]
+    iterations: int
+    time_seconds: float
+    cycle_example: List[UhbNode] = field(default_factory=list)
+
+
+def _find_cycle(edges: List[UhbEdge]) -> Optional[List[UhbEdge]]:
+    """Return the edges of one directed cycle, or None."""
+    succ: Dict[UhbNode, List[UhbNode]] = {}
+    for src, dst in edges:
+        succ.setdefault(src, []).append(dst)
+    state: Dict[UhbNode, int] = {}
+    parent: Dict[UhbNode, UhbNode] = {}
+
+    for start in list(succ):
+        if state.get(start):
+            continue
+        stack: List[Tuple[UhbNode, int]] = [(start, 0)]
+        state[start] = 1  # on stack
+        while stack:
+            node, child_index = stack[-1]
+            children = succ.get(node, [])
+            if child_index >= len(children):
+                stack.pop()
+                state[node] = 2
+                continue
+            stack[-1] = (node, child_index + 1)
+            child = children[child_index]
+            mark = state.get(child, 0)
+            if mark == 1:
+                # Found a cycle: walk back up the stack to the child.
+                cycle_nodes = [child]
+                for frame_node, _ in reversed(stack):
+                    cycle_nodes.append(frame_node)
+                    if frame_node == child:
+                        break
+                cycle_nodes.reverse()
+                return [(cycle_nodes[i], cycle_nodes[i + 1])
+                        for i in range(len(cycle_nodes) - 1)]
+            if mark == 0:
+                state[child] = 1
+                stack.append((child, 0))
+    return None
+
+
+def _add_order_constraints(evaluator: ModelEvaluator) -> None:
+    """Eager acyclicity: a strict partial order R over all µhb nodes
+    touched by edge variables; every asserted edge implies R."""
+    cnf = evaluator.cnf
+    nodes = sorted({n for edge in evaluator.edge_vars for n in edge})
+    order: Dict[Tuple[UhbNode, UhbNode], int] = {}
+    for a in nodes:
+        for b in nodes:
+            if a != b:
+                order[(a, b)] = cnf.new_var()
+    # Antisymmetry (strictness).
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            cnf.add_clause([-order[(a, b)], -order[(b, a)]])
+    # Transitivity.
+    for a in nodes:
+        for b in nodes:
+            if a == b:
+                continue
+            for c in nodes:
+                if c == a or c == b:
+                    continue
+                cnf.add_clause([-order[(a, b)], -order[(b, c)], order[(a, c)]])
+    # Edges imply order.
+    for (src, dst), var in evaluator.edge_vars.items():
+        cnf.add_clause([-var, order[(src, dst)]])
+
+
+def solve_observability(model: U.Model, test: LitmusTest,
+                        max_iterations: int = 100000) -> ObservabilityResult:
+    """Decide whether the test's outcome is observable under the model."""
+    start = time.perf_counter()
+    ctx = GroundContext(test)
+    evaluator = ModelEvaluator(model, ctx)
+    try:
+        evaluator.ground_model()
+        _add_final_memory_constraints(evaluator, ctx)
+    except _Unsatisfiable:
+        return ObservabilityResult(False, None, 0, time.perf_counter() - start)
+    _add_order_constraints(evaluator)
+    solver = Solver()
+    solver.add_cnf(evaluator.cnf)
+    status = solver.solve()
+    if status == UNSAT:
+        return ObservabilityResult(False, None, 1, time.perf_counter() - start)
+    chosen = [edge for edge, var in evaluator.edge_vars.items()
+              if solver.model_value(var)]
+    cycle = _find_cycle(chosen)
+    if cycle is not None:  # pragma: no cover - guarded by the encoding
+        raise CheckError("order encoding admitted a cyclic graph")
+    graph = UhbGraph(
+        ctx, evaluator.nodes_of,
+        [(src, dst, evaluator.edge_labels.get((src, dst), ""))
+         for src, dst in chosen],
+        list(model.stage_names),
+    )
+    return ObservabilityResult(True, graph, 1, time.perf_counter() - start)
+
+
+def _add_final_memory_constraints(evaluator: ModelEvaluator,
+                                  ctx: GroundContext) -> None:
+    """Encode litmus final-memory conditions: the named value's write is
+    last in the memory serialization order (or no write occurred and the
+    value is the initial 0)."""
+    mem_loc = _memory_location(evaluator)
+    cnf = evaluator.cnf
+    for addr, value in ctx.final_mem.items():
+        writes = ctx.writes(addr)
+        if not writes:
+            if value != 0:
+                raise _Unsatisfiable()
+            continue
+        candidates = [w for w in writes if w.data == value]
+        if not candidates:
+            raise _Unsatisfiable()
+        if mem_loc is None:
+            raise CheckError(
+                "model has no memory location; cannot constrain final memory")
+        options = []
+        for winner in candidates:
+            before = [
+                evaluator.edge_var((other.uid, mem_loc), (winner.uid, mem_loc), "co")
+                for other in writes if other.uid != winner.uid
+            ]
+            options.append(cnf.encode_and(before) if before else cnf.true_lit)
+        cnf.assert_lit(cnf.encode_or(options))
+
+
+def _memory_location(evaluator: ModelEvaluator) -> Optional[str]:
+    """The location standing for shared memory: taken from the
+    Read_Values axiom's edges (falls back to a location named 'mem')."""
+    for axiom in evaluator.model.axioms:
+        if axiom.name == "Read_Values":
+            found: List[str] = []
+
+            def walk(f: U.Formula) -> None:
+                if isinstance(f, (U.AddEdge, U.EdgeExists)):
+                    found.append(f.src.location)
+                    found.append(f.dst.location)
+                for attr in ("body", "lhs", "rhs"):
+                    child = getattr(f, attr, None)
+                    if isinstance(child, U.Formula):
+                        walk(child)
+                for part in getattr(f, "parts", ()):
+                    walk(part)
+
+            walk(axiom.formula)
+            if found:
+                # The most frequent location in Read_Values is memory.
+                return max(set(found), key=found.count)
+    for name in evaluator.model.stage_names:
+        if "mem" in name:
+            return name
+    return None

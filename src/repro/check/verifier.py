@@ -1,0 +1,95 @@
+"""Litmus-suite verification against a µspec model (COATCheck's role).
+
+For each test the verifier decides observability of the test's outcome
+under the model and compares with the ISA-level SC reference:
+
+* outcome forbidden by SC and unobservable  -> PASS (bug-free)
+* outcome forbidden by SC but observable    -> FAIL (MCM violation!)
+* outcome allowed by SC and observable      -> PASS (model not overstrict)
+* outcome allowed by SC but unobservable    -> PASS with an
+  ``overstrict`` flag (sound, but the model forbids more than SC does —
+  possibly more than the hardware does).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..litmus import LitmusTest
+from ..uspec import Model
+from .solver import ObservabilityResult, UhbGraph, solve_observability
+
+
+@dataclass
+class TestVerdict:
+    name: str
+    observable: bool
+    permitted_sc: bool
+    time_ms: float
+    iterations: int
+    graph: Optional[UhbGraph] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.permitted_sc or not self.observable
+
+    @property
+    def overstrict(self) -> bool:
+        return self.permitted_sc and not self.observable
+
+    def __repr__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        flag = " (overstrict)" if self.overstrict else ""
+        return (f"TestVerdict({self.name}: {status}{flag}, "
+                f"observable={self.observable}, sc_permits={self.permitted_sc}, "
+                f"{self.time_ms:.1f} ms)")
+
+
+class Checker:
+    """Verifies litmus tests against one synthesized µspec model."""
+
+    def __init__(self, model: Model, keep_graphs: bool = False):
+        self.model = model
+        self.keep_graphs = keep_graphs
+
+    def check_outcome(self, test: LitmusTest) -> ObservabilityResult:
+        """Raw observability of the test's final condition."""
+        return solve_observability(self.model, test)
+
+    def check_test(self, test: LitmusTest) -> TestVerdict:
+        start = time.perf_counter()
+        permitted = test.permitted_under_sc()
+        result = self.check_outcome(test)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return TestVerdict(
+            name=test.name,
+            observable=result.observable,
+            permitted_sc=permitted,
+            time_ms=elapsed_ms,
+            iterations=result.iterations,
+            graph=result.graph if self.keep_graphs else None,
+        )
+
+    def check_suite(self, tests: Iterable[LitmusTest]) -> List[TestVerdict]:
+        return [self.check_test(test) for test in tests]
+
+
+def format_suite_report(verdicts: List[TestVerdict]) -> str:
+    """Artifact-appendix style report (paper A.5)."""
+    lines = []
+    total_ms = 0.0
+    failures = 0
+    for verdict in verdicts:
+        lines.append(f"{verdict.name + '.test':<24} {verdict.time_ms:10.3f} ms  "
+                     f"{'PASS' if verdict.passed else 'FAIL'}"
+                     f"{' (overstrict)' if verdict.overstrict else ''}")
+        total_ms += verdict.time_ms
+        failures += 0 if verdict.passed else 1
+    lines.append(f"--- {total_ms:.3f} ms ---")
+    if failures == 0:
+        lines.append("======= ALL TESTS PASSES =======")
+    else:
+        lines.append(f"======= {failures} TEST(S) FAILED =======")
+    return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""Command-line interface: ``rtl2uspec`` / ``python -m repro``.
+
+Subcommands mirror the paper's artifact workflow (appendix A.4):
+
+* ``synth``  — synthesize a µspec model from the bundled multi-V-scale
+  (or any Verilog file + metadata preset) and write a ``.uarch`` file.
+* ``check``  — run the litmus suite (or named tests) against a µspec
+  model with the Check-style verifier.
+* ``litmus`` — print suite tests in the litmus text format.
+* ``run``    — execute a litmus test on the RTL simulator.
+* ``stats``  — print design-size statistics (paper section 5.1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from . import __version__
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from . import synthesize_uspec
+    from .formal import PropertyChecker
+    from .uspec import format_model
+
+    checker = PropertyChecker(bound=args.bound, max_k=args.max_k)
+    cache = None
+    if args.cache:
+        from .formal import CachingPropertyChecker, VerdictCache
+        cache = VerdictCache(args.cache)
+        checker = CachingPropertyChecker(checker, cache, need_traces=True)
+    candidates = args.candidates.split(",") if args.candidates else None
+    result = synthesize_uspec(buggy=args.buggy, checker=checker,
+                              candidate_filter=candidates)
+    from .core import full_report
+    print(full_report(result))
+    text = format_model(result.model)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"\nuspec model written to {args.output}")
+    if cache is not None:
+        cache.save()
+        print(f"verdict cache: {cache.hits} hits, {cache.misses} misses "
+              f"({len(cache)} entries in {args.cache})")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import Checker, format_suite_report
+    from .litmus import load_suite, suite_by_name
+    from .uspec import parse_model
+
+    if args.model:
+        with open(args.model, "r", encoding="utf-8") as handle:
+            model = parse_model(handle.read())
+    else:
+        from .designs.models import load_reference_model
+        model = load_reference_model()
+    if args.tests:
+        by_name = suite_by_name()
+        tests = [by_name[name] for name in args.tests]
+    else:
+        tests = load_suite()
+    checker = Checker(model, keep_graphs=args.show_graph)
+    verdicts = checker.check_suite(tests)
+    print(format_suite_report(verdicts))
+    if args.show_graph:
+        from .check import render_ascii
+        for verdict in verdicts:
+            if verdict.graph is not None:
+                print(f"\n== witness µhb graph: {verdict.name} ==")
+                print(render_ascii(verdict.graph))
+            else:
+                print(f"\n== {verdict.name}: outcome unobservable "
+                      f"(no acyclic µhb graph exists) ==")
+    return 0 if all(v.passed for v in verdicts) else 1
+
+
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    from .litmus import load_suite, write_suite
+
+    if args.export:
+        paths = write_suite(args.export)
+        print(f"wrote {len(paths)} .test files to {args.export}")
+        return 0
+    for test in load_suite():
+        if args.names:
+            print(test.name)
+        else:
+            print(test.format())
+            print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .designs import DesignConfig
+    from .litmus import compile_test, location_map, register_map, suite_by_name
+    from .rtlcheck import ExhaustiveSkewTester
+
+    test = suite_by_name()[args.test]
+    tester = ExhaustiveSkewTester(
+        DesignConfig(buggy=args.buggy), max_skew=args.max_skew)
+    result = tester.run_test(test)
+    print(f"{test.name}: {result.runs} runs, outcome "
+          f"{'OBSERVED' if result.outcome_observed else 'not observed'} "
+          f"({result.time_seconds:.1f}s)")
+    print(f"verdict: {'PASS' if result.passed else 'FAIL'}")
+    return 0 if result.passed else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .check import verify_exactness
+    from .uspec import parse_model
+
+    if args.model:
+        with open(args.model, "r", encoding="utf-8") as handle:
+            model = parse_model(handle.read())
+    else:
+        from .designs.models import load_reference_model
+        model = load_reference_model()
+    report = verify_exactness(model, max_threads=args.threads,
+                              max_len=args.length,
+                              limit=args.limit if args.limit > 0 else None)
+    print(report.summary())
+    for kind, entries in (("UNSOUND", report.unsound),
+                          ("OVERSTRICT", report.overstrict)):
+        for formatted, _condition in entries[:args.show]:
+            print(f"--- {kind} ---")
+            print(formatted)
+    return 0 if report.exact else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .designs import SIM_CONFIG, load_design, load_single_core
+
+    single = load_single_core().stats()
+    multi = load_design(SIM_CONFIG).stats()
+    print(f"{'':<16}{'1 core':>12}{'4 cores':>12}")
+    for key in ("wires", "cells", "registers", "memories", "dff_bits",
+                "memory_bits"):
+        print(f"{key:<16}{single[key]:>12}{multi[key]:>12}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rtl2uspec",
+        description="rtl2uspec reproduction: synthesize uspec models from "
+                    "RTL and verify memory-model implementations")
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_synth = sub.add_parser("synth", help="synthesize a uspec model")
+    p_synth.add_argument("-o", "--output", default="multi_vscale.uarch")
+    p_synth.add_argument("--buggy", action="store_true",
+                         help="use the section-6.1 buggy design variant")
+    p_synth.add_argument("--bound", type=int, default=12)
+    p_synth.add_argument("--max-k", type=int, default=2)
+    p_synth.add_argument("--candidates", default="",
+                         help="comma-separated state elements to restrict analysis")
+    p_synth.add_argument("--cache", default="",
+                         help="verdict-cache JSON file (repeat runs become fast)")
+    p_synth.set_defaults(func=_cmd_synth)
+
+    p_check = sub.add_parser("check", help="verify litmus tests against a model")
+    p_check.add_argument("--model", default="",
+                         help=".uarch file (default: shipped reference model)")
+    p_check.add_argument("tests", nargs="*", help="test names (default: all 56)")
+    p_check.add_argument("--show-graph", action="store_true",
+                         help="render witness µhb graphs (text Fig. 1b)")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_litmus = sub.add_parser("litmus", help="print the litmus suite")
+    p_litmus.add_argument("--names", action="store_true")
+    p_litmus.add_argument("--export", default="",
+                          help="write the suite as .test files to a directory")
+    p_litmus.set_defaults(func=_cmd_litmus)
+
+    p_run = sub.add_parser("run", help="run a litmus test on the RTL simulator")
+    p_run.add_argument("test")
+    p_run.add_argument("--max-skew", type=int, default=2)
+    p_run.add_argument("--buggy", action="store_true")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="exhaustive small-program exactness sweep (PipeProof-style)")
+    p_sweep.add_argument("--model", default="")
+    p_sweep.add_argument("--threads", type=int, default=2)
+    p_sweep.add_argument("--length", type=int, default=2)
+    p_sweep.add_argument("--limit", type=int, default=0,
+                         help="bound the number of programs (0 = all)")
+    p_sweep.add_argument("--show", type=int, default=3,
+                         help="mismatching tests to print")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_stats = sub.add_parser("stats", help="design statistics (section 5.1)")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""rtl2uspec — the paper's primary contribution.
+
+Synthesizes a complete, proven-correct-by-construction µspec model from
+a Verilog design plus modest designer metadata (paper sections 3-4).
+"""
+
+from .merging import MergePlan, merge_nodes
+from .metadata import DesignMetadata, InstructionEncoding, RequestResponseInterface
+from .report import PAPER_FIG5, fig5_table, full_report
+from .records import (
+    CATEGORIES,
+    DATAFLOW,
+    INTERFACE,
+    INTRA,
+    SPATIAL,
+    TEMPORAL,
+    HbiRecord,
+    PhaseTiming,
+    SvaRecord,
+    SynthesisStats,
+)
+from .synthesizer import Rtl2Uspec, SynthesisResult
+
+__all__ = [
+    "Rtl2Uspec",
+    "SynthesisResult",
+    "DesignMetadata",
+    "InstructionEncoding",
+    "RequestResponseInterface",
+    "SvaRecord",
+    "HbiRecord",
+    "PhaseTiming",
+    "SynthesisStats",
+    "MergePlan",
+    "fig5_table",
+    "full_report",
+    "PAPER_FIG5",
+    "merge_nodes",
+    "CATEGORIES",
+    "INTRA",
+    "SPATIAL",
+    "TEMPORAL",
+    "DATAFLOW",
+    "INTERFACE",
+]

@@ -1,0 +1,100 @@
+"""Node merging (paper section 4.4).
+
+State elements are agglomerated into µhb-graph locations: two nodes
+merge when they sit at the same distance from the IFR (same renumbered
+stage) and participate in the same set of inter-instruction HBIs. The
+merged groups become the ``mgnode_n`` rows of Fig. 1b; the IFR, the
+register file and the remote resource keep recognizable names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .synthesizer import Rtl2Uspec
+
+
+@dataclass
+class MergePlan:
+    """state element -> µhb location, plus location metadata."""
+
+    location_of: Dict[str, str]
+    locations: List[str]                  # in stage order
+    location_stage: Dict[str, int]
+    location_kind: Dict[str, str]         # local | shared | resource
+    members: Dict[str, List[str]] = field(default_factory=dict)
+
+    def loc(self, state: str) -> str:
+        return self.location_of[state]
+
+
+def _short_name(state: str) -> str:
+    return state.rsplit(".", 1)[-1]
+
+
+def _participation(syn: "Rtl2Uspec", state: str) -> FrozenSet:
+    """Inter-instruction HBI participation signature of a state element."""
+    signature: Set[Tuple] = set()
+    for hbi in syn.hbi_records:
+        if hbi.s0 == state:
+            signature.add((hbi.category, 0, hbi.i0, hbi.i1, hbi.order, hbi.stage1))
+        if hbi.s1 == state:
+            signature.add((hbi.category, 1, hbi.i0, hbi.i1, hbi.order, hbi.stage0))
+    return frozenset(signature)
+
+
+def merge_nodes(syn: "Rtl2Uspec", enabled: bool = True) -> MergePlan:
+    """Compute the merge plan over all states any instruction updates or
+    accesses. With ``enabled=False`` every state element keeps its own
+    µhb location (the no-merging ablation)."""
+    all_states: Set[str] = set()
+    for enc in syn.md.encodings:
+        all_states |= syn.updated[enc.name]
+        all_states |= syn.accessed[enc.name]
+
+    # Group by (stage, kind, participation signature); disabling merging
+    # makes every state its own singleton group.
+    groups: Dict[Tuple, List[str]] = {}
+    for state in sorted(all_states):
+        key = (syn.labels.stage_of(state), syn.classify(state),
+               _participation(syn, state) if enabled else state)
+        groups.setdefault(key, []).append(state)
+
+    location_of: Dict[str, str] = {}
+    location_stage: Dict[str, int] = {}
+    location_kind: Dict[str, str] = {}
+    members: Dict[str, List[str]] = {}
+    mg_counter = 0
+    named: List[Tuple[int, str]] = []
+
+    for key in sorted(groups, key=lambda k: (k[0], k[1], sorted(groups[k]))):
+        stage, kind, _sig = key
+        states = groups[key]
+        if syn.labels.ifr in states:
+            name = _short_name(syn.labels.ifr)
+        elif kind == "resource":
+            name = _short_name(states[0]) if len(states) == 1 else f"mem_{mg_counter}"
+        elif len(states) == 1 and kind != "local":
+            name = _short_name(states[0])
+        elif len(states) == 1:
+            name = _short_name(states[0])
+        else:
+            name = f"mgnode_{mg_counter}"
+            mg_counter += 1
+        # Guarantee uniqueness.
+        base = name
+        suffix = 1
+        while name in location_stage:
+            name = f"{base}_{suffix}"
+            suffix += 1
+        for state in states:
+            location_of[state] = name
+        location_stage[name] = stage
+        location_kind[name] = kind
+        members[name] = sorted(states)
+        named.append((stage, name))
+
+    locations = [name for _stage, name in sorted(named)]
+    return MergePlan(location_of, locations, location_stage, location_kind, members)

@@ -1,0 +1,138 @@
+"""User-supplied design metadata (paper sections 4.2.1 and 4.3.4).
+
+rtl2uspec needs three pieces of core-local metadata — the instruction
+fetch register (IFR), the per-stage PC registers (the PCR array) and the
+instruction-memory PC (IM_PC) — plus the binary encodings of the
+instructions to model, and a request-response interface description for
+every remote (off-core) resource.
+
+All signal names are hierarchical netlist names with a ``{core}``
+placeholder where the core index goes, e.g.
+``core_gen[{core}].core.inst_DX``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import MetadataError
+from ..netlist import Netlist
+
+
+@dataclass(frozen=True)
+class InstructionEncoding:
+    """How to recognize one instruction type from its 32-bit encoding.
+
+    ``match``/``mask``: an instruction word ``w`` is of this type iff
+    ``w & mask == match``. ``is_read``/``is_write`` classify the type for
+    the memory-model predicates (IsAnyRead / IsAnyWrite).
+    """
+
+    name: str
+    match: int
+    mask: int
+    is_read: bool = False
+    is_write: bool = False
+
+    def matches(self, word: int) -> bool:
+        return (word & self.mask) == self.match
+
+
+@dataclass(frozen=True)
+class RequestResponseInterface:
+    """Remote-resource interface metadata (paper section 4.3.4).
+
+    Describes how cores update one remote state element (or array):
+    the per-core request signals at the core boundary, and the
+    post-arbitration signals at the resource boundary. The ``{core}``
+    placeholder in core-side names is replaced by the core index.
+    """
+
+    resource: str                 # netlist name of the remote state array
+    # Core-side (per core, pre-arbitration):
+    core_req_valid: str           # request issued this cycle (incl. grant)
+    core_req_sent: str            # request accepted (valid && ready)
+    core_req_write: str
+    core_req_addr: str
+    core_req_data: str
+    # Resource-side (post-arbitration):
+    mem_req_valid: str
+    mem_req_write: str
+    mem_req_addr: str
+    mem_req_data: str
+    mem_req_core: str             # core-ID tag
+    # Completion: the registered request buffer whose commit updates the
+    # resource (the "signals used to indicate the completion of
+    # processing a request", section 4.3.4).
+    proc_valid: str
+    proc_write: str
+    proc_addr: str
+    proc_core: str
+    # Response signals (optional): present when the resource returns
+    # read data, enabling the functional-correctness sanity SVA that
+    # discharges the paper's section-4.3.6 assumption.
+    resp_valid: Optional[str] = None
+    resp_data: Optional[str] = None
+
+
+@dataclass
+class DesignMetadata:
+    """Everything the user supplies alongside the Verilog design."""
+
+    # Core-local metadata (section 4.2.1):
+    ifr: str                      # instruction fetch register
+    pcr: List[str]                # PCR[i] = PC register of pipeline stage i
+    im_pc: str                    # PC signal indexing instruction memory
+    num_cores: int
+    # Instructions to include in the synthesized model:
+    encodings: List[InstructionEncoding] = field(default_factory=list)
+    # Remote-resource interfaces (section 4.3.4):
+    interfaces: List[RequestResponseInterface] = field(default_factory=list)
+    # Signals whose updates belong to shared (non-core) resources and
+    # should be attributed via interfaces rather than PCRs:
+    shared_prefixes: List[str] = field(default_factory=list)
+    # Reset input name (driven high for one cycle at the start of every
+    # formal trace) and clock input name:
+    reset: str = "reset"
+    clock: str = "clk"
+
+    def core_signal(self, template: str, core: int) -> str:
+        """Instantiate a ``{core}`` placeholder for a concrete core."""
+        return template.format(core=core)
+
+    def encoding(self, name: str) -> InstructionEncoding:
+        for enc in self.encodings:
+            if enc.name == name:
+                return enc
+        raise MetadataError(f"no instruction encoding named {name!r}")
+
+    def validate(self, netlist: Netlist) -> None:
+        """Check that every referenced signal exists in the netlist."""
+        def check(name: str) -> None:
+            if name not in netlist.wires and name not in netlist.memories:
+                raise MetadataError(f"metadata references unknown signal {name!r}")
+
+        for core in range(self.num_cores):
+            check(self.core_signal(self.ifr, core))
+            check(self.core_signal(self.im_pc, core))
+            for pcr in self.pcr:
+                check(self.core_signal(pcr, core))
+        for iface in self.interfaces:
+            check(iface.resource)
+            for core in range(self.num_cores):
+                check(self.core_signal(iface.core_req_valid, core))
+                check(self.core_signal(iface.core_req_sent, core))
+                check(self.core_signal(iface.core_req_addr, core))
+                check(self.core_signal(iface.core_req_data, core))
+            for name in (iface.mem_req_valid, iface.mem_req_write, iface.mem_req_addr,
+                         iface.mem_req_data, iface.mem_req_core, iface.proc_valid,
+                         iface.proc_write, iface.proc_addr, iface.proc_core):
+                check(name)
+            for name in (iface.resp_valid, iface.resp_data):
+                if name is not None:
+                    check(name)
+        if not self.encodings:
+            raise MetadataError("metadata must name at least one instruction encoding")
+        if not self.pcr:
+            raise MetadataError("metadata must provide at least one PCR entry")

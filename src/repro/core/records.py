@@ -1,0 +1,117 @@
+"""Result records produced by the rtl2uspec synthesis procedure.
+
+These carry everything the paper's Fig. 5 reports: SVA counts and
+runtimes per category, and HBI-hypothesis versus proven-HBI counts split
+into local and global scopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..formal import Verdict
+
+#: SVA / hypothesis categories (Fig. 5 columns).
+INTRA = "intra"
+SPATIAL = "spatial"
+TEMPORAL = "temporal"
+DATAFLOW = "dataflow"
+INTERFACE = "interface"  # Req-Rec / Req-Proc / attribution sanity SVAs
+
+CATEGORIES = (INTRA, SPATIAL, TEMPORAL, DATAFLOW, INTERFACE)
+
+
+@dataclass
+class SvaRecord:
+    """One SVA evaluated by the property checker."""
+
+    name: str
+    category: str
+    verdict: Verdict
+    #: dedup signature; hypotheses sharing it share this SVA's verdict
+    signature: Tuple = ()
+
+    @property
+    def proven(self) -> bool:
+        return self.verdict.proven
+
+    @property
+    def time_seconds(self) -> float:
+        return self.verdict.time_seconds
+
+
+@dataclass
+class HbiRecord:
+    """One happens-before invariant included in (or considered for) the
+    final µspec model."""
+
+    category: str            # intra | spatial | temporal | dataflow
+    scope: str               # "local" | "global"
+    i0: str                  # instruction type name or "any"
+    i1: str                  # "" for intra HBIs
+    s0: str                  # state element(s)
+    s1: str
+    stage0: int
+    stage1: int
+    #: "consistent" / "inconsistent" (w.r.t. the reference order),
+    #: "unordered" (serialized, either order), or "none" (intra)
+    order: str = "none"
+    reference: Optional[str] = None
+    proven: bool = True
+    sva_names: Tuple[str, ...] = ()
+
+
+@dataclass
+class PhaseTiming:
+    """Wall-clock per synthesis phase (paper section 6.2)."""
+
+    name: str
+    seconds: float
+
+
+@dataclass
+class SynthesisStats:
+    """Aggregate counters for the Fig. 5 table."""
+
+    sva_count: Dict[str, int] = field(default_factory=dict)
+    sva_time: Dict[str, float] = field(default_factory=dict)
+    hypothesis_count: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    hbi_count: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def record_sva(self, record: SvaRecord) -> None:
+        self.sva_count[record.category] = self.sva_count.get(record.category, 0) + 1
+        self.sva_time[record.category] = \
+            self.sva_time.get(record.category, 0.0) + record.time_seconds
+
+    def record_hypothesis(self, category: str, scope: str, graduated: bool,
+                          count: int = 1) -> None:
+        key = (category, scope)
+        self.hypothesis_count[key] = self.hypothesis_count.get(key, 0) + count
+        if graduated:
+            self.hbi_count[key] = self.hbi_count.get(key, 0) + count
+
+    # ------------------------------------------------------------------
+    def total_svas(self) -> int:
+        return sum(self.sva_count.values())
+
+    def total_sva_time(self) -> float:
+        return sum(self.sva_time.values())
+
+    def fig5_rows(self) -> List[Dict[str, object]]:
+        """Rows matching the paper's Fig. 5 structure."""
+        rows = []
+        for category in CATEGORIES:
+            count = self.sva_count.get(category, 0)
+            time_s = self.sva_time.get(category, 0.0)
+            rows.append({
+                "category": category,
+                "svas": count,
+                "runtime_s": round(time_s, 2),
+                "runtime_per_sva_s": round(time_s / count, 2) if count else 0.0,
+                "hypotheses_local": self.hypothesis_count.get((category, "local"), 0),
+                "hypotheses_global": self.hypothesis_count.get((category, "global"), 0),
+                "hbis_local": self.hbi_count.get((category, "local"), 0),
+                "hbis_global": self.hbi_count.get((category, "global"), 0),
+            })
+        return rows

@@ -1,0 +1,63 @@
+"""Human-readable synthesis reports (Fig. 5-style tables).
+
+Used by the CLI and benchmarks so every consumer renders the same
+table shapes the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from .records import CATEGORIES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .synthesizer import SynthesisResult
+
+#: Paper Fig. 5 reference numbers (multi-V-scale, JasperGold).
+PAPER_FIG5 = {
+    "intra": {"svas": 107, "runtime_s": 354.99, "hypo": 205, "hbi": 177},
+    "spatial": {"svas": 1, "runtime_s": 5.24, "hypo": 144, "hbi": 144},
+    "temporal": {"svas": 13, "runtime_s": 31.08, "hypo": 4821, "hbi": 4778},
+    "dataflow": {"svas": 2, "runtime_s": 15.77, "hypo": 3, "hbi": 3},
+}
+
+
+def fig5_table(result: "SynthesisResult", include_paper: bool = True) -> str:
+    """Render the Fig. 5 table for a synthesis result."""
+    lines: List[str] = []
+    header = (f"{'category':<12}{'SVAs':>6}{'time(s)':>10}{'s/SVA':>8}"
+              f"{'hypo L':>9}{'hypo G':>9}{'HBI L':>8}{'HBI G':>8}")
+    if include_paper:
+        header += f"{'paper SVAs':>12}{'paper s':>10}"
+    lines.append(header)
+    for row in result.stats.fig5_rows():
+        line = (f"{row['category']:<12}{row['svas']:>6}{row['runtime_s']:>10}"
+                f"{row['runtime_per_sva_s']:>8}{row['hypotheses_local']:>9}"
+                f"{row['hypotheses_global']:>9}{row['hbis_local']:>8}"
+                f"{row['hbis_global']:>8}")
+        if include_paper:
+            paper = PAPER_FIG5.get(row["category"], {})
+            line += (f"{paper.get('svas', '-'):>12}"
+                     f"{paper.get('runtime_s', '-'):>10}")
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def full_report(result: "SynthesisResult") -> str:
+    """The complete synthesis report: summary + Fig. 5 + merge plan."""
+    lines = [result.summary(), "", fig5_table(result), ""]
+    lines.append("merged µhb locations:")
+    for location in result.merge_plan.locations:
+        members = result.merge_plan.members[location]
+        stage = result.merge_plan.location_stage[location]
+        kind = result.merge_plan.location_kind[location]
+        lines.append(f"  stage {stage} {location:<12} ({kind}): "
+                     + ", ".join(members))
+    if result.bug_reports:
+        lines.append("")
+        lines.append("REFUTED interface-soundness SVAs (design bugs — see "
+                     "paper section 6.1):")
+        for record in result.bug_reports:
+            lines.append(f"  {record.name} "
+                         f"({record.verdict.time_seconds:.2f}s)")
+    return "\n".join(lines)

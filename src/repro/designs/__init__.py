@@ -1,0 +1,38 @@
+"""Bundled hardware designs: the RISC-V multi-V-scale case study.
+
+The RTL lives in ``rtl/`` as plain SystemVerilog; this package compiles
+it through the ``repro.verilog`` frontend and supplies the rtl2uspec
+design metadata the paper's case study requires.
+"""
+
+from . import isa
+from .loader import (
+    load_unicore,
+    unicore_metadata,
+    FORMAL_CONFIG,
+    FORMAL_CONFIG_4CORE,
+    LW_SW_ENCODINGS,
+    RTL_DIR,
+    SIM_CONFIG,
+    DesignConfig,
+    load_design,
+    load_single_core,
+    multi_vscale_metadata,
+    read_rtl_sources,
+)
+
+__all__ = [
+    "load_unicore",
+    "unicore_metadata",
+    "isa",
+    "DesignConfig",
+    "SIM_CONFIG",
+    "FORMAL_CONFIG",
+    "FORMAL_CONFIG_4CORE",
+    "LW_SW_ENCODINGS",
+    "RTL_DIR",
+    "load_design",
+    "load_single_core",
+    "multi_vscale_metadata",
+    "read_rtl_sources",
+]

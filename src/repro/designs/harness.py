@@ -1,0 +1,107 @@
+"""Simulation harness for the bundled multi-V-scale design.
+
+Wraps :class:`repro.sim.Simulator` with program loading, reset
+sequencing, and architectural-state accessors, so litmus tests and unit
+tests can drive the processor at the ISA level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..sim import Simulator
+from . import isa
+from .loader import SIM_CONFIG, DesignConfig, load_design
+
+
+class MultiVScaleSim:
+    """An executable multi-V-scale: load programs, run, inspect state."""
+
+    def __init__(self, config: DesignConfig = SIM_CONFIG):
+        if config.formal:
+            raise SimulationError(
+                "the formal variant has no instruction memories; use a non-formal config")
+        self.config = config
+        self.netlist = load_design(config)
+        self.sim = Simulator(self.netlist)
+        self._programs: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load_program(self, core: int, words: Sequence[int]) -> None:
+        """Load instruction words at PC 0 of ``core``; the rest of the
+        instruction memory is filled with NOPs."""
+        if not 0 <= core < self.config.num_cores:
+            raise SimulationError(f"core {core} out of range")
+        depth = self.config.imem_depth
+        if len(words) > depth:
+            raise SimulationError(f"program of {len(words)} words exceeds imem depth {depth}")
+        image = {addr: isa.NOP for addr in range(depth)}
+        for addr, word in enumerate(words):
+            image[addr] = word
+        self.sim.load_memory(f"core_gen[{core}].imem_inst.mem", image)
+        self._programs[core] = list(words)
+
+    def load_data(self, values: Dict[int, int]) -> None:
+        """Initialize shared data memory; keys are byte addresses
+        (word-aligned), values the stored words."""
+        image = {}
+        for byte_addr, value in values.items():
+            if byte_addr % 4:
+                raise SimulationError(f"address {byte_addr:#x} is not word-aligned")
+            image[byte_addr >> 2] = value
+        self.sim.load_memory("the_mem.mem", image)
+
+    def set_register(self, core: int, reg: int, value: int) -> None:
+        """Pre-set an architectural register (litmus initial state)."""
+        if reg == 0:
+            if value != 0:
+                raise SimulationError("x0 is hardwired to zero")
+            return
+        self.sim.mems[f"core_gen[{core}].core.regfile"][reg] = \
+            value & ((1 << self.config.xlen) - 1)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def reset(self, cycles: int = 1) -> None:
+        """Apply reset for ``cycles`` cycles then release it."""
+        self.sim.set_input("reset", 1)
+        self.sim.step(cycles)
+        self.sim.set_input("reset", 0)
+
+    def run(self, cycles: int) -> None:
+        self.sim.step(cycles)
+
+    def run_program(self, cycles: Optional[int] = None) -> None:
+        """Reset and run long enough for every loaded program to retire.
+
+        The bound is conservative: every instruction takes one cycle plus
+        a worst-case arbiter stall of ``num_cores`` cycles, plus pipeline
+        drain.
+        """
+        self.reset()
+        if cycles is None:
+            longest = max((len(p) for p in self._programs.values()), default=0)
+            cycles = (longest + 4) * (self.config.num_cores + 1) + 8
+        self.run(cycles)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def reg(self, core: int, reg: int) -> int:
+        """Architectural register value."""
+        if reg == 0:
+            return 0
+        return self.sim.mems[f"core_gen[{core}].core.regfile"][reg]
+
+    def mem(self, byte_addr: int) -> int:
+        """Shared-memory word at a byte address."""
+        if byte_addr % 4:
+            raise SimulationError(f"address {byte_addr:#x} is not word-aligned")
+        return self.sim.mems["the_mem.mem"][byte_addr >> 2]
+
+    def pc(self, core: int) -> int:
+        return self.sim.peek(f"core_gen[{core}].core.PC_IF")

@@ -1,0 +1,119 @@
+"""RV32I instruction encoding helpers for the supported subset.
+
+Used by the litmus-to-program compiler, the simulator harness, and the
+tests. Only the instructions the multi-V-scale implements are encoded:
+``lw``, ``sw``, ``addi``, ``add``, ``lui`` and ``nop``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+OPCODE_LOAD = 0b0000011
+OPCODE_STORE = 0b0100011
+OPCODE_OP_IMM = 0b0010011
+OPCODE_OP = 0b0110011
+OPCODE_LUI = 0b0110111
+
+NOP = 0x00000013  # addi x0, x0, 0
+
+
+def _check_reg(reg: int) -> int:
+    if not 0 <= reg < 32:
+        raise ReproError(f"register x{reg} out of range")
+    return reg
+
+
+def _imm12(value: int) -> int:
+    if not -2048 <= value < 2048:
+        raise ReproError(f"immediate {value} does not fit in 12 bits")
+    return value & 0xFFF
+
+
+def lw(rd: int, rs1: int, imm: int) -> int:
+    """``lw rd, imm(rs1)``"""
+    return (_imm12(imm) << 20) | (_check_reg(rs1) << 15) | (0b010 << 12) \
+        | (_check_reg(rd) << 7) | OPCODE_LOAD
+
+
+def sw(rs2: int, rs1: int, imm: int) -> int:
+    """``sw rs2, imm(rs1)``"""
+    imm = _imm12(imm)
+    imm_hi = (imm >> 5) & 0x7F
+    imm_lo = imm & 0x1F
+    return (imm_hi << 25) | (_check_reg(rs2) << 20) | (_check_reg(rs1) << 15) \
+        | (0b010 << 12) | (imm_lo << 7) | OPCODE_STORE
+
+
+def sw_undefined(rs2: int, rs1: int, imm: int, funct3: int = 0b111) -> int:
+    """A store-shaped encoding with an undefined width field — the
+    instruction class behind the bug in paper section 6.1."""
+    if funct3 == 0b010:
+        raise ReproError("funct3=010 is the defined sw; pick an undefined width")
+    imm = _imm12(imm)
+    imm_hi = (imm >> 5) & 0x7F
+    imm_lo = imm & 0x1F
+    return (imm_hi << 25) | (_check_reg(rs2) << 20) | (_check_reg(rs1) << 15) \
+        | ((funct3 & 0x7) << 12) | (imm_lo << 7) | OPCODE_STORE
+
+
+def addi(rd: int, rs1: int, imm: int) -> int:
+    """``addi rd, rs1, imm``"""
+    return (_imm12(imm) << 20) | (_check_reg(rs1) << 15) | (0b000 << 12) \
+        | (_check_reg(rd) << 7) | OPCODE_OP_IMM
+
+
+def add(rd: int, rs1: int, rs2: int) -> int:
+    """``add rd, rs1, rs2``"""
+    return (_check_reg(rs2) << 20) | (_check_reg(rs1) << 15) | (0b000 << 12) \
+        | (_check_reg(rd) << 7) | OPCODE_OP
+
+
+def lui(rd: int, imm20: int) -> int:
+    """``lui rd, imm20`` (upper-immediate, 20 bits)"""
+    if not 0 <= imm20 < (1 << 20):
+        raise ReproError(f"upper immediate {imm20} does not fit in 20 bits")
+    return (imm20 << 12) | (_check_reg(rd) << 7) | OPCODE_LUI
+
+
+def li(rd: int, value: int) -> int:
+    """Load a small constant: ``addi rd, x0, value`` (12-bit range)."""
+    return addi(rd, 0, value)
+
+
+def decode_fields(word: int) -> dict:
+    """Split an instruction word into its standard fields (for tests
+    and counterexample pretty-printing)."""
+    return {
+        "opcode": word & 0x7F,
+        "rd": (word >> 7) & 0x1F,
+        "funct3": (word >> 12) & 0x7,
+        "rs1": (word >> 15) & 0x1F,
+        "rs2": (word >> 20) & 0x1F,
+        "funct7": (word >> 25) & 0x7F,
+    }
+
+
+def disassemble(word: int) -> str:
+    """Best-effort disassembly of a supported instruction word."""
+    fields = decode_fields(word)
+    opcode, funct3 = fields["opcode"], fields["funct3"]
+    rd, rs1, rs2 = fields["rd"], fields["rs1"], fields["rs2"]
+    if word == NOP:
+        return "nop"
+    if opcode == OPCODE_LOAD and funct3 == 0b010:
+        imm = (word >> 20) & 0xFFF
+        return f"lw x{rd}, {imm}(x{rs1})"
+    if opcode == OPCODE_STORE:
+        imm = (((word >> 25) & 0x7F) << 5) | ((word >> 7) & 0x1F)
+        if funct3 == 0b010:
+            return f"sw x{rs2}, {imm}(x{rs1})"
+        return f"sw.undef[funct3={funct3:03b}] x{rs2}, {imm}(x{rs1})"
+    if opcode == OPCODE_OP_IMM and funct3 == 0b000:
+        imm = (word >> 20) & 0xFFF
+        return f"addi x{rd}, x{rs1}, {imm}"
+    if opcode == OPCODE_OP and funct3 == 0b000:
+        return f"add x{rd}, x{rs1}, x{rs2}"
+    if opcode == OPCODE_LUI:
+        return f"lui x{rd}, {(word >> 12) & 0xFFFFF}"
+    return f".word 0x{word:08x}"

@@ -1,0 +1,215 @@
+"""Design loading: compile the bundled multi-V-scale RTL into netlists.
+
+A :class:`DesignConfig` selects parameters (core count, data width,
+memory depths) and variants (``formal`` cuts the instruction memories
+into free inputs; ``buggy`` selects the section-6.1 decoder bug). The
+companion :func:`multi_vscale_metadata` builds the rtl2uspec design
+metadata for any configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..core.metadata import DesignMetadata, InstructionEncoding, RequestResponseInterface
+from ..netlist import Netlist
+from ..verilog import compile_verilog
+
+RTL_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "rtl")
+
+_RTL_FILES = ("vscale_core.v", "imem.v", "arbiter.v", "dmem.v", "multi_vscale.v")
+
+
+@dataclass(frozen=True)
+class DesignConfig:
+    """Parameter/variant selection for the bundled multi-V-scale."""
+
+    num_cores: int = 4
+    xlen: int = 32
+    pc_width: int = 6
+    dmem_addr_width: int = 4
+    formal: bool = False     # replace instruction memories with free inputs
+    buggy: bool = False      # select the section-6.1 decoder bug
+    mcm_buggy: bool = False  # select the stale-read memory bug (MCM violation)
+
+    @property
+    def core_id_width(self) -> int:
+        return max(1, (self.num_cores - 1).bit_length())
+
+    @property
+    def dmem_depth(self) -> int:
+        return 1 << self.dmem_addr_width
+
+    @property
+    def imem_depth(self) -> int:
+        return 1 << self.pc_width
+
+    def with_variant(self, formal: Optional[bool] = None,
+                     buggy: Optional[bool] = None,
+                     mcm_buggy: Optional[bool] = None) -> "DesignConfig":
+        """Derive a config differing only in variant flags."""
+        return replace(
+            self,
+            formal=self.formal if formal is None else formal,
+            buggy=self.buggy if buggy is None else buggy,
+            mcm_buggy=self.mcm_buggy if mcm_buggy is None else mcm_buggy,
+        )
+
+
+#: Full-scale configuration used for simulation and litmus runs.
+SIM_CONFIG = DesignConfig()
+
+#: Width-reduced configuration used for formal property checks (the
+#: data-width abstraction documented in DESIGN.md): ordering behaviour is
+#: unchanged, the SAT problems shrink dramatically.
+FORMAL_CONFIG = DesignConfig(num_cores=2, xlen=8, pc_width=4,
+                             dmem_addr_width=2, formal=True)
+
+#: Formal configuration with all four cores (slower; used by the larger
+#: benchmark runs).
+FORMAL_CONFIG_4CORE = DesignConfig(num_cores=4, xlen=8, pc_width=4,
+                                   dmem_addr_width=2, formal=True)
+
+
+def read_rtl_sources() -> str:
+    """Concatenate the bundled RTL source files."""
+    chunks = []
+    for fname in _RTL_FILES:
+        with open(os.path.join(RTL_DIR, fname), "r", encoding="utf-8") as handle:
+            chunks.append(handle.read())
+    return "\n".join(chunks)
+
+
+def load_design(config: DesignConfig = SIM_CONFIG) -> Netlist:
+    """Compile the multi-V-scale with the given configuration."""
+    defines: Dict[str, str] = {}
+    if config.formal:
+        defines["FORMAL"] = "1"
+    if config.buggy:
+        defines["BUG"] = "1"
+    if config.mcm_buggy:
+        defines["MCM_BUG"] = "1"
+    params = {
+        "NCORES": config.num_cores,
+        "XLEN": config.xlen,
+        "PC_WIDTH": config.pc_width,
+        "DMEM_ADDR_WIDTH": config.dmem_addr_width,
+        "CORE_ID_WIDTH": config.core_id_width,
+    }
+    return compile_verilog(read_rtl_sources(), "multi_vscale",
+                           params=params, defines=defines)
+
+
+def load_single_core(config: DesignConfig = SIM_CONFIG) -> Netlist:
+    """Compile a single V-scale core in isolation (paper Fig. 3a/5.1
+    single-core statistics)."""
+    defines: Dict[str, str] = {"BUG": "1"} if config.buggy else {}
+    params = {
+        "XLEN": config.xlen,
+        "PC_WIDTH": config.pc_width,
+        "DMEM_ADDR_WIDTH": config.dmem_addr_width,
+    }
+    with open(os.path.join(RTL_DIR, "vscale_core.v"), "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return compile_verilog(source, "vscale_core", params=params, defines=defines)
+
+
+#: Standard rtl2uspec instruction encodings for MCM verification: the
+#: paper's case study models sw (ID 0) and lw (ID 1) only.
+LW_SW_ENCODINGS = [
+    InstructionEncoding("sw", match=0b0100011 | (0b010 << 12),
+                        mask=0x7F | (0x7 << 12), is_write=True),
+    InstructionEncoding("lw", match=0b0000011 | (0b010 << 12),
+                        mask=0x7F | (0x7 << 12), is_read=True),
+]
+
+
+def multi_vscale_metadata(config: DesignConfig = SIM_CONFIG) -> DesignMetadata:
+    """The designer-supplied metadata for the bundled multi-V-scale
+    (paper sections 4.2.1 and 4.3.4)."""
+    core = "core_gen[{core}].core."
+    iface = RequestResponseInterface(
+        resource="the_mem.mem",
+        core_req_valid=core + "dmem_req_valid",
+        core_req_sent=core + "dmem_req_fire",
+        core_req_write=core + "dmem_req_write",
+        core_req_addr=core + "dmem_req_addr",
+        core_req_data=core + "dmem_req_data",
+        mem_req_valid="mem_req_valid",
+        mem_req_write="mem_req_write",
+        mem_req_addr="mem_req_addr",
+        mem_req_data="mem_req_data",
+        mem_req_core="mem_req_core",
+        proc_valid="the_mem.r_valid",
+        proc_write="the_mem.r_write",
+        proc_addr="the_mem.r_addr",
+        proc_core="the_mem.r_core",
+        resp_valid="resp_valid",
+        resp_data="resp_data",
+    )
+    return DesignMetadata(
+        ifr=core + "inst_DX",
+        pcr=[core + "PC_DX", core + "PC_WB"],
+        im_pc=core + "PC_IF",
+        num_cores=config.num_cores,
+        encodings=list(LW_SW_ENCODINGS),
+        interfaces=[iface],
+        shared_prefixes=["the_mem.", "arb.", "mem_req_", "resp_"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Second case study: the "unicore" (a single-core 3-stage machine with
+# different structure and naming; see rtl/unicore.v).
+# ---------------------------------------------------------------------------
+
+def load_unicore(xlen: int = 16, pcw: int = 4, aw: int = 3,
+                 formal: bool = False) -> Netlist:
+    """Compile the unicore design. The default variant has a real fetch
+    store (``istore``) for simulation and DFG extraction; ``formal=True``
+    cuts instruction fetch into a free input for property checking."""
+    with open(os.path.join(RTL_DIR, "unicore.v"), "r", encoding="utf-8") as handle:
+        source = handle.read()
+    defines = {"FORMAL": "1"} if formal else {}
+    return compile_verilog(source, "unicore", defines=defines,
+                           params={"XLEN": xlen, "PCW": pcw, "AW": aw})
+
+
+def unicore_metadata() -> DesignMetadata:
+    """Designer metadata for the unicore (paper sections 4.2.1/4.3.4)."""
+    iface = RequestResponseInterface(
+        resource="dstore.cells",
+        core_req_valid="mq_valid",
+        core_req_sent="mq_fire",
+        core_req_write="mq_write",
+        core_req_addr="mq_addr",
+        core_req_data="mq_data",
+        mem_req_valid="mq_valid",
+        mem_req_write="mq_write",
+        mem_req_addr="mq_addr",
+        mem_req_data="mq_data",
+        mem_req_core="dstore.q_src",
+        proc_valid="dstore.p_valid",
+        proc_write="dstore.p_write",
+        proc_addr="dstore.p_addr",
+        proc_core="dstore.p_src",
+        resp_valid="ma_valid",
+        resp_data="ma_data",
+    )
+    encodings = [
+        InstructionEncoding("sw", match=0b0100011 | (0b010 << 12),
+                            mask=0x7F | (0x7 << 12), is_write=True),
+        InstructionEncoding("lw", match=0b0000011 | (0b010 << 12),
+                            mask=0x7F | (0x7 << 12), is_read=True),
+    ]
+    return DesignMetadata(
+        ifr="ir_de",
+        pcr=["pc_de", "pc_cm"],
+        im_pc="fetch_pc",
+        num_cores=1,
+        encodings=encodings,
+        interfaces=[iface],
+        shared_prefixes=["dstore."],
+    )

@@ -1,0 +1,32 @@
+"""Shipped reference artifacts: the synthesized µspec model.
+
+``multi_vscale.uarch`` is the output of a full rtl2uspec run on the
+bundled multi-V-scale (regenerate with ``examples/full_verification.py``
+or ``python -m repro synth``). Shipping it lets the litmus verifier,
+examples and tests run instantly without repeating the minutes-long
+synthesis, mirroring the paper's amortization argument (Fig. 6a).
+"""
+
+import os
+
+from ...uspec import Model, parse_model
+
+_MODELS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def load_reference_model() -> Model:
+    """Parse the shipped multi-V-scale µspec model."""
+    path = os.path.join(_MODELS_DIR, "multi_vscale.uarch")
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_model(handle.read(), name="multi_vscale")
+
+
+def load_unmerged_model() -> Model:
+    """Parse the no-node-merging ablation model (section 4.4), emitted
+    from the same proven HBIs as the reference model."""
+    path = os.path.join(_MODELS_DIR, "multi_vscale_unmerged.uarch")
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_model(handle.read(), name="multi_vscale_unmerged")
+
+
+__all__ = ["load_reference_model", "load_unmerged_model"]

@@ -1,0 +1,76 @@
+// Round-robin arbiter connecting all cores to the single shared data
+// memory. One core's request is accepted per cycle; concurrent requesters
+// are stalled (paper section 5.1). The granted request is forwarded to
+// the memory tagged with the issuing core's ID — the 2-bit-per-request
+// tagging the paper added to support rtl2uspec's request-response
+// interface metadata (section 4.3.4).
+
+module arbiter #(
+    parameter NCORES = 4,
+    parameter XLEN = 32,
+    parameter ADDR_WIDTH = 4,
+    parameter CORE_ID_WIDTH = 2
+) (
+    input  wire clk,
+    input  wire reset,
+    // Per-core request buses (flattened).
+    input  wire [NCORES-1:0] core_req_valid,
+    input  wire [NCORES-1:0] core_req_write,
+    input  wire [NCORES*ADDR_WIDTH-1:0] core_req_addr_flat,
+    input  wire [NCORES*XLEN-1:0] core_req_data_flat,
+    output wire [NCORES-1:0] core_req_ready,
+    // Granted request, towards the shared memory.
+    output wire mem_req_valid,
+    output wire mem_req_write,
+    output wire [ADDR_WIDTH-1:0] mem_req_addr,
+    output wire [XLEN-1:0] mem_req_data,
+    output wire [CORE_ID_WIDTH-1:0] mem_req_core
+);
+
+    // rr_ptr names the highest-priority core for the current cycle.
+    reg [CORE_ID_WIDTH-1:0] rr_ptr;
+
+    reg grant_any;
+    reg [CORE_ID_WIDTH-1:0] grant_idx;
+    integer k;
+
+    always @(*) begin
+        grant_any = 1'b0;
+        grant_idx = {CORE_ID_WIDTH{1'b0}};
+        // Scan from lowest to highest priority; the final (blocking)
+        // assignment wins, so the highest-priority requester is granted.
+        for (k = NCORES - 1; k >= 0; k = k - 1) begin
+            if (core_req_valid[(rr_ptr + k < NCORES) ? (rr_ptr + k) : (rr_ptr + k - NCORES)]) begin
+                grant_any = 1'b1;
+                grant_idx = (rr_ptr + k < NCORES) ? (rr_ptr + k) : (rr_ptr + k - NCORES);
+            end
+        end
+    end
+
+    assign core_req_ready = grant_any
+        ? ({{(NCORES-1){1'b0}}, 1'b1} << grant_idx)
+        : {NCORES{1'b0}};
+
+    // Forward the granted core's request.
+    wire [NCORES*ADDR_WIDTH-1:0] addr_shifted;
+    wire [NCORES*XLEN-1:0] data_shifted;
+    assign addr_shifted = core_req_addr_flat >> (grant_idx * ADDR_WIDTH);
+    assign data_shifted = core_req_data_flat >> (grant_idx * XLEN);
+
+    assign mem_req_valid = grant_any;
+    assign mem_req_write = grant_any && core_req_write[grant_idx];
+    assign mem_req_addr = addr_shifted[ADDR_WIDTH-1:0];
+    assign mem_req_data = data_shifted[XLEN-1:0];
+    assign mem_req_core = grant_idx;
+
+    // Advance the priority pointer past the granted core.
+    always @(posedge clk) begin
+        if (reset) begin
+            rr_ptr <= {CORE_ID_WIDTH{1'b0}};
+        end else if (grant_any) begin
+            rr_ptr <= (grant_idx == NCORES - 1) ? {CORE_ID_WIDTH{1'b0}}
+                                                : (grant_idx + 1'b1);
+        end
+    end
+
+endmodule

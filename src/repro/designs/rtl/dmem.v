@@ -1,0 +1,78 @@
+// Shared, pipelined data memory. Accepts one (already arbitrated)
+// request per cycle: the request is latched into the r_* buffer on the
+// clock edge; a write commits to the array on the following edge, and a
+// read's data is presented combinationally during the following cycle —
+// exactly when the issuing core's load sits in its WB stage.
+//
+// The r_core tag travels with the request (the per-request core-ID
+// tagging described in the paper, section 5.1) so verification monitors
+// can attribute memory-side events to cores.
+
+module dmem #(
+    parameter XLEN = 32,
+    parameter ADDR_WIDTH = 4,
+    parameter CORE_ID_WIDTH = 2
+) (
+    input  wire clk,
+    input  wire reset,
+    input  wire req_valid,
+    input  wire req_write,
+    input  wire [ADDR_WIDTH-1:0] req_addr,
+    input  wire [XLEN-1:0] req_data,
+    input  wire [CORE_ID_WIDTH-1:0] req_core,
+    output wire resp_valid,
+    output wire [XLEN-1:0] resp_data,
+    output wire [CORE_ID_WIDTH-1:0] resp_core
+);
+
+    reg [XLEN-1:0] mem [0:(1<<ADDR_WIDTH)-1];
+
+    // One-deep request pipeline buffer.
+    reg r_valid;
+    reg r_write;
+    reg [ADDR_WIDTH-1:0] r_addr;
+    reg [XLEN-1:0] r_data;
+    reg [CORE_ID_WIDTH-1:0] r_core;
+
+    always @(posedge clk) begin
+        if (reset) begin
+            r_valid <= 1'b0;
+            r_write <= 1'b0;
+            r_addr <= {ADDR_WIDTH{1'b0}};
+            r_data <= {XLEN{1'b0}};
+            r_core <= {CORE_ID_WIDTH{1'b0}};
+        end else begin
+            r_valid <= req_valid;
+            r_write <= req_write;
+            r_addr <= req_addr;
+            r_data <= req_data;
+            r_core <= req_core;
+        end
+    end
+
+    always @(posedge clk) begin
+        if (r_valid && r_write) begin
+            mem[r_addr] <= r_data;
+        end
+    end
+
+    assign resp_valid = r_valid && !r_write;
+`ifdef MCM_BUG
+    // MCM BUG variant: the read data is sampled one slot early, at the
+    // *request* cycle instead of the processing cycle — a load can miss
+    // the in-flight write it should observe (stale reads break
+    // coherence and SC). This violates the functional-correctness
+    // assumption of paper section 4.3.6, which the reproduction's
+    // interface sanity SVA checks explicitly.
+    reg [XLEN-1:0] early_data;
+    always @(posedge clk) begin
+        if (reset) early_data <= {XLEN{1'b0}};
+        else early_data <= mem[req_addr];
+    end
+    assign resp_data = early_data;
+`else
+    assign resp_data = mem[r_addr];
+`endif
+    assign resp_core = r_core;
+
+endmodule

@@ -1,0 +1,19 @@
+// Per-core instruction memory with a combinational read port.
+//
+// The paper's case study (section 5.1) splits the original V-scale's
+// unified memory into distinct instruction and data memory modules so the
+// netlist frontend recognizes the data memory as an addressable array;
+// this design is born split. Contents are loaded by the test harness
+// (simulation) or left symbolic / replaced by free inputs (formal).
+
+module imem #(
+    parameter PC_WIDTH = 6
+) (
+    input  wire [PC_WIDTH-1:0] addr,
+    output wire [31:0] rdata
+);
+
+    reg [31:0] mem [0:(1<<PC_WIDTH)-1];
+    assign rdata = mem[addr];
+
+endmodule

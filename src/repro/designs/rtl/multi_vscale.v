@@ -1,0 +1,112 @@
+// multi-V-scale top level: NCORES in-order V-scale cores, a round-robin
+// arbiter, and one shared pipelined data memory (paper section 5.1).
+//
+// `define FORMAL replaces the per-core instruction memories with free
+// top-level inputs, so the property checker can treat the fetched
+// instruction stream as symbolic (constrained only by SVA assumptions) —
+// the same effect the paper obtains from JasperGold assumptions on the
+// instruction fetch register.
+
+module multi_vscale #(
+    parameter NCORES = 4,
+    parameter XLEN = 32,
+    parameter PC_WIDTH = 6,
+    parameter DMEM_ADDR_WIDTH = 4,
+    parameter CORE_ID_WIDTH = 2
+) (
+    input  wire clk,
+    input  wire reset
+`ifdef FORMAL
+    , input wire [NCORES*32-1:0] imem_rdata_flat
+`endif
+);
+
+    wire [NCORES-1:0] req_valid;
+    wire [NCORES-1:0] req_write;
+    wire [NCORES*DMEM_ADDR_WIDTH-1:0] req_addr_flat;
+    wire [NCORES*XLEN-1:0] req_data_flat;
+    wire [NCORES-1:0] req_ready;
+
+    wire mem_req_valid;
+    wire mem_req_write;
+    wire [DMEM_ADDR_WIDTH-1:0] mem_req_addr;
+    wire [XLEN-1:0] mem_req_data;
+    wire [CORE_ID_WIDTH-1:0] mem_req_core;
+
+    wire resp_valid;
+    wire [XLEN-1:0] resp_data;
+    wire [CORE_ID_WIDTH-1:0] resp_core;
+
+    genvar i;
+    generate
+        for (i = 0; i < NCORES; i = i + 1) begin : core_gen
+            wire [PC_WIDTH-1:0] imem_addr;
+            wire [31:0] imem_rdata;
+
+`ifdef FORMAL
+            assign imem_rdata = imem_rdata_flat[i*32 +: 32];
+`else
+            imem #(.PC_WIDTH(PC_WIDTH)) imem_inst (
+                .addr(imem_addr),
+                .rdata(imem_rdata)
+            );
+`endif
+
+            vscale_core #(
+                .XLEN(XLEN),
+                .PC_WIDTH(PC_WIDTH),
+                .DMEM_ADDR_WIDTH(DMEM_ADDR_WIDTH)
+            ) core (
+                .clk(clk),
+                .reset(reset),
+                .imem_addr(imem_addr),
+                .imem_rdata(imem_rdata),
+                .dmem_req_valid(req_valid[i]),
+                .dmem_req_write(req_write[i]),
+                .dmem_req_addr(req_addr_flat[i*DMEM_ADDR_WIDTH +: DMEM_ADDR_WIDTH]),
+                .dmem_req_data(req_data_flat[i*XLEN +: XLEN]),
+                .dmem_req_ready(req_ready[i]),
+                .dmem_resp_valid(resp_valid),
+                .dmem_resp_data(resp_data)
+            );
+        end
+    endgenerate
+
+    arbiter #(
+        .NCORES(NCORES),
+        .XLEN(XLEN),
+        .ADDR_WIDTH(DMEM_ADDR_WIDTH),
+        .CORE_ID_WIDTH(CORE_ID_WIDTH)
+    ) arb (
+        .clk(clk),
+        .reset(reset),
+        .core_req_valid(req_valid),
+        .core_req_write(req_write),
+        .core_req_addr_flat(req_addr_flat),
+        .core_req_data_flat(req_data_flat),
+        .core_req_ready(req_ready),
+        .mem_req_valid(mem_req_valid),
+        .mem_req_write(mem_req_write),
+        .mem_req_addr(mem_req_addr),
+        .mem_req_data(mem_req_data),
+        .mem_req_core(mem_req_core)
+    );
+
+    dmem #(
+        .XLEN(XLEN),
+        .ADDR_WIDTH(DMEM_ADDR_WIDTH),
+        .CORE_ID_WIDTH(CORE_ID_WIDTH)
+    ) the_mem (
+        .clk(clk),
+        .reset(reset),
+        .req_valid(mem_req_valid),
+        .req_write(mem_req_write),
+        .req_addr(mem_req_addr),
+        .req_data(mem_req_data),
+        .req_core(mem_req_core),
+        .resp_valid(resp_valid),
+        .resp_data(resp_data),
+        .resp_core(resp_core)
+    );
+
+endmodule

@@ -1,0 +1,202 @@
+// A second case study: "unicore" — a single-core, 3-stage scalar
+// machine with entirely different module/signal naming from the
+// multi-V-scale, demonstrating that rtl2uspec's inputs are just a
+// Verilog design plus metadata (IFR / PCR / IM_PC / interface), not
+// anything specific to the V-scale.
+//
+// Pipeline: FE (fetch) -> DE (decode/execute) -> CM (commit).
+// Memory requests issue from DE to a private single-ported memory unit
+// that always accepts and responds one cycle later (during CM).
+
+module unicore_mem #(
+    parameter XLEN = 16,
+    parameter AW = 3
+) (
+    input  wire clk,
+    input  wire reset,
+    input  wire q_valid,
+    input  wire q_write,
+    input  wire [AW-1:0] q_addr,
+    input  wire [XLEN-1:0] q_data,
+    input  wire q_src,
+    output wire a_valid,
+    output wire [XLEN-1:0] a_data,
+    output wire a_src
+);
+
+    reg [XLEN-1:0] cells [0:(1<<AW)-1];
+
+    reg p_valid;
+    reg p_write;
+    reg [AW-1:0] p_addr;
+    reg [XLEN-1:0] p_data;
+    reg p_src;
+
+    always @(posedge clk) begin
+        if (reset) begin
+            p_valid <= 1'b0;
+            p_write <= 1'b0;
+            p_addr <= {AW{1'b0}};
+            p_data <= {XLEN{1'b0}};
+            p_src <= 1'b0;
+        end else begin
+            p_valid <= q_valid;
+            p_write <= q_write;
+            p_addr <= q_addr;
+            p_data <= q_data;
+            p_src <= q_src;
+        end
+    end
+
+    always @(posedge clk) begin
+        if (p_valid && p_write) begin
+            cells[p_addr] <= p_data;
+        end
+    end
+
+    assign a_valid = p_valid && !p_write;
+    assign a_data = cells[p_addr];
+    assign a_src = p_src;
+
+endmodule
+
+module unicore #(
+    parameter XLEN = 16,
+    parameter PCW = 4,
+    parameter AW = 3
+) (
+    input  wire clk,
+    input  wire reset
+`ifdef FORMAL
+    , input wire [31:0] fetch_word
+`endif
+);
+
+    localparam NOP = 32'h00000013;
+    localparam OPCODE_LOAD  = 7'b0000011;
+    localparam OPCODE_STORE = 7'b0100011;
+    localparam OPCODE_OP_IMM = 7'b0010011;
+
+    // FE stage: the fetch PC (IM_PC analogue) and the fetch store.
+    reg [PCW-1:0] fetch_pc;
+`ifndef FORMAL
+    reg [31:0] istore [0:(1<<PCW)-1];
+    wire [31:0] fetch_word;
+    assign fetch_word = istore[fetch_pc];
+`endif
+
+    // DE stage: instruction register (the IFR) and its PC (PCR[0]).
+    reg [31:0] ir_de;
+    reg [PCW-1:0] pc_de;
+
+    wire [6:0] opc;
+    wire [2:0] fn3;
+    wire [4:0] srcA;
+    wire [4:0] srcB;
+    wire [4:0] dst;
+    assign opc = ir_de[6:0];
+    assign fn3 = ir_de[14:12];
+    assign srcA = ir_de[19:15];
+    assign srcB = ir_de[24:20];
+    assign dst = ir_de[11:7];
+
+    wire de_load;
+    wire de_store;
+    wire de_alu;
+    assign de_load = (opc == OPCODE_LOAD) && (fn3 == 3'b010);
+    assign de_store = (opc == OPCODE_STORE) && (fn3 == 3'b010);
+    assign de_alu = (opc == OPCODE_OP_IMM) && (fn3 == 3'b000);
+
+    reg [XLEN-1:0] gpr [0:31];
+    wire [XLEN-1:0] opA;
+    wire [XLEN-1:0] opB;
+    wire [XLEN-1:0] cm_value;
+    wire fwdA;
+    wire fwdB;
+
+    // CM-stage registers (PCR[1] and commit metadata).
+    reg [PCW-1:0] pc_cm;
+    reg [4:0] dst_cm;
+    reg ld_cm;
+    reg wr_cm;
+    reg [XLEN-1:0] res_cm;
+
+    assign fwdA = wr_cm && (dst_cm == srcA) && (srcA != 5'd0);
+    assign fwdB = wr_cm && (dst_cm == srcB) && (srcB != 5'd0);
+    assign opA = fwdA ? cm_value : ((srcA == 5'd0) ? {XLEN{1'b0}} : gpr[srcA]);
+    assign opB = fwdB ? cm_value : ((srcB == 5'd0) ? {XLEN{1'b0}} : gpr[srcB]);
+
+    wire [XLEN-1:0] imm;
+    wire [XLEN-1:0] simm;
+    assign imm = {{(XLEN-12){ir_de[31]}}, ir_de[31:20]};
+    assign simm = {{(XLEN-12){ir_de[31]}}, ir_de[31:25], ir_de[11:7]};
+
+    wire [XLEN-1:0] ea;
+    assign ea = opA + (de_store ? simm : imm);
+
+    // Memory unit interface (always ready; src tag for monitors).
+    wire mq_valid;
+    wire mq_write;
+    wire [AW-1:0] mq_addr;
+    wire [XLEN-1:0] mq_data;
+    wire mq_fire;
+    wire ma_valid;
+    wire [XLEN-1:0] ma_data;
+    wire ma_src;
+
+    assign mq_valid = de_load || de_store;
+    assign mq_write = de_store;
+    assign mq_addr = ea[AW+1:2];
+    assign mq_data = opB;
+    assign mq_fire = mq_valid;
+
+    unicore_mem #(.XLEN(XLEN), .AW(AW)) dstore (
+        .clk(clk),
+        .reset(reset),
+        .q_valid(mq_valid),
+        .q_write(mq_write),
+        .q_addr(mq_addr),
+        .q_data(mq_data),
+        .q_src(1'b0),
+        .a_valid(ma_valid),
+        .a_data(ma_data),
+        .a_src(ma_src)
+    );
+
+    always @(posedge clk) begin
+        if (reset) begin
+            fetch_pc <= {PCW{1'b0}};
+            pc_de <= {PCW{1'b0}};
+            ir_de <= NOP;
+        end else begin
+            fetch_pc <= fetch_pc + 1'b1;
+            pc_de <= fetch_pc;
+            ir_de <= fetch_word;
+        end
+    end
+
+    always @(posedge clk) begin
+        if (reset) begin
+            pc_cm <= {PCW{1'b0}};
+            dst_cm <= 5'd0;
+            ld_cm <= 1'b0;
+            wr_cm <= 1'b0;
+            res_cm <= {XLEN{1'b0}};
+        end else begin
+            pc_cm <= pc_de;
+            dst_cm <= dst;
+            ld_cm <= de_load;
+            wr_cm <= (de_load || de_alu) && (dst != 5'd0);
+            res_cm <= opA + imm;
+        end
+    end
+
+    assign cm_value = ld_cm ? ma_data : res_cm;
+
+    always @(posedge clk) begin
+        if (wr_cm) begin
+            gpr[dst_cm] <= cm_value;
+        end
+    end
+
+endmodule

@@ -1,0 +1,209 @@
+// One core of the multi-V-scale: a 3-stage in-order pipeline (IF -> DX -> WB)
+// implementing the RV32I subset needed for MCM litmus testing (lw, sw, addi,
+// add, lui; everything else retires as a no-op in the fixed design).
+//
+// Structure follows the RISC-V V-scale described in the rtl2uspec paper
+// (MICRO'21, Fig. 3a): the instruction fetch register is `inst_DX`, the
+// per-stage program counters are `PC_DX` (PCR[0], same stage as the IFR)
+// and `PC_WB` (PCR[1]), and `PC_IF` is the instruction-memory PC (IM_PC).
+// Memory instructions issue a request to the shared-memory arbiter from DX
+// and stall there until granted; the pipelined memory responds during the
+// instruction's WB cycle.
+//
+// `define BUG selects the decoder bug studied in the paper's section 6.1:
+// any instruction with the STORE opcode updates memory, even when its
+// funct3 width field is undefined (e.g. 3'b111). The fixed decoder only
+// recognizes funct3 == 3'b010 (sw) and squashes everything else.
+
+module vscale_core #(
+    parameter XLEN = 32,
+    parameter PC_WIDTH = 6,
+    parameter DMEM_ADDR_WIDTH = 4
+) (
+    input  wire clk,
+    input  wire reset,
+    // Instruction fetch interface (combinational instruction memory).
+    output wire [PC_WIDTH-1:0] imem_addr,
+    input  wire [31:0] imem_rdata,
+    // Data memory request interface, towards the arbiter.
+    output wire dmem_req_valid,
+    output wire dmem_req_write,
+    output wire [DMEM_ADDR_WIDTH-1:0] dmem_req_addr,
+    output wire [XLEN-1:0] dmem_req_data,
+    input  wire dmem_req_ready,
+    // Data memory response interface (broadcast from the shared memory).
+    input  wire dmem_resp_valid,
+    input  wire [XLEN-1:0] dmem_resp_data
+);
+
+    localparam NOP = 32'h00000013;  // addi x0, x0, 0
+
+    localparam OPCODE_LOAD   = 7'b0000011;
+    localparam OPCODE_STORE  = 7'b0100011;
+    localparam OPCODE_OP_IMM = 7'b0010011;
+    localparam OPCODE_OP     = 7'b0110011;
+    localparam OPCODE_LUI    = 7'b0110111;
+
+    // ------------------------------------------------------------------
+    // IF stage: PC_IF indexes the instruction memory (IM_PC).
+    // ------------------------------------------------------------------
+    reg [PC_WIDTH-1:0] PC_IF;
+    assign imem_addr = PC_IF;
+
+    // ------------------------------------------------------------------
+    // DX stage registers: the IFR (inst_DX) and PCR[0] (PC_DX).
+    // ------------------------------------------------------------------
+    reg [31:0] inst_DX;
+    reg [PC_WIDTH-1:0] PC_DX;
+
+    // Decode.
+    wire [6:0] opcode;
+    wire [2:0] funct3;
+    wire [6:0] funct7;
+    wire [4:0] rs1;
+    wire [4:0] rs2;
+    wire [4:0] rd;
+    assign opcode = inst_DX[6:0];
+    assign funct3 = inst_DX[14:12];
+    assign funct7 = inst_DX[31:25];
+    assign rs1 = inst_DX[19:15];
+    assign rs2 = inst_DX[24:20];
+    assign rd  = inst_DX[11:7];
+
+    wire is_lw;
+    wire is_sw;
+    wire is_addi;
+    wire is_add;
+    wire is_lui;
+    wire writes_rf;
+    wire is_mem;
+
+    assign is_lw = (opcode == OPCODE_LOAD) && (funct3 == 3'b010);
+`ifdef BUG
+    // BUG (paper section 6.1): the width field is not decoded, so an
+    // undefined store encoding (e.g. funct3 == 3'b111) updates memory.
+    assign is_sw = (opcode == OPCODE_STORE);
+`else
+    assign is_sw = (opcode == OPCODE_STORE) && (funct3 == 3'b010);
+`endif
+    assign is_addi = (opcode == OPCODE_OP_IMM) && (funct3 == 3'b000);
+    assign is_add = (opcode == OPCODE_OP) && (funct3 == 3'b000) && (funct7 == 7'b0000000);
+    assign is_lui = (opcode == OPCODE_LUI);
+    assign writes_rf = is_lw || is_addi || is_add || is_lui;
+    assign is_mem = is_lw || is_sw;
+
+    // Register file: 32 x XLEN, combinational read, written from WB.
+    // A WB->DX bypass network resolves the read-after-write hazard of
+    // the 3-stage pipeline (the V-scale forwards its WB value).
+    reg [XLEN-1:0] regfile [0:31];
+    wire [XLEN-1:0] wb_value;
+    wire bypass_rs1;
+    wire bypass_rs2;
+    wire [XLEN-1:0] rs1_data;
+    wire [XLEN-1:0] rs2_data;
+    assign bypass_rs1 = wen_WB && (rd_WB == rs1) && (rs1 != 5'd0);
+    assign bypass_rs2 = wen_WB && (rd_WB == rs2) && (rs2 != 5'd0);
+    assign rs1_data = bypass_rs1 ? wb_value
+                    : ((rs1 == 5'd0) ? {XLEN{1'b0}} : regfile[rs1]);
+    assign rs2_data = bypass_rs2 ? wb_value
+                    : ((rs2 == 5'd0) ? {XLEN{1'b0}} : regfile[rs2]);
+
+    // Immediates (sign-extended when XLEN allows; truncated on the
+    // width-reduced formal configuration, which only exercises small
+    // immediates anyway).
+    wire [11:0] imm_i;
+    wire [11:0] imm_s;
+    assign imm_i = inst_DX[31:20];
+    assign imm_s = {inst_DX[31:25], inst_DX[11:7]};
+    wire [XLEN-1:0] imm_i_ext;
+    wire [XLEN-1:0] imm_s_ext;
+    generate
+        if (XLEN >= 13) begin : imm_wide
+            assign imm_i_ext = {{(XLEN-12){imm_i[11]}}, imm_i};
+            assign imm_s_ext = {{(XLEN-12){imm_s[11]}}, imm_s};
+        end else begin : imm_narrow
+            assign imm_i_ext = imm_i[XLEN-1:0];
+            assign imm_s_ext = imm_s[XLEN-1:0];
+        end
+    endgenerate
+    wire [XLEN-1:0] imm_u_ext;
+    assign imm_u_ext = {inst_DX[31:12], 12'b000000000000};
+
+    // Execute.
+    wire [XLEN-1:0] alu_out;
+    assign alu_out = is_add ? (rs1_data + rs2_data)
+                   : (is_lui ? imm_u_ext
+                   : (is_sw ? (rs1_data + imm_s_ext)
+                            : (rs1_data + imm_i_ext)));
+
+    // Data memory request (word-addressed).
+    assign dmem_req_valid = is_mem;
+    assign dmem_req_write = is_sw;
+    assign dmem_req_addr = alu_out[DMEM_ADDR_WIDTH+1:2];
+    assign dmem_req_data = rs2_data;
+
+    // A memory instruction holds DX (and upstream IF) until the arbiter
+    // grants its request; everything else flows freely.
+    wire stall_DX;
+    assign stall_DX = is_mem && !dmem_req_ready;
+
+    // Request-accepted strobe, exposed for verification monitors.
+    wire dmem_req_fire;
+    assign dmem_req_fire = dmem_req_valid && dmem_req_ready;
+
+    always @(posedge clk) begin
+        if (reset) begin
+            PC_IF <= {PC_WIDTH{1'b0}};
+            PC_DX <= {PC_WIDTH{1'b0}};
+            inst_DX <= NOP;
+        end else if (!stall_DX) begin
+            PC_IF <= PC_IF + 1'b1;
+            PC_DX <= PC_IF;
+            inst_DX <= imem_rdata;
+        end
+    end
+
+    // ------------------------------------------------------------------
+    // WB stage registers: PCR[1] (PC_WB), control flags, write data.
+    // ------------------------------------------------------------------
+    reg [PC_WIDTH-1:0] PC_WB;
+    reg [4:0] rd_WB;
+    reg lw_in_WB;
+    reg sw_in_WB;
+    reg wen_WB;
+    reg [XLEN-1:0] wdata;
+
+    always @(posedge clk) begin
+        if (reset) begin
+            PC_WB <= {PC_WIDTH{1'b0}};
+            rd_WB <= 5'd0;
+            lw_in_WB <= 1'b0;
+            sw_in_WB <= 1'b0;
+            wen_WB <= 1'b0;
+            wdata <= {XLEN{1'b0}};
+        end else if (stall_DX) begin
+            // Insert a bubble while DX waits for the memory.
+            lw_in_WB <= 1'b0;
+            sw_in_WB <= 1'b0;
+            wen_WB <= 1'b0;
+        end else begin
+            PC_WB <= PC_DX;
+            rd_WB <= rd;
+            lw_in_WB <= is_lw;
+            sw_in_WB <= is_sw;
+            wen_WB <= writes_rf && (rd != 5'd0);
+            wdata <= alu_out;
+        end
+    end
+
+    // Register file writeback: ALU results come from wdata; load data
+    // arrives from the pipelined memory during the WB cycle.
+    assign wb_value = lw_in_WB ? dmem_resp_data : wdata;
+
+    always @(posedge clk) begin
+        if (wen_WB) begin
+            regfile[rd_WB] <= wb_value;
+        end
+    end
+
+endmodule

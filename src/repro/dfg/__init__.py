@@ -1,0 +1,7 @@
+"""Full-design and per-instruction data-flow graph analysis."""
+
+from .extract import full_design_dfg
+from .graph import Dfg
+from .stages import StageLabels, label_stages
+
+__all__ = ["Dfg", "full_design_dfg", "StageLabels", "label_stages"]

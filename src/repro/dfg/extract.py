@@ -1,0 +1,111 @@
+"""Full-design DFG extraction from a netlist (paper section 4.1).
+
+The full-design DFG is built by collapsing all combinational logic
+(including control flow) between state elements: for every DFF's
+next-state input and every memory write port (address, data, enable),
+walk the combinational fan-in cone back to the driving state elements.
+A memory read port contributes both the memory array *and* the address
+cone's state elements as parents of whatever consumes the read data.
+
+Because the collapse assumes every possible data flow happens, the
+result over-approximates the data flow any instruction can induce —
+exactly the property intra-instruction HBI synthesis needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..netlist import Cell, Const, Dff, MemReadPort, Netlist
+from .graph import Dfg
+
+
+class _ConeWalker:
+    """Computes, per wire, the set of state elements feeding it through
+    combinational logic only (memoized)."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.drivers = netlist.driver_map()
+        self._cache: Dict[str, frozenset] = {}
+
+    def sources(self, ref) -> frozenset:
+        if isinstance(ref, Const):
+            return frozenset()
+        if ref in self._cache:
+            return self._cache[ref]
+        # Iterative post-order DFS to avoid recursion limits on deep cones.
+        stack = [(ref, False)]
+        while stack:
+            wire, processed = stack.pop()
+            if wire in self._cache:
+                continue
+            driver = self.drivers.get(wire)
+            if isinstance(driver, Dff):
+                # State elements are identified by their output wire
+                # (the architectural name, e.g. ``core.inst_DX``).
+                self._cache[wire] = frozenset([driver.q])
+                continue
+            if driver == "input" or driver is None:
+                self._cache[wire] = frozenset()
+                continue
+            if isinstance(driver, MemReadPort):
+                deps = [driver.addr] if isinstance(driver.addr, str) else []
+            else:
+                deps = [i for i in driver.inputs if not isinstance(i, Const)]
+            pending = [d for d in deps if d not in self._cache]
+            if pending and not processed:
+                stack.append((wire, True))
+                for dep in pending:
+                    stack.append((dep, False))
+                continue
+            union: Set[str] = set()
+            for dep in deps:
+                union |= self._cache.get(dep, frozenset())
+            if isinstance(driver, MemReadPort):
+                union.add(driver.memory)
+            self._cache[wire] = frozenset(union)
+        return self._cache[ref]
+
+
+def full_design_dfg(netlist: Netlist, restrict_prefixes: Optional[List[str]] = None) -> Dfg:
+    """Build the full-design DFG.
+
+    ``restrict_prefixes`` keeps only state elements whose name starts
+    with one of the prefixes (plus any it connects to) — used to analyze
+    one representative core together with the shared resources (paper
+    section 4.1: "need only consider the unique modules").
+    """
+    walker = _ConeWalker(netlist)
+    dfg = Dfg()
+
+    def wanted(name: str) -> bool:
+        if restrict_prefixes is None:
+            return True
+        return any(name.startswith(p) for p in restrict_prefixes)
+
+    for dff in netlist.dffs.values():
+        if not wanted(dff.q):
+            continue
+        dfg.add_node(dff.q)
+        for parent in walker.sources(dff.d):
+            if wanted(parent):
+                dfg.add_edge(parent, dff.q)
+    for mem in netlist.memories.values():
+        if not wanted(mem.name):
+            continue
+        dfg.add_node(mem.name)
+        parents: Set[str] = set()
+        for port in mem.write_ports:
+            parents |= walker.sources(port.addr)
+            parents |= walker.sources(port.data)
+            parents |= walker.sources(port.enable)
+        for parent in parents:
+            if wanted(parent):
+                dfg.add_edge(parent, mem.name)
+    return dfg
+
+
+def dff_q_to_name(netlist: Netlist) -> Dict[str, str]:
+    """Map DFF output wires to DFF (state element) names."""
+    return {dff.q: dff.name for dff in netlist.dffs.values()}

@@ -1,0 +1,93 @@
+"""Data-flow graphs over state elements.
+
+Nodes are state-element names (DFF registers and memory arrays); a
+directed edge ``parent -> child`` means data can flow from the parent's
+output into the child's next-state input through pure combinational
+logic — a single-cycle relationship (paper section 4.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+class Dfg:
+    """A directed graph over state-element names."""
+
+    def __init__(self):
+        self.nodes: Set[str] = set()
+        self._succ: Dict[str, Set[str]] = {}
+        self._pred: Dict[str, Set[str]] = {}
+
+    def add_node(self, name: str) -> None:
+        self.nodes.add(name)
+        self._succ.setdefault(name, set())
+        self._pred.setdefault(name, set())
+
+    def add_edge(self, parent: str, child: str) -> None:
+        self.add_node(parent)
+        self.add_node(child)
+        self._succ[parent].add(child)
+        self._pred[child].add(parent)
+
+    def successors(self, name: str) -> Set[str]:
+        return self._succ.get(name, set())
+
+    def predecessors(self, name: str) -> Set[str]:
+        return self._pred.get(name, set())
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return sorted((p, c) for p, children in self._succ.items() for c in children)
+
+    def reachable_from(self, root: str) -> Set[str]:
+        """All nodes reachable from ``root`` (excluding root unless cyclic)."""
+        seen: Set[str] = set()
+        frontier = deque([root])
+        while frontier:
+            node = frontier.popleft()
+            for succ in self._succ.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return seen
+
+    def distances_from(self, root: str) -> Dict[str, int]:
+        """Shortest distance (in edges) from root; root itself is 0.
+        Directed cycles keep the shortest distance (paper section 4.2.2).
+        """
+        dist = {root: 0}
+        frontier = deque([root])
+        while frontier:
+            node = frontier.popleft()
+            for succ in self._succ.get(node, ()):
+                if succ not in dist:
+                    dist[succ] = dist[node] + 1
+                    frontier.append(succ)
+        return dist
+
+    def subgraph(self, keep: Iterable[str]) -> "Dfg":
+        """Restriction to ``keep``: edges retained when both ends stay."""
+        keep_set = set(keep)
+        sub = Dfg()
+        for node in keep_set & self.nodes:
+            sub.add_node(node)
+        for parent, child in self.edges():
+            if parent in keep_set and child in keep_set:
+                sub.add_edge(parent, child)
+        return sub
+
+    def to_dot(self, highlight: Optional[Set[str]] = None, title: str = "dfg") -> str:
+        """Graphviz rendering (paper Fig. 3b/3c style)."""
+        highlight = highlight or set()
+        lines = [f'digraph "{title}" {{', "  rankdir=LR;"]
+        for node in sorted(self.nodes):
+            style = ' style=filled fillcolor="lightblue"' if node in highlight else ""
+            lines.append(f'  "{node}"[{style.strip()}];' if style else f'  "{node}";')
+        for parent, child in self.edges():
+            lines.append(f'  "{parent}" -> "{child}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.nodes)

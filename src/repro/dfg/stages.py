@@ -1,0 +1,59 @@
+"""Stage labeling and front-end filtering (paper section 4.2.2).
+
+Stage labels come from BFS distance from the IM_PC in the full-design
+DFG (directed cycles keep the shortest distance). Nodes labeled earlier
+than the IFR — front-end state such as the instruction memory and the
+fetch PC itself — are filtered out, and the remaining labels are
+renumbered so the IFR sits at stage 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import SynthesisError
+from .graph import Dfg
+
+
+@dataclass
+class StageLabels:
+    """Filtered, renumbered stage labels for one core's candidate set."""
+
+    stages: Dict[str, int]     # state element -> renumbered stage
+    ifr: str
+    im_pc: str
+    raw_distances: Dict[str, int]
+
+    def candidates(self) -> List[str]:
+        """Candidate state elements (those that survived filtering)."""
+        return sorted(self.stages)
+
+    def stage_of(self, name: str) -> int:
+        return self.stages[name]
+
+    def max_stage(self) -> int:
+        return max(self.stages.values(), default=0)
+
+    def by_stage(self) -> Dict[int, List[str]]:
+        grouped: Dict[int, List[str]] = {}
+        for name, stage in sorted(self.stages.items()):
+            grouped.setdefault(stage, []).append(name)
+        return grouped
+
+
+def label_stages(dfg: Dfg, im_pc: str, ifr: str) -> StageLabels:
+    """Label and filter the full-design DFG per paper section 4.2.2."""
+    if im_pc not in dfg.nodes:
+        raise SynthesisError(f"IM_PC {im_pc!r} is not a node of the full-design DFG")
+    distances = dfg.distances_from(im_pc)
+    if ifr not in distances:
+        raise SynthesisError(
+            f"IFR {ifr!r} is not reachable from IM_PC {im_pc!r} in the DFG")
+    ifr_stage = distances[ifr]
+    stages = {
+        name: distance - ifr_stage
+        for name, distance in distances.items()
+        if distance >= ifr_stage
+    }
+    return StageLabels(stages, ifr, im_pc, distances)

@@ -1,0 +1,86 @@
+"""Exception hierarchy shared by all repro subsystems.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers
+can distinguish failures of this library from programming errors. The
+hierarchy mirrors the package layout: one error family per substrate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class VerilogError(ReproError):
+    """Base class for errors in the Verilog frontend."""
+
+
+class LexError(VerilogError):
+    """A character sequence could not be tokenized.
+
+    Carries the source position so tooling can point at the offending
+    text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(VerilogError):
+    """The token stream does not match the supported Verilog grammar."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ElaborationError(VerilogError):
+    """The parsed design could not be elaborated into a netlist."""
+
+
+class NetlistError(ReproError):
+    """An ill-formed netlist was constructed or manipulated."""
+
+
+class SimulationError(ReproError):
+    """The RTL simulator was driven with inconsistent inputs or state."""
+
+
+class SatError(ReproError):
+    """The SAT solver was used incorrectly (not: UNSAT results)."""
+
+
+class FormalError(ReproError):
+    """The formal engine (bit-blasting / BMC / induction) failed."""
+
+
+class PropertyError(ReproError):
+    """An SVA-style property is malformed or unsupported."""
+
+
+class MetadataError(ReproError):
+    """User-supplied design metadata (IFR/PCR/interfaces) is invalid.
+
+    The paper (section 4.2.1, 4.3.4) requires modest designer-provided
+    metadata; this error reports missing or inconsistent annotations.
+    """
+
+
+class SynthesisError(ReproError):
+    """The rtl2uspec synthesis procedure could not complete."""
+
+
+class UspecError(ReproError):
+    """A uspec model is syntactically or semantically invalid."""
+
+
+class LitmusError(ReproError):
+    """A litmus test is malformed."""
+
+
+class CheckError(ReproError):
+    """The uhb (Check-style) verifier failed."""

@@ -1,0 +1,45 @@
+"""Formal property checking: bit-blasting, BMC, and k-induction.
+
+This package substitutes for the commercial JasperGold property checker
+used by the paper: given a monitor-augmented netlist (see ``repro.sva``)
+it either proves an assertion or refutes it with a counterexample trace.
+"""
+
+from .aig import Aig, lit_neg
+from .aiger import export_problem, write_aiger
+from .bitblast import BlastedDesign, bitblast
+from .cache import CachingPropertyChecker, VerdictCache, problem_fingerprint
+from .engine import (
+    PROVEN,
+    PROVEN_BOUNDED,
+    REFUTED,
+    UNDETERMINED,
+    PropertyChecker,
+    SafetyProblem,
+    Verdict,
+)
+from .trace import Trace, extract_trace, trace_to_vcd
+from .unroll import Unroller
+
+__all__ = [
+    "Aig",
+    "write_aiger",
+    "export_problem",
+    "lit_neg",
+    "bitblast",
+    "VerdictCache",
+    "CachingPropertyChecker",
+    "problem_fingerprint",
+    "BlastedDesign",
+    "Unroller",
+    "Trace",
+    "extract_trace",
+    "trace_to_vcd",
+    "SafetyProblem",
+    "Verdict",
+    "PropertyChecker",
+    "PROVEN",
+    "REFUTED",
+    "PROVEN_BOUNDED",
+    "UNDETERMINED",
+]

@@ -1,0 +1,97 @@
+"""AIGER (ASCII ``aag``) export of blasted designs.
+
+AIGER is the interchange format of the hardware model checking
+community (HWMCC); exporting lets the bit-blasted problems be fed to
+external provers (ABC, rIC3, ...) for cross-checking this repository's
+own BMC/k-induction engine.
+
+The export maps a :class:`SafetyProblem`'s monitor-augmented netlist to
+a single-output AIG: ``output = 1`` iff some assertion fails while all
+assumptions hold (assumptions are conjoined into the output rather than
+emitted as AIGER constraints, for maximal tool compatibility — note
+this encodes only *same-cycle* assumption discharge; this repository's
+own engine enforces the stronger prefix-closed semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TextIO
+
+from ..errors import FormalError
+from . import aig as aigmod
+from .aig import Aig, lit_is_negated, lit_node
+from .bitblast import BlastedDesign, bitblast
+from .engine import SafetyProblem
+
+
+def write_aiger(design: BlastedDesign, output_lit: int, stream: TextIO,
+                comment: str = "") -> None:
+    """Serialize the AIG with one output literal in ASCII AIGER."""
+    aig = design.aig
+    # AIGER variable indexing: 0 = const false; inputs, latches, ands.
+    index_of: Dict[int, int] = {0: 0}
+    next_index = 1
+    for node in aig.inputs:
+        index_of[node] = next_index
+        next_index += 1
+    for node in aig.latches:
+        index_of[node] = next_index
+        next_index += 1
+    and_nodes = [n for n in range(1, aig.num_nodes())
+                 if aig.kind[n] == aigmod._AND]
+    for node in and_nodes:
+        index_of[node] = next_index
+        next_index += 1
+
+    def lit(aig_lit: int) -> int:
+        node = lit_node(aig_lit)
+        if node not in index_of:
+            raise FormalError(f"aiger export: node {node} unnumbered")
+        return 2 * index_of[node] + (1 if lit_is_negated(aig_lit) else 0)
+
+    max_var = next_index - 1
+    lines: List[str] = []
+    lines.append(f"aag {max_var} {len(aig.inputs)} {len(aig.latches)} 1 "
+                 f"{len(and_nodes)}")
+    for node in aig.inputs:
+        lines.append(str(2 * index_of[node]))
+    for node in aig.latches:
+        next_lit = aig.latch_next.get(node)
+        if next_lit is None:
+            raise FormalError(f"latch {aig.tag[node]} has no next function")
+        init = aig.latch_init.get(node, 0)
+        lines.append(f"{2 * index_of[node]} {lit(next_lit)} {init}")
+    lines.append(str(output_lit if isinstance(output_lit, str) else lit(output_lit)))
+    for node in and_nodes:
+        lines.append(f"{2 * index_of[node]} {lit(aig.fanin0[node])} "
+                     f"{lit(aig.fanin1[node])}")
+    # Symbol table: input and latch names.
+    for position, node in enumerate(aig.inputs):
+        name, bit = aig.tag[node]
+        lines.append(f"i{position} {name}[{bit}]")
+    for position, node in enumerate(aig.latches):
+        name, bit = aig.tag[node]
+        lines.append(f"l{position} {name}[{bit}]")
+    lines.append("o0 bad")
+    if comment:
+        lines.append("c")
+        lines.extend(comment.splitlines())
+    stream.write("\n".join(lines) + "\n")
+
+
+def export_problem(problem: SafetyProblem, stream: TextIO) -> BlastedDesign:
+    """Blast a :class:`SafetyProblem` and export it as AIGER.
+
+    The single output is ``bad = AND(assumes) & !AND(asserts)``.
+    """
+    netlist = problem.netlist
+    design = bitblast(netlist, problem.frozen_inputs)
+    aig = design.aig
+    assume_ok = aig.AND_MANY(design.wire_lits[w][0]
+                             for w in problem.assume_wires)
+    asserts_ok = aig.AND_MANY(design.wire_lits[w][0]
+                              for w in problem.assert_wires)
+    bad = aig.AND(assume_ok, aig.NOT(asserts_ok))
+    write_aiger(design, bad, stream,
+                comment=f"repro safety problem {problem.name!r}")
+    return design

@@ -1,0 +1,216 @@
+"""Bit-blasting: word-level netlist -> sequential AIG.
+
+Memories are exploded into per-cell latch vectors with mux-tree read
+logic and address-decoded write logic, so the whole design becomes a
+pure bit-level transition system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import FormalError
+from ..netlist import (
+    Cell,
+    Const,
+    Netlist,
+    SignalRef,
+)
+from .aig import FALSE, TRUE, Aig, lit_neg
+
+
+class BlastedDesign:
+    """The AIG plus name maps produced by :func:`bitblast`."""
+
+    def __init__(self, netlist: Netlist, aig: Aig,
+                 wire_lits: Dict[str, List[int]],
+                 mem_cell_lits: Dict[str, List[List[int]]],
+                 frozen_inputs: Sequence[str]):
+        self.netlist = netlist
+        self.aig = aig
+        #: wire name -> LSB-first literals
+        self.wire_lits = wire_lits
+        #: memory name -> [cell][bit] latch literals
+        self.mem_cell_lits = mem_cell_lits
+        #: input wires whose value is held constant across all timeframes
+        self.frozen_inputs = list(frozen_inputs)
+
+
+def bitblast(netlist: Netlist, frozen_inputs: Sequence[str] = ()) -> BlastedDesign:
+    """Lower ``netlist`` to a :class:`BlastedDesign`.
+
+    ``frozen_inputs`` are design inputs representing symbolic constants
+    (e.g. the pc0/i0 values of SVA templates); the unroller reuses their
+    step-0 variables at every timeframe.
+    """
+    aig = Aig()
+    wire_lits: Dict[str, List[int]] = {}
+    mem_cell_lits: Dict[str, List[List[int]]] = {}
+
+    frozen = set(frozen_inputs)
+    for name in frozen:
+        if name not in netlist.inputs:
+            raise FormalError(f"frozen input {name!r} is not a design input")
+
+    # Primary inputs.
+    for name, width in netlist.inputs.items():
+        wire_lits[name] = [aig.new_input(name, bit) for bit in range(width)]
+
+    # Latches for DFFs.
+    for dff in netlist.dffs.values():
+        wire_lits[dff.q] = [
+            aig.new_latch(dff.q, bit, (dff.init >> bit) & 1)
+            for bit in range(dff.width)
+        ]
+
+    # Latches for memory cells.
+    for mem in netlist.memories.values():
+        cells = []
+        for addr in range(mem.depth):
+            init = mem.init.get(addr, 0)
+            cells.append([
+                aig.new_latch(f"{mem.name}[{addr}]", bit, (init >> bit) & 1)
+                for bit in range(mem.width)
+            ])
+        mem_cell_lits[mem.name] = cells
+
+    def resolve(ref: SignalRef) -> List[int]:
+        if isinstance(ref, Const):
+            return aig.const_vector(ref.value, ref.width)
+        lits = wire_lits.get(ref)
+        if lits is None:
+            raise FormalError(f"bitblast: wire {ref!r} not yet computed")
+        return lits
+
+    # Combinational evaluation in topological order, with memory read
+    # ports resolved on demand (their address cones are scheduled first
+    # by Netlist.topo_cells).
+    read_port_by_data = {}
+    for mem in netlist.memories.values():
+        for port in mem.read_ports:
+            read_port_by_data[port.data] = port
+
+    def blast_read_port(port) -> None:
+        mem = netlist.memories[port.memory]
+        addr_lits = resolve(port.addr)
+        cells = mem_cell_lits[port.memory]
+        result = aig.const_vector(0, mem.width)
+        for addr in range(mem.depth):
+            sel = aig.eq_vector(addr_lits, aig.const_vector(addr, len(addr_lits)))
+            result = aig.mux_vector(sel, cells[addr], result)
+        wire_lits[port.data] = result
+
+    def ensure(ref: SignalRef) -> List[int]:
+        if isinstance(ref, str) and ref not in wire_lits and ref in read_port_by_data:
+            blast_read_port(read_port_by_data[ref])
+        return resolve(ref)
+
+    for cell in netlist.topo_cells():
+        operands = [ensure(ref) for ref in cell.inputs]
+        out_width = netlist.wires[cell.output].width
+        wire_lits[cell.output] = _blast_cell(aig, cell, operands, out_width)
+
+    # Any remaining read ports (data consumed only sequentially).
+    for data, port in read_port_by_data.items():
+        if data not in wire_lits:
+            blast_read_port(port)
+
+    # Latch next-state functions.
+    for dff in netlist.dffs.values():
+        next_lits = resolve(dff.d)
+        for bit, q_lit in enumerate(wire_lits[dff.q]):
+            aig.set_latch_next(q_lit, next_lits[bit])
+
+    # Memory next-state: apply write ports in priority order (later wins).
+    for mem in netlist.memories.values():
+        cells = mem_cell_lits[mem.name]
+        next_cells = [list(c) for c in cells]
+        for port in mem.write_ports:
+            en = resolve(port.enable)[0]
+            addr_lits = resolve(port.addr)
+            data_lits = resolve(port.data)
+            for addr in range(mem.depth):
+                sel = aig.AND(en, aig.eq_vector(addr_lits, aig.const_vector(addr, len(addr_lits))))
+                next_cells[addr] = aig.mux_vector(sel, data_lits, next_cells[addr])
+        for addr in range(mem.depth):
+            for bit, latch_lit in enumerate(cells[addr]):
+                aig.set_latch_next(latch_lit, next_cells[addr][bit])
+
+    return BlastedDesign(netlist, aig, wire_lits, mem_cell_lits, frozen_inputs)
+
+
+def _blast_cell(aig: Aig, cell: Cell, operands: List[List[int]], out_width: int) -> List[int]:
+    op = cell.op
+    if op == "not":
+        return [lit_neg(b) for b in operands[0]]
+    if op == "and":
+        result = operands[0]
+        for other in operands[1:]:
+            result = [aig.AND(a, b) for a, b in zip(result, other)]
+        return result
+    if op == "or":
+        result = operands[0]
+        for other in operands[1:]:
+            result = [aig.OR(a, b) for a, b in zip(result, other)]
+        return result
+    if op == "xor":
+        result = operands[0]
+        for other in operands[1:]:
+            result = [aig.XOR(a, b) for a, b in zip(result, other)]
+        return result
+    if op == "xnor":
+        return [aig.XNOR(a, b) for a, b in zip(operands[0], operands[1])]
+    if op == "redand":
+        return [aig.AND_MANY(operands[0])]
+    if op == "redor":
+        return [aig.OR_MANY(operands[0])]
+    if op == "redxor":
+        acc = FALSE
+        for bit in operands[0]:
+            acc = aig.XOR(acc, bit)
+        return [acc]
+    if op == "lognot":
+        return [lit_neg(aig.OR_MANY(operands[0]))]
+    if op == "logand":
+        return [aig.AND_MANY(aig.OR_MANY(vec) for vec in operands)]
+    if op == "logor":
+        return [aig.OR_MANY(aig.OR_MANY(vec) for vec in operands)]
+    if op == "eq":
+        return [aig.eq_vector(operands[0], operands[1])]
+    if op == "ne":
+        return [lit_neg(aig.eq_vector(operands[0], operands[1]))]
+    if op == "lt":
+        return [aig.lt_vector(operands[0], operands[1])]
+    if op == "le":
+        return [lit_neg(aig.lt_vector(operands[1], operands[0]))]
+    if op == "gt":
+        return [aig.lt_vector(operands[1], operands[0])]
+    if op == "ge":
+        return [lit_neg(aig.lt_vector(operands[0], operands[1]))]
+    if op == "add":
+        return aig.add_vector(operands[0], operands[1])
+    if op == "sub":
+        return aig.sub_vector(operands[0], operands[1])
+    if op == "mul":
+        return aig.mul_vector(operands[0], operands[1])
+    if op == "shl":
+        return aig.shift_vector(operands[0], operands[1], left=True)
+    if op == "shr":
+        return aig.shift_vector(operands[0], operands[1], left=False)
+    if op == "mux":
+        return aig.mux_vector(operands[0][0], operands[1], operands[2])
+    if op == "concat":
+        # inputs are MSB-first; bit vectors are LSB-first.
+        out: List[int] = []
+        for vec in reversed(operands):
+            out.extend(vec)
+        return out
+    if op == "slice":
+        lo, hi = cell.attrs["lo"], cell.attrs["hi"]
+        return operands[0][lo:hi + 1]
+    if op == "zext":
+        vec = list(operands[0])
+        while len(vec) < out_width:
+            vec.append(FALSE)
+        return vec[:out_width]
+    raise FormalError(f"bitblast: unsupported op {op!r}")

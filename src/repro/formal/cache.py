@@ -1,0 +1,145 @@
+"""Persistent verdict caching for property checks.
+
+Synthesis evaluates a hundred-plus SVAs; across repeat runs (tests,
+benchmarks, regenerating models) most problems are byte-identical. The
+cache keys a :class:`SafetyProblem` by a canonical hash of its netlist
+and property wiring plus the checker parameters, and stores verdicts
+(without traces — refutations are re-run when the trace is needed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from ..netlist import Cell, Const, Netlist
+from .engine import REFUTED, Verdict
+
+
+def _ref_token(ref) -> str:
+    if isinstance(ref, Const):
+        return f"c{ref.width}:{ref.value}"
+    return f"w{ref}"
+
+
+def problem_fingerprint(problem, bound: int, max_k: int) -> str:
+    """A stable content hash of a :class:`SafetyProblem` instance."""
+    netlist: Netlist = problem.netlist
+    hasher = hashlib.sha256()
+
+    def feed(text: str) -> None:
+        hasher.update(text.encode("utf-8"))
+        hasher.update(b"\x00")
+
+    feed(f"bound={bound};k={max_k};reset={problem.reset_input}")
+    for name in sorted(netlist.inputs):
+        feed(f"in {name} {netlist.inputs[name]}")
+    for name in sorted(netlist.wires):
+        feed(f"wire {name} {netlist.wires[name].width}")
+    for cell in netlist.cells:
+        feed(f"cell {cell.op} {','.join(_ref_token(r) for r in cell.inputs)} "
+             f"-> {cell.output} {sorted(cell.attrs.items())}")
+    for name in sorted(netlist.dffs):
+        dff = netlist.dffs[name]
+        feed(f"dff {dff.q} <= {_ref_token(dff.d)} init={dff.init}")
+    for name in sorted(netlist.memories):
+        mem = netlist.memories[name]
+        feed(f"mem {name} {mem.width}x{mem.depth} init={sorted(mem.init.items())}")
+        for rp in mem.read_ports:
+            feed(f"rd {_ref_token(rp.addr)} -> {rp.data}")
+        for wp in mem.write_ports:
+            feed(f"wr {_ref_token(wp.addr)} {_ref_token(wp.data)} "
+                 f"en={_ref_token(wp.enable)}")
+    feed("assume " + "|".join(sorted(problem.assume_wires)))
+    feed("assert " + "|".join(sorted(problem.assert_wires)))
+    feed("frozen " + "|".join(sorted(problem.frozen_inputs)))
+    return hasher.hexdigest()
+
+
+class VerdictCache:
+    """A JSON-file-backed verdict store.
+
+    Refuted verdicts are cached as facts but re-checked when a trace is
+    required (the cache stores no traces). Use via
+    :class:`CachingPropertyChecker`.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._entries: Dict[str, Dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    self._entries = json.load(handle)
+            except (json.JSONDecodeError, OSError):
+                self._entries = {}
+
+    def lookup(self, fingerprint: str) -> Optional[Verdict]:
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return Verdict(
+            status=entry["status"],
+            method=entry["method"],
+            bound=entry["bound"],
+            time_seconds=entry["time_seconds"],
+            induction_k=entry.get("induction_k"),
+            name=entry.get("name", "cached"),
+        )
+
+    def store(self, fingerprint: str, verdict: Verdict) -> None:
+        self._entries[fingerprint] = {
+            "status": verdict.status,
+            "method": verdict.method,
+            "bound": verdict.bound,
+            "time_seconds": verdict.time_seconds,
+            "induction_k": verdict.induction_k,
+            "name": verdict.name,
+        }
+
+    def save(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(self._entries, handle, indent=0)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CachingPropertyChecker:
+    """Wraps a :class:`PropertyChecker` with a :class:`VerdictCache`.
+
+    Cached refutations carry no counterexample trace; pass
+    ``need_traces=True`` to force re-running refuted problems so the
+    trace is available (e.g. for bug reporting).
+    """
+
+    def __init__(self, checker, cache: VerdictCache, need_traces: bool = False):
+        self.checker = checker
+        self.cache = cache
+        self.need_traces = need_traces
+        # Expose the wrapped checker's tuning knobs.
+        self.bound = checker.bound
+        self.max_k = checker.max_k
+        self.stats = checker.stats
+
+    def check(self, problem, bound: Optional[int] = None,
+              prove: bool = True) -> Verdict:
+        effective_bound = bound if bound is not None else self.checker.bound
+        fingerprint = problem_fingerprint(problem, effective_bound,
+                                          self.checker.max_k)
+        cached = self.cache.lookup(fingerprint)
+        if cached is not None:
+            if not (cached.status == REFUTED and self.need_traces):
+                cached.name = problem.name
+                return cached
+        verdict = self.checker.check(problem, bound=bound, prove=prove)
+        self.cache.store(fingerprint, verdict)
+        return verdict

@@ -1,0 +1,204 @@
+"""The property-checking engine: BMC for refutation, k-induction for
+proof — the reproduction's JasperGold.
+
+A :class:`SafetyProblem` bundles a (monitor-augmented) netlist with the
+names of its 1-bit assumption wires (must hold every cycle for a trace
+to count) and assertion wires (the property: must hold every cycle).
+:class:`PropertyChecker` decides it:
+
+* BMC over increasing bounds searches for a counterexample trace that
+  satisfies all assumptions up to the failure cycle;
+* if none is found, k-induction attempts a full proof;
+* if induction fails up to ``max_k``, the verdict degrades to
+  ``PROVEN_BOUNDED`` (clean up to the BMC bound) — the analogue of
+  JasperGold's ``undetermined`` results in the paper's Fig. 6.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import FormalError
+from ..netlist import Netlist, cone_of_influence
+from ..sat import SAT, UNKNOWN, UNSAT, Cnf, Solver
+from .bitblast import BlastedDesign, bitblast
+from .trace import Trace, extract_trace
+from .unroll import Unroller
+
+PROVEN = "PROVEN"
+REFUTED = "REFUTED"
+PROVEN_BOUNDED = "PROVEN_BOUNDED"
+UNDETERMINED = "UNDETERMINED"
+
+
+@dataclass
+class SafetyProblem:
+    """A property instance over a monitor-augmented netlist."""
+
+    netlist: Netlist
+    assume_wires: List[str]
+    assert_wires: List[str]
+    frozen_inputs: List[str] = field(default_factory=list)
+    reset_input: str = "reset"
+    name: str = "property"
+
+    def roots(self) -> List[str]:
+        return list(self.assume_wires) + list(self.assert_wires)
+
+
+@dataclass
+class Verdict:
+    """Outcome of checking one :class:`SafetyProblem`."""
+
+    status: str
+    method: str
+    bound: int
+    time_seconds: float
+    trace: Optional[Trace] = None
+    induction_k: Optional[int] = None
+    name: str = "property"
+
+    @property
+    def proven(self) -> bool:
+        return self.status in (PROVEN, PROVEN_BOUNDED)
+
+    @property
+    def refuted(self) -> bool:
+        return self.status == REFUTED
+
+    def __repr__(self) -> str:
+        extra = f", k={self.induction_k}" if self.induction_k is not None else ""
+        return (f"Verdict({self.name}: {self.status} via {self.method}, "
+                f"bound={self.bound}{extra}, {self.time_seconds:.2f}s)")
+
+
+class PropertyChecker:
+    """Decides safety problems with BMC + k-induction."""
+
+    def __init__(self, bound: int = 14, max_k: int = 12,
+                 use_coi: bool = True, max_conflicts: Optional[int] = None):
+        self.bound = bound
+        self.max_k = max_k
+        self.use_coi = use_coi
+        self.max_conflicts = max_conflicts
+        #: cumulative statistics across check() calls
+        self.stats: Dict[str, float] = {"checks": 0, "sat_time": 0.0}
+
+    # ------------------------------------------------------------------
+    def check(self, problem: SafetyProblem, bound: Optional[int] = None,
+              prove: bool = True) -> Verdict:
+        """Decide ``problem``; ``prove=False`` skips induction (useful
+        when only refutation matters)."""
+        start = time.perf_counter()
+        bound = bound if bound is not None else self.bound
+        netlist = problem.netlist
+        if self.use_coi:
+            netlist = cone_of_influence(netlist, problem.roots())
+        frozen = [f for f in problem.frozen_inputs if f in netlist.inputs]
+        design = bitblast(netlist, frozen)
+
+        cex = self._bmc(design, problem, netlist, bound)
+        self.stats["checks"] += 1
+        if cex is not None:
+            elapsed = time.perf_counter() - start
+            return Verdict(REFUTED, "bmc", bound, elapsed, trace=cex, name=problem.name)
+        if prove:
+            k_ok = self._induction(design, problem, netlist, bound)
+            elapsed = time.perf_counter() - start
+            if k_ok is not None:
+                return Verdict(PROVEN, "k-induction", bound, elapsed,
+                               induction_k=k_ok, name=problem.name)
+            return Verdict(PROVEN_BOUNDED, "bmc", bound, elapsed, name=problem.name)
+        elapsed = time.perf_counter() - start
+        return Verdict(PROVEN_BOUNDED, "bmc", bound, elapsed, name=problem.name)
+
+    # ------------------------------------------------------------------
+    def _reset_schedule(self, unroller: Unroller, netlist: Netlist,
+                        problem: SafetyProblem, frames: int,
+                        in_reset_frames: int = 1) -> List[int]:
+        """Unit constraints pinning the reset input high then low."""
+        units = []
+        if problem.reset_input in netlist.inputs:
+            for t in range(frames):
+                lit = unroller.wire_lit(problem.reset_input, t)
+                units.append(lit if t < in_reset_frames else -lit)
+        return units
+
+    def _frame_ok(self, unroller: Unroller, netlist: Netlist,
+                  problem: SafetyProblem, cnf: Cnf, t: int) -> (int, int):
+        """(assume_ok_t, fail_t) CNF literals for frame ``t``."""
+        assume_lits = [unroller.wire_lit(w, t) for w in problem.assume_wires
+                       if w in netlist.wires]
+        fail_lits = [-unroller.wire_lit(w, t) for w in problem.assert_wires]
+        assume_ok = cnf.encode_and(assume_lits) if assume_lits else cnf.true_lit
+        fail = cnf.encode_or(fail_lits) if fail_lits else cnf.false_lit
+        return assume_ok, fail
+
+    def _bmc(self, design: BlastedDesign, problem: SafetyProblem,
+             netlist: Netlist, bound: int) -> Optional[Trace]:
+        cnf = Cnf()
+        unroller = Unroller(design, cnf)
+        unroller.extend_to(bound + 1)
+        for unit in self._reset_schedule(unroller, netlist, problem, bound + 1):
+            cnf.assert_lit(unit)
+        violations = []
+        prefix_ok = cnf.true_lit
+        for t in range(bound + 1):
+            assume_ok, fail = self._frame_ok(unroller, netlist, problem, cnf, t)
+            prefix_ok = cnf.encode_and((prefix_ok, assume_ok))
+            violations.append(cnf.encode_and((prefix_ok, fail)))
+        cnf.assert_lit(cnf.encode_or(violations))
+        solver = Solver()
+        solver.add_cnf(cnf)
+        t0 = time.perf_counter()
+        status = solver.solve(max_conflicts=self.max_conflicts)
+        self.stats["sat_time"] += time.perf_counter() - t0
+        if status == UNKNOWN:
+            raise FormalError(f"BMC exceeded the conflict budget on {problem.name!r}")
+        if status == UNSAT:
+            return None
+        # Find the failing cycle for reporting.
+        fail_cycle = None
+        for t, lit in enumerate(violations):
+            if solver.model_value(lit):
+                fail_cycle = t
+                break
+        return extract_trace(unroller, solver, bound + 1, fail_cycle)
+
+    def _induction(self, design: BlastedDesign, problem: SafetyProblem,
+                   netlist: Netlist, base_bound: int) -> Optional[int]:
+        """Try k-induction for k = 1..max_k; returns the successful k.
+
+        The base case is the (already clean) BMC run when k <= bound;
+        for safety we re-check the base up to k as well.
+        """
+        for k in range(1, self.max_k + 1):
+            if k > base_bound:
+                # Base case beyond the BMC bound has not been checked.
+                return None
+            cnf = Cnf()
+            unroller = Unroller(design, cnf, free_initial_state=True)
+            unroller.extend_to(k + 1)
+            # Post-reset operation: reset stays low in the window.
+            if problem.reset_input in netlist.inputs:
+                for t in range(k + 1):
+                    cnf.assert_lit(-unroller.wire_lit(problem.reset_input, t))
+            for t in range(k):
+                assume_ok, fail = self._frame_ok(unroller, netlist, problem, cnf, t)
+                cnf.assert_lit(assume_ok)
+                cnf.assert_lit(-fail)
+            assume_ok, fail = self._frame_ok(unroller, netlist, problem, cnf, k)
+            cnf.assert_lit(assume_ok)
+            cnf.assert_lit(fail)
+            solver = Solver()
+            solver.add_cnf(cnf)
+            t0 = time.perf_counter()
+            status = solver.solve(max_conflicts=self.max_conflicts)
+            self.stats["sat_time"] += time.perf_counter() - t0
+            if status == UNSAT:
+                return k
+            if status == UNKNOWN:
+                return None
+        return None

@@ -1,0 +1,61 @@
+"""Compile litmus tests to multi-V-scale RV32 programs.
+
+Used to run litmus tests directly on the RTL (the RTLCheck-style
+baseline, and end-to-end validation of the simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..designs import isa
+from ..errors import LitmusError
+from .test import LitmusTest
+
+#: Byte address assigned to the n-th distinct symbolic location.
+LOCATION_STRIDE = 4
+
+
+def location_map(test: LitmusTest) -> Dict[str, int]:
+    """Symbolic location -> word-aligned byte address."""
+    return {addr: i * LOCATION_STRIDE for i, addr in enumerate(test.addresses())}
+
+
+def register_map(test: LitmusTest) -> Dict[Tuple[int, str], int]:
+    """(thread, litmus register) -> architectural register index.
+
+    Registers x8.. hold observed values; x1..x7 are scratch.
+    """
+    mapping: Dict[Tuple[int, str], int] = {}
+    for tid, thread in enumerate(test.program):
+        next_reg = 8
+        for access in thread:
+            if access.kind == "R" and (tid, access.reg) not in mapping:
+                if next_reg >= 32:
+                    raise LitmusError("too many litmus registers for one thread")
+                mapping[(tid, access.reg)] = next_reg
+                next_reg += 1
+    return mapping
+
+
+def compile_test(test: LitmusTest) -> List[List[int]]:
+    """Per-thread RV32 instruction words implementing the litmus test.
+
+    Store values are materialized with ``addi`` into a scratch register;
+    loads land in the mapped observer registers.
+    """
+    locations = location_map(test)
+    registers = register_map(test)
+    programs: List[List[int]] = []
+    scratch = 1  # x1 holds store data; x0 is the address base (0)
+    for tid, thread in enumerate(test.program):
+        words: List[int] = []
+        for access in thread:
+            byte_addr = locations[access.addr]
+            if access.kind == "W":
+                words.append(isa.li(scratch, access.value))
+                words.append(isa.sw(scratch, 0, byte_addr))
+            else:
+                words.append(isa.lw(registers[(tid, access.reg)], 0, byte_addr))
+        programs.append(words)
+    return programs

@@ -1,0 +1,141 @@
+"""diy-style litmus test generation.
+
+The diy tool (Alglave et al., paper ref [2]) synthesizes litmus tests
+from *critical cycles* of relaxed-ordering edges. This generator follows
+the same idea at small scale: enumerate candidate 2- and 3-thread
+programs over two or three shared locations, pick the final condition
+that would witness a relaxation, and keep exactly the tests whose
+condition is **forbidden under SC** (the "safe" tests of the RTLCheck
+suite) and unique up to renaming.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..mcm.events import Access, Program, R, W
+from ..mcm.sc import sc_outcomes
+from .test import LitmusTest
+
+
+def _access_patterns(addrs: Sequence[str], thread_len: int) -> Iterable[Tuple[Access, ...]]:
+    """Enumerate per-thread instruction sequences over the given
+    addresses: each slot is a load or a store of value 1."""
+    slots: List[List[Access]] = []
+    per_slot: List[Access] = []
+    for addr in addrs:
+        per_slot.append(W(addr, 1))
+        per_slot.append(R(addr, "r?"))
+    for combo in itertools.product(per_slot, repeat=thread_len):
+        yield combo
+
+
+def _assign_registers(program: Sequence[Sequence[Access]]) -> Program:
+    """Give each load a unique register name rN (per thread)."""
+    out: List[Tuple[Access, ...]] = []
+    for thread in program:
+        counter = 1
+        accesses: List[Access] = []
+        for access in thread:
+            if access.kind == "R":
+                accesses.append(R(access.addr, f"r{counter}"))
+                counter += 1
+            else:
+                accesses.append(access)
+        out.append(tuple(accesses))
+    return tuple(out)
+
+
+def _canonical(program: Program, final) -> Tuple:
+    """Canonical form up to thread order (for dedup)."""
+    per_thread = []
+    final_by_thread = {}
+    for (tid, reg), val in final:
+        final_by_thread.setdefault(tid, []).append((reg, val))
+    for tid, thread in enumerate(program):
+        key = tuple((a.kind, a.addr, a.value) for a in thread)
+        cond = tuple(sorted(final_by_thread.get(tid, [])))
+        per_thread.append((key, cond))
+    mem_cond = tuple(sorted(final_by_thread.get(-1, [])))
+    return (tuple(sorted(per_thread)), mem_cond)
+
+
+def _interesting_conditions(program: Program):
+    """Candidate final conditions: one value choice per load.
+
+    A condition is a full assignment of each load to either 0 or 1 —
+    the typical diy shape where the witness condition pins every
+    observer register.
+    """
+    loads = [(tid, access.reg) for tid, thread in enumerate(program)
+             for access in thread if access.kind == "R"]
+    if not loads:
+        return
+    for values in itertools.product((0, 1), repeat=len(loads)):
+        yield tuple(((tid, reg), val) for (tid, reg), val in zip(loads, values))
+
+
+def _useful(program: Program) -> bool:
+    """Filter degenerate programs: every thread touches shared data, at
+    least one store and one load exist overall, and at least two
+    distinct threads communicate."""
+    kinds = {a.kind for t in program for a in t}
+    if kinds != {"R", "W"}:
+        return False
+    # A thread that only loads locations nobody writes is noise.
+    written = {a.addr for t in program for a in t if a.kind == "W"}
+    for thread in program:
+        touched = {a.addr for a in thread}
+        if not touched & written:
+            return False
+    # Require cross-thread communication on some address.
+    for addr in written:
+        writers = {tid for tid, t in enumerate(program)
+                   for a in t if a.kind == "W" and a.addr == addr}
+        readers = {tid for tid, t in enumerate(program)
+                   for a in t if a.kind == "R" and a.addr == addr}
+        if readers - writers:
+            return True
+    return False
+
+
+def generate_safe_tests(count: int, seed_names: str = "safe") -> List[LitmusTest]:
+    """Generate ``count`` unique SC-forbidden ("safe") litmus tests."""
+    found: List[LitmusTest] = []
+    seen: Set[Tuple] = set()
+    addrs = ("x", "y")
+
+    shapes: List[Tuple[int, ...]] = [(2, 2), (2, 3), (3, 2), (1, 2, 2), (2, 2, 2)]
+    for shape in shapes:
+        if len(found) >= count:
+            break
+        thread_patterns = [list(_access_patterns(addrs, length)) for length in shape]
+        for combo in itertools.product(*thread_patterns):
+            if len(found) >= count:
+                break
+            program = _assign_registers(combo)
+            if not _useful(program):
+                continue
+            outcomes = None
+            for final in _interesting_conditions(program):
+                canon = _canonical(program, final)
+                if canon in seen:
+                    continue
+                if outcomes is None:
+                    outcomes = sc_outcomes(program)
+                values_possible = any(
+                    all(dict(o).get(key) == val for key, val in final)
+                    for o in outcomes)
+                if values_possible:
+                    continue  # SC-observable: not a "safe" test
+                seen.add(canon)
+                name = f"{seed_names}{len(found) + 1:03d}"
+                found.append(LitmusTest(
+                    name, program, final,
+                    comment="diy-style generated SC-forbidden outcome"))
+                if len(found) >= count:
+                    break
+    if len(found) < count:
+        raise RuntimeError(f"generator produced only {len(found)}/{count} tests")
+    return found

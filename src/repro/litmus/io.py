@@ -1,0 +1,45 @@
+"""Litmus suite file I/O.
+
+The RTLCheck artifact distributes its 56 tests as ``*.test`` files; this
+module writes/reads the suite in the same spirit so external tools (or
+a curious user) can inspect and edit tests as plain text.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from ..errors import LitmusError
+from .suite import load_suite
+from .test import LitmusTest, parse_litmus
+
+
+def write_suite(directory: str, tests: List[LitmusTest] = None) -> List[str]:
+    """Write tests (default: the full 56-test suite) as ``<name>.test``
+    files; returns the written paths."""
+    tests = tests if tests is not None else load_suite()
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for test in tests:
+        safe = test.name.replace("+", "_plus_").replace("/", "_")
+        path = os.path.join(directory, f"{safe}.test")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(test.format() + "\n")
+        paths.append(path)
+    return paths
+
+
+def read_suite(directory: str) -> List[LitmusTest]:
+    """Parse every ``*.test`` file in a directory (sorted by name)."""
+    if not os.path.isdir(directory):
+        raise LitmusError(f"{directory!r} is not a directory")
+    tests = []
+    for fname in sorted(os.listdir(directory)):
+        if not fname.endswith(".test"):
+            continue
+        with open(os.path.join(directory, fname), "r", encoding="utf-8") as handle:
+            tests.append(parse_litmus(handle.read()))
+    if not tests:
+        raise LitmusError(f"no .test files found in {directory!r}")
+    return tests

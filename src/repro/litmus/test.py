@@ -1,0 +1,138 @@
+"""Litmus test representation and the standard text format.
+
+A litmus test is a small concurrent program plus a *final condition* —
+a conjunction of register equalities describing one outcome of interest
+(paper section 2). Whether that outcome is permitted is decided against
+a memory model; here labels come from the SC/TSO reference enumerators.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import LitmusError
+from ..mcm import sc_outcomes, tso_outcomes
+from ..mcm.events import Access, Outcome, Program
+
+
+@dataclass
+class LitmusTest:
+    """A litmus test: threads of accesses + a final condition."""
+
+    name: str
+    program: Program
+    #: conjunction of (thread, register) == value
+    final: Tuple[Tuple[Tuple[int, str], int], ...]
+    comment: str = ""
+
+    # ------------------------------------------------------------------
+    def addresses(self) -> List[str]:
+        seen: List[str] = []
+        for thread in self.program:
+            for access in thread:
+                if access.addr not in seen:
+                    seen.append(access.addr)
+        return seen
+
+    def loads(self) -> List[Tuple[int, int, Access]]:
+        """(thread, index, access) for every load."""
+        out = []
+        for tid, thread in enumerate(self.program):
+            for idx, access in enumerate(thread):
+                if access.kind == "R":
+                    out.append((tid, idx, access))
+        return out
+
+    def num_instructions(self) -> int:
+        return sum(len(t) for t in self.program)
+
+    # ------------------------------------------------------------------
+    def outcome_matches(self, outcome: Outcome) -> bool:
+        """Does a reference-model outcome satisfy the final condition?"""
+        values = dict(outcome)
+        return all(values.get(key) == val for key, val in self.final)
+
+    def permitted_under_sc(self) -> bool:
+        return any(self.outcome_matches(o) for o in sc_outcomes(self.program))
+
+    def permitted_under_tso(self) -> bool:
+        return any(self.outcome_matches(o) for o in tso_outcomes(self.program))
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Render in a compact litmus-style text format."""
+        lines = [f"RISCV {self.name}"]
+        if self.comment:
+            lines.append(f'"{self.comment}"')
+        lines.append("{}")
+        width = max(len(self.program), 1)
+        columns: List[List[str]] = []
+        for tid, thread in enumerate(self.program):
+            col = [f"P{tid}"]
+            for access in thread:
+                if access.kind == "W":
+                    col.append(f"st {access.addr} {access.value}")
+                else:
+                    col.append(f"ld {access.reg} {access.addr}")
+            columns.append(col)
+        height = max(len(c) for c in columns)
+        for col in columns:
+            col.extend([""] * (height - len(col)))
+        for row in range(height):
+            lines.append(" | ".join(f"{columns[c][row]:<12}" for c in range(width)) + " ;")
+        cond = " /\\ ".join(
+            (f"{reg}={val}" if tid == -1 else f"{tid}:{reg}={val}")
+            for (tid, reg), val in self.final)
+        lines.append(f"exists ({cond})")
+        return "\n".join(lines)
+
+
+_COND_RE = re.compile(r"(?:(\d+):)?(\w+)\s*=\s*(\d+)")
+
+
+def parse_litmus(text: str) -> LitmusTest:
+    """Parse the format produced by :meth:`LitmusTest.format`."""
+    lines = [line.rstrip() for line in text.strip().splitlines() if line.strip()]
+    if not lines or not lines[0].startswith("RISCV"):
+        raise LitmusError("litmus test must start with 'RISCV <name>'")
+    name = lines[0].split(None, 1)[1].strip()
+    comment = ""
+    index = 1
+    if index < len(lines) and lines[index].startswith('"'):
+        comment = lines[index].strip('"')
+        index += 1
+    if index < len(lines) and lines[index].strip() == "{}":
+        index += 1
+    body: List[List[str]] = []
+    final: Optional[Tuple] = None
+    for line in lines[index:]:
+        if line.startswith("exists"):
+            conds = _COND_RE.findall(line)
+            if not conds:
+                raise LitmusError("empty final condition")
+            final = tuple(((int(t) if t else -1, reg), int(val))
+                          for t, reg, val in conds)
+            continue
+        if line.endswith(";"):
+            body.append([cell.strip() for cell in line[:-1].split("|")])
+    if final is None:
+        raise LitmusError("litmus test has no 'exists' condition")
+    if not body:
+        raise LitmusError("litmus test has no program body")
+    num_threads = len(body[0])
+    threads: List[List[Access]] = [[] for _ in range(num_threads)]
+    start_row = 1 if all(cell.startswith("P") for cell in body[0] if cell) else 0
+    for row in body[start_row:]:
+        for tid, cell in enumerate(row):
+            if not cell:
+                continue
+            parts = cell.split()
+            if parts[0] == "st":
+                threads[tid].append(Access("W", parts[1], value=int(parts[2])))
+            elif parts[0] == "ld":
+                threads[tid].append(Access("R", parts[2], reg=parts[1]))
+            else:
+                raise LitmusError(f"unknown litmus instruction {cell!r}")
+    return LitmusTest(name, tuple(tuple(t) for t in threads), final, comment)

@@ -1,0 +1,30 @@
+"""ISA-level memory consistency model references.
+
+Operational enumerators for SC and TSO produce the exact set of
+observable litmus outcomes; the litmus suite uses them to label
+outcomes forbidden/allowed, and the test suite uses them as the oracle
+for the synthesized µspec model's verdicts.
+"""
+
+from .axiomatic import (
+    CandidateExecution,
+    axiomatic_sc_outcomes,
+    axiomatic_tso_outcomes,
+    enumerate_candidates,
+)
+from .events import Access, Outcome, Program, Thread
+from .sc import sc_outcomes
+from .tso import tso_outcomes
+
+__all__ = [
+    "axiomatic_sc_outcomes",
+    "axiomatic_tso_outcomes",
+    "enumerate_candidates",
+    "CandidateExecution",
+    "Access",
+    "Thread",
+    "Program",
+    "Outcome",
+    "sc_outcomes",
+    "tso_outcomes",
+]

@@ -1,0 +1,232 @@
+"""Herd-style axiomatic memory models (SC and TSO).
+
+The paper's whole premise is the axiomatic style: executions are
+relations over memory events, and a model is a set of acyclicity
+requirements (paper refs [4], [35]). This module implements candidate-
+execution enumeration over the standard relations —
+
+* ``po``  — program order,
+* ``rf``  — reads-from (each read sources one same-address write, or
+  the initial value),
+* ``co``  — coherence order (a total order per address over writes),
+* ``fr``  — from-reads (``rf^-1 ; co``, reads before the writes that
+  overwrite their source),
+
+— and checks the model's axioms over each candidate:
+
+* **SC**: acyclic(po ∪ rf ∪ co ∪ fr).
+* **TSO**: acyclic(ppo ∪ rfe ∪ co ∪ fr) with ppo = po minus
+  write-to-read pairs, plus SC-PER-LOCATION (acyclic(po-loc ∪ rf ∪ co ∪
+  fr)) — the classic x86-TSO formulation without fences.
+
+The operational enumerators in ``repro.mcm.sc`` / ``repro.mcm.tso`` are
+cross-validated against these axiomatic models by the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .events import Access, Outcome, Program, make_outcome
+
+
+@dataclass(frozen=True)
+class Event:
+    """One memory event of a candidate execution."""
+
+    uid: int
+    tid: int
+    index: int
+    kind: str   # "R" | "W"
+    addr: str
+    reg: Optional[str]
+    value: Optional[int]  # write value; read value filled per candidate
+
+
+def _events_of(program: Program) -> List[Event]:
+    events = []
+    uid = 0
+    for tid, thread in enumerate(program):
+        for index, access in enumerate(thread):
+            events.append(Event(uid, tid, index, access.kind, access.addr,
+                                access.reg, access.value))
+            uid += 1
+    return events
+
+
+def _acyclic(edges: Set[Tuple[int, int]]) -> bool:
+    succ: Dict[int, List[int]] = {}
+    for src, dst in edges:
+        succ.setdefault(src, []).append(dst)
+    state: Dict[int, int] = {}
+
+    def visit(node: int) -> bool:
+        mark = state.get(node)
+        if mark == 1:
+            return False
+        if mark == 2:
+            return True
+        state[node] = 1
+        for nxt in succ.get(node, ()):
+            if not visit(nxt):
+                return False
+        state[node] = 2
+        return True
+
+    return all(visit(node) for node in list(succ))
+
+
+class CandidateExecution:
+    """One (rf, co) choice for a program."""
+
+    def __init__(self, events: List[Event], rf: Dict[int, Optional[int]],
+                 co: Dict[str, Tuple[int, ...]]):
+        self.events = events
+        self.rf = rf      # read uid -> write uid or None (initial value)
+        self.co = co      # addr -> write uids in coherence order
+
+    # ------------------------------------------------------------------
+    # Relations (as edge sets over event uids)
+    # ------------------------------------------------------------------
+    def po(self) -> Set[Tuple[int, int]]:
+        edges = set()
+        by_thread: Dict[int, List[Event]] = {}
+        for event in self.events:
+            by_thread.setdefault(event.tid, []).append(event)
+        for thread in by_thread.values():
+            thread.sort(key=lambda e: e.index)
+            for first, second in zip(thread, thread[1:]):
+                edges.add((first.uid, second.uid))
+        return edges
+
+    def po_loc(self) -> Set[Tuple[int, int]]:
+        by_uid = {e.uid: e for e in self.events}
+        return {(a, b) for a, b in self._po_transitive()
+                if by_uid[a].addr == by_uid[b].addr}
+
+    def _po_transitive(self) -> Set[Tuple[int, int]]:
+        edges = set()
+        by_thread: Dict[int, List[Event]] = {}
+        for event in self.events:
+            by_thread.setdefault(event.tid, []).append(event)
+        for thread in by_thread.values():
+            thread.sort(key=lambda e: e.index)
+            for i, first in enumerate(thread):
+                for second in thread[i + 1:]:
+                    edges.add((first.uid, second.uid))
+        return edges
+
+    def rf_edges(self) -> Set[Tuple[int, int]]:
+        return {(w, r) for r, w in self.rf.items() if w is not None}
+
+    def co_edges(self) -> Set[Tuple[int, int]]:
+        edges = set()
+        for order in self.co.values():
+            for i, first in enumerate(order):
+                for second in order[i + 1:]:
+                    edges.add((first, second))
+        return edges
+
+    def fr_edges(self) -> Set[Tuple[int, int]]:
+        """fr = rf^-1 ; co (reads from initial value precede all writes
+        to the address)."""
+        edges = set()
+        by_uid = {e.uid: e for e in self.events}
+        for read_uid, write_uid in self.rf.items():
+            read = by_uid[read_uid]
+            order = self.co.get(read.addr, ())
+            if write_uid is None:
+                for w in order:
+                    edges.add((read_uid, w))
+            else:
+                position = order.index(write_uid)
+                for w in order[position + 1:]:
+                    edges.add((read_uid, w))
+        return edges
+
+    # ------------------------------------------------------------------
+    def read_values(self) -> Dict[int, int]:
+        by_uid = {e.uid: e for e in self.events}
+        values = {}
+        for read_uid, write_uid in self.rf.items():
+            values[read_uid] = 0 if write_uid is None else by_uid[write_uid].value
+        return values
+
+    def outcome(self) -> Outcome:
+        by_uid = {e.uid: e for e in self.events}
+        regs: Dict[Tuple[int, str], int] = {}
+        for read_uid, value in self.read_values().items():
+            event = by_uid[read_uid]
+            regs[(event.tid, event.reg)] = value
+        for addr, order in self.co.items():
+            regs[(-1, addr)] = by_uid[order[-1]].value if order else 0
+        # Addresses never written still report their initial value.
+        for event in self.events:
+            regs.setdefault((-1, event.addr), 0)
+        return make_outcome(regs)
+
+
+def enumerate_candidates(program: Program) -> Iterator[CandidateExecution]:
+    """All (rf, co) candidate executions of a program."""
+    events = _events_of(program)
+    reads = [e for e in events if e.kind == "R"]
+    writes_by_addr: Dict[str, List[Event]] = {}
+    for event in events:
+        if event.kind == "W":
+            writes_by_addr.setdefault(event.addr, []).append(event)
+
+    rf_choices = []
+    for read in reads:
+        sources: List[Optional[int]] = [None]
+        sources += [w.uid for w in writes_by_addr.get(read.addr, [])]
+        rf_choices.append(sources)
+
+    co_choices = []
+    addrs = sorted(writes_by_addr)
+    for addr in addrs:
+        uids = [w.uid for w in writes_by_addr[addr]]
+        co_choices.append([tuple(p) for p in itertools.permutations(uids)])
+
+    for rf_combo in itertools.product(*rf_choices) if rf_choices else [()]:
+        rf = {read.uid: source for read, source in zip(reads, rf_combo)}
+        for co_combo in itertools.product(*co_choices) if co_choices else [()]:
+            co = dict(zip(addrs, co_combo))
+            yield CandidateExecution(events, rf, co)
+
+
+def _sc_consistent(candidate: CandidateExecution) -> bool:
+    edges = candidate.po() | candidate.rf_edges() | candidate.co_edges() \
+        | candidate.fr_edges()
+    return _acyclic(edges)
+
+
+def _tso_consistent(candidate: CandidateExecution) -> bool:
+    by_uid = {e.uid: e for e in candidate.events}
+    # ppo: program order minus write->read (the store buffer relaxation).
+    ppo = {(a, b) for a, b in candidate._po_transitive()
+           if not (by_uid[a].kind == "W" and by_uid[b].kind == "R")}
+    # rfe: external reads-from only; internal rf may be satisfied early
+    # by store forwarding.
+    rfe = {(w, r) for w, r in candidate.rf_edges()
+           if by_uid[w].tid != by_uid[r].tid}
+    ghb = ppo | rfe | candidate.co_edges() | candidate.fr_edges()
+    if not _acyclic(ghb):
+        return False
+    # SC per location (coherence).
+    per_loc = candidate.po_loc() | candidate.rf_edges() | candidate.co_edges() \
+        | candidate.fr_edges()
+    return _acyclic(per_loc)
+
+
+def axiomatic_sc_outcomes(program: Program) -> Set[Outcome]:
+    """Outcomes of all SC-consistent candidate executions."""
+    return {c.outcome() for c in enumerate_candidates(program)
+            if _sc_consistent(c)}
+
+
+def axiomatic_tso_outcomes(program: Program) -> Set[Outcome]:
+    """Outcomes of all TSO-consistent candidate executions."""
+    return {c.outcome() for c in enumerate_candidates(program)
+            if _tso_consistent(c)}

@@ -1,0 +1,50 @@
+"""Program representation shared by the SC and TSO reference models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory access in a litmus thread.
+
+    ``kind`` is ``"R"`` (load into ``reg``) or ``"W"`` (store of constant
+    ``value``). Addresses are symbolic location names (``"x"``, ``"y"``).
+    """
+
+    kind: str
+    addr: str
+    reg: Optional[str] = None    # destination register for loads
+    value: Optional[int] = None  # stored constant for writes
+
+    def __post_init__(self):
+        if self.kind not in ("R", "W"):
+            raise ValueError(f"bad access kind {self.kind!r}")
+        if self.kind == "R" and self.reg is None:
+            raise ValueError("loads need a destination register")
+        if self.kind == "W" and self.value is None:
+            raise ValueError("stores need a value")
+
+
+Thread = Tuple[Access, ...]
+Program = Tuple[Thread, ...]
+
+#: An outcome maps (thread_index, register) to the loaded value.
+#: Final memory state appears under thread index -1: (-1, addr) -> value.
+Outcome = Tuple[Tuple[Tuple[int, str], int], ...]
+
+
+def make_outcome(regs: Dict[Tuple[int, str], int]) -> Outcome:
+    return tuple(sorted(regs.items()))
+
+
+def R(addr: str, reg: str) -> Access:
+    """Shorthand for a load."""
+    return Access("R", addr, reg=reg)
+
+
+def W(addr: str, value: int) -> Access:
+    """Shorthand for a store."""
+    return Access("W", addr, value=value)

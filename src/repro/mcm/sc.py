@@ -1,0 +1,52 @@
+"""Sequential Consistency reference: exhaustive interleaving enumeration.
+
+SC (Lamport 1979) admits exactly the outcomes of some total interleaving
+of the threads' programs that respects each thread's program order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .events import Outcome, Program, make_outcome
+
+
+def sc_outcomes(program: Program) -> Set[Outcome]:
+    """All register outcomes observable under SC (memory initialized 0)."""
+    results: Set[Outcome] = set()
+    num_threads = len(program)
+    seen: Set[Tuple] = set()
+    all_addrs = sorted({a.addr for t in program for a in t})
+
+    def explore(pcs: Tuple[int, ...], memory: Tuple[Tuple[str, int], ...],
+                regs: Tuple[Tuple[Tuple[int, str], int], ...]) -> None:
+        state = (pcs, memory, regs)
+        if state in seen:
+            return
+        seen.add(state)
+        mem_map = dict(memory)
+        done = True
+        for tid in range(num_threads):
+            pc = pcs[tid]
+            if pc >= len(program[tid]):
+                continue
+            done = False
+            access = program[tid][pc]
+            new_pcs = pcs[:tid] + (pc + 1,) + pcs[tid + 1:]
+            if access.kind == "W":
+                new_mem = dict(mem_map)
+                new_mem[access.addr] = access.value
+                explore(new_pcs, tuple(sorted(new_mem.items())), regs)
+            else:
+                value = mem_map.get(access.addr, 0)
+                new_regs = dict(regs)
+                new_regs[(tid, access.reg)] = value
+                explore(new_pcs, memory, tuple(sorted(new_regs.items())))
+        if done:
+            final = dict(regs)
+            for addr in all_addrs:
+                final[(-1, addr)] = mem_map.get(addr, 0)
+            results.add(make_outcome(final))
+
+    explore(tuple(0 for _ in program), tuple(), tuple())
+    return results

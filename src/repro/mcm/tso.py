@@ -1,0 +1,73 @@
+"""Total Store Order reference: operational model with FIFO store buffers.
+
+TSO (as in x86-TSO, Owens et al. 2009, paper ref [35]) lets each thread
+buffer its stores in a private FIFO; loads forward from the local buffer
+when possible and otherwise read memory; buffered stores drain to memory
+in order at arbitrary times. This admits a superset of SC outcomes
+(e.g. the non-SC outcome of the SB test).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from .events import Outcome, Program, make_outcome
+
+
+def tso_outcomes(program: Program) -> Set[Outcome]:
+    """All register outcomes observable under TSO (memory initialized 0)."""
+    results: Set[Outcome] = set()
+    num_threads = len(program)
+    seen: Set[Tuple] = set()
+    all_addrs = sorted({a.addr for t in program for a in t})
+
+    def explore(pcs: Tuple[int, ...], memory: Tuple[Tuple[str, int], ...],
+                buffers: Tuple[Tuple[Tuple[str, int], ...], ...],
+                regs: Tuple[Tuple[Tuple[int, str], int], ...]) -> None:
+        state = (pcs, memory, buffers, regs)
+        if state in seen:
+            return
+        seen.add(state)
+        mem_map = dict(memory)
+        progressed = False
+        for tid in range(num_threads):
+            # Option 1: drain the oldest buffered store.
+            if buffers[tid]:
+                progressed = True
+                addr, value = buffers[tid][0]
+                new_mem = dict(mem_map)
+                new_mem[addr] = value
+                new_buffers = buffers[:tid] + (buffers[tid][1:],) + buffers[tid + 1:]
+                explore(pcs, tuple(sorted(new_mem.items())), new_buffers, regs)
+            # Option 2: execute the next instruction.
+            pc = pcs[tid]
+            if pc < len(program[tid]):
+                progressed = True
+                access = program[tid][pc]
+                new_pcs = pcs[:tid] + (pc + 1,) + pcs[tid + 1:]
+                if access.kind == "W":
+                    new_buffers = buffers[:tid] + \
+                        (buffers[tid] + ((access.addr, access.value),),) + buffers[tid + 1:]
+                    explore(new_pcs, memory, new_buffers, regs)
+                else:
+                    # Store-to-load forwarding: newest matching buffered
+                    # store wins; otherwise read memory.
+                    value = None
+                    for addr, buffered in reversed(buffers[tid]):
+                        if addr == access.addr:
+                            value = buffered
+                            break
+                    if value is None:
+                        value = mem_map.get(access.addr, 0)
+                    new_regs = dict(regs)
+                    new_regs[(tid, access.reg)] = value
+                    explore(new_pcs, memory, buffers, tuple(sorted(new_regs.items())))
+        if not progressed:
+            final = dict(regs)
+            for addr in all_addrs:
+                final[(-1, addr)] = mem_map.get(addr, 0)
+            results.add(make_outcome(final))
+
+    explore(tuple(0 for _ in program), tuple(),
+            tuple(tuple() for _ in program), tuple())
+    return results

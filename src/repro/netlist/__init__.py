@@ -1,0 +1,53 @@
+"""Word-level netlist IR (the reproduction's RTLIL analogue).
+
+Produced by ``repro.verilog`` elaboration; consumed by ``repro.dfg``
+(full-design DFG extraction), ``repro.sim`` (cycle-accurate simulation)
+and ``repro.formal`` (bit-blasting for property checks).
+"""
+
+from .ir import (
+    ARITH_OPS,
+    BITWISE_OPS,
+    COMB_OPS,
+    COMPARE_OPS,
+    LOGIC_OPS,
+    REDUCE_OPS,
+    SHIFT_OPS,
+    Cell,
+    Const,
+    Dff,
+    Memory,
+    MemReadPort,
+    MemWritePort,
+    Netlist,
+    SignalRef,
+    Wire,
+)
+from .opseval import eval_cell, mask
+from .passes import cone_of_influence, fold_constants, support_wires
+from .verilog_out import write_verilog
+
+__all__ = [
+    "Netlist",
+    "Wire",
+    "Cell",
+    "Const",
+    "Dff",
+    "Memory",
+    "MemReadPort",
+    "MemWritePort",
+    "SignalRef",
+    "COMB_OPS",
+    "BITWISE_OPS",
+    "REDUCE_OPS",
+    "LOGIC_OPS",
+    "COMPARE_OPS",
+    "ARITH_OPS",
+    "SHIFT_OPS",
+    "eval_cell",
+    "mask",
+    "cone_of_influence",
+    "fold_constants",
+    "support_wires",
+    "write_verilog",
+]

@@ -1,0 +1,447 @@
+"""Word-level netlist intermediate representation.
+
+This is the reproduction's analogue of Yosys RTLIL (paper section 4.1): a
+flat graph of state elements (flip-flop registers and memories) connected
+through word-level combinational cells. The Verilog elaborator produces
+it; the DFG extractor, RTL simulator, and bit-blaster consume it.
+
+Conventions
+-----------
+* There is a single implicit global clock; every :class:`Dff` and memory
+  write port updates on its rising edge.
+* Every wire is driven exactly once — by a cell output, a top-level
+  input, or a DFF/memory-read output. The elaborator guarantees this;
+  :meth:`Netlist.validate` re-checks it.
+* All arithmetic/comparison cells are unsigned. Signed constructs are
+  lowered by the elaborator before reaching the IR.
+* Hierarchy is flattened; wire names are hierarchical paths such as
+  ``core_gen[0].pipeline.inst_DX``, matching the naming style of the
+  paper's case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import NetlistError
+
+# ---------------------------------------------------------------------------
+# Signals
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant signal value: ``width`` bits holding ``value``."""
+
+    width: int
+    value: int
+
+    def __post_init__(self):
+        if self.width <= 0:
+            raise NetlistError(f"constant width must be positive, got {self.width}")
+        object.__setattr__(self, "value", self.value & ((1 << self.width) - 1))
+
+    def __repr__(self) -> str:
+        return f"{self.width}'d{self.value}"
+
+
+SignalRef = Union[str, Const]
+"""Either a wire name or an inline constant."""
+
+
+@dataclass
+class Wire:
+    """A named signal bundle of ``width`` bits."""
+
+    name: str
+    width: int
+
+    def __post_init__(self):
+        if self.width <= 0:
+            raise NetlistError(f"wire {self.name!r} has non-positive width {self.width}")
+
+
+# ---------------------------------------------------------------------------
+# Cells
+# ---------------------------------------------------------------------------
+
+#: Bitwise ops: all operands and the output share a width.
+BITWISE_OPS = ("not", "and", "or", "xor", "xnor")
+#: Reduction ops: one operand, 1-bit output.
+REDUCE_OPS = ("redand", "redor", "redxor")
+#: Logical ops: 1-bit output; operands any width (tested against zero).
+LOGIC_OPS = ("lognot", "logand", "logor")
+#: Comparison ops: 1-bit output; operands share a width. Unsigned.
+COMPARE_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+#: Arithmetic ops: operands and output share a width (modular).
+ARITH_OPS = ("add", "sub", "mul")
+#: Shift ops: first operand and output share a width; second is the amount.
+SHIFT_OPS = ("shl", "shr")
+
+COMB_OPS = BITWISE_OPS + REDUCE_OPS + LOGIC_OPS + COMPARE_OPS + ARITH_OPS + SHIFT_OPS + (
+    "mux",
+    "concat",
+    "slice",
+    "zext",
+)
+
+
+@dataclass
+class Cell:
+    """A combinational cell.
+
+    ``op`` is one of :data:`COMB_OPS`. ``inputs`` are signal references
+    in operand order; for ``mux`` the order is ``(sel, when_true,
+    when_false)``; for ``concat`` the order is most-significant first
+    (Verilog ``{a, b}`` = inputs ``[a, b]``); ``slice`` takes the input
+    plus ``lo``/``hi`` attrs; ``zext`` zero-extends to the output width.
+    """
+
+    name: str
+    op: str
+    inputs: List[SignalRef]
+    output: str
+    attrs: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.op not in COMB_OPS:
+            raise NetlistError(f"unknown cell op {self.op!r}")
+
+
+@dataclass
+class Dff:
+    """A D flip-flop register (one per Verilog ``reg`` vector).
+
+    ``init`` is the power-on value (the V-scale designs use synchronous
+    reset, which the elaborator lowers into the D-input logic, so
+    ``init`` only matters for cycle 0).
+    """
+
+    name: str
+    d: SignalRef
+    q: str
+    width: int
+    init: int = 0
+
+
+@dataclass
+class MemReadPort:
+    """An asynchronous (combinational) memory read port."""
+
+    name: str
+    memory: str
+    addr: SignalRef
+    data: str
+
+
+@dataclass
+class MemWritePort:
+    """A synchronous memory write port (commits on the clock edge).
+
+    When several write ports target one memory in the same cycle, later
+    ports in :attr:`Memory.write_ports` order win (matching sequential
+    assignment order in an always block).
+    """
+
+    name: str
+    memory: str
+    addr: SignalRef
+    data: SignalRef
+    enable: SignalRef
+
+
+@dataclass
+class Memory:
+    """An addressable state array (register file, data memory, ...)."""
+
+    name: str
+    width: int
+    depth: int
+    read_ports: List[MemReadPort] = field(default_factory=list)
+    write_ports: List[MemWritePort] = field(default_factory=list)
+    init: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def addr_width(self) -> int:
+        """Bits needed to address every cell."""
+        return max(1, (self.depth - 1).bit_length())
+
+
+# ---------------------------------------------------------------------------
+# Netlist container
+# ---------------------------------------------------------------------------
+
+
+class Netlist:
+    """A flattened design: wires, combinational cells, DFFs, memories."""
+
+    def __init__(self, name: str = "top"):
+        self.name = name
+        self.wires: Dict[str, Wire] = {}
+        self.cells: List[Cell] = []
+        self.dffs: Dict[str, Dff] = {}
+        self.memories: Dict[str, Memory] = {}
+        self.inputs: Dict[str, int] = {}  # name -> width
+        self.outputs: Dict[str, int] = {}
+        self._cell_counter = 0
+        self._topo_cache: Optional[List[Cell]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_wire(self, name: str, width: int) -> Wire:
+        if name in self.wires:
+            raise NetlistError(f"duplicate wire {name!r}")
+        wire = Wire(name, width)
+        self.wires[name] = wire
+        self._topo_cache = None
+        return wire
+
+    def fresh_name(self, prefix: str = "$n") -> str:
+        """Return an unused internal wire/cell name."""
+        while True:
+            self._cell_counter += 1
+            name = f"{prefix}{self._cell_counter}"
+            if name not in self.wires:
+                return name
+
+    def add_input(self, name: str, width: int) -> Wire:
+        wire = self.add_wire(name, width)
+        self.inputs[name] = width
+        return wire
+
+    def mark_output(self, name: str) -> None:
+        if name not in self.wires:
+            raise NetlistError(f"cannot mark unknown wire {name!r} as output")
+        self.outputs[name] = self.wires[name].width
+
+    def add_cell(self, op: str, inputs: Sequence[SignalRef], output: str,
+                 attrs: Optional[Dict[str, int]] = None, name: Optional[str] = None) -> Cell:
+        if output not in self.wires:
+            raise NetlistError(f"cell output wire {output!r} does not exist")
+        cell = Cell(name or self.fresh_name("$cell"), op, list(inputs), output, attrs or {})
+        self.cells.append(cell)
+        self._topo_cache = None
+        return cell
+
+    def add_dff(self, name: str, d: SignalRef, q: str, width: int, init: int = 0) -> Dff:
+        if name in self.dffs:
+            raise NetlistError(f"duplicate DFF {name!r}")
+        if q not in self.wires:
+            raise NetlistError(f"DFF output wire {q!r} does not exist")
+        dff = Dff(name, d, q, width, init)
+        self.dffs[name] = dff
+        self._topo_cache = None
+        return dff
+
+    def add_memory(self, name: str, width: int, depth: int,
+                   init: Optional[Dict[int, int]] = None) -> Memory:
+        if name in self.memories:
+            raise NetlistError(f"duplicate memory {name!r}")
+        mem = Memory(name, width, depth, init=dict(init or {}))
+        self.memories[name] = mem
+        self._topo_cache = None
+        return mem
+
+    def add_read_port(self, memory: str, addr: SignalRef, data: str) -> MemReadPort:
+        mem = self.memories[memory]
+        port = MemReadPort(f"{memory}$rd{len(mem.read_ports)}", memory, addr, data)
+        mem.read_ports.append(port)
+        self._topo_cache = None
+        return port
+
+    def add_write_port(self, memory: str, addr: SignalRef, data: SignalRef,
+                       enable: SignalRef) -> MemWritePort:
+        mem = self.memories[memory]
+        port = MemWritePort(f"{memory}$wr{len(mem.write_ports)}", memory, addr, data, enable)
+        mem.write_ports.append(port)
+        return port
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def width_of(self, ref: SignalRef) -> int:
+        if isinstance(ref, Const):
+            return ref.width
+        try:
+            return self.wires[ref].width
+        except KeyError:
+            raise NetlistError(f"unknown wire {ref!r}") from None
+
+    def driver_map(self) -> Dict[str, object]:
+        """Map each driven wire name to its driver (Cell/Dff/MemReadPort/'input')."""
+        drivers: Dict[str, object] = {}
+
+        def set_driver(name: str, driver: object) -> None:
+            if name in drivers:
+                raise NetlistError(f"wire {name!r} is driven more than once")
+            drivers[name] = driver
+
+        for name in self.inputs:
+            set_driver(name, "input")
+        for cell in self.cells:
+            set_driver(cell.output, cell)
+        for dff in self.dffs.values():
+            set_driver(dff.q, dff)
+        for mem in self.memories.values():
+            for port in mem.read_ports:
+                set_driver(port.data, port)
+        return drivers
+
+    def state_elements(self) -> List[str]:
+        """Names of all state elements (DFFs then memories), sorted."""
+        return sorted(self.dffs) + sorted(self.memories)
+
+    # ------------------------------------------------------------------
+    # Validation and scheduling
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check single-driver, width, and reference invariants."""
+        drivers = self.driver_map()
+        for name, wire in self.wires.items():
+            if name not in drivers:
+                raise NetlistError(f"wire {name!r} has no driver")
+            del wire  # width checked below per use
+        for cell in self.cells:
+            self._check_cell_widths(cell)
+        for dff in self.dffs.values():
+            if self.width_of(dff.d) != dff.width or self.wires[dff.q].width != dff.width:
+                raise NetlistError(f"DFF {dff.name!r} has mismatched widths")
+        for mem in self.memories.values():
+            for rp in mem.read_ports:
+                if self.wires[rp.data].width != mem.width:
+                    raise NetlistError(f"read port {rp.name!r} width mismatch")
+            for wp in mem.write_ports:
+                if self.width_of(wp.data) != mem.width:
+                    raise NetlistError(f"write port {wp.name!r} data width mismatch")
+                if self.width_of(wp.enable) != 1:
+                    raise NetlistError(f"write port {wp.name!r} enable must be 1 bit")
+        self.topo_cells()  # raises on combinational cycles
+
+    def _check_cell_widths(self, cell: Cell) -> None:
+        out_w = self.wires[cell.output].width
+        widths = [self.width_of(ref) for ref in cell.inputs]
+        op = cell.op
+        if op in BITWISE_OPS or op in ARITH_OPS:
+            if any(w != out_w for w in widths):
+                raise NetlistError(f"cell {cell.name!r} ({op}): operand/output width mismatch")
+        elif op in REDUCE_OPS or op in LOGIC_OPS or op in COMPARE_OPS:
+            if out_w != 1:
+                raise NetlistError(f"cell {cell.name!r} ({op}): output must be 1 bit")
+            if op in COMPARE_OPS and widths[0] != widths[1]:
+                raise NetlistError(f"cell {cell.name!r} ({op}): operand width mismatch")
+        elif op in SHIFT_OPS:
+            if widths[0] != out_w:
+                raise NetlistError(f"cell {cell.name!r} ({op}): value/output width mismatch")
+        elif op == "mux":
+            if widths[0] != 1 or widths[1] != out_w or widths[2] != out_w:
+                raise NetlistError(f"cell {cell.name!r} (mux): width mismatch")
+        elif op == "concat":
+            if sum(widths) != out_w:
+                raise NetlistError(f"cell {cell.name!r} (concat): widths sum to {sum(widths)}, output is {out_w}")
+        elif op == "slice":
+            lo, hi = cell.attrs["lo"], cell.attrs["hi"]
+            if not (0 <= lo <= hi < widths[0]) or out_w != hi - lo + 1:
+                raise NetlistError(f"cell {cell.name!r} (slice): bad range [{hi}:{lo}] of {widths[0]}")
+        elif op == "zext":
+            if widths[0] > out_w:
+                raise NetlistError(f"cell {cell.name!r} (zext): input wider than output")
+
+    def topo_cells(self) -> List[Cell]:
+        """Combinational cells (and read ports treated as sources) in
+        dependency order; raises on a combinational cycle."""
+        if self._topo_cache is not None:
+            return self._topo_cache
+        drivers = self.driver_map()
+        order: List[Cell] = []
+        state: Dict[str, int] = {}  # cell name -> 0 visiting, 1 done
+
+        def visit(cell: Cell, stack: List[str]) -> None:
+            mark = state.get(cell.name)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(stack + [cell.name])
+                raise NetlistError(f"combinational cycle: {cycle}")
+            state[cell.name] = 0
+            stack.append(cell.name)
+            for ref in cell.inputs:
+                if isinstance(ref, Const):
+                    continue
+                driver = drivers.get(ref)
+                if isinstance(driver, Cell):
+                    visit(driver, stack)
+                elif isinstance(driver, MemReadPort):
+                    # A combinational read depends on its address cone.
+                    addr_driver = drivers.get(driver.addr) if isinstance(driver.addr, str) else None
+                    if isinstance(addr_driver, Cell):
+                        visit(addr_driver, stack)
+            stack.pop()
+            state[cell.name] = 1
+            order.append(cell)
+
+        # Memory read addresses must themselves be scheduled before any
+        # consumer of the read data; handle by visiting address cones of
+        # read ports explicitly (the read itself is instantaneous).
+        import sys
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 10000 + 2 * len(self.cells)))
+        try:
+            for cell in self.cells:
+                visit(cell, [])
+        finally:
+            sys.setrecursionlimit(old_limit)
+        self._topo_cache = order
+        return order
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "Netlist":
+        """Deep-copy the netlist (used to attach per-property monitors
+        without disturbing the base design)."""
+        clone = Netlist(name or self.name)
+        for wire in self.wires.values():
+            clone.wires[wire.name] = Wire(wire.name, wire.width)
+        clone.inputs = dict(self.inputs)
+        clone.outputs = dict(self.outputs)
+        for cell in self.cells:
+            clone.cells.append(Cell(cell.name, cell.op, list(cell.inputs),
+                                    cell.output, dict(cell.attrs)))
+        for dff in self.dffs.values():
+            clone.dffs[dff.name] = Dff(dff.name, dff.d, dff.q, dff.width, dff.init)
+        for mem in self.memories.values():
+            new_mem = Memory(mem.name, mem.width, mem.depth, init=dict(mem.init))
+            new_mem.read_ports = [MemReadPort(rp.name, rp.memory, rp.addr, rp.data)
+                                  for rp in mem.read_ports]
+            new_mem.write_ports = [MemWritePort(wp.name, wp.memory, wp.addr,
+                                                wp.data, wp.enable)
+                                   for wp in mem.write_ports]
+            clone.memories[mem.name] = new_mem
+        clone._cell_counter = self._cell_counter
+        return clone
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Design-size statistics in the style of paper section 5.1."""
+        dff_bits = sum(dff.width for dff in self.dffs.values())
+        mem_bits = sum(m.width * m.depth for m in self.memories.values())
+        return {
+            "wires": len(self.wires),
+            "cells": len(self.cells),
+            "registers": len(self.dffs),
+            "memories": len(self.memories),
+            "dff_bits": dff_bits,
+            "memory_bits": mem_bits,
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (f"Netlist({self.name!r}, wires={s['wires']}, cells={s['cells']}, "
+                f"registers={s['registers']}, memories={s['memories']})")

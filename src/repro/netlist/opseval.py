@@ -1,0 +1,111 @@
+"""Concrete evaluation of netlist cell operations on Python integers.
+
+Shared by the RTL simulator and the constant-folding pass so that both
+agree exactly on cell semantics. All values are non-negative ints
+masked to their wire width; all operators are unsigned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..errors import NetlistError
+from .ir import Cell
+
+
+def mask(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits."""
+    return value & ((1 << width) - 1)
+
+
+def eval_cell(cell: Cell, operands: Sequence[int], widths: Sequence[int], out_width: int) -> int:
+    """Evaluate one combinational cell.
+
+    ``operands`` are the already-masked input values, ``widths`` their
+    widths, ``out_width`` the output wire width.
+    """
+    op = cell.op
+    if op == "not":
+        return mask(~operands[0], out_width)
+    if op == "and":
+        result = operands[0]
+        for val in operands[1:]:
+            result &= val
+        return result
+    if op == "or":
+        result = operands[0]
+        for val in operands[1:]:
+            result |= val
+        return result
+    if op == "xor":
+        result = operands[0]
+        for val in operands[1:]:
+            result ^= val
+        return result
+    if op == "xnor":
+        return mask(~(operands[0] ^ operands[1]), out_width)
+    if op == "redand":
+        return 1 if operands[0] == mask(-1, widths[0]) else 0
+    if op == "redor":
+        return 1 if operands[0] != 0 else 0
+    if op == "redxor":
+        return bin(operands[0]).count("1") & 1
+    if op == "lognot":
+        return 1 if operands[0] == 0 else 0
+    if op == "logand":
+        return 1 if all(v != 0 for v in operands) else 0
+    if op == "logor":
+        return 1 if any(v != 0 for v in operands) else 0
+    if op == "eq":
+        return 1 if operands[0] == operands[1] else 0
+    if op == "ne":
+        return 1 if operands[0] != operands[1] else 0
+    if op == "lt":
+        return 1 if operands[0] < operands[1] else 0
+    if op == "le":
+        return 1 if operands[0] <= operands[1] else 0
+    if op == "gt":
+        return 1 if operands[0] > operands[1] else 0
+    if op == "ge":
+        return 1 if operands[0] >= operands[1] else 0
+    if op == "add":
+        return mask(operands[0] + operands[1], out_width)
+    if op == "sub":
+        return mask(operands[0] - operands[1], out_width)
+    if op == "mul":
+        return mask(operands[0] * operands[1], out_width)
+    if op == "shl":
+        shift = operands[1]
+        if shift >= out_width:
+            return 0
+        return mask(operands[0] << shift, out_width)
+    if op == "shr":
+        shift = operands[1]
+        if shift >= widths[0]:
+            return 0
+        return operands[0] >> shift
+    if op == "mux":
+        return operands[1] if operands[0] else operands[2]
+    if op == "concat":
+        result = 0
+        for val, width in zip(operands, widths):
+            result = (result << width) | val
+        return result
+    if op == "slice":
+        lo, hi = cell.attrs["lo"], cell.attrs["hi"]
+        return (operands[0] >> lo) & ((1 << (hi - lo + 1)) - 1)
+    if op == "zext":
+        return operands[0]
+    raise NetlistError(f"eval_cell: unknown op {op!r}")
+
+
+def eval_const_expr(op: str, operands: Sequence[int], widths: Sequence[int],
+                    out_width: int, attrs: Dict[str, int]) -> int:
+    """Evaluate an op outside a Cell object (used by the elaborator)."""
+    cell = Cell.__new__(Cell)
+    cell.name = "$const"
+    cell.op = op
+    cell.inputs = []
+    cell.output = ""
+    cell.attrs = attrs
+    return eval_cell(cell, operands, widths, out_width)

@@ -1,0 +1,147 @@
+"""Netlist transformation and analysis passes.
+
+The formal engine leans on :func:`cone_of_influence` to shrink property
+checks to the state that can actually affect the asserted signals — the
+"highly localized properties" the paper credits for its low proof times
+(section 6.4, Scalability).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from ..errors import NetlistError
+from .ir import Cell, Const, Dff, MemReadPort, Memory, Netlist
+
+
+def support_wires(netlist: Netlist, roots: Iterable[str]) -> Set[str]:
+    """All wires transitively feeding ``roots`` (through cells, DFFs and
+    memory ports) — the sequential fan-in closure."""
+    drivers = netlist.driver_map()
+    seen: Set[str] = set()
+    stack: List[str] = [r for r in roots]
+    mem_by_name = netlist.memories
+
+    def push(ref) -> None:
+        if isinstance(ref, str) and ref not in seen:
+            stack.append(ref)
+
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        if name not in netlist.wires:
+            raise NetlistError(f"cone_of_influence: unknown wire {name!r}")
+        seen.add(name)
+        driver = drivers.get(name)
+        if isinstance(driver, Cell):
+            for ref in driver.inputs:
+                push(ref)
+        elif isinstance(driver, Dff):
+            push(driver.d)
+        elif isinstance(driver, MemReadPort):
+            push(driver.addr)
+            mem = mem_by_name[driver.memory]
+            for wp in mem.write_ports:
+                push(wp.addr)
+                push(wp.data)
+                push(wp.enable)
+    return seen
+
+
+def cone_of_influence(netlist: Netlist, roots: Iterable[str]) -> Netlist:
+    """Return a new netlist restricted to the fan-in cone of ``roots``.
+
+    Wires outside the cone are dropped; inputs feeding the cone are
+    kept. Memories are kept whole if any of their read ports is in the
+    cone (their write cones are then included too).
+    """
+    keep = support_wires(netlist, roots)
+    reduced = Netlist(f"{netlist.name}$coi")
+    for name, wire in netlist.wires.items():
+        if name in keep:
+            reduced.add_wire(name, wire.width)
+    for name, width in netlist.inputs.items():
+        if name in keep:
+            reduced.inputs[name] = width
+    for name in netlist.outputs:
+        if name in keep:
+            reduced.outputs[name] = netlist.outputs[name]
+    for cell in netlist.cells:
+        if cell.output in keep:
+            reduced.cells.append(Cell(cell.name, cell.op, list(cell.inputs), cell.output, dict(cell.attrs)))
+    for dff in netlist.dffs.values():
+        if dff.q in keep:
+            reduced.dffs[dff.name] = Dff(dff.name, dff.d, dff.q, dff.width, dff.init)
+    kept_mems: Set[str] = set()
+    for mem in netlist.memories.values():
+        ports_in_cone = [rp for rp in mem.read_ports if rp.data in keep]
+        if not ports_in_cone:
+            continue
+        kept_mems.add(mem.name)
+        new_mem = Memory(mem.name, mem.width, mem.depth, init=dict(mem.init))
+        new_mem.read_ports = [MemReadPort(rp.name, rp.memory, rp.addr, rp.data) for rp in ports_in_cone]
+        new_mem.write_ports = list(mem.write_ports)
+        reduced.memories[mem.name] = new_mem
+    reduced.validate()
+    return reduced
+
+
+def fold_constants(netlist: Netlist) -> int:
+    """Replace cells whose inputs are all constants with inline constants.
+
+    Rewrites consumer inputs in place; returns the number of cells
+    folded. Run repeatedly to convergence by the caller if desired (a
+    single pass already folds chains because cells are visited in
+    topological order).
+    """
+    from .opseval import eval_cell
+
+    folded: Dict[str, Const] = {}
+    remaining: List[Cell] = []
+
+    def resolve(ref):
+        if isinstance(ref, str) and ref in folded:
+            return folded[ref]
+        return ref
+
+    for cell in netlist.topo_cells():
+        cell.inputs = [resolve(ref) for ref in cell.inputs]
+        if all(isinstance(ref, Const) for ref in cell.inputs):
+            out_width = netlist.wires[cell.output].width
+            value = eval_cell(
+                cell,
+                [ref.value for ref in cell.inputs],
+                [ref.width for ref in cell.inputs],
+                out_width,
+            )
+            folded[cell.output] = Const(out_width, value)
+        else:
+            remaining.append(cell)
+
+    if not folded:
+        return 0
+    # Rewrite all other consumers.
+    for dff in netlist.dffs.values():
+        dff.d = resolve(dff.d)
+    for mem in netlist.memories.values():
+        for rp in mem.read_ports:
+            rp.addr = resolve(rp.addr)
+        for wp in mem.write_ports:
+            wp.addr = resolve(wp.addr)
+            wp.data = resolve(wp.data)
+            wp.enable = resolve(wp.enable)
+    for cell in remaining:
+        cell.inputs = [resolve(ref) for ref in cell.inputs]
+    # Drop folded cells and orphan wires (unless they are outputs).
+    folded_names = set(folded)
+    netlist.cells = [c for c in netlist.cells if c.output not in folded_names]
+    for name in list(folded_names):
+        if name not in netlist.outputs:
+            del netlist.wires[name]
+        else:
+            # Keep output wires alive with an explicit constant driver.
+            const = folded[name]
+            netlist.add_cell("zext", [const], name)
+    netlist._topo_cache = None
+    return len(folded)

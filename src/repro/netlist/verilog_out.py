@@ -1,0 +1,175 @@
+"""Netlist -> Verilog back-emitter.
+
+Writes any :class:`Netlist` (including monitor-augmented property
+netlists) back out as synthesizable Verilog that this repository's own
+frontend can re-compile. Hierarchical/internal names (containing ``.``,
+``[``, ``$``) are emitted as escaped identifiers (``\\name ``), which
+the frontend's lexer accepts.
+
+Round-trip fidelity: combinational and sequential behaviour is
+preserved exactly (the test suite co-simulates original vs re-compiled
+netlists); the only non-roundtripped detail is DFF/memory *power-on*
+values, which plain Verilog-2005 expresses via ``initial`` blocks the
+frontend deliberately ignores — drive reset first, as the bundled
+designs do.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from ..errors import NetlistError
+from .ir import Cell, Const, Netlist, SignalRef
+
+_PLAIN_NAME = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+_RESERVED = {
+    "module", "endmodule", "input", "output", "wire", "reg", "assign",
+    "always", "begin", "end", "if", "else", "case", "endcase", "default",
+    "posedge", "negedge", "parameter", "localparam", "integer", "genvar",
+    "generate", "endgenerate", "for", "logic", "signed", "or",
+}
+
+
+def _ident(name: str) -> str:
+    if _PLAIN_NAME.match(name) and name not in _RESERVED:
+        return name
+    return "\\" + name + " "
+
+
+def _ref(ref: SignalRef) -> str:
+    if isinstance(ref, Const):
+        return f"{ref.width}'d{ref.value}"
+    return _ident(ref)
+
+
+def _cell_expr(netlist: Netlist, cell: Cell) -> str:
+    op = cell.op
+    ins = [_ref(r) for r in cell.inputs]
+    if op == "not":
+        return f"~{ins[0]}"
+    if op in ("and", "or", "xor"):
+        symbol = {"and": "&", "or": "|", "xor": "^"}[op]
+        return f" {symbol} ".join(ins)
+    if op == "xnor":
+        return f"~({ins[0]} ^ {ins[1]})"
+    if op in ("redand", "redor", "redxor"):
+        symbol = {"redand": "&", "redor": "|", "redxor": "^"}[op]
+        return f"{symbol}({ins[0]})"
+    if op == "lognot":
+        return f"!{ins[0]}"
+    if op in ("logand", "logor"):
+        symbol = "&&" if op == "logand" else "||"
+        return f" {symbol} ".join(f"({i})" for i in ins)
+    if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+        symbol = {"eq": "==", "ne": "!=", "lt": "<",
+                  "le": "<=", "gt": ">", "ge": ">="}[op]
+        return f"{ins[0]} {symbol} {ins[1]}"
+    if op in ("add", "sub", "mul"):
+        symbol = {"add": "+", "sub": "-", "mul": "*"}[op]
+        return f"{ins[0]} {symbol} {ins[1]}"
+    if op in ("shl", "shr"):
+        symbol = "<<" if op == "shl" else ">>"
+        return f"{ins[0]} {symbol} {ins[1]}"
+    if op == "mux":
+        return f"{ins[0]} ? {ins[1]} : {ins[2]}"
+    if op == "concat":
+        return "{" + ", ".join(ins) + "}"
+    if op == "slice":
+        lo, hi = cell.attrs["lo"], cell.attrs["hi"]
+        in_width = netlist.width_of(cell.inputs[0])
+        if isinstance(cell.inputs[0], Const):
+            value = (cell.inputs[0].value >> lo) & ((1 << (hi - lo + 1)) - 1)
+            return f"{hi - lo + 1}'d{value}"
+        if lo == 0 and hi == in_width - 1:
+            return ins[0]
+        if lo == hi:
+            return f"{ins[0]}[{lo}]"
+        return f"{ins[0]}[{hi}:{lo}]"
+    if op == "zext":
+        return ins[0]  # assignment context zero-extends/truncates
+    raise NetlistError(f"verilog_out: unsupported op {op!r}")
+
+
+def write_verilog(netlist: Netlist, module_name: str = "emitted",
+                  clock: str = "clk") -> str:
+    """Render ``netlist`` as one flat Verilog module.
+
+    ``clock`` names the clock input driving every DFF and memory write
+    (added if the netlist does not already have it).
+    """
+    lines: List[str] = []
+    lines.append(f"// emitted from netlist {netlist.name!r} by repro.netlist.verilog_out")
+    drivers_for_ports = netlist.driver_map()
+    ports = []
+    if clock not in netlist.inputs:
+        ports.append(f"    input wire {clock}")
+    for name, width in netlist.inputs.items():
+        rng = f"[{width - 1}:0] " if width > 1 else ""
+        ports.append(f"    input wire {rng}{_ident(name)}")
+    for name, width in netlist.outputs.items():
+        rng = f"[{width - 1}:0] " if width > 1 else ""
+        kind = "reg" if hasattr(drivers_for_ports.get(name), "d") else "wire"
+        ports.append(f"    output {kind} {rng}{_ident(name)}")
+    lines.append(f"module {module_name}(")
+    lines.append(",\n".join(ports))
+    lines.append(");")
+    lines.append("")
+
+    drivers = netlist.driver_map()
+    # Declarations for every non-port wire.
+    for name, wire in sorted(netlist.wires.items()):
+        if name in netlist.inputs or name in netlist.outputs:
+            continue
+        kind = "reg" if hasattr(drivers.get(name), "d") else "wire"
+        rng = f"[{wire.width - 1}:0] " if wire.width > 1 else ""
+        lines.append(f"    {kind} {rng}{_ident(name)};")
+    # Output wires driven by DFFs need reg re-declaration workaround:
+    # we declare an internal reg and assign. Handle by renaming below.
+    lines.append("")
+
+    for mem in sorted(netlist.memories.values(), key=lambda m: m.name):
+        rng = f"[{mem.width - 1}:0] " if mem.width > 1 else ""
+        lines.append(f"    reg {rng}{_ident(mem.name)} [0:{mem.depth - 1}];")
+    lines.append("")
+
+    # Combinational cells.
+    for cell in netlist.topo_cells():
+        target = cell.output
+        if target in netlist.outputs and isinstance(drivers.get(target), Cell):
+            pass  # outputs are plain wires; assign works
+        lines.append(f"    assign {_ident(target)} = {_cell_expr(netlist, cell)};")
+    lines.append("")
+
+    # Memory read ports.
+    for mem in sorted(netlist.memories.values(), key=lambda m: m.name):
+        for port in mem.read_ports:
+            lines.append(f"    assign {_ident(port.data)} = "
+                         f"{_ident(mem.name)}[{_ref(port.addr)}];")
+    lines.append("")
+
+    # DFFs (grouped into one clocked block).
+    dffs = sorted(netlist.dffs.values(), key=lambda d: d.q)
+    if dffs:
+        lines.append(f"    always @(posedge {clock}) begin")
+        for dff in dffs:
+            lines.append(f"        {_ident(dff.q)} <= {_ref(dff.d)};")
+        lines.append("    end")
+        lines.append("")
+
+    # Memory write ports (order preserved: later ports win).
+    for mem in sorted(netlist.memories.values(), key=lambda m: m.name):
+        if not mem.write_ports:
+            continue
+        lines.append(f"    always @(posedge {clock}) begin")
+        for port in mem.write_ports:
+            lines.append(f"        if ({_ref(port.enable)}) begin")
+            lines.append(f"            {_ident(mem.name)}[{_ref(port.addr)}] <= "
+                         f"{_ref(port.data)};")
+            lines.append("        end")
+        lines.append("    end")
+        lines.append("")
+
+    lines.append("endmodule")
+    return "\n".join(lines)

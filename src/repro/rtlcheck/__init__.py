@@ -1,0 +1,12 @@
+"""Baselines: RTLCheck-style per-test RTL verification and exhaustive
+skew simulation (the comparisons behind the paper's Fig. 6)."""
+
+from .baseline import BaselineResult, RtlCheckBaseline
+from .testing import ExhaustiveSkewTester, SkewTestResult
+
+__all__ = [
+    "RtlCheckBaseline",
+    "BaselineResult",
+    "ExhaustiveSkewTester",
+    "SkewTestResult",
+]

@@ -1,0 +1,23 @@
+"""From-scratch SAT solving: CNF construction, CDCL search, DIMACS I/O.
+
+This package is the decision-procedure substrate for the formal property
+checker (``repro.formal``), which replaces the commercial JasperGold
+model checker used in the paper.
+"""
+
+from .cnf import Cnf, neg
+from .dimacs import read_dimacs, write_dimacs
+from .solver import SAT, UNKNOWN, UNSAT, Solver, luby, solve_cnf
+
+__all__ = [
+    "Cnf",
+    "neg",
+    "Solver",
+    "solve_cnf",
+    "luby",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "read_dimacs",
+    "write_dimacs",
+]

@@ -1,0 +1,144 @@
+"""CNF formula container and literal conventions.
+
+Literals follow the DIMACS convention: variables are positive integers
+``1..n`` and a negated literal is the negated integer. Variable 0 is
+reserved and never used.
+
+:class:`Cnf` is a deliberately thin builder: the solver consumes its
+clause list directly. It also provides Tseitin-style gate encodings used
+by the bit-blaster so the encodings live next to the formula they build.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..errors import SatError
+
+
+def neg(lit: int) -> int:
+    """Return the negation of a literal."""
+    return -lit
+
+
+class Cnf:
+    """A growable CNF formula with helpers for common gate encodings.
+
+    The constants :data:`Cnf.TRUE` / :data:`Cnf.FALSE` are represented by
+    a dedicated variable (allocated lazily) that is asserted true by a
+    unit clause; this keeps gate encodings uniform when an input happens
+    to be constant.
+    """
+
+    def __init__(self):
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self._true_lit = 0
+
+    # ------------------------------------------------------------------
+    # Variables and clauses
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its positive literal."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add one clause (an iterable of non-zero literals)."""
+        clause = list(lits)
+        for lit in clause:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise SatError(f"literal {lit} out of range (num_vars={self.num_vars})")
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # Constants
+    # ------------------------------------------------------------------
+    @property
+    def true_lit(self) -> int:
+        """A literal constrained to be true (allocated on first use)."""
+        if self._true_lit == 0:
+            self._true_lit = self.new_var()
+            self.clauses.append([self._true_lit])
+        return self._true_lit
+
+    @property
+    def false_lit(self) -> int:
+        """A literal constrained to be false."""
+        return -self.true_lit
+
+    def const_lit(self, value: bool) -> int:
+        return self.true_lit if value else self.false_lit
+
+    # ------------------------------------------------------------------
+    # Gate encodings (each returns the output literal)
+    # ------------------------------------------------------------------
+    def encode_and(self, inputs: Sequence[int]) -> int:
+        """Encode ``out = AND(inputs)`` and return ``out``."""
+        inputs = list(inputs)
+        if not inputs:
+            return self.true_lit
+        if len(inputs) == 1:
+            return inputs[0]
+        out = self.new_var()
+        for lit in inputs:
+            self.add_clause([-out, lit])
+        self.add_clause([out] + [-lit for lit in inputs])
+        return out
+
+    def encode_or(self, inputs: Sequence[int]) -> int:
+        """Encode ``out = OR(inputs)`` and return ``out``."""
+        inputs = list(inputs)
+        if not inputs:
+            return self.false_lit
+        if len(inputs) == 1:
+            return inputs[0]
+        out = self.new_var()
+        for lit in inputs:
+            self.add_clause([out, -lit])
+        self.add_clause([-out] + list(inputs))
+        return out
+
+    def encode_xor(self, a: int, b: int) -> int:
+        """Encode ``out = a XOR b`` and return ``out``."""
+        out = self.new_var()
+        self.add_clause([-out, a, b])
+        self.add_clause([-out, -a, -b])
+        self.add_clause([out, -a, b])
+        self.add_clause([out, a, -b])
+        return out
+
+    def encode_mux(self, sel: int, when_true: int, when_false: int) -> int:
+        """Encode ``out = sel ? when_true : when_false`` and return ``out``."""
+        out = self.new_var()
+        self.add_clause([-sel, -when_true, out])
+        self.add_clause([-sel, when_true, -out])
+        self.add_clause([sel, -when_false, out])
+        self.add_clause([sel, when_false, -out])
+        return out
+
+    def encode_equal(self, a: int, b: int) -> int:
+        """Encode ``out = (a == b)`` (i.e. XNOR) and return ``out``."""
+        return -self.encode_xor(a, b)
+
+    def encode_implies_true(self, a: int, b: int) -> None:
+        """Assert ``a -> b`` directly (no output variable)."""
+        self.add_clause([-a, b])
+
+    def assert_lit(self, lit: int) -> None:
+        """Assert that ``lit`` is true."""
+        self.add_clause([lit])
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cnf(vars={self.num_vars}, clauses={len(self.clauses)})"

@@ -1,0 +1,51 @@
+"""DIMACS CNF reading/writing.
+
+Useful for debugging the solver against external tools and for dumping
+the bit-blasted problems the formal engine generates.
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from ..errors import SatError
+from .cnf import Cnf
+
+
+def write_dimacs(cnf: Cnf, stream: TextIO, comment: str = "") -> None:
+    """Serialize ``cnf`` to ``stream`` in DIMACS format."""
+    if comment:
+        for line in comment.splitlines():
+            stream.write(f"c {line}\n")
+    stream.write(f"p cnf {cnf.num_vars} {len(cnf.clauses)}\n")
+    for clause in cnf.clauses:
+        stream.write(" ".join(str(lit) for lit in clause) + " 0\n")
+
+
+def read_dimacs(stream: TextIO) -> Cnf:
+    """Parse a DIMACS CNF file into a :class:`Cnf`."""
+    cnf = Cnf()
+    declared_vars = None
+    for raw in stream:
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SatError(f"bad DIMACS header: {line!r}")
+            declared_vars = int(parts[2])
+            cnf.num_vars = declared_vars
+            continue
+        lits = [int(tok) for tok in line.split()]
+        if lits and lits[-1] == 0:
+            lits = lits[:-1]
+        if not lits:
+            continue
+        top = max(abs(lit) for lit in lits)
+        if top > cnf.num_vars:
+            cnf.num_vars = top
+        cnf.add_clause(lits)
+    if declared_vars is None:
+        raise SatError("DIMACS input has no 'p cnf' header")
+    return cnf

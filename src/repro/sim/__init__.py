@@ -1,0 +1,6 @@
+"""Cycle-accurate RTL simulation of the netlist IR."""
+
+from .simulator import Simulator
+from .vcd import VcdWriter
+
+__all__ = ["Simulator", "VcdWriter"]

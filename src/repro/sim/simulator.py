@@ -1,0 +1,189 @@
+"""Cycle-accurate two-phase simulator for the netlist IR.
+
+Phase 1 of each cycle evaluates all combinational cells (in topological
+order) from the current register/memory/input values; phase 2 commits
+DFF D-inputs and enabled memory writes. This matches the synchronous
+semantics assumed by the elaborator and the bit-blaster, so the three
+agree exactly — a property the test suite checks by co-simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SimulationError
+from ..netlist import Cell, Const, Netlist, eval_cell, mask
+
+
+class Simulator:
+    """Executes a :class:`Netlist` cycle by cycle.
+
+    Inputs are set via :meth:`set_input` (values persist until changed).
+    :meth:`step` advances one clock edge; :meth:`peek` reads any wire
+    after combinational settling.
+    """
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self._topo: List[Cell] = netlist.topo_cells()
+        self.values: Dict[str, int] = {}
+        self.mems: Dict[str, List[int]] = {}
+        self.cycle = 0
+        self._inputs: Dict[str, int] = {name: 0 for name in netlist.inputs}
+        self._dirty = True
+        self.reset_state()
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+    def reset_state(self) -> None:
+        """Restore power-on state: DFF init values and memory images."""
+        self.cycle = 0
+        self.values = {}
+        for dff in self.netlist.dffs.values():
+            self.values[dff.q] = mask(dff.init, dff.width)
+        for mem in self.netlist.memories.values():
+            image = [0] * mem.depth
+            for addr, value in mem.init.items():
+                if not 0 <= addr < mem.depth:
+                    raise SimulationError(f"init address {addr} out of range for {mem.name!r}")
+                image[addr] = mask(value, mem.width)
+            self.mems[mem.name] = image
+        self._dirty = True
+
+    def load_memory(self, name: str, image: Dict[int, int]) -> None:
+        """Overwrite cells of memory ``name`` with ``image`` entries."""
+        if name not in self.mems:
+            raise SimulationError(f"no memory named {name!r}")
+        mem = self.netlist.memories[name]
+        for addr, value in image.items():
+            if not 0 <= addr < mem.depth:
+                raise SimulationError(f"address {addr} out of range for {name!r} (depth {mem.depth})")
+            self.mems[name][addr] = mask(value, mem.width)
+        self._dirty = True
+
+    def set_input(self, name: str, value: int) -> None:
+        if name not in self._inputs:
+            raise SimulationError(f"no input named {name!r}")
+        self._inputs[name] = mask(value, self.netlist.inputs[name])
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _resolve(self, ref) -> int:
+        if isinstance(ref, Const):
+            return ref.value
+        try:
+            return self.values[ref]
+        except KeyError:
+            raise SimulationError(f"wire {ref!r} read before evaluation") from None
+
+    def _settle(self) -> None:
+        """Evaluate combinational logic from current state and inputs."""
+        if not self._dirty:
+            return
+        values = self.values
+        for name, value in self._inputs.items():
+            values[name] = value
+        # Combinational memory reads can feed cells and vice versa; the
+        # topological order from the netlist interleaves them correctly
+        # as long as read addresses are produced before the read data is
+        # consumed. We evaluate lazily: read ports are refreshed before
+        # each consumer pass, then cells in topo order with read-port
+        # resolution on demand.
+        drivers = {}
+        for mem in self.netlist.memories.values():
+            for port in mem.read_ports:
+                drivers[port.data] = port
+
+        def refresh_port(port) -> None:
+            mem = self.netlist.memories[port.memory]
+            addr = self._resolve(port.addr)
+            image = self.mems[port.memory]
+            values[port.data] = image[addr] if addr < mem.depth else 0
+
+        # Refresh every read port at the moment its data is consumed: the
+        # topological order guarantees the address cone is already fresh
+        # (stale data from the previous cycle must never be reused).
+        refreshed = set()
+        for cell in self._topo:
+            operands = []
+            widths = []
+            for ref in cell.inputs:
+                if isinstance(ref, str) and ref in drivers and ref not in refreshed:
+                    refresh_port(drivers[ref])
+                    refreshed.add(ref)
+                operands.append(self._resolve(ref))
+                widths.append(self.netlist.width_of(ref))
+            out_width = self.netlist.wires[cell.output].width
+            values[cell.output] = eval_cell(cell, operands, widths, out_width)
+        # Refresh remaining ports (data consumed only by DFDs/outputs).
+        for data, port in drivers.items():
+            if data not in refreshed:
+                refresh_port(port)
+        # One more cell pass is unnecessary: topo order guarantees every
+        # cell consuming read data had the port refreshed on demand above.
+        self._dirty = False
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance ``cycles`` clock edges."""
+        for _ in range(cycles):
+            self._settle()
+            # Latch DFFs.
+            next_values = {}
+            for dff in self.netlist.dffs.values():
+                next_values[dff.q] = mask(self._resolve(dff.d), dff.width)
+            # Commit memory writes (port order = priority; later wins).
+            for mem in self.netlist.memories.values():
+                image = self.mems[mem.name]
+                for port in mem.write_ports:
+                    if self._resolve(port.enable):
+                        addr = self._resolve(port.addr)
+                        if addr < mem.depth:
+                            image[addr] = mask(self._resolve(port.data), mem.width)
+            self.values.update(next_values)
+            self.cycle += 1
+            self._dirty = True
+
+    def peek(self, name: str) -> int:
+        """Read any wire's settled value in the current cycle."""
+        self._settle()
+        if name in self.values:
+            return self.values[name]
+        raise SimulationError(f"unknown wire {name!r}")
+
+    def peek_memory(self, name: str, addr: int) -> int:
+        if name not in self.mems:
+            raise SimulationError(f"no memory named {name!r}")
+        return self.mems[name][addr]
+
+    def capture_trace(self, wires: List[str], cycles: int,
+                      inputs: Optional[Dict[str, int]] = None):
+        """Run ``cycles`` cycles recording the named wires; returns a
+        :class:`repro.formal.Trace` (shared with the formal engine, so
+        the same VCD/formatting tooling applies).
+
+        ``inputs`` optionally (re)drives inputs before the capture.
+        """
+        from ..formal.trace import Trace
+        if inputs:
+            for name, value in inputs.items():
+                self.set_input(name, value)
+        values: Dict[str, List[int]] = {name: [] for name in wires}
+        for _ in range(cycles):
+            for name in wires:
+                values[name].append(self.peek(name))
+            self.step()
+        return Trace(values, cycles)
+
+    def run_until(self, predicate: Callable[["Simulator"], bool],
+                  max_cycles: int = 10000) -> int:
+        """Step until ``predicate(self)`` is true; returns cycles taken."""
+        start = self.cycle
+        while not predicate(self):
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(f"run_until exceeded {max_cycles} cycles")
+            self.step()
+        return self.cycle - start

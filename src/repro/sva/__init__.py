@@ -1,0 +1,6 @@
+"""SVA-style property construction: monitors + the paper's templates."""
+
+from .monitor import MonitorContext
+from .templates import EventSpec, InstrSpec, SvaFactory
+
+__all__ = ["MonitorContext", "SvaFactory", "InstrSpec", "EventSpec"]

@@ -1,0 +1,256 @@
+"""Monitor-circuit construction over a copied netlist.
+
+The paper embeds HBI hypotheses in SystemVerilog Assertions evaluated by
+JasperGold (sections 4.2.4, 4.3.3). Here each hypothesis becomes a small
+synchronous monitor circuit — extra cells, registers and symbolic-
+constant inputs grafted onto a copy of the design — whose 1-bit
+``assume``/``assert`` outputs feed the BMC/k-induction engine.
+
+:class:`MonitorContext` is the construction toolkit: combinational
+operators, monitor state registers, ``$past``/sticky/changed helpers,
+occupancy automata, and update-event detectors for registers and memory
+arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import PropertyError
+from ..netlist import Const, Netlist, SignalRef
+from ..formal import SafetyProblem
+
+Ref = Union[str, Const]
+
+
+class MonitorContext:
+    """Builds one property's monitor over a private copy of the design."""
+
+    def __init__(self, base: Netlist, name: str = "property",
+                 reset: str = "reset"):
+        self.netlist = base.copy(f"{base.name}${name}")
+        self.name = name
+        self.reset = reset
+        self.assume_wires: List[str] = []
+        self.assert_wires: List[str] = []
+        self.frozen_inputs: List[str] = []
+        self._unique = 0
+        self._past_cache: Dict[str, str] = {}
+        self._mem_event_cache: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+    def _fresh(self, hint: str, width: int) -> str:
+        self._unique += 1
+        name = f"$mon${self.name}${hint}{self._unique}"
+        self.netlist.add_wire(name, width)
+        return name
+
+    def width_of(self, ref: Ref) -> int:
+        return self.netlist.width_of(ref)
+
+    # ------------------------------------------------------------------
+    # Symbolic constants and free inputs
+    # ------------------------------------------------------------------
+    def symbolic_const(self, hint: str, width: int) -> str:
+        """A fresh input held constant across all timeframes (e.g. pc0)."""
+        self._unique += 1
+        name = f"$sym${self.name}${hint}{self._unique}"
+        self.netlist.add_input(name, width)
+        self.frozen_inputs.append(name)
+        return name
+
+    # ------------------------------------------------------------------
+    # Combinational builders (each returns a wire name)
+    # ------------------------------------------------------------------
+    def _binop(self, op: str, a: Ref, b: Ref, out_width: int, hint: str) -> str:
+        out = self._fresh(hint, out_width)
+        self.netlist.add_cell(op, [a, b], out)
+        return out
+
+    def eq(self, a: Ref, b: Ref) -> str:
+        return self._binop("eq", a, b, 1, "eq")
+
+    def ne(self, a: Ref, b: Ref) -> str:
+        return self._binop("ne", a, b, 1, "ne")
+
+    def lt(self, a: Ref, b: Ref) -> str:
+        return self._binop("lt", a, b, 1, "lt")
+
+    def and_(self, *refs: Ref) -> str:
+        refs = [r for r in refs]
+        if not refs:
+            raise PropertyError("and_ needs at least one operand")
+        acc = refs[0]
+        for other in refs[1:]:
+            acc = self._binop("and", acc, other, 1, "and")
+        return acc if isinstance(acc, str) else self.buf(acc)
+
+    def or_(self, *refs: Ref) -> str:
+        refs = [r for r in refs]
+        if not refs:
+            raise PropertyError("or_ needs at least one operand")
+        acc = refs[0]
+        for other in refs[1:]:
+            acc = self._binop("or", acc, other, 1, "or")
+        return acc if isinstance(acc, str) else self.buf(acc)
+
+    def not_(self, a: Ref) -> str:
+        out = self._fresh("not", 1)
+        self.netlist.add_cell("not", [a], out)
+        return out
+
+    def implies(self, a: Ref, b: Ref) -> str:
+        """a -> b  ==  !a || b"""
+        return self.or_(self.not_(a), b)
+
+    def mux(self, sel: Ref, when_true: Ref, when_false: Ref, width: int = 1) -> str:
+        out = self._fresh("mux", width)
+        self.netlist.add_cell("mux", [sel, when_true, when_false], out)
+        return out
+
+    def buf(self, ref: Ref, width: Optional[int] = None) -> str:
+        width = width if width is not None else self.width_of(ref)
+        out = self._fresh("buf", width)
+        self.netlist.add_cell("zext", [ref], out)
+        return out
+
+    def const(self, value: int, width: int) -> Const:
+        return Const(width, value)
+
+    def slice_(self, ref: Ref, lo: int, hi: int) -> str:
+        out = self._fresh("slice", hi - lo + 1)
+        self.netlist.add_cell("slice", [ref], out, attrs={"lo": lo, "hi": hi})
+        return out
+
+    def matches_encoding(self, word_ref: Ref, match: int, mask: int) -> str:
+        """(word & mask) == match"""
+        width = self.width_of(word_ref)
+        masked = self._binop("and", word_ref, Const(width, mask), width, "mask")
+        return self.eq(masked, Const(width, match))
+
+    # ------------------------------------------------------------------
+    # Sequential builders
+    # ------------------------------------------------------------------
+    def register(self, d: Ref, init: int = 0, width: int = 1, hint: str = "reg") -> str:
+        """A monitor state register; returns its Q wire."""
+        q = self._fresh(hint, width)
+        self._unique += 1
+        self.netlist.add_dff(f"$mondff${self.name}${hint}{self._unique}", d, q, width, init)
+        return q
+
+    def past(self, ref: Ref) -> str:
+        """$past(ref): the value one cycle ago (0 at cycle 0)."""
+        if isinstance(ref, str) and ref in self._past_cache:
+            return self._past_cache[ref]
+        width = self.width_of(ref)
+        q = self.register(ref, init=0, width=width, hint="past")
+        if isinstance(ref, str):
+            self._past_cache[ref] = q
+        return q
+
+    def sticky(self, cond: Ref, hint: str = "sticky") -> str:
+        """True from the first cycle ``cond`` holds, onwards (inclusive)."""
+        q = self._fresh(hint, 1)
+        d = self.or_(q, cond)
+        self._unique += 1
+        self.netlist.add_dff(f"$mondff${self.name}${hint}{self._unique}", d, q, 1, 0)
+        # q is the registered "seen strictly before"; inclusive = q || cond
+        return self.or_(q, cond)
+
+    def seen_strictly_before(self, cond: Ref, hint: str = "seenpast") -> str:
+        """True iff ``cond`` held in some strictly earlier cycle."""
+        q = self._fresh(hint, 1)
+        d = self.or_(q, cond)
+        self._unique += 1
+        self.netlist.add_dff(f"$mondff${self.name}${hint}{self._unique}", d, q, 1, 0)
+        return q
+
+    def changed(self, name: str) -> str:
+        """Arrival-convention update event for a register: its value this
+        cycle differs from the previous cycle (i.e. it was written on the
+        preceding clock edge)."""
+        if name not in self.netlist.wires:
+            raise PropertyError(f"changed(): unknown wire {name!r}")
+        return self.ne(name, self.past(name))
+
+    def counter(self, enable: Ref, clear: Ref, width: int = 6, hint: str = "cnt") -> str:
+        """Saturating counter: +1 while enabled, reset to 0 on clear."""
+        q = self._fresh(hint, width)
+        inc = self._binop("add", q, Const(width, 1), width, "inc")
+        at_max = self.eq(q, Const(width, (1 << width) - 1))
+        held = self.mux(at_max, q, inc, width)
+        stepped = self.mux(enable, held, q, width)
+        d = self.mux(clear, Const(width, 0), stepped, width)
+        self._unique += 1
+        self.netlist.add_dff(f"$mondff${self.name}${hint}{self._unique}", d, q, width, 0)
+        return q
+
+    # ------------------------------------------------------------------
+    # Memory-array update events
+    # ------------------------------------------------------------------
+    def mem_write_drive(self, mem_name: str, value_changing: bool = True) -> str:
+        """1-bit: some cell of the array is being written this cycle
+        (drive convention). With ``value_changing``, writes that store
+        the value already present do not count as updates."""
+        cache_key = f"{mem_name}|{value_changing}"
+        if cache_key in self._mem_event_cache:
+            return self._mem_event_cache[cache_key]
+        mem = self.netlist.memories.get(mem_name)
+        if mem is None:
+            raise PropertyError(f"no memory named {mem_name!r}")
+        events = []
+        for port in mem.write_ports:
+            fired = port.enable
+            if value_changing:
+                current = self._fresh("rdold", mem.width)
+                self.netlist.add_read_port(mem_name, port.addr, current)
+                differs = self.ne(current, port.data)
+                fired = self.and_(fired, differs)
+            events.append(fired)
+        result = self.or_(*events) if events else self.buf(Const(1, 0))
+        self._mem_event_cache[cache_key] = result
+        return result
+
+    def mem_update_arrival(self, mem_name: str) -> str:
+        """Arrival-convention update event for an array: a changing write
+        was driven on the preceding edge."""
+        return self.past(self.mem_write_drive(mem_name))
+
+    # ------------------------------------------------------------------
+    # Assumption / assertion registration
+    # ------------------------------------------------------------------
+    def add_assume(self, ref: Ref) -> None:
+        self.assume_wires.append(ref if isinstance(ref, str) else self.buf(ref))
+
+    def add_assert(self, ref: Ref) -> None:
+        self.assert_wires.append(ref if isinstance(ref, str) else self.buf(ref))
+
+    # ------------------------------------------------------------------
+    # Occupancy automaton (the paper's P0 assumption)
+    # ------------------------------------------------------------------
+    def assume_single_interval(self, pcr: str, pc_sym: str) -> str:
+        """Assume ``pcr == pc_sym`` holds during exactly one contiguous
+        interval of the trace (paper Fig. 4a, assumption P0). Returns the
+        occupancy wire for reuse."""
+        occupied = self.eq(pcr, pc_sym)
+        ended = self.seen_strictly_before(
+            self.and_(self.seen_strictly_before(occupied), self.not_(occupied)), hint="ended")
+        # Trace is excluded if occupancy resumes after the interval ended.
+        self.add_assume(self.not_(self.and_(ended, occupied)))
+        return occupied
+
+    # ------------------------------------------------------------------
+    # Finalize
+    # ------------------------------------------------------------------
+    def problem(self) -> SafetyProblem:
+        self.netlist.validate()
+        return SafetyProblem(
+            netlist=self.netlist,
+            assume_wires=list(self.assume_wires),
+            assert_wires=list(self.assert_wires),
+            frozen_inputs=list(self.frozen_inputs),
+            reset_input=self.reset,
+            name=self.name,
+        )

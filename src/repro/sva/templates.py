@@ -1,0 +1,360 @@
+"""SVA templates (paper Fig. 4 and sections 4.2.4 / 4.3.3 / 4.3.6).
+
+Every rtl2uspec HBI hypothesis is instantiated from one of the
+templates here, as a monitor circuit over the formal design variant:
+
+* **A0** (Fig. 4a): instruction type ``op`` never updates state ``s``
+  while occupying s's stage — a *failed* proof marks ``s`` as updated on
+  behalf of ``op``.
+* **A1** (Fig. 4b): instructions of type ``op`` make forward progress
+  through a stage (discharged as bounded-eventually; see DESIGN.md).
+* **Ordering** (4.3.1/4.3.2): i0's update of s0 happens strictly before
+  i1's update of s1, given a reference order (program order: two PCs on
+  the same core with pc0 < pc1 — in-order fetch makes the numeric order
+  the program order for straight-line code).
+* **Req-Snd / Req-Rec / Req-Proc** (4.3.3): the three-step decomposition
+  for orderings through a remote resource's request-response interface.
+* **Attribution** (4.3.4/6.1): every request on a remote interface is
+  attributable to a supplied instruction encoding — the soundness
+  precondition of the remote monitors, and the check that exposes the
+  paper's section-6.1 decoder bug.
+
+Update events use the *drive* convention: an update of ``s`` happens in
+the cycle its new value is being driven (committed on the closing clock
+edge), attributed to the instruction one stage earlier in the PCR array
+(``PCR[stage(s)-1]``; the IM_PC for stage 0). This is the same
+``$past``-comparison abstraction the paper's templates use, shifted by
+the uniform one-cycle stage latency of the full-design DFG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from ..errors import PropertyError
+from ..core.metadata import DesignMetadata, InstructionEncoding, RequestResponseInterface
+from ..formal import SafetyProblem
+from ..netlist import Const, Netlist
+from .monitor import MonitorContext
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """One tracked instruction in a hypothesis: which core it runs on
+    and its type (``None`` = any supplied encoding, the relaxed form of
+    the section-6.2 optimization)."""
+
+    core: int
+    enc: Optional[InstructionEncoding]
+
+    def label(self) -> str:
+        return f"c{self.core}.{self.enc.name if self.enc else 'any'}"
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """An update event: state element + its (renumbered) DFG stage.
+
+    ``kind`` selects the attribution/timestamp scheme:
+
+    * ``local`` — core-local state: the update commits on the clock edge
+      that ends the driving instruction's residency in ``stage - 1``
+      (stage-exit timestamp, observed as ``PCR[stage-1] == pc`` together
+      with the PCR advancing). Using the stage-exit edge instead of a
+      raw value-change makes the event observable even for value-silent
+      writes (two identical adjacent instructions), and collapses all of
+      an instruction's same-stage updates onto one timestamp — which is
+      why the number of structural SVAs scales with pipeline stages
+      rather than state elements (paper section 4.3.3).
+    * ``resource`` — the remote resource array itself: the update happens
+      in the cycle the instruction's request is processed (one cycle
+      after acceptance).
+    * ``shared`` — interface-internal shared state (arbiter, request
+      buffers): updated in the cycle the request is accepted.
+    """
+
+    state: str
+    stage: int
+    kind: str = "local"  # "local" | "resource" | "shared"
+
+    @property
+    def remote(self) -> bool:
+        return self.kind in ("resource", "shared")
+
+
+class SvaFactory:
+    """Builds :class:`SafetyProblem` instances over the formal design."""
+
+    def __init__(self, base: Netlist, metadata: DesignMetadata):
+        self.base = base
+        self.md = metadata
+        if metadata.interfaces:
+            self.iface: Optional[RequestResponseInterface] = metadata.interfaces[0]
+        else:
+            self.iface = None
+
+    # ------------------------------------------------------------------
+    # Shared construction helpers
+    # ------------------------------------------------------------------
+    def _pcr(self, ctx: MonitorContext, core: int, index: int) -> str:
+        """PCR[index] for a core; index -1 is the IM_PC; indexes past the
+        array are virtual (delayed copies of the last PCR)."""
+        md = self.md
+        if index < -1:
+            raise PropertyError(f"no PCR at index {index}")
+        if index == -1:
+            return md.core_signal(md.im_pc, core)
+        if index < len(md.pcr):
+            return md.core_signal(md.pcr[index], core)
+        sig = md.core_signal(md.pcr[-1], core)
+        for _ in range(index - len(md.pcr) + 1):
+            sig = ctx.past(sig)
+        return sig
+
+    def _track_instruction(self, ctx: MonitorContext, spec: InstrSpec, tag: str):
+        """Create pc/i symbolic constants with P0/P2/P3 assumptions;
+        returns (pc_sym, instr_sym, dx_occupied)."""
+        md = self.md
+        pcr0 = self._pcr(ctx, spec.core, 0)
+        ifr = md.core_signal(md.ifr, spec.core)
+        pc_width = ctx.width_of(pcr0)
+        ifr_width = ctx.width_of(ifr)
+        pc_sym = ctx.symbolic_const(f"pc{tag}", pc_width)
+        instr_sym = ctx.symbolic_const(f"i{tag}", ifr_width)
+        occupied = ctx.assume_single_interval(pcr0, pc_sym)          # P0
+        ctx.add_assume(ctx.implies(occupied, ctx.eq(ifr, instr_sym)))  # P2
+        ctx.add_assume(self._encoding_assume(ctx, instr_sym, spec.enc))  # P3
+        return pc_sym, instr_sym, occupied
+
+    def _encoding_assume(self, ctx: MonitorContext, instr_sym: str,
+                         enc: Optional[InstructionEncoding]) -> str:
+        if enc is not None:
+            return ctx.matches_encoding(instr_sym, enc.match, enc.mask)
+        any_match = [ctx.matches_encoding(instr_sym, e.match, e.mask)
+                     for e in self.md.encodings]
+        return ctx.or_(*any_match)
+
+    def _assume_program_order(self, ctx: MonitorContext, spec0: InstrSpec,
+                              spec1: InstrSpec, pc0: str, pc1: str) -> None:
+        """Reference order: same-core program order = fetch-address order
+        for straight-line code."""
+        if spec0.core != spec1.core:
+            raise PropertyError("program order requires a same-core pair")
+        ctx.add_assume(ctx.lt(pc0, pc1))
+
+    def _state_drive_event(self, ctx: MonitorContext, state: str) -> str:
+        """Drive-convention change event for a register or array."""
+        netlist = ctx.netlist
+        if state in netlist.memories:
+            return ctx.mem_write_drive(state)
+        dff = None
+        for candidate in netlist.dffs.values():
+            if candidate.q == state:
+                dff = candidate
+                break
+        if dff is None:
+            raise PropertyError(f"state element {state!r} is neither a DFF nor a memory")
+        return ctx.ne(dff.d, dff.q)
+
+    def _local_update_event(self, ctx: MonitorContext, spec: InstrSpec,
+                            pc_sym: str, event: EventSpec) -> str:
+        """Stage-exit timestamp: the instruction's updates of stage-k
+        state commit on the edge that ends its residency in stage k-1,
+        observed as the (unique-valued) PCR advancing away from its pc."""
+        driver_pcr = self._pcr(ctx, spec.core, event.stage - 1)
+        attributed = ctx.eq(driver_pcr, pc_sym)
+        advancing = self._state_drive_event(ctx, driver_pcr)
+        return ctx.and_(attributed, advancing)
+
+    def _remote_update_event(self, ctx: MonitorContext, spec: InstrSpec,
+                             pc_sym: str, event: EventSpec) -> str:
+        """Interface-attributed events: request acceptance for shared
+        interface-internal state, request processing (one cycle later)
+        for the resource array itself."""
+        if self.iface is None:
+            raise PropertyError("design metadata declares no request-response interface")
+        sent = ctx.and_(
+            ctx.eq(self._pcr(ctx, spec.core, 0), pc_sym),
+            self.md.core_signal(self.iface.core_req_sent, spec.core),
+        )
+        if event.kind == "shared":
+            return sent
+        return ctx.past(sent)
+
+    def _update_event(self, ctx: MonitorContext, spec: InstrSpec,
+                      pc_sym: str, event: EventSpec) -> str:
+        if event.remote:
+            return self._remote_update_event(ctx, spec, pc_sym, event)
+        return self._local_update_event(ctx, spec, pc_sym, event)
+
+    # ------------------------------------------------------------------
+    # Intra-instruction templates (Fig. 4)
+    # ------------------------------------------------------------------
+    def never_updates(self, spec: InstrSpec, event: EventSpec,
+                      name: Optional[str] = None) -> SafetyProblem:
+        """A0: instructions of this type never update ``event.state``."""
+        ctx = MonitorContext(self.base, name or f"a0[{spec.label()}][{event.state}]",
+                             reset=self.md.reset)
+        pc_sym, _instr, _occ = self._track_instruction(ctx, spec, "0")
+        # A0 asks *whether* s is ever updated on op's behalf, so it uses
+        # the paper's value-change form directly (Fig. 4a: s == $past(s))
+        # attributed to the driving stage's PCR.
+        if event.remote:
+            iface = self.iface
+            if iface is None:
+                raise PropertyError("design metadata declares no request-response interface")
+            valid = self.md.core_signal(iface.core_req_valid, spec.core)
+            occupied = ctx.eq(self._pcr(ctx, spec.core, 0), pc_sym)
+            ev = ctx.and_(occupied, valid)
+        else:
+            driver_pcr = self._pcr(ctx, spec.core, event.stage - 1)
+            attributed = ctx.eq(driver_pcr, pc_sym)
+            ev = ctx.and_(attributed, self._state_drive_event(ctx, event.state))
+        ctx.add_assert(ctx.not_(ev))
+        return ctx.problem()
+
+    def progress(self, spec: InstrSpec, stage: int, horizon: int,
+                 name: Optional[str] = None) -> SafetyProblem:
+        """A1: instructions of this type spend at most ``horizon`` cycles
+        occupying ``stage`` (bounded forward progress)."""
+        ctx = MonitorContext(self.base, name or f"a1[{spec.label()}][s{stage}]",
+                             reset=self.md.reset)
+        pc_sym, _instr, _occ0 = self._track_instruction(ctx, spec, "0")
+        pcr = self._pcr(ctx, spec.core, stage)
+        occupied = ctx.eq(pcr, pc_sym)
+        width = max(4, horizon.bit_length() + 1)
+        count = ctx.counter(enable=occupied, clear=Const(1, 0), width=width)
+        ctx.add_assert(ctx.lt(count, Const(width, horizon)))
+        return ctx.problem()
+
+    # ------------------------------------------------------------------
+    # Inter-instruction ordering template (4.3.1 / 4.3.2 / 4.3.5)
+    # ------------------------------------------------------------------
+    def ordering(self, spec0: InstrSpec, event0: EventSpec,
+                 spec1: InstrSpec, event1: EventSpec,
+                 reference: Optional[str] = "po",
+                 inverted: bool = False,
+                 name: Optional[str] = None) -> SafetyProblem:
+        """i0's update of s0 happens strictly before i1's update of s1.
+
+        ``inverted`` checks the direction *inconsistent* with the
+        reference order (the second round of section 4.3.1).
+        """
+        direction = "inv" if inverted else "fwd"
+        label = name or (f"order[{spec0.label()}:{event0.state}->"
+                         f"{spec1.label()}:{event1.state}][{direction}]")
+        ctx = MonitorContext(self.base, label, reset=self.md.reset)
+        pc0, _i0, _o0 = self._track_instruction(ctx, spec0, "0")
+        pc1, _i1, _o1 = self._track_instruction(ctx, spec1, "1")
+        if reference == "po":
+            self._assume_program_order(ctx, spec0, spec1, pc0, pc1)
+        elif reference is not None:
+            raise PropertyError(f"unknown reference order {reference!r}")
+        ev0 = self._update_event(ctx, spec0, pc0, event0)
+        ev1 = self._update_event(ctx, spec1, pc1, event1)
+        if inverted:
+            ev0, ev1 = ev1, ev0
+        ctx.add_assert(ctx.implies(ev1, ctx.seen_strictly_before(ev0)))
+        return ctx.problem()
+
+    # ------------------------------------------------------------------
+    # Remote-interface templates (4.3.3)
+    # ------------------------------------------------------------------
+    def req_snd(self, spec0: InstrSpec, spec1: InstrSpec,
+                inverted: bool = False, name: Optional[str] = None) -> SafetyProblem:
+        """Req-Snd: same-core requests are sent consistent with PO."""
+        if self.iface is None:
+            raise PropertyError("no request-response interface in metadata")
+        label = name or f"req-snd[{spec0.label()},{spec1.label()}]"
+        ctx = MonitorContext(self.base, label, reset=self.md.reset)
+        pc0, _i0, _o0 = self._track_instruction(ctx, spec0, "0")
+        pc1, _i1, _o1 = self._track_instruction(ctx, spec1, "1")
+        self._assume_program_order(ctx, spec0, spec1, pc0, pc1)
+        sent0 = ctx.and_(ctx.eq(self._pcr(ctx, spec0.core, 0), pc0),
+                         self.md.core_signal(self.iface.core_req_sent, spec0.core))
+        sent1 = ctx.and_(ctx.eq(self._pcr(ctx, spec1.core, 0), pc1),
+                         self.md.core_signal(self.iface.core_req_sent, spec1.core))
+        if inverted:
+            sent0, sent1 = sent1, sent0
+        ctx.add_assert(ctx.implies(sent1, ctx.seen_strictly_before(sent0)))
+        return ctx.problem()
+
+    def req_rec(self, core: int, name: Optional[str] = None) -> SafetyProblem:
+        """Req-Rec: the resource receives core ``core``'s requests in the
+        order (and here, the cycle) they were sent."""
+        if self.iface is None:
+            raise PropertyError("no request-response interface in metadata")
+        ctx = MonitorContext(self.base, name or f"req-rec[c{core}]", reset=self.md.reset)
+        iface = self.iface
+        sent = self.md.core_signal(iface.core_req_sent, core)
+        core_id_width = ctx.width_of(iface.mem_req_core)
+        received = ctx.and_(iface.mem_req_valid,
+                            ctx.eq(iface.mem_req_core, Const(core_id_width, core)))
+        ctx.add_assert(ctx.implies(sent, received))
+        ctx.add_assert(ctx.implies(received, sent))
+        return ctx.problem()
+
+    def req_proc(self, core: int, name: Optional[str] = None) -> SafetyProblem:
+        """Req-Proc: the resource processes core ``core``'s requests in
+        the order received (here: exactly one cycle after reception)."""
+        if self.iface is None:
+            raise PropertyError("no request-response interface in metadata")
+        ctx = MonitorContext(self.base, name or f"req-proc[c{core}]", reset=self.md.reset)
+        iface = self.iface
+        core_id_width = ctx.width_of(iface.mem_req_core)
+        received = ctx.and_(iface.mem_req_valid,
+                            ctx.eq(iface.mem_req_core, Const(core_id_width, core)))
+        processing = ctx.and_(iface.proc_valid,
+                              ctx.eq(iface.proc_core, Const(ctx.width_of(iface.proc_core), core)))
+        ctx.add_assert(ctx.implies(processing, ctx.past(received)))
+        ctx.add_assert(ctx.implies(ctx.past(received), processing))
+        return ctx.problem()
+
+    def functional_correctness(self, name: Optional[str] = None) -> SafetyProblem:
+        """Interface sanity: the resource's read response equals the
+        array content at the processed address — the memory functional
+        correctness the paper *assumes* (section 4.3.6), discharged here
+        as an explicit SVA. Refuted e.g. by the stale-read memory bug
+        variant (a load can miss an in-flight write)."""
+        if self.iface is None:
+            raise PropertyError("no request-response interface in metadata")
+        iface = self.iface
+        if iface.resp_valid is None or iface.resp_data is None:
+            raise PropertyError("interface metadata declares no response signals")
+        ctx = MonitorContext(self.base, name or "functional[mem]",
+                             reset=self.md.reset)
+        mem = ctx.netlist.memories.get(iface.resource)
+        if mem is None:
+            raise PropertyError(f"resource {iface.resource!r} is not a memory array")
+        current = ctx._fresh("memval", mem.width)
+        ctx.netlist.add_read_port(iface.resource, iface.proc_addr, current)
+        reading = ctx.and_(iface.proc_valid, ctx.not_(iface.proc_write))
+        ctx.add_assert(ctx.implies(ctx.and_(iface.resp_valid, reading),
+                                   ctx.eq(iface.resp_data, current)))
+        return ctx.problem()
+
+    def attribution(self, core: int, name: Optional[str] = None) -> SafetyProblem:
+        """Attribution soundness: every request core ``core`` issues on
+        the interface belongs to a supplied instruction encoding of the
+        matching kind. Refuted on the buggy multi-V-scale by a trace in
+        which an undefined store encoding updates memory (section 6.1).
+        """
+        if self.iface is None:
+            raise PropertyError("no request-response interface in metadata")
+        ctx = MonitorContext(self.base, name or f"attr[c{core}]", reset=self.md.reset)
+        iface = self.iface
+        md = self.md
+        ifr = md.core_signal(md.ifr, core)
+        valid = md.core_signal(iface.core_req_valid, core)
+        write = md.core_signal(iface.core_req_write, core)
+        write_match = [ctx.matches_encoding(ifr, e.match, e.mask)
+                       for e in md.encodings if e.is_write]
+        read_match = [ctx.matches_encoding(ifr, e.match, e.mask)
+                      for e in md.encodings if e.is_read]
+        if write_match:
+            ctx.add_assert(ctx.implies(ctx.and_(valid, write), ctx.or_(*write_match)))
+        if read_match:
+            ctx.add_assert(ctx.implies(ctx.and_(valid, ctx.not_(write)),
+                                       ctx.or_(*read_match)))
+        return ctx.problem()

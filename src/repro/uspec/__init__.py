@@ -1,0 +1,47 @@
+"""The µspec DSL: axiomatic microarchitecture models (Check-tool input)."""
+
+from .ast import (
+    AddEdge,
+    And,
+    Axiom,
+    EdgeExists,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Implies,
+    Model,
+    Node,
+    Not,
+    Or,
+    Pred,
+    TrueF,
+    add_edges,
+)
+from .library import sc_model, tso_model
+from .parser import parse_model
+from .printer import format_formula, format_model
+
+__all__ = [
+    "Model",
+    "Axiom",
+    "Formula",
+    "Forall",
+    "Exists",
+    "Implies",
+    "And",
+    "Or",
+    "Not",
+    "Pred",
+    "Node",
+    "AddEdge",
+    "EdgeExists",
+    "TrueF",
+    "FalseF",
+    "add_edges",
+    "format_model",
+    "format_formula",
+    "parse_model",
+    "sc_model",
+    "tso_model",
+]

@@ -1,0 +1,161 @@
+"""A library of hand-written µspec models.
+
+The Check tools are model-agnostic: any axiomatic microarchitecture
+description works. Besides the rtl2uspec-synthesized models, this
+module provides two classic hand-written ones (in the PipeCheck
+tradition):
+
+* :func:`sc_model` — an idealized SC machine (every access serialized
+  through memory in program order);
+* :func:`tso_model` — an x86-TSO-style machine with store buffering:
+  the write-to-read program-order edge is dropped, and a load may read
+  its own core's latest earlier store *early* (store forwarding, no
+  reads-from edge required).
+
+Both are cross-validated against the operational ISA references in
+``repro.mcm`` by the test suite, and serve as baselines for comparing
+what the synthesized multi-V-scale model forbids.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    AddEdge,
+    And,
+    Axiom,
+    Exists,
+    Forall,
+    Implies,
+    Model,
+    Node,
+    Not,
+    Or,
+    Pred,
+)
+
+MEM = "mem"
+IF_ = "IF_"
+
+
+def _paths(model: Model) -> None:
+    model.add_stage(IF_)
+    model.add_stage(MEM)
+    for kind, pred in (("r", "IsAnyRead"), ("w", "IsAnyWrite")):
+        model.axioms.append(Axiom(f"Path_{kind}", Forall("i", Implies(
+            Pred(pred, ("i",)),
+            AddEdge(Node("i", IF_), Node("i", MEM), "path")))))
+
+
+def _fetch_po(model: Model) -> None:
+    model.axioms.append(Axiom("PO_fetch", Forall("i1", Forall("i2", Implies(
+        Pred("SameCore", ("i1", "i2")),
+        Implies(Pred("ProgramOrder", ("i1", "i2")),
+                AddEdge(Node("i1", IF_), Node("i2", IF_), "PO", "green")))))))
+
+
+def _serialize_mem(model: Model) -> None:
+    model.axioms.append(Axiom("serialize_mem", Forall("i1", Forall("i2", Implies(
+        Not(Pred("SameMicroop", ("i1", "i2"))),
+        Or((AddEdge(Node("i1", MEM), Node("i2", MEM), "serial"),
+            AddEdge(Node("i2", MEM), Node("i1", MEM), "serial"))))))))
+
+
+def _no_writes_between(read_var: str, write_var: str) -> Forall:
+    return Forall("wmid", Implies(Pred("IsAnyWrite", ("wmid",)), Implies(
+        Pred("SamePA", ("wmid", read_var)), Implies(
+            Not(Pred("SameMicroop", ("wmid", write_var))),
+            Or((AddEdge(Node("wmid", MEM), Node(write_var, MEM), "co"),
+                AddEdge(Node(read_var, MEM), Node("wmid", MEM), "fr", "red")))))))
+
+
+def _read_from_initial() -> And:
+    return And((
+        Pred("DataFromInitial", ("r",)),
+        Forall("w", Implies(Pred("IsAnyWrite", ("w",)), Implies(
+            Pred("SamePA", ("w", "r")),
+            AddEdge(Node("r", MEM), Node("w", MEM), "fr", "red")))),
+    ))
+
+
+def _read_from_write() -> Exists:
+    return Exists("w", And((
+        Pred("IsAnyWrite", ("w",)),
+        Pred("SamePA", ("w", "r")),
+        Pred("SameData", ("w", "r")),
+        AddEdge(Node("w", MEM), Node("r", MEM), "rf", "deeppink"),
+        _no_writes_between("r", "w"),
+    )))
+
+
+def sc_model() -> Model:
+    """An idealized sequentially consistent machine."""
+    model = Model("hand_sc")
+    _paths(model)
+    _fetch_po(model)
+    model.axioms.append(Axiom("PO_mem", Forall("i1", Forall("i2", Implies(
+        Pred("SameCore", ("i1", "i2")),
+        Implies(Pred("ProgramOrder", ("i1", "i2")),
+                AddEdge(Node("i1", MEM), Node("i2", MEM), "ppo", "blue")))))))
+    _serialize_mem(model)
+    model.axioms.append(Axiom("Read_Values", Forall("r", Implies(
+        Pred("IsAnyRead", ("r",)),
+        Or((_read_from_initial(), _read_from_write()))))))
+    return model
+
+
+def tso_model() -> Model:
+    """An x86-TSO-style machine with FIFO store buffers.
+
+    Program order is preserved through memory for every same-core pair
+    *except* write-to-read (the store-buffer relaxation), and a read may
+    source its own core's latest program-order-earlier same-address
+    write without a reads-from edge (store forwarding reads the value
+    before it commits), subject to the usual from-reads constraints.
+    """
+    model = Model("hand_tso")
+    _paths(model)
+    _fetch_po(model)
+    # ppo: all same-core pairs except W -> R.
+    model.axioms.append(Axiom("PPO_mem", Forall("i1", Forall("i2", Implies(
+        Pred("SameCore", ("i1", "i2")), Implies(
+            Pred("ProgramOrder", ("i1", "i2")), Implies(
+                Not(And((Pred("IsAnyWrite", ("i1",)),
+                         Pred("IsAnyRead", ("i2",))))),
+                AddEdge(Node("i1", MEM), Node("i2", MEM), "ppo", "blue"))))))))
+    _serialize_mem(model)
+
+    # Value rules encode SC-per-location coherence for the W->R pairs
+    # the ppo relaxation dropped: with wl = the read's po-latest local
+    # same-address earlier write (IsLatestLocalWrite, ground-decidable),
+    #  (a) reading the initial value requires no wl to exist;
+    #  (b) reading a write w through memory requires w to be co-at-or-
+    #      after wl (an older write would violate coherence);
+    #  (c) store forwarding reads wl early, with no rf edge through
+    #      memory at all (the x86-TSO rfi relaxation).
+    no_local_earlier = Forall("w", Not(And((
+        Pred("IsAnyWrite", ("w",)),
+        Pred("SameCore", ("w", "r")),
+        Pred("ProgramOrder", ("w", "r")),
+        Pred("SamePA", ("w", "r"))))))
+    from_init_tso = And((_read_from_initial(), no_local_earlier))
+    coherent_after_local = Forall("wl", Implies(
+        Pred("IsLatestLocalWrite", ("wl", "r")), Or((
+            Pred("SameMicroop", ("wl", "w")),
+            AddEdge(Node("wl", MEM), Node("w", MEM), "co")))))
+    from_write_tso = Exists("w", And((
+        Pred("IsAnyWrite", ("w",)),
+        Pred("SamePA", ("w", "r")),
+        Pred("SameData", ("w", "r")),
+        AddEdge(Node("w", MEM), Node("r", MEM), "rf", "deeppink"),
+        _no_writes_between("r", "w"),
+        coherent_after_local,
+    )))
+    forwarded = Exists("w", And((
+        Pred("IsLatestLocalWrite", ("w", "r")),
+        Pred("SameData", ("w", "r")),
+        _no_writes_between("r", "w"),
+    )))
+    model.axioms.append(Axiom("Read_Values", Forall("r", Implies(
+        Pred("IsAnyRead", ("r",)),
+        Or((from_init_tso, from_write_tso, forwarded))))))
+    return model

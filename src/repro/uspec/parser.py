@@ -1,0 +1,204 @@
+"""Parser for the textual µspec dialect emitted by the printer.
+
+Round-trips :func:`repro.uspec.printer.format_model` output, and accepts
+hand-written models in the same style (used by the RTLCheck baseline,
+which takes a user-supplied µspec model as input).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import UspecError
+from . import ast
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>%[^\n]*)
+  | (?P<string>"[^"]*")
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_\[\]\$]*(?:\.[A-Za-z0-9_\[\]\$]+)*)
+  | (?P<op>=>|/\\|\\/|~|\(|\)|\[|\]|,|;|:|\.)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise UspecError(f"uspec: cannot tokenize at {text[pos:pos+30]!r}")
+        pos = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise UspecError("uspec: unexpected end of input")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise UspecError(f"uspec: expected {token!r}, found {got!r}")
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.pos += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def parse_model(self, name: str = "parsed") -> ast.Model:
+        model = ast.Model(name)
+        while self.peek() is not None:
+            token = self.peek()
+            if token == "StageName":
+                self.next()
+                index = int(self.next())
+                stage = self.next().strip('"')
+                self.expect(".")
+                while len(model.stage_names) <= index:
+                    model.stage_names.append(f"stage_{len(model.stage_names)}")
+                model.stage_names[index] = stage
+            elif token == "Axiom":
+                self.next()
+                axiom_name = self.next().strip('"')
+                self.expect(":")
+                formula = self.parse_formula()
+                self.expect(".")
+                model.axioms.append(ast.Axiom(axiom_name, formula))
+            else:
+                raise UspecError(f"uspec: unexpected top-level token {token!r}")
+        return model
+
+    # ------------------------------------------------------------------
+    def parse_formula(self) -> ast.Formula:
+        token = self.peek()
+        if token in ("forall", "exists"):
+            self.next()
+            self.expect("microop")
+            var = self.next().strip('"')
+            self.expect(",")
+            body = self.parse_formula()
+            return ast.Forall(var, body) if token == "forall" else ast.Exists(var, body)
+        return self._parse_implies()
+
+    def _parse_implies(self) -> ast.Formula:
+        lhs = self._parse_or()
+        if self.accept("=>"):
+            rhs = self.parse_formula()
+            return ast.Implies(lhs, rhs)
+        return lhs
+
+    def _parse_or(self) -> ast.Formula:
+        parts = [self._parse_and()]
+        while self.accept("\\/"):
+            parts.append(self._parse_and())
+        return parts[0] if len(parts) == 1 else ast.Or(tuple(parts))
+
+    def _parse_and(self) -> ast.Formula:
+        parts = [self._parse_unary()]
+        while self.accept("/\\"):
+            parts.append(self._parse_unary())
+        return parts[0] if len(parts) == 1 else ast.And(tuple(parts))
+
+    def _parse_unary(self) -> ast.Formula:
+        token = self.peek()
+        if token in ("forall", "exists"):
+            # Quantifiers may appear nested inside conjunctions.
+            return self.parse_formula()
+        if token == "~":
+            self.next()
+            self.expect("(")
+            body = self.parse_formula()
+            self.expect(")")
+            return ast.Not(body)
+        if token == "(":
+            self.next()
+            body = self.parse_formula()
+            self.expect(")")
+            return body
+        if token == "True":
+            self.next()
+            return ast.TrueF()
+        if token == "False":
+            self.next()
+            return ast.FalseF()
+        if token == "AddEdge":
+            self.next()
+            return self._parse_edge()
+        if token == "AddEdges":
+            self.next()
+            self.expect("[")
+            edges = [self._parse_edge()]
+            while self.accept(";"):
+                edges.append(self._parse_edge())
+            self.expect("]")
+            return ast.And(tuple(edges))
+        if token == "EdgeExists":
+            self.next()
+            self.expect("(")
+            src = self._parse_node()
+            self.expect(",")
+            dst = self._parse_node()
+            self.expect(")")
+            return ast.EdgeExists(src, dst)
+        # Predicate application: Name arg... (args are identifiers; the
+        # OnCore predicate takes a leading integer attribute).
+        name = self.next()
+        if not name[0].isalpha():
+            raise UspecError(f"uspec: expected predicate, found {name!r}")
+        attr = None
+        if name == "OnCore":
+            attr = int(self.next())
+        args = []
+        while self.peek() is not None and re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", self.peek() or "") \
+                and self.peek() not in ("forall", "exists", "True", "False", "microop"):
+            args.append(self.next())
+        return ast.Pred(name, tuple(args), attr)
+
+    def _parse_edge(self) -> ast.AddEdge:
+        self.expect("(")
+        src = self._parse_node()
+        self.expect(",")
+        dst = self._parse_node()
+        label = ""
+        color = ""
+        if self.accept(","):
+            label = self.next().strip('"')
+            if self.accept(","):
+                color = self.next().strip('"')
+        self.expect(")")
+        return ast.AddEdge(src, dst, label, color)
+
+    def _parse_node(self) -> ast.Node:
+        self.expect("(")
+        var = self.next()
+        self.expect(",")
+        location = self.next()
+        self.expect(")")
+        return ast.Node(var, location)
+
+
+def parse_model(text: str, name: str = "parsed") -> ast.Model:
+    """Parse a ``.uarch`` document into a :class:`repro.uspec.ast.Model`."""
+    return _Parser(_tokenize(text)).parse_model(name)

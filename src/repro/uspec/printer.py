@@ -1,0 +1,97 @@
+"""Pretty-printer: µspec AST -> the textual ``.uarch`` dialect.
+
+The output follows the style of the paper's artifact appendix (A.4
+step 5): ``StageName`` declarations followed by ``Axiom`` definitions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import UspecError
+from . import ast
+
+
+def _needs_parens(formula: ast.Formula) -> bool:
+    """Sub-formulas that would change structure if printed bare inside a
+    conjunction/disjunction or as an implication's premise: implications
+    (right-associative) and quantifiers (greedy bodies)."""
+    return isinstance(formula, (ast.Implies, ast.Forall, ast.Exists))
+
+
+def _format_operand(formula: ast.Formula, indent: int) -> str:
+    text = format_formula(formula, indent)
+    if _needs_parens(formula):
+        return f"({text})"
+    return text
+
+
+def format_formula(formula: ast.Formula, indent: int = 1) -> str:
+    pad = "  " * indent
+    if isinstance(formula, ast.TrueF):
+        return "True"
+    if isinstance(formula, ast.FalseF):
+        return "False"
+    if isinstance(formula, ast.Forall):
+        return f'forall microop "{formula.var}",\n{pad}' + \
+            format_formula(formula.body, indent + 1)
+    if isinstance(formula, ast.Exists):
+        return f'exists microop "{formula.var}",\n{pad}' + \
+            format_formula(formula.body, indent + 1)
+    if isinstance(formula, ast.Implies):
+        return (f"{_format_operand(formula.lhs, indent)} =>\n{pad}"
+                f"{format_formula(formula.rhs, indent + 1)}")
+    if isinstance(formula, ast.And):
+        if not formula.parts:
+            return "True"
+        if all(isinstance(p, ast.AddEdge) for p in formula.parts) and len(formula.parts) > 1:
+            edges = ";\n".join(
+                "  " * (indent + 1) + _edge_body(p) for p in formula.parts)
+            return "AddEdges [\n" + edges + "]"
+        return "(" + " /\\ ".join(_format_operand(p, indent) for p in formula.parts) + ")"
+    if isinstance(formula, ast.Or):
+        if not formula.parts:
+            return "False"
+        return "(" + " \\/ ".join(_format_operand(p, indent) for p in formula.parts) + ")"
+    if isinstance(formula, ast.Not):
+        return f"~({format_formula(formula.body, indent)})"
+    if isinstance(formula, ast.Pred):
+        if formula.name == "OnCore":
+            return f"OnCore {formula.attr} {formula.args[0]}"
+        return f"{formula.name} " + " ".join(formula.args)
+    if isinstance(formula, ast.AddEdge):
+        return "AddEdge " + _edge_body(formula)
+    if isinstance(formula, ast.EdgeExists):
+        return (f'EdgeExists (({formula.src.var}, {formula.src.location}), '
+                f'({formula.dst.var}, {formula.dst.location}))')
+    raise UspecError(f"cannot print formula node {type(formula).__name__}")
+
+
+def _edge_body(edge: ast.AddEdge) -> str:
+    parts = [f"(({edge.src.var}, {edge.src.location}), "
+             f"({edge.dst.var}, {edge.dst.location})"]
+    if edge.label:
+        parts.append(f', "{edge.label}"')
+    if edge.color:
+        parts.append(f', "{edge.color}"')
+    parts.append(")")
+    return "".join(parts)
+
+
+def format_model(model: ast.Model) -> str:
+    lines: List[str] = []
+    lines.append(f"% uspec model: {model.name}")
+    for key, value in model.metadata.items():
+        lines.append(f"% {key}: {value}")
+    lines.append("")
+    for index, name in enumerate(model.stage_names):
+        lines.append(f'StageName {index} "{name}".')
+    lines.append("")
+    for axiom in model.axioms:
+        if axiom.comment:
+            for comment_line in axiom.comment.splitlines():
+                lines.append(f"% {comment_line}")
+        body = format_formula(axiom.formula)
+        lines.append(f'Axiom "{axiom.name}":\n  {body}.')
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Verilog/SystemVerilog frontend: preprocess, lex, parse, elaborate.
+
+The frontend replaces the commercial Verific+Yosys flow of the paper
+(section 4.1): it turns RTL source into the word-level netlist IR of
+``repro.netlist``, from which the full-design DFG is extracted.
+"""
+
+from typing import Dict, List, Optional
+
+from ..netlist import Netlist
+from .ast import Module, SourceFile
+from .elaborator import Elaborator, elaborate
+from .lexer import tokenize
+from .parser import Parser, parse
+from .preprocessor import preprocess
+
+
+def compile_verilog(source: str, top: str,
+                    params: Optional[Dict[str, int]] = None,
+                    defines: Optional[Dict[str, str]] = None,
+                    include_dirs: Optional[List[str]] = None) -> Netlist:
+    """One-call frontend: preprocess, parse, and elaborate ``top``.
+
+    ``params`` override top-level module parameters; ``defines`` seed the
+    preprocessor macro table.
+    """
+    text = preprocess(source, dict(defines or {}), include_dirs)
+    parsed = parse(text)
+    return elaborate(parsed, top, params)
+
+
+def compile_files(paths: List[str], top: str,
+                  params: Optional[Dict[str, int]] = None,
+                  defines: Optional[Dict[str, str]] = None,
+                  include_dirs: Optional[List[str]] = None) -> Netlist:
+    """Compile several source files as one compilation unit."""
+    chunks = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            chunks.append(handle.read())
+    return compile_verilog("\n".join(chunks), top, params, defines, include_dirs)
+
+
+__all__ = [
+    "preprocess",
+    "tokenize",
+    "parse",
+    "Parser",
+    "elaborate",
+    "Elaborator",
+    "compile_verilog",
+    "compile_files",
+    "Module",
+    "SourceFile",
+]

@@ -1,0 +1,287 @@
+"""Abstract syntax tree for the supported Verilog subset.
+
+Expression and statement nodes are plain dataclasses. Width/parameter
+expressions stay as ASTs until elaboration, where they are evaluated in
+the instance's parameter environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for expression nodes."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class ENumber(Expr):
+    """Integer literal. ``width`` is None for unsized decimals.
+
+    ``care_mask`` marks significant bits for casez wildcard patterns
+    (None = every bit significant).
+    """
+
+    value: int
+    width: Optional[int] = None
+    care_mask: Optional[int] = None
+
+
+@dataclass
+class EIdent(Expr):
+    """Reference to a signal, parameter, or genvar."""
+
+    name: str
+
+
+@dataclass
+class EHierIdent(Expr):
+    """Dotted hierarchical reference, e.g. ``block.signal`` (rare; used in
+    metadata expressions rather than in the designs themselves)."""
+
+    parts: List[str]
+
+
+@dataclass
+class EIndex(Expr):
+    """Single index: bit-select of a vector or cell-select of an array."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class ERange(Expr):
+    """Constant part-select ``base[msb:lsb]``."""
+
+    base: Expr
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass
+class EUnary(Expr):
+    """Unary operator: one of ``~ ! & | ^ -``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class EBinary(Expr):
+    """Binary operator (arithmetic, logic, comparison, shift)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class ETernary(Expr):
+    """Conditional ``cond ? t : f``."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass
+class EConcat(Expr):
+    """Concatenation ``{a, b, ...}`` (most-significant part first)."""
+
+    parts: List[Expr]
+
+
+@dataclass
+class ERepeat(Expr):
+    """Replication ``{n{expr}}``."""
+
+    count: Expr
+    operand: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements (procedural, inside always blocks)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for statement nodes."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class SBlock(Stmt):
+    """``begin ... end`` sequence."""
+
+    stmts: List[Stmt]
+
+
+@dataclass
+class SAssign(Stmt):
+    """Procedural assignment; ``blocking`` is True for ``=``."""
+
+    target: Expr
+    value: Expr
+    blocking: bool
+
+
+@dataclass
+class SIf(Stmt):
+    """``if (cond) then_stmt [else else_stmt]``."""
+
+    cond: Expr
+    then_stmt: Stmt
+    else_stmt: Optional[Stmt]
+
+
+@dataclass
+class SCase(Stmt):
+    """``case``/``casez`` statement. ``items`` pairs label-lists with bodies."""
+
+    subject: Expr
+    items: List[Tuple[List[Expr], Stmt]]
+    default: Optional[Stmt]
+    casez: bool = False
+
+
+@dataclass
+class SFor(Stmt):
+    """Constant-bound procedural for loop (unrolled during elaboration)."""
+
+    var: str
+    init: Expr
+    cond: Expr
+    step: Expr  # the value assigned to var each iteration
+    body: Stmt
+
+
+@dataclass
+class SNull(Stmt):
+    """Empty statement (bare ``;`` or ignored system task)."""
+
+
+# ---------------------------------------------------------------------------
+# Module items
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Range:
+    """A ``[msb:lsb]`` range, still in expression form."""
+
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass
+class Port:
+    """ANSI-style module port."""
+
+    name: str
+    direction: str  # "input" | "output" | "inout"
+    range: Optional[Range]
+    is_reg: bool = False
+    line: int = 0
+
+
+@dataclass
+class ParamDecl:
+    """``parameter``/``localparam`` declaration."""
+
+    name: str
+    value: Expr
+    local: bool = False
+    line: int = 0
+
+
+@dataclass
+class NetDecl:
+    """``wire``/``reg``/``logic`` declaration (may declare an array)."""
+
+    name: str
+    kind: str  # "wire" | "reg" | "logic" | "integer"
+    range: Optional[Range]
+    array_range: Optional[Range] = None
+    line: int = 0
+
+
+@dataclass
+class ContAssign:
+    """Continuous ``assign lhs = rhs;``."""
+
+    target: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class AlwaysBlock:
+    """``always @(posedge clk)`` (sequential) or ``always @(*)`` (comb)."""
+
+    kind: str  # "ff" | "comb"
+    clock: Optional[str]  # clock signal name for "ff"
+    body: Stmt
+    line: int = 0
+
+
+@dataclass
+class Instance:
+    """Module instantiation with named port connections."""
+
+    module: str
+    name: str
+    params: Dict[str, Expr]
+    ports: Dict[str, Optional[Expr]]
+    line: int = 0
+
+
+@dataclass
+class GenFor:
+    """``generate for`` region; body items are replicated per index."""
+
+    var: str
+    init: Expr
+    cond: Expr
+    step: Expr
+    label: str
+    items: List[object]
+    line: int = 0
+
+
+@dataclass
+class GenIf:
+    """``generate if`` region (condition must be elaboration-constant)."""
+
+    cond: Expr
+    then_items: List[object]
+    else_items: List[object]
+    line: int = 0
+
+
+@dataclass
+class Module:
+    """A parsed module definition."""
+
+    name: str
+    params: List[ParamDecl]
+    ports: List[Port]
+    items: List[object]
+    line: int = 0
+
+
+@dataclass
+class SourceFile:
+    """All modules parsed from one source unit."""
+
+    modules: Dict[str, Module]

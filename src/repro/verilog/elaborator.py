@@ -1,0 +1,939 @@
+"""Elaboration: parsed Verilog modules -> flattened word-level netlist.
+
+The elaborator resolves parameters, unrolls generate-for regions and
+procedural for loops, flattens the instance hierarchy (joining names
+with ``.``, and generate blocks as ``label[i]``, matching the paper's
+``core_gen_block[0].vscale...`` style), and lowers procedural always
+blocks via symbolic execution into mux trees, DFFs, and memory ports.
+
+Supported discipline (checked, not assumed):
+
+* nonblocking assignments only in clocked blocks; blocking only in
+  combinational blocks,
+* every combinational target fully assigned on every path (no latches),
+* memory arrays written only in clocked blocks, read anywhere,
+* single global clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import ElaborationError
+from ..netlist import Const, Netlist, SignalRef
+from . import ast
+
+# ---------------------------------------------------------------------------
+# Values flowing through expression synthesis
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Val:
+    """A synthesized expression value: a signal reference plus its width.
+
+    ``ref`` is a wire name or :class:`Const`. ``flex`` marks unsized
+    constants whose width may be adapted to context.
+    """
+
+    ref: SignalRef
+    width: int
+    flex: bool = False
+
+
+UNASSIGNED = "«unassigned»"
+
+
+class _ModuleScope:
+    """Per-instance symbol table."""
+
+    def __init__(self, prefix: str, params: Dict[str, int]):
+        self.prefix = prefix
+        self.params = dict(params)
+        self.signals: Dict[str, Tuple[str, int]] = {}  # local name -> (netname, width)
+        self.memories: Dict[str, str] = {}             # local name -> memory netname
+        self.mem_shapes: Dict[str, Tuple[int, int]] = {}  # local name -> (width, depth)
+        self.genvars: Dict[str, int] = {}
+        self.reg_kinds: Dict[str, str] = {}            # local name -> wire|reg|logic
+
+
+class Elaborator:
+    """Drives elaboration of one top module into a :class:`Netlist`."""
+
+    def __init__(self, source: ast.SourceFile, top: str,
+                 params: Optional[Dict[str, int]] = None):
+        if top not in source.modules:
+            raise ElaborationError(f"top module {top!r} not found; have {sorted(source.modules)}")
+        self.source = source
+        self.top = top
+        self.top_params = dict(params or {})
+        self.netlist = Netlist(top)
+        self.clock_name: Optional[str] = None
+        # Signals assigned by clocked blocks (future DFF outputs), keyed by netname.
+        self._ff_targets: Dict[str, int] = {}
+        self._read_port_cache: Dict[Tuple[str, SignalRef], str] = {}
+        # Partial continuous drivers: wire -> list of (lo, hi, ref).
+        self._partial: Dict[str, List[Tuple[int, int, SignalRef]]] = {}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def elaborate(self) -> Netlist:
+        module = self.source.modules[self.top]
+        scope = self._instantiate(module, prefix="", param_overrides=self.top_params,
+                                  port_conns=None, parent_scope=None)
+        self._finalize_partial_drives()
+        # Mark top-level ports.
+        for port in module.ports:
+            netname = scope.signals[port.name][0]
+            if port.direction == "output":
+                self.netlist.mark_output(netname)
+        self.netlist.validate()
+        return self.netlist
+
+    # ------------------------------------------------------------------
+    # Module instantiation
+    # ------------------------------------------------------------------
+    def _instantiate(self, module: ast.Module, prefix: str,
+                     param_overrides: Dict[str, int],
+                     port_conns: Optional[Dict[str, Optional[Val]]],
+                     parent_scope: Optional[_ModuleScope]) -> _ModuleScope:
+        scope = _ModuleScope(prefix, {})
+        # Parameters: defaults evaluated in this scope, overridden by caller.
+        for param in module.params:
+            if param.name in param_overrides:
+                scope.params[param.name] = param_overrides[param.name]
+            else:
+                scope.params[param.name] = self._const_eval(param.value, scope)
+        unknown = set(param_overrides) - {p.name for p in module.params}
+        if unknown:
+            raise ElaborationError(f"unknown parameter override(s) {sorted(unknown)} for module {module.name!r}")
+
+        # Ports become wires.
+        for port in module.ports:
+            width = self._range_width(port.range, scope)
+            netname = prefix + port.name
+            self.netlist.add_wire(netname, width)
+            scope.signals[port.name] = (netname, width)
+            scope.reg_kinds[port.name] = "reg" if port.is_reg else "wire"
+
+        # Local parameters and declarations (two passes: declarations may
+        # reference localparams declared later in rare styles, but we keep
+        # a single forward pass for predictability).
+        self._declare_items(module.items, scope)
+
+        # Connect ports.
+        if port_conns is not None:
+            for port in module.ports:
+                conn = port_conns.get(port.name, None)
+                netname, width = scope.signals[port.name]
+                if port.direction == "input":
+                    if conn is None:
+                        raise ElaborationError(
+                            f"input port {port.name!r} of instance {prefix!r} is unconnected")
+                    self._drive(netname, self._coerce(conn, width))
+                elif port.direction == "output":
+                    # Output wiring is done by the parent (see _elab_instance),
+                    # which drives its own lvalue from this wire.
+                    pass
+                else:
+                    raise ElaborationError("inout ports are not supported")
+        else:
+            for port in module.ports:
+                netname, width = scope.signals[port.name]
+                if port.direction == "input":
+                    self.netlist.inputs[netname] = width
+
+        # Elaborate behavioral items.
+        self._elab_items(module.items, scope)
+        return scope
+
+    def _declare_items(self, items: List[object], scope: _ModuleScope) -> None:
+        """Process parameter and net declarations (including inside
+        generate regions, where declarations are handled per-iteration)."""
+        for item in items:
+            if isinstance(item, ast.ParamDecl):
+                scope.params[item.name] = self._const_eval(item.value, scope)
+            elif isinstance(item, ast.NetDecl):
+                if item.kind in ("genvar", "integer"):
+                    # Loop index variables: resolved as elaboration
+                    # constants, never materialized as wires.
+                    scope.genvars[item.name] = 0
+                    continue
+                if item.name in scope.signals or item.name in scope.memories:
+                    raise ElaborationError(f"duplicate declaration of {item.name!r}")
+                width = self._range_width(item.range, scope)
+                netname = scope.prefix + item.name
+                if item.array_range is not None:
+                    msb = self._const_eval(item.array_range.msb, scope)
+                    lsb = self._const_eval(item.array_range.lsb, scope)
+                    depth = abs(msb - lsb) + 1
+                    self.netlist.add_memory(netname, width, depth)
+                    scope.memories[item.name] = netname
+                    scope.mem_shapes[item.name] = (width, depth)
+                else:
+                    self.netlist.add_wire(netname, width)
+                    scope.signals[item.name] = (netname, width)
+                    scope.reg_kinds[item.name] = item.kind
+
+    def _elab_items(self, items: List[object], scope: _ModuleScope) -> None:
+        for item in items:
+            if isinstance(item, (ast.ParamDecl, ast.NetDecl)):
+                continue  # handled in _declare_items
+            if isinstance(item, ast.ContAssign):
+                value = self._synth_expr(item.value, scope)
+                self._assign_lvalue_comb(item.target, value, scope)
+            elif isinstance(item, ast.AlwaysBlock):
+                if item.kind == "ff":
+                    self._elab_always_ff(item, scope)
+                else:
+                    self._elab_always_comb(item, scope)
+            elif isinstance(item, ast.Instance):
+                self._elab_instance(item, scope)
+            elif isinstance(item, ast.GenFor):
+                self._elab_gen_for(item, scope)
+            elif isinstance(item, ast.GenIf):
+                cond = self._const_eval(item.cond, scope)
+                chosen = item.then_items if cond else item.else_items
+                self._declare_items(chosen, scope)
+                self._elab_items(chosen, scope)
+            else:
+                raise ElaborationError(f"unsupported module item {type(item).__name__}")
+
+    def _elab_gen_for(self, gen: ast.GenFor, scope: _ModuleScope) -> None:
+        if gen.var not in scope.genvars:
+            raise ElaborationError(f"generate-for variable {gen.var!r} is not a genvar")
+        index = self._const_eval(gen.init, scope)
+        iterations = 0
+        while True:
+            scope.genvars[gen.var] = index
+            scope.params[gen.var] = index  # let expressions see it
+            if not self._const_eval(gen.cond, scope):
+                break
+            iterations += 1
+            if iterations > 4096:
+                raise ElaborationError(f"generate-for {gen.label!r} exceeded 4096 iterations")
+            # Each iteration gets its own sub-scope prefixed label[i].
+            sub = _ModuleScope(f"{scope.prefix}{gen.label}[{index}].", scope.params)
+            sub.params[gen.var] = index
+            # Inherit outer symbols for reference; local declarations shadow.
+            sub.signals.update(scope.signals)
+            sub.memories.update(scope.memories)
+            sub.mem_shapes.update(scope.mem_shapes)
+            sub.reg_kinds.update(scope.reg_kinds)
+            sub.genvars = scope.genvars
+            self._declare_items(gen.items, sub)
+            self._elab_items(gen.items, sub)
+            index = self._const_eval_with(gen.step, sub, {gen.var: index})
+        scope.params.pop(gen.var, None)
+
+    def _elab_instance(self, inst: ast.Instance, scope: _ModuleScope) -> None:
+        if inst.module not in self.source.modules:
+            raise ElaborationError(f"unknown module {inst.module!r} instantiated as {inst.name!r}")
+        child_module = self.source.modules[inst.module]
+        child_prefix = f"{scope.prefix}{inst.name}."
+        overrides = {name: self._const_eval(expr, scope) for name, expr in inst.params.items()}
+        port_map: Dict[str, Optional[Val]] = {}
+        output_conns: List[Tuple[ast.Port, ast.Expr]] = []
+        port_by_name = {p.name: p for p in child_module.ports}
+        for pname, expr in inst.ports.items():
+            if pname not in port_by_name:
+                raise ElaborationError(f"module {inst.module!r} has no port {pname!r}")
+            port = port_by_name[pname]
+            if expr is None:
+                port_map[pname] = None
+                continue
+            if port.direction == "input":
+                port_map[pname] = self._synth_expr(expr, scope)
+            else:
+                port_map[pname] = None
+                output_conns.append((port, expr))
+        child_scope = self._instantiate(child_module, child_prefix, overrides, port_map, scope)
+        # Wire outputs into the parent.
+        for port, expr in output_conns:
+            netname, width = child_scope.signals[port.name]
+            self._assign_lvalue_comb(expr, Val(netname, width), scope)
+
+    # ------------------------------------------------------------------
+    # Constant evaluation (parameters, widths, genvars)
+    # ------------------------------------------------------------------
+    def _const_eval(self, expr: ast.Expr, scope: _ModuleScope) -> int:
+        return self._const_eval_with(expr, scope, {})
+
+    def _const_eval_with(self, expr: ast.Expr, scope: _ModuleScope,
+                         extra: Dict[str, int]) -> int:
+        if isinstance(expr, ast.ENumber):
+            return expr.value
+        if isinstance(expr, ast.EIdent):
+            if expr.name in extra:
+                return extra[expr.name]
+            if expr.name in scope.params:
+                return scope.params[expr.name]
+            if expr.name in scope.genvars:
+                return scope.genvars[expr.name]
+            raise ElaborationError(f"{expr.name!r} is not a constant (line {expr.line})")
+        if isinstance(expr, ast.EUnary):
+            value = self._const_eval_with(expr.operand, scope, extra)
+            if expr.op == "-":
+                return -value
+            if expr.op == "~":
+                return ~value
+            if expr.op == "!":
+                return 0 if value else 1
+            raise ElaborationError(f"unary {expr.op!r} not allowed in constant expression")
+        if isinstance(expr, ast.EBinary):
+            lhs = self._const_eval_with(expr.lhs, scope, extra)
+            rhs = self._const_eval_with(expr.rhs, scope, extra)
+            ops = {
+                "+": lambda: lhs + rhs, "-": lambda: lhs - rhs,
+                "*": lambda: lhs * rhs, "/": lambda: lhs // rhs,
+                "%": lambda: lhs % rhs, "**": lambda: lhs ** rhs,
+                "<<": lambda: lhs << rhs, ">>": lambda: lhs >> rhs,
+                "==": lambda: int(lhs == rhs), "!=": lambda: int(lhs != rhs),
+                "<": lambda: int(lhs < rhs), "<=": lambda: int(lhs <= rhs),
+                ">": lambda: int(lhs > rhs), ">=": lambda: int(lhs >= rhs),
+                "&&": lambda: int(bool(lhs) and bool(rhs)),
+                "||": lambda: int(bool(lhs) or bool(rhs)),
+                "&": lambda: lhs & rhs, "|": lambda: lhs | rhs, "^": lambda: lhs ^ rhs,
+            }
+            if expr.op not in ops:
+                raise ElaborationError(f"binary {expr.op!r} not allowed in constant expression")
+            return ops[expr.op]()
+        if isinstance(expr, ast.ETernary):
+            cond = self._const_eval_with(expr.cond, scope, extra)
+            branch = expr.if_true if cond else expr.if_false
+            return self._const_eval_with(branch, scope, extra)
+        raise ElaborationError(f"expression is not elaboration-constant: {type(expr).__name__}")
+
+    def _range_width(self, rng: Optional[ast.Range], scope: _ModuleScope) -> int:
+        if rng is None:
+            return 1
+        msb = self._const_eval(rng.msb, scope)
+        lsb = self._const_eval(rng.lsb, scope)
+        if lsb != 0:
+            raise ElaborationError(f"only [msb:0] ranges are supported, got [{msb}:{lsb}]")
+        return msb - lsb + 1
+
+    # ------------------------------------------------------------------
+    # Expression synthesis
+    # ------------------------------------------------------------------
+    def _synth_expr(self, expr: ast.Expr, scope: _ModuleScope,
+                    state: Optional["_ProcState"] = None) -> Val:
+        if isinstance(expr, ast.ENumber):
+            if expr.width is not None:
+                return Val(Const(expr.width, expr.value), expr.width)
+            # Unsized decimal literals are 32-bit in Verilog (wider if the
+            # value needs it); flex lets assignment contexts narrow them.
+            width = max(32, expr.value.bit_length())
+            return Val(Const(width, expr.value), width, flex=True)
+        if isinstance(expr, ast.EIdent):
+            name = expr.name
+            if state is not None and not state.clocked and name in state.values:
+                # Blocking assignment earlier in this comb block: the read
+                # sees the updated value, not the wire's final value.
+                return state.values[name]
+            if name in scope.signals:
+                netname, width = scope.signals[name]
+                return Val(netname, width)
+            if name in scope.params or name in scope.genvars:
+                value = scope.params.get(name, scope.genvars.get(name))
+                if value < 0:
+                    raise ElaborationError(
+                        f"negative parameter {name!r}={value} used in a signal expression")
+                width = max(32, int(value).bit_length())
+                return Val(Const(width, int(value)), width, flex=True)
+            if name in scope.memories:
+                raise ElaborationError(f"memory {name!r} used without an index (line {expr.line})")
+            raise ElaborationError(f"undeclared identifier {name!r} (line {expr.line})")
+        if isinstance(expr, ast.EIndex):
+            return self._synth_index(expr, scope, state)
+        if isinstance(expr, ast.ERange):
+            base = self._synth_expr(expr.base, scope, state)
+            msb = self._const_eval(expr.msb, scope)
+            lsb = self._const_eval(expr.lsb, scope)
+            return self._slice(base, lsb, msb)
+        if isinstance(expr, ast.EUnary):
+            return self._synth_unary(expr, scope, state)
+        if isinstance(expr, ast.EBinary):
+            return self._synth_binary(expr, scope, state)
+        if isinstance(expr, ast.ETernary):
+            cond = self._to_bool(self._synth_expr(expr.cond, scope, state))
+            if_true = self._synth_expr(expr.if_true, scope, state)
+            if_false = self._synth_expr(expr.if_false, scope, state)
+            width = self._common_width(if_true, if_false)
+            out = self._new_tmp(width)
+            self.netlist.add_cell("mux", [cond.ref,
+                                          self._coerce(if_true, width),
+                                          self._coerce(if_false, width)], out)
+            return Val(out, width)
+        if isinstance(expr, ast.EConcat):
+            parts = [self._synth_expr(p, scope, state) for p in expr.parts]
+            for part in parts:
+                if part.flex:
+                    raise ElaborationError(
+                        f"unsized constant inside concatenation (line {expr.line}); size it explicitly")
+            width = sum(p.width for p in parts)
+            out = self._new_tmp(width)
+            self.netlist.add_cell("concat", [p.ref for p in parts], out)
+            return Val(out, width)
+        if isinstance(expr, ast.ERepeat):
+            count = self._const_eval(expr.count, scope)
+            operand = self._synth_expr(expr.operand, scope, state)
+            if operand.flex:
+                raise ElaborationError(f"unsized constant inside replication (line {expr.line})")
+            if count <= 0:
+                raise ElaborationError(f"replication count must be positive (line {expr.line})")
+            width = operand.width * count
+            out = self._new_tmp(width)
+            self.netlist.add_cell("concat", [operand.ref] * count, out)
+            return Val(out, width)
+        if isinstance(expr, ast.EHierIdent):
+            raise ElaborationError(
+                f"hierarchical references are not synthesizable (line {expr.line})")
+        raise ElaborationError(f"unsupported expression {type(expr).__name__}")
+
+    def _synth_index(self, expr: ast.EIndex, scope: _ModuleScope,
+                     state: Optional["_ProcState"] = None) -> Val:
+        # Memory cell read?
+        if isinstance(expr.base, ast.EIdent) and expr.base.name in scope.memories:
+            memname = scope.memories[expr.base.name]
+            mem = self.netlist.memories[memname]
+            addr = self._synth_expr(expr.index, scope, state)
+            addr_ref = self._coerce(addr, mem.addr_width)
+            cache_key = (memname, addr_ref)
+            if cache_key in self._read_port_cache:
+                return Val(self._read_port_cache[cache_key], mem.width)
+            data = self._new_tmp(mem.width)
+            self.netlist.add_read_port(memname, addr_ref, data)
+            self._read_port_cache[cache_key] = data
+            return Val(data, mem.width)
+        base = self._synth_expr(expr.base, scope, state)
+        # Constant bit select -> slice; dynamic -> shift + slice.
+        try:
+            bit = self._const_eval(expr.index, scope)
+        except ElaborationError:
+            bit = None
+        if bit is not None:
+            return self._slice(base, bit, bit)
+        index = self._synth_expr(expr.index, scope, state)
+        shifted = self._new_tmp(base.width)
+        self.netlist.add_cell("shr", [base.ref, self._coerce(index, index.width)], shifted)
+        return self._slice(Val(shifted, base.width), 0, 0)
+
+    def _synth_unary(self, expr: ast.EUnary, scope: _ModuleScope,
+                     state: Optional["_ProcState"] = None) -> Val:
+        operand = self._synth_expr(expr.operand, scope, state)
+        op = expr.op
+        if op == "~":
+            width = operand.width
+            out = self._new_tmp(width)
+            self.netlist.add_cell("not", [self._coerce(operand, width)], out)
+            return Val(out, width)
+        if op == "!":
+            out = self._new_tmp(1)
+            self.netlist.add_cell("lognot", [operand.ref], out)
+            return Val(out, 1)
+        if op == "-":
+            width = operand.width
+            out = self._new_tmp(width)
+            self.netlist.add_cell("sub", [Const(width, 0), self._coerce(operand, width)], out)
+            return Val(out, width)
+        if op in ("&", "|", "^"):
+            out = self._new_tmp(1)
+            cell_op = {"&": "redand", "|": "redor", "^": "redxor"}[op]
+            self.netlist.add_cell(cell_op, [operand.ref], out)
+            return Val(out, 1)
+        raise ElaborationError(f"unsupported unary operator {op!r}")
+
+    def _synth_binary(self, expr: ast.EBinary, scope: _ModuleScope,
+                      state: Optional["_ProcState"] = None) -> Val:
+        op = expr.op
+        lhs = self._synth_expr(expr.lhs, scope, state)
+        rhs = self._synth_expr(expr.rhs, scope, state)
+        if op in ("&&", "||"):
+            out = self._new_tmp(1)
+            cell_op = "logand" if op == "&&" else "logor"
+            self.netlist.add_cell(cell_op, [lhs.ref, rhs.ref], out)
+            return Val(out, 1)
+        if op in ("==", "!=", "<", "<=", ">", ">=", "===", "!=="):
+            width = self._common_width(lhs, rhs)
+            cell_op = {"==": "eq", "===": "eq", "!=": "ne", "!==": "ne",
+                       "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}[op]
+            out = self._new_tmp(1)
+            self.netlist.add_cell(cell_op, [self._coerce(lhs, width), self._coerce(rhs, width)], out)
+            return Val(out, 1)
+        if op in ("<<", ">>"):
+            width = lhs.width if not lhs.flex else max(lhs.width, 32)
+            out = self._new_tmp(width)
+            cell_op = "shl" if op == "<<" else "shr"
+            amount = rhs.ref if not rhs.flex else Const(max(rhs.width, 1), rhs.ref.value)
+            self.netlist.add_cell(cell_op, [self._coerce(lhs, width), amount], out)
+            return Val(out, width)
+        if op in ("+", "-", "*", "&", "|", "^"):
+            width = self._common_width(lhs, rhs)
+            cell_op = {"+": "add", "-": "sub", "*": "mul",
+                       "&": "and", "|": "or", "^": "xor"}[op]
+            out = self._new_tmp(width)
+            self.netlist.add_cell(cell_op, [self._coerce(lhs, width), self._coerce(rhs, width)], out)
+            return Val(out, width)
+        if op in ("/", "%"):
+            raise ElaborationError("division/modulo are only supported in constant expressions")
+        raise ElaborationError(f"unsupported binary operator {op!r}")
+
+    # ------------------------------------------------------------------
+    # Width handling
+    # ------------------------------------------------------------------
+    def _common_width(self, a: Val, b: Val) -> int:
+        if a.flex and b.flex:
+            return max(a.width, b.width)
+        if a.flex:
+            return max(b.width, a.width)
+        if b.flex:
+            return max(a.width, b.width)
+        return max(a.width, b.width)
+
+    def _coerce(self, val: Val, width: int) -> SignalRef:
+        """Adapt ``val`` to ``width`` bits (zero-extend or truncate)."""
+        if isinstance(val.ref, Const):
+            if val.flex or val.width != width:
+                if not val.flex and val.width > width:
+                    return Const(width, val.ref.value)  # truncate constant
+                return Const(width, val.ref.value)
+            return val.ref
+        if val.width == width:
+            return val.ref
+        if val.width < width:
+            out = self._new_tmp(width)
+            self.netlist.add_cell("zext", [val.ref], out)
+            return out
+        out = self._new_tmp(width)
+        self.netlist.add_cell("slice", [val.ref], out, attrs={"lo": 0, "hi": width - 1})
+        return out
+
+    def _slice(self, base: Val, lo: int, hi: int) -> Val:
+        if isinstance(base.ref, Const):
+            value = (base.ref.value >> lo) & ((1 << (hi - lo + 1)) - 1)
+            return Val(Const(hi - lo + 1, value), hi - lo + 1)
+        if lo == 0 and hi == base.width - 1:
+            return base
+        if not (0 <= lo <= hi < base.width):
+            raise ElaborationError(f"slice [{hi}:{lo}] out of range for width {base.width}")
+        width = hi - lo + 1
+        out = self._new_tmp(width)
+        self.netlist.add_cell("slice", [base.ref], out, attrs={"lo": lo, "hi": hi})
+        return Val(out, width)
+
+    def _new_tmp(self, width: int) -> str:
+        name = self.netlist.fresh_name("$t")
+        self.netlist.add_wire(name, width)
+        return name
+
+    def _to_bool(self, val: Val) -> Val:
+        if val.width == 1:
+            return val
+        out = self._new_tmp(1)
+        self.netlist.add_cell("redor", [val.ref], out)
+        return Val(out, 1)
+
+    # ------------------------------------------------------------------
+    # Driving wires
+    # ------------------------------------------------------------------
+    def _drive(self, netname: str, ref: SignalRef) -> None:
+        """Drive a whole wire from ``ref`` (insert a buffer cell)."""
+        self.netlist.add_cell("zext", [ref], netname)
+
+    def _assign_lvalue_comb(self, target: ast.Expr, value: Val, scope: _ModuleScope) -> None:
+        """Continuous assignment / instance-output connection to an lvalue."""
+        if isinstance(target, ast.EIdent):
+            if target.name in scope.memories:
+                raise ElaborationError(f"cannot continuously assign memory {target.name!r}")
+            netname, width = self._lookup_signal(target.name, scope, target.line)
+            self._drive(netname, self._coerce(value, width))
+            return
+        if isinstance(target, ast.EConcat):
+            # Split value across parts, most-significant first.
+            widths = []
+            for part in target.parts:
+                widths.append(self._lvalue_width(part, scope))
+            total = sum(widths)
+            coerced = Val(self._coerce(value, total), total)
+            offset = total
+            for part, width in zip(target.parts, widths):
+                offset -= width
+                self._assign_lvalue_comb(part, self._slice(coerced, offset, offset + width - 1), scope)
+            return
+        if isinstance(target, (ast.EIndex, ast.ERange)):
+            base = target.base
+            if not isinstance(base, ast.EIdent):
+                raise ElaborationError("nested partial assignment targets are not supported")
+            netname, width = self._lookup_signal(base.name, scope, target.line)
+            if isinstance(target, ast.EIndex):
+                lo = self._const_eval(target.index, scope)
+                hi = lo
+            else:
+                hi = self._const_eval(target.msb, scope)
+                lo = self._const_eval(target.lsb, scope)
+            if not (0 <= lo <= hi < width):
+                raise ElaborationError(
+                    f"partial assign [{hi}:{lo}] out of range for {base.name!r} (width {width})")
+            self._partial.setdefault(netname, []).append(
+                (lo, hi, self._coerce(value, hi - lo + 1)))
+            return
+        raise ElaborationError(f"unsupported assignment target {type(target).__name__}")
+
+    def _finalize_partial_drives(self) -> None:
+        """Combine partial continuous assignments into one concat driver
+        per wire, checking full non-overlapping coverage."""
+        for netname, pieces in self._partial.items():
+            width = self.netlist.wires[netname].width
+            pieces = sorted(pieces, key=lambda p: p[0])
+            expected_lo = 0
+            for lo, hi, _ in pieces:
+                if lo != expected_lo:
+                    raise ElaborationError(
+                        f"partial assignments to {netname!r} leave bits "
+                        f"[{lo - 1}:{expected_lo}] undriven or overlapping")
+                expected_lo = hi + 1
+            if expected_lo != width:
+                raise ElaborationError(
+                    f"partial assignments to {netname!r} do not cover bits "
+                    f"[{width - 1}:{expected_lo}]")
+            refs_msb_first = [ref for _, _, ref in reversed(pieces)]
+            self.netlist.add_cell("concat", refs_msb_first, netname)
+
+    def _lvalue_width(self, target: ast.Expr, scope: _ModuleScope) -> int:
+        if isinstance(target, ast.EIdent):
+            return self._lookup_signal(target.name, scope, target.line)[1]
+        if isinstance(target, ast.EConcat):
+            return sum(self._lvalue_width(p, scope) for p in target.parts)
+        raise ElaborationError("unsupported compound lvalue part")
+
+    def _lookup_signal(self, name: str, scope: _ModuleScope, line: int) -> Tuple[str, int]:
+        if name not in scope.signals:
+            raise ElaborationError(f"undeclared signal {name!r} (line {line})")
+        return scope.signals[name]
+
+    # ------------------------------------------------------------------
+    # Always blocks
+    # ------------------------------------------------------------------
+    def _elab_always_ff(self, block: ast.AlwaysBlock, scope: _ModuleScope) -> None:
+        if self.clock_name is None:
+            self.clock_name = block.clock
+        elif block.clock != self.clock_name:
+            raise ElaborationError(
+                f"multiple clocks ({self.clock_name!r} vs {block.clock!r}) are not supported")
+        exec_state = _ProcState(scope, clocked=True)
+        self._exec_stmt(block.body, exec_state, cond=None)
+        # Registers: create a DFF per assigned signal; the D input is the
+        # merged next-value expression, defaulting to hold (the Q value).
+        for local_name, next_val in exec_state.values.items():
+            netname, width = scope.signals[local_name]
+            if netname in self._ff_targets:
+                raise ElaborationError(f"signal {local_name!r} assigned in two clocked blocks")
+            self._ff_targets[netname] = width
+            self.netlist.add_dff(netname + "$ff", self._coerce(next_val, width), netname, width)
+        # Memory writes become write ports (statement order preserved).
+        for memname, addr, data, enable in exec_state.mem_writes:
+            mem = self.netlist.memories[memname]
+            self.netlist.add_write_port(
+                memname,
+                self._coerce(addr, mem.addr_width),
+                self._coerce(data, mem.width),
+                enable.ref,
+            )
+
+    def _elab_always_comb(self, block: ast.AlwaysBlock, scope: _ModuleScope) -> None:
+        exec_state = _ProcState(scope, clocked=False)
+        self._exec_stmt(block.body, exec_state, cond=None)
+        if exec_state.mem_writes:
+            raise ElaborationError("memory writes are only allowed in clocked blocks")
+        for local_name, value in exec_state.values.items():
+            netname, width = scope.signals[local_name]
+            self._drive(netname, self._coerce(value, width))
+
+    def _exec_stmt(self, stmt: ast.Stmt, state: "_ProcState", cond: Optional[Val]) -> None:
+        """Symbolically execute one statement under path condition ``cond``
+        (None means unconditional)."""
+        if isinstance(stmt, ast.SNull):
+            return
+        if isinstance(stmt, ast.SBlock):
+            for sub in stmt.stmts:
+                self._exec_stmt(sub, state, cond)
+            return
+        if isinstance(stmt, ast.SAssign):
+            self._exec_assign(stmt, state, cond)
+            return
+        if isinstance(stmt, ast.SIf):
+            test = self._to_bool(self._synth_expr(stmt.cond, state.scope, state))
+            then_cond = self._and_conds(cond, test)
+            self._exec_branching(stmt.then_stmt, stmt.else_stmt, test, cond, then_cond, state)
+            return
+        if isinstance(stmt, ast.SCase):
+            self._exec_case(stmt, state, cond)
+            return
+        if isinstance(stmt, ast.SFor):
+            self._exec_for(stmt, state, cond)
+            return
+        raise ElaborationError(f"unsupported statement {type(stmt).__name__}")
+
+    def _exec_branching(self, then_stmt: ast.Stmt, else_stmt: Optional[ast.Stmt],
+                        test: Val, cond: Optional[Val], then_cond: Val,
+                        state: "_ProcState") -> None:
+        then_state = state.fork()
+        self._exec_stmt(then_stmt, then_state, then_cond)
+        else_state = state.fork()
+        if else_stmt is not None:
+            not_test = self._invert(test)
+            else_cond = self._and_conds(cond, not_test)
+            self._exec_stmt(else_stmt, else_state, else_cond)
+        state.merge(self, test, then_state, else_state)
+
+    def _exec_case(self, stmt: ast.SCase, state: "_ProcState", cond: Optional[Val]) -> None:
+        subject = self._synth_expr(stmt.subject, state.scope, state)
+        # Lower to an if/else chain, last item innermost.
+        branches: List[Tuple[Val, ast.Stmt]] = []
+        for labels, body in stmt.items:
+            tests = []
+            for label in labels:
+                care_mask = getattr(label, "care_mask", None)
+                if care_mask is not None and not stmt.casez:
+                    raise ElaborationError(
+                        f"wildcard pattern outside casez (line {label.line})")
+                label_val = self._synth_expr(label, state.scope, state)
+                width = self._common_width(subject, label_val)
+                eq = self._new_tmp(1)
+                if care_mask is not None:
+                    # casez: compare only the significant bits.
+                    masked_subject = self._new_tmp(width)
+                    self.netlist.add_cell(
+                        "and", [self._coerce(subject, width),
+                                Const(width, care_mask)], masked_subject)
+                    self.netlist.add_cell(
+                        "eq", [masked_subject,
+                               Const(width, label_val.ref.value & care_mask
+                                     if isinstance(label_val.ref, Const)
+                                     else 0)], eq)
+                    if not isinstance(label_val.ref, Const):
+                        raise ElaborationError(
+                            f"casez wildcard labels must be literals (line {label.line})")
+                else:
+                    self.netlist.add_cell("eq", [self._coerce(subject, width),
+                                                 self._coerce(label_val, width)], eq)
+                tests.append(Val(eq, 1))
+            combined = tests[0]
+            for extra in tests[1:]:
+                out = self._new_tmp(1)
+                self.netlist.add_cell("or", [combined.ref, extra.ref], out)
+                combined = Val(out, 1)
+            branches.append((combined, body))
+
+        def emit(index: int, path_cond: Optional[Val]) -> None:
+            if index == len(branches):
+                if stmt.default is not None:
+                    self._exec_stmt(stmt.default, state, path_cond)
+                elif state.clocked is False:
+                    # Missing default in comb logic would infer a latch if
+                    # targets lack earlier defaults; defer the check to the
+                    # UNASSIGNED poison detection in merge().
+                    pass
+                return
+            test, body = branches[index]
+            then_cond = self._and_conds(path_cond, test)
+            then_state = state.fork()
+            self._exec_stmt(body, then_state, then_cond)
+            else_state = state.fork()
+            # Recurse for remaining branches within the else-state.
+            saved = state.swap(else_state)
+            not_test = self._invert(test)
+            emit(index + 1, self._and_conds(path_cond, not_test))
+            state.swap(saved)
+            state.merge(self, test, then_state, else_state)
+
+        emit(0, cond)
+
+    def _exec_for(self, stmt: ast.SFor, state: "_ProcState", cond: Optional[Val]) -> None:
+        scope = state.scope
+        value = self._const_eval(stmt.init, scope)
+        iterations = 0
+        saved = scope.params.get(stmt.var)
+        while True:
+            scope.params[stmt.var] = value
+            if not self._const_eval(stmt.cond, scope):
+                break
+            iterations += 1
+            if iterations > 4096:
+                raise ElaborationError("procedural for loop exceeded 4096 iterations")
+            self._exec_stmt(stmt.body, state, cond)
+            value = self._const_eval(stmt.step, scope)
+        if saved is None:
+            scope.params.pop(stmt.var, None)
+        else:
+            scope.params[stmt.var] = saved
+
+    def _exec_assign(self, stmt: ast.SAssign, state: "_ProcState", cond: Optional[Val]) -> None:
+        scope = state.scope
+        if state.clocked and stmt.blocking:
+            raise ElaborationError(
+                f"blocking assignment in clocked block (line {stmt.line}); use '<='")
+        if not state.clocked and not stmt.blocking:
+            raise ElaborationError(
+                f"nonblocking assignment in combinational block (line {stmt.line}); use '='")
+        target = stmt.target
+        # Memory write: mem[addr] <= data
+        if isinstance(target, ast.EIndex) and isinstance(target.base, ast.EIdent) \
+                and target.base.name in scope.memories:
+            if not state.clocked:
+                raise ElaborationError(f"memory write outside clocked block (line {stmt.line})")
+            memname = scope.memories[target.base.name]
+            addr = self._synth_expr(target.index, scope, state)
+            data = self._synth_expr(stmt.value, scope, state)
+            enable = cond if cond is not None else Val(Const(1, 1), 1)
+            state.mem_writes.append((memname, addr, data, enable))
+            return
+        value = self._synth_expr(stmt.value, scope, state)
+        if isinstance(target, ast.EIdent):
+            name = target.name
+            netname, width = self._lookup_signal(name, scope, stmt.line)
+            state.values[name] = Val(self._coerce(value, width), width)
+            return
+        if isinstance(target, ast.EIndex) or isinstance(target, ast.ERange):
+            # Read-modify-write on the current symbolic value.
+            base_expr = target.base if isinstance(target, ast.EIndex) else target.base
+            if not isinstance(base_expr, ast.EIdent):
+                raise ElaborationError(f"unsupported nested assignment target (line {stmt.line})")
+            name = base_expr.name
+            netname, width = self._lookup_signal(name, scope, stmt.line)
+            current = state.values.get(name)
+            if current is None:
+                current = state.initial_value(self, name)
+            if isinstance(target, ast.EIndex):
+                lo = self._const_eval(target.index, scope)
+                hi = lo
+            else:
+                hi = self._const_eval(target.msb, scope)
+                lo = self._const_eval(target.lsb, scope)
+            state.values[name] = self._bit_insert(current, lo, hi, value, width)
+            return
+        if isinstance(target, ast.EConcat):
+            widths = [self._lvalue_width(p, scope) for p in target.parts]
+            total = sum(widths)
+            coerced = Val(self._coerce(value, total), total)
+            offset = total
+            for part, part_width in zip(target.parts, widths):
+                offset -= part_width
+                sub_assign = ast.SAssign(part, ast.ENumber(0), stmt.blocking, line=stmt.line)
+                # Reuse _exec_assign machinery by substituting the value directly.
+                piece = self._slice(coerced, offset, offset + part_width - 1)
+                self._exec_assign_value(sub_assign, piece, state, cond)
+            return
+        raise ElaborationError(f"unsupported assignment target {type(target).__name__}")
+
+    def _exec_assign_value(self, stmt: ast.SAssign, value: Val, state: "_ProcState",
+                           cond: Optional[Val]) -> None:
+        """Like _exec_assign but with an already-synthesized RHS."""
+        target = stmt.target
+        if isinstance(target, ast.EIdent):
+            name = target.name
+            _, width = self._lookup_signal(name, state.scope, stmt.line)
+            state.values[name] = Val(self._coerce(value, width), width)
+            return
+        raise ElaborationError("compound lvalue parts must be plain identifiers")
+
+    def _bit_insert(self, current: Val, lo: int, hi: int, value: Val, width: int) -> Val:
+        """Replace bits [hi:lo] of ``current`` with ``value``."""
+        pieces: List[SignalRef] = []
+        if hi < width - 1:
+            pieces.append(self._slice(current, hi + 1, width - 1).ref)
+        pieces.append(self._coerce(value, hi - lo + 1))
+        if lo > 0:
+            pieces.append(self._slice(current, 0, lo - 1).ref)
+        if len(pieces) == 1:
+            return Val(pieces[0], width)
+        out = self._new_tmp(width)
+        self.netlist.add_cell("concat", pieces, out)
+        return Val(out, width)
+
+    def _and_conds(self, a: Optional[Val], b: Val) -> Val:
+        if a is None:
+            return b
+        out = self._new_tmp(1)
+        self.netlist.add_cell("and", [a.ref, b.ref], out)
+        return Val(out, 1)
+
+    def _invert(self, val: Val) -> Val:
+        out = self._new_tmp(1)
+        self.netlist.add_cell("not", [val.ref], out)
+        return Val(out, 1)
+
+
+class _ProcState:
+    """Mutable symbolic-execution state for one always block."""
+
+    def __init__(self, scope: _ModuleScope, clocked: bool):
+        self.scope = scope
+        self.clocked = clocked
+        self.values: Dict[str, Val] = {}
+        self.mem_writes: List[Tuple[str, Val, Val, Val]] = []
+
+    def fork(self) -> "_ProcState":
+        clone = _ProcState(self.scope, self.clocked)
+        clone.values = dict(self.values)
+        clone.mem_writes = self.mem_writes  # shared: writes carry path conditions
+        return clone
+
+    def swap(self, other: "_ProcState") -> "_ProcState":
+        """Temporarily adopt another fork's value map; returns a state
+        holding the previous map (used by case lowering)."""
+        saved = _ProcState(self.scope, self.clocked)
+        saved.values = self.values
+        self.values = other.values
+        return saved
+
+    def initial_value(self, elab: Elaborator, name: str) -> Val:
+        """The value a target has before any assignment in this block:
+        the register's current output for clocked blocks; poison for comb."""
+        netname, width = self.scope.signals[name]
+        if self.clocked:
+            return Val(netname, width)
+        raise ElaborationError(
+            f"combinational block reads {name!r} before assigning it (inferred latch)")
+
+    def merge(self, elab: Elaborator, test: Val, then_state: "_ProcState",
+              else_state: "_ProcState") -> None:
+        """Merge two forks under mux(test, then, else)."""
+        # Sorted for deterministic netlist construction (wire naming
+        # must not depend on set iteration order / hash seeds).
+        names = sorted(set(then_state.values) | set(else_state.values))
+        for name in names:
+            then_val = then_state.values.get(name)
+            else_val = else_state.values.get(name)
+            if then_val is None:
+                then_val = self._fallback(elab, name)
+            if else_val is None:
+                else_val = self._fallback(elab, name)
+            if then_val.ref == else_val.ref and then_val.width == else_val.width:
+                self.values[name] = then_val
+                continue
+            _, width = self.scope.signals[name]
+            out = elab._new_tmp(width)
+            elab.netlist.add_cell("mux", [test.ref,
+                                          elab._coerce(then_val, width),
+                                          elab._coerce(else_val, width)], out)
+            self.values[name] = Val(out, width)
+
+    def _fallback(self, elab: Elaborator, name: str) -> Val:
+        """Value for a branch that did not assign ``name``."""
+        if name in self.values:
+            return self.values[name]
+        netname, width = self.scope.signals[name]
+        if self.clocked:
+            return Val(netname, width)  # hold the register value
+        raise ElaborationError(
+            f"combinational signal {name!r} is not assigned on all paths (inferred latch)")
+
+
+def elaborate(source: ast.SourceFile, top: str,
+              params: Optional[Dict[str, int]] = None) -> Netlist:
+    """Elaborate ``top`` from a parsed source file into a netlist."""
+    return Elaborator(source, top, params).elaborate()

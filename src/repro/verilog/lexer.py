@@ -1,0 +1,184 @@
+"""Tokenizer for the supported Verilog/SystemVerilog subset."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import LexError
+from .tokens import BASED, EOF, IDENT, KEYWORD, KEYWORDS, MULTI_OPS, NUMBER, OP, SINGLE_OPS, STRING, Token
+
+_BASE_RADIX = {"b": 2, "o": 8, "d": 10, "h": 16}
+
+
+def _decode_based(text: str, line: int, column: int):
+    """Decode a based literal like ``32'hdead_beef``.
+
+    Returns ``(width, value, care_mask)``. Binary literals may contain
+    wildcard digits (``?``, ``x``, ``z``) — used by ``casez`` patterns —
+    which clear the corresponding bits of the care mask (``care_mask``
+    is None when every bit is significant).
+    """
+    tick = text.index("'")
+    width = int(text[:tick]) if tick else None
+    body = text[tick + 1:]
+    if body and body[0] in "sS":
+        body = body[1:]  # signedness marker: values stored as bit patterns
+    base_char = body[0].lower()
+    radix = _BASE_RADIX.get(base_char)
+    if radix is None:
+        raise LexError(f"unknown base {base_char!r} in literal {text!r}", line, column)
+    digits = body[1:].replace("_", "")
+    if not digits:
+        raise LexError(f"based literal {text!r} has no digits", line, column)
+    if radix == 2 and any(c in "?xXzZ" for c in digits):
+        value = 0
+        mask = 0
+        for char in digits:
+            value <<= 1
+            mask <<= 1
+            if char in "?xXzZ":
+                continue
+            if char not in "01":
+                raise LexError(f"bad digits in literal {text!r}", line, column)
+            mask |= 1
+            value |= int(char)
+        if width is not None:
+            value &= (1 << width) - 1
+            mask &= (1 << width) - 1
+        return width, value, mask
+    try:
+        value = int(digits, radix)
+    except ValueError:
+        raise LexError(f"bad digits in literal {text!r}", line, column) from None
+    if width is not None:
+        value &= (1 << width) - 1
+    return width, value, None
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; comments and whitespace are discarded.
+
+    Raises :class:`LexError` on unrecognized input.
+    """
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def column() -> int:
+        return pos - line_start + 1
+
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        # Comments
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = n if end == -1 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line, column())
+            for i in range(pos, end):
+                if source[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+            pos = end + 2
+            continue
+        # Strings
+        if ch == '"':
+            end = pos + 1
+            while end < n and source[end] != '"':
+                if source[end] == "\\":
+                    end += 1
+                end += 1
+            if end >= n:
+                raise LexError("unterminated string", line, column())
+            tokens.append(Token(STRING, source[pos + 1:end], line, column()))
+            pos = end + 1
+            continue
+        # Based literals (with or without explicit size): 32'hff, 'b0, 'd10
+        if ch.isdigit() or ch == "'":
+            start = pos
+            col = column()
+            while pos < n and (source[pos].isdigit() or source[pos] == "_"):
+                pos += 1
+            if pos < n and source[pos] == "'" and pos + 1 < n and (
+                    source[pos + 1].lower() in "bodhs" or source[pos + 1].isdigit()):
+                # based literal
+                pos += 1  # consume '
+                if pos < n and source[pos] in "sS":
+                    pos += 1
+                if pos < n and source[pos].lower() in "bodh":
+                    pos += 1
+                while pos < n and (source[pos].isalnum() or source[pos] in "_?"):
+                    pos += 1
+                text = source[start:pos]
+                width, value, care_mask = _decode_based(text, line, col)
+                tokens.append(Token(BASED, text, line, col, width=width,
+                                    int_value=value, care_mask=care_mask))
+                continue
+            if start == pos:
+                # A lone quote not starting a literal: treat as operator
+                tokens.append(Token(OP, "'", line, col))
+                pos += 1
+                continue
+            text = source[start:pos].replace("_", "")
+            tokens.append(Token(NUMBER, text, line, col, int_value=int(text)))
+            continue
+        # Identifiers / keywords (including backtick directives rejected here:
+        # the preprocessor must run first).
+        if ch.isalpha() or ch == "_" or ch == "\\":
+            start = pos
+            col = column()
+            if ch == "\\":  # escaped identifier: up to whitespace
+                pos += 1
+                while pos < n and not source[pos].isspace():
+                    pos += 1
+                tokens.append(Token(IDENT, source[start + 1:pos], line, col))
+                continue
+            while pos < n and (source[pos].isalnum() or source[pos] in "_$"):
+                pos += 1
+            text = source[start:pos]
+            kind = KEYWORD if text in KEYWORDS else IDENT
+            tokens.append(Token(kind, text, line, col))
+            continue
+        if ch == "`":
+            raise LexError("preprocessor directive reached the lexer; run the preprocessor first",
+                           line, column())
+        if ch == "$":
+            # System task/function name, e.g. $display
+            start = pos
+            col = column()
+            pos += 1
+            while pos < n and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            tokens.append(Token(IDENT, source[start:pos], line, col))
+            continue
+        # Operators
+        matched = False
+        for op in MULTI_OPS:
+            if source.startswith(op, pos):
+                tokens.append(Token(OP, op, line, column()))
+                pos += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in SINGLE_OPS:
+            tokens.append(Token(OP, ch, line, column()))
+            pos += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, column())
+
+    tokens.append(Token(EOF, "", line, column()))
+    return tokens

@@ -1,0 +1,653 @@
+"""Recursive-descent parser for the supported Verilog subset.
+
+Grammar coverage (deliberately scoped to what real small cores use, and
+what the bundled multi-V-scale design exercises):
+
+* modules with ANSI-style ports and ``#(parameter ...)`` headers,
+* ``wire``/``reg``/``logic`` declarations including memory arrays,
+* ``parameter``/``localparam``/``genvar``/``integer`` declarations,
+* continuous assigns,
+* ``always @(posedge clk)`` / ``always_ff`` / ``always @(*)`` /
+  ``always_comb`` with if/else, case/casez, begin/end, for loops and
+  blocking/nonblocking assignments,
+* module instantiation with named connections and parameter overrides,
+* ``generate for`` with labelled blocks (and ``generate if``),
+* the usual expression operators with standard precedence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import BASED, EOF, IDENT, KEYWORD, NUMBER, OP, STRING, Token
+
+# Binary operator precedence (higher binds tighter).
+_BINARY_PRECEDENCE = {
+    "||": 2,
+    "&&": 3,
+    "|": 4,
+    "^": 5,
+    "&": 6,
+    "==": 7, "!=": 7, "===": 7, "!==": 7,
+    "<": 8, "<=": 8, ">": 8, ">=": 8,
+    "<<": 9, ">>": 9, ">>>": 9,
+    "+": 10, "-": 10,
+    "*": 11, "/": 11, "%": 11,
+    "**": 12,
+}
+
+_UNARY_OPS = {"~", "!", "-", "+", "&", "|", "^"}
+
+
+class Parser:
+    """Token-stream parser producing :class:`repro.verilog.ast` nodes."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, value):
+            want = value or kind
+            raise ParseError(f"expected {want!r}, found {token.value!r}", token.line, token.column)
+        return self.next()
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message + f" (at {token.value!r})", token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse_source(self) -> ast.SourceFile:
+        modules: Dict[str, ast.Module] = {}
+        while not self.at(EOF):
+            module = self.parse_module()
+            if module.name in modules:
+                raise ParseError(f"duplicate module {module.name!r}", module.line, 0)
+            modules[module.name] = module
+        return ast.SourceFile(modules)
+
+    def parse_module(self) -> ast.Module:
+        start = self.expect(KEYWORD, "module")
+        name = self.expect(IDENT).value
+        params: List[ast.ParamDecl] = []
+        if self.accept(OP, "#"):
+            self.expect(OP, "(")
+            while True:
+                self.accept(KEYWORD, "parameter")
+                self._skip_type_words()
+                self._skip_optional_range()
+                pname = self.expect(IDENT).value
+                self.expect(OP, "=")
+                params.append(ast.ParamDecl(pname, self.parse_expr(), line=self.peek().line))
+                if not self.accept(OP, ","):
+                    break
+            self.expect(OP, ")")
+        ports: List[ast.Port] = []
+        if self.accept(OP, "("):
+            if not self.at(OP, ")"):
+                direction = None
+                is_reg = False
+                rng: Optional[ast.Range] = None
+                while True:
+                    token = self.peek()
+                    if token.kind == KEYWORD and token.value in ("input", "output", "inout"):
+                        direction = self.next().value
+                        is_reg = False
+                        rng = None
+                        if self.accept(KEYWORD, "reg") or self.accept(KEYWORD, "logic"):
+                            is_reg = True
+                        elif self.accept(KEYWORD, "wire"):
+                            pass
+                        self.accept(KEYWORD, "signed")
+                        rng = self._parse_optional_range()
+                    if direction is None:
+                        raise self.error("port list must start with a direction")
+                    pname = self.expect(IDENT).value
+                    ports.append(ast.Port(pname, direction, rng, is_reg, line=token.line))
+                    if not self.accept(OP, ","):
+                        break
+            self.expect(OP, ")")
+        self.expect(OP, ";")
+        items: List[object] = []
+        while not self.at(KEYWORD, "endmodule"):
+            item = self.parse_module_item()
+            if item is not None:
+                if isinstance(item, list):
+                    items.extend(item)
+                else:
+                    items.append(item)
+        self.expect(KEYWORD, "endmodule")
+        return ast.Module(name, params, ports, items, line=start.line)
+
+    def _skip_type_words(self) -> None:
+        while self.peek().kind == KEYWORD and self.peek().value in ("integer", "logic", "reg", "signed", "unsigned"):
+            self.next()
+
+    def _skip_optional_range(self) -> None:
+        self._parse_optional_range()
+
+    def _parse_optional_range(self) -> Optional[ast.Range]:
+        if self.at(OP, "["):
+            self.next()
+            msb = self.parse_expr()
+            self.expect(OP, ":")
+            lsb = self.parse_expr()
+            self.expect(OP, "]")
+            return ast.Range(msb, lsb)
+        return None
+
+    # ------------------------------------------------------------------
+    # Module items
+    # ------------------------------------------------------------------
+    def parse_module_item(self):
+        token = self.peek()
+        if token.kind == KEYWORD:
+            value = token.value
+            if value in ("wire", "reg", "logic", "integer"):
+                return self._parse_net_decl()
+            if value in ("parameter", "localparam"):
+                return self._parse_param_decl()
+            if value == "genvar":
+                self.next()
+                names = [self.expect(IDENT).value]
+                while self.accept(OP, ","):
+                    names.append(self.expect(IDENT).value)
+                self.expect(OP, ";")
+                return [ast.NetDecl(n, "genvar", None, line=token.line) for n in names]
+            if value == "assign":
+                return self._parse_cont_assign()
+            if value in ("always", "always_ff", "always_comb", "always_latch"):
+                return self._parse_always()
+            if value == "generate":
+                self.next()
+                items: List[object] = []
+                while not self.at(KEYWORD, "endgenerate"):
+                    item = self.parse_module_item()
+                    if item is not None:
+                        if isinstance(item, list):
+                            items.extend(item)
+                        else:
+                            items.append(item)
+                self.expect(KEYWORD, "endgenerate")
+                return items
+            if value == "for":
+                return self._parse_gen_for()
+            if value == "if":
+                return self._parse_gen_if()
+            if value == "initial":
+                self.next()
+                self._skip_statement()
+                return None
+            if value in ("input", "output", "inout"):
+                raise self.error("non-ANSI port declarations are not supported; declare ports in the header")
+            raise self.error(f"unsupported module item {value!r}")
+        if token.kind == IDENT:
+            return self._parse_instance()
+        raise self.error("unexpected token at module scope")
+
+    def _parse_net_decl(self) -> List[ast.NetDecl]:
+        kind = self.next().value
+        self.accept(KEYWORD, "signed")
+        rng = self._parse_optional_range()
+        decls: List[ast.NetDecl] = []
+        while True:
+            token = self.expect(IDENT)
+            array_range = self._parse_optional_range()
+            decls.append(ast.NetDecl(token.value, kind, rng, array_range, line=token.line))
+            if self.at(OP, "="):
+                raise self.error("declaration initializers are not supported; use an assign or reset logic")
+            if not self.accept(OP, ","):
+                break
+        self.expect(OP, ";")
+        return decls
+
+    def _parse_param_decl(self) -> List[ast.ParamDecl]:
+        local = self.next().value == "localparam"
+        self._skip_type_words()
+        self._skip_optional_range()
+        decls: List[ast.ParamDecl] = []
+        while True:
+            name = self.expect(IDENT).value
+            self.expect(OP, "=")
+            decls.append(ast.ParamDecl(name, self.parse_expr(), local, line=self.peek().line))
+            if not self.accept(OP, ","):
+                break
+        self.expect(OP, ";")
+        return decls
+
+    def _parse_cont_assign(self) -> List[ast.ContAssign]:
+        line = self.expect(KEYWORD, "assign").line
+        assigns: List[ast.ContAssign] = []
+        while True:
+            target = self._parse_lvalue()
+            self.expect(OP, "=")
+            value = self.parse_expr()
+            assigns.append(ast.ContAssign(target, value, line=line))
+            if not self.accept(OP, ","):
+                break
+        self.expect(OP, ";")
+        return assigns
+
+    def _parse_always(self) -> ast.AlwaysBlock:
+        token = self.next()
+        keyword = token.value
+        kind = "comb"
+        clock: Optional[str] = None
+        if keyword == "always_latch":
+            raise self.error("latches are not supported")
+        if keyword == "always_comb":
+            kind = "comb"
+        else:
+            # always / always_ff with an explicit sensitivity list.
+            self.expect(OP, "@")
+            self.expect(OP, "(")
+            if self.accept(OP, "*"):
+                kind = "comb"
+            elif self.at(KEYWORD, "posedge"):
+                self.next()
+                kind = "ff"
+                clock = self.expect(IDENT).value
+                if self.accept(KEYWORD, "or") or self.accept(OP, ","):
+                    raise self.error("multiple edges (async reset) are not supported; use sync reset")
+            elif self.at(KEYWORD, "negedge"):
+                raise self.error("negedge clocking is not supported")
+            else:
+                # Explicit sensitivity list -> treated as combinational.
+                kind = "comb"
+                self.expect(IDENT)
+                while self.accept(OP, ",") or self.accept(KEYWORD, "or"):
+                    self.expect(IDENT)
+            self.expect(OP, ")")
+            if keyword == "always_ff" and kind != "ff":
+                raise self.error("always_ff requires a posedge clock")
+        body = self.parse_statement()
+        return ast.AlwaysBlock(kind, clock, body, line=token.line)
+
+    def _parse_instance(self) -> ast.Instance:
+        module = self.expect(IDENT).value
+        params: Dict[str, ast.Expr] = {}
+        if self.accept(OP, "#"):
+            self.expect(OP, "(")
+            while True:
+                self.expect(OP, ".")
+                pname = self.expect(IDENT).value
+                self.expect(OP, "(")
+                params[pname] = self.parse_expr()
+                self.expect(OP, ")")
+                if not self.accept(OP, ","):
+                    break
+            self.expect(OP, ")")
+        name_token = self.expect(IDENT)
+        self.expect(OP, "(")
+        ports: Dict[str, Optional[ast.Expr]] = {}
+        if not self.at(OP, ")"):
+            while True:
+                self.expect(OP, ".")
+                pname = self.expect(IDENT).value
+                self.expect(OP, "(")
+                if self.at(OP, ")"):
+                    ports[pname] = None
+                else:
+                    ports[pname] = self.parse_expr()
+                self.expect(OP, ")")
+                if not self.accept(OP, ","):
+                    break
+        self.expect(OP, ")")
+        self.expect(OP, ";")
+        return ast.Instance(module, name_token.value, params, ports, line=name_token.line)
+
+    def _parse_gen_for(self) -> ast.GenFor:
+        line = self.expect(KEYWORD, "for").line
+        self.expect(OP, "(")
+        var = self.expect(IDENT).value
+        self.expect(OP, "=")
+        init = self.parse_expr()
+        self.expect(OP, ";")
+        cond = self.parse_expr()
+        self.expect(OP, ";")
+        step_var = self.expect(IDENT).value
+        if step_var != var:
+            raise self.error("generate-for step must update the loop genvar")
+        step = self._parse_step_expr(var)
+        self.expect(OP, ")")
+        self.expect(KEYWORD, "begin")
+        self.expect(OP, ":")
+        label = self.expect(IDENT).value
+        items: List[object] = []
+        while not self.at(KEYWORD, "end"):
+            item = self.parse_module_item()
+            if item is not None:
+                if isinstance(item, list):
+                    items.extend(item)
+                else:
+                    items.append(item)
+        self.expect(KEYWORD, "end")
+        return ast.GenFor(var, init, cond, step, label, items, line=line)
+
+    def _parse_gen_if(self) -> ast.GenIf:
+        line = self.expect(KEYWORD, "if").line
+        self.expect(OP, "(")
+        cond = self.parse_expr()
+        self.expect(OP, ")")
+        then_items = self._parse_gen_branch()
+        else_items: List[object] = []
+        if self.accept(KEYWORD, "else"):
+            else_items = self._parse_gen_branch()
+        return ast.GenIf(cond, then_items, else_items, line=line)
+
+    def _parse_gen_branch(self) -> List[object]:
+        items: List[object] = []
+        if self.accept(KEYWORD, "begin"):
+            if self.accept(OP, ":"):
+                self.expect(IDENT)
+            while not self.at(KEYWORD, "end"):
+                item = self.parse_module_item()
+                if item is not None:
+                    if isinstance(item, list):
+                        items.extend(item)
+                    else:
+                        items.append(item)
+            self.expect(KEYWORD, "end")
+        else:
+            item = self.parse_module_item()
+            if item is not None:
+                if isinstance(item, list):
+                    items.extend(item)
+                else:
+                    items.append(item)
+        return items
+
+    def _parse_step_expr(self, var: str) -> ast.Expr:
+        """Parse the update part of a for header: ``var = expr``, ``var++``
+        or ``var += expr``; returns the assigned-value expression."""
+        if self.accept(OP, "="):
+            return self.parse_expr()
+        if self.accept(OP, "+"):
+            if self.accept(OP, "+"):
+                return ast.EBinary("+", ast.EIdent(var), ast.ENumber(1))
+            self.expect(OP, "=")
+            return ast.EBinary("+", ast.EIdent(var), self.parse_expr())
+        raise self.error("unsupported for-loop step")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> ast.Stmt:
+        token = self.peek()
+        if token.kind == KEYWORD:
+            value = token.value
+            if value == "begin":
+                self.next()
+                if self.accept(OP, ":"):
+                    self.expect(IDENT)
+                stmts: List[ast.Stmt] = []
+                while not self.at(KEYWORD, "end"):
+                    stmts.append(self.parse_statement())
+                self.expect(KEYWORD, "end")
+                return ast.SBlock(stmts, line=token.line)
+            if value == "if":
+                self.next()
+                self.expect(OP, "(")
+                cond = self.parse_expr()
+                self.expect(OP, ")")
+                then_stmt = self.parse_statement()
+                else_stmt = None
+                if self.accept(KEYWORD, "else"):
+                    else_stmt = self.parse_statement()
+                return ast.SIf(cond, then_stmt, else_stmt, line=token.line)
+            if value in ("case", "casez", "casex"):
+                return self._parse_case()
+            if value == "for":
+                return self._parse_stmt_for()
+        if self.accept(OP, ";"):
+            return ast.SNull(line=token.line)
+        # System task call: $display(...) etc. -> ignored.
+        if token.kind == IDENT and token.value.startswith("$"):
+            self.next()
+            if self.accept(OP, "("):
+                depth = 1
+                while depth:
+                    op = self.next()
+                    if op.kind == OP and op.value == "(":
+                        depth += 1
+                    elif op.kind == OP and op.value == ")":
+                        depth -= 1
+                    elif op.kind == EOF:
+                        raise self.error("unterminated system task call")
+            self.expect(OP, ";")
+            return ast.SNull(line=token.line)
+        # Assignment. The target uses a restricted lvalue grammar so that
+        # the nonblocking operator is not misparsed as a comparison.
+        target = self._parse_lvalue()
+        if self.accept(OP, "<="):
+            blocking = False
+        elif self.accept(OP, "="):
+            blocking = True
+        else:
+            raise self.error("expected '=' or '<=' in assignment")
+        value = self.parse_expr()
+        self.expect(OP, ";")
+        return ast.SAssign(target, value, blocking, line=token.line)
+
+    def _parse_lvalue(self) -> ast.Expr:
+        """Parse an assignment target: ident with selects, or a concat."""
+        token = self.peek()
+        if self.accept(OP, "{"):
+            parts = [self._parse_lvalue()]
+            while self.accept(OP, ","):
+                parts.append(self._parse_lvalue())
+            self.expect(OP, "}")
+            return ast.EConcat(parts, line=token.line)
+        name = self.expect(IDENT)
+        expr: ast.Expr = ast.EIdent(name.value, line=name.line)
+        while self.at(OP, "["):
+            self.next()
+            first = self.parse_expr()
+            if self.accept(OP, ":"):
+                second = self.parse_expr()
+                self.expect(OP, "]")
+                expr = ast.ERange(expr, first, second, line=expr.line)
+            elif self.accept(OP, "+:"):
+                width = self.parse_expr()
+                self.expect(OP, "]")
+                msb = ast.EBinary("-", ast.EBinary("+", first, width), ast.ENumber(1))
+                expr = ast.ERange(expr, msb, first, line=expr.line)
+            else:
+                self.expect(OP, "]")
+                expr = ast.EIndex(expr, first, line=expr.line)
+        return expr
+
+    def _parse_case(self) -> ast.SCase:
+        token = self.next()
+        casez = token.value in ("casez", "casex")
+        self.expect(OP, "(")
+        subject = self.parse_expr()
+        self.expect(OP, ")")
+        items: List[Tuple[List[ast.Expr], ast.Stmt]] = []
+        default: Optional[ast.Stmt] = None
+        while not self.at(KEYWORD, "endcase"):
+            if self.accept(KEYWORD, "default"):
+                self.accept(OP, ":")
+                default = self.parse_statement()
+                continue
+            labels = [self.parse_expr()]
+            while self.accept(OP, ","):
+                labels.append(self.parse_expr())
+            self.expect(OP, ":")
+            items.append((labels, self.parse_statement()))
+        self.expect(KEYWORD, "endcase")
+        return ast.SCase(subject, items, default, casez, line=token.line)
+
+    def _parse_stmt_for(self) -> ast.SFor:
+        line = self.expect(KEYWORD, "for").line
+        self.expect(OP, "(")
+        var = self.expect(IDENT).value
+        self.expect(OP, "=")
+        init = self.parse_expr()
+        self.expect(OP, ";")
+        cond = self.parse_expr()
+        self.expect(OP, ";")
+        step_var = self.expect(IDENT).value
+        if step_var != var:
+            raise self.error("for-loop step must update the loop variable")
+        step = self._parse_step_expr(var)
+        self.expect(OP, ")")
+        body = self.parse_statement()
+        return ast.SFor(var, init, cond, step, body, line=line)
+
+    def _skip_statement(self) -> None:
+        """Skip a statement without building AST (used for initial blocks)."""
+        if self.accept(KEYWORD, "begin"):
+            depth = 1
+            while depth:
+                if self.accept(KEYWORD, "begin"):
+                    depth += 1
+                elif self.accept(KEYWORD, "end"):
+                    depth -= 1
+                elif self.at(EOF):
+                    raise self.error("unterminated initial block")
+                else:
+                    self.next()
+            return
+        while not self.accept(OP, ";"):
+            if self.at(EOF):
+                raise self.error("unterminated statement")
+            self.next()
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self.accept(OP, "?"):
+            if_true = self._parse_ternary()
+            self.expect(OP, ":")
+            if_false = self._parse_ternary()
+            return ast.ETernary(cond, if_true, if_false, line=cond.line)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind != OP:
+                return lhs
+            prec = _BINARY_PRECEDENCE.get(token.value)
+            if prec is None or prec < min_prec:
+                return lhs
+            op = self.next().value
+            if op == ">>>":
+                op = ">>"  # designs use unsigned values only
+            rhs = self._parse_binary(prec + 1)
+            lhs = ast.EBinary(op, lhs, rhs, line=token.line)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == OP and token.value in _UNARY_OPS:
+            self.next()
+            operand = self._parse_unary()
+            if token.value == "+":
+                return operand
+            return ast.EUnary(token.value, operand, line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.at(OP, "["):
+                self.next()
+                first = self.parse_expr()
+                if self.accept(OP, ":"):
+                    second = self.parse_expr()
+                    self.expect(OP, "]")
+                    expr = ast.ERange(expr, first, second, line=expr.line)
+                elif self.accept(OP, "+:"):
+                    # Indexed part-select base[start +: width]
+                    width = self.parse_expr()
+                    self.expect(OP, "]")
+                    msb = ast.EBinary("-", ast.EBinary("+", first, width), ast.ENumber(1))
+                    expr = ast.ERange(expr, msb, first, line=expr.line)
+                else:
+                    self.expect(OP, "]")
+                    expr = ast.EIndex(expr, first, line=expr.line)
+            elif self.at(OP, ".") and isinstance(expr, (ast.EIdent, ast.EHierIdent)):
+                self.next()
+                part = self.expect(IDENT).value
+                if isinstance(expr, ast.EIdent):
+                    expr = ast.EHierIdent([expr.name, part], line=expr.line)
+                else:
+                    expr.parts.append(part)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == NUMBER:
+            self.next()
+            return ast.ENumber(token.int_value, None, line=token.line)
+        if token.kind == BASED:
+            self.next()
+            return ast.ENumber(token.int_value, token.width,
+                               care_mask=token.care_mask, line=token.line)
+        if token.kind == IDENT:
+            self.next()
+            return ast.EIdent(token.value, line=token.line)
+        if token.kind == OP and token.value == "(":
+            self.next()
+            expr = self.parse_expr()
+            self.expect(OP, ")")
+            return expr
+        if token.kind == OP and token.value == "{":
+            self.next()
+            first = self.parse_expr()
+            if self.at(OP, "{"):
+                # Replication {n{expr}}
+                self.next()
+                operand = self.parse_expr()
+                while self.accept(OP, ","):
+                    # {n{a, b}} -> replicate a concat
+                    operand = ast.EConcat([operand, self.parse_expr()], line=token.line)
+                self.expect(OP, "}")
+                self.expect(OP, "}")
+                return ast.ERepeat(first, operand, line=token.line)
+            parts = [first]
+            while self.accept(OP, ","):
+                parts.append(self.parse_expr())
+            self.expect(OP, "}")
+            return ast.EConcat(parts, line=token.line)
+        raise self.error("expected expression")
+
+
+def parse(source: str) -> ast.SourceFile:
+    """Tokenize and parse plain (preprocessed) Verilog source."""
+    return Parser(tokenize(source)).parse_source()

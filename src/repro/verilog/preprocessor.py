@@ -1,0 +1,162 @@
+"""A small Verilog preprocessor.
+
+Supports the directives the bundled designs use: ```define`` (object-like
+macros), ```undef``, ```ifdef``/```ifndef``/```else``/```endif``,
+```include``, and macro expansion via `` `NAME ``. Function-like macros
+are not supported (the designs do not use them).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Optional
+
+from ..errors import VerilogError
+
+_DIRECTIVE_RE = re.compile(r"^\s*`(\w+)\s*(.*)$")
+_MACRO_USE_RE = re.compile(r"`(\w+)")
+
+#: Directives that are consumed silently (timescale etc.).
+_IGNORED = {"timescale", "default_nettype", "resetall"}
+
+
+def preprocess(source: str, defines: Optional[Dict[str, str]] = None,
+               include_dirs: Optional[List[str]] = None,
+               _depth: int = 0) -> str:
+    """Expand preprocessor directives in ``source`` and return plain Verilog.
+
+    ``defines`` seeds the macro table (and is mutated as ```define``
+    directives are processed). ``include_dirs`` are searched, in order,
+    for ```include`` files.
+    """
+    if _depth > 32:
+        raise VerilogError("include depth exceeded 32 (include cycle?)")
+    source = _strip_comments(source)
+    macros: Dict[str, str] = defines if defines is not None else {}
+    include_dirs = include_dirs or []
+    out_lines: List[str] = []
+    # Stack of booleans: is the current region active?
+    cond_stack: List[bool] = []
+    # Tracks whether any branch of the current ifdef chain was taken.
+    taken_stack: List[bool] = []
+
+    def active() -> bool:
+        return all(cond_stack)
+
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE_RE.match(line)
+        if match:
+            name, rest = match.group(1), match.group(2).strip()
+            if name == "ifdef" or name == "ifndef":
+                want_defined = name == "ifdef"
+                hold = (rest.split()[0] in macros) == want_defined
+                cond_stack.append(hold if active() else False)
+                taken_stack.append(hold)
+                continue
+            if name == "else":
+                if not cond_stack:
+                    raise VerilogError(f"`else without `ifdef (line {lineno})")
+                was_taken = taken_stack[-1]
+                parent_active = all(cond_stack[:-1])
+                cond_stack[-1] = parent_active and not was_taken
+                taken_stack[-1] = True
+                continue
+            if name == "endif":
+                if not cond_stack:
+                    raise VerilogError(f"`endif without `ifdef (line {lineno})")
+                cond_stack.pop()
+                taken_stack.pop()
+                continue
+            if not active():
+                continue
+            if name == "define":
+                parts = rest.split(None, 1)
+                if not parts:
+                    raise VerilogError(f"`define with no name (line {lineno})")
+                macros[parts[0]] = parts[1] if len(parts) > 1 else "1"
+                continue
+            if name == "undef":
+                macros.pop(rest.split()[0], None)
+                continue
+            if name == "include":
+                fname = rest.strip().strip('"')
+                path = _find_include(fname, include_dirs)
+                with open(path, "r", encoding="utf-8") as handle:
+                    included = handle.read()
+                out_lines.append(preprocess(included, macros, include_dirs, _depth + 1))
+                continue
+            if name in _IGNORED:
+                continue
+            if name in macros:
+                # A macro used at the start of a line.
+                out_lines.append(_expand(line, macros, lineno))
+                continue
+            raise VerilogError(f"unknown preprocessor directive `{name} (line {lineno})")
+        if active():
+            out_lines.append(_expand(line, macros, lineno))
+    if cond_stack:
+        raise VerilogError("unterminated `ifdef")
+    return "\n".join(out_lines)
+
+
+def _strip_comments(source: str) -> str:
+    """Remove ``//`` and ``/* */`` comments, preserving line structure,
+    so that directive matching and macro expansion never see comment
+    text (a backtick inside a comment is not a macro use)."""
+    out = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise VerilogError("unterminated block comment")
+            # Keep the newlines so line numbers stay aligned.
+            out.extend(c for c in source[i:end + 2] if c == "\n")
+            i = end + 2
+            continue
+        if ch == '"':
+            end = i + 1
+            while end < n and source[end] != '"':
+                if source[end] == "\\":
+                    end += 1
+                end += 1
+            out.append(source[i:min(end + 1, n)])
+            i = end + 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _expand(line: str, macros: Dict[str, str], lineno: int, depth: int = 0) -> str:
+    """Expand `` `NAME `` macro uses in one line (recursively)."""
+    if depth > 32:
+        raise VerilogError(f"macro expansion too deep (line {lineno})")
+    if "`" not in line:
+        return line
+
+    def replace(match: re.Match) -> str:
+        name = match.group(1)
+        if name not in macros:
+            raise VerilogError(f"undefined macro `{name} (line {lineno})")
+        return macros[name]
+
+    expanded = _MACRO_USE_RE.sub(replace, line)
+    if "`" in expanded:
+        return _expand(expanded, macros, lineno, depth + 1)
+    return expanded
+
+
+def _find_include(fname: str, include_dirs: List[str]) -> str:
+    for directory in include_dirs:
+        candidate = os.path.join(directory, fname)
+        if os.path.exists(candidate):
+            return candidate
+    raise VerilogError(f"include file {fname!r} not found in {include_dirs}")

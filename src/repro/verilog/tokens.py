@@ -1,0 +1,52 @@
+"""Token definitions for the Verilog/SystemVerilog lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+# Token kinds
+IDENT = "IDENT"
+NUMBER = "NUMBER"        # plain decimal integer
+BASED = "BASED"          # sized/based literal, e.g. 32'hdeadbeef
+STRING = "STRING"
+OP = "OP"                # operator or punctuation
+KEYWORD = "KEYWORD"
+EOF = "EOF"
+
+KEYWORDS = frozenset({
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "logic", "parameter", "localparam", "assign", "always", "always_ff",
+    "always_comb", "always_latch", "posedge", "negedge", "begin", "end",
+    "if", "else", "case", "casez", "casex", "endcase", "default", "for",
+    "genvar", "generate", "endgenerate", "integer", "initial", "function",
+    "endfunction", "or", "signed", "unsigned", "typedef", "enum", "struct",
+    "packed",
+})
+
+# Multi-character operators, longest first so the lexer can greedily match.
+MULTI_OPS = (
+    "<<<", ">>>", "===", "!==", "<->",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "::",
+    "+:", "-:", "**",
+)
+
+SINGLE_OPS = "+-*/%&|^~!<>=?:;,.#()[]{}@$'"
+
+
+@dataclass
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+    # For BASED tokens: decoded (width, value); width None if unsized.
+    width: Optional[int] = None
+    int_value: Optional[int] = None
+    # Bits that are significant (None = all): casez wildcard patterns.
+    care_mask: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, L{self.line})"

@@ -1,0 +1,55 @@
+"""Shared fixtures: compiled designs, reference µspec model, litmus suite.
+
+Heavy artifacts are session-scoped so the suite compiles each design
+exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.designs import (
+    FORMAL_CONFIG,
+    SIM_CONFIG,
+    DesignConfig,
+    load_design,
+    load_single_core,
+    multi_vscale_metadata,
+)
+from repro.litmus import load_suite
+
+
+@pytest.fixture(scope="session")
+def sim_netlist():
+    return load_design(SIM_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def formal_netlist():
+    return load_design(FORMAL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def single_core_netlist():
+    return load_single_core()
+
+
+@pytest.fixture(scope="session")
+def metadata(sim_netlist):
+    md = multi_vscale_metadata(SIM_CONFIG)
+    md.validate(sim_netlist)
+    return md
+
+
+@pytest.fixture(scope="session")
+def litmus_suite():
+    return load_suite()
+
+
+@pytest.fixture(scope="session")
+def reference_model():
+    """The shipped synthesized µspec model of the multi-V-scale."""
+    from repro.designs.models import load_reference_model
+    return load_reference_model()

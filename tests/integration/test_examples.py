@@ -1,0 +1,41 @@
+"""Smoke tests: the lightweight example scripts run end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "examples")
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=timeout, check=False)
+
+
+class TestLightExamples:
+    def test_mp_uhb_graph(self, tmp_path):
+        out = str(tmp_path / "mp.dot")
+        result = run_example("mp_uhb_graph.py", out)
+        assert result.returncode == 0, result.stderr
+        assert "Unobservable" in result.stdout
+        assert os.path.exists(out)
+        with open(out) as handle:
+            assert "digraph" in handle.read()
+
+    def test_explore_dfg(self, tmp_path):
+        out = str(tmp_path / "dfg.dot")
+        result = run_example("explore_dfg.py", out)
+        assert result.returncode == 0, result.stderr
+        assert "stage 0" in result.stdout
+        assert "inst_DX" in result.stdout
+        assert os.path.exists(out)
+
+    def test_bug_hunt(self):
+        result = run_example("bug_hunt.py", timeout=500)
+        assert result.returncode == 0, result.stderr
+        assert "REFUTED" in result.stdout
+        assert "mem[12] = 99" in result.stdout

@@ -1,0 +1,110 @@
+"""Integration: the shipped synthesized model verifies the whole suite.
+
+This is the paper's appendix A.5 result: COATCheck proves the
+multi-V-scale implements SC with respect to all 56 litmus tests, in
+about a second total.
+"""
+
+import pytest
+
+from repro.check import Checker, format_suite_report
+from repro.litmus import LitmusTest
+from repro.mcm.events import R, W
+
+
+@pytest.fixture(scope="module")
+def checker(reference_model):
+    return Checker(reference_model)
+
+
+class TestFullSuite:
+    def test_all_56_tests_pass(self, checker, litmus_suite):
+        verdicts = checker.check_suite(litmus_suite)
+        failures = [v.name for v in verdicts if not v.passed]
+        assert not failures, failures
+
+    def test_forbidden_outcomes_unobservable(self, checker, litmus_suite):
+        for test in litmus_suite:
+            if not test.permitted_under_sc():
+                verdict = checker.check_test(test)
+                assert not verdict.observable, test.name
+
+    def test_report_format(self, checker, litmus_suite):
+        verdicts = checker.check_suite(litmus_suite[:3])
+        report = format_suite_report(verdicts)
+        assert "ALL TESTS PASSES" in report
+        assert "ms" in report
+
+    def test_sub_second_per_test(self, checker, litmus_suite):
+        verdicts = checker.check_suite(litmus_suite)
+        # Paper: < 1 second per litmus test.
+        assert max(v.time_ms for v in verdicts) < 1000.0
+
+
+class TestModelPrecision:
+    """The model must not be overly strict: SC-allowed outcomes of the
+    classic shapes are observable."""
+
+    CASES = [
+        ("mp", ((W("x", 1), W("y", 1)), (R("y", "r1"), R("x", "r2"))),
+         [(0, 0), (0, 1), (1, 1)]),
+        ("sb", ((W("x", 1), R("y", "r1")), (W("y", 1), R("x", "r2"))),
+         [(1, 0), (0, 1), (1, 1)]),
+        ("lb", ((R("x", "r1"), W("y", 1)), (R("y", "r2"), W("x", 1))),
+         [(0, 0), (0, 1), (1, 0)]),
+    ]
+
+    @pytest.mark.parametrize("name,program,allowed", CASES)
+    def test_allowed_outcomes_observable(self, checker, name, program, allowed):
+        regs = [(tid, access.reg) for tid, thread in enumerate(program)
+                for access in thread if access.kind == "R"]
+        for values in allowed:
+            final = tuple((reg_key, value) for reg_key, value in zip(regs, values))
+            test = LitmusTest(f"{name}_allowed", program, final)
+            assert test.permitted_under_sc()
+            verdict = checker.check_test(test)
+            assert verdict.observable, (name, values)
+
+    def test_witness_graph_for_allowed_mp(self, reference_model):
+        checker = Checker(reference_model, keep_graphs=True)
+        test = LitmusTest(
+            "mp_wit",
+            ((W("x", 1), W("y", 1)), (R("y", "r1"), R("x", "r2"))),
+            (((1, "r1"), 1), ((1, "r2"), 1)))
+        verdict = checker.check_test(test)
+        assert verdict.graph is not None
+        dot = verdict.graph.to_dot()
+        assert "digraph" in dot
+        # Fig. 1b structure: instruction clusters + location-labeled nodes.
+        assert "cluster_i0" in dot
+        assert "mem" in dot
+
+
+class TestModelStructure:
+    def test_stage_rows_match_paper_shape(self, reference_model):
+        names = reference_model.stage_names
+        # IFR row, mgnode rows, memory, regfile (paper Fig. 1b has 6 rows).
+        assert any("inst_DX" in n for n in names)
+        assert any(n == "mem" for n in names)
+        assert any("regfile" in n for n in names)
+        assert any(n.startswith("mgnode") for n in names)
+
+    def test_value_axioms_present(self, reference_model):
+        axiom_names = [a.name for a in reference_model.axioms]
+        assert "Read_Values" in axiom_names
+        # Final-memory conditions are enforced by the verifier itself
+        # (an existential "some same-value write is co-last" constraint);
+        # an axiom form proved too strong and was removed — see the
+        # exhaustive-sweep regression in tests/integration.
+        assert "Final_Memory" not in axiom_names
+
+    def test_path_axioms_for_both_instructions(self, reference_model):
+        axiom_names = [a.name for a in reference_model.axioms]
+        assert "Path_sw" in axiom_names
+        assert "Path_lw" in axiom_names
+
+    def test_po_fetch_axiom_present(self, reference_model):
+        from repro.uspec import format_model
+        text = format_model(reference_model)
+        assert "ProgramOrder" in text
+        assert "inst_DX" in text

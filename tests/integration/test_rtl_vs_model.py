@@ -1,0 +1,60 @@
+"""Integration: RTL behaviour, µspec model, and SC reference all agree.
+
+For a battery of litmus tests, outcomes observed by exhaustively
+skew-simulating the actual RTL must be (a) permitted by the SC
+reference, and (b) observable under the synthesized µspec model —
+closing the loop between the three levels of the stack.
+"""
+
+import pytest
+
+from repro.check import Checker
+from repro.litmus import LitmusTest, location_map, register_map, suite_by_name
+from repro.mcm import sc_outcomes
+from repro.rtlcheck import ExhaustiveSkewTester
+
+TESTS = ["mp", "sb", "lb", "corr", "corw", "cowr"]
+
+
+@pytest.fixture(scope="module")
+def skew_outcomes():
+    """Observed (outcome dict) sets per test from RTL simulation."""
+    tester = ExhaustiveSkewTester(max_skew=2)
+    observed = {}
+    for name in TESTS:
+        test = suite_by_name()[name]
+        result = tester.run_test(test)
+        observed[name] = result
+    return observed
+
+
+class TestRtlWithinSc:
+    @pytest.mark.parametrize("name", TESTS)
+    def test_forbidden_outcome_never_observed_on_rtl(self, skew_outcomes, name):
+        result = skew_outcomes[name]
+        assert not result.outcome_observed, name
+        assert result.passed
+
+
+class TestRtlOutcomesObservableInModel:
+    @pytest.mark.parametrize("name", TESTS)
+    def test_every_simulated_outcome_is_model_observable(
+            self, skew_outcomes, reference_model, name):
+        """Completeness direction: anything the hardware actually does,
+        the synthesized model must admit."""
+        test = suite_by_name()[name]
+        checker = Checker(reference_model)
+        for snapshot in skew_outcomes[name].outcomes:
+            final = tuple(snapshot)
+            probe = LitmusTest(f"{name}_probe", test.program, final)
+            verdict = checker.check_test(probe)
+            assert verdict.observable, (name, final)
+
+    @pytest.mark.parametrize("name", TESTS)
+    def test_every_simulated_outcome_is_sc(self, skew_outcomes, name):
+        test = suite_by_name()[name]
+        outcomes = sc_outcomes(test.program)
+        for snapshot in skew_outcomes[name].outcomes:
+            want = dict(snapshot)
+            assert any(all(dict(o).get(k) == v for k, v in want.items())
+                       for o in outcomes), (name, want)

@@ -1,0 +1,81 @@
+"""Integration: a scoped end-to-end rtl2uspec run.
+
+Synthesizes a µspec model restricted to a core set of state elements
+(the full run takes tens of minutes; see benchmarks), then checks the
+classic litmus tests against the synthesized model in both directions
+(forbidden unobservable, allowed observable).
+
+This is the slowest test in the suite (~2-4 minutes).
+"""
+
+import pytest
+
+from repro import Checker, PropertyChecker, suite_by_name, synthesize_uspec
+from repro.core.records import INTRA
+from repro.litmus import LitmusTest
+from repro.mcm.events import R, W
+
+CANDIDATES = [
+    "core_gen[0].core.inst_DX",
+    "core_gen[0].core.PC_DX",
+    "core_gen[0].core.wdata",
+    "core_gen[0].core.regfile",
+    "the_mem.mem",
+]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return synthesize_uspec(checker=PropertyChecker(bound=12, max_k=1),
+                            candidate_filter=CANDIDATES)
+
+
+class TestSynthesisOutputs:
+    def test_updated_sets_match_design(self, result):
+        # Fig. 3c: sw updates mem but not the regfile; lw the reverse.
+        assert "the_mem.mem" in result.updated["sw"]
+        assert "core_gen[0].core.regfile" not in result.updated["sw"]
+        assert "core_gen[0].core.regfile" in result.updated["lw"]
+        assert "the_mem.mem" not in result.updated["lw"]
+        assert "the_mem.mem" in result.accessed["lw"]  # read access
+
+    def test_both_instructions_update_shared_pipeline_state(self, result):
+        for enc in ("sw", "lw"):
+            assert "core_gen[0].core.inst_DX" in result.updated[enc]
+            assert "core_gen[0].core.wdata" in result.updated[enc]
+
+    def test_merging_groups_stage0(self, result):
+        members = result.merge_plan.members
+        ifr_loc = result.merge_plan.loc("core_gen[0].core.inst_DX")
+        assert "core_gen[0].core.PC_DX" in members[ifr_loc]
+
+    def test_no_bug_reports_on_fixed_design(self, result):
+        assert result.bug_reports == []
+
+    def test_stats_populated(self, result):
+        assert result.stats.sva_count[INTRA] > 0
+        rows = result.stats.fig5_rows()
+        assert sum(r["svas"] for r in rows) == result.stats.total_svas()
+        assert result.total_seconds > 0
+
+    def test_phases_reported(self, result):
+        names = [p.name for p in result.phases]
+        assert len(names) == 4
+
+
+class TestSynthesizedModelVerdicts:
+    @pytest.mark.parametrize("name", ["mp", "sb", "lb", "wrc", "iriw",
+                                      "corr", "corw", "cowr", "2+2w", "s",
+                                      "r", "ssl"])
+    def test_forbidden_outcomes_unobservable(self, result, name):
+        checker = Checker(result.model)
+        verdict = checker.check_test(suite_by_name()[name])
+        assert verdict.passed and not verdict.observable, name
+
+    def test_allowed_outcomes_observable(self, result):
+        checker = Checker(result.model)
+        mp_program = ((W("x", 1), W("y", 1)), (R("y", "r1"), R("x", "r2")))
+        for r1, r2 in [(0, 0), (0, 1), (1, 1)]:
+            test = LitmusTest("mp_var", mp_program,
+                              (((1, "r1"), r1), ((1, "r2"), r2)))
+            assert checker.check_test(test).observable, (r1, r2)

@@ -1,0 +1,57 @@
+"""Unit tests for the exhaustive program/condition enumeration."""
+
+import pytest
+
+from repro.check.exhaustive import (
+    ExactnessReport,
+    _canonical,
+    enumerate_conditions,
+    enumerate_programs,
+)
+from repro.mcm.events import R, W
+
+
+class TestProgramEnumeration:
+    def test_single_access_space(self):
+        programs = list(enumerate_programs(max_threads=1, max_len=1))
+        shapes = {tuple((a.kind, a.addr) for a in p[0]) for p in programs}
+        assert shapes == {(("W", "x"),), (("R", "x"),),
+                          (("W", "y"),), (("R", "y"),)}
+
+    def test_thread_lengths_vary_independently(self):
+        programs = list(enumerate_programs(max_threads=2, max_len=2))
+        lengths = {tuple(len(t) for t in p) for p in programs}
+        assert (1, 2) in lengths and (2, 1) in lengths and (2, 2) in lengths
+
+    def test_canonical_is_thread_order_invariant(self):
+        p1 = ((W("x", 1),), (R("x", "r1"),))
+        p2 = ((R("x", "r1"),), (W("x", 1),))
+        assert _canonical(p1) == _canonical(p2)
+
+    def test_custom_addresses(self):
+        programs = list(enumerate_programs(max_threads=1, max_len=1,
+                                           addresses=("a",)))
+        assert len(programs) == 2
+
+
+class TestConditionEnumeration:
+    def test_full_grid_over_loads(self):
+        program = ((R("x", "r1"), R("y", "r2")),)
+        conditions = list(enumerate_conditions(program))
+        assert len(conditions) == 4
+        values = {tuple(v for _k, v in c) for c in conditions}
+        assert values == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_pure_write_program_yields_empty_condition(self):
+        program = ((W("x", 1),),)
+        assert list(enumerate_conditions(program)) == [()]
+
+
+class TestReport:
+    def test_exactness_flags(self):
+        report = ExactnessReport(programs=3, outcomes_checked=10)
+        assert report.exact
+        assert "EXACT" in report.summary()
+        report.unsound.append(("t", ()))
+        assert not report.exact
+        assert "unsound" in report.summary()

@@ -1,0 +1,49 @@
+"""CLI smoke tests (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+
+
+def test_stats(capsys):
+    assert main(["stats"]) == 0
+    out = capsys.readouterr().out
+    assert "registers" in out
+    assert "4 cores" in out
+
+
+def test_litmus_names(capsys):
+    assert main(["litmus", "--names"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "mp" in out and "sb" in out
+    assert len(out) == 56
+
+
+def test_litmus_full_format(capsys):
+    assert main(["litmus"]) == 0
+    out = capsys.readouterr().out
+    assert "RISCV mp" in out
+    assert "exists" in out
+
+
+def test_run_subcommand(capsys):
+    assert main(["run", "corw", "--max-skew", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+
+
+def test_missing_subcommand_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_check_with_reference_model(capsys, reference_model):
+    assert main(["check", "mp", "sb"]) == 0
+    out = capsys.readouterr().out
+    assert "ALL TESTS PASSES" in out

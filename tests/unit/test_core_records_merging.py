@@ -1,0 +1,117 @@
+"""Unit tests for synthesis records, statistics, and node merging."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import InstructionEncoding
+from repro.core.merging import merge_nodes
+from repro.core.records import (
+    CATEGORIES,
+    INTRA,
+    SPATIAL,
+    HbiRecord,
+    SvaRecord,
+    SynthesisStats,
+)
+from repro.formal import Verdict
+
+
+def verdict(status="PROVEN", seconds=1.5):
+    return Verdict(status, "bmc", 10, seconds)
+
+
+class TestStats:
+    def test_record_sva_accumulates(self):
+        stats = SynthesisStats()
+        stats.record_sva(SvaRecord("a", INTRA, verdict(seconds=2.0)))
+        stats.record_sva(SvaRecord("b", INTRA, verdict(seconds=3.0)))
+        stats.record_sva(SvaRecord("c", SPATIAL, verdict(seconds=1.0)))
+        assert stats.total_svas() == 3
+        assert stats.sva_time[INTRA] == pytest.approx(5.0)
+        assert stats.total_sva_time() == pytest.approx(6.0)
+
+    def test_fig5_rows_cover_all_categories(self):
+        stats = SynthesisStats()
+        rows = stats.fig5_rows()
+        assert [r["category"] for r in rows] == list(CATEGORIES)
+        assert all(r["svas"] == 0 for r in rows)
+
+    def test_hypothesis_vs_hbi_counting(self):
+        stats = SynthesisStats()
+        stats.record_hypothesis(SPATIAL, "local", graduated=True, count=4)
+        stats.record_hypothesis(SPATIAL, "local", graduated=False, count=2)
+        stats.record_hypothesis(SPATIAL, "global", graduated=True, count=1)
+        row = [r for r in stats.fig5_rows() if r["category"] == SPATIAL][0]
+        assert row["hypotheses_local"] == 6
+        assert row["hbis_local"] == 4
+        assert row["hypotheses_global"] == 1
+        assert row["hbis_global"] == 1
+
+    def test_verdict_flags(self):
+        assert verdict("PROVEN").proven
+        assert verdict("PROVEN_BOUNDED").proven
+        assert verdict("REFUTED").refuted
+        assert not verdict("REFUTED").proven
+
+
+def fake_synthesizer(hbi_records):
+    """Just enough structure for merge_nodes."""
+    encs = [InstructionEncoding("sw", 0, 0, is_write=True),
+            InstructionEncoding("lw", 1, 1, is_read=True)]
+    labels = SimpleNamespace(
+        stage_of=lambda s: {"c.a": 0, "c.b": 0, "c.c": 1, "mem": 1}[s],
+        ifr="c.a")
+    return SimpleNamespace(
+        md=SimpleNamespace(encodings=encs),
+        updated={"sw": {"c.a", "c.b", "c.c", "mem"},
+                 "lw": {"c.a", "c.b", "c.c"}},
+        accessed={"sw": {"c.a", "c.b", "c.c", "mem"},
+                  "lw": {"c.a", "c.b", "c.c"}},
+        labels=labels,
+        classify=lambda s: "resource" if s == "mem" else "local",
+        hbi_records=hbi_records,
+    )
+
+
+class TestMerging:
+    def test_same_stage_same_hbis_merge(self):
+        hbis = [HbiRecord(SPATIAL, "local", "sw", "lw", s, s, 0, 0,
+                          order="consistent", reference="po")
+                for s in ("c.a", "c.b")]
+        syn = fake_synthesizer(hbis)
+        plan = merge_nodes(syn)
+        assert plan.loc("c.a") == plan.loc("c.b")
+        # The IFR names its merged group.
+        assert plan.loc("c.a") == "a"
+
+    def test_different_hbi_participation_blocks_merge(self):
+        hbis = [HbiRecord(SPATIAL, "local", "sw", "lw", "c.a", "c.a", 0, 0,
+                          order="consistent", reference="po")]
+        syn = fake_synthesizer(hbis)
+        plan = merge_nodes(syn)
+        assert plan.loc("c.a") != plan.loc("c.b")
+
+    def test_different_stages_never_merge(self):
+        syn = fake_synthesizer([])
+        plan = merge_nodes(syn)
+        assert plan.loc("c.a") != plan.loc("c.c")
+
+    def test_resource_keeps_name(self):
+        syn = fake_synthesizer([])
+        plan = merge_nodes(syn)
+        assert plan.loc("mem") == "mem"
+        assert plan.location_kind["mem"] == "resource"
+
+    def test_disabled_merging_gives_singletons(self):
+        hbis = [HbiRecord(SPATIAL, "local", "sw", "lw", s, s, 0, 0,
+                          order="consistent", reference="po")
+                for s in ("c.a", "c.b")]
+        plan = merge_nodes(fake_synthesizer(hbis), enabled=False)
+        locations = {plan.loc(s) for s in ("c.a", "c.b", "c.c", "mem")}
+        assert len(locations) == 4
+
+    def test_locations_in_stage_order(self):
+        plan = merge_nodes(fake_synthesizer([]))
+        stages = [plan.location_stage[loc] for loc in plan.locations]
+        assert stages == sorted(stages)

@@ -1,0 +1,60 @@
+"""Synthesis report rendering tests."""
+
+from types import SimpleNamespace
+
+from repro.core import PAPER_FIG5, fig5_table, full_report
+from repro.core.merging import MergePlan
+from repro.core.records import INTRA, SvaRecord, SynthesisStats
+from repro.core.synthesizer import SynthesisResult
+from repro.formal import Verdict
+
+
+def make_result(bug_reports=()):
+    stats = SynthesisStats()
+    stats.record_sva(SvaRecord("a0[x]", INTRA, Verdict("REFUTED", "bmc", 10, 1.2)))
+    stats.record_hypothesis(INTRA, "local", True, count=4)
+    plan = MergePlan(
+        location_of={"c.x": "inst_DX", "c.y": "mgnode_0"},
+        locations=["inst_DX", "mgnode_0"],
+        location_stage={"inst_DX": 0, "mgnode_0": 1},
+        location_kind={"inst_DX": "local", "mgnode_0": "local"},
+        members={"inst_DX": ["c.x"], "mgnode_0": ["c.y"]},
+    )
+    return SynthesisResult(
+        model=SimpleNamespace(name="m", axioms=[]),
+        stats=stats,
+        phases=[SimpleNamespace(name="phase1", seconds=1.0)],
+        sva_records=[SvaRecord("a0[x]", INTRA, Verdict("REFUTED", "bmc", 10, 1.2))],
+        hbi_records=[], stage_labels=None, full_dfg=None, instr_dfgs={},
+        updated={}, accessed={}, merge_plan=plan,
+        bug_reports=list(bug_reports))
+
+
+class TestFig5Table:
+    def test_contains_categories_and_paper_columns(self):
+        text = fig5_table(make_result())
+        assert "intra" in text and "temporal" in text
+        assert "paper SVAs" in text
+        assert str(PAPER_FIG5["intra"]["svas"]) in text
+
+    def test_without_paper_columns(self):
+        text = fig5_table(make_result(), include_paper=False)
+        assert "paper" not in text
+
+
+class TestFullReport:
+    def test_merge_plan_rendered(self):
+        text = full_report(make_result())
+        assert "stage 0 inst_DX" in text
+        assert "c.x" in text
+
+    def test_bug_reports_rendered(self):
+        record = SvaRecord("attr[c0]", "interface",
+                           Verdict("REFUTED", "bmc", 10, 0.5))
+        text = full_report(make_result(bug_reports=[record]))
+        assert "REFUTED interface-soundness SVAs" in text
+        assert "attr[c0]" in text
+
+    def test_clean_report_has_no_bug_section(self):
+        text = full_report(make_result())
+        assert "REFUTED interface-soundness" not in text

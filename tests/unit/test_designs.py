@@ -1,0 +1,172 @@
+"""Multi-V-scale processor tests: ISA execution, arbiter, bug variant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs import (
+    FORMAL_CONFIG,
+    SIM_CONFIG,
+    DesignConfig,
+    isa,
+    load_design,
+    multi_vscale_metadata,
+)
+from repro.designs.harness import MultiVScaleSim
+
+
+class TestIsaEncoding:
+    def test_nop_is_addi_zero(self):
+        assert isa.NOP == isa.addi(0, 0, 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 31), st.integers(0, 31), st.integers(-2048, 2047))
+    def test_lw_fields_roundtrip(self, rd, rs1, imm):
+        fields = isa.decode_fields(isa.lw(rd, rs1, imm))
+        assert fields["rd"] == rd
+        assert fields["rs1"] == rs1
+        assert fields["funct3"] == 0b010
+        assert fields["opcode"] == isa.OPCODE_LOAD
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 31), st.integers(0, 31), st.integers(-2048, 2047))
+    def test_sw_imm_reassembles(self, rs2, rs1, imm):
+        word = isa.sw(rs2, rs1, imm)
+        fields = isa.decode_fields(word)
+        got = (fields["funct7"] << 5) | fields["rd"]
+        assert got == (imm & 0xFFF)
+
+    def test_sw_undefined_rejects_defined_width(self):
+        with pytest.raises(Exception):
+            isa.sw_undefined(1, 0, 0, funct3=0b010)
+
+    def test_disassemble(self):
+        assert isa.disassemble(isa.lw(4, 0, 8)) == "lw x4, 8(x0)"
+        assert isa.disassemble(isa.NOP) == "nop"
+        assert "sw.undef" in isa.disassemble(isa.sw_undefined(1, 0, 0))
+
+    def test_imm_overflow_rejected(self):
+        with pytest.raises(Exception):
+            isa.addi(1, 0, 5000)
+
+
+class TestSingleCoreExecution:
+    def test_arithmetic_chain(self):
+        m = MultiVScaleSim()
+        m.load_program(0, [
+            isa.li(1, 5), isa.li(2, 7), isa.add(3, 1, 2), isa.addi(4, 3, 30),
+        ])
+        m.run_program()
+        assert m.reg(0, 3) == 12
+        assert m.reg(0, 4) == 42
+
+    def test_store_load_roundtrip(self):
+        m = MultiVScaleSim()
+        m.load_program(0, [isa.li(1, 9), isa.sw(1, 0, 8), isa.lw(2, 0, 8)])
+        m.run_program()
+        assert m.mem(8) == 9
+        assert m.reg(0, 2) == 9
+
+    def test_x0_hardwired_zero(self):
+        m = MultiVScaleSim()
+        m.load_program(0, [isa.addi(0, 0, 7), isa.addi(1, 0, 0)])
+        m.run_program()
+        assert m.reg(0, 1) == 0
+
+    def test_wb_bypass_back_to_back(self):
+        m = MultiVScaleSim()
+        m.load_program(0, [isa.li(1, 1), isa.addi(2, 1, 1), isa.addi(3, 2, 1)])
+        m.run_program()
+        assert m.reg(0, 3) == 3
+
+    def test_load_use_bypass(self):
+        m = MultiVScaleSim()
+        m.load_program(0, [
+            isa.li(1, 5), isa.sw(1, 0, 0), isa.lw(2, 0, 0), isa.addi(3, 2, 1),
+        ])
+        m.run_program()
+        assert m.reg(0, 3) == 6
+
+    def test_address_computation_with_base(self):
+        m = MultiVScaleSim()
+        m.load_program(0, [isa.li(1, 8), isa.li(2, 3), isa.sw(2, 1, 4)])
+        m.run_program()
+        assert m.mem(12) == 3
+
+    def test_undefined_store_squashed(self):
+        m = MultiVScaleSim()
+        m.load_program(0, [isa.li(1, 99), isa.sw_undefined(1, 0, 12)])
+        m.run_program()
+        assert m.mem(12) == 0
+
+
+class TestBuggyVariant:
+    def test_undefined_store_updates_memory(self):
+        m = MultiVScaleSim(DesignConfig(buggy=True))
+        m.load_program(0, [isa.li(1, 99), isa.sw_undefined(1, 0, 12)])
+        m.run_program()
+        assert m.mem(12) == 99
+
+    def test_defined_behaviour_unchanged(self):
+        m = MultiVScaleSim(DesignConfig(buggy=True))
+        m.load_program(0, [isa.li(1, 9), isa.sw(1, 0, 8), isa.lw(2, 0, 8)])
+        m.run_program()
+        assert m.reg(0, 2) == 9
+
+
+class TestMultiCore:
+    def test_cross_core_communication(self):
+        m = MultiVScaleSim()
+        m.load_program(0, [isa.li(1, 42), isa.sw(1, 0, 0)])
+        m.load_program(1, [isa.nop() if hasattr(isa, "nop") else isa.NOP] * 6
+                       + [isa.lw(2, 0, 0)])
+        m.run_program()
+        assert m.reg(1, 2) == 42
+
+    def test_arbiter_serializes_all_stores(self):
+        m = MultiVScaleSim()
+        for core in range(4):
+            m.load_program(core, [isa.li(1, core + 1), isa.sw(1, 0, core * 4)])
+        m.run_program()
+        assert [m.mem(core * 4) for core in range(4)] == [1, 2, 3, 4]
+
+    def test_contended_address_single_winner(self):
+        m = MultiVScaleSim()
+        for core in range(4):
+            m.load_program(core, [isa.li(1, core + 10), isa.sw(1, 0, 0)])
+        m.run_program()
+        assert m.mem(0) in (10, 11, 12, 13)
+
+    def test_mp_never_shows_non_sc_outcome(self):
+        for delay in range(4):
+            m = MultiVScaleSim()
+            m.load_program(0, [isa.li(1, 1), isa.sw(1, 0, 0), isa.sw(1, 0, 4)])
+            m.load_program(1, [isa.NOP] * delay + [isa.lw(2, 0, 4), isa.lw(3, 0, 0)])
+            m.run_program()
+            assert not (m.reg(1, 2) == 1 and m.reg(1, 3) == 0), f"delay={delay}"
+
+
+class TestConfigs:
+    def test_formal_variant_has_imem_inputs(self, formal_netlist):
+        assert "imem_rdata_flat" in formal_netlist.inputs
+
+    def test_sim_variant_has_imem_arrays(self, sim_netlist):
+        assert "core_gen[0].imem_inst.mem" in sim_netlist.memories
+
+    def test_formal_harness_rejected(self):
+        with pytest.raises(Exception):
+            MultiVScaleSim(FORMAL_CONFIG)
+
+    def test_metadata_validates_all_variants(self):
+        for config in (SIM_CONFIG, FORMAL_CONFIG):
+            md = multi_vscale_metadata(config)
+            md.validate(load_design(config))
+
+    def test_core_id_width_derived(self):
+        assert DesignConfig(num_cores=2).core_id_width == 1
+        assert DesignConfig(num_cores=4).core_id_width == 2
+
+    def test_with_variant(self):
+        cfg = SIM_CONFIG.with_variant(buggy=True)
+        assert cfg.buggy and not cfg.formal
+        assert SIM_CONFIG.buggy is False  # original untouched

@@ -1,0 +1,315 @@
+"""Elaboration tests: Verilog subset -> netlist semantics and checks."""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.sim import Simulator
+from repro.verilog import compile_verilog
+
+
+def build(src, top, **kwargs):
+    return compile_verilog(src, top, **kwargs)
+
+
+def sim_of(src, top, **kwargs):
+    return Simulator(build(src, top, **kwargs))
+
+
+class TestCombinational:
+    def test_assign_chain(self):
+        sim = sim_of(
+            "module m(input wire [7:0] a, output wire [7:0] o);\n"
+            "wire [7:0] t; assign t = a + 8'd1; assign o = t * 8'd2;\nendmodule", "m")
+        sim.set_input("a", 20)
+        assert sim.peek("o") == 42
+
+    def test_ternary(self):
+        sim = sim_of(
+            "module m(input wire s, input wire [3:0] a, input wire [3:0] b,\n"
+            "         output wire [3:0] o);\nassign o = s ? a : b;\nendmodule", "m")
+        sim.set_input("a", 5)
+        sim.set_input("b", 9)
+        sim.set_input("s", 1)
+        assert sim.peek("o") == 5
+        sim.set_input("s", 0)
+        assert sim.peek("o") == 9
+
+    def test_reduction_operators(self):
+        sim = sim_of(
+            "module m(input wire [3:0] a, output wire any_, output wire all_,\n"
+            "         output wire parity);\n"
+            "assign any_ = |a; assign all_ = &a; assign parity = ^a;\nendmodule", "m")
+        sim.set_input("a", 0b1011)
+        assert sim.peek("any_") == 1
+        assert sim.peek("all_") == 0
+        assert sim.peek("parity") == 1
+        sim.set_input("a", 0b1111)
+        assert sim.peek("all_") == 1
+
+    def test_comparisons_are_unsigned(self):
+        sim = sim_of(
+            "module m(input wire [3:0] a, input wire [3:0] b, output wire lt);\n"
+            "assign lt = a < b;\nendmodule", "m")
+        sim.set_input("a", 15)  # would be -1 signed
+        sim.set_input("b", 1)
+        assert sim.peek("lt") == 0
+
+    def test_shift_by_dynamic_amount(self):
+        sim = sim_of(
+            "module m(input wire [7:0] a, input wire [2:0] s, output wire [7:0] o);\n"
+            "assign o = a << s;\nendmodule", "m")
+        sim.set_input("a", 3)
+        sim.set_input("s", 4)
+        assert sim.peek("o") == 48
+
+    def test_concat_and_slice(self):
+        sim = sim_of(
+            "module m(input wire [3:0] a, input wire [3:0] b, output wire [7:0] o,\n"
+            "         output wire [1:0] hi);\n"
+            "assign o = {a, b}; assign hi = o[7:6];\nendmodule", "m")
+        sim.set_input("a", 0b1100)
+        sim.set_input("b", 0b0011)
+        assert sim.peek("o") == 0b11000011
+        assert sim.peek("hi") == 0b11
+
+    def test_replication(self):
+        sim = sim_of(
+            "module m(input wire b, output wire [3:0] o);\n"
+            "assign o = {4{b}};\nendmodule", "m")
+        sim.set_input("b", 1)
+        assert sim.peek("o") == 0xF
+
+    def test_unsized_constant_is_32bit(self):
+        # grant_idx * 32 must not truncate (the arbiter lane-select bug).
+        sim = sim_of(
+            "module m(input wire [1:0] i, output wire [6:0] o);\n"
+            "assign o = i * 32;\nendmodule", "m")
+        sim.set_input("i", 3)
+        assert sim.peek("o") == 96
+
+
+class TestSequential:
+    def test_register_holds_without_else(self):
+        sim = sim_of(
+            "module m(input wire clk, input wire en, input wire [3:0] d,\n"
+            "         output reg [3:0] q);\n"
+            "always @(posedge clk) if (en) q <= d;\nendmodule", "m")
+        sim.set_input("d", 7)
+        sim.set_input("en", 1)
+        sim.step()
+        assert sim.peek("q") == 7
+        sim.set_input("d", 3)
+        sim.set_input("en", 0)
+        sim.step()
+        assert sim.peek("q") == 7  # held
+
+    def test_nonblocking_swap(self):
+        sim = sim_of(
+            "module m(input wire clk, output reg [3:0] a, output reg [3:0] b);\n"
+            "always @(posedge clk) begin a <= b; b <= a; end\nendmodule", "m")
+        # initial values are 0; seed by direct poke
+        sim.values["a"] = 1
+        sim.values["b"] = 2
+        sim._dirty = True
+        sim.step()
+        assert (sim.peek("a"), sim.peek("b")) == (2, 1)
+
+    def test_bit_select_assignment(self):
+        sim = sim_of(
+            "module m(input wire clk, input wire b, output reg [3:0] q);\n"
+            "always @(posedge clk) q[2] <= b;\nendmodule", "m")
+        sim.set_input("b", 1)
+        sim.step()
+        assert sim.peek("q") == 0b0100
+
+    def test_memory_write_and_read(self):
+        sim = sim_of(
+            "module m(input wire clk, input wire we, input wire [1:0] wa,\n"
+            "         input wire [1:0] ra, input wire [7:0] wd, output wire [7:0] rd);\n"
+            "reg [7:0] mem [0:3];\nassign rd = mem[ra];\n"
+            "always @(posedge clk) if (we) mem[wa] <= wd;\nendmodule", "m")
+        sim.set_input("we", 1)
+        sim.set_input("wa", 2)
+        sim.set_input("wd", 0xAB)
+        sim.step()
+        sim.set_input("ra", 2)
+        assert sim.peek("rd") == 0xAB
+
+    def test_procedural_for_loop(self):
+        sim = sim_of(
+            "module m(input wire clk, input wire [7:0] d, output reg [7:0] q);\n"
+            "integer k;\n"
+            "always @(*) begin q = 8'd0; for (k = 0; k < 8; k = k + 1)\n"
+            "  q[k] = d[7 - k]; end\nendmodule", "m")
+        sim.set_input("d", 0b1101_0010)
+        assert sim.peek("q") == 0b0100_1011
+
+
+class TestHierarchy:
+    SRC = (
+        "module leaf #(parameter INC = 1)(input wire [7:0] x, output wire [7:0] y);\n"
+        "assign y = x + INC;\nendmodule\n"
+        "module top(input wire [7:0] a, output wire [7:0] o);\n"
+        "wire [7:0] mid;\n"
+        "leaf #(.INC(2)) u0 (.x(a), .y(mid));\n"
+        "leaf u1 (.x(mid), .y(o));\nendmodule")
+
+    def test_parameter_override_per_instance(self):
+        sim = Simulator(build(self.SRC, "top"))
+        sim.set_input("a", 10)
+        assert sim.peek("u0.y") == 12
+        assert sim.peek("o") == 13
+
+    def test_hierarchical_names(self):
+        netlist = build(self.SRC, "top")
+        assert "u0.x" in netlist.wires
+        assert "u1.y" in netlist.wires
+
+    def test_unknown_port_rejected(self):
+        with pytest.raises(ElaborationError):
+            build("module leaf(input wire x); endmodule\n"
+                  "module top(input wire a); leaf u (.nope(a)); endmodule", "top")
+
+    def test_unconnected_input_rejected(self):
+        with pytest.raises(ElaborationError):
+            build("module leaf(input wire x); endmodule\n"
+                  "module top(input wire a); leaf u (); endmodule", "top")
+
+    def test_unknown_param_override_rejected(self):
+        with pytest.raises(ElaborationError):
+            build("module leaf(input wire x); endmodule\n"
+                  "module top(input wire a); leaf #(.NOPE(1)) u (.x(a)); endmodule",
+                  "top")
+
+
+class TestGenerate:
+    def test_generate_if_true_branch(self):
+        src = (
+            "module m #(parameter WIDE = 1)(input wire [7:0] a, output wire [7:0] o);\n"
+            "generate if (WIDE) begin : w assign o = a + 8'd1; end\n"
+            "else begin : n assign o = a - 8'd1; end endgenerate\nendmodule")
+        sim = Simulator(build(src, "m"))
+        sim.set_input("a", 10)
+        assert sim.peek("o") == 11
+        sim2 = Simulator(build(src, "m", params={"WIDE": 0}))
+        sim2.set_input("a", 10)
+        assert sim2.peek("o") == 9
+
+    def test_generate_for_instances(self):
+        src = (
+            "module inv(input wire x, output wire y); assign y = !x; endmodule\n"
+            "module m #(parameter N = 4)(input wire [N-1:0] a, output wire [N-1:0] o);\n"
+            "genvar i; generate for (i = 0; i < N; i = i + 1) begin : lane\n"
+            "inv u (.x(a[i]), .y(o[i])); end endgenerate\nendmodule")
+        sim = Simulator(build(src, "m"))
+        sim.set_input("a", 0b0101)
+        assert sim.peek("o") == 0b1010
+        assert "lane[2].u.y" in sim.netlist.wires
+
+
+class TestDiscipline:
+    def test_blocking_in_clocked_block_rejected(self):
+        with pytest.raises(ElaborationError):
+            build("module m(input wire clk, input wire d, output reg q);\n"
+                  "always @(posedge clk) q = d;\nendmodule", "m")
+
+    def test_nonblocking_in_comb_block_rejected(self):
+        with pytest.raises(ElaborationError):
+            build("module m(input wire d, output reg q);\n"
+                  "always @(*) q <= d;\nendmodule", "m")
+
+    def test_inferred_latch_rejected(self):
+        with pytest.raises(ElaborationError):
+            build("module m(input wire s, input wire d, output reg q);\n"
+                  "always @(*) if (s) q = d;\nendmodule", "m")
+
+    def test_comb_default_then_conditional_ok(self):
+        sim = sim_of(
+            "module m(input wire s, input wire d, output reg q);\n"
+            "always @(*) begin q = 1'b0; if (s) q = d; end\nendmodule", "m")
+        sim.set_input("s", 1)
+        sim.set_input("d", 1)
+        assert sim.peek("q") == 1
+
+    def test_memory_write_in_comb_rejected(self):
+        with pytest.raises(ElaborationError):
+            build("module m(input wire [1:0] a, input wire [7:0] d);\n"
+                  "reg [7:0] mem [0:3];\nalways @(*) mem[a] = d;\nendmodule", "m")
+
+    def test_double_drive_rejected(self):
+        with pytest.raises(Exception):
+            build("module m(input wire a, output wire o);\n"
+                  "assign o = a; assign o = !a;\nendmodule", "m")
+
+    def test_signal_in_two_clocked_blocks_rejected(self):
+        with pytest.raises(ElaborationError):
+            build("module m(input wire clk, input wire d, output reg q);\n"
+                  "always @(posedge clk) q <= d;\n"
+                  "always @(posedge clk) q <= !d;\nendmodule", "m")
+
+    def test_blocking_read_sees_earlier_write(self):
+        sim = sim_of(
+            "module m(input wire [3:0] a, output reg [3:0] o);\n"
+            "reg [3:0] t;\n"
+            "always @(*) begin t = a + 4'd1; o = t + 4'd1; end\nendmodule", "m")
+        sim.set_input("a", 3)
+        assert sim.peek("o") == 5
+
+    def test_partial_assign_coverage_checked(self):
+        with pytest.raises(ElaborationError):
+            build("module m(input wire a, output wire [3:0] o);\n"
+                  "assign o[0] = a;\nassign o[1] = a;\nendmodule", "m")
+
+
+class TestCasezWildcards:
+    DEC = (
+        "module dec(input wire [6:0] op, output reg [1:0] cls);\n"
+        "always @(*) begin\n"
+        "  casez (op)\n"
+        "    7'b0?000?1: cls = 2'd1;\n"
+        "    7'b1100011: cls = 2'd2;\n"
+        "    default:    cls = 2'd0;\n"
+        "  endcase\nend\nendmodule")
+
+    def test_wildcard_bits_ignored(self):
+        sim = sim_of(self.DEC, "dec")
+        for op in (0b0000001, 0b0100011, 0b0000011, 0b0100001):
+            sim.set_input("op", op)
+            assert sim.peek("cls") == 1, bin(op)
+
+    def test_exact_arm(self):
+        sim = sim_of(self.DEC, "dec")
+        sim.set_input("op", 0b1100011)
+        assert sim.peek("cls") == 2
+
+    def test_default_arm(self):
+        sim = sim_of(self.DEC, "dec")
+        sim.set_input("op", 0b1111111)
+        assert sim.peek("cls") == 0
+
+    def test_priority_order(self):
+        # An op matching both a wildcard arm and a later exact arm takes
+        # the first (casez is priority-ordered).
+        src = self.DEC.replace("7'b1100011", "7'b0100011")
+        sim = sim_of(src, "dec")
+        sim.set_input("op", 0b0100011)
+        assert sim.peek("cls") == 1
+
+    def test_wildcard_outside_casez_rejected(self):
+        src = self.DEC.replace("casez", "case")
+        with pytest.raises(ElaborationError):
+            build(src, "dec")
+
+    def test_x_and_z_digits_are_wildcards(self):
+        src = (
+            "module m(input wire [3:0] a, output reg hit);\n"
+            "always @(*) begin\n"
+            "  casez (a)\n"
+            "    4'b1xz?: hit = 1'b1;\n"
+            "    default: hit = 1'b0;\n"
+            "  endcase\nend\nendmodule")
+        sim = sim_of(src, "m")
+        sim.set_input("a", 0b1000)
+        assert sim.peek("hit") == 1
+        sim.set_input("a", 0b0111)
+        assert sim.peek("hit") == 0

@@ -1,0 +1,120 @@
+"""Verdict-cache tests: fingerprint stability and hit/miss behaviour."""
+
+import pytest
+
+from repro.formal import (
+    CachingPropertyChecker,
+    PropertyChecker,
+    SafetyProblem,
+    VerdictCache,
+    problem_fingerprint,
+)
+from repro.verilog import compile_verilog
+
+SRC = """
+module counter(input wire clk, input wire reset, output reg [3:0] c,
+               output wire ok, output wire bad);
+    always @(posedge clk) begin
+        if (reset) c <= 4'd0;
+        else if (c < 4'd9) c <= c + 4'd1;
+    end
+    assign ok = (c <= 4'd9);
+    assign bad = (c <= 4'd8);
+endmodule
+"""
+
+
+@pytest.fixture()
+def netlist():
+    return compile_verilog(SRC, "counter")
+
+
+class TestFingerprint:
+    def test_identical_problems_share_fingerprint(self, netlist):
+        p1 = SafetyProblem(netlist, [], ["ok"])
+        p2 = SafetyProblem(compile_verilog(SRC, "counter"), [], ["ok"])
+        assert problem_fingerprint(p1, 10, 2) == problem_fingerprint(p2, 10, 2)
+
+    def test_different_assertion_changes_fingerprint(self, netlist):
+        p1 = SafetyProblem(netlist, [], ["ok"])
+        p2 = SafetyProblem(netlist, [], ["bad"])
+        assert problem_fingerprint(p1, 10, 2) != problem_fingerprint(p2, 10, 2)
+
+    def test_bound_changes_fingerprint(self, netlist):
+        p = SafetyProblem(netlist, [], ["ok"])
+        assert problem_fingerprint(p, 10, 2) != problem_fingerprint(p, 12, 2)
+
+    def test_netlist_change_changes_fingerprint(self, netlist):
+        p1 = SafetyProblem(netlist, [], ["ok"])
+        modified = netlist.copy()
+        modified.dffs["c$ff"].init = 5
+        p2 = SafetyProblem(modified, [], ["ok"])
+        assert problem_fingerprint(p1, 10, 2) != problem_fingerprint(p2, 10, 2)
+
+
+class TestCachingChecker:
+    def test_hit_returns_same_verdict(self, netlist, tmp_path):
+        cache = VerdictCache(str(tmp_path / "cache.json"))
+        checker = CachingPropertyChecker(PropertyChecker(bound=12, max_k=2), cache)
+        p = SafetyProblem(netlist, [], ["ok"], name="p")
+        first = checker.check(p)
+        assert cache.misses == 1 and cache.hits == 0
+        second = checker.check(p)
+        assert cache.hits == 1
+        assert second.status == first.status
+
+    def test_cache_persists_to_disk(self, netlist, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = VerdictCache(path)
+        checker = CachingPropertyChecker(PropertyChecker(bound=12, max_k=2), cache)
+        verdict = checker.check(SafetyProblem(netlist, [], ["ok"]))
+        cache.save()
+        reloaded = VerdictCache(path)
+        assert len(reloaded) == 1
+        checker2 = CachingPropertyChecker(PropertyChecker(bound=12, max_k=2), reloaded)
+        again = checker2.check(SafetyProblem(netlist, [], ["ok"]))
+        assert again.status == verdict.status
+        assert reloaded.hits == 1
+
+    def test_refuted_rerun_when_trace_needed(self, netlist, tmp_path):
+        cache = VerdictCache(str(tmp_path / "cache.json"))
+        plain = CachingPropertyChecker(PropertyChecker(bound=14, max_k=1), cache)
+        refuted = plain.check(SafetyProblem(netlist, [], ["bad"]))
+        assert refuted.refuted and refuted.trace is not None
+        # Cached path: no trace...
+        cached = plain.check(SafetyProblem(netlist, [], ["bad"]))
+        assert cached.refuted and cached.trace is None
+        # ...unless traces are required.
+        tracing = CachingPropertyChecker(PropertyChecker(bound=14, max_k=1),
+                                         cache, need_traces=True)
+        traced = tracing.check(SafetyProblem(netlist, [], ["bad"]))
+        assert traced.trace is not None
+
+    def test_corrupt_cache_file_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        cache = VerdictCache(str(path))
+        assert len(cache) == 0
+
+
+class TestCrossProcessDeterminism:
+    def test_design_fingerprint_is_stable(self):
+        """The fingerprint of a monitor-augmented multi-V-scale problem
+        must not depend on hash seeds (regression: a set-ordered merge
+        in the elaborator once randomized wire naming)."""
+        from repro.designs import (FORMAL_CONFIG, LW_SW_ENCODINGS,
+                                   load_design, multi_vscale_metadata)
+        from repro.sva import EventSpec, InstrSpec, SvaFactory
+
+        def fingerprint():
+            netlist = load_design(FORMAL_CONFIG)
+            factory = SvaFactory(netlist, multi_vscale_metadata(FORMAL_CONFIG))
+            problem = factory.never_updates(
+                InstrSpec(0, LW_SW_ENCODINGS[0]),
+                EventSpec("core_gen[0].core.inst_DX", 0))
+            return problem_fingerprint(problem, 12, 1)
+
+        assert fingerprint() == fingerprint()
+        # Cross-process stability is checked implicitly by the CLI cache
+        # (see build/verdicts.json usage); within-process determinism is
+        # a necessary condition asserted here.

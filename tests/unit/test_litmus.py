@@ -1,0 +1,139 @@
+"""Litmus infrastructure tests: suite, generator, format, compilation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs import isa
+from repro.designs.harness import MultiVScaleSim
+from repro.errors import LitmusError
+from repro.litmus import (
+    LitmusTest,
+    compile_test,
+    generate_safe_tests,
+    load_suite,
+    location_map,
+    parse_litmus,
+    register_map,
+    suite_by_name,
+)
+from repro.mcm.events import R, W
+
+
+class TestSuite:
+    def test_suite_has_56_tests(self, litmus_suite):
+        assert len(litmus_suite) == 56
+
+    def test_names_unique(self, litmus_suite):
+        names = [t.name for t in litmus_suite]
+        assert len(set(names)) == len(names)
+
+    def test_classics_present(self, litmus_suite):
+        names = {t.name for t in litmus_suite}
+        for classic in ("mp", "sb", "lb", "wrc", "iriw", "corr", "2+2w", "s", "r"):
+            assert classic in names
+
+    def test_generated_tests_are_sc_forbidden(self, litmus_suite):
+        for test in litmus_suite:
+            if test.name.startswith("safe"):
+                assert not test.permitted_under_sc(), test.name
+
+    def test_sb_is_the_sc_tso_discriminator(self):
+        sb = suite_by_name()["sb"]
+        assert not sb.permitted_under_sc()
+        assert sb.permitted_under_tso()
+
+    def test_at_most_four_threads(self, litmus_suite):
+        for test in litmus_suite:
+            assert len(test.program) <= 4
+
+    def test_addresses_and_loads_accessors(self):
+        mp = suite_by_name()["mp"]
+        assert mp.addresses() == ["x", "y"]
+        assert len(mp.loads()) == 2
+        assert mp.num_instructions() == 4
+
+
+class TestGenerator:
+    def test_requested_count(self):
+        tests = generate_safe_tests(10)
+        assert len(tests) == 10
+
+    def test_no_duplicates_by_canonical_form(self):
+        tests = generate_safe_tests(30)
+        formats = {t.format().split("\n", 1)[1] for t in tests}
+        assert len(formats) == 30
+
+    def test_all_forbidden(self):
+        for test in generate_safe_tests(15):
+            assert not test.permitted_under_sc()
+
+    def test_deterministic(self):
+        first = [t.format() for t in generate_safe_tests(8)]
+        second = [t.format() for t in generate_safe_tests(8)]
+        assert first == second
+
+
+class TestFormat:
+    def test_roundtrip_all_suite_tests(self, litmus_suite):
+        for test in litmus_suite:
+            parsed = parse_litmus(test.format())
+            assert parsed.program == test.program, test.name
+            assert sorted(parsed.final) == sorted(test.final), test.name
+
+    def test_memory_final_roundtrip(self):
+        test = LitmusTest("t", ((W("x", 1),), (W("x", 2),)), (((-1, "x"), 1),))
+        parsed = parse_litmus(test.format())
+        assert parsed.final == (((-1, "x"), 1),)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(LitmusError):
+            parse_litmus("not a litmus test")
+
+    def test_parse_requires_exists(self):
+        with pytest.raises(LitmusError):
+            parse_litmus("RISCV t\n{}\nP0 ;\nst x 1 ;\n")
+
+
+class TestCompile:
+    def test_location_map_word_aligned(self):
+        mp = suite_by_name()["mp"]
+        locs = location_map(mp)
+        assert locs == {"x": 0, "y": 4}
+
+    def test_register_map_distinct(self):
+        wrc = suite_by_name()["wrc"]
+        regs = register_map(wrc)
+        per_thread = {}
+        for (tid, _), arch in regs.items():
+            per_thread.setdefault(tid, []).append(arch)
+        for archs in per_thread.values():
+            assert len(set(archs)) == len(archs)
+
+    def test_compiled_program_runs_to_sc_outcome(self):
+        """Each compiled litmus program, run on the RTL, must land on an
+        SC-permitted outcome (the hardware is SC)."""
+        from repro.mcm import sc_outcomes
+        for name in ("mp", "sb", "lb", "corr"):
+            test = suite_by_name()[name]
+            programs = compile_test(test)
+            sim = MultiVScaleSim()
+            for tid, words in enumerate(programs):
+                sim.load_program(tid, words)
+            sim.run_program()
+            regs = register_map(test)
+            locs = location_map(test)
+            observed = {}
+            for (tid, reg), arch in regs.items():
+                observed[(tid, reg)] = sim.reg(tid, arch)
+            for addr, byte in locs.items():
+                observed[(-1, addr)] = sim.mem(byte)
+            outcomes = sc_outcomes(test.program)
+            assert any(all(dict(o).get(k) == v for k, v in observed.items())
+                       for o in outcomes), (name, observed)
+
+    def test_store_values_materialized(self):
+        test = LitmusTest("t", ((W("x", 3),),), (((-1, "x"), 3),))
+        words = compile_test(test)[0]
+        assert words[0] == isa.li(1, 3)
+        assert words[1] == isa.sw(1, 0, 0)

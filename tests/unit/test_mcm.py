@@ -1,0 +1,167 @@
+"""ISA-level SC/TSO reference model tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcm import sc_outcomes, tso_outcomes
+from repro.mcm.events import R, W
+
+
+def outcome_present(outcomes, want):
+    return any(all(dict(o).get(k) == v for k, v in want.items()) for o in outcomes)
+
+
+MP = ((W("x", 1), W("y", 1)), (R("y", "r1"), R("x", "r2")))
+SB = ((W("x", 1), R("y", "r1")), (W("y", 1), R("x", "r2")))
+LB = ((R("x", "r1"), W("y", 1)), (R("y", "r2"), W("x", 1)))
+IRIW = ((W("x", 1),), (W("y", 1),),
+        (R("x", "r1"), R("y", "r2")), (R("y", "r3"), R("x", "r4")))
+
+
+class TestSc:
+    def test_mp_forbidden_outcome(self):
+        outs = sc_outcomes(MP)
+        assert not outcome_present(outs, {(1, "r1"): 1, (1, "r2"): 0})
+
+    def test_mp_allowed_outcomes(self):
+        outs = sc_outcomes(MP)
+        for r1, r2 in [(0, 0), (0, 1), (1, 1)]:
+            assert outcome_present(outs, {(1, "r1"): r1, (1, "r2"): r2})
+
+    def test_sb_forbidden(self):
+        assert not outcome_present(sc_outcomes(SB), {(0, "r1"): 0, (1, "r2"): 0})
+
+    def test_lb_forbidden(self):
+        assert not outcome_present(sc_outcomes(LB), {(0, "r1"): 1, (1, "r2"): 1})
+
+    def test_iriw_forbidden(self):
+        outs = sc_outcomes(IRIW)
+        assert not outcome_present(
+            outs, {(2, "r1"): 1, (2, "r2"): 0, (3, "r3"): 1, (3, "r4"): 0})
+
+    def test_final_memory_reported(self):
+        prog = ((W("x", 1),), (W("x", 2),))
+        outs = sc_outcomes(prog)
+        finals = {dict(o)[(-1, "x")] for o in outs}
+        assert finals == {1, 2}
+
+    def test_single_thread_is_deterministic(self):
+        prog = ((W("x", 1), R("x", "r1"), W("x", 2), R("x", "r2")),)
+        outs = sc_outcomes(prog)
+        assert len(outs) == 1
+        out = dict(next(iter(outs)))
+        assert out[(0, "r1")] == 1 and out[(0, "r2")] == 2 and out[(-1, "x")] == 2
+
+
+class TestTso:
+    def test_sb_relaxation_allowed(self):
+        assert outcome_present(tso_outcomes(SB), {(0, "r1"): 0, (1, "r2"): 0})
+
+    def test_mp_still_forbidden(self):
+        assert not outcome_present(tso_outcomes(MP), {(1, "r1"): 1, (1, "r2"): 0})
+
+    def test_lb_still_forbidden(self):
+        assert not outcome_present(tso_outcomes(LB), {(0, "r1"): 1, (1, "r2"): 1})
+
+    def test_store_forwarding(self):
+        # A thread reads its own buffered store before it drains.
+        prog = ((W("x", 7), R("x", "r1")),)
+        outs = tso_outcomes(prog)
+        values = {dict(o)[(0, "r1")] for o in outs}
+        assert values == {7}
+
+    def test_forwarding_newest_entry_wins(self):
+        prog = ((W("x", 1), W("x", 2), R("x", "r1")),)
+        values = {dict(o)[(0, "r1")] for o in tso_outcomes(prog)}
+        assert values == {2}
+
+
+# ---------------------------------------------------------------------------
+# Structural properties
+# ---------------------------------------------------------------------------
+@st.composite
+def random_program(draw):
+    num_threads = draw(st.integers(1, 3))
+    addrs = ["x", "y"]
+    threads = []
+    reg_counter = 0
+    for _ in range(num_threads):
+        length = draw(st.integers(1, 3))
+        accesses = []
+        for _ in range(length):
+            addr = draw(st.sampled_from(addrs))
+            if draw(st.booleans()):
+                accesses.append(W(addr, draw(st.integers(1, 2))))
+            else:
+                reg_counter += 1
+                accesses.append(R(addr, f"r{reg_counter}"))
+        threads.append(tuple(accesses))
+    return tuple(threads)
+
+
+class TestScSubsetOfTso:
+    @settings(max_examples=40, deadline=None)
+    @given(random_program())
+    def test_sc_outcomes_subset_of_tso(self, program):
+        sc = sc_outcomes(program)
+        tso = tso_outcomes(program)
+        assert sc <= tso
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_program())
+    def test_outcomes_nonempty_and_complete(self, program):
+        outs = sc_outcomes(program)
+        assert outs
+        # Every outcome assigns every load exactly once.
+        loads = {(tid, a.reg) for tid, t in enumerate(program)
+                 for a in t if a.kind == "R"}
+        for out in outs:
+            keys = {k for k, _ in out if k[0] >= 0}
+            assert keys == loads
+
+
+# ---------------------------------------------------------------------------
+# Axiomatic models (herd-style) vs the operational enumerators
+# ---------------------------------------------------------------------------
+from repro.mcm import axiomatic_sc_outcomes, axiomatic_tso_outcomes
+from repro.mcm.axiomatic import enumerate_candidates
+
+
+class TestAxiomaticModels:
+    def test_mp_forbidden_axiomatically(self):
+        outs = axiomatic_sc_outcomes(MP)
+        assert not outcome_present(outs, {(1, "r1"): 1, (1, "r2"): 0})
+
+    def test_sb_relaxation_tso_only(self):
+        assert not outcome_present(axiomatic_sc_outcomes(SB),
+                                   {(0, "r1"): 0, (1, "r2"): 0})
+        assert outcome_present(axiomatic_tso_outcomes(SB),
+                               {(0, "r1"): 0, (1, "r2"): 0})
+
+    def test_candidate_enumeration_counts(self):
+        # MP: two reads x {initial, 1 write} = 4 rf choices; co is fixed
+        # (one write per address).
+        candidates = list(enumerate_candidates(MP))
+        assert len(candidates) == 4
+
+    def test_fr_from_initial_read(self):
+        prog = ((R("x", "r1"),), (W("x", 1),))
+        for candidate in enumerate_candidates(prog):
+            if candidate.rf[0] is None:
+                # reading the initial value puts the read before the write
+                assert (0, 1) in candidate.fr_edges()
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_program())
+    def test_axiomatic_sc_equals_operational(self, program):
+        assert axiomatic_sc_outcomes(program) == sc_outcomes(program)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_program())
+    def test_axiomatic_tso_equals_operational(self, program):
+        assert axiomatic_tso_outcomes(program) == tso_outcomes(program)
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_program())
+    def test_axiomatic_sc_subset_of_tso(self, program):
+        assert axiomatic_sc_outcomes(program) <= axiomatic_tso_outcomes(program)

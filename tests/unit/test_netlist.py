@@ -1,0 +1,189 @@
+"""Netlist IR tests: validation, passes, copying, statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist import (
+    Const,
+    Netlist,
+    cone_of_influence,
+    eval_cell,
+    fold_constants,
+    mask,
+    support_wires,
+)
+
+
+def small_pipeline():
+    """a -> add1 -> reg1 -> add2 -> reg2; separate unrelated counter."""
+    nl = Netlist("p")
+    nl.add_input("a", 8)
+    for name in ("t1", "r1", "t2", "r2", "cnt_next", "cnt"):
+        nl.add_wire(name, 8)
+    nl.add_cell("add", ["a", Const(8, 1)], "t1")
+    nl.add_dff("r1ff", "t1", "r1", 8)
+    nl.add_cell("add", ["r1", Const(8, 2)], "t2")
+    nl.add_dff("r2ff", "t2", "r2", 8)
+    nl.add_cell("add", ["cnt", Const(8, 1)], "cnt_next")
+    nl.add_dff("cntff", "cnt_next", "cnt", 8)
+    nl.mark_output("r2")
+    return nl
+
+
+class TestValidation:
+    def test_valid_design_passes(self):
+        small_pipeline().validate()
+
+    def test_undriven_wire_rejected(self):
+        nl = Netlist()
+        nl.add_wire("floating", 4)
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+    def test_double_driver_rejected(self):
+        nl = Netlist()
+        nl.add_input("a", 1)
+        nl.add_wire("o", 1)
+        nl.add_cell("zext", ["a"], "o")
+        nl.add_cell("not", ["a"], "o")
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+    def test_width_mismatch_rejected(self):
+        nl = Netlist()
+        nl.add_input("a", 4)
+        nl.add_input("b", 8)
+        nl.add_wire("o", 4)
+        nl.add_cell("add", ["a", "b"], "o")
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+    def test_combinational_cycle_rejected(self):
+        nl = Netlist()
+        nl.add_wire("x", 1)
+        nl.add_wire("y", 1)
+        nl.add_cell("not", ["y"], "x")
+        nl.add_cell("not", ["x"], "y")
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+    def test_duplicate_wire_rejected(self):
+        nl = Netlist()
+        nl.add_wire("x", 1)
+        with pytest.raises(NetlistError):
+            nl.add_wire("x", 2)
+
+    def test_bad_slice_rejected(self):
+        nl = Netlist()
+        nl.add_input("a", 4)
+        nl.add_wire("o", 2)
+        nl.add_cell("slice", ["a"], "o", attrs={"lo": 3, "hi": 4})
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+
+class TestConeOfInfluence:
+    def test_unrelated_state_dropped(self):
+        nl = small_pipeline()
+        reduced = cone_of_influence(nl, ["r2"])
+        assert "r2" in reduced.wires
+        assert "r1" in reduced.wires
+        assert "cnt" not in reduced.wires
+
+    def test_cone_keeps_memory_write_cone(self):
+        nl = Netlist()
+        nl.add_input("we", 1)
+        nl.add_input("addr", 2)
+        nl.add_input("data", 8)
+        nl.add_wire("rd", 8)
+        nl.add_memory("mem", 8, 4)
+        nl.add_read_port("mem", "addr", "rd")
+        nl.add_write_port("mem", "addr", "data", "we")
+        nl.mark_output("rd")
+        reduced = cone_of_influence(nl, ["rd"])
+        assert "mem" in reduced.memories
+        assert "we" in reduced.inputs
+
+    def test_support_includes_roots(self):
+        nl = small_pipeline()
+        support = support_wires(nl, ["t1"])
+        assert "t1" in support and "a" in support
+
+
+class TestConstantFolding:
+    def test_folds_constant_chain(self):
+        nl = Netlist()
+        nl.add_wire("t1", 8)
+        nl.add_wire("t2", 8)
+        nl.add_wire("q", 8)
+        nl.add_cell("add", [Const(8, 3), Const(8, 4)], "t1")
+        nl.add_cell("mul", ["t1", Const(8, 2)], "t2")
+        nl.add_dff("qff", "t2", "q", 8)
+        folded = fold_constants(nl)
+        assert folded == 2
+        assert nl.dffs["qff"].d == Const(8, 14)
+        nl.validate()
+
+    def test_no_fold_with_free_inputs(self):
+        nl = small_pipeline()
+        assert fold_constants(nl) == 0
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        nl = small_pipeline()
+        clone = nl.copy()
+        clone.add_wire("extra", 1)
+        assert "extra" not in nl.wires
+        clone.cells[0].inputs[0] = Const(8, 0)
+        assert nl.cells[0].inputs[0] == "a"
+
+    def test_copy_preserves_stats(self):
+        nl = small_pipeline()
+        assert nl.copy().stats() == nl.stats()
+
+
+class TestStats:
+    def test_design_statistics(self, sim_netlist):
+        stats = sim_netlist.stats()
+        # Paper section 5.1 shape: 4-core design with registers & memories.
+        assert stats["registers"] == 4 * 9 + 6  # 9 per core + arbiter/dmem regs
+        assert stats["memories"] == 9           # 4 regfiles + 4 imems + dmem
+        assert stats["dff_bits"] > 0
+
+    def test_single_core_statistics(self, single_core_netlist):
+        stats = single_core_netlist.stats()
+        assert stats["registers"] == 9
+        assert stats["memories"] == 1  # the regfile
+
+
+class TestEvalCellProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_add_matches_python(self, a, b):
+        from repro.netlist import Cell
+        cell = Cell("c", "add", [], "o")
+        assert eval_cell(cell, [a, b], [8, 8], 8) == (a + b) & 0xFF
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_sub_matches_python(self, a, b):
+        from repro.netlist import Cell
+        cell = Cell("c", "sub", [], "o")
+        assert eval_cell(cell, [a, b], [8, 8], 8) == (a - b) & 0xFF
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 15))
+    def test_shifts_match_python(self, a, s):
+        from repro.netlist import Cell
+        shl = Cell("c", "shl", [], "o")
+        shr = Cell("c", "shr", [], "o")
+        assert eval_cell(shl, [a, s], [8, 4], 8) == (a << s) & 0xFF
+        assert eval_cell(shr, [a, s], [8, 4], 8) == a >> s
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 255))
+    def test_mask_idempotent(self, a):
+        assert mask(mask(a, 8), 8) == mask(a, 8)

@@ -1,0 +1,82 @@
+"""RTLCheck baseline and skew-tester unit tests (construction level;
+the slow solves live in tests/integration)."""
+
+import pytest
+
+from repro.errors import CheckError
+from repro.litmus import LitmusTest, suite_by_name
+from repro.mcm.events import R, W
+from repro.rtlcheck import ExhaustiveSkewTester, RtlCheckBaseline
+from repro.rtlcheck.baseline import _formal_config_for
+
+
+class TestProblemConstruction:
+    def test_two_thread_test_uses_two_core_config(self):
+        problem, horizon, config = RtlCheckBaseline(max_offset=1).build_problem(
+            suite_by_name()["mp"])
+        assert config.num_cores == 2
+        assert horizon > 10
+        problem.netlist.validate()
+        assert problem.assert_wires
+        assert len(problem.frozen_inputs) == 2  # one offset per thread
+
+    def test_four_thread_test_uses_four_core_config(self):
+        config = _formal_config_for(suite_by_name()["iriw"])
+        assert config.num_cores == 4
+
+    def test_memory_final_condition_probed(self):
+        test = LitmusTest("t", ((W("x", 1),), (W("x", 2),)), (((-1, "x"), 1),))
+        problem, _horizon, _config = RtlCheckBaseline(max_offset=0).build_problem(test)
+        problem.netlist.validate()
+
+    def test_offsets_bounded_by_assumptions(self):
+        problem, _h, _c = RtlCheckBaseline(max_offset=2).build_problem(
+            suite_by_name()["sb"])
+        # One bound assumption + one fetch-stream assumption per thread,
+        # plus idle-core NOP assumptions (none for a 2-thread/2-core run).
+        assert len(problem.assume_wires) == 4
+
+
+class TestSkewTester:
+    def test_run_counts(self):
+        tester = ExhaustiveSkewTester(max_skew=1)
+        result = tester.run_test(suite_by_name()["corw"])
+        assert result.runs == 2  # single thread, skews {0,1}
+        assert result.passed
+
+    def test_collects_multiple_outcomes(self):
+        # A racy single-location test: outcomes differ across skews.
+        test = LitmusTest(
+            "race",
+            ((W("x", 1),), (R("x", "r1"),)),
+            (((1, "r1"), 1),))
+        tester = ExhaustiveSkewTester(max_skew=3)
+        result = tester.run_test(test)
+        values = {dict(s)[(1, "r1")] for s in result.outcomes}
+        assert values == {0, 1}  # both orders arise across skews
+        assert result.outcome_observed
+
+    def test_formal_config_rejected(self):
+        from repro.designs import FORMAL_CONFIG
+        with pytest.raises(CheckError):
+            ExhaustiveSkewTester(FORMAL_CONFIG)
+
+    def test_too_many_threads_rejected(self):
+        test = LitmusTest(
+            "wide", tuple(((W("x", 1),),) * 5),
+            (((-1, "x"), 1),))
+        with pytest.raises(CheckError):
+            ExhaustiveSkewTester(max_skew=0).run_test(test)
+
+    def test_buggy_design_shows_undefined_store(self):
+        """End-to-end: the skew tester on the buggy design exposes the
+        section 6.1 bug architecturally when the program contains the
+        undefined encoding (this is how post-silicon testing might
+        stumble on it)."""
+        from repro.designs import DesignConfig, isa
+        from repro.designs.harness import MultiVScaleSim
+        sim = MultiVScaleSim(DesignConfig(buggy=True))
+        sim.load_program(0, [isa.li(1, 7), isa.sw_undefined(1, 0, 0)])
+        sim.load_program(1, [isa.NOP] * 6 + [isa.lw(2, 0, 0)])
+        sim.run_program()
+        assert sim.reg(1, 2) == 7  # another core observes the illegal store

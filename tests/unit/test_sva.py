@@ -1,0 +1,179 @@
+"""Monitor-circuit and SVA-template behaviour tests."""
+
+import pytest
+
+from repro.designs import FORMAL_CONFIG, LW_SW_ENCODINGS, multi_vscale_metadata
+from repro.errors import PropertyError
+from repro.formal import PropertyChecker, SafetyProblem
+from repro.netlist import Const, Netlist
+from repro.sim import Simulator
+from repro.sva import EventSpec, InstrSpec, MonitorContext, SvaFactory
+
+
+def blank_design():
+    """A tiny base design the monitors can attach to."""
+    nl = Netlist("base")
+    nl.add_input("reset", 1)
+    nl.add_input("x", 4)
+    nl.add_wire("x_reg", 4)
+    nl.add_dff("xff", "x", "x_reg", 4)
+    return nl
+
+
+def simulate_monitor(ctx, wire, stimulus):
+    """Run the monitor netlist on a stimulus; returns wire per cycle."""
+    sim = Simulator(ctx.netlist)
+    values = []
+    for frame in stimulus:
+        for name, value in frame.items():
+            sim.set_input(name, value)
+        values.append(sim.peek(wire))
+        sim.step()
+    return values
+
+
+class TestMonitorPrimitives:
+    def test_past(self):
+        ctx = MonitorContext(blank_design(), "t")
+        past_x = ctx.past("x")
+        out = simulate_monitor(ctx, past_x,
+                               [{"x": 3}, {"x": 7}, {"x": 1}])
+        assert out == [0, 3, 7]
+
+    def test_sticky_inclusive(self):
+        ctx = MonitorContext(blank_design(), "t")
+        hit = ctx.eq("x", Const(4, 5))
+        sticky = ctx.sticky(hit)
+        out = simulate_monitor(ctx, sticky,
+                               [{"x": 0}, {"x": 5}, {"x": 0}, {"x": 1}])
+        assert out == [0, 1, 1, 1]
+
+    def test_seen_strictly_before(self):
+        ctx = MonitorContext(blank_design(), "t")
+        hit = ctx.eq("x", Const(4, 5))
+        seen = ctx.seen_strictly_before(hit)
+        out = simulate_monitor(ctx, seen,
+                               [{"x": 5}, {"x": 0}, {"x": 0}])
+        assert out == [0, 1, 1]
+
+    def test_changed_detects_register_updates(self):
+        ctx = MonitorContext(blank_design(), "t")
+        change = ctx.changed("x_reg")
+        out = simulate_monitor(ctx, change,
+                               [{"x": 1}, {"x": 1}, {"x": 2}, {"x": 2}])
+        # x_reg: 0,1,1,2 -> changed at cycles 1 and 3
+        assert out == [0, 1, 0, 1]
+
+    def test_counter_saturates_and_clears(self):
+        ctx = MonitorContext(blank_design(), "t")
+        enable = ctx.eq("x", Const(4, 1))
+        clear = ctx.eq("x", Const(4, 15))
+        count = ctx.counter(enable, clear, width=3)
+        out = simulate_monitor(
+            ctx, count,
+            [{"x": 1}, {"x": 1}, {"x": 0}, {"x": 1}, {"x": 15}, {"x": 0}])
+        assert out == [0, 1, 2, 2, 3, 0]
+
+    def test_occupancy_automaton_excludes_revisits(self):
+        ctx = MonitorContext(blank_design(), "t")
+        pc_sym = ctx.symbolic_const("pc", 4)
+        ctx.assume_single_interval("x_reg", pc_sym)
+        problem = ctx.problem()
+        assert len(problem.assume_wires) == 1
+        assert pc_sym in problem.frozen_inputs
+
+    def test_mem_write_drive_value_sensitive(self):
+        nl = blank_design()
+        nl.add_input("we", 1)
+        nl.add_memory("m", 4, 4)
+        nl.add_write_port("m", Const(2, 0), "x", "we")
+        ctx = MonitorContext(nl, "t")
+        drive = ctx.mem_write_drive("m")
+        out = simulate_monitor(
+            ctx, drive,
+            [{"we": 1, "x": 3},   # writes 3 over 0 -> change
+             {"we": 1, "x": 3},   # writes 3 over 3 -> silent
+             {"we": 0, "x": 9},   # no write
+             {"we": 1, "x": 9}])  # writes 9 over 3 -> change
+        assert out == [1, 0, 0, 1]
+
+    def test_unknown_wire_rejected(self):
+        ctx = MonitorContext(blank_design(), "t")
+        with pytest.raises(PropertyError):
+            ctx.changed("nope")
+
+
+class TestFactoryStructure:
+    @pytest.fixture(scope="class")
+    def factory(self, formal_netlist):
+        return SvaFactory(formal_netlist, multi_vscale_metadata(FORMAL_CONFIG))
+
+    def test_a0_problem_shape(self, factory):
+        sw = LW_SW_ENCODINGS[0]
+        problem = factory.never_updates(
+            InstrSpec(0, sw), EventSpec("core_gen[0].core.wdata", 1))
+        assert len(problem.assert_wires) == 1
+        assert len(problem.assume_wires) == 3  # P0, P2, P3
+        assert len(problem.frozen_inputs) == 2  # pc0, i0
+        problem.netlist.validate()
+
+    def test_ordering_problem_tracks_two_instructions(self, factory):
+        sw, lw = LW_SW_ENCODINGS
+        problem = factory.ordering(
+            InstrSpec(0, sw), EventSpec("core_gen[0].core.inst_DX", 0),
+            InstrSpec(0, lw), EventSpec("core_gen[0].core.inst_DX", 0))
+        assert len(problem.frozen_inputs) == 4
+        # P0 x2, P2 x2, P3 x2, pc0 < pc1
+        assert len(problem.assume_wires) == 7
+
+    def test_relaxed_spec_accepts_any_encoding(self, factory):
+        problem = factory.ordering(
+            InstrSpec(0, None), EventSpec("core_gen[0].core.inst_DX", 0),
+            InstrSpec(0, None), EventSpec("core_gen[0].core.inst_DX", 0))
+        problem.netlist.validate()
+
+    def test_cross_core_po_rejected(self, factory):
+        sw, lw = LW_SW_ENCODINGS
+        with pytest.raises(PropertyError):
+            factory.ordering(
+                InstrSpec(0, sw), EventSpec("core_gen[0].core.inst_DX", 0),
+                InstrSpec(1, lw), EventSpec("core_gen[1].core.inst_DX", 0))
+
+    def test_attribution_problem(self, factory):
+        problem = factory.attribution(0)
+        assert problem.assert_wires
+        problem.netlist.validate()
+
+    def test_req_templates_build(self, factory):
+        for problem in (factory.req_rec(0), factory.req_proc(1)):
+            problem.netlist.validate()
+            assert len(problem.assert_wires) == 2
+
+
+class TestTemplateVerdicts:
+    """Fast single-property verdicts on the formal design (the deeper
+    end-to-end checks live in the integration tests)."""
+
+    @pytest.fixture(scope="class")
+    def factory(self, formal_netlist):
+        return SvaFactory(formal_netlist, multi_vscale_metadata(FORMAL_CONFIG))
+
+    @pytest.fixture(scope="class")
+    def checker(self):
+        return PropertyChecker(bound=10, max_k=2)
+
+    def test_a0_sw_never_updates_regfile(self, factory, checker):
+        sw = LW_SW_ENCODINGS[0]
+        verdict = checker.check(factory.never_updates(
+            InstrSpec(0, sw), EventSpec("core_gen[0].core.regfile", 2)))
+        assert verdict.proven
+
+    def test_a0_lw_updates_wdata(self, factory, checker):
+        lw = LW_SW_ENCODINGS[1]
+        verdict = checker.check(factory.never_updates(
+            InstrSpec(0, lw), EventSpec("core_gen[0].core.wdata", 1)))
+        assert verdict.refuted
+
+    def test_attribution_proven_on_fixed_design(self, factory, checker):
+        verdict = checker.check(factory.attribution(0))
+        assert verdict.status == "PROVEN"

@@ -1,0 +1,79 @@
+"""Trace formatting and VCD dumping tests."""
+
+import io
+
+from repro.formal.trace import Trace
+from repro.netlist import Const, Netlist
+from repro.sim import Simulator, VcdWriter
+
+
+class TestTraceFormatting:
+    def test_format_table(self):
+        trace = Trace({"a": [0, 1, 2], "b": [7, 7, 7]}, 3, fail_cycle=2)
+        text = trace.format()
+        assert "a" in text and "b" in text
+        assert "fails at cycle 2" in text
+
+    def test_format_hides_internal_wires(self):
+        trace = Trace({"clean": [0], "$mon$x": [1]}, 1)
+        text = trace.format()
+        assert "clean" in text
+        assert "$mon" not in text
+
+    def test_explicit_wire_selection(self):
+        trace = Trace({"a": [0], "b": [1]}, 1)
+        text = trace.format(wires=["b"])
+        assert "b" in text and "a  " not in text
+
+    def test_value_lookup(self):
+        trace = Trace({"x": [3, 4]}, 2)
+        assert trace.value("x", 1) == 4
+        assert trace.wires() == ["x"]
+
+
+def _counter_netlist():
+    nl = Netlist("c")
+    nl.add_input("en", 1)
+    nl.add_wire("n", 4)
+    nl.add_wire("q", 4)
+    nl.add_wire("inc", 4)
+    nl.add_cell("add", ["q", Const(4, 1)], "inc")
+    nl.add_cell("mux", ["en", "inc", "q"], "n")
+    nl.add_dff("qff", "n", "q", 4)
+    return nl
+
+
+class TestVcd:
+    def test_header_and_samples(self):
+        sim = Simulator(_counter_netlist())
+        buf = io.StringIO()
+        writer = VcdWriter(buf, sim, wires=["q", "en"])
+        sim.set_input("en", 1)
+        for _ in range(3):
+            writer.sample()
+            sim.step()
+        text = buf.getvalue()
+        assert "$enddefinitions" in text
+        assert "$var wire 4" in text
+        assert "#0" in text and "#2" in text
+        # Value changes recorded in binary format for vectors.
+        assert "b1 " in text
+
+    def test_unchanged_values_not_repeated(self):
+        sim = Simulator(_counter_netlist())
+        buf = io.StringIO()
+        writer = VcdWriter(buf, sim, wires=["en"])
+        sim.set_input("en", 0)
+        writer.sample()
+        sim.step()
+        writer.sample()
+        text = buf.getvalue()
+        # en is dumped once (initial 0) and not again.
+        ident = writer.ids["en"]
+        assert text.count(f"0{ident}") == 1
+
+    def test_default_wire_selection_skips_internals(self):
+        sim = Simulator(_counter_netlist())
+        buf = io.StringIO()
+        writer = VcdWriter(buf, sim)
+        assert all(not w.startswith("$") for w in writer.wires)

@@ -1,0 +1,82 @@
+"""Hand-written SC/TSO µspec models vs the operational ISA references."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.check import solve_observability
+from repro.litmus import LitmusTest, suite_by_name
+from repro.mcm import sc_outcomes, tso_outcomes
+from repro.mcm.events import R, W
+from repro.uspec import sc_model, tso_model
+
+from .test_mcm import random_program
+
+
+@pytest.fixture(scope="module")
+def sc():
+    return sc_model()
+
+
+@pytest.fixture(scope="module")
+def tso():
+    return tso_model()
+
+
+class TestClassicDiscrimination:
+    def test_sb_separates_the_models(self, sc, tso):
+        sb = suite_by_name()["sb"]
+        assert not solve_observability(sc, sb).observable
+        assert solve_observability(tso, sb).observable
+
+    @pytest.mark.parametrize("name", ["mp", "lb", "iriw", "wrc", "corr",
+                                      "corw", "cowr", "2+2w"])
+    def test_tso_still_forbids_non_sb_relaxations(self, tso, name):
+        assert not solve_observability(tso, suite_by_name()[name]).observable
+
+    def test_store_forwarding_required(self, tso):
+        # A load after its own store must see it (or something newer).
+        test = LitmusTest("fwd", ((W("x", 1), R("x", "r1")),), (((0, "r1"), 0),))
+        assert not solve_observability(tso, test).observable
+
+    def test_sb_rfi_allowed(self, tso):
+        # x86-TSO allows the SB shape with intervening reads of the own
+        # stores (the rfi edges impose no global ordering).
+        test = LitmusTest(
+            "sb+rfi",
+            ((W("x", 1), R("x", "r1"), R("y", "r2")),
+             (W("y", 1), R("y", "r3"), R("x", "r4"))),
+            (((0, "r1"), 1), ((0, "r2"), 0), ((1, "r3"), 1), ((1, "r4"), 0)))
+        assert solve_observability(tso, test).observable
+
+
+def _full_conditions(program):
+    loads = [(tid, a.reg) for tid, th in enumerate(program)
+             for a in th if a.kind == "R"]
+    for values in itertools.product((0, 1), repeat=len(loads)):
+        yield tuple((key, value) for key, value in zip(loads, values))
+
+
+class TestAgainstOperationalModels:
+    @settings(max_examples=12, deadline=None)
+    @given(random_program())
+    def test_sc_model_matches_reference(self, sc, program):
+        reference = sc_outcomes(program)
+        for condition in _full_conditions(program):
+            if not condition:
+                continue
+            test = LitmusTest("t", program, condition)
+            expected = any(test.outcome_matches(o) for o in reference)
+            assert solve_observability(sc, test).observable == expected
+
+    @settings(max_examples=12, deadline=None)
+    @given(random_program())
+    def test_tso_model_matches_reference(self, tso, program):
+        reference = tso_outcomes(program)
+        for condition in _full_conditions(program):
+            if not condition:
+                continue
+            test = LitmusTest("t", program, condition)
+            expected = any(test.outcome_matches(o) for o in reference)
+            assert solve_observability(tso, test).observable == expected

@@ -1,0 +1,112 @@
+"""Property test: random µspec formulas round-trip print -> parse."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uspec import (
+    AddEdge,
+    Axiom,
+    EdgeExists,
+    Exists,
+    Forall,
+    Implies,
+    Model,
+    Node,
+    Not,
+    Or,
+    And,
+    Pred,
+    format_model,
+    parse_model,
+)
+
+VARS = ("i1", "i2", "w")
+LOCS = ("IF_", "mgnode_0", "mem", "regfile")
+PREDS1 = ("IsAnyRead", "IsAnyWrite", "DataFromInitial")
+PREDS2 = ("SameCore", "ProgramOrder", "SamePA", "SameData", "SameMicroop")
+
+
+@st.composite
+def formula(draw, depth=0, bound_vars=()):
+    bound = list(bound_vars)
+    if not bound or (depth < 2 and draw(st.booleans())):
+        # Introduce a quantifier.
+        var = draw(st.sampled_from([v for v in VARS if v not in bound] or VARS))
+        kind = draw(st.sampled_from([Forall, Exists]))
+        body = draw(formula(depth=depth + 1, bound_vars=tuple(bound) + (var,)))
+        return kind(var, body)
+    choice = draw(st.integers(0, 5))
+    if choice == 0:
+        name = draw(st.sampled_from(PREDS1))
+        return Pred(name, (draw(st.sampled_from(bound)),))
+    if choice == 1 and len(bound) >= 2:
+        name = draw(st.sampled_from(PREDS2))
+        pair = draw(st.permutations(bound))[:2]
+        return Pred(name, tuple(pair))
+    if choice == 2:
+        src = Node(draw(st.sampled_from(bound)), draw(st.sampled_from(LOCS)))
+        dst = Node(draw(st.sampled_from(bound)), draw(st.sampled_from(LOCS)))
+        return AddEdge(src, dst)
+    if choice == 3 and depth < 3:
+        lhs = draw(formula(depth=depth + 1, bound_vars=bound_vars))
+        rhs = draw(formula(depth=depth + 1, bound_vars=bound_vars))
+        return Implies(lhs, rhs)
+    if choice == 4 and depth < 3:
+        parts = tuple(draw(formula(depth=depth + 1, bound_vars=bound_vars))
+                      for _ in range(draw(st.integers(2, 3))))
+        kind = draw(st.sampled_from([And, Or]))
+        return kind(parts)
+    if choice == 5 and depth < 3:
+        return Not(draw(formula(depth=depth + 1, bound_vars=bound_vars)))
+    return Pred("IsAnyRead", (draw(st.sampled_from(bound)),))
+
+
+def normalize(node):
+    if isinstance(node, AddEdge):
+        return ("edge", node.src, node.dst)
+    if isinstance(node, EdgeExists):
+        return ("edge?", node.src, node.dst)
+    if isinstance(node, Forall):
+        return ("forall", node.var, normalize(node.body))
+    if isinstance(node, Exists):
+        return ("exists", node.var, normalize(node.body))
+    if isinstance(node, Implies):
+        return ("=>", normalize(node.lhs), normalize(node.rhs))
+    if isinstance(node, And):
+        if len(node.parts) == 1:
+            return normalize(node.parts[0])
+        return ("and", tuple(normalize(p) for p in node.parts))
+    if isinstance(node, Or):
+        if len(node.parts) == 1:
+            return normalize(node.parts[0])
+        return ("or", tuple(normalize(p) for p in node.parts))
+    if isinstance(node, Not):
+        return ("not", normalize(node.body))
+    if isinstance(node, Pred):
+        return ("pred", node.name, node.args, node.attr)
+    return ("lit", type(node).__name__)
+
+
+@settings(max_examples=120, deadline=None)
+@given(formula())
+def test_random_formula_roundtrip(node):
+    model = Model("rt")
+    for loc in LOCS:
+        model.add_stage(loc)
+    model.axioms.append(Axiom("prop", node))
+    text = format_model(model)
+    parsed = parse_model(text)
+    assert len(parsed.axioms) == 1
+    assert normalize(parsed.axioms[0].formula) == normalize(node), text
+
+
+@settings(max_examples=40, deadline=None)
+@given(formula())
+def test_double_roundtrip_fixed_point(node):
+    model = Model("rt")
+    for loc in LOCS:
+        model.add_stage(loc)
+    model.axioms.append(Axiom("prop", node))
+    once = format_model(parse_model(format_model(model)))
+    twice = format_model(parse_model(once))
+    assert once == twice

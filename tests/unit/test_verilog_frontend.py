@@ -1,0 +1,241 @@
+"""Lexer, preprocessor, and parser tests for the Verilog frontend."""
+
+import pytest
+
+from repro.errors import LexError, ParseError, VerilogError
+from repro.verilog import parse, preprocess, tokenize
+from repro.verilog import ast as vast
+from repro.verilog.tokens import BASED, EOF, IDENT, KEYWORD, NUMBER, OP
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+class TestLexer:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("module foo_bar endmodule")
+        assert [t.kind for t in tokens[:-1]] == [KEYWORD, IDENT, KEYWORD]
+        assert tokens[-1].kind == EOF
+
+    def test_decimal_number(self):
+        token = tokenize("42")[0]
+        assert token.kind == NUMBER and token.int_value == 42
+
+    def test_underscored_number(self):
+        token = tokenize("1_000")[0]
+        assert token.int_value == 1000
+
+    @pytest.mark.parametrize("text,width,value", [
+        ("32'hdeadbeef", 32, 0xDEADBEEF),
+        ("8'b1010_1010", 8, 0xAA),
+        ("4'd9", 4, 9),
+        ("6'o17", 6, 0o17),
+        ("'b101", None, 5),
+        ("3'b111", 3, 7),
+    ])
+    def test_based_literals(self, text, width, value):
+        token = tokenize(text)[0]
+        assert token.kind == BASED
+        assert token.width == width
+        assert token.int_value == value
+
+    def test_based_literal_truncates_to_width(self):
+        token = tokenize("4'hff")[0]
+        assert token.int_value == 0xF
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a // comment\n/* block\ncomment */ b")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a <= b == c && d")
+        ops = [t.value for t in tokens if t.kind == OP]
+        assert ops == ["<=", "==", "&&"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_directive_rejected_without_preprocessing(self):
+        with pytest.raises(LexError):
+            tokenize("`define X 1")
+
+    def test_system_identifier(self):
+        tokens = tokenize("$display")
+        assert tokens[0].kind == IDENT and tokens[0].value == "$display"
+
+
+# ---------------------------------------------------------------------------
+# Preprocessor
+# ---------------------------------------------------------------------------
+class TestPreprocessor:
+    def test_define_and_use(self):
+        out = preprocess("`define W 8\nwire [`W-1:0] x;")
+        assert "wire [8-1:0] x;" in out
+
+    def test_nested_macros(self):
+        out = preprocess("`define A 1\n`define B `A + 1\nassign x = `B;")
+        assert "assign x = 1 + 1;" in out
+
+    def test_ifdef_taken(self):
+        out = preprocess("`define FAST 1\n`ifdef FAST\nfast\n`else\nslow\n`endif")
+        assert "fast" in out and "slow" not in out
+
+    def test_ifdef_not_taken(self):
+        out = preprocess("`ifdef MISSING\nfast\n`else\nslow\n`endif")
+        assert "slow" in out and "fast" not in out
+
+    def test_ifndef(self):
+        out = preprocess("`ifndef MISSING\nyes\n`endif")
+        assert "yes" in out
+
+    def test_nested_conditionals(self):
+        src = "`define A 1\n`ifdef A\n`ifdef B\nab\n`else\na_only\n`endif\n`endif"
+        out = preprocess(src)
+        assert "a_only" in out and "ab" not in out
+
+    def test_undef(self):
+        out = preprocess("`define X 1\n`undef X\n`ifdef X\ndefined\n`endif")
+        assert "defined" not in out
+
+    def test_backtick_in_comment_is_not_macro(self):
+        out = preprocess("// the `IFR register\nwire x;")
+        assert "wire x;" in out
+
+    def test_undefined_macro_raises(self):
+        with pytest.raises(VerilogError):
+            preprocess("assign x = `NOPE;")
+
+    def test_unbalanced_endif_raises(self):
+        with pytest.raises(VerilogError):
+            preprocess("`endif")
+
+    def test_unterminated_ifdef_raises(self):
+        with pytest.raises(VerilogError):
+            preprocess("`ifdef X\nfoo")
+
+    def test_defines_seed(self):
+        out = preprocess("`ifdef BUG\nbuggy\n`endif", defines={"BUG": "1"})
+        assert "buggy" in out
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+def parse_module(text):
+    source = parse(text)
+    assert len(source.modules) == 1
+    return next(iter(source.modules.values()))
+
+
+class TestParser:
+    def test_empty_module(self):
+        module = parse_module("module m(); endmodule")
+        assert module.name == "m"
+        assert module.ports == []
+
+    def test_ansi_ports(self):
+        module = parse_module(
+            "module m(input wire clk, input wire [7:0] a, output reg [3:0] b); endmodule")
+        assert [(p.name, p.direction, p.is_reg) for p in module.ports] == [
+            ("clk", "input", False), ("a", "input", False), ("b", "output", True)]
+
+    def test_parameters(self):
+        module = parse_module(
+            "module m #(parameter W = 8, parameter D = W*2)(input wire x); endmodule")
+        assert [p.name for p in module.params] == ["W", "D"]
+
+    def test_nonblocking_not_parsed_as_comparison(self):
+        module = parse_module(
+            "module m(input wire clk, input wire d, output reg q);\n"
+            "always @(posedge clk) q <= d;\nendmodule")
+        always = [i for i in module.items if isinstance(i, vast.AlwaysBlock)][0]
+        assign = always.body
+        assert isinstance(assign, vast.SAssign)
+        assert not assign.blocking
+
+    def test_case_statement(self):
+        module = parse_module(
+            "module m(input wire [1:0] s, output reg o);\n"
+            "always @(*) begin o = 1'b0; case (s) 2'd0: o = 1'b1; "
+            "2'd1, 2'd2: o = 1'b0; default: o = 1'b1; endcase end\nendmodule")
+        always = [i for i in module.items if isinstance(i, vast.AlwaysBlock)][0]
+        case = always.body.stmts[1]
+        assert isinstance(case, vast.SCase)
+        assert len(case.items) == 2
+        assert case.default is not None
+        assert len(case.items[1][0]) == 2  # two labels on one arm
+
+    def test_instance_with_params(self):
+        module = parse_module(
+            "module m(input wire c); sub #(.W(4)) u0 (.clk(c), .out()); endmodule")
+        inst = [i for i in module.items if isinstance(i, vast.Instance)][0]
+        assert inst.module == "sub" and inst.name == "u0"
+        assert "W" in inst.params
+        assert inst.ports["out"] is None
+
+    def test_generate_for(self):
+        module = parse_module(
+            "module m(input wire [3:0] a, output wire [3:0] b);\n"
+            "genvar i; generate for (i = 0; i < 4; i = i + 1) begin : g\n"
+            "assign b[i] = a[i]; end endgenerate endmodule")
+        gens = [i for i in module.items if isinstance(i, vast.GenFor)]
+        assert len(gens) == 1
+        assert gens[0].label == "g"
+
+    def test_ternary_chains(self):
+        module = parse_module(
+            "module m(input wire [1:0] s, input wire [3:0] a, output wire [3:0] o);\n"
+            "assign o = (s == 2'd0) ? a : (s == 2'd1) ? 4'd1 : 4'd2;\nendmodule")
+        assign = [i for i in module.items if isinstance(i, vast.ContAssign)][0]
+        assert isinstance(assign.value, vast.ETernary)
+
+    def test_concat_and_replication(self):
+        module = parse_module(
+            "module m(input wire [3:0] a, output wire [7:0] o, output wire [7:0] p);\n"
+            "assign o = {a, a};\nassign p = {2{a}};\nendmodule")
+        assigns = [i for i in module.items if isinstance(i, vast.ContAssign)]
+        assert isinstance(assigns[0].value, vast.EConcat)
+        assert isinstance(assigns[1].value, vast.ERepeat)
+
+    def test_indexed_part_select(self):
+        module = parse_module(
+            "module m(input wire [15:0] a, output wire [3:0] o);\n"
+            "assign o = a[4 +: 4];\nendmodule")
+        assign = [i for i in module.items if isinstance(i, vast.ContAssign)][0]
+        assert isinstance(assign.value, vast.ERange)
+
+    def test_memory_declaration(self):
+        module = parse_module(
+            "module m(input wire c); reg [31:0] mem [0:63]; endmodule")
+        decl = [i for i in module.items if isinstance(i, vast.NetDecl)][0]
+        assert decl.array_range is not None
+
+    def test_operator_precedence(self):
+        module = parse_module(
+            "module m(input wire [7:0] a, input wire [7:0] b, output wire o);\n"
+            "assign o = a + b == 8'd4 && a < b;\nendmodule")
+        expr = [i for i in module.items if isinstance(i, vast.ContAssign)][0].value
+        assert isinstance(expr, vast.EBinary) and expr.op == "&&"
+        assert isinstance(expr.lhs, vast.EBinary) and expr.lhs.op == "=="
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse("module m(input wire a) endmodule")
+
+    def test_always_latch_rejected(self):
+        with pytest.raises(ParseError):
+            parse("module m(input wire a); always_latch begin end endmodule")
+
+    def test_async_reset_rejected(self):
+        with pytest.raises(ParseError):
+            parse("module m(input wire clk, input wire rst, output reg q);\n"
+                  "always @(posedge clk or posedge rst) q <= 1'b0; endmodule")
+
+    def test_duplicate_module_rejected(self):
+        with pytest.raises(ParseError):
+            parse("module m(); endmodule module m(); endmodule")

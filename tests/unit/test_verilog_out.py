@@ -1,0 +1,111 @@
+"""Netlist -> Verilog back-emitter tests (round-trip co-simulation)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import Const, Netlist, write_verilog
+from repro.sim import Simulator
+from repro.verilog import compile_verilog
+
+
+def roundtrip(netlist, module="rt"):
+    return compile_verilog(write_verilog(netlist, module), module)
+
+
+def cosimulate(original, recompiled, cycles, seed, probes, settle=1):
+    rng = random.Random(seed)
+    sim1, sim2 = Simulator(original), Simulator(recompiled)
+    for t in range(cycles):
+        for name, width in original.inputs.items():
+            value = rng.getrandbits(width)
+            if name == "reset":
+                value = 1 if t == 0 else 0
+            sim1.set_input(name, value)
+            sim2.set_input(name, value)
+        if t >= settle:
+            for probe in probes:
+                assert sim1.peek(probe) == sim2.peek(probe), (t, probe)
+        sim1.step()
+        sim2.step()
+
+
+class TestSimpleRoundtrips:
+    def test_combinational(self):
+        nl = Netlist("c")
+        nl.add_input("a", 8)
+        nl.add_input("b", 8)
+        for name in ("s", "m", "cmp"):
+            nl.add_wire(name, 8 if name != "cmp" else 1)
+        nl.add_cell("add", ["a", "b"], "s")
+        nl.add_cell("mux", ["cmp", "a", "b"], "m")
+        nl.add_cell("lt", ["a", "b"], "cmp")
+        nl.mark_output("s")
+        nl.mark_output("m")
+        recompiled = roundtrip(nl)
+        cosimulate(nl, recompiled, 6, 11, ["s", "m", "cmp"], settle=0)
+
+    def test_sequential_with_memory(self):
+        nl = Netlist("m")
+        nl.add_input("we", 1)
+        nl.add_input("wa", 2)
+        nl.add_input("wd", 8)
+        nl.add_input("ra", 2)
+        nl.add_wire("rd", 8)
+        nl.add_wire("q", 8)
+        nl.add_memory("store", 8, 4)
+        nl.add_read_port("store", "ra", "rd")
+        nl.add_write_port("store", "wa", "wd", "we")
+        nl.add_dff("qff", "rd", "q", 8)
+        nl.mark_output("q")
+        recompiled = roundtrip(nl)
+        cosimulate(nl, recompiled, 10, 5, ["rd", "q"], settle=0)
+
+    def test_escaped_identifiers(self):
+        nl = Netlist("e")
+        nl.add_input("core_gen[0].x", 4)
+        nl.add_wire("core_gen[0].core.$t", 4)
+        nl.add_cell("add", ["core_gen[0].x", Const(4, 1)], "core_gen[0].core.$t")
+        nl.mark_output("core_gen[0].core.$t")
+        recompiled = roundtrip(nl)
+        sim = Simulator(recompiled)
+        sim.set_input("core_gen[0].x", 3)
+        assert sim.peek("core_gen[0].core.$t") == 4
+
+    def test_write_port_priority_preserved(self):
+        nl = Netlist("p")
+        nl.add_input("we", 1)
+        nl.add_input("d1", 4)
+        nl.add_input("d2", 4)
+        nl.add_wire("rd", 4)
+        nl.add_memory("store", 4, 2)
+        nl.add_read_port("store", Const(1, 0), "rd")
+        nl.add_write_port("store", Const(1, 0), "d1", "we")
+        nl.add_write_port("store", Const(1, 0), "d2", "we")
+        nl.mark_output("rd")
+        recompiled = roundtrip(nl)
+        for netlist in (nl, recompiled):
+            sim = Simulator(netlist)
+            sim.set_input("we", 1)
+            sim.set_input("d1", 1)
+            sim.set_input("d2", 2)
+            sim.step()
+            assert sim.peek("rd") == 2  # later port wins
+
+
+class TestDesignRoundtrips:
+    def test_formal_multi_vscale_roundtrip(self, formal_netlist):
+        recompiled = roundtrip(formal_netlist, "mv")
+        cosimulate(formal_netlist, recompiled, 8, 23, [
+            "mem_req_valid", "mem_req_core", "the_mem.r_addr",
+            "core_gen[0].core.inst_DX", "core_gen[1].core.PC_WB",
+            "resp_data",
+        ])
+
+    def test_emitted_text_is_flat_verilog(self, formal_netlist):
+        text = write_verilog(formal_netlist, "mv")
+        assert text.count("module ") == 1
+        assert "endmodule" in text
+        assert "always @(posedge clk)" in text
