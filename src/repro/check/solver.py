@@ -14,11 +14,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import CheckError
 from ..litmus import LitmusTest
-from ..sat import SAT, UNSAT, Solver
+from ..sat import UNSAT, Solver
 from ..uspec import ast as U
 from .evaluator import ModelEvaluator, UhbEdge, UhbNode, _Unsatisfiable
 from .instance import GroundContext

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 from . import __version__
@@ -34,7 +33,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         checker = CachingPropertyChecker(checker, cache, need_traces=True)
     candidates = args.candidates.split(",") if args.candidates else None
     result = synthesize_uspec(buggy=args.buggy, checker=checker,
-                              candidate_filter=candidates)
+                              candidate_filter=candidates, jobs=args.jobs)
     from .core import full_report
     print(full_report(result))
     text = format_model(result.model)
@@ -43,8 +42,10 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     print(f"\nuspec model written to {args.output}")
     if cache is not None:
         cache.save()
-        print(f"verdict cache: {cache.hits} hits, {cache.misses} misses "
-              f"({len(cache)} entries in {args.cache})")
+        stats = cache.stats()
+        print(f"verdict cache: {stats['hits']} hits, {stats['misses']} misses, "
+              f"{stats['trace_reruns']} trace re-runs "
+              f"({stats['entries']} entries in {args.cache})")
     return 0
 
 
@@ -97,7 +98,7 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from .designs import DesignConfig
-    from .litmus import compile_test, location_map, register_map, suite_by_name
+    from .litmus import suite_by_name
     from .rtlcheck import ExhaustiveSkewTester
 
     test = suite_by_name()[args.test]
@@ -163,6 +164,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="comma-separated state elements to restrict analysis")
     p_synth.add_argument("--cache", default="",
                          help="verdict-cache JSON file (repeat runs become fast)")
+    p_synth.add_argument("-j", "--jobs", type=int, default=0,
+                         help="parallel SVA discharge workers "
+                              "(default: all cores; 1 = serial)")
     p_synth.set_defaults(func=_cmd_synth)
 
     p_check = sub.add_parser("check", help="verify litmus tests against a model")

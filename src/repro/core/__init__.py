@@ -6,6 +6,14 @@ a Verilog design plus modest designer metadata (paper sections 3-4).
 
 from .merging import MergePlan, merge_nodes
 from .metadata import DesignMetadata, InstructionEncoding, RequestResponseInterface
+from .obligations import (
+    ALWAYS,
+    ObligationGraph,
+    OrderingChain,
+    SvaObligation,
+    build_problem,
+    gate_allows,
+)
 from .report import PAPER_FIG5, fig5_table, full_report
 from .records import (
     CATEGORIES,
@@ -32,6 +40,12 @@ __all__ = [
     "PhaseTiming",
     "SynthesisStats",
     "MergePlan",
+    "ObligationGraph",
+    "SvaObligation",
+    "OrderingChain",
+    "ALWAYS",
+    "gate_allows",
+    "build_problem",
     "fig5_table",
     "full_report",
     "PAPER_FIG5",

@@ -31,10 +31,8 @@ from ..uspec import (
     Not,
     Or,
     Pred,
-    TrueF,
 )
 from .merging import MergePlan
-from .records import DATAFLOW, SPATIAL, TEMPORAL
 
 if TYPE_CHECKING:  # pragma: no cover
     from .synthesizer import Rtl2Uspec

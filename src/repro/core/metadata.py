@@ -14,7 +14,7 @@ placeholder where the core index goes, e.g.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 from ..errors import MetadataError
 from ..netlist import Netlist

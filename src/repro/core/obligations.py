@@ -1,0 +1,203 @@
+"""Explicit SVA discharge obligations (the plan half of plan/execute).
+
+The synthesis procedure used to interleave hypothesis enumeration with
+property checking: build a lambda, call the checker, branch on the
+verdict.  That shape forces serial discharge even though the paper's
+own evaluation (122 SVAs at 3.34 s each) notes the properties are
+largely independent.  This module makes the obligation structure
+explicit instead:
+
+* :class:`SvaObligation` — one schedulable property check: a dedup
+  *signature*, a Fig.-5 *category*, a picklable *builder* reference
+  (an :mod:`repro.sva.builders` registry name plus positional args),
+  scheduling dependencies (``after``), and a *gate* — a small data
+  predicate over earlier verdicts that decides whether the obligation
+  runs at all.
+* :class:`ObligationGraph` — an insertion-ordered, signature-deduped
+  collection of obligations.  Hypotheses that share a signature share
+  one obligation (and hence one SVA evaluation), replacing the old
+  ad-hoc ``_sva_cache`` dict.
+
+Gates encode the paper's section-6.2 relaxed optimization and the
+fwd→inv ordering chain as *data* rather than inline control flow:
+
+* ``("always",)`` — unconditional.
+* ``("unproven", sig)`` — run only if ``sig`` did not produce a proof
+  (a skipped obligation counts as unproven).
+* ``("all-unproven", (sig, ...))`` — every listed signature unproven.
+* ``("any-refuted", (sig, ...))`` — at least one listed signature was
+  executed and refuted.
+
+Because gates and dependencies are plain tuples over signatures, the
+graph is picklable and the execution engine
+(:class:`repro.formal.scheduler.DischargeScheduler`) can batch
+independent obligations onto a process pool without understanding any
+synthesis semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..errors import SynthesisError
+
+#: The unconditional gate.
+ALWAYS: Tuple = ("always",)
+
+
+def gate_allows(gate: Tuple, verdicts: Mapping[Tuple, object]) -> bool:
+    """Evaluate a gate against a verdict map.
+
+    ``verdicts`` maps signatures to :class:`repro.formal.Verdict`-like
+    objects (must expose ``proven``/``refuted``); a signature that was
+    skipped or never scheduled is simply absent and counts as
+    *unproven* and *not refuted*.
+    """
+    kind = gate[0]
+    if kind == "always":
+        return True
+    if kind == "unproven":
+        verdict = verdicts.get(gate[1])
+        return verdict is None or not verdict.proven
+    if kind == "all-unproven":
+        return all(gate_allows(("unproven", sig), verdicts) for sig in gate[1])
+    if kind == "any-refuted":
+        for sig in gate[1]:
+            verdict = verdicts.get(sig)
+            if verdict is not None and verdict.refuted:
+                return True
+        return False
+    raise SynthesisError(f"unknown obligation gate {gate!r}")
+
+
+@dataclass(frozen=True)
+class SvaObligation:
+    """One schedulable SVA discharge work item."""
+
+    #: dedup key; hypotheses sharing it share this obligation's verdict
+    signature: Tuple
+    #: Fig.-5 category of the SVA (``intra`` / ``spatial`` / ...)
+    category: str
+    #: builder name in the :mod:`repro.sva.builders` registry
+    builder: str
+    #: positional, picklable arguments for the builder
+    args: Tuple = ()
+    #: signatures that must be resolved (decided or skipped) first
+    after: Tuple[Tuple, ...] = ()
+    #: data predicate over earlier verdicts; False at resolve time
+    #: means the obligation is skipped (no SVA is evaluated)
+    gate: Tuple = ALWAYS
+
+    def build(self, factory):
+        """Construct this obligation's :class:`SafetyProblem`."""
+        return build_problem(factory, self.builder, self.args)
+
+
+def build_problem(factory, builder: str, args: Tuple):
+    """Dispatch a builder-registry name against an :class:`SvaFactory`.
+
+    Imported lazily so this module stays import-cycle-free (it is used
+    from both ``repro.core`` and ``repro.formal`` worker processes).
+    """
+    from ..sva.builders import BUILDERS
+    try:
+        build = BUILDERS[builder]
+    except KeyError:
+        raise SynthesisError(f"unknown SVA builder {builder!r}") from None
+    return build(factory, *args)
+
+
+@dataclass
+class OrderingChain:
+    """The fallback chain of one ordering hypothesis (section 6.2).
+
+    ``fwd_any``/``inv_any`` are the relaxed any-instruction-pair
+    signatures (``None`` when relaxation is disabled); ``fwd_enc``/
+    ``inv_enc`` the per-encoding fallbacks.  Later links are gated on
+    the earlier ones failing to prove, so a chain resolves with the
+    minimum number of SVA evaluations.
+    """
+
+    fwd_enc: Tuple
+    inv_enc: Tuple
+    fwd_any: Optional[Tuple] = None
+    inv_any: Optional[Tuple] = None
+
+    def resolve(self, verdicts: Mapping[Tuple, object]) -> str:
+        """consistent / inconsistent / unordered, given the verdicts."""
+        def proven(sig: Optional[Tuple]) -> bool:
+            if sig is None:
+                return False
+            verdict = verdicts.get(sig)
+            return verdict is not None and verdict.proven
+        if proven(self.fwd_any):
+            return "consistent"
+        if proven(self.inv_any):
+            return "inconsistent"
+        if proven(self.fwd_enc):
+            return "consistent"
+        if proven(self.inv_enc):
+            return "inconsistent"
+        return "unordered"
+
+
+class ObligationGraph:
+    """Insertion-ordered, signature-deduped obligation collection."""
+
+    def __init__(self) -> None:
+        self._obligations: Dict[Tuple, SvaObligation] = {}
+        #: number of add() calls that hit an existing signature
+        self.dedup_hits = 0
+
+    def add(self, obligation: SvaObligation) -> SvaObligation:
+        """Add an obligation; a duplicate signature returns the first
+        registration (the shared-SVA semantics of the old cache)."""
+        existing = self._obligations.get(obligation.signature)
+        if existing is not None:
+            self.dedup_hits += 1
+            return existing
+        self._obligations[obligation.signature] = obligation
+        return obligation
+
+    def __len__(self) -> int:
+        return len(self._obligations)
+
+    def __iter__(self) -> Iterator[SvaObligation]:
+        return iter(self._obligations.values())
+
+    def __contains__(self, signature: Tuple) -> bool:
+        return signature in self._obligations
+
+    def get(self, signature: Tuple) -> Optional[SvaObligation]:
+        return self._obligations.get(signature)
+
+    def signatures(self) -> List[Tuple]:
+        return list(self._obligations)
+
+    def ready(self, resolved) -> List[SvaObligation]:
+        """Obligations whose dependencies are all resolved (decided or
+        skipped) and that are not themselves resolved yet, in insertion
+        order."""
+        out = []
+        for obligation in self._obligations.values():
+            if obligation.signature in resolved:
+                continue
+            if all(dep in resolved for dep in obligation.after):
+                out.append(obligation)
+        return out
+
+    def validate(self) -> None:
+        """Reject graphs whose dependencies can never resolve (unknown
+        signatures or dependency cycles)."""
+        resolved = set()
+        while True:
+            batch = [ob for ob in self.ready(resolved)]
+            if not batch:
+                break
+            resolved.update(ob.signature for ob in batch)
+        unresolved = [sig for sig in self._obligations if sig not in resolved]
+        if unresolved:
+            raise SynthesisError(
+                "obligation graph has unresolvable dependencies (cycle or "
+                f"unknown signature) involving: {unresolved[:5]!r}")

@@ -8,7 +8,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List
 
-from .records import CATEGORIES
 
 if TYPE_CHECKING:  # pragma: no cover
     from .synthesizer import SynthesisResult

@@ -15,6 +15,18 @@ Orchestrates the full flow of Fig. 2:
    soundness for remote state (4.3.3-4.3.4).
 5. Node merging and µspec emission (4.4).
 
+Discharge follows a **plan/execute** architecture.  Hypothesis
+enumeration is pure and fast: each synthesis phase *plans* by emitting
+:class:`SvaObligation` work items into an :class:`ObligationGraph` —
+with the section-6.2 relaxed optimization and the fwd→inv ordering
+fallbacks expressed as obligation gates/dependencies rather than
+inline control flow.  A :class:`repro.formal.DischargeScheduler` then
+*executes* the graph (serially, or on a process pool with ``jobs>1``),
+and the phases *consume* the resulting verdict map to build HBI
+records, statistics, and the per-instruction DFGs.  ``jobs=1``
+reproduces the historical serial discharge exactly; any ``jobs``
+setting yields the same verdicts and a byte-identical model.
+
 Two design variants are used: the *sim* variant (with instruction
 memories) supplies the DFG and stage labels; the *formal* variant
 (instruction fetch cut to free inputs) carries the property proofs.
@@ -31,13 +43,20 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..dfg import Dfg, StageLabels, full_design_dfg, label_stages
 from ..errors import SynthesisError
-from ..formal import PropertyChecker, Verdict
+from ..formal import PropertyChecker
+from ..formal.scheduler import DischargeScheduler, DischargeStats
 from ..netlist import Netlist
 from ..sva import EventSpec, InstrSpec, SvaFactory
 from ..uspec import Model
 from .emitter import emit_model
 from .merging import MergePlan, merge_nodes
 from .metadata import DesignMetadata, InstructionEncoding
+from .obligations import (
+    ALWAYS,
+    ObligationGraph,
+    OrderingChain,
+    SvaObligation,
+)
 from .records import (
     DATAFLOW,
     INTERFACE,
@@ -67,6 +86,7 @@ class SynthesisResult:
     accessed: Dict[str, Set[str]]
     merge_plan: MergePlan
     bug_reports: List[SvaRecord] = field(default_factory=list)
+    discharge_stats: Optional[DischargeStats] = None
 
     @property
     def total_seconds(self) -> float:
@@ -107,6 +127,9 @@ class SynthesisResult:
         lines.append(f"  proof coverage: {coverage['proven']} proven, "
                      f"{coverage['proven_bounded']} bounded, "
                      f"{coverage['refuted']} refuted (100% decided)")
+        if self.discharge_stats is not None:
+            for line in self.discharge_stats.summary().splitlines():
+                lines.append(f"  {line}")
         if self.bug_reports:
             lines.append(f"  !! {len(self.bug_reports)} refuted interface "
                          f"soundness SVA(s) — see bug_reports")
@@ -114,7 +137,13 @@ class SynthesisResult:
 
 
 class Rtl2Uspec:
-    """Synthesizes a µspec model from a (sim, formal) netlist pair."""
+    """Synthesizes a µspec model from a (sim, formal) netlist pair.
+
+    ``jobs`` controls property-discharge parallelism: 1 (the default)
+    executes obligations inline exactly as the historical serial flow
+    did; N>1 fans independent obligations out to a process pool; 0 or
+    ``None`` means ``os.cpu_count()``.
+    """
 
     def __init__(self, sim_netlist: Netlist, formal_netlist: Netlist,
                  metadata: DesignMetadata,
@@ -122,7 +151,8 @@ class Rtl2Uspec:
                  formal_cores: int = 2,
                  progress_horizon: Optional[int] = None,
                  relaxed: bool = True,
-                 candidate_filter: Optional[Sequence[str]] = None):
+                 candidate_filter: Optional[Sequence[str]] = None,
+                 jobs: int = 1):
         metadata.validate(sim_netlist)
         self.sim_netlist = sim_netlist
         self.formal_netlist = formal_netlist
@@ -133,12 +163,14 @@ class Rtl2Uspec:
         self.relaxed = relaxed
         self.progress_horizon = progress_horizon or (metadata.num_cores + 6)
         self.candidate_filter = set(candidate_filter) if candidate_filter else None
+        self.scheduler = DischargeScheduler(self.checker, self.factory, jobs=jobs)
         # State populated during synthesis:
         self.sva_records: List[SvaRecord] = []
         self.hbi_records: List[HbiRecord] = []
         self.stats = SynthesisStats()
-        self._sva_cache: Dict[Tuple, SvaRecord] = {}
         self.iface = metadata.interfaces[0] if metadata.interfaces else None
+        #: signature -> SvaRecord for every executed obligation
+        self._verdicts: Dict[Tuple, SvaRecord] = {}
 
     # ------------------------------------------------------------------
     # Helpers
@@ -162,17 +194,25 @@ class Rtl2Uspec:
         kind = self.classify(state)
         return EventSpec(state, stage, kind=kind)
 
-    def _check(self, category: str, signature: Tuple, build) -> SvaRecord:
-        """Evaluate an SVA (cached by signature) and record it."""
-        if signature in self._sva_cache:
-            return self._sva_cache[signature]
-        problem = build()
-        verdict = self.checker.check(problem)
-        record = SvaRecord(problem.name, category, verdict, signature)
-        self._sva_cache[signature] = record
-        self.sva_records.append(record)
-        self.stats.record_sva(record)
-        return record
+    def _discharge(self, graph: ObligationGraph) -> None:
+        """Execute one obligation graph and fold the verdicts into the
+        synthesis record state (phase B of plan/execute)."""
+        known = {sig: record.verdict for sig, record in self._verdicts.items()}
+        for obligation, verdict in self.scheduler.discharge(graph, known=known):
+            record = SvaRecord(verdict.name, obligation.category, verdict,
+                              obligation.signature)
+            self._verdicts[obligation.signature] = record
+            self.sva_records.append(record)
+            self.stats.record_sva(record)
+
+    def _record(self, signature: Tuple) -> SvaRecord:
+        """Verdict lookup for consumers; missing = planner/consumer bug."""
+        try:
+            return self._verdicts[signature]
+        except KeyError:
+            raise SynthesisError(
+                f"no verdict for obligation {signature!r}; the discharge "
+                "plan and its consumer disagree") from None
 
     # ------------------------------------------------------------------
     # Phase 1+2: DFG and stage labels
@@ -212,21 +252,48 @@ class Rtl2Uspec:
         return out
 
     # ------------------------------------------------------------------
-    # Phase 3: intra-instruction HBIs
+    # Phase 3: intra-instruction HBIs (plan / consume)
     # ------------------------------------------------------------------
-    def _synthesize_intra(self) -> None:
+    def _plan_intra(self, graph: ObligationGraph) -> None:
+        """Emit the A0 obligations plus A1 obligations gated on at least
+        one A0 refutation reaching the A1's PCR stage."""
+        self._intra_candidates = self._candidates()
+        for enc in self.md.encodings:
+            for state, stage in self._intra_candidates:
+                graph.add(SvaObligation(
+                    signature=("a0", enc.name, state),
+                    category=INTRA,
+                    builder="never_updates",
+                    args=(InstrSpec(0, enc), self._event_spec(state, stage))))
+            # A1 forward progress through each occupied PCR stage: one
+            # obligation per PCR index, executed only if some candidate
+            # state mapping to that index was refuted (= accessed).
+            groups: Dict[int, List[Tuple]] = {}
+            for state, stage in self._intra_candidates:
+                if stage - 1 >= len(self.md.pcr):
+                    continue
+                pcr_index = min(stage, len(self.md.pcr) - 1)
+                groups.setdefault(pcr_index, []).append(("a0", enc.name, state))
+            for pcr_index in sorted(groups):
+                watched = tuple(groups[pcr_index])
+                graph.add(SvaObligation(
+                    signature=("a1", enc.name, pcr_index),
+                    category=INTRA,
+                    builder="progress",
+                    args=(InstrSpec(0, enc), pcr_index, self.progress_horizon),
+                    after=watched,
+                    gate=("any-refuted", watched)))
+
+    def _consume_intra(self) -> None:
+        """Fold A0/A1 verdicts into updated/accessed sets, hypothesis
+        statistics, and the per-instruction DFGs."""
         self.updated: Dict[str, Set[str]] = {}
         self.accessed: Dict[str, Set[str]] = {}
-        candidates = self._candidates()
         for enc in self.md.encodings:
             updated: Set[str] = set()
             accessed: Set[str] = set()
-            for state, stage in candidates:
-                signature = ("a0", enc.name, state)
-                record = self._check(
-                    INTRA, signature,
-                    lambda e=enc, s=state, st=stage: self.factory.never_updates(
-                        InstrSpec(0, e), self._event_spec(s, st)))
+            for state, stage in self._intra_candidates:
+                record = self._record(("a0", enc.name, state))
                 kind = self.classify(state)
                 graduated = record.verdict.refuted
                 # A0 hypotheses are one per core (symmetric cores).
@@ -245,11 +312,7 @@ class Rtl2Uspec:
                                  if self.labels.stage_of(s) - 1 < len(self.md.pcr)})
             for stage in stages_hit:
                 pcr_index = min(stage, len(self.md.pcr) - 1)
-                signature = ("a1", enc.name, pcr_index)
-                record = self._check(
-                    INTRA, signature,
-                    lambda e=enc, st=pcr_index: self.factory.progress(
-                        InstrSpec(0, e), st, self.progress_horizon))
+                record = self._record(("a1", enc.name, pcr_index))
                 self.stats.record_hypothesis(
                     INTRA, "local", record.verdict.proven, count=self.md.num_cores)
             self.updated[enc.name] = updated
@@ -273,87 +336,95 @@ class Rtl2Uspec:
             self.parents_only[enc.name] = (parents - updated) & set(self.labels.stages)
 
     # ------------------------------------------------------------------
-    # Phase 4: inter-instruction HBIs
+    # Phase 4: inter-instruction HBIs (plan / consume)
     # ------------------------------------------------------------------
-    def _ordering_verdicts(self, sig0: Tuple[str, int], sig1: Tuple[str, int],
-                           category: str,
-                           enc0: Optional[InstructionEncoding],
-                           enc1: Optional[InstructionEncoding],
-                           rep_state0: str, rep_state1: str) -> str:
-        """Run the fwd (and if needed inv) ordering SVAs for a same-core
-        event-signature pair; returns consistent/inconsistent/unordered.
+    def _plan_ordering(self, graph: ObligationGraph,
+                       sig0: Tuple[str, int], sig1: Tuple[str, int],
+                       category: str,
+                       enc0: Optional[InstructionEncoding],
+                       enc1: Optional[InstructionEncoding],
+                       rep_state0: str, rep_state1: str) -> OrderingChain:
+        """Plan the fwd/inv ordering SVA chain for a same-core
+        event-signature pair.
 
-        The relaxed optimization first proves the property for arbitrary
-        instruction pairs (enc=None); only if that fails does it fall
-        back to the per-type encodings (section 6.2).
+        The relaxed optimization (section 6.2) becomes an explicit
+        fallback chain: the arbitrary-instruction-pair forward SVA runs
+        unconditionally; the inverted and per-encoding variants are
+        gated on every earlier link failing to prove.  Ordering events
+        depend only on (stage, kind) — local events observe the stage's
+        PCR, remote events the interface — so hypotheses over different
+        state elements in the same stages dedup onto one obligation.
+        This is why the paper's structural SVA count scales with
+        pipeline stages, not state elements (4.3.3).
         """
         kinds = (self.classify(rep_state0), self.classify(rep_state1))
 
-        def run(e0, e1, inverted):
+        def plan(e0, e1, inverted, after=(), gate=ALWAYS):
             tag0 = e0.name if e0 else "any"
             tag1 = e1.name if e1 else "any"
-            # Ordering events depend only on (stage, kind) — local events
-            # observe the stage's PCR, remote events the interface — so
-            # hypotheses over different state elements in the same stages
-            # share one SVA. This is why the paper's structural SVA count
-            # scales with pipeline stages, not state elements (4.3.3).
             signature = ("order", sig0[1], kinds[0], sig1[1], kinds[1],
                          tag0, tag1, inverted)
-            return self._check(
-                category, signature,
-                lambda: self.factory.ordering(
-                    InstrSpec(0, e0), EventSpec(rep_state0, sig0[1], kind=kinds[0]),
-                    InstrSpec(0, e1), EventSpec(rep_state1, sig1[1], kind=kinds[1]),
-                    inverted=inverted))
+            graph.add(SvaObligation(
+                signature=signature, category=category, builder="ordering",
+                args=(InstrSpec(0, e0), EventSpec(rep_state0, sig0[1], kind=kinds[0]),
+                      InstrSpec(0, e1), EventSpec(rep_state1, sig1[1], kind=kinds[1]),
+                      inverted),
+                after=after, gate=gate))
+            return signature
 
         if self.relaxed:
-            fwd = run(None, None, False)
-            if fwd.proven:
-                return "consistent"
-            inv = run(None, None, True)
-            if inv.proven:
-                return "inconsistent"
-        fwd = run(enc0, enc1, False)
-        if fwd.proven:
-            return "consistent"
-        inv = run(enc0, enc1, True)
-        if inv.proven:
-            return "inconsistent"
-        return "unordered"
+            fwd_any = plan(None, None, False)
+            inv_any = plan(None, None, True, after=(fwd_any,),
+                           gate=("unproven", fwd_any))
+            fwd_enc = plan(enc0, enc1, False, after=(fwd_any, inv_any),
+                           gate=("all-unproven", (fwd_any, inv_any)))
+            inv_enc = plan(enc0, enc1, True, after=(fwd_any, inv_any, fwd_enc),
+                           gate=("all-unproven", (fwd_any, inv_any, fwd_enc)))
+            return OrderingChain(fwd_enc, inv_enc, fwd_any, inv_any)
+        fwd_enc = plan(enc0, enc1, False)
+        inv_enc = plan(enc0, enc1, True, after=(fwd_enc,),
+                       gate=("unproven", fwd_enc))
+        return OrderingChain(fwd_enc, inv_enc)
 
     def _same_core_pairs(self):
         for enc0 in self.md.encodings:
             for enc1 in self.md.encodings:
                 yield enc0, enc1
 
-    def _synthesize_spatial(self) -> None:
+    def _plan_spatial(self, graph: ObligationGraph) -> None:
         """Common updated state elements between DFG pairs (4.3.1)."""
+        self._pending_spatial: List[Tuple] = []
         for enc0, enc1 in self._same_core_pairs():
             # The resource's spatial dependencies cover *accesses* (reads
             # are serialized by the single port too, section 3.3.1).
             common = self._touched(enc0) & self._touched(enc1)
             for state in sorted(common):
                 stage = self.labels.stage_of(state)
-                scope = self.scope_of(state)
-                kind = self.classify(state)
-                # Same-core pairs: reference order = program order.
-                order = self._ordering_verdicts(
-                    (state, stage), (state, stage), SPATIAL,
+                chain = self._plan_ordering(
+                    graph, (state, stage), (state, stage), SPATIAL,
                     enc0, enc1, state, state)
+                self._pending_spatial.append((enc0, enc1, state, stage, chain))
+
+    def _consume_spatial(self) -> None:
+        for enc0, enc1, state, stage, chain in self._pending_spatial:
+            scope = self.scope_of(state)
+            kind = self.classify(state)
+            # Same-core pairs: reference order = program order.
+            order = chain.resolve(self._verdicts)
+            self.hbi_records.append(HbiRecord(
+                SPATIAL, scope, enc0.name, enc1.name, state, state,
+                stage, stage, order=order, reference="po", proven=True))
+            self.stats.record_hypothesis(
+                SPATIAL, scope, True, count=self.md.num_cores)
+            # Cross-core pairs exist only through shared state; they
+            # are serialized but unordered (no reference order).
+            if kind != "local":
+                cross_pairs = self.md.num_cores * (self.md.num_cores - 1)
                 self.hbi_records.append(HbiRecord(
-                    SPATIAL, scope, enc0.name, enc1.name, state, state,
-                    stage, stage, order=order, reference="po", proven=True))
+                    SPATIAL, "global", enc0.name, enc1.name, state, state,
+                    stage, stage, order="unordered", reference=None))
                 self.stats.record_hypothesis(
-                    SPATIAL, scope, True, count=self.md.num_cores)
-                # Cross-core pairs exist only through shared state; they
-                # are serialized but unordered (no reference order).
-                if kind != "local":
-                    cross_pairs = self.md.num_cores * (self.md.num_cores - 1)
-                    self.hbi_records.append(HbiRecord(
-                        SPATIAL, "global", enc0.name, enc1.name, state, state,
-                        stage, stage, order="unordered", reference=None))
-                    self.stats.record_hypothesis(
-                        SPATIAL, "global", True, count=cross_pairs)
+                    SPATIAL, "global", True, count=cross_pairs)
 
     def _touched(self, enc) -> Set[str]:
         """States whose serialization matters for this instruction:
@@ -364,8 +435,9 @@ class Rtl2Uspec:
             out.add(self.iface.resource)
         return out
 
-    def _synthesize_temporal(self) -> None:
+    def _plan_temporal(self, graph: ObligationGraph) -> None:
         """Same-stage element pairs and shared-array accesses (4.3.2)."""
+        self._pending_temporal: List[Tuple] = []
         for enc0, enc1 in self._same_core_pairs():
             upd0 = self._touched(enc0)
             acc1 = self._touched(enc1)
@@ -375,18 +447,24 @@ class Rtl2Uspec:
                         continue  # spatial, handled above
                     stage0 = self.labels.stage_of(s0)
                     stage1 = self.labels.stage_of(s1)
-                    scope = "local" if self.scope_of(s0) == "local" and \
-                        self.scope_of(s1) == "local" else "global"
-                    order = self._ordering_verdicts(
-                        (s0, stage0), (s1, stage1), TEMPORAL,
+                    chain = self._plan_ordering(
+                        graph, (s0, stage0), (s1, stage1), TEMPORAL,
                         enc0, enc1, s0, s1)
-                    graduated = order != "unordered"
-                    if graduated:
-                        self.hbi_records.append(HbiRecord(
-                            TEMPORAL, scope, enc0.name, enc1.name, s0, s1,
-                            stage0, stage1, order=order, reference="po"))
-                    self.stats.record_hypothesis(
-                        TEMPORAL, scope, graduated, count=self.md.num_cores)
+                    self._pending_temporal.append(
+                        (enc0, enc1, s0, s1, stage0, stage1, chain))
+
+    def _consume_temporal(self) -> None:
+        for enc0, enc1, s0, s1, stage0, stage1, chain in self._pending_temporal:
+            scope = "local" if self.scope_of(s0) == "local" and \
+                self.scope_of(s1) == "local" else "global"
+            order = chain.resolve(self._verdicts)
+            graduated = order != "unordered"
+            if graduated:
+                self.hbi_records.append(HbiRecord(
+                    TEMPORAL, scope, enc0.name, enc1.name, s0, s1,
+                    stage0, stage1, order=order, reference="po"))
+            self.stats.record_hypothesis(
+                TEMPORAL, scope, graduated, count=self.md.num_cores)
         # Cross-core accesses to the shared single-ported resource are
         # serialized with no reference order: unordered HBIs, no SVAs.
         if self.iface is not None:
@@ -404,9 +482,10 @@ class Rtl2Uspec:
                     self.stats.record_hypothesis(
                         TEMPORAL, "global", True, count=cross_pairs)
 
-    def _synthesize_dataflow(self) -> None:
+    def _plan_dataflow(self, graph: ObligationGraph) -> None:
         """Writer updates a node that is a reserved parent in the
         reader's DFG (4.3.5)."""
+        self._pending_dataflow: List[Tuple] = []
         for enc0 in self.md.encodings:       # writer
             for enc1 in self.md.encodings:   # reader
                 upd0 = self.updated[enc0.name]
@@ -421,53 +500,75 @@ class Rtl2Uspec:
                     for child in children:
                         stage_n = self.labels.stage_of(node)
                         stage_c = self.labels.stage_of(child)
-                        scope = "local" if self.scope_of(node) == "local" and \
-                            self.scope_of(child) == "local" else "global"
-                        order = self._ordering_verdicts(
-                            (node, stage_n), (child, stage_c), DATAFLOW,
+                        chain = self._plan_ordering(
+                            graph, (node, stage_n), (child, stage_c), DATAFLOW,
                             enc0, enc1, node, child)
-                        graduated = order == "consistent"
-                        self.hbi_records.append(HbiRecord(
-                            DATAFLOW, scope, enc0.name, enc1.name, node, child,
-                            stage_n, stage_c,
-                            order=order if graduated else "unordered",
-                            reference="po", proven=graduated))
-                        self.stats.record_hypothesis(
-                            DATAFLOW, scope, graduated, count=self.md.num_cores)
-                        # The cross-core data-flow HBI is conditional on
-                        # the reads-from relation; it rests on the
-                        # functional-correctness assumption (4.3.6).
-                        if self.classify(node) == "resource":
-                            self.hbi_records.append(HbiRecord(
-                                DATAFLOW, "global", enc0.name, enc1.name,
-                                node, child, stage_n, stage_c,
-                                order="consistent", reference="rf"))
-                            self.stats.record_hypothesis(
-                                DATAFLOW, "global", True,
-                                count=self.md.num_cores * (self.md.num_cores - 1))
+                        self._pending_dataflow.append(
+                            (enc0, enc1, node, child, stage_n, stage_c, chain))
 
-    def _synthesize_interface(self) -> None:
+    def _consume_dataflow(self) -> None:
+        for enc0, enc1, node, child, stage_n, stage_c, chain in self._pending_dataflow:
+            scope = "local" if self.scope_of(node) == "local" and \
+                self.scope_of(child) == "local" else "global"
+            order = chain.resolve(self._verdicts)
+            graduated = order == "consistent"
+            self.hbi_records.append(HbiRecord(
+                DATAFLOW, scope, enc0.name, enc1.name, node, child,
+                stage_n, stage_c,
+                order=order if graduated else "unordered",
+                reference="po", proven=graduated))
+            self.stats.record_hypothesis(
+                DATAFLOW, scope, graduated, count=self.md.num_cores)
+            # The cross-core data-flow HBI is conditional on the
+            # reads-from relation; it rests on the functional-
+            # correctness assumption (4.3.6).
+            if self.classify(node) == "resource":
+                self.hbi_records.append(HbiRecord(
+                    DATAFLOW, "global", enc0.name, enc1.name,
+                    node, child, stage_n, stage_c,
+                    order="consistent", reference="rf"))
+                self.stats.record_hypothesis(
+                    DATAFLOW, "global", True,
+                    count=self.md.num_cores * (self.md.num_cores - 1))
+
+    def _interface_cores(self) -> range:
+        return range(min(self.formal_cores, self.md.num_cores, 2))
+
+    def _plan_interface(self, graph: ObligationGraph) -> None:
         """Req-Snd/Req-Rec/Req-Proc decomposition + attribution (4.3.3/4)."""
         if self.iface is None:
             return
         # Req-Snd (relaxed over instruction types).
-        self._check(TEMPORAL, ("req-snd", "any", "any", False),
-                    lambda: self.factory.req_snd(InstrSpec(0, None), InstrSpec(0, None)))
+        graph.add(SvaObligation(
+            signature=("req-snd", "any", "any", False), category=TEMPORAL,
+            builder="req_snd", args=(InstrSpec(0, None), InstrSpec(0, None))))
         # Functional correctness of the resource's read responses — the
         # section-4.3.6 assumption, discharged when the interface
         # declares response signals.
         if self.iface.resp_valid is not None and self.iface.resp_data is not None:
-            record = self._check(INTERFACE, ("functional",),
-                                 lambda: self.factory.functional_correctness())
+            graph.add(SvaObligation(
+                signature=("functional",), category=INTERFACE,
+                builder="functional_correctness", args=()))
+        for core in self._interface_cores():
+            graph.add(SvaObligation(
+                signature=("req-rec", core), category=INTERFACE,
+                builder="req_rec", args=(core,)))
+            graph.add(SvaObligation(
+                signature=("req-proc", core), category=INTERFACE,
+                builder="req_proc", args=(core,)))
+            graph.add(SvaObligation(
+                signature=("attr", core), category=INTERFACE,
+                builder="attribution", args=(core,)))
+
+    def _consume_interface(self) -> None:
+        if self.iface is None:
+            return
+        if self.iface.resp_valid is not None and self.iface.resp_data is not None:
+            record = self._record(("functional",))
             if record.verdict.refuted:
                 self.bug_reports.append(record)
-        for core in range(min(self.formal_cores, self.md.num_cores, 2)):
-            self._check(INTERFACE, ("req-rec", core),
-                        lambda c=core: self.factory.req_rec(c))
-            self._check(INTERFACE, ("req-proc", core),
-                        lambda c=core: self.factory.req_proc(c))
-            record = self._check(INTERFACE, ("attr", core),
-                                 lambda c=core: self.factory.attribution(c))
+        for core in self._interface_cores():
+            record = self._record(("attr", core))
             if record.verdict.refuted:
                 self.bug_reports.append(record)
 
@@ -478,23 +579,35 @@ class Rtl2Uspec:
         phases: List[PhaseTiming] = []
         self.bug_reports: List[SvaRecord] = []
 
-        start = time.perf_counter()
-        self._build_dfg()
-        phases.append(PhaseTiming("parse + DFG + hypothesis generation",
-                                  time.perf_counter() - start))
+        try:
+            start = time.perf_counter()
+            self._build_dfg()
+            phases.append(PhaseTiming("parse + DFG + hypothesis generation",
+                                      time.perf_counter() - start))
 
-        start = time.perf_counter()
-        self._synthesize_intra()
-        phases.append(PhaseTiming("intra-instruction HBI evaluation",
-                                  time.perf_counter() - start))
+            start = time.perf_counter()
+            intra_graph = ObligationGraph()
+            self._plan_intra(intra_graph)
+            self._discharge(intra_graph)
+            self._consume_intra()
+            phases.append(PhaseTiming("intra-instruction HBI evaluation",
+                                      time.perf_counter() - start))
 
-        start = time.perf_counter()
-        self._synthesize_spatial()
-        self._synthesize_temporal()
-        self._synthesize_dataflow()
-        self._synthesize_interface()
-        phases.append(PhaseTiming("inter-instruction HBI evaluation",
-                                  time.perf_counter() - start))
+            start = time.perf_counter()
+            inter_graph = ObligationGraph()
+            self._plan_spatial(inter_graph)
+            self._plan_temporal(inter_graph)
+            self._plan_dataflow(inter_graph)
+            self._plan_interface(inter_graph)
+            self._discharge(inter_graph)
+            self._consume_spatial()
+            self._consume_temporal()
+            self._consume_dataflow()
+            self._consume_interface()
+            phases.append(PhaseTiming("inter-instruction HBI evaluation",
+                                      time.perf_counter() - start))
+        finally:
+            self.scheduler.close()
 
         start = time.perf_counter()
         merge_plan = merge_nodes(self)
@@ -515,4 +628,5 @@ class Rtl2Uspec:
             accessed=self.accessed,
             merge_plan=merge_plan,
             bug_reports=self.bug_reports,
+            discharge_stats=self.scheduler.stats,
         )

@@ -10,8 +10,8 @@ metadata for any configuration.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
 
 from ..core.metadata import DesignMetadata, InstructionEncoding, RequestResponseInterface
 from ..netlist import Netlist

@@ -14,9 +14,9 @@ exactly the property intra-instruction HBI synthesis needs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, List, Optional, Set
 
-from ..netlist import Cell, Const, Dff, MemReadPort, Netlist
+from ..netlist import Const, Dff, MemReadPort, Netlist
 from .graph import Dfg
 
 

@@ -14,10 +14,12 @@ from .engine import (
     PROVEN_BOUNDED,
     REFUTED,
     UNDETERMINED,
+    CheckParams,
     PropertyChecker,
     SafetyProblem,
     Verdict,
 )
+from .scheduler import DischargeScheduler, DischargeStats
 from .trace import Trace, extract_trace, trace_to_vcd
 from .unroll import Unroller
 
@@ -37,7 +39,10 @@ __all__ = [
     "trace_to_vcd",
     "SafetyProblem",
     "Verdict",
+    "CheckParams",
     "PropertyChecker",
+    "DischargeScheduler",
+    "DischargeStats",
     "PROVEN",
     "REFUTED",
     "PROVEN_BOUNDED",

@@ -19,7 +19,7 @@ from typing import Dict, List, TextIO
 
 from ..errors import FormalError
 from . import aig as aigmod
-from .aig import Aig, lit_is_negated, lit_node
+from .aig import lit_is_negated, lit_node
 from .bitblast import BlastedDesign, bitblast
 from .engine import SafetyProblem
 

@@ -7,7 +7,7 @@ pure bit-level transition system.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..errors import FormalError
 from ..netlist import (
@@ -16,7 +16,7 @@ from ..netlist import (
     Netlist,
     SignalRef,
 )
-from .aig import FALSE, TRUE, Aig, lit_neg
+from .aig import FALSE, Aig, lit_neg
 
 
 class BlastedDesign:

@@ -12,10 +12,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from typing import Dict, Optional
 
-from ..netlist import Cell, Const, Netlist
-from .engine import REFUTED, Verdict
+from ..netlist import Const, Netlist
+from .engine import REFUTED, CheckParams, Verdict
 
 
 def _ref_token(ref) -> str:
@@ -38,9 +39,14 @@ def problem_fingerprint(problem, bound: int, max_k: int) -> str:
         feed(f"in {name} {netlist.inputs[name]}")
     for name in sorted(netlist.wires):
         feed(f"wire {name} {netlist.wires[name].width}")
-    for cell in netlist.cells:
-        feed(f"cell {cell.op} {','.join(_ref_token(r) for r in cell.inputs)} "
-             f"-> {cell.output} {sorted(cell.attrs.items())}")
+    # Cells are canonicalized by sorting their content tokens: a netlist
+    # is a DAG over named wires, so two cell lists that are equal as
+    # multisets denote the same design regardless of emission order.
+    for token in sorted(
+            f"cell {cell.op} {','.join(_ref_token(r) for r in cell.inputs)} "
+            f"-> {cell.output} {sorted(cell.attrs.items())}"
+            for cell in netlist.cells):
+        feed(token)
     for name in sorted(netlist.dffs):
         dff = netlist.dffs[name]
         feed(f"dff {dff.q} <= {_ref_token(dff.d)} init={dff.init}")
@@ -71,6 +77,8 @@ class VerdictCache:
         self._entries: Dict[str, Dict] = {}
         self.hits = 0
         self.misses = 0
+        #: cached refutations re-executed because a trace was required
+        self.trace_reruns = 0
         if os.path.exists(path):
             try:
                 with open(path, "r", encoding="utf-8") as handle:
@@ -104,10 +112,37 @@ class VerdictCache:
         }
 
     def save(self) -> None:
+        """Atomically persist the cache.
+
+        The entries are serialized to a temporary file in the target
+        directory and moved into place with :func:`os.replace`, so a
+        crashed or concurrent run can never leave a truncated JSON file
+        behind — the previous cache survives any failure mid-write.
+        """
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        with open(self.path, "w", encoding="utf-8") as handle:
-            json.dump(self._entries, handle, indent=0)
+        fd, temp_path = tempfile.mkstemp(
+            prefix=os.path.basename(self.path) + ".", suffix=".tmp",
+            dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self._entries, handle, indent=0)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/re-run counters plus the current entry count."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "trace_reruns": self.trace_reruns,
+            "entries": len(self._entries),
+        }
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -140,6 +175,14 @@ class CachingPropertyChecker:
             if not (cached.status == REFUTED and self.need_traces):
                 cached.name = problem.name
                 return cached
+            # Cached refutation, but the caller needs the trace: the
+            # hit/miss asymmetry is surfaced as a trace re-run.
+            self.cache.trace_reruns += 1
         verdict = self.checker.check(problem, bound=bound, prove=prove)
         self.cache.store(fingerprint, verdict)
         return verdict
+
+    def check_problem(self, problem, params: Optional[CheckParams] = None) -> Verdict:
+        """Mirror of :meth:`PropertyChecker.check_problem`."""
+        params = params or CheckParams()
+        return self.check(problem, bound=params.bound, prove=params.prove)

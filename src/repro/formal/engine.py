@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import FormalError
 from ..netlist import Netlist, cone_of_influence
-from ..sat import SAT, UNKNOWN, UNSAT, Cnf, Solver
+from ..sat import UNKNOWN, UNSAT, Cnf, Solver
 from .bitblast import BlastedDesign, bitblast
 from .trace import Trace, extract_trace
 from .unroll import Unroller
@@ -74,6 +74,14 @@ class Verdict:
                 f"bound={self.bound}{extra}, {self.time_seconds:.2f}s)")
 
 
+@dataclass(frozen=True)
+class CheckParams:
+    """Picklable per-check parameters for worker-side execution."""
+
+    bound: Optional[int] = None
+    prove: bool = True
+
+
 class PropertyChecker:
     """Decides safety problems with BMC + k-induction."""
 
@@ -114,6 +122,13 @@ class PropertyChecker:
         elapsed = time.perf_counter() - start
         return Verdict(PROVEN_BOUNDED, "bmc", bound, elapsed, name=problem.name)
 
+    def check_problem(self, problem: SafetyProblem,
+                      params: Optional[CheckParams] = None) -> Verdict:
+        """Picklable entry point for pool workers: ``check`` driven by a
+        :class:`CheckParams` value instead of keyword arguments."""
+        params = params or CheckParams()
+        return self.check(problem, bound=params.bound, prove=params.prove)
+
     # ------------------------------------------------------------------
     def _reset_schedule(self, unroller: Unroller, netlist: Netlist,
                         problem: SafetyProblem, frames: int,
@@ -127,7 +142,7 @@ class PropertyChecker:
         return units
 
     def _frame_ok(self, unroller: Unroller, netlist: Netlist,
-                  problem: SafetyProblem, cnf: Cnf, t: int) -> (int, int):
+                  problem: SafetyProblem, cnf: Cnf, t: int) -> Tuple[int, int]:
         """(assume_ok_t, fail_t) CNF literals for frame ``t``."""
         assume_lits = [unroller.wire_lit(w, t) for w in problem.assume_wires
                        if w in netlist.wires]

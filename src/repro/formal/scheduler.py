@@ -1,0 +1,264 @@
+"""Parallel discharge of SVA obligation graphs (the execute half of
+plan/execute).
+
+:class:`DischargeScheduler` walks an
+:class:`repro.core.obligations.ObligationGraph` in topological batches:
+every obligation whose dependencies are resolved forms the next batch,
+gates (the section-6.2 relaxed-optimization fallbacks) are evaluated
+against the verdicts collected so far, and the surviving obligations
+are checked — inline for ``jobs=1`` (bit-for-bit the old serial
+behavior), or on a ``ProcessPoolExecutor`` for ``jobs>1``.
+
+Cache-aware batching: when the wrapped checker carries a
+:class:`VerdictCache`, every obligation is fingerprinted and probed *at
+plan time* in the parent process, so only cache misses are ever
+submitted to the pool.  Cached refutations are re-executed when the
+caller needs counterexample traces (``need_traces``), and those
+re-runs are surfaced as ``trace_reruns`` in the statistics.
+
+Workers are initialized once with the (picklable) :class:`SvaFactory`
+and the raw :class:`PropertyChecker`; per-task payloads are just
+``(builder-name, args, params)`` tuples, so the netlist crosses the
+process boundary once per worker rather than once per obligation.
+
+Determinism: batches are formed and results are consumed in graph
+insertion order regardless of completion order, so ``jobs=N`` produces
+the same verdict map (and hence byte-identical synthesized models) as
+``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import FormalError
+from .cache import CachingPropertyChecker, VerdictCache, problem_fingerprint
+from .engine import CheckParams, PropertyChecker, Verdict
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing (top level: must be picklable / importable)
+# ----------------------------------------------------------------------
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _worker_init(factory, engine) -> None:
+    """Pool initializer: receive the factory and checker once."""
+    _WORKER_STATE["factory"] = factory
+    _WORKER_STATE["engine"] = engine
+
+
+def _worker_check(builder: str, args: Tuple, params: CheckParams) -> Verdict:
+    """Build one obligation's problem in the worker and decide it."""
+    from ..core.obligations import build_problem
+    problem = build_problem(_WORKER_STATE["factory"], builder, args)
+    engine = _WORKER_STATE["engine"]
+    return engine.check_problem(problem, params)
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+@dataclass
+class DischargeStats:
+    """Counters for one scheduler's lifetime (all discharge rounds)."""
+
+    jobs: int = 1
+    planned: int = 0          # obligations seen across all graphs
+    executed: int = 0         # SVAs actually evaluated
+    skipped: int = 0          # gated out by the fallback chains
+    deduplicated: int = 0     # hypotheses folded onto an existing signature
+    cache_hits: int = 0       # verdicts served from the VerdictCache
+    cache_misses: int = 0
+    trace_reruns: int = 0     # cached refutations re-run for their trace
+    batches: int = 0          # topological waves executed
+    rounds: int = 0           # discharge() calls
+    pool_tasks: int = 0       # obligations that crossed the process boundary
+    wall_seconds: float = 0.0
+    check_seconds: float = 0.0  # sum of per-verdict times (CPU, not wall)
+
+    def summary(self) -> str:
+        lines = [
+            f"discharge: jobs={self.jobs}, {self.planned} obligations planned "
+            f"in {self.rounds} round(s) / {self.batches} batch(es)",
+            f"  executed {self.executed}, skipped {self.skipped} (fallback "
+            f"gates), deduplicated {self.deduplicated}",
+        ]
+        if self.cache_hits or self.cache_misses or self.trace_reruns:
+            lines.append(
+                f"  verdict cache: {self.cache_hits} hits, "
+                f"{self.cache_misses} misses, {self.trace_reruns} trace re-runs")
+        lines.append(
+            f"  wall {self.wall_seconds:.2f} s, checker time "
+            f"{self.check_seconds:.2f} s, {self.pool_tasks} pool task(s)")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+class DischargeScheduler:
+    """Executes obligation graphs against a property checker.
+
+    ``checker`` may be a bare :class:`PropertyChecker` or a
+    :class:`CachingPropertyChecker`; in the latter case the scheduler
+    takes over the cache so probes happen at plan time.  ``jobs<=0``
+    means ``os.cpu_count()``.
+    """
+
+    def __init__(self, checker, factory, jobs: int = 1):
+        if jobs is None or jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        self.factory = factory
+        if isinstance(checker, CachingPropertyChecker):
+            self._engine: PropertyChecker = checker.checker
+            self._cache: Optional[VerdictCache] = checker.cache
+            self._need_traces = checker.need_traces
+        else:
+            self._engine = checker
+            self._cache = None
+            self._need_traces = False
+        self._params = CheckParams()
+        self.stats = DischargeStats(jobs=self.jobs)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def discharge(self, graph, known: Optional[Dict[Tuple, Verdict]] = None
+                  ) -> List[Tuple[object, Verdict]]:
+        """Execute ``graph``; returns ``(obligation, verdict)`` pairs in
+        deterministic (insertion-then-batch) order.
+
+        ``known`` carries verdicts from earlier rounds: obligations
+        whose signature is already decided are not re-executed, and
+        gates may reference them.
+        """
+        start = time.perf_counter()
+        known = dict(known) if known else {}
+        # Verdicts visible to gates: prior rounds + this round so far.
+        verdicts: Dict[Tuple, Verdict] = dict(known)
+        resolved = set(known)
+        results: List[Tuple[object, Verdict]] = []
+        self.stats.rounds += 1
+        self.stats.planned += len(graph)
+        self.stats.deduplicated += graph.dedup_hits
+
+        try:
+            while True:
+                batch = graph.ready(resolved)
+                if not batch:
+                    remaining = [sig for sig in graph.signatures()
+                                 if sig not in resolved]
+                    if remaining:
+                        raise FormalError(
+                            "obligation graph deadlock (dependency cycle?) "
+                            f"on {remaining[:5]!r}")
+                    break
+                self.stats.batches += 1
+                runnable = []
+                from ..core.obligations import gate_allows
+                for obligation in batch:
+                    resolved.add(obligation.signature)
+                    if obligation.signature in known:
+                        continue
+                    if gate_allows(obligation.gate, verdicts):
+                        runnable.append(obligation)
+                    else:
+                        self.stats.skipped += 1
+                for obligation, verdict in self._run_batch(runnable):
+                    verdicts[obligation.signature] = verdict
+                    results.append((obligation, verdict))
+                    self.stats.executed += 1
+                    self.stats.check_seconds += verdict.time_seconds
+        finally:
+            self.stats.wall_seconds += time.perf_counter() - start
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_batch(self, batch) -> List[Tuple[object, Verdict]]:
+        """Decide one wave of independent obligations."""
+        if not batch:
+            return []
+        outcomes: List[Optional[Verdict]] = [None] * len(batch)
+        to_run: List[int] = []
+        problems: Dict[int, object] = {}
+        fingerprints: Dict[int, str] = {}
+
+        if self._cache is not None:
+            # Plan-time cache probes: only misses reach the pool.
+            for index, obligation in enumerate(batch):
+                problem = obligation.build(self.factory)
+                problems[index] = problem
+                fingerprint = problem_fingerprint(
+                    problem, self._engine.bound, self._engine.max_k)
+                fingerprints[index] = fingerprint
+                cached = self._cache.lookup(fingerprint)
+                if cached is None:
+                    self.stats.cache_misses += 1
+                    to_run.append(index)
+                elif cached.refuted and self._need_traces:
+                    # The cache stores no traces; re-run for the CEX.
+                    self._cache.trace_reruns += 1
+                    self.stats.trace_reruns += 1
+                    to_run.append(index)
+                else:
+                    cached.name = problem.name
+                    outcomes[index] = cached
+                    self.stats.cache_hits += 1
+        else:
+            to_run = list(range(len(batch)))
+
+        if self.jobs > 1 and len(to_run) > 1:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_worker_check, batch[index].builder,
+                            batch[index].args, self._params)
+                for index in to_run
+            ]
+            self.stats.pool_tasks += len(futures)
+            # Consume in submission order — completion order must not
+            # influence anything downstream.
+            for index, future in zip(to_run, futures):
+                verdict = future.result()
+                outcomes[index] = verdict
+                self._engine.stats["checks"] += 1
+        else:
+            for index in to_run:
+                problem = problems.get(index)
+                if problem is None:
+                    problem = batch[index].build(self.factory)
+                outcomes[index] = self._engine.check_problem(problem, self._params)
+
+        if self._cache is not None:
+            for index in to_run:
+                verdict = outcomes[index]
+                if verdict is not None:
+                    self._cache.store(fingerprints[index], verdict)
+
+        return [(obligation, outcomes[index])
+                for index, obligation in enumerate(batch)
+                if outcomes[index] is not None]
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_init,
+                initargs=(self.factory, self._engine))
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "DischargeScheduler":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -7,7 +7,7 @@ from typing import Dict, List
 from ..errors import FormalError
 from ..sat import Cnf
 from . import aig as aigmod
-from .aig import Aig, lit_is_negated, lit_node
+from .aig import lit_is_negated, lit_node
 from .bitblast import BlastedDesign
 
 

@@ -12,7 +12,7 @@ suite) and unique up to renaming.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Sequence, Set, Tuple
 
 from ..mcm.events import Access, Program, R, W
 from ..mcm.sc import sc_outcomes

@@ -9,8 +9,8 @@ a memory model; here labels come from the SC/TSO reference enumerators.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..errors import LitmusError
 from ..mcm import sc_outcomes, tso_outcomes

@@ -27,9 +27,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from .events import Access, Outcome, Program, make_outcome
+from .events import Outcome, Program, make_outcome
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,7 @@ of the threads' programs that respects each thread's program order.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Set, Tuple
 
 from .events import Outcome, Program, make_outcome
 

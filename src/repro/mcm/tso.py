@@ -9,7 +9,7 @@ in order at arbitrary times. This admits a superset of SC outcomes
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Set, Tuple
 
 from .events import Outcome, Program, make_outcome
 

@@ -17,7 +17,7 @@ designs do.
 from __future__ import annotations
 
 import re
-from typing import Dict, List
+from typing import List
 
 from ..errors import NetlistError
 from .ir import Cell, Const, Netlist, SignalRef

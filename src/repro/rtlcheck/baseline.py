@@ -18,12 +18,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..designs import DesignConfig, isa, load_design
 from ..designs.loader import FORMAL_CONFIG, FORMAL_CONFIG_4CORE
 from ..errors import CheckError
-from ..formal import PropertyChecker, SafetyProblem, Verdict
+from ..formal import PropertyChecker, SafetyProblem
 from ..litmus import LitmusTest, compile_test, location_map, register_map
 from ..netlist import Const
 from ..sva import MonitorContext

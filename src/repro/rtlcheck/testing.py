@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Set, Tuple
 
 from ..designs import DesignConfig, SIM_CONFIG, isa
 from ..designs.harness import MultiVScaleSim

@@ -1,6 +1,11 @@
-"""SVA-style property construction: monitors + the paper's templates."""
+"""SVA-style property construction: monitors + the paper's templates.
 
+:mod:`repro.sva.builders` exposes the templates as top-level picklable
+builder callables for the parallel discharge scheduler.
+"""
+
+from .builders import BUILDERS
 from .monitor import MonitorContext
 from .templates import EventSpec, InstrSpec, SvaFactory
 
-__all__ = ["MonitorContext", "SvaFactory", "InstrSpec", "EventSpec"]
+__all__ = ["MonitorContext", "SvaFactory", "InstrSpec", "EventSpec", "BUILDERS"]

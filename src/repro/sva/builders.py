@@ -1,0 +1,70 @@
+"""Top-level, picklable SVA problem builders.
+
+The synthesizer used to capture builders as closures
+(``lambda: factory.ordering(...)``), which cannot cross a process
+boundary.  Obligations instead name a builder from this registry and
+carry its positional arguments (frozen :class:`InstrSpec` /
+:class:`EventSpec` dataclasses, ints — all picklable), so a worker
+process can reconstruct the :class:`SafetyProblem` from the shared
+:class:`SvaFactory` shipped once at pool initialization.
+
+Every builder has the uniform shape ``build(factory, *args) ->
+SafetyProblem`` and is a plain module-level function, keeping the
+``(builder-name, args)`` pair picklable without pickling the factory
+per obligation.
+"""
+
+from __future__ import annotations
+
+
+def never_updates(factory, spec, event):
+    """A0 (Fig. 4a): ``spec`` never updates ``event.state``."""
+    return factory.never_updates(spec, event)
+
+
+def progress(factory, spec, stage, horizon):
+    """A1 (Fig. 4b): bounded forward progress through ``stage``."""
+    return factory.progress(spec, stage, horizon)
+
+
+def ordering(factory, spec0, event0, spec1, event1, inverted):
+    """Inter-instruction ordering SVA (4.3.1/4.3.2/4.3.5)."""
+    return factory.ordering(spec0, event0, spec1, event1, inverted=inverted)
+
+
+def req_snd(factory, spec0, spec1):
+    """Req-Snd interface decomposition step (4.3.3)."""
+    return factory.req_snd(spec0, spec1)
+
+
+def req_rec(factory, core):
+    """Req-Rec interface decomposition step (4.3.3)."""
+    return factory.req_rec(core)
+
+
+def req_proc(factory, core):
+    """Req-Proc interface decomposition step (4.3.3)."""
+    return factory.req_proc(core)
+
+
+def attribution(factory, core):
+    """Attribution soundness SVA (4.3.4 / 6.1)."""
+    return factory.attribution(core)
+
+
+def functional_correctness(factory):
+    """Memory functional-correctness sanity SVA (4.3.6)."""
+    return factory.functional_correctness()
+
+
+#: builder-name -> callable registry used by obligations and workers
+BUILDERS = {
+    "never_updates": never_updates,
+    "progress": progress,
+    "ordering": ordering,
+    "req_snd": req_snd,
+    "req_rec": req_rec,
+    "req_proc": req_proc,
+    "attribution": attribution,
+    "functional_correctness": functional_correctness,
+}

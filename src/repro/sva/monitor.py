@@ -14,10 +14,10 @@ arrays.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Union
 
 from ..errors import PropertyError
-from ..netlist import Const, Netlist, SignalRef
+from ..netlist import Const, Netlist
 from ..formal import SafetyProblem
 
 Ref = Union[str, Const]

@@ -30,7 +30,7 @@ the uniform one-cycle stage latency of the full-design DFG.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Optional
 
 from ..errors import PropertyError
 from ..core.metadata import DesignMetadata, InstructionEncoding, RequestResponseInterface

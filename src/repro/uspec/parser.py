@@ -8,7 +8,7 @@ which takes a user-supplied µspec model as input).
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..errors import UspecError
 from . import ast

@@ -18,7 +18,7 @@ Supported discipline (checked, not assumed):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ElaborationError
 from ..netlist import Const, Netlist, SignalRef

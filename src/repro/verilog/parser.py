@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import ParseError
 from . import ast
 from .lexer import tokenize
-from .tokens import BASED, EOF, IDENT, KEYWORD, NUMBER, OP, STRING, Token
+from .tokens import BASED, EOF, IDENT, KEYWORD, NUMBER, OP, Token
 
 # Binary operator precedence (higher binds tighter).
 _BINARY_PRECEDENCE = {

@@ -118,3 +118,84 @@ class TestCrossProcessDeterminism:
         # Cross-process stability is checked implicitly by the CLI cache
         # (see build/verdicts.json usage); within-process determinism is
         # a necessary condition asserted here.
+
+
+class TestAtomicSave:
+    def test_corrupted_cache_round_trip(self, netlist, tmp_path):
+        """A garbage file loads as empty, and save() replaces it with
+        valid JSON that round-trips."""
+        path = tmp_path / "cache.json"
+        path.write_text("{truncated-by-a-crash")
+        cache = VerdictCache(str(path))
+        assert len(cache) == 0
+        checker = CachingPropertyChecker(PropertyChecker(bound=12, max_k=2), cache)
+        checker.check(SafetyProblem(netlist, [], ["ok"], name="p"))
+        cache.save()
+        reloaded = VerdictCache(str(path))
+        assert len(reloaded) == 1
+        assert not list(path.parent.glob("*.tmp")), "temp file left behind"
+
+    def test_failed_save_preserves_previous_file(self, netlist, tmp_path):
+        """save() goes through a temp file + os.replace, so an error
+        mid-serialization can never truncate the existing cache."""
+        path = tmp_path / "cache.json"
+        cache = VerdictCache(str(path))
+        checker = CachingPropertyChecker(PropertyChecker(bound=12, max_k=2), cache)
+        checker.check(SafetyProblem(netlist, [], ["ok"], name="p"))
+        cache.save()
+        good = path.read_text()
+        cache._entries["poison"] = {"status": {1, 2, 3}}  # not JSON-serializable
+        with pytest.raises(TypeError):
+            cache.save()
+        assert path.read_text() == good
+        assert not list(path.parent.glob("*.tmp")), "temp file left behind"
+
+    def test_save_creates_parent_directory(self, netlist, tmp_path):
+        path = tmp_path / "deep" / "nested" / "cache.json"
+        cache = VerdictCache(str(path))
+        cache.save()
+        assert path.exists()
+
+
+class TestTraceRerunAccounting:
+    def test_trace_reruns_surfaced_in_stats(self, netlist, tmp_path):
+        cache = VerdictCache(str(tmp_path / "cache.json"))
+        seeding = CachingPropertyChecker(PropertyChecker(bound=14, max_k=1), cache)
+        seeding.check(SafetyProblem(netlist, [], ["bad"]))
+        assert cache.trace_reruns == 0
+
+        tracing = CachingPropertyChecker(PropertyChecker(bound=14, max_k=1),
+                                         cache, need_traces=True)
+        traced = tracing.check(SafetyProblem(netlist, [], ["bad"]))
+        assert traced.trace is not None
+        assert cache.trace_reruns == 1
+        stats = cache.stats()
+        assert stats["trace_reruns"] == 1
+        assert stats["hits"] == 1  # the lookup still counted as a hit
+        # proven problems are served from cache without a re-run
+        tracing.check(SafetyProblem(netlist, [], ["ok"]))
+        tracing.check(SafetyProblem(netlist, [], ["ok"]))
+        assert cache.trace_reruns == 1
+
+
+class TestFingerprintCanonicalization:
+    def test_stable_under_cell_reordering(self, netlist):
+        """Equivalent netlists that emit their cell lists in different
+        orders (a netlist is a DAG over named wires) share a
+        fingerprint."""
+        import random
+
+        base = SafetyProblem(netlist, [], ["ok"])
+        reference = problem_fingerprint(base, 10, 2)
+        for seed in range(5):
+            shuffled = netlist.copy()
+            random.Random(seed).shuffle(shuffled.cells)
+            assert problem_fingerprint(SafetyProblem(shuffled, [], ["ok"]),
+                                       10, 2) == reference
+
+    def test_reordering_does_not_mask_real_change(self, netlist):
+        modified = netlist.copy()
+        modified.cells.reverse()
+        modified.dffs["c$ff"].init = 5
+        assert problem_fingerprint(SafetyProblem(modified, [], ["ok"]), 10, 2) \
+            != problem_fingerprint(SafetyProblem(netlist, [], ["ok"]), 10, 2)

@@ -1,0 +1,134 @@
+"""Unit tests for the SVA obligation graph (plan half of plan/execute)."""
+
+import pytest
+
+from repro.core.obligations import (
+    ALWAYS,
+    ObligationGraph,
+    OrderingChain,
+    SvaObligation,
+    gate_allows,
+)
+from repro.errors import SynthesisError
+
+
+class FakeVerdict:
+    def __init__(self, proven=False, refuted=False):
+        self.proven = proven
+        self.refuted = refuted
+
+
+def ob(sig, after=(), gate=ALWAYS):
+    return SvaObligation(signature=sig, category="intra", builder="never_updates",
+                         args=(), after=after, gate=gate)
+
+
+class TestGates:
+    def test_always(self):
+        assert gate_allows(ALWAYS, {})
+
+    def test_unproven_missing_counts_as_unproven(self):
+        assert gate_allows(("unproven", ("x",)), {})
+
+    def test_unproven_blocked_by_proof(self):
+        verdicts = {("x",): FakeVerdict(proven=True)}
+        assert not gate_allows(("unproven", ("x",)), verdicts)
+
+    def test_unproven_allows_refutation(self):
+        verdicts = {("x",): FakeVerdict(refuted=True)}
+        assert gate_allows(("unproven", ("x",)), verdicts)
+
+    def test_all_unproven(self):
+        verdicts = {("a",): FakeVerdict(), ("b",): FakeVerdict(proven=True)}
+        assert not gate_allows(("all-unproven", (("a",), ("b",))), verdicts)
+        assert gate_allows(("all-unproven", (("a",), ("c",))), verdicts)
+
+    def test_any_refuted(self):
+        verdicts = {("a",): FakeVerdict(), ("b",): FakeVerdict(refuted=True)}
+        assert gate_allows(("any-refuted", (("a",), ("b",))), verdicts)
+        assert not gate_allows(("any-refuted", (("a",),)), verdicts)
+        # skipped/missing signatures never count as refuted
+        assert not gate_allows(("any-refuted", (("zz",),)), verdicts)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(SynthesisError):
+            gate_allows(("frobnicate", "x"), {})
+
+
+class TestGraph:
+    def test_insertion_order_preserved(self):
+        graph = ObligationGraph()
+        sigs = [("c",), ("a",), ("b",)]
+        for sig in sigs:
+            graph.add(ob(sig))
+        assert [o.signature for o in graph] == sigs
+
+    def test_dedup_keeps_first_registration(self):
+        graph = ObligationGraph()
+        first = graph.add(ob(("x",)))
+        second = graph.add(SvaObligation(signature=("x",), category="spatial",
+                                         builder="ordering", args=(1,)))
+        assert second is first
+        assert graph.dedup_hits == 1
+        assert len(graph) == 1
+        assert graph.get(("x",)).category == "intra"
+
+    def test_ready_respects_dependencies(self):
+        graph = ObligationGraph()
+        graph.add(ob(("a",)))
+        graph.add(ob(("b",), after=(("a",),)))
+        graph.add(ob(("c",), after=(("b",),)))
+        assert [o.signature for o in graph.ready(set())] == [("a",)]
+        assert [o.signature for o in graph.ready({("a",)})] == [("b",)]
+        assert [o.signature for o in graph.ready({("a",), ("b",)})] == [("c",)]
+
+    def test_validate_accepts_chains(self):
+        graph = ObligationGraph()
+        graph.add(ob(("a",)))
+        graph.add(ob(("b",), after=(("a",),)))
+        graph.validate()
+
+    def test_validate_rejects_cycles(self):
+        graph = ObligationGraph()
+        graph.add(ob(("a",), after=(("b",),)))
+        graph.add(ob(("b",), after=(("a",),)))
+        with pytest.raises(SynthesisError):
+            graph.validate()
+
+    def test_validate_rejects_unknown_dependency(self):
+        graph = ObligationGraph()
+        graph.add(ob(("a",), after=(("ghost",),)))
+        with pytest.raises(SynthesisError):
+            graph.validate()
+
+
+class TestOrderingChain:
+    FWD_ANY, INV_ANY = ("fa",), ("ia",)
+    FWD_ENC, INV_ENC = ("fe",), ("ie",)
+
+    def chain(self, relaxed=True):
+        if relaxed:
+            return OrderingChain(self.FWD_ENC, self.INV_ENC,
+                                 self.FWD_ANY, self.INV_ANY)
+        return OrderingChain(self.FWD_ENC, self.INV_ENC)
+
+    def test_relaxed_forward_wins(self):
+        verdicts = {self.FWD_ANY: FakeVerdict(proven=True)}
+        assert self.chain().resolve(verdicts) == "consistent"
+
+    def test_relaxed_inverted_wins(self):
+        verdicts = {self.FWD_ANY: FakeVerdict(),
+                    self.INV_ANY: FakeVerdict(proven=True)}
+        assert self.chain().resolve(verdicts) == "inconsistent"
+
+    def test_fallback_to_encodings(self):
+        verdicts = {self.FWD_ANY: FakeVerdict(), self.INV_ANY: FakeVerdict(),
+                    self.FWD_ENC: FakeVerdict(proven=True)}
+        assert self.chain().resolve(verdicts) == "consistent"
+
+    def test_all_failed_is_unordered(self):
+        assert self.chain().resolve({}) == "unordered"
+
+    def test_unrelaxed_chain_ignores_any_links(self):
+        verdicts = {self.INV_ENC: FakeVerdict(proven=True)}
+        assert self.chain(relaxed=False).resolve(verdicts) == "inconsistent"

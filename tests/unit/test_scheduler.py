@@ -1,0 +1,169 @@
+"""Unit tests for the parallel discharge scheduler (execute half of
+plan/execute), on a tiny counter design.
+
+The ``TinyFactory`` repurposes the ``never_updates`` builder slot: its
+``args`` carry just an assertion wire name, so obligations map directly
+onto the counter's always-true (``ok``) and falsifiable (``bad``)
+outputs.  The class is module-level so it pickles into pool workers.
+"""
+
+import pytest
+
+from repro.core.obligations import ObligationGraph, SvaObligation
+from repro.formal import (
+    CachingPropertyChecker,
+    PropertyChecker,
+    SafetyProblem,
+    VerdictCache,
+)
+from repro.formal.scheduler import DischargeScheduler
+from repro.verilog import compile_verilog
+
+SRC = """
+module counter(input wire clk, input wire reset, output reg [3:0] c,
+               output wire ok, output wire bad);
+    always @(posedge clk) begin
+        if (reset) c <= 4'd0;
+        else if (c < 4'd9) c <= c + 4'd1;
+    end
+    assign ok = (c <= 4'd9);
+    assign bad = (c <= 4'd8);
+endmodule
+"""
+
+
+class TinyFactory:
+    """Factory stand-in: one obligation = assert one 1-bit wire."""
+
+    def __init__(self, netlist):
+        self.netlist = netlist
+
+    def never_updates(self, wire, _event):
+        return SafetyProblem(self.netlist, [], [wire], name=f"assert[{wire}]")
+
+
+def assert_wire(wire, sig=None, after=(), gate=("always",)):
+    return SvaObligation(signature=sig or ("p", wire), category="intra",
+                         builder="never_updates", args=(wire, None),
+                         after=after, gate=gate)
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return TinyFactory(compile_verilog(SRC, "counter"))
+
+
+def make_scheduler(factory, jobs=1, cache=None, need_traces=False):
+    checker = PropertyChecker(bound=12, max_k=2)
+    if cache is not None:
+        checker = CachingPropertyChecker(checker, cache, need_traces=need_traces)
+    return DischargeScheduler(checker, factory, jobs=jobs)
+
+
+class TestSerialDischarge:
+    def test_verdicts_and_order(self, factory):
+        graph = ObligationGraph()
+        graph.add(assert_wire("ok"))
+        graph.add(assert_wire("bad"))
+        results = make_scheduler(factory).discharge(graph)
+        assert [ob.signature for ob, _ in results] == [("p", "ok"), ("p", "bad")]
+        verdicts = {ob.signature: v for ob, v in results}
+        assert verdicts[("p", "ok")].proven
+        assert verdicts[("p", "bad")].refuted
+        assert verdicts[("p", "bad")].trace is not None
+
+    def test_gate_skips_after_proof(self, factory):
+        graph = ObligationGraph()
+        graph.add(assert_wire("ok"))
+        graph.add(assert_wire("bad", after=(("p", "ok"),),
+                              gate=("unproven", ("p", "ok"))))
+        scheduler = make_scheduler(factory)
+        results = scheduler.discharge(graph)
+        assert [ob.signature for ob, _ in results] == [("p", "ok")]
+        assert scheduler.stats.executed == 1
+        assert scheduler.stats.skipped == 1
+
+    def test_gate_fires_after_refutation(self, factory):
+        graph = ObligationGraph()
+        graph.add(assert_wire("bad"))
+        graph.add(assert_wire("ok", after=(("p", "bad"),),
+                              gate=("unproven", ("p", "bad"))))
+        results = make_scheduler(factory).discharge(graph)
+        assert len(results) == 2
+
+    def test_known_verdicts_not_reexecuted(self, factory):
+        graph = ObligationGraph()
+        graph.add(assert_wire("ok"))
+        scheduler = make_scheduler(factory)
+        first = scheduler.discharge(graph)
+        known = {ob.signature: v for ob, v in first}
+        again = scheduler.discharge(graph, known=known)
+        assert again == []
+        assert scheduler.stats.executed == 1
+
+    def test_deadlock_detected(self, factory):
+        graph = ObligationGraph()
+        graph.add(assert_wire("ok", after=(("missing",),)))
+        from repro.errors import FormalError
+        with pytest.raises(FormalError):
+            make_scheduler(factory).discharge(graph)
+
+
+class TestCacheIntegration:
+    def test_plan_time_probe_serves_hits(self, factory, tmp_path):
+        cache = VerdictCache(str(tmp_path / "cache.json"))
+        graph = ObligationGraph()
+        graph.add(assert_wire("ok"))
+        first = make_scheduler(factory, cache=cache)
+        first.discharge(graph)
+        assert first.stats.cache_misses == 1 and first.stats.cache_hits == 0
+
+        graph2 = ObligationGraph()
+        graph2.add(assert_wire("ok"))
+        second = make_scheduler(factory, cache=cache)
+        results = second.discharge(graph2)
+        assert second.stats.cache_hits == 1 and second.stats.cache_misses == 0
+        assert results[0][1].proven
+        # a cache hit never touches the SAT engine
+        assert second._engine.stats["checks"] == 0
+
+    def test_trace_rerun_for_cached_refutation(self, factory, tmp_path):
+        cache = VerdictCache(str(tmp_path / "cache.json"))
+        graph = ObligationGraph()
+        graph.add(assert_wire("bad"))
+        make_scheduler(factory, cache=cache).discharge(graph)
+
+        graph2 = ObligationGraph()
+        graph2.add(assert_wire("bad"))
+        rerun = make_scheduler(factory, cache=cache, need_traces=True)
+        results = rerun.discharge(graph2)
+        assert rerun.stats.trace_reruns == 1
+        assert cache.trace_reruns == 1
+        assert results[0][1].trace is not None
+
+
+class TestParallelDischarge:
+    def test_jobs2_matches_serial(self, factory):
+        def run(jobs):
+            graph = ObligationGraph()
+            graph.add(assert_wire("ok"))
+            graph.add(assert_wire("bad"))
+            graph.add(assert_wire("ok", sig=("retry", "ok"),
+                                  after=(("p", "bad"),),
+                                  gate=("unproven", ("p", "bad"))))
+            with make_scheduler(factory, jobs=jobs) as scheduler:
+                results = scheduler.discharge(graph)
+                stats = scheduler.stats
+            return [(ob.signature, v.status) for ob, v in results], stats
+
+        serial, _ = run(1)
+        parallel, stats = run(2)
+        assert serial == parallel
+        assert stats.pool_tasks >= 2
+
+    def test_jobs_zero_means_cpu_count(self, factory):
+        import os
+        scheduler = make_scheduler(factory, jobs=1)
+        auto = DischargeScheduler(PropertyChecker(), factory, jobs=0)
+        assert scheduler.jobs == 1
+        assert auto.jobs == (os.cpu_count() or 1)
