@@ -54,7 +54,9 @@ def synthesize_uspec(sim_config: DesignConfig = SIM_CONFIG,
                      buggy: bool = False,
                      checker: Optional[PropertyChecker] = None,
                      candidate_filter: Optional[Sequence[str]] = None,
-                     jobs: int = 1) -> SynthesisResult:
+                     jobs: int = 1,
+                     journal=None,
+                     check_timeout: Optional[float] = None) -> SynthesisResult:
     """One-call rtl2uspec run on the bundled multi-V-scale.
 
     ``buggy`` selects the design variant with the section-6.1 decoder
@@ -63,16 +65,20 @@ def synthesize_uspec(sim_config: DesignConfig = SIM_CONFIG,
     the paper's 6.84-minute synthesis). ``jobs`` parallelizes SVA
     discharge across worker processes (1 = serial, 0 = all cores); any
     setting yields identical verdicts and a byte-identical model.
+    ``journal`` (a :class:`repro.formal.VerdictJournal`) checkpoints
+    verdicts for crash/Ctrl-C resume; ``check_timeout`` caps each SVA's
+    wall clock (exhaustion degrades to a conservative UNKNOWN).
     """
     sim_cfg = sim_config.with_variant(buggy=buggy)
     formal_cfg = formal_config.with_variant(buggy=buggy)
     sim_netlist = load_design(sim_cfg)
     formal_netlist = load_design(formal_cfg)
     metadata = multi_vscale_metadata(sim_cfg)
-    synthesizer = Rtl2Uspec(sim_netlist, formal_netlist, metadata,
-                            checker=checker, candidate_filter=candidate_filter,
-                            jobs=jobs)
-    return synthesizer.synthesize()
+    with Rtl2Uspec(sim_netlist, formal_netlist, metadata,
+                   checker=checker, candidate_filter=candidate_filter,
+                   jobs=jobs, journal=journal,
+                   check_timeout=check_timeout) as synthesizer:
+        return synthesizer.synthesize()
 
 
 __all__ = [

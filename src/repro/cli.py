@@ -20,6 +20,22 @@ from typing import List, Optional
 from . import __version__
 
 
+def _install_interrupt_handlers(journal, argv_hint: str) -> None:
+    """Flush the verdict journal and print the resume recipe when the
+    run is interrupted (Ctrl-C) or terminated (SIGTERM)."""
+    import signal
+
+    def handler(signum, _frame):
+        journal.commit()
+        print(f"\ninterrupted — {len(journal)} verdict(s) checkpointed in "
+              f"{journal.path}", file=sys.stderr)
+        print(f"resume with: {argv_hint}", file=sys.stderr)
+        sys.exit(130 if signum == signal.SIGINT else 143)
+
+    signal.signal(signal.SIGINT, handler)
+    signal.signal(signal.SIGTERM, handler)
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     from . import synthesize_uspec
     from .formal import PropertyChecker
@@ -30,10 +46,31 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     if args.cache:
         from .formal import CachingPropertyChecker, VerdictCache
         cache = VerdictCache(args.cache)
+        if cache.quarantined:
+            print(f"warning: corrupt verdict cache quarantined to "
+                  f"{cache.quarantined}; starting with an empty cache",
+                  file=sys.stderr)
         checker = CachingPropertyChecker(checker, cache, need_traces=True)
+    journal = None
+    if args.journal:
+        from .formal import VerdictJournal
+        journal = VerdictJournal(args.journal, resume=args.resume)
+        if args.resume and len(journal):
+            print(f"resuming: {len(journal)} verdict(s) replayed from "
+                  f"{args.journal}")
+        _install_interrupt_handlers(
+            journal,
+            f"rtl2uspec synth --journal {args.journal} --resume "
+            f"-o {args.output}")
     candidates = args.candidates.split(",") if args.candidates else None
-    result = synthesize_uspec(buggy=args.buggy, checker=checker,
-                              candidate_filter=candidates, jobs=args.jobs)
+    try:
+        result = synthesize_uspec(buggy=args.buggy, checker=checker,
+                                  candidate_filter=candidates, jobs=args.jobs,
+                                  journal=journal,
+                                  check_timeout=args.timeout or None)
+    finally:
+        if journal is not None:
+            journal.close()
     from .core import full_report
     print(full_report(result))
     text = format_model(result.model)
@@ -46,6 +83,8 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         print(f"verdict cache: {stats['hits']} hits, {stats['misses']} misses, "
               f"{stats['trace_reruns']} trace re-runs "
               f"({stats['entries']} entries in {args.cache})")
+    if journal is not None:
+        print(f"verdict journal: {len(journal)} verdict(s) in {args.journal}")
     return 0
 
 
@@ -164,6 +203,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="comma-separated state elements to restrict analysis")
     p_synth.add_argument("--cache", default="",
                          help="verdict-cache JSON file (repeat runs become fast)")
+    p_synth.add_argument("--journal", default="",
+                         help="append-only verdict journal (JSONL) for "
+                              "crash/Ctrl-C checkpointing")
+    p_synth.add_argument("--resume", action="store_true",
+                         help="replay an existing --journal instead of "
+                              "starting it fresh (already-decided SVAs are "
+                              "not re-executed)")
+    p_synth.add_argument("--timeout", type=float, default=0.0,
+                         help="per-SVA wall-clock budget in seconds "
+                              "(0 = unlimited; exhaustion yields a "
+                              "conservative UNKNOWN verdict)")
     p_synth.add_argument("-j", "--jobs", type=int, default=0,
                          help="parallel SVA discharge workers "
                               "(default: all cores; 1 = serial)")

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..dfg import Dfg, StageLabels, full_design_dfg, label_stages
 from ..errors import SynthesisError
 from ..formal import PropertyChecker
+from ..formal.journal import VerdictJournal
 from ..formal.scheduler import DischargeScheduler, DischargeStats
 from ..netlist import Netlist
 from ..sva import EventSpec, InstrSpec, SvaFactory
@@ -106,13 +107,15 @@ class SynthesisResult:
         bounded = sum(1 for r in self.sva_records
                       if r.verdict.status == "PROVEN_BOUNDED")
         refuted = sum(1 for r in self.sva_records if r.verdict.refuted)
+        unknown = sum(1 for r in self.sva_records if r.verdict.unknown)
         total = len(self.sva_records)
         return {
             "svas": total,
             "proven": proven,
             "proven_bounded": bounded,
             "refuted": refuted,
-            "decided_fraction": 1.0 if total else 0.0,
+            "unknown": unknown,
+            "decided_fraction": (total - unknown) / total if total else 0.0,
             "full_proof_fraction": proven / max(proven + bounded, 1),
         }
 
@@ -124,9 +127,13 @@ class SynthesisResult:
         lines.append(f"  SVAs evaluated: {self.stats.total_svas()}, "
                      f"SAT time {self.stats.total_sva_time():.2f} s")
         coverage = self.proof_coverage()
+        decided = f"{100.0 * coverage['decided_fraction']:.0f}% decided"
         lines.append(f"  proof coverage: {coverage['proven']} proven, "
                      f"{coverage['proven_bounded']} bounded, "
-                     f"{coverage['refuted']} refuted (100% decided)")
+                     f"{coverage['refuted']} refuted ({decided})")
+        if coverage["unknown"]:
+            lines.append(f"  !! {coverage['unknown']} SVA(s) UNKNOWN (budget "
+                         "exhausted) — hypothesized edges kept conservatively")
         if self.discharge_stats is not None:
             for line in self.discharge_stats.summary().splitlines():
                 lines.append(f"  {line}")
@@ -143,6 +150,14 @@ class Rtl2Uspec:
     executes obligations inline exactly as the historical serial flow
     did; N>1 fans independent obligations out to a process pool; 0 or
     ``None`` means ``os.cpu_count()``.
+
+    ``journal`` attaches an append-only verdict journal: every decided
+    SVA is checkpointed per batch, and a journal opened with
+    ``resume=True`` serves already-decided obligations without
+    re-execution.  ``check_timeout`` is the per-SVA wall-clock budget
+    in seconds; a check that exhausts it yields an UNKNOWN verdict
+    whose hypothesized edge is kept conservatively.  The class is a
+    context manager; exiting it releases the discharge worker pool.
     """
 
     def __init__(self, sim_netlist: Netlist, formal_netlist: Netlist,
@@ -152,7 +167,9 @@ class Rtl2Uspec:
                  progress_horizon: Optional[int] = None,
                  relaxed: bool = True,
                  candidate_filter: Optional[Sequence[str]] = None,
-                 jobs: int = 1):
+                 jobs: int = 1,
+                 journal: Optional[VerdictJournal] = None,
+                 check_timeout: Optional[float] = None):
         metadata.validate(sim_netlist)
         self.sim_netlist = sim_netlist
         self.formal_netlist = formal_netlist
@@ -163,7 +180,9 @@ class Rtl2Uspec:
         self.relaxed = relaxed
         self.progress_horizon = progress_horizon or (metadata.num_cores + 6)
         self.candidate_filter = set(candidate_filter) if candidate_filter else None
-        self.scheduler = DischargeScheduler(self.checker, self.factory, jobs=jobs)
+        self.scheduler = DischargeScheduler(self.checker, self.factory, jobs=jobs,
+                                            journal=journal,
+                                            timeout_seconds=check_timeout)
         # State populated during synthesis:
         self.sva_records: List[SvaRecord] = []
         self.hbi_records: List[HbiRecord] = []
@@ -171,6 +190,12 @@ class Rtl2Uspec:
         self.iface = metadata.interfaces[0] if metadata.interfaces else None
         #: signature -> SvaRecord for every executed obligation
         self._verdicts: Dict[Tuple, SvaRecord] = {}
+
+    def __enter__(self) -> "Rtl2Uspec":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.scheduler.close()
 
     # ------------------------------------------------------------------
     # Helpers
@@ -295,7 +320,12 @@ class Rtl2Uspec:
             for state, stage in self._intra_candidates:
                 record = self._record(("a0", enc.name, state))
                 kind = self.classify(state)
-                graduated = record.verdict.refuted
+                # Refuted A0 = updated on the instruction's behalf.  An
+                # UNKNOWN verdict (budget exhausted) is treated
+                # conservatively: the hypothesized edge is kept, as if
+                # the update had been observed (over-approximation is
+                # sound for the synthesized orderings; §6.2 fallback).
+                graduated = record.verdict.refuted or record.verdict.unknown
                 # A0 hypotheses are one per core (symmetric cores).
                 self.stats.record_hypothesis(
                     INTRA, self.scope_of(state), graduated,
@@ -579,7 +609,10 @@ class Rtl2Uspec:
         phases: List[PhaseTiming] = []
         self.bug_reports: List[SvaRecord] = []
 
-        try:
+        # The scheduler context manager guarantees the worker pool is
+        # torn down on every exit path — an exception mid-synthesis
+        # must not leak worker processes.
+        with self.scheduler:
             start = time.perf_counter()
             self._build_dfg()
             phases.append(PhaseTiming("parse + DFG + hypothesis generation",
@@ -606,8 +639,6 @@ class Rtl2Uspec:
             self._consume_interface()
             phases.append(PhaseTiming("inter-instruction HBI evaluation",
                                       time.perf_counter() - start))
-        finally:
-            self.scheduler.close()
 
         start = time.perf_counter()
         merge_plan = merge_nodes(self)

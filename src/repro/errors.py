@@ -58,6 +58,28 @@ class FormalError(ReproError):
     """The formal engine (bit-blasting / BMC / induction) failed."""
 
 
+class DischargeTimeout(FormalError):
+    """A property check exceeded its wall-clock deadline.
+
+    The discharge scheduler treats this as a transient fault: the check
+    is retried with backoff and, if it keeps timing out, degrades to a
+    first-class UNKNOWN verdict rather than aborting the run.
+    """
+
+
+class WorkerCrashError(FormalError):
+    """A discharge worker process died (or was simulated to die).
+
+    Raised in-process when a crash is injected into the inline serial
+    path; a real pool-worker death surfaces as ``BrokenProcessPool``
+    and is mapped onto the same recovery policy.
+    """
+
+
+class JournalError(ReproError):
+    """The verdict journal could not be opened, written, or replayed."""
+
+
 class PropertyError(ReproError):
     """An SVA-style property is malformed or unsupported."""
 

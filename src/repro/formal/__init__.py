@@ -14,11 +14,15 @@ from .engine import (
     PROVEN_BOUNDED,
     REFUTED,
     UNDETERMINED,
+    UNKNOWN,
+    VERDICT_STATUSES,
     CheckParams,
     PropertyChecker,
     SafetyProblem,
     Verdict,
 )
+from .faults import FaultPlan, FaultyPropertyChecker
+from .journal import VerdictJournal
 from .scheduler import DischargeScheduler, DischargeStats
 from .trace import Trace, extract_trace, trace_to_vcd
 from .unroll import Unroller
@@ -43,8 +47,13 @@ __all__ = [
     "PropertyChecker",
     "DischargeScheduler",
     "DischargeStats",
+    "VerdictJournal",
+    "FaultPlan",
+    "FaultyPropertyChecker",
     "PROVEN",
     "REFUTED",
     "PROVEN_BOUNDED",
     "UNDETERMINED",
+    "UNKNOWN",
+    "VERDICT_STATUSES",
 ]

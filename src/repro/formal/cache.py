@@ -19,6 +19,39 @@ from ..netlist import Const, Netlist
 from .engine import REFUTED, CheckParams, Verdict
 
 
+def encode_verdict(verdict: Verdict) -> Dict:
+    """Serialize a verdict to a JSON-safe dict (traces are dropped)."""
+    return {
+        "status": verdict.status,
+        "method": verdict.method,
+        "bound": verdict.bound,
+        "time_seconds": verdict.time_seconds,
+        "induction_k": verdict.induction_k,
+        "name": verdict.name,
+        "reason": verdict.reason,
+    }
+
+
+def decode_verdict(entry: Dict, default_name: str = "cached") -> Verdict:
+    """Inverse of :func:`encode_verdict` (tolerates pre-``reason``
+    entries written by older versions)."""
+    return Verdict(
+        status=entry["status"],
+        method=entry["method"],
+        bound=entry["bound"],
+        time_seconds=entry["time_seconds"],
+        induction_k=entry.get("induction_k"),
+        name=entry.get("name", default_name),
+        reason=entry.get("reason"),
+    )
+
+
+def _entries_checksum(entries: Dict[str, Dict]) -> str:
+    """Canonical content hash of the cache payload."""
+    payload = json.dumps(entries, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def _ref_token(ref) -> str:
     if isinstance(ref, Const):
         return f"c{ref.width}:{ref.value}"
@@ -70,6 +103,13 @@ class VerdictCache:
     Refuted verdicts are cached as facts but re-checked when a trace is
     required (the cache stores no traces). Use via
     :class:`CachingPropertyChecker`.
+
+    On-disk format (version 2) wraps the entries in an envelope with a
+    SHA-256 checksum.  A file that fails to parse or whose checksum
+    does not match is *quarantined* — renamed to ``<path>.corrupt`` —
+    and the cache starts empty; corruption is never allowed to crash or
+    silently poison a synthesis run.  Version-1 files (a bare JSON
+    dict) are still read.
     """
 
     def __init__(self, path: str):
@@ -79,12 +119,41 @@ class VerdictCache:
         self.misses = 0
         #: cached refutations re-executed because a trace was required
         self.trace_reruns = 0
+        #: path the last corrupt cache file was renamed to (None if ok)
+        self.quarantined: Optional[str] = None
         if os.path.exists(path):
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    self._entries = json.load(handle)
-            except (json.JSONDecodeError, OSError):
-                self._entries = {}
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if not isinstance(data, dict):
+                raise ValueError("cache root is not an object")
+            if "entries" in data:
+                entries = data["entries"]
+                if not isinstance(entries, dict) or \
+                        data.get("checksum") != _entries_checksum(entries):
+                    raise ValueError("cache checksum mismatch")
+                self._entries = entries
+            else:
+                # Version-1 file: a bare fingerprint -> entry dict.
+                if not all(isinstance(v, dict) for v in data.values()):
+                    raise ValueError("cache entries are not objects")
+                self._entries = data
+        except (json.JSONDecodeError, OSError, ValueError, KeyError):
+            self._entries = {}
+            self._quarantine(path)
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt cache aside so the next save starts clean."""
+        target = path + ".corrupt"
+        try:
+            os.replace(path, target)
+            self.quarantined = target
+        except OSError:
+            # Can't rename (permissions, races): just ignore the file.
+            self.quarantined = None
 
     def lookup(self, fingerprint: str) -> Optional[Verdict]:
         entry = self._entries.get(fingerprint)
@@ -92,24 +161,10 @@ class VerdictCache:
             self.misses += 1
             return None
         self.hits += 1
-        return Verdict(
-            status=entry["status"],
-            method=entry["method"],
-            bound=entry["bound"],
-            time_seconds=entry["time_seconds"],
-            induction_k=entry.get("induction_k"),
-            name=entry.get("name", "cached"),
-        )
+        return decode_verdict(entry)
 
     def store(self, fingerprint: str, verdict: Verdict) -> None:
-        self._entries[fingerprint] = {
-            "status": verdict.status,
-            "method": verdict.method,
-            "bound": verdict.bound,
-            "time_seconds": verdict.time_seconds,
-            "induction_k": verdict.induction_k,
-            "name": verdict.name,
-        }
+        self._entries[fingerprint] = encode_verdict(verdict)
 
     def save(self) -> None:
         """Atomically persist the cache.
@@ -126,7 +181,12 @@ class VerdictCache:
             dir=directory)
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(self._entries, handle, indent=0)
+                json.dump({
+                    "format": "rtl2uspec-verdict-cache",
+                    "version": 2,
+                    "checksum": _entries_checksum(self._entries),
+                    "entries": self._entries,
+                }, handle, indent=0)
             os.replace(temp_path, self.path)
         except BaseException:
             try:

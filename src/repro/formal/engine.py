@@ -12,6 +12,14 @@ to count) and assertion wires (the property: must hold every cycle).
 * if induction fails up to ``max_k``, the verdict degrades to
   ``PROVEN_BOUNDED`` (clean up to the BMC bound) — the analogue of
   JasperGold's ``undetermined`` results in the paper's Fig. 6.
+
+Checks carry optional *resource budgets*: a wall-clock deadline
+(``timeout_seconds``) and a SAT conflict budget (``max_conflicts``).
+A check that exhausts either budget before BMC can decide the property
+yields a first-class ``UNKNOWN`` verdict (with the exhausted budget in
+``Verdict.reason``) instead of raising, so a single runaway SVA can
+never strand a whole synthesis run — the caller degrades conservatively,
+mirroring the paper's §6.2 relaxation fallbacks.
 """
 
 from __future__ import annotations
@@ -20,9 +28,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import FormalError
 from ..netlist import Netlist, cone_of_influence
-from ..sat import UNKNOWN, UNSAT, Cnf, Solver
+from ..sat import UNSAT, Cnf, Solver
+from ..sat import UNKNOWN as _SAT_UNKNOWN
 from .bitblast import BlastedDesign, bitblast
 from .trace import Trace, extract_trace
 from .unroll import Unroller
@@ -31,6 +39,11 @@ PROVEN = "PROVEN"
 REFUTED = "REFUTED"
 PROVEN_BOUNDED = "PROVEN_BOUNDED"
 UNDETERMINED = "UNDETERMINED"
+#: budget exhausted before BMC could decide the property
+UNKNOWN = "UNKNOWN"
+
+#: every status a well-formed verdict may carry
+VERDICT_STATUSES = (PROVEN, REFUTED, PROVEN_BOUNDED, UNDETERMINED, UNKNOWN)
 
 
 @dataclass
@@ -59,6 +72,9 @@ class Verdict:
     trace: Optional[Trace] = None
     induction_k: Optional[int] = None
     name: str = "property"
+    #: for UNKNOWN verdicts: which budget ran out ("timeout" /
+    #: "conflict-budget"); None for decided verdicts
+    reason: Optional[str] = None
 
     @property
     def proven(self) -> bool:
@@ -68,52 +84,89 @@ class Verdict:
     def refuted(self) -> bool:
         return self.status == REFUTED
 
+    @property
+    def unknown(self) -> bool:
+        return self.status == UNKNOWN
+
     def __repr__(self) -> str:
         extra = f", k={self.induction_k}" if self.induction_k is not None else ""
+        if self.reason is not None:
+            extra += f", reason={self.reason}"
         return (f"Verdict({self.name}: {self.status} via {self.method}, "
                 f"bound={self.bound}{extra}, {self.time_seconds:.2f}s)")
 
 
 @dataclass(frozen=True)
 class CheckParams:
-    """Picklable per-check parameters for worker-side execution."""
+    """Picklable per-check parameters for worker-side execution.
+
+    ``timeout_seconds``/``max_conflicts`` are per-check budgets (None =
+    the checker's own defaults).  ``task_index`` and ``attempt`` are
+    scheduler bookkeeping: the deterministic execution index of the
+    obligation and how many retries preceded this call.  The engine
+    ignores them; the fault-injection harness keys on them.
+    """
 
     bound: Optional[int] = None
     prove: bool = True
+    timeout_seconds: Optional[float] = None
+    max_conflicts: Optional[int] = None
+    task_index: int = -1
+    attempt: int = 0
 
 
 class PropertyChecker:
     """Decides safety problems with BMC + k-induction."""
 
     def __init__(self, bound: int = 14, max_k: int = 12,
-                 use_coi: bool = True, max_conflicts: Optional[int] = None):
+                 use_coi: bool = True, max_conflicts: Optional[int] = None,
+                 timeout_seconds: Optional[float] = None):
         self.bound = bound
         self.max_k = max_k
         self.use_coi = use_coi
         self.max_conflicts = max_conflicts
+        self.timeout_seconds = timeout_seconds
         #: cumulative statistics across check() calls
         self.stats: Dict[str, float] = {"checks": 0, "sat_time": 0.0}
 
     # ------------------------------------------------------------------
     def check(self, problem: SafetyProblem, bound: Optional[int] = None,
-              prove: bool = True) -> Verdict:
+              prove: bool = True, timeout_seconds: Optional[float] = None,
+              max_conflicts: Optional[int] = None) -> Verdict:
         """Decide ``problem``; ``prove=False`` skips induction (useful
-        when only refutation matters)."""
+        when only refutation matters).
+
+        An exhausted wall-clock or conflict budget during BMC yields an
+        UNKNOWN verdict (never an exception and never a wrong answer);
+        an exhausted budget during induction soundly degrades the
+        result to PROVEN_BOUNDED, since BMC already cleared the bound.
+        """
         start = time.perf_counter()
         bound = bound if bound is not None else self.bound
+        timeout = timeout_seconds if timeout_seconds is not None \
+            else self.timeout_seconds
+        deadline = (start + timeout) if timeout is not None else None
+        conflicts = max_conflicts if max_conflicts is not None \
+            else self.max_conflicts
         netlist = problem.netlist
         if self.use_coi:
             netlist = cone_of_influence(netlist, problem.roots())
         frozen = [f for f in problem.frozen_inputs if f in netlist.inputs]
         design = bitblast(netlist, frozen)
 
-        cex = self._bmc(design, problem, netlist, bound)
+        cex, budget_hit = self._bmc(design, problem, netlist, bound,
+                                    deadline, conflicts)
         self.stats["checks"] += 1
+        if budget_hit is not None:
+            elapsed = time.perf_counter() - start
+            return Verdict(UNKNOWN, "bmc", bound, elapsed, name=problem.name,
+                           reason=budget_hit)
         if cex is not None:
             elapsed = time.perf_counter() - start
             return Verdict(REFUTED, "bmc", bound, elapsed, trace=cex, name=problem.name)
         if prove:
-            k_ok = self._induction(design, problem, netlist, bound)
+            k_ok = self._induction(design, problem, netlist, bound,
+                                   deadline, conflicts)
             elapsed = time.perf_counter() - start
             if k_ok is not None:
                 return Verdict(PROVEN, "k-induction", bound, elapsed,
@@ -127,7 +180,9 @@ class PropertyChecker:
         """Picklable entry point for pool workers: ``check`` driven by a
         :class:`CheckParams` value instead of keyword arguments."""
         params = params or CheckParams()
-        return self.check(problem, bound=params.bound, prove=params.prove)
+        return self.check(problem, bound=params.bound, prove=params.prove,
+                          timeout_seconds=params.timeout_seconds,
+                          max_conflicts=params.max_conflicts)
 
     # ------------------------------------------------------------------
     def _reset_schedule(self, unroller: Unroller, netlist: Netlist,
@@ -152,7 +207,13 @@ class PropertyChecker:
         return assume_ok, fail
 
     def _bmc(self, design: BlastedDesign, problem: SafetyProblem,
-             netlist: Netlist, bound: int) -> Optional[Trace]:
+             netlist: Netlist, bound: int,
+             deadline: Optional[float] = None,
+             max_conflicts: Optional[int] = None
+             ) -> Tuple[Optional[Trace], Optional[str]]:
+        """Returns ``(counterexample, budget_hit)``: the trace if the
+        property is refuted (None if clean up to ``bound``), and the
+        name of the exhausted budget when BMC could not decide."""
         cnf = Cnf()
         unroller = Unroller(design, cnf)
         unroller.extend_to(bound + 1)
@@ -168,28 +229,36 @@ class PropertyChecker:
         solver = Solver()
         solver.add_cnf(cnf)
         t0 = time.perf_counter()
-        status = solver.solve(max_conflicts=self.max_conflicts)
+        status = solver.solve(max_conflicts=max_conflicts, deadline=deadline)
         self.stats["sat_time"] += time.perf_counter() - t0
-        if status == UNKNOWN:
-            raise FormalError(f"BMC exceeded the conflict budget on {problem.name!r}")
+        if status == _SAT_UNKNOWN:
+            if deadline is not None and time.perf_counter() >= deadline:
+                return None, "timeout"
+            return None, "conflict-budget"
         if status == UNSAT:
-            return None
+            return None, None
         # Find the failing cycle for reporting.
         fail_cycle = None
         for t, lit in enumerate(violations):
             if solver.model_value(lit):
                 fail_cycle = t
                 break
-        return extract_trace(unroller, solver, bound + 1, fail_cycle)
+        return extract_trace(unroller, solver, bound + 1, fail_cycle), None
 
     def _induction(self, design: BlastedDesign, problem: SafetyProblem,
-                   netlist: Netlist, base_bound: int) -> Optional[int]:
+                   netlist: Netlist, base_bound: int,
+                   deadline: Optional[float] = None,
+                   max_conflicts: Optional[int] = None) -> Optional[int]:
         """Try k-induction for k = 1..max_k; returns the successful k.
 
         The base case is the (already clean) BMC run when k <= bound;
-        for safety we re-check the base up to k as well.
+        for safety we re-check the base up to k as well.  A budget hit
+        simply stops the escalation (the caller degrades to
+        PROVEN_BOUNDED, which BMC has already established).
         """
         for k in range(1, self.max_k + 1):
+            if deadline is not None and time.perf_counter() >= deadline:
+                return None
             if k > base_bound:
                 # Base case beyond the BMC bound has not been checked.
                 return None
@@ -210,10 +279,10 @@ class PropertyChecker:
             solver = Solver()
             solver.add_cnf(cnf)
             t0 = time.perf_counter()
-            status = solver.solve(max_conflicts=self.max_conflicts)
+            status = solver.solve(max_conflicts=max_conflicts, deadline=deadline)
             self.stats["sat_time"] += time.perf_counter() - t0
             if status == UNSAT:
                 return k
-            if status == UNKNOWN:
+            if status == _SAT_UNKNOWN:
                 return None
         return None

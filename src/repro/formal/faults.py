@@ -1,0 +1,122 @@
+"""Deterministic fault injection for the discharge pipeline.
+
+The fault-tolerance machinery in :class:`DischargeScheduler` — pool
+rebuilds, bounded retries, watchdog timeouts, garbage-verdict
+validation — is only trustworthy if it can be *proven* not to change
+synthesized models.  This module supplies the test harness for that
+proof: a :class:`FaultyPropertyChecker` that wraps any checker and
+injects failures at exact, reproducible points of the discharge
+schedule.
+
+Faults are keyed by the obligation's deterministic execution index
+(``CheckParams.task_index``, assigned by the scheduler in plan order,
+identical across job counts) and the retry ``attempt`` number:
+
+* ``crash`` — the worker process dies (``os._exit``) so the parent
+  observes a real ``BrokenProcessPool``; on the inline path the same
+  schedule raises :class:`WorkerCrashError` instead.
+* ``hang``  — a simulated wall-clock timeout: raises
+  :class:`DischargeTimeout` (avoiding real multi-second sleeps in
+  tests) which the scheduler treats exactly like a watchdog firing.
+* ``garbage`` — returns a malformed verdict (bogus status, negative
+  times) that the scheduler's validation must reject and retry.
+
+By default a site faults only on attempt 0 (``attempts=1``), so the
+scheduler's first retry succeeds and the run must converge to the
+byte-identical fault-free model.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from ..errors import DischargeTimeout, WorkerCrashError
+from .engine import CheckParams, Verdict
+
+CRASH = "crash"
+HANG = "hang"
+GARBAGE = "garbage"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable, fully deterministic fault schedule.
+
+    ``crashes`` / ``hangs`` / ``garbage`` are sets of obligation
+    execution indices (``CheckParams.task_index``).  A listed site
+    misbehaves on attempts ``0..attempts-1`` and behaves normally from
+    attempt ``attempts`` on; set ``attempts`` beyond the scheduler's
+    retry budget to model a *persistent* fault.  ``hard_crashes``
+    selects real worker death (``os._exit``) over a raised
+    :class:`WorkerCrashError` when running inside a pool worker.
+    """
+
+    crashes: FrozenSet[int] = frozenset()
+    hangs: FrozenSet[int] = frozenset()
+    garbage: FrozenSet[int] = frozenset()
+    attempts: int = 1
+    hard_crashes: bool = True
+
+    def fault_for(self, task_index: int, attempt: int) -> Optional[str]:
+        if task_index < 0 or attempt >= self.attempts:
+            return None
+        if task_index in self.crashes:
+            return CRASH
+        if task_index in self.hangs:
+            return HANG
+        if task_index in self.garbage:
+            return GARBAGE
+        return None
+
+    def sites(self) -> FrozenSet[int]:
+        return self.crashes | self.hangs | self.garbage
+
+
+def _in_pool_worker() -> bool:
+    """True when executing inside a discharge pool worker process."""
+    from .scheduler import _WORKER_STATE
+    return bool(_WORKER_STATE.get("in_worker"))
+
+
+class FaultyPropertyChecker:
+    """A :class:`PropertyChecker` lookalike that executes a fault plan.
+
+    Drop-in for the raw checker anywhere the scheduler accepts one
+    (including pickling into pool workers); checks not named by the
+    plan are delegated unchanged.
+    """
+
+    def __init__(self, checker, plan: FaultPlan):
+        self.checker = checker
+        self.plan = plan
+        # Mirror the wrapped checker's scheduler-facing surface.
+        self.bound = checker.bound
+        self.max_k = checker.max_k
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        return self.checker.stats
+
+    def check_problem(self, problem, params: Optional[CheckParams] = None) -> Verdict:
+        params = params or CheckParams()
+        fault = self.plan.fault_for(params.task_index, params.attempt)
+        if fault == CRASH:
+            if self.plan.hard_crashes and _in_pool_worker():
+                os._exit(43)  # hard death: parent sees BrokenProcessPool
+            raise WorkerCrashError(
+                f"injected crash at task {params.task_index} "
+                f"attempt {params.attempt}")
+        if fault == HANG:
+            raise DischargeTimeout(
+                f"injected hang at task {params.task_index} "
+                f"attempt {params.attempt}")
+        if fault == GARBAGE:
+            return Verdict(status="SOLVED???", method="fault-injection",
+                           bound=-7, time_seconds=-1.0, name=problem.name)
+        return self.checker.check_problem(problem, params)
+
+    def check(self, problem, bound=None, prove=True, **kwargs) -> Verdict:
+        """Direct checks bypass injection (no scheduler task identity)."""
+        return self.checker.check(problem, bound=bound, prove=prove, **kwargs)

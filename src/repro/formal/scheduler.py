@@ -1,5 +1,5 @@
-"""Parallel discharge of SVA obligation graphs (the execute half of
-plan/execute).
+"""Parallel, fault-tolerant discharge of SVA obligation graphs (the
+execute half of plan/execute).
 
 :class:`DischargeScheduler` walks an
 :class:`repro.core.obligations.ObligationGraph` in topological batches:
@@ -20,43 +20,88 @@ Workers are initialized once with the (picklable) :class:`SvaFactory`
 and the raw :class:`PropertyChecker`; per-task payloads are just
 ``(builder-name, args, params)`` tuples, so the netlist crosses the
 process boundary once per worker rather than once per obligation.
+Workers return ``(verdict, stats_delta)`` so per-worker engine counters
+(checks, SAT time) are merged back into the parent's statistics.
+
+Fault tolerance: a worker death (``BrokenProcessPool``), a hung check
+(watchdog timeout on the future), a simulated timeout
+(:class:`DischargeTimeout`), or a garbage verdict never aborts the
+run.  The failed obligation is retried with bounded exponential
+backoff on a rebuilt pool, and after ``max_retries`` failures it runs
+inline in the parent process — a crashing worker can change the wall
+clock, never the synthesized model.  Checks that exhaust their own
+wall-clock/conflict budgets return first-class UNKNOWN verdicts, which
+downstream consumers treat conservatively.
+
+Checkpointing: with a :class:`repro.formal.journal.VerdictJournal`
+attached, every freshly decided verdict is appended and fsynced once
+per batch, and journal replay serves already-decided obligations on a
+resumed run without re-executing them.
 
 Determinism: batches are formed and results are consumed in graph
 insertion order regardless of completion order, so ``jobs=N`` produces
 the same verdict map (and hence byte-identical synthesized models) as
-``jobs=1``.
+``jobs=1`` — with or without injected faults.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import FormalError
+from ..errors import DischargeTimeout, FormalError, WorkerCrashError
 from .cache import CachingPropertyChecker, VerdictCache, problem_fingerprint
-from .engine import CheckParams, PropertyChecker, Verdict
+from .engine import VERDICT_STATUSES, CheckParams, PropertyChecker, Verdict
+from .journal import VerdictJournal
 
 # ----------------------------------------------------------------------
 # Worker-process plumbing (top level: must be picklable / importable)
 # ----------------------------------------------------------------------
 _WORKER_STATE: Dict[str, object] = {}
 
+#: exceptions that mark one check as failed-but-retryable
+_RETRYABLE = (DischargeTimeout, WorkerCrashError)
+#: exceptions that mean the pool itself must be rebuilt
+_POOL_FAILURES = (BrokenProcessPool, BrokenExecutor)
+
 
 def _worker_init(factory, engine) -> None:
     """Pool initializer: receive the factory and checker once."""
     _WORKER_STATE["factory"] = factory
     _WORKER_STATE["engine"] = engine
+    _WORKER_STATE["in_worker"] = True
 
 
-def _worker_check(builder: str, args: Tuple, params: CheckParams) -> Verdict:
-    """Build one obligation's problem in the worker and decide it."""
+def _worker_check(builder: str, args: Tuple, params: CheckParams
+                  ) -> Tuple[Verdict, Dict[str, float]]:
+    """Build one obligation's problem in the worker and decide it.
+
+    Returns the verdict together with the delta of the worker engine's
+    statistics for this one check, so the parent can merge per-worker
+    counters instead of silently dropping them.
+    """
     from ..core.obligations import build_problem
     problem = build_problem(_WORKER_STATE["factory"], builder, args)
     engine = _WORKER_STATE["engine"]
-    return engine.check_problem(problem, params)
+    before = dict(engine.stats)
+    verdict = engine.check_problem(problem, params)
+    delta = {key: value - before.get(key, 0)
+             for key, value in engine.stats.items()}
+    return verdict, delta
+
+
+def _verdict_valid(verdict) -> bool:
+    """Reject garbage from a misbehaving worker before it can poison
+    the verdict map (fault-injection contract)."""
+    return (isinstance(verdict, Verdict)
+            and verdict.status in VERDICT_STATUSES
+            and isinstance(verdict.time_seconds, float)
+            and verdict.time_seconds >= 0.0)
 
 
 # ----------------------------------------------------------------------
@@ -74,11 +119,21 @@ class DischargeStats:
     cache_hits: int = 0       # verdicts served from the VerdictCache
     cache_misses: int = 0
     trace_reruns: int = 0     # cached refutations re-run for their trace
+    journal_hits: int = 0     # verdicts replayed from the resume journal
     batches: int = 0          # topological waves executed
     rounds: int = 0           # discharge() calls
     pool_tasks: int = 0       # obligations that crossed the process boundary
+    retries: int = 0          # re-submissions after a recoverable failure
+    worker_crashes: int = 0   # dead workers / broken pools observed
+    timeouts: int = 0         # watchdog or simulated check timeouts
+    garbage_verdicts: int = 0  # malformed verdicts rejected by validation
+    inline_fallbacks: int = 0  # obligations that fell back to the parent
+    unknowns: int = 0         # first-class UNKNOWN verdicts (budget hits)
     wall_seconds: float = 0.0
     check_seconds: float = 0.0  # sum of per-verdict times (CPU, not wall)
+
+    def faults_observed(self) -> int:
+        return self.worker_crashes + self.timeouts + self.garbage_verdicts
 
     def summary(self) -> str:
         lines = [
@@ -91,6 +146,18 @@ class DischargeStats:
             lines.append(
                 f"  verdict cache: {self.cache_hits} hits, "
                 f"{self.cache_misses} misses, {self.trace_reruns} trace re-runs")
+        if self.journal_hits:
+            lines.append(f"  resume journal: {self.journal_hits} verdict(s) "
+                         "replayed without re-execution")
+        if self.faults_observed() or self.retries or self.inline_fallbacks:
+            lines.append(
+                f"  faults: {self.worker_crashes} worker crash(es), "
+                f"{self.timeouts} timeout(s), {self.garbage_verdicts} garbage "
+                f"verdict(s); {self.retries} retried, "
+                f"{self.inline_fallbacks} inline fallback(s)")
+        if self.unknowns:
+            lines.append(f"  {self.unknowns} UNKNOWN verdict(s) "
+                         "(budget exhausted; treated conservatively)")
         lines.append(
             f"  wall {self.wall_seconds:.2f} s, checker time "
             f"{self.check_seconds:.2f} s, {self.pool_tasks} pool task(s)")
@@ -107,9 +174,23 @@ class DischargeScheduler:
     :class:`CachingPropertyChecker`; in the latter case the scheduler
     takes over the cache so probes happen at plan time.  ``jobs<=0``
     means ``os.cpu_count()``.
+
+    Fault-tolerance knobs: ``timeout_seconds`` is the per-SVA
+    wall-clock budget handed to each check (exhaustion = UNKNOWN);
+    ``watchdog_seconds`` bounds how long the parent waits for a pool
+    worker before declaring it hung and rebuilding the pool;
+    ``max_retries`` bounds re-submissions per obligation before it
+    falls back to inline execution; ``retry_backoff`` is the base of
+    the exponential backoff between retry waves.  ``journal`` attaches
+    an append-only verdict journal for checkpoint/resume.
     """
 
-    def __init__(self, checker, factory, jobs: int = 1):
+    def __init__(self, checker, factory, jobs: int = 1,
+                 journal: Optional[VerdictJournal] = None,
+                 timeout_seconds: Optional[float] = None,
+                 watchdog_seconds: Optional[float] = None,
+                 max_retries: int = 3,
+                 retry_backoff: float = 0.05):
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
@@ -122,9 +203,16 @@ class DischargeScheduler:
             self._engine = checker
             self._cache = None
             self._need_traces = False
-        self._params = CheckParams()
+        self._journal = journal
+        self.timeout_seconds = timeout_seconds
+        self.watchdog_seconds = watchdog_seconds
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff = retry_backoff
+        self._params = CheckParams(timeout_seconds=timeout_seconds)
         self.stats = DischargeStats(jobs=self.jobs)
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: deterministic execution index of the next fresh obligation
+        self._task_counter = 0
 
     # ------------------------------------------------------------------
     def discharge(self, graph, known: Optional[Dict[Tuple, Verdict]] = None
@@ -173,7 +261,13 @@ class DischargeScheduler:
                     results.append((obligation, verdict))
                     self.stats.executed += 1
                     self.stats.check_seconds += verdict.time_seconds
+                    if verdict.unknown:
+                        self.stats.unknowns += 1
         finally:
+            # Checkpoint whatever completed, even when aborting mid-run
+            # (deadlock, unrecoverable fault, KeyboardInterrupt).
+            if self._journal is not None:
+                self._journal.commit()
             self.stats.wall_seconds += time.perf_counter() - start
         return results
 
@@ -187,14 +281,25 @@ class DischargeScheduler:
         problems: Dict[int, object] = {}
         fingerprints: Dict[int, str] = {}
 
-        if self._cache is not None:
-            # Plan-time cache probes: only misses reach the pool.
+        if self._cache is not None or self._journal is not None:
+            # Plan-time probes: journal first (resumed verdicts), then
+            # the cache; only misses are ever executed.
             for index, obligation in enumerate(batch):
                 problem = obligation.build(self.factory)
                 problems[index] = problem
                 fingerprint = problem_fingerprint(
                     problem, self._engine.bound, self._engine.max_k)
                 fingerprints[index] = fingerprint
+                journaled = None if self._journal is None \
+                    else self._journal.lookup(fingerprint)
+                if journaled is not None:
+                    journaled.name = problem.name
+                    outcomes[index] = journaled
+                    self.stats.journal_hits += 1
+                    continue
+                if self._cache is None:
+                    to_run.append(index)
+                    continue
                 cached = self._cache.lookup(fingerprint)
                 if cached is None:
                     self.stats.cache_misses += 1
@@ -211,36 +316,177 @@ class DischargeScheduler:
         else:
             to_run = list(range(len(batch)))
 
+        # Deterministic execution indices: assigned in plan order, so a
+        # fault plan keyed by task_index names the same obligation at
+        # any job count.
+        task_indices = {}
+        for index in to_run:
+            task_indices[index] = self._task_counter
+            self._task_counter += 1
+
         if self.jobs > 1 and len(to_run) > 1:
-            pool = self._ensure_pool()
-            futures = [
-                pool.submit(_worker_check, batch[index].builder,
-                            batch[index].args, self._params)
-                for index in to_run
-            ]
-            self.stats.pool_tasks += len(futures)
-            # Consume in submission order — completion order must not
-            # influence anything downstream.
-            for index, future in zip(to_run, futures):
-                verdict = future.result()
+            for index, verdict in self._run_pool(batch, to_run, task_indices).items():
                 outcomes[index] = verdict
-                self._engine.stats["checks"] += 1
         else:
             for index in to_run:
                 problem = problems.get(index)
                 if problem is None:
                     problem = batch[index].build(self.factory)
-                outcomes[index] = self._engine.check_problem(problem, self._params)
+                outcomes[index] = self._check_inline(
+                    batch[index], problem, task_indices[index])
 
         if self._cache is not None:
             for index in to_run:
                 verdict = outcomes[index]
-                if verdict is not None:
+                # UNKNOWN is a budget artifact, not a fact about the
+                # design: never persist it in the cross-run cache.
+                if verdict is not None and not verdict.unknown:
                     self._cache.store(fingerprints[index], verdict)
+        if self._journal is not None:
+            # Journal every verdict resolved this batch (fresh runs and
+            # cache hits alike) so resume never depends on the cache;
+            # discharge() commits once per batch.
+            for index, fingerprint in fingerprints.items():
+                verdict = outcomes[index]
+                if verdict is not None and fingerprint not in self._journal:
+                    self._journal.record(fingerprint, verdict)
 
         return [(obligation, outcomes[index])
                 for index, obligation in enumerate(batch)
                 if outcomes[index] is not None]
+
+    # ------------------------------------------------------------------
+    # Pool execution with crash/timeout/garbage recovery
+    # ------------------------------------------------------------------
+    def _run_pool(self, batch, to_run: List[int],
+                  task_indices: Dict[int, int]) -> Dict[int, Verdict]:
+        """Fan one wave out to the pool; survive worker faults.
+
+        Failed obligations are retried in subsequent waves (with
+        exponential backoff and a rebuilt pool when it broke); after
+        ``max_retries`` failures an obligation degrades to inline
+        execution in the parent.
+        """
+        outcomes: Dict[int, Verdict] = {}
+        pending: List[Tuple[int, int]] = [(index, 0) for index in to_run]
+        wave = 0
+        while pending:
+            futures = self._submit_wave(batch, pending, task_indices)
+            failed: List[Tuple[int, int]] = []
+            pool_broken = False
+            for (index, attempt), future in zip(pending, futures):
+                if future is None:  # submission itself hit a broken pool
+                    pool_broken = True
+                    failed.append((index, attempt))
+                    continue
+                try:
+                    verdict, delta = future.result(timeout=self.watchdog_seconds)
+                except _POOL_FAILURES:
+                    self.stats.worker_crashes += 1
+                    pool_broken = True
+                    failed.append((index, attempt))
+                    continue
+                except FuturesTimeout:
+                    # The worker is hung: the pool must be torn down to
+                    # kill it, which invalidates this wave's siblings
+                    # too (they resurface as BrokenProcessPool above).
+                    self.stats.timeouts += 1
+                    pool_broken = True
+                    failed.append((index, attempt))
+                    continue
+                except DischargeTimeout:
+                    self.stats.timeouts += 1
+                    failed.append((index, attempt))
+                    continue
+                except WorkerCrashError:
+                    self.stats.worker_crashes += 1
+                    failed.append((index, attempt))
+                    continue
+                if not _verdict_valid(verdict):
+                    self.stats.garbage_verdicts += 1
+                    failed.append((index, attempt))
+                    continue
+                self._merge_stats(delta)
+                outcomes[index] = verdict
+            if pool_broken:
+                self._kill_pool()
+            pending = []
+            for index, attempt in failed:
+                if attempt >= self.max_retries:
+                    self.stats.inline_fallbacks += 1
+                    problem = batch[index].build(self.factory)
+                    outcomes[index] = self._check_once(
+                        problem, task_indices[index], attempt + 1)
+                else:
+                    self.stats.retries += 1
+                    pending.append((index, attempt + 1))
+            if pending:
+                wave += 1
+                time.sleep(min(self.retry_backoff * (2 ** (wave - 1)), 2.0))
+        return outcomes
+
+    def _submit_wave(self, batch, pending, task_indices):
+        """Submit one retry wave; a broken pool during submission marks
+        the remaining entries as failed rather than raising."""
+        futures = []
+        for index, attempt in pending:
+            params = replace(self._params,
+                             task_index=task_indices[index], attempt=attempt)
+            try:
+                pool = self._ensure_pool()
+                futures.append(pool.submit(
+                    _worker_check, batch[index].builder, batch[index].args,
+                    params))
+                self.stats.pool_tasks += 1
+            except _POOL_FAILURES:
+                self.stats.worker_crashes += 1
+                self._kill_pool()
+                futures.append(None)
+        return futures
+
+    def _merge_stats(self, delta: Dict[str, float]) -> None:
+        for key, value in delta.items():
+            self._engine.stats[key] = self._engine.stats.get(key, 0) + value
+
+    # ------------------------------------------------------------------
+    # Inline execution (jobs=1 and the pool's last-resort fallback)
+    # ------------------------------------------------------------------
+    def _check_inline(self, obligation, problem, task_index: int) -> Verdict:
+        """Decide one obligation in-process with the same retry policy
+        as the pool path (crash/hang injections raise here instead of
+        killing a worker)."""
+        attempt = 0
+        while True:
+            try:
+                verdict = self._check_once(problem, task_index, attempt)
+            except _RETRYABLE as exc:
+                self._count_failure(exc)
+                if attempt >= self.max_retries:
+                    raise
+                self.stats.retries += 1
+                attempt += 1
+                time.sleep(min(self.retry_backoff * (2 ** (attempt - 1)), 2.0))
+                continue
+            if _verdict_valid(verdict):
+                return verdict
+            self.stats.garbage_verdicts += 1
+            if attempt >= self.max_retries:
+                raise FormalError(
+                    f"checker returned an invalid verdict for "
+                    f"{problem.name!r} after {attempt + 1} attempt(s)")
+            self.stats.retries += 1
+            attempt += 1
+            time.sleep(min(self.retry_backoff * (2 ** (attempt - 1)), 2.0))
+
+    def _check_once(self, problem, task_index: int, attempt: int) -> Verdict:
+        params = replace(self._params, task_index=task_index, attempt=attempt)
+        return self._engine.check_problem(problem, params)
+
+    def _count_failure(self, exc: Exception) -> None:
+        if isinstance(exc, DischargeTimeout):
+            self.stats.timeouts += 1
+        else:
+            self.stats.worker_crashes += 1
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -250,6 +496,21 @@ class DischargeScheduler:
                 initializer=_worker_init,
                 initargs=(self.factory, self._engine))
         return self._pool
+
+    def _kill_pool(self) -> None:
+        """Tear the pool down hard (terminate workers) so a hung or
+        crashed worker cannot outlive its batch; the next submission
+        rebuilds a fresh pool."""
+        if self._pool is None:
+            return
+        processes = getattr(self._pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError):
+                pass
+        self._pool.shutdown(wait=False)
+        self._pool = None
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""

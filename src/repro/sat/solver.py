@@ -18,6 +18,7 @@ watched ones.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..errors import SatError
@@ -362,13 +363,18 @@ class Solver:
     # ------------------------------------------------------------------
     # Main search
     # ------------------------------------------------------------------
-    def solve(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None) -> str:
+    def solve(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None,
+              deadline: Optional[float] = None) -> str:
         """Run CDCL search; returns SAT, UNSAT or UNKNOWN (budget hit).
 
         ``assumptions`` are literals treated as temporary decisions; on
         UNSAT caused by assumptions, :attr:`conflict_assumptions` holds a
-        subset of failed assumptions.
+        subset of failed assumptions.  ``deadline`` is an absolute
+        ``time.perf_counter()`` instant: the search polls the clock
+        every few conflicts and returns UNKNOWN once it is past due.
         """
+        if deadline is not None and time.perf_counter() >= deadline:
+            return UNKNOWN
         self.conflict_assumptions: List[int] = []
         if not self.ok:
             return UNSAT
@@ -409,6 +415,13 @@ class Solver:
                     self._enqueue(learned[0], learned)
                 self.var_inc /= self.var_decay
                 if conflict_budget is not None and self.conflicts - start_conflicts >= conflict_budget:
+                    self._backtrack(0)
+                    return UNKNOWN
+                # Poll the wall clock only every 16 conflicts: a
+                # perf_counter() call per conflict is measurable on the
+                # hot path, and deadline precision is not.
+                if deadline is not None and self.conflicts % 16 == 0 \
+                        and time.perf_counter() >= deadline:
                     self._backtrack(0)
                     return UNKNOWN
                 if conflicts_since_restart >= restart_limit:

@@ -2,8 +2,15 @@
 
 import pytest
 
-from repro.errors import FormalError
-from repro.formal import PROVEN, PROVEN_BOUNDED, REFUTED, PropertyChecker, SafetyProblem
+from repro.formal import (
+    PROVEN,
+    PROVEN_BOUNDED,
+    REFUTED,
+    UNKNOWN,
+    CheckParams,
+    PropertyChecker,
+    SafetyProblem,
+)
 from repro.verilog import compile_verilog
 
 TWO_PROPS = """
@@ -36,11 +43,7 @@ class TestMultiAssert:
         assert verdict.status == PROVEN
 
 
-class TestBudgets:
-    def test_conflict_budget_raises(self):
-        # A hard UNSAT instance with a tiny conflict budget must raise
-        # rather than silently claim anything.
-        src = """
+HARD_SRC = """
 module hard(input wire clk, input wire reset, input wire [23:0] x,
             output wire ok);
     reg [23:0] acc;
@@ -51,16 +54,48 @@ module hard(input wire clk, input wire reset, input wire [23:0] x,
     assign ok = (acc ^ (acc >> 1)) != 24'hABCDEF || 1'b1;
 endmodule
 """
-        netlist = compile_verilog(src, "hard")
+
+
+class TestBudgets:
+    def test_conflict_budget_degrades_to_unknown(self):
+        # A hard instance with a tiny conflict budget must yield either
+        # a sound verdict or a first-class UNKNOWN — never a wrong
+        # verdict, and never an exception.
+        netlist = compile_verilog(HARD_SRC, "hard")
         checker = PropertyChecker(bound=10, max_k=0, max_conflicts=1)
-        # The trivially-true assertion makes BMC UNSAT, but the budget of
-        # one conflict may or may not suffice; the contract is: either a
-        # sound verdict or FormalError — never a wrong verdict.
-        try:
-            verdict = checker.check(SafetyProblem(netlist, [], ["ok"]), prove=False)
+        verdict = checker.check(SafetyProblem(netlist, [], ["ok"]), prove=False)
+        if verdict.unknown:
+            assert verdict.status == UNKNOWN
+            assert verdict.reason == "conflict-budget"
+            assert not verdict.proven and not verdict.refuted
+        else:
             assert verdict.proven
-        except FormalError:
-            pass
+
+    def test_zero_timeout_yields_unknown(self, netlist):
+        checker = PropertyChecker(bound=10, max_k=2, timeout_seconds=0.0)
+        verdict = checker.check(SafetyProblem(netlist, [], ["p_true"]))
+        assert verdict.unknown
+        assert verdict.reason == "timeout"
+
+    def test_timeout_via_check_params(self, netlist):
+        checker = PropertyChecker(bound=10, max_k=2)
+        verdict = checker.check_problem(
+            SafetyProblem(netlist, [], ["p_true"]),
+            CheckParams(timeout_seconds=0.0))
+        assert verdict.unknown
+
+    def test_generous_timeout_still_decides(self, netlist):
+        checker = PropertyChecker(bound=10, max_k=2, timeout_seconds=120.0)
+        verdict = checker.check(SafetyProblem(netlist, [], ["p_true"]))
+        assert verdict.status == PROVEN
+        assert verdict.reason is None
+
+    def test_unknown_is_neither_proven_nor_refuted(self, netlist):
+        checker = PropertyChecker(bound=10, max_k=0, timeout_seconds=0.0)
+        verdict = checker.check(SafetyProblem(netlist, [], ["p_false"]))
+        assert verdict.unknown
+        assert not verdict.proven and not verdict.refuted
+        assert "UNKNOWN" in repr(verdict) and "timeout" in repr(verdict)
 
     def test_prove_false_skips_induction(self, netlist):
         checker = PropertyChecker(bound=10, max_k=5)

@@ -199,3 +199,76 @@ class TestFingerprintCanonicalization:
         modified.dffs["c$ff"].init = 5
         assert problem_fingerprint(SafetyProblem(modified, [], ["ok"]), 10, 2) \
             != problem_fingerprint(SafetyProblem(netlist, [], ["ok"]), 10, 2)
+
+
+class TestChecksumQuarantine:
+    """Corruption is quarantined (renamed aside), never raised and never
+    silently served."""
+
+    def _saved_cache(self, netlist, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = VerdictCache(str(path))
+        checker = CachingPropertyChecker(PropertyChecker(bound=12, max_k=2), cache)
+        checker.check(SafetyProblem(netlist, [], ["ok"], name="p"))
+        cache.save()
+        return path
+
+    def test_garbage_file_is_quarantined(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{definitely not json")
+        cache = VerdictCache(str(path))
+        assert len(cache) == 0
+        assert cache.quarantined == str(path) + ".corrupt"
+        assert not path.exists()
+        assert (tmp_path / "cache.json.corrupt").read_text().startswith("{definitely")
+
+    def test_truncated_file_is_quarantined(self, netlist, tmp_path):
+        path = self._saved_cache(netlist, tmp_path)
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])  # torn mid-write by a crash
+        cache = VerdictCache(str(path))
+        assert len(cache) == 0
+        assert cache.quarantined is not None
+
+    def test_checksum_mismatch_is_quarantined(self, netlist, tmp_path):
+        import json
+
+        path = self._saved_cache(netlist, tmp_path)
+        data = json.loads(path.read_text())
+        fingerprint = next(iter(data["entries"]))
+        data["entries"][fingerprint]["status"] = "PROVEN_FOREVER"  # bit rot
+        path.write_text(json.dumps(data))
+        cache = VerdictCache(str(path))
+        assert len(cache) == 0, "tampered entries must not be served"
+        assert cache.quarantined is not None
+
+    def test_intact_v2_file_loads_without_quarantine(self, netlist, tmp_path):
+        path = self._saved_cache(netlist, tmp_path)
+        cache = VerdictCache(str(path))
+        assert len(cache) == 1
+        assert cache.quarantined is None
+        assert path.exists()
+
+    def test_legacy_v1_bare_dict_still_loads(self, tmp_path):
+        import json
+
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({
+            "abc123": {"status": "PROVEN", "method": "k-induction",
+                       "bound": 10, "time_seconds": 0.1,
+                       "induction_k": 1, "name": "old"},
+        }))
+        cache = VerdictCache(str(path))
+        assert len(cache) == 1
+        assert cache.quarantined is None
+        assert cache.lookup("abc123").proven
+
+    def test_quarantine_never_raises(self, tmp_path):
+        # Every corruption shape: wrong root type, non-dict entries,
+        # binary garbage. None may raise.
+        shapes = ['[1, 2, 3]', '{"a": 5}', '\x00\xff binary', '']
+        for index, shape in enumerate(shapes):
+            path = tmp_path / f"c{index}.json"
+            path.write_text(shape)
+            cache = VerdictCache(str(path))
+            assert len(cache) == 0

@@ -167,3 +167,170 @@ class TestParallelDischarge:
         auto = DischargeScheduler(PropertyChecker(), factory, jobs=0)
         assert scheduler.jobs == 1
         assert auto.jobs == (os.cpu_count() or 1)
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance (PR 2): injected crashes/hangs/garbage must never
+# change verdicts, only statistics.
+# ----------------------------------------------------------------------
+from repro.errors import DischargeTimeout, FormalError, WorkerCrashError  # noqa: E402
+from repro.formal import FaultPlan, FaultyPropertyChecker, VerdictJournal  # noqa: E402
+
+
+def faulty_scheduler(factory, plan, jobs=1, **kwargs):
+    checker = FaultyPropertyChecker(PropertyChecker(bound=12, max_k=2), plan)
+    return DischargeScheduler(checker, factory, jobs=jobs,
+                              retry_backoff=0.0, **kwargs)
+
+
+def two_wire_graph():
+    graph = ObligationGraph()
+    graph.add(assert_wire("ok"))
+    graph.add(assert_wire("bad"))
+    return graph
+
+
+def statuses(results):
+    return [(ob.signature, v.status) for ob, v in results]
+
+
+@pytest.fixture(scope="module")
+def fault_free(factory):
+    scheduler = make_scheduler(factory)
+    return statuses(scheduler.discharge(two_wire_graph()))
+
+
+class TestFaultInjectionInline:
+    def test_hang_is_retried_to_convergence(self, factory, fault_free):
+        scheduler = faulty_scheduler(factory, FaultPlan(hangs=frozenset({0})))
+        results = statuses(scheduler.discharge(two_wire_graph()))
+        assert results == fault_free
+        assert scheduler.stats.timeouts == 1
+        assert scheduler.stats.retries == 1
+        assert scheduler.stats.faults_observed() == 1
+
+    def test_crash_is_retried_to_convergence(self, factory, fault_free):
+        plan = FaultPlan(crashes=frozenset({0}), hard_crashes=False)
+        scheduler = faulty_scheduler(factory, plan)
+        results = statuses(scheduler.discharge(two_wire_graph()))
+        assert results == fault_free
+        assert scheduler.stats.worker_crashes == 1
+        assert scheduler.stats.retries == 1
+
+    def test_garbage_verdict_is_rejected_and_retried(self, factory, fault_free):
+        scheduler = faulty_scheduler(factory, FaultPlan(garbage=frozenset({1})))
+        results = statuses(scheduler.discharge(two_wire_graph()))
+        assert results == fault_free
+        assert scheduler.stats.garbage_verdicts == 1
+        assert scheduler.stats.retries == 1
+        # The eventual verdict is the real one, trace included.
+        refuted = [v for _, v in
+                   faulty_scheduler(factory, FaultPlan(garbage=frozenset({1})))
+                   .discharge(two_wire_graph()) if v.refuted]
+        assert refuted and refuted[0].trace is not None
+
+    def test_persistent_fault_exhausts_retries_and_raises(self, factory):
+        plan = FaultPlan(crashes=frozenset({0}), hard_crashes=False,
+                         attempts=99)
+        scheduler = faulty_scheduler(factory, plan)
+        with pytest.raises(WorkerCrashError):
+            scheduler.discharge(two_wire_graph())
+        assert scheduler.stats.worker_crashes == scheduler.max_retries + 1
+
+    def test_persistent_hang_raises_discharge_timeout(self, factory):
+        plan = FaultPlan(hangs=frozenset({0}), attempts=99)
+        scheduler = faulty_scheduler(factory, plan)
+        with pytest.raises(DischargeTimeout):
+            scheduler.discharge(two_wire_graph())
+
+
+class TestFaultInjectionPool:
+    def test_hard_worker_crash_recovers(self, factory, fault_free):
+        # os._exit(43) in the worker: the parent sees BrokenProcessPool,
+        # rebuilds the pool, and still converges to fault-free verdicts.
+        plan = FaultPlan(crashes=frozenset({0}), hard_crashes=True)
+        with faulty_scheduler(factory, plan, jobs=2) as scheduler:
+            results = statuses(scheduler.discharge(two_wire_graph()))
+        assert results == fault_free
+        assert scheduler.stats.worker_crashes >= 1
+        assert scheduler.stats.retries >= 1
+
+    def test_soft_faults_fall_back_inline_after_retries(self, factory,
+                                                        fault_free):
+        # attempts=max_retries+1: every pool attempt hangs, the final
+        # inline fallback (attempt index max_retries+1) succeeds.
+        plan = FaultPlan(hangs=frozenset({0}), attempts=4)
+        with faulty_scheduler(factory, plan, jobs=2, max_retries=3) as sched:
+            results = statuses(sched.discharge(two_wire_graph()))
+        assert results == fault_free
+        assert sched.stats.inline_fallbacks == 1
+        assert sched.stats.timeouts == 4
+        assert sched.stats.retries == 3
+
+    def test_garbage_from_pool_worker_rejected(self, factory, fault_free):
+        plan = FaultPlan(garbage=frozenset({0, 1}))
+        with faulty_scheduler(factory, plan, jobs=2) as scheduler:
+            results = statuses(scheduler.discharge(two_wire_graph()))
+        assert results == fault_free
+        assert scheduler.stats.garbage_verdicts == 2
+
+
+class TestWorkerStatsMerge:
+    def test_pool_check_counters_reach_parent(self, factory):
+        # Pre-PR-2 the parent's engine.stats stayed at zero for pool
+        # runs; workers now return per-check deltas that are merged.
+        with make_scheduler(factory, jobs=2) as scheduler:
+            scheduler.discharge(two_wire_graph())
+        assert scheduler.stats.pool_tasks >= 2
+        assert scheduler._engine.stats["checks"] == 2
+        assert scheduler._engine.stats["sat_time"] > 0.0
+
+
+class TestJournalIntegration:
+    def test_resume_serves_verdicts_without_reexecution(self, factory,
+                                                        tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with VerdictJournal(path) as journal:
+            first = DischargeScheduler(PropertyChecker(bound=12, max_k=2),
+                                       factory, journal=journal)
+            first.discharge(two_wire_graph())
+        resumed = VerdictJournal(path, resume=True)
+        second = DischargeScheduler(PropertyChecker(bound=12, max_k=2),
+                                    factory, journal=resumed)
+        results = second.discharge(two_wire_graph())
+        assert second.stats.journal_hits == 2
+        assert second.stats.pool_tasks == 0
+        assert second._engine.stats["checks"] == 0
+        assert {ob.signature: v.status for ob, v in results} == {
+            ("p", "ok"): "PROVEN", ("p", "bad"): "REFUTED"}
+        resumed.close()
+
+    def test_journal_commits_on_deadlock_abort(self, factory, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        graph = ObligationGraph()
+        graph.add(assert_wire("ok"))
+        graph.add(assert_wire("stuck", after=(("missing",),)))
+        with VerdictJournal(path) as journal:
+            scheduler = DischargeScheduler(
+                PropertyChecker(bound=12, max_k=2), factory, journal=journal)
+            with pytest.raises(FormalError):
+                scheduler.discharge(graph)
+        # The verdict decided before the deadlock was checkpointed.
+        assert len(VerdictJournal(path, resume=True)) == 1
+
+
+class TestDeadlockRobustness:
+    def test_stats_survive_deadlock_and_scheduler_stays_usable(self, factory):
+        scheduler = make_scheduler(factory)
+        graph = ObligationGraph()
+        graph.add(assert_wire("ok"))
+        graph.add(assert_wire("stuck", after=(("missing",),)))
+        with pytest.raises(FormalError, match="deadlock"):
+            scheduler.discharge(graph)
+        assert scheduler.stats.rounds == 1
+        assert scheduler.stats.executed == 1
+        assert scheduler.stats.wall_seconds > 0.0
+        # The scheduler is not poisoned: a well-formed graph still runs.
+        results = scheduler.discharge(two_wire_graph())
+        assert len(results) == 2
+        assert scheduler.stats.rounds == 2
