@@ -1,0 +1,147 @@
+"""Check-layer scaling benchmark: serial -> incremental -> parallel.
+
+Runs the exhaustive small-program sweep (and the 56-test litmus suite)
+through the engine trajectory this repo grew through:
+
+* ``seed_serial``          — fresh solve per condition, all-pairs order
+  encoding, one process (the seed's code path);
+* ``fresh_components``     — fresh solves, component-restricted order
+  encoding;
+* ``incremental``          — one retained solver per program, conditions
+  decided as assumption flips;
+* ``incremental_parallel`` — the incremental engine across ``--jobs``
+  worker processes.
+
+Every stage must produce the identical report (asserted); timings and
+speedups land in ``BENCH_check.json``.
+
+Standalone (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_check_suite.py --quick
+    PYTHONPATH=src python benchmarks/bench_check_suite.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+
+def _sweep_signature(report):
+    return (report.programs, report.outcomes_checked,
+            tuple(report.unsound), tuple(report.overstrict))
+
+
+def run_sweep_stage(model, name, limit, jobs, engine, order_encoding):
+    from repro.check import verify_exactness
+
+    start = time.perf_counter()
+    report = verify_exactness(model, limit=limit, jobs=jobs, engine=engine,
+                              order_encoding=order_encoding)
+    elapsed = time.perf_counter() - start
+    print(f"  {name:<22} {elapsed:8.2f}s  {report.summary()}")
+    return {
+        "name": name,
+        "engine": engine,
+        "order_encoding": order_encoding,
+        "jobs": jobs,
+        "seconds": round(elapsed, 3),
+        "programs": report.programs,
+        "outcomes": report.outcomes_checked,
+        "exact": report.exact,
+    }, _sweep_signature(report)
+
+
+def run_suite_stage(model, tests, name, jobs, engine):
+    from repro.check import Checker, suite_digest
+
+    start = time.perf_counter()
+    verdicts = Checker(model, engine=engine).check_suite(tests, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    failures = sum(0 if v.passed else 1 for v in verdicts)
+    print(f"  {name:<22} {elapsed:8.2f}s  "
+          f"{len(verdicts)} tests, {failures} failures")
+    return {
+        "name": name,
+        "engine": engine,
+        "jobs": jobs,
+        "seconds": round(elapsed, 3),
+        "tests": len(verdicts),
+        "failures": failures,
+        "digest": suite_digest(verdicts),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--limit", type=int, default=0,
+                        help="bound the sweep's program count (0 = all 230)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shortcut for --limit 40")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="workers for the parallel stage")
+    parser.add_argument("--output", default="BENCH_check.json",
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+    limit = 40 if args.quick else (args.limit or None)
+
+    from repro.designs.models import load_reference_model
+    from repro.litmus import load_suite
+
+    model = load_reference_model()
+    tests = load_suite()
+
+    print(f"litmus suite ({len(tests)} tests):")
+    suite_stages = [
+        run_suite_stage(model, tests, "seed_serial", 1, "fresh"),
+        run_suite_stage(model, tests, "incremental", 1, "incremental"),
+        run_suite_stage(model, tests, "parallel", args.jobs, "fresh"),
+    ]
+    digests = {stage["digest"] for stage in suite_stages}
+    assert len(digests) == 1, f"suite verdicts diverged: {digests}"
+
+    scope = f"limit={limit}" if limit else "all canonical 2x2 programs"
+    print(f"exhaustive sweep ({scope}):")
+    sweep_stages = []
+    signatures = set()
+    for name, jobs, engine, encoding in (
+            ("seed_serial", 1, "fresh", "allpairs"),
+            ("fresh_components", 1, "fresh", "components"),
+            ("incremental", 1, "incremental", "components"),
+            ("incremental_parallel", args.jobs, "incremental", "components")):
+        stage, signature = run_sweep_stage(model, name, limit, jobs, engine,
+                                           encoding)
+        sweep_stages.append(stage)
+        signatures.add(signature)
+    assert len(signatures) == 1, "sweep reports diverged across stages"
+
+    baseline = sweep_stages[0]["seconds"]
+    for stage in sweep_stages:
+        stage["speedup_vs_seed"] = round(baseline / stage["seconds"], 2) \
+            if stage["seconds"] else None
+    best = max(stage["speedup_vs_seed"] for stage in sweep_stages[1:])
+
+    record = {
+        "schema": "repro-bench-check/1",
+        "scope": scope,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "suite": suite_stages,
+        "sweep": sweep_stages,
+        "best_sweep_speedup_vs_seed": best,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nbest sweep speedup vs seed serial: {best:.2f}x "
+          f"(target >= 2x) — record in {args.output}")
+    return 0 if best >= 2.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,22 @@
 """Check-style µhb verification of µspec models against litmus tests."""
 
 from .exhaustive import ExactnessReport, enumerate_programs, verify_exactness
+from .incremental import ProgramSolver, SymbolicContext
 from .instance import GroundContext, Microop
 from .render import render_ascii
-from .solver import ObservabilityResult, UhbGraph, solve_observability
-from .verifier import Checker, TestVerdict, format_suite_report
+from .solver import (
+    ObservabilityResult,
+    SolveStats,
+    UhbGraph,
+    solve_observability,
+)
+from .verifier import (
+    Checker,
+    TestVerdict,
+    format_suite_report,
+    suite_digest,
+    suite_report_json,
+)
 
 __all__ = [
     "Microop",
@@ -14,9 +26,14 @@ __all__ = [
     "GroundContext",
     "solve_observability",
     "ObservabilityResult",
+    "SolveStats",
     "UhbGraph",
     "Checker",
     "TestVerdict",
+    "ProgramSolver",
+    "SymbolicContext",
     "format_suite_report",
+    "suite_digest",
+    "suite_report_json",
     "render_ascii",
 ]

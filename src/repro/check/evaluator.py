@@ -23,10 +23,13 @@ class ModelEvaluator:
     edges); the second encodes every axiom into CNF over edge variables.
     """
 
-    def __init__(self, model: U.Model, ctx: GroundContext):
+    def __init__(self, model: U.Model, ctx: GroundContext,
+                 cnf: Optional[Cnf] = None):
         self.model = model
         self.ctx = ctx
-        self.cnf = Cnf()
+        # An externally supplied Cnf lets symbolic contexts allocate
+        # selector variables in the same variable space (incremental mode).
+        self.cnf = cnf if cnf is not None else Cnf()
         self.edge_vars: Dict[UhbEdge, int] = {}
         self.edge_labels: Dict[UhbEdge, str] = {}
         #: location -> set of uids with a node there
@@ -92,7 +95,9 @@ class ModelEvaluator:
                                       accesses=self.accesses)
         if isinstance(formula, U.Not):
             inner = self._eval_ground_pred(formula.body, env)
-            return not inner
+            if inner is True or inner is False:
+                return not inner
+            return -inner  # symbolic predicates ground to CNF literals
         if isinstance(formula, U.TrueF):
             return True
         if isinstance(formula, U.FalseF):

@@ -11,6 +11,13 @@ Agreement over the full bounded program space is a much stronger
 statement than a 56-test suite: it shows the synthesized model is both
 sound (forbidden outcomes unobservable) and precise (allowed outcomes
 observable) for every small program.
+
+The sweep is where the incremental engine pays off: each program has
+one CNF but dozens of final conditions, so ``engine="incremental"``
+grounds once per program and decides each condition as an assumption
+flip (:class:`repro.check.incremental.ProgramSolver`).  ``jobs=N``
+distributes whole programs over a process pool; results are merged in
+enumeration order, so the report is identical for any job count.
 """
 
 from __future__ import annotations
@@ -19,10 +26,12 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..errors import CheckError
 from ..litmus import LitmusTest
 from ..mcm import sc_outcomes
 from ..mcm.events import Access, Program, R, W
 from ..uspec import Model
+from . import parallel
 from .solver import solve_observability
 
 
@@ -98,47 +107,106 @@ def enumerate_conditions(program: Program) -> Iterator[Tuple]:
         yield tuple((key, value) for key, value in zip(loads, values))
 
 
+def _program_conditions(program: Program,
+                        include_final_memory: bool) -> List[Tuple]:
+    """All non-empty final conditions swept for one program."""
+    conditions = list(enumerate_conditions(program))
+    if include_final_memory:
+        written = sorted({a.addr for t in program for a in t if a.kind == "W"})
+        extended = []
+        for condition in conditions:
+            extended.append(condition)
+            for addr in written:
+                for value in (0, 1):
+                    extended.append(condition + (((-1, addr), value),))
+        conditions = extended
+    return [condition for condition in conditions if condition]
+
+
+def _check_program(model: Model, program: Program,
+                   include_final_memory: bool, engine: str,
+                   order_encoding: str
+                   ) -> Tuple[int, List[Tuple[str, Tuple]],
+                              List[Tuple[str, Tuple]]]:
+    """Sweep every condition of one program; returns
+    (outcomes_checked, unsound, overstrict)."""
+    reference = sc_outcomes(program)
+    conditions = _program_conditions(program, include_final_memory)
+    checked = 0
+    unsound: List[Tuple[str, Tuple]] = []
+    overstrict: List[Tuple[str, Tuple]] = []
+    instance = None
+    if engine == "incremental" and conditions:
+        from .incremental import ProgramSolver
+        instance = ProgramSolver(
+            model, LitmusTest("sweep", program, conditions[0]),
+            order_encoding=order_encoding)
+    for condition in conditions:
+        test = LitmusTest("sweep", program, condition)
+        permitted = any(test.outcome_matches(o) for o in reference)
+        if instance is not None:
+            observable = instance.decide(condition).observable
+        else:
+            observable = solve_observability(
+                model, test, order_encoding=order_encoding).observable
+        checked += 1
+        if observable and not permitted:
+            unsound.append((test.format(), condition))
+        elif permitted and not observable:
+            overstrict.append((test.format(), condition))
+    return checked, unsound, overstrict
+
+
+def _sweep_one_worker(payload: Tuple[Program, bool]):
+    """Pool task: sweep one program against the worker's model."""
+    state = parallel.worker_state()
+    program, include_final_memory = payload
+    return _check_program(state["model"], program, include_final_memory,
+                          state["engine"], state["order_encoding"])
+
+
 def verify_exactness(model: Model, max_threads: int = 2, max_len: int = 2,
                      addresses: Sequence[str] = ("x", "y"),
                      include_final_memory: bool = True,
-                     limit: Optional[int] = None) -> ExactnessReport:
+                     limit: Optional[int] = None,
+                     jobs: int = 1,
+                     engine: str = "incremental",
+                     order_encoding: str = "components") -> ExactnessReport:
     """Sweep all bounded programs/outcomes; compare the model against SC.
 
     ``limit`` bounds the number of programs (for incremental runs).
+    ``engine`` picks the per-program decision procedure (``incremental``
+    amortizes grounding across a program's conditions; ``fresh`` is the
+    seed's one-solve-per-condition path — verdict-identical).  ``jobs``
+    distributes programs over worker processes; the report is identical
+    for any job count.
     """
-    report = ExactnessReport()
+    if engine not in ("fresh", "incremental"):
+        raise CheckError(f"unknown check engine {engine!r} "
+                         f"(expected one of ('fresh', 'incremental'))")
+    programs: List[Program] = []
     seen = set()
     for program in enumerate_programs(max_threads, max_len, addresses):
         canon = _canonical(program)
         if canon in seen:
             continue
         seen.add(canon)
-        report.programs += 1
-        if limit is not None and report.programs > limit:
-            report.programs -= 1
+        if limit is not None and len(programs) >= limit:
             break
-        reference = sc_outcomes(program)
+        programs.append(program)
 
-        conditions = list(enumerate_conditions(program))
-        if include_final_memory:
-            written = sorted({a.addr for t in program for a in t if a.kind == "W"})
-            extended = []
-            for condition in conditions:
-                extended.append(condition)
-                for addr in written:
-                    for value in (0, 1):
-                        extended.append(condition + (((-1, addr), value),))
-            conditions = extended
+    payloads = [(program, include_final_memory) for program in programs]
+    results = parallel.map_indexed(
+        payloads, _sweep_one_worker,
+        lambda payload: _check_program(model, payload[0], payload[1],
+                                       engine, order_encoding),
+        jobs,
+        state={"model": model, "engine": engine,
+               "order_encoding": order_encoding})
 
-        for condition in conditions:
-            if not condition:
-                continue
-            test = LitmusTest("sweep", program, condition)
-            permitted = any(test.outcome_matches(o) for o in reference)
-            observable = solve_observability(model, test).observable
-            report.outcomes_checked += 1
-            if observable and not permitted:
-                report.unsound.append((test.format(), condition))
-            elif permitted and not observable:
-                report.overstrict.append((test.format(), condition))
+    report = ExactnessReport(programs=len(programs))
+    for checked, unsound, overstrict in results:
+        report.outcomes_checked += checked
+        report.unsound.extend(unsound)
+        report.overstrict.extend(overstrict)
     return report

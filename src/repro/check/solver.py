@@ -8,13 +8,20 @@ R(src, dst). Any edge cycle would force both R(a,b) and R(b,a), so a
 single SAT call decides observability — SAT means the outcome is
 observable and the model yields a witness graph; UNSAT proves the
 outcome impossible on the modeled microarchitecture.
+
+Order variables and transitivity clauses are allocated per weakly
+connected component of the candidate-edge graph (``order_encoding=
+"components"``): a cycle is a connected subgraph, so edges in different
+components can never close one and cross-component order variables are
+dead weight.  The seed's all-pairs encoding is kept as
+``order_encoding="allpairs"`` for A/B testing and benchmarks.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CheckError
 from ..litmus import LitmusTest
@@ -58,12 +65,32 @@ class UhbGraph:
 
 
 @dataclass
+class SolveStats:
+    """Per-instance encoding/solving statistics (surfaced in reports)."""
+
+    vars: int = 0
+    clauses: int = 0
+    order_components: int = 0
+    ground_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    @property
+    def ground_ms(self) -> float:
+        return self.ground_seconds * 1000.0
+
+    @property
+    def solve_ms(self) -> float:
+        return self.solve_seconds * 1000.0
+
+
+@dataclass
 class ObservabilityResult:
     observable: bool
     graph: Optional[UhbGraph]
     iterations: int
     time_seconds: float
     cycle_example: List[UhbNode] = field(default_factory=list)
+    stats: SolveStats = field(default_factory=SolveStats)
 
 
 def _find_cycle(edges: List[UhbEdge]) -> Optional[List[UhbEdge]]:
@@ -72,7 +99,6 @@ def _find_cycle(edges: List[UhbEdge]) -> Optional[List[UhbEdge]]:
     for src, dst in edges:
         succ.setdefault(src, []).append(dst)
     state: Dict[UhbNode, int] = {}
-    parent: Dict[UhbNode, UhbNode] = {}
 
     for start in list(succ):
         if state.get(start):
@@ -105,63 +131,147 @@ def _find_cycle(edges: List[UhbEdge]) -> Optional[List[UhbEdge]]:
     return None
 
 
-def _add_order_constraints(evaluator: ModelEvaluator) -> None:
-    """Eager acyclicity: a strict partial order R over all µhb nodes
-    touched by edge variables; every asserted edge implies R."""
+def _weak_components(nodes: Sequence[UhbNode],
+                     edges: Dict[UhbEdge, int]) -> List[List[UhbNode]]:
+    """Weakly connected components of the candidate-edge graph, each a
+    sorted node list; components ordered by smallest member."""
+    parent: Dict[UhbNode, UhbNode] = {node: node for node in nodes}
+
+    def find(node: UhbNode) -> UhbNode:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:  # path compression
+            parent[node], node = root, parent[node]
+        return root
+
+    for src, dst in edges:
+        ra, rb = find(src), find(dst)
+        if ra != rb:
+            parent[rb] = ra
+    groups: Dict[UhbNode, List[UhbNode]] = {}
+    for node in nodes:
+        groups.setdefault(find(node), []).append(node)
+    return sorted((sorted(group) for group in groups.values()),
+                  key=lambda group: group[0])
+
+
+def _add_order_constraints(evaluator: ModelEvaluator,
+                           order_encoding: str = "components") -> int:
+    """Eager acyclicity: a strict partial order R over the µhb nodes
+    touched by edge variables; every asserted edge implies R.
+
+    ``order_encoding="components"`` restricts order variables and the
+    O(n^3) transitivity clauses to each weakly connected component of
+    the candidate-edge graph; ``"allpairs"`` is the seed's encoding over
+    every node pair.  Returns the number of components encoded.
+    """
     cnf = evaluator.cnf
     nodes = sorted({n for edge in evaluator.edge_vars for n in edge})
+    if order_encoding == "allpairs":
+        components = [nodes] if nodes else []
+    elif order_encoding == "components":
+        components = _weak_components(nodes, evaluator.edge_vars)
+    else:
+        raise CheckError(f"unknown order encoding {order_encoding!r}")
     order: Dict[Tuple[UhbNode, UhbNode], int] = {}
-    for a in nodes:
-        for b in nodes:
-            if a != b:
-                order[(a, b)] = cnf.new_var()
-    # Antisymmetry (strictness).
-    for i, a in enumerate(nodes):
-        for b in nodes[i + 1:]:
-            cnf.add_clause([-order[(a, b)], -order[(b, a)]])
-    # Transitivity.
-    for a in nodes:
-        for b in nodes:
-            if a == b:
-                continue
-            for c in nodes:
-                if c == a or c == b:
+    for component in components:
+        for a in component:
+            for b in component:
+                if a != b:
+                    order[(a, b)] = cnf.new_var()
+        # Antisymmetry (strictness).
+        for i, a in enumerate(component):
+            for b in component[i + 1:]:
+                cnf.add_clause([-order[(a, b)], -order[(b, a)]])
+        # Transitivity.
+        for a in component:
+            for b in component:
+                if a == b:
                     continue
-                cnf.add_clause([-order[(a, b)], -order[(b, c)], order[(a, c)]])
-    # Edges imply order.
+                ab = order[(a, b)]
+                for c in component:
+                    if c == a or c == b:
+                        continue
+                    cnf.add_clause([-ab, -order[(b, c)], order[(a, c)]])
+    # Edges imply order (src and dst always share a component).
     for (src, dst), var in evaluator.edge_vars.items():
         cnf.add_clause([-var, order[(src, dst)]])
+    return len(components)
+
+
+def extract_witness(model: U.Model, evaluator: ModelEvaluator,
+                    ctx: GroundContext, solver: Solver) -> UhbGraph:
+    """Read the chosen edges out of a SAT model and build the witness
+    graph, sanity-checking that the order encoding kept it acyclic."""
+    chosen = [edge for edge, var in evaluator.edge_vars.items()
+              if solver.model_value(var)]
+    cycle = _find_cycle(chosen)
+    if cycle is not None:  # pragma: no cover - guarded by the encoding
+        raise CheckError("order encoding admitted a cyclic graph")
+    return UhbGraph(
+        ctx, evaluator.nodes_of,
+        [(src, dst, evaluator.edge_labels.get((src, dst), ""))
+         for src, dst in chosen],
+        list(model.stage_names),
+    )
 
 
 def solve_observability(model: U.Model, test: LitmusTest,
-                        max_iterations: int = 100000) -> ObservabilityResult:
-    """Decide whether the test's outcome is observable under the model."""
+                        max_iterations: int = 100000,
+                        order_encoding: str = "components"
+                        ) -> ObservabilityResult:
+    """Decide whether the test's outcome is observable under the model.
+
+    One fresh ground+encode+solve cycle per call; for deciding many
+    final conditions of the same program, use
+    :class:`repro.check.incremental.ProgramSolver` instead.
+    """
     start = time.perf_counter()
+    stats = SolveStats()
     ctx = GroundContext(test)
     evaluator = ModelEvaluator(model, ctx)
     try:
         evaluator.ground_model()
         _add_final_memory_constraints(evaluator, ctx)
     except _Unsatisfiable:
-        return ObservabilityResult(False, None, 0, time.perf_counter() - start)
-    _add_order_constraints(evaluator)
+        # Grounding itself refuted the outcome; that is one decision
+        # procedure invocation, the same as a solver UNSAT.
+        stats.vars = evaluator.cnf.num_vars
+        stats.clauses = len(evaluator.cnf.clauses)
+        elapsed = time.perf_counter() - start
+        stats.ground_seconds = elapsed
+        return ObservabilityResult(False, None, 1, elapsed, stats=stats)
+    stats.order_components = _add_order_constraints(evaluator, order_encoding)
+    stats.vars = evaluator.cnf.num_vars
+    stats.clauses = len(evaluator.cnf.clauses)
     solver = Solver()
     solver.add_cnf(evaluator.cnf)
+    stats.ground_seconds = time.perf_counter() - start
+    solve_start = time.perf_counter()
     status = solver.solve()
+    stats.solve_seconds = time.perf_counter() - solve_start
     if status == UNSAT:
-        return ObservabilityResult(False, None, 1, time.perf_counter() - start)
-    chosen = [edge for edge, var in evaluator.edge_vars.items()
-              if solver.model_value(var)]
-    cycle = _find_cycle(chosen)
-    if cycle is not None:  # pragma: no cover - guarded by the encoding
-        raise CheckError("order encoding admitted a cyclic graph")
-    graph = UhbGraph(
-        ctx, evaluator.nodes_of,
-        [(src, dst, evaluator.edge_labels.get((src, dst), ""))
-         for src, dst in chosen],
-        list(model.stage_names),
-    )
-    return ObservabilityResult(True, graph, 1, time.perf_counter() - start)
+        return ObservabilityResult(False, None, 1,
+                                   time.perf_counter() - start, stats=stats)
+    graph = extract_witness(model, evaluator, ctx, solver)
+    return ObservabilityResult(True, graph, 1,
+                               time.perf_counter() - start, stats=stats)
+
+
+def _final_write_options(evaluator: ModelEvaluator, writes, candidates,
+                         mem_loc: str) -> List[int]:
+    """One literal per candidate winner: all other writes to the address
+    are co-before it at the memory location."""
+    cnf = evaluator.cnf
+    options = []
+    for winner in candidates:
+        before = [
+            evaluator.edge_var((other.uid, mem_loc), (winner.uid, mem_loc), "co")
+            for other in writes if other.uid != winner.uid
+        ]
+        options.append(cnf.encode_and(before) if before else cnf.true_lit)
+    return options
 
 
 def _add_final_memory_constraints(evaluator: ModelEvaluator,
@@ -183,13 +293,7 @@ def _add_final_memory_constraints(evaluator: ModelEvaluator,
         if mem_loc is None:
             raise CheckError(
                 "model has no memory location; cannot constrain final memory")
-        options = []
-        for winner in candidates:
-            before = [
-                evaluator.edge_var((other.uid, mem_loc), (winner.uid, mem_loc), "co")
-                for other in writes if other.uid != winner.uid
-            ]
-            options.append(cnf.encode_and(before) if before else cnf.true_lit)
+        options = _final_write_options(evaluator, writes, candidates, mem_loc)
         cnf.assert_lit(cnf.encode_or(options))
 
 
@@ -213,8 +317,14 @@ def _memory_location(evaluator: ModelEvaluator) -> Optional[str]:
 
             walk(axiom.formula)
             if found:
-                # The most frequent location in Read_Values is memory.
-                return max(set(found), key=found.count)
+                # The most frequent location in Read_Values is memory;
+                # ties break on first appearance so the choice never
+                # depends on set iteration order (PYTHONHASHSEED).
+                counts: Dict[str, int] = {}
+                for loc in found:
+                    counts[loc] = counts.get(loc, 0) + 1
+                return max(counts, key=lambda loc: (counts[loc],
+                                                    -found.index(loc)))
     for name in evaluator.model.stage_names:
         if "mem" in name:
             return name

@@ -9,17 +9,29 @@ under the model and compares with the ISA-level SC reference:
 * outcome allowed by SC but unobservable    -> PASS with an
   ``overstrict`` flag (sound, but the model forbids more than SC does —
   possibly more than the hardware does).
+
+Two interchangeable solving engines (verdict-identical, pinned by the
+engine-equivalence tests): ``fresh`` grounds and solves each test from
+scratch; ``incremental`` grounds the program once and decides the final
+condition as an assumption flip (:mod:`repro.check.incremental`).
+``check_suite(tests, jobs=N)`` fans tests out to a process pool with
+deterministic, input-ordered results.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..litmus import LitmusTest
 from ..uspec import Model
+from . import parallel
 from .solver import ObservabilityResult, UhbGraph, solve_observability
+
+ENGINES = ("fresh", "incremental")
 
 
 @dataclass
@@ -30,6 +42,10 @@ class TestVerdict:
     time_ms: float
     iterations: int
     graph: Optional[UhbGraph] = None
+    vars: int = 0
+    clauses: int = 0
+    ground_ms: float = 0.0
+    solve_ms: float = 0.0
 
     @property
     def passed(self) -> bool:
@@ -47,22 +63,49 @@ class TestVerdict:
                 f"{self.time_ms:.1f} ms)")
 
 
+def _check_one_worker(test: LitmusTest) -> TestVerdict:
+    """Pool task: check one litmus test against the worker's checker."""
+    state = parallel.worker_state()
+    checker = state.get("checker")
+    if checker is None:
+        checker = Checker(state["model"],
+                          keep_graphs=state["keep_graphs"],
+                          engine=state["engine"],
+                          order_encoding=state["order_encoding"])
+        state["checker"] = checker
+    return checker.check_test(test)
+
+
 class Checker:
     """Verifies litmus tests against one synthesized µspec model."""
 
-    def __init__(self, model: Model, keep_graphs: bool = False):
+    def __init__(self, model: Model, keep_graphs: bool = False,
+                 engine: str = "fresh", order_encoding: str = "components"):
+        if engine not in ENGINES:
+            from ..errors import CheckError
+            raise CheckError(f"unknown check engine {engine!r} "
+                             f"(expected one of {ENGINES})")
         self.model = model
         self.keep_graphs = keep_graphs
+        self.engine = engine
+        self.order_encoding = order_encoding
 
     def check_outcome(self, test: LitmusTest) -> ObservabilityResult:
         """Raw observability of the test's final condition."""
-        return solve_observability(self.model, test)
+        if self.engine == "incremental":
+            from .incremental import ProgramSolver
+            instance = ProgramSolver(self.model, test,
+                                     order_encoding=self.order_encoding)
+            return instance.decide(test.final, keep_graph=self.keep_graphs)
+        return solve_observability(self.model, test,
+                                   order_encoding=self.order_encoding)
 
     def check_test(self, test: LitmusTest) -> TestVerdict:
         start = time.perf_counter()
         permitted = test.permitted_under_sc()
         result = self.check_outcome(test)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
+        stats = result.stats
         return TestVerdict(
             name=test.name,
             observable=result.observable,
@@ -70,26 +113,101 @@ class Checker:
             time_ms=elapsed_ms,
             iterations=result.iterations,
             graph=result.graph if self.keep_graphs else None,
+            vars=stats.vars,
+            clauses=stats.clauses,
+            ground_ms=stats.ground_ms,
+            solve_ms=stats.solve_ms,
         )
 
-    def check_suite(self, tests: Iterable[LitmusTest]) -> List[TestVerdict]:
-        return [self.check_test(test) for test in tests]
+    def check_suite(self, tests: Iterable[LitmusTest],
+                    jobs: int = 1) -> List[TestVerdict]:
+        """Check every test; ``jobs>1`` fans out to a process pool with
+        results in input order (identical to ``jobs=1``)."""
+        tests = list(tests)
+        return parallel.map_indexed(
+            tests, _check_one_worker, self.check_test, jobs,
+            state={"model": self.model, "keep_graphs": self.keep_graphs,
+                   "engine": self.engine,
+                   "order_encoding": self.order_encoding})
 
 
-def format_suite_report(verdicts: List[TestVerdict]) -> str:
-    """Artifact-appendix style report (paper A.5)."""
+def format_suite_report(verdicts: List[TestVerdict],
+                        show_stats: bool = True) -> str:
+    """Artifact-appendix style report (paper A.5), with per-test
+    encoding/solve statistics."""
     lines = []
     total_ms = 0.0
     failures = 0
     for verdict in verdicts:
-        lines.append(f"{verdict.name + '.test':<24} {verdict.time_ms:10.3f} ms  "
-                     f"{'PASS' if verdict.passed else 'FAIL'}"
-                     f"{' (overstrict)' if verdict.overstrict else ''}")
+        line = (f"{verdict.name + '.test':<24} {verdict.time_ms:10.3f} ms  "
+                f"{'PASS' if verdict.passed else 'FAIL'}"
+                f"{' (overstrict)' if verdict.overstrict else ''}")
+        if show_stats:
+            line += (f"  [{verdict.vars}v/{verdict.clauses}c, "
+                     f"ground {verdict.ground_ms:.1f} ms, "
+                     f"solve {verdict.solve_ms:.1f} ms]")
+        lines.append(line)
         total_ms += verdict.time_ms
         failures += 0 if verdict.passed else 1
     lines.append(f"--- {total_ms:.3f} ms ---")
     if failures == 0:
-        lines.append("======= ALL TESTS PASSES =======")
+        lines.append("======= ALL TESTS PASS =======")
     else:
         lines.append(f"======= {failures} TEST(S) FAILED =======")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Machine-readable report + determinism digest
+# ----------------------------------------------------------------------
+def _verdict_projection(verdicts: Sequence[TestVerdict]) -> List[Dict]:
+    """The deterministic (timing-free, engine-independent) view of a
+    suite run: what must be byte-identical across job counts and solver
+    modes."""
+    return [
+        {
+            "name": v.name,
+            "observable": v.observable,
+            "permitted_sc": v.permitted_sc,
+            "passed": v.passed,
+            "overstrict": v.overstrict,
+        }
+        for v in verdicts
+    ]
+
+
+def suite_digest(verdicts: Sequence[TestVerdict]) -> str:
+    """SHA-256 over the deterministic verdict projection."""
+    canonical = json.dumps(_verdict_projection(verdicts), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def suite_report_json(verdicts: Sequence[TestVerdict], model: str = "",
+                      engine: str = "", jobs: int = 1) -> Dict:
+    """The ``--report-json`` artifact: verdicts + per-test stats.
+
+    ``digest`` covers only the verdict projection, so it is identical
+    across ``--jobs`` values and solver engines; the per-test ``stats``
+    (vars/clauses/timings) are diagnostic and may vary by engine/run.
+    """
+    return {
+        "schema": "repro-check-suite/1",
+        "model": model,
+        "engine": engine,
+        "jobs": jobs,
+        "digest": suite_digest(verdicts),
+        "failures": sum(0 if v.passed else 1 for v in verdicts),
+        "tests": [
+            dict(projection,
+                 stats={
+                     "vars": v.vars,
+                     "clauses": v.clauses,
+                     "iterations": v.iterations,
+                     "time_ms": round(v.time_ms, 3),
+                     "ground_ms": round(v.ground_ms, 3),
+                     "solve_ms": round(v.solve_ms, 3),
+                 })
+            for projection, v in zip(_verdict_projection(verdicts), verdicts)
+        ],
+    }

@@ -89,7 +89,8 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from .check import Checker, format_suite_report
+    from .check import Checker, format_suite_report, suite_report_json
+    from .errors import CheckError
     from .litmus import load_suite, suite_by_name
     from .uspec import parse_model
 
@@ -101,12 +102,31 @@ def _cmd_check(args: argparse.Namespace) -> int:
         model = load_reference_model()
     if args.tests:
         by_name = suite_by_name()
+        unknown = [name for name in args.tests if name not in by_name]
+        if unknown:
+            import difflib
+            parts = []
+            for name in unknown:
+                close = difflib.get_close_matches(name, by_name, n=3)
+                hint = f" (did you mean: {', '.join(close)}?)" if close else ""
+                parts.append(f"{name!r}{hint}")
+            raise CheckError(
+                f"unknown litmus test(s): {'; '.join(parts)} — "
+                f"see `rtl2uspec litmus --names` for the suite")
         tests = [by_name[name] for name in args.tests]
     else:
         tests = load_suite()
-    checker = Checker(model, keep_graphs=args.show_graph)
-    verdicts = checker.check_suite(tests)
+    checker = Checker(model, keep_graphs=args.show_graph, engine=args.engine)
+    verdicts = checker.check_suite(tests, jobs=args.jobs)
     print(format_suite_report(verdicts))
+    if args.report_json:
+        import json
+        report = suite_report_json(verdicts, model=args.model or "reference",
+                                   engine=args.engine, jobs=args.jobs)
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.report_json}")
     if args.show_graph:
         from .check import render_ascii
         for verdict in verdicts:
@@ -163,8 +183,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         model = load_reference_model()
     report = verify_exactness(model, max_threads=args.threads,
                               max_len=args.length,
-                              limit=args.limit if args.limit > 0 else None)
+                              limit=args.limit if args.limit > 0 else None,
+                              jobs=args.jobs, engine=args.engine)
     print(report.summary())
+    if args.report_json:
+        import json
+        payload = {
+            "schema": "repro-check-sweep/1",
+            "engine": args.engine,
+            "jobs": args.jobs,
+            "programs": report.programs,
+            "outcomes_checked": report.outcomes_checked,
+            "exact": report.exact,
+            "unsound": [formatted for formatted, _ in report.unsound],
+            "overstrict": [formatted for formatted, _ in report.overstrict],
+        }
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.report_json}")
     for kind, entries in (("UNSOUND", report.unsound),
                           ("OVERSTRICT", report.overstrict)):
         for formatted, _condition in entries[:args.show]:
@@ -225,6 +262,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_check.add_argument("tests", nargs="*", help="test names (default: all 56)")
     p_check.add_argument("--show-graph", action="store_true",
                          help="render witness µhb graphs (text Fig. 1b)")
+    p_check.add_argument("-j", "--jobs", type=int, default=1,
+                         help="parallel verification workers "
+                              "(1 = serial, 0 = all cores); verdicts are "
+                              "identical for any job count")
+    p_check.add_argument("--engine", choices=("fresh", "incremental"),
+                         default="fresh",
+                         help="solving engine: 'fresh' grounds each test "
+                              "from scratch, 'incremental' reuses one "
+                              "retained solver per program "
+                              "(verdict-identical)")
+    p_check.add_argument("--report-json", default="",
+                         help="write verdicts + solver stats as JSON")
     p_check.set_defaults(func=_cmd_check)
 
     p_litmus = sub.add_parser("litmus", help="print the litmus suite")
@@ -248,13 +297,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="bound the number of programs (0 = all)")
     p_sweep.add_argument("--show", type=int, default=3,
                          help="mismatching tests to print")
+    p_sweep.add_argument("-j", "--jobs", type=int, default=1,
+                         help="parallel sweep workers (1 = serial, "
+                              "0 = all cores); the report is identical "
+                              "for any job count")
+    p_sweep.add_argument("--engine", choices=("fresh", "incremental"),
+                         default="incremental",
+                         help="per-program decision procedure "
+                              "(incremental amortizes grounding across "
+                              "a program's conditions; verdict-identical)")
+    p_sweep.add_argument("--report-json", default="",
+                         help="write the sweep report as JSON")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_stats = sub.add_parser("stats", help="design statistics (section 5.1)")
     p_stats.set_defaults(func=_cmd_stats)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    from .errors import ReproError
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,75 @@
+"""Determinism of the parallel/incremental Check engine.
+
+The hard guarantee pinned here (an ISSUE acceptance criterion): suite
+and sweep verdicts are byte-identical across ``--jobs`` values and
+across the ``fresh``/``incremental`` solver modes.
+"""
+
+import json
+
+from repro.check import Checker, suite_digest, verify_exactness
+from repro.check.verifier import _verdict_projection
+from repro.cli import main
+
+
+def _projection(verdicts):
+    return _verdict_projection(verdicts)
+
+
+class TestSuiteDeterminism:
+    def test_jobs_1_vs_4_identical(self, reference_model, litmus_suite):
+        checker = Checker(reference_model, engine="incremental")
+        serial = checker.check_suite(litmus_suite[:12], jobs=1)
+        parallel = checker.check_suite(litmus_suite[:12], jobs=4)
+        assert _projection(serial) == _projection(parallel)
+        assert suite_digest(serial) == suite_digest(parallel)
+
+    def test_fresh_vs_incremental_identical(self, reference_model,
+                                            litmus_suite):
+        fresh = Checker(reference_model, engine="fresh") \
+            .check_suite(litmus_suite)
+        inc = Checker(reference_model, engine="incremental") \
+            .check_suite(litmus_suite)
+        assert _projection(fresh) == _projection(inc)
+        assert suite_digest(fresh) == suite_digest(inc)
+
+    def test_component_vs_allpairs_identical(self, reference_model,
+                                             litmus_suite):
+        comp = Checker(reference_model, order_encoding="components") \
+            .check_suite(litmus_suite[:10])
+        allp = Checker(reference_model, order_encoding="allpairs") \
+            .check_suite(litmus_suite[:10])
+        assert _projection(comp) == _projection(allp)
+
+
+class TestSweepDeterminism:
+    def test_jobs_and_engine_invariant(self, reference_model):
+        kwargs = dict(limit=20)
+        baseline = verify_exactness(reference_model, jobs=1,
+                                    engine="fresh", **kwargs)
+        for jobs, engine in ((1, "incremental"), (4, "incremental"),
+                             (4, "fresh")):
+            report = verify_exactness(reference_model, jobs=jobs,
+                                      engine=engine, **kwargs)
+            assert report.programs == baseline.programs
+            assert report.outcomes_checked == baseline.outcomes_checked
+            assert report.unsound == baseline.unsound
+            assert report.overstrict == baseline.overstrict
+
+
+class TestCliReportDigest:
+    def test_report_json_digest_matches_across_jobs_and_engines(
+            self, reference_model, tmp_path, capsys):
+        digests = {}
+        for tag, argv in {
+            "serial": ["--jobs", "1", "--engine", "fresh"],
+            "parallel": ["--jobs", "4", "--engine", "fresh"],
+            "incremental": ["--jobs", "1", "--engine", "incremental"],
+        }.items():
+            path = tmp_path / f"{tag}.json"
+            rc = main(["check", "mp", "sb", "lb", "corr", "iriw", "wrc",
+                       "--report-json", str(path)] + argv)
+            capsys.readouterr()
+            assert rc == 0
+            digests[tag] = json.loads(path.read_text())["digest"]
+        assert len(set(digests.values())) == 1

@@ -32,7 +32,8 @@ class TestFullSuite:
     def test_report_format(self, checker, litmus_suite):
         verdicts = checker.check_suite(litmus_suite[:3])
         report = format_suite_report(verdicts)
-        assert "ALL TESTS PASSES" in report
+        assert "ALL TESTS PASS" in report
+        assert "ALL TESTS PASSES" not in report
         assert "ms" in report
 
     def test_sub_second_per_test(self, checker, litmus_suite):

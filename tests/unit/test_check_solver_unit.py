@@ -1,0 +1,202 @@
+"""Unit tests for the observability solver's internals: cycle finding,
+the component-restricted order encoding, deterministic memory-location
+inference, and the unified iteration count."""
+
+import subprocess
+import sys
+from types import SimpleNamespace
+
+import pytest
+
+from repro.check.solver import (
+    _find_cycle,
+    _memory_location,
+    _weak_components,
+    solve_observability,
+)
+from repro.litmus import LitmusTest, suite_by_name
+from repro.mcm.events import R, W
+from repro.uspec import (
+    AddEdge,
+    Axiom,
+    Forall,
+    Implies,
+    Model,
+    Node,
+    Pred,
+)
+
+from .test_check import sc_hand_model
+
+
+def n(uid, loc="mem"):
+    return (uid, loc)
+
+
+class TestFindCycle:
+    def test_self_loop(self):
+        assert _find_cycle([(n(1), n(1))]) == [(n(1), n(1))]
+
+    def test_two_cycle(self):
+        cycle = _find_cycle([(n(1), n(2)), (n(2), n(1))])
+        assert cycle is not None
+        assert len(cycle) == 2
+        assert {edge[0] for edge in cycle} == {n(1), n(2)}
+
+    def test_nested_cycle_found_inside_larger_graph(self):
+        # A DAG prefix feeding a 3-cycle deeper in.
+        edges = [(n(0), n(1)), (n(1), n(2)),
+                 (n(2), n(3)), (n(3), n(4)), (n(4), n(2)),
+                 (n(1), n(5))]
+        cycle = _find_cycle(edges)
+        assert cycle is not None
+        nodes = {edge[0] for edge in cycle}
+        assert nodes == {n(2), n(3), n(4)}
+        # The returned edges really form a closed walk.
+        for (a, b), (c, d) in zip(cycle, cycle[1:] + cycle[:1]):
+            assert b == c
+
+    def test_acyclic_graph(self):
+        edges = [(n(1), n(2)), (n(2), n(3)), (n(1), n(3)),
+                 (n(4), n(5))]
+        assert _find_cycle(edges) is None
+
+    def test_disconnected_with_cycle_in_second_component(self):
+        edges = [(n(1), n(2)), (n(10), n(11)), (n(11), n(10))]
+        cycle = _find_cycle(edges)
+        assert cycle is not None
+        assert {edge[0] for edge in cycle} == {n(10), n(11)}
+
+
+class TestWeakComponents:
+    def test_disjoint_edges_split(self):
+        nodes = [n(1), n(2), n(3), n(4), n(5)]
+        edges = {(n(1), n(2)): 101, (n(3), n(4)): 102}
+        components = _weak_components(nodes, edges)
+        assert components == [[n(1), n(2)], [n(3), n(4)], [n(5)]]
+
+    def test_direction_is_ignored(self):
+        nodes = [n(1), n(2), n(3)]
+        edges = {(n(2), n(1)): 101, (n(3), n(2)): 102}
+        assert _weak_components(nodes, edges) == [[n(1), n(2), n(3)]]
+
+
+def po_only_model():
+    """Accesses are pipelined dec->ex and chained in per-core program
+    order; cores never connect, so the candidate-edge graph has one
+    weakly connected component per core."""
+    model = Model("po_only")
+    model.add_stage("dec")
+    model.add_stage("ex")
+    for pred, name in (("IsAnyWrite", "Path_w"), ("IsAnyRead", "Path_r")):
+        model.axioms.append(Axiom(name, Forall("i", Implies(
+            Pred(pred, ("i",)),
+            AddEdge(Node("i", "dec"), Node("i", "ex"), "path")))))
+    model.axioms.append(Axiom("PO", Forall("i1", Forall("i2", Implies(
+        Pred("SameCore", ("i1", "i2")),
+        Implies(Pred("ProgramOrder", ("i1", "i2")),
+                AddEdge(Node("i1", "dec"), Node("i2", "dec"), "PO")))))))
+    return model
+
+
+class TestOrderEncodings:
+    SUITE_NAMES = ("mp", "sb", "lb", "corr", "corw", "cowr", "2+2w",
+                   "iriw", "rwc", "wrc", "r", "s", "ssl", "mp+stale")
+
+    def test_component_and_allpairs_verdicts_agree(self):
+        model = sc_hand_model()
+        by_name = suite_by_name()
+        for name in self.SUITE_NAMES:
+            test = by_name[name]
+            comp = solve_observability(model, test,
+                                       order_encoding="components")
+            allp = solve_observability(model, test,
+                                       order_encoding="allpairs")
+            assert comp.observable == allp.observable, name
+
+    def test_components_encoding_is_smaller_when_graph_splits(self):
+        # Two cores touching different addresses under a PO-only model:
+        # no cross-core candidate edge exists.
+        program = ((W("x", 1), R("x", "r1")), (W("y", 1), R("y", "r2")))
+        test = LitmusTest("split", program, (((0, "r1"), 1), ((1, "r2"), 1)))
+        model = po_only_model()
+        comp = solve_observability(model, test, order_encoding="components")
+        allp = solve_observability(model, test, order_encoding="allpairs")
+        assert comp.observable == allp.observable
+        assert comp.stats.order_components == 2
+        assert allp.stats.order_components == 1
+        assert comp.stats.vars < allp.stats.vars
+        assert comp.stats.clauses < allp.stats.clauses
+
+    def test_unknown_encoding_raises_check_error(self):
+        from repro.errors import CheckError
+        model = sc_hand_model()
+        test = suite_by_name()["mp"]
+        with pytest.raises(CheckError):
+            solve_observability(model, test, order_encoding="bogus")
+
+
+class TestIterationsUnified:
+    def test_ground_unsat_counts_as_one_iteration(self):
+        # r1=5 is outside every write's value: Read_Values grounds to
+        # False before the solver ever runs.
+        model = sc_hand_model()
+        program = ((W("x", 1),), (R("x", "r1"),))
+        test = LitmusTest("ground-unsat", program, (((1, "r1"), 5),))
+        result = solve_observability(model, test)
+        assert not result.observable
+        assert result.iterations == 1
+
+    def test_solver_unsat_counts_as_one_iteration(self):
+        model = sc_hand_model()
+        test = suite_by_name()["sb"]  # SC-forbidden: needs the solver
+        result = solve_observability(model, test)
+        assert not result.observable
+        assert result.iterations == 1
+
+
+class TestMemoryLocationDeterminism:
+    def _evaluator_for(self, model):
+        return SimpleNamespace(model=model)
+
+    def test_most_frequent_location_wins(self):
+        assert _memory_location(
+            self._evaluator_for(sc_hand_model())) == "mem"
+
+    def test_tie_breaks_on_first_appearance(self):
+        # Read_Values touching two locations equally often: the first
+        # one encountered must win, independent of hash seeds.
+        model = Model("tie")
+        model.add_stage("alpha")
+        model.add_stage("beta")
+        model.axioms.append(Axiom("Read_Values", Forall("r", Implies(
+            Pred("IsAnyRead", ("r",)),
+            AddEdge(Node("r", "beta"), Node("r", "alpha"), "rf")))))
+        assert _memory_location(self._evaluator_for(model)) == "beta"
+
+    def test_stable_across_hash_seeds(self):
+        # The historic bug: max(set(found), key=found.count) let
+        # PYTHONHASHSEED pick the winner among tied locations.
+        code = (
+            "from repro.uspec import AddEdge, Axiom, Forall, Implies, "
+            "Model, Node, Pred\n"
+            "from repro.check.solver import _memory_location\n"
+            "from types import SimpleNamespace\n"
+            "m = Model('tie')\n"
+            "m.add_stage('alpha'); m.add_stage('beta')\n"
+            "m.axioms.append(Axiom('Read_Values', Forall('r', Implies(\n"
+            "    Pred('IsAnyRead', ('r',)),\n"
+            "    AddEdge(Node('r', 'beta'), Node('r', 'alpha'), 'rf')))))\n"
+            "print(_memory_location(SimpleNamespace(model=m)))\n"
+        )
+        import os
+        import repro
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        winners = set()
+        for seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONPATH=src_dir, PYTHONHASHSEED=seed)
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True, env=env)
+            winners.add(out.stdout.strip())
+        assert winners == {"beta"}

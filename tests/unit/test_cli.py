@@ -46,4 +46,33 @@ def test_missing_subcommand_errors():
 def test_check_with_reference_model(capsys, reference_model):
     assert main(["check", "mp", "sb"]) == 0
     out = capsys.readouterr().out
-    assert "ALL TESTS PASSES" in out
+    assert "ALL TESTS PASS" in out
+    assert "ALL TESTS PASSES" not in out
+
+
+def test_check_unknown_test_suggests_close_match(capsys, reference_model):
+    assert main(["check", "mpp"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "unknown litmus test" in err
+    assert "mpp" in err
+    assert "mp" in err  # close-match suggestion
+
+
+def test_check_unknown_test_without_close_match(capsys, reference_model):
+    assert main(["check", "zzzzqqqq"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown litmus test" in err
+    assert "zzzzqqqq" in err
+
+
+def test_check_report_json(capsys, reference_model, tmp_path):
+    path = tmp_path / "report.json"
+    assert main(["check", "mp", "sb", "--report-json", str(path)]) == 0
+    import json
+    report = json.loads(path.read_text())
+    assert report["schema"] == "repro-check-suite/1"
+    assert report["failures"] == 0
+    assert len(report["digest"]) == 64
+    assert [t["name"] for t in report["tests"]] == ["mp", "sb"]
+    assert report["tests"][0]["stats"]["clauses"] > 0
