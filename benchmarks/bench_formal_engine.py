@@ -1,0 +1,159 @@
+"""Formal-engine scaling benchmark: the seed -> PR-4 trajectory.
+
+Runs the multi-V-scale SVA corpus end to end (``synthesize_uspec``)
+through the formal-layer configurations this repo grew through:
+
+* ``seed_oneshot``     — fresh CNF + fresh solver per BMC/induction
+  query, linear O(num_vars) branch scan, no blast sharing (the seed's
+  code path);
+* ``shared_bitblast``  — one-shot queries behind the keyed
+  :class:`BlastCache` (pays off on repeat checks; within a cold pass
+  each SVA's monitor netlist is unique, so expect parity here);
+* ``incremental``      — ONE retained solver per SVA: frame-by-frame
+  BMC decided via assumption selectors, monotone k-escalation;
+* ``incremental_heap`` — the shipped default: retained solvers served
+  by the indexed VSIDS max-heap.
+
+Every stage must produce the identical per-SVA verdict digest and
+byte-identical ``.uarch`` text (asserted), and the engines are also
+cross-checked at ``--jobs N``; timings land in ``BENCH_synth.json``.
+
+Standalone (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_formal_engine.py --quick
+    PYTHONPATH=src python benchmarks/bench_formal_engine.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+
+#: the CI smoke scope: one core's pipeline + the shared memory
+QUICK_CANDIDATES = ["core_gen[0].core.inst_DX", "core_gen[0].core.PC_DX",
+                    "core_gen[0].core.regfile", "the_mem.mem"]
+
+
+def verdict_digest(result) -> str:
+    """Order-independent hash of every per-SVA verdict field the
+    synthesizer consumes (trace bytes and wall times excluded)."""
+    hasher = hashlib.sha256()
+    for key in sorted(repr((r.signature, r.verdict.status, r.verdict.method,
+                            r.verdict.induction_k, r.verdict.reason))
+                      for r in result.sva_records):
+        hasher.update(key.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def run_stage(name, engine, share_bitblast, sat_order, jobs, candidates):
+    from repro import synthesize_uspec
+    from repro.formal import PropertyChecker
+    from repro.uspec import format_model
+
+    checker = PropertyChecker(bound=12, max_k=2, engine=engine,
+                              share_bitblast=share_bitblast,
+                              sat_order=sat_order)
+    start = time.perf_counter()
+    result = synthesize_uspec(checker=checker, jobs=jobs,
+                              candidate_filter=candidates)
+    elapsed = time.perf_counter() - start
+    uarch = format_model(result.model).encode("utf-8")
+    stats = checker.stats
+    print(f"  {name:<18} {elapsed:8.2f}s  {int(stats['checks'])} checks, "
+          f"sat {stats['sat_time']:.2f}s, "
+          f"{int(stats['bmc_frames'])} bmc frames")
+    return {
+        "name": name,
+        "engine": engine,
+        "share_bitblast": share_bitblast,
+        "sat_order": sat_order,
+        "jobs": jobs,
+        "seconds": round(elapsed, 3),
+        "checks": int(stats["checks"]),
+        "sat_seconds": round(stats["sat_time"], 3),
+        "bmc_frames": int(stats["bmc_frames"]),
+        "blast_hits": int(stats["blast_hits"]),
+        "blast_misses": int(stats["blast_misses"]),
+        "verdict_digest": verdict_digest(result),
+        "uarch_sha256": hashlib.sha256(uarch).hexdigest(),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="restrict the corpus to the CI smoke scope "
+                             "(one core + memory) instead of all SVAs")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="workers for the parallel parity runs")
+    parser.add_argument("--output", default="BENCH_synth.json",
+                        help="where to write the JSON record")
+    parser.add_argument("--skip-parallel", action="store_true",
+                        help="skip the --jobs parity runs (serial-only "
+                             "trajectory)")
+    args = parser.parse_args(argv)
+    candidates = QUICK_CANDIDATES if args.quick else None
+    scope = "quick (CI smoke candidates)" if args.quick \
+        else "full multi-V-scale SVA corpus"
+
+    print(f"engine trajectory ({scope}, serial):")
+    stages = [
+        run_stage("seed_oneshot", "oneshot", False, "scan", 1, candidates),
+        run_stage("shared_bitblast", "oneshot", True, "scan", 1, candidates),
+        run_stage("incremental", "incremental", True, "scan", 1, candidates),
+        run_stage("incremental_heap", "incremental", True, "heap", 1,
+                  candidates),
+    ]
+
+    parity = []
+    if not args.skip_parallel:
+        print(f"engine x jobs parity (--jobs {args.jobs}):")
+        parity = [
+            run_stage("oneshot_parallel", "oneshot", True, "heap",
+                      args.jobs, candidates),
+            run_stage("incremental_parallel", "incremental", True, "heap",
+                      args.jobs, candidates),
+        ]
+
+    every = stages + parity
+    verdict_digests = {stage["verdict_digest"] for stage in every}
+    assert len(verdict_digests) == 1, \
+        f"per-SVA verdicts diverged across stages: {verdict_digests}"
+    uarch_digests = {stage["uarch_sha256"] for stage in every}
+    assert len(uarch_digests) == 1, \
+        f".uarch bytes diverged across stages: {uarch_digests}"
+
+    baseline = stages[0]["seconds"]
+    for stage in every:
+        stage["speedup_vs_seed"] = round(baseline / stage["seconds"], 2) \
+            if stage["seconds"] else None
+    shipped = stages[-1]["speedup_vs_seed"]
+
+    record = {
+        "schema": "repro-bench-synth/1",
+        "scope": scope,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "trajectory": stages,
+        "parity": parity,
+        "verdict_digest": verdict_digests.pop(),
+        "uarch_sha256": uarch_digests.pop(),
+        "incremental_speedup_vs_seed": shipped,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nincremental+heap speedup vs seed one-shot: {shipped:.2f}x "
+          f"(target >= 2x) — record in {args.output}")
+    return 0 if shipped >= 2.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,7 +56,8 @@ def synthesize_uspec(sim_config: DesignConfig = SIM_CONFIG,
                      candidate_filter: Optional[Sequence[str]] = None,
                      jobs: int = 1,
                      journal=None,
-                     check_timeout: Optional[float] = None) -> SynthesisResult:
+                     check_timeout: Optional[float] = None,
+                     engine: str = "incremental") -> SynthesisResult:
     """One-call rtl2uspec run on the bundled multi-V-scale.
 
     ``buggy`` selects the design variant with the section-6.1 decoder
@@ -68,6 +69,9 @@ def synthesize_uspec(sim_config: DesignConfig = SIM_CONFIG,
     ``journal`` (a :class:`repro.formal.VerdictJournal`) checkpoints
     verdicts for crash/Ctrl-C resume; ``check_timeout`` caps each SVA's
     wall clock (exhaustion degrades to a conservative UNKNOWN).
+    ``engine`` selects the formal execution strategy for the default
+    checker ("incremental" retained-solver vs the historical "oneshot"
+    A/B path); both produce identical verdicts and models.
     """
     sim_cfg = sim_config.with_variant(buggy=buggy)
     formal_cfg = formal_config.with_variant(buggy=buggy)
@@ -77,7 +81,8 @@ def synthesize_uspec(sim_config: DesignConfig = SIM_CONFIG,
     with Rtl2Uspec(sim_netlist, formal_netlist, metadata,
                    checker=checker, candidate_filter=candidate_filter,
                    jobs=jobs, journal=journal,
-                   check_timeout=check_timeout) as synthesizer:
+                   check_timeout=check_timeout,
+                   engine=engine) as synthesizer:
         return synthesizer.synthesize()
 
 

@@ -41,7 +41,8 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     from .formal import PropertyChecker
     from .uspec import format_model
 
-    checker = PropertyChecker(bound=args.bound, max_k=args.max_k)
+    checker = PropertyChecker(bound=args.bound, max_k=args.max_k,
+                              engine=args.engine)
     cache = None
     if args.cache:
         from .formal import CachingPropertyChecker, VerdictCache
@@ -254,6 +255,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_synth.add_argument("-j", "--jobs", type=int, default=0,
                          help="parallel SVA discharge workers "
                               "(default: all cores; 1 = serial)")
+    p_synth.add_argument("--engine", choices=("incremental", "oneshot"),
+                         default="incremental",
+                         help="formal execution strategy: 'incremental' "
+                              "retains one solver per SVA across BMC frames "
+                              "and induction depths; 'oneshot' is the "
+                              "historical fresh-solver path kept for A/B "
+                              "runs (verdicts and the emitted model are "
+                              "identical)")
     p_synth.set_defaults(func=_cmd_synth)
 
     p_check = sub.add_parser("check", help="verify litmus tests against a model")

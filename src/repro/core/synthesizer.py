@@ -169,12 +169,17 @@ class Rtl2Uspec:
                  candidate_filter: Optional[Sequence[str]] = None,
                  jobs: int = 1,
                  journal: Optional[VerdictJournal] = None,
-                 check_timeout: Optional[float] = None):
+                 check_timeout: Optional[float] = None,
+                 engine: str = "incremental"):
         metadata.validate(sim_netlist)
         self.sim_netlist = sim_netlist
         self.formal_netlist = formal_netlist
         self.md = metadata
-        self.checker = checker or PropertyChecker(bound=12, max_k=3)
+        # ``engine`` picks the default checker's execution strategy
+        # (incremental retained-solver vs the historical one-shot);
+        # ignored when an explicit ``checker`` is supplied.
+        self.checker = checker or PropertyChecker(bound=12, max_k=3,
+                                                  engine=engine)
         self.factory = SvaFactory(formal_netlist, metadata)
         self.formal_cores = formal_cores
         self.relaxed = relaxed

@@ -7,9 +7,10 @@ it either proves an assertion or refutes it with a counterexample trace.
 
 from .aig import Aig, lit_neg
 from .aiger import export_problem, write_aiger
-from .bitblast import BlastedDesign, bitblast
+from .bitblast import BlastCache, BlastedDesign, bitblast
 from .cache import CachingPropertyChecker, VerdictCache, problem_fingerprint
 from .engine import (
+    ENGINES,
     PROVEN,
     PROVEN_BOUNDED,
     REFUTED,
@@ -33,6 +34,8 @@ __all__ = [
     "export_problem",
     "lit_neg",
     "bitblast",
+    "BlastCache",
+    "ENGINES",
     "VerdictCache",
     "CachingPropertyChecker",
     "problem_fingerprint",

@@ -3,11 +3,20 @@
 Memories are exploded into per-cell latch vectors with mux-tree read
 logic and address-decoded write logic, so the whole design becomes a
 pure bit-level transition system.
+
+:class:`BlastCache` memoizes the cone-of-influence + bitblast front
+half of a property check behind a content key, so repeated checks of
+structurally identical problems (re-checks for counterexample traces,
+scheduler retries, A/B runs) stop re-blasting the same cone.  A
+:class:`BlastedDesign` is immutable once built — the unroller and
+trace extractor only read it — so sharing one instance across checks
+is safe.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
 
 from ..errors import FormalError
 from ..netlist import (
@@ -15,6 +24,8 @@ from ..netlist import (
     Const,
     Netlist,
     SignalRef,
+    cone_of_influence,
+    netlist_fingerprint,
 )
 from .aig import FALSE, Aig, lit_neg
 
@@ -214,3 +225,61 @@ def _blast_cell(aig: Aig, cell: Cell, operands: List[List[int]], out_width: int)
             vec.append(FALSE)
         return vec[:out_width]
     raise FormalError(f"bitblast: unsupported op {op!r}")
+
+
+class BlastCache:
+    """LRU cache for the COI-extraction + bitblast front half of a check.
+
+    Keyed by ``(netlist_fingerprint, roots, frozen_inputs, use_coi)``:
+    the fingerprint is canonical under cell reordering and memoized per
+    netlist instance (see :func:`repro.netlist.netlist_fingerprint`),
+    so repeated problems over the same design pay for the structural
+    hash once and for the blast never.  Stores the reduced netlist
+    alongside the :class:`BlastedDesign` because trace extraction and
+    frame encoding both consult the cone netlist, not the original.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("BlastCache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, Tuple[Netlist, BlastedDesign]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, netlist: Netlist, roots: Sequence[str],
+            frozen_inputs: Sequence[str],
+            use_coi: bool) -> Tuple[Netlist, BlastedDesign]:
+        """Return ``(cone_netlist, blasted)`` for the given problem shape,
+        blasting (and caching) on a miss."""
+        key = (netlist_fingerprint(netlist), tuple(sorted(roots)),
+               tuple(sorted(frozen_inputs)), use_coi)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        cone = cone_of_influence(netlist, roots) if use_coi else netlist
+        # Frozen inputs outside the cone are irrelevant to the check;
+        # filtering is deterministic given the key, so the unfiltered
+        # list is safe to use in it.
+        frozen = [f for f in frozen_inputs if f in cone.inputs]
+        blasted = bitblast(cone, frozen_inputs=frozen)
+        self._entries[key] = (cone, blasted)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return cone, blasted
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

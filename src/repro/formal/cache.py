@@ -15,7 +15,7 @@ import os
 import tempfile
 from typing import Dict, Optional
 
-from ..netlist import Const, Netlist
+from ..netlist import Netlist, netlist_fingerprint
 from .engine import REFUTED, CheckParams, Verdict
 
 
@@ -52,14 +52,14 @@ def _entries_checksum(entries: Dict[str, Dict]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def _ref_token(ref) -> str:
-    if isinstance(ref, Const):
-        return f"c{ref.width}:{ref.value}"
-    return f"w{ref}"
-
-
 def problem_fingerprint(problem, bound: int, max_k: int) -> str:
-    """A stable content hash of a :class:`SafetyProblem` instance."""
+    """A stable content hash of a :class:`SafetyProblem` instance.
+
+    The netlist structure hash is delegated to
+    :func:`repro.netlist.netlist_fingerprint` (canonical under cell
+    reordering and memoized per netlist instance, so the shared
+    bitblast cache and the verdict cache pay for it once).
+    """
     netlist: Netlist = problem.netlist
     hasher = hashlib.sha256()
 
@@ -68,29 +68,7 @@ def problem_fingerprint(problem, bound: int, max_k: int) -> str:
         hasher.update(b"\x00")
 
     feed(f"bound={bound};k={max_k};reset={problem.reset_input}")
-    for name in sorted(netlist.inputs):
-        feed(f"in {name} {netlist.inputs[name]}")
-    for name in sorted(netlist.wires):
-        feed(f"wire {name} {netlist.wires[name].width}")
-    # Cells are canonicalized by sorting their content tokens: a netlist
-    # is a DAG over named wires, so two cell lists that are equal as
-    # multisets denote the same design regardless of emission order.
-    for token in sorted(
-            f"cell {cell.op} {','.join(_ref_token(r) for r in cell.inputs)} "
-            f"-> {cell.output} {sorted(cell.attrs.items())}"
-            for cell in netlist.cells):
-        feed(token)
-    for name in sorted(netlist.dffs):
-        dff = netlist.dffs[name]
-        feed(f"dff {dff.q} <= {_ref_token(dff.d)} init={dff.init}")
-    for name in sorted(netlist.memories):
-        mem = netlist.memories[name]
-        feed(f"mem {name} {mem.width}x{mem.depth} init={sorted(mem.init.items())}")
-        for rp in mem.read_ports:
-            feed(f"rd {_ref_token(rp.addr)} -> {rp.data}")
-        for wp in mem.write_ports:
-            feed(f"wr {_ref_token(wp.addr)} {_ref_token(wp.data)} "
-                 f"en={_ref_token(wp.enable)}")
+    feed("netlist " + netlist_fingerprint(netlist))
     feed("assume " + "|".join(sorted(problem.assume_wires)))
     feed("assert " + "|".join(sorted(problem.assert_wires)))
     feed("frozen " + "|".join(sorted(problem.frozen_inputs)))

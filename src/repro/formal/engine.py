@@ -20,6 +20,29 @@ yields a first-class ``UNKNOWN`` verdict (with the exhausted budget in
 ``Verdict.reason``) instead of raising, so a single runaway SVA can
 never strand a whole synthesis run — the caller degrades conservatively,
 mirroring the paper's §6.2 relaxation fallbacks.
+
+Two execution engines decide the same problems:
+
+* ``engine="oneshot"`` (the original): one monolithic CNF per BMC run
+  asserting the disjunction of all per-frame violations, and a fresh
+  solver per induction depth k.
+* ``engine="incremental"`` (the default): ONE retained solver per
+  problem.  BMC unrolls frame by frame, deciding each frame's
+  violation selector via ``solve(assumptions=[violation])``; an UNSAT
+  frame permanently asserts ``-violation`` and its learned clauses
+  carry forward to deeper frames.  Refutations exit at the first
+  failing cycle without ever encoding the frames beyond it, which is
+  where most of the one-shot engine's encoding time goes.  Induction
+  escalates k in a second retained solver by monotone additions: after
+  the step query fails at k, frame k is asserted clean and the query
+  for k+1 reuses everything.  Frame queries are SAT exactly when the
+  one-shot disjunction is, and each incremental step-k formula is
+  semantically identical to the fresh per-k query, so verdict statuses
+  and ``induction_k`` match the one-shot engine exactly.
+
+``share_bitblast=True`` routes cone-of-influence extraction and
+bit-blasting through a keyed :class:`~repro.formal.bitblast.BlastCache`
+so repeated checks over the same cone skip straight to unrolling.
 """
 
 from __future__ import annotations
@@ -31,9 +54,12 @@ from typing import Dict, List, Optional, Tuple
 from ..netlist import Netlist, cone_of_influence
 from ..sat import UNSAT, Cnf, Solver
 from ..sat import UNKNOWN as _SAT_UNKNOWN
-from .bitblast import BlastedDesign, bitblast
+from .bitblast import BlastCache, BlastedDesign, bitblast
 from .trace import Trace, extract_trace
 from .unroll import Unroller
+
+#: valid values for PropertyChecker(engine=...)
+ENGINES = ("incremental", "oneshot")
 
 PROVEN = "PROVEN"
 REFUTED = "REFUTED"
@@ -120,14 +146,40 @@ class PropertyChecker:
 
     def __init__(self, bound: int = 14, max_k: int = 12,
                  use_coi: bool = True, max_conflicts: Optional[int] = None,
-                 timeout_seconds: Optional[float] = None):
+                 timeout_seconds: Optional[float] = None,
+                 engine: str = "incremental", share_bitblast: bool = True,
+                 sat_order: str = "heap", blast_cache_size: int = 64):
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.bound = bound
         self.max_k = max_k
         self.use_coi = use_coi
         self.max_conflicts = max_conflicts
         self.timeout_seconds = timeout_seconds
+        self.engine = engine
+        self.share_bitblast = share_bitblast
+        self.sat_order = sat_order
+        self.blast_cache_size = blast_cache_size
+        self._blast_cache: Optional[BlastCache] = \
+            BlastCache(blast_cache_size) if share_bitblast else None
         #: cumulative statistics across check() calls
-        self.stats: Dict[str, float] = {"checks": 0, "sat_time": 0.0}
+        self.stats: Dict[str, float] = {
+            "checks": 0, "sat_time": 0.0, "bmc_frames": 0,
+            "blast_hits": 0, "blast_misses": 0,
+        }
+
+    def __getstate__(self):
+        # Workers rebuild an empty blast cache on unpickle: a warm cache
+        # can hold dozens of blasted designs and would bloat every task
+        # submission; each worker process warms its own copy in-place.
+        state = self.__dict__.copy()
+        state["_blast_cache"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self.share_bitblast:
+            self._blast_cache = BlastCache(self.blast_cache_size)
 
     # ------------------------------------------------------------------
     def check(self, problem: SafetyProblem, bound: Optional[int] = None,
@@ -148,14 +200,14 @@ class PropertyChecker:
         deadline = (start + timeout) if timeout is not None else None
         conflicts = max_conflicts if max_conflicts is not None \
             else self.max_conflicts
-        netlist = problem.netlist
-        if self.use_coi:
-            netlist = cone_of_influence(netlist, problem.roots())
-        frozen = [f for f in problem.frozen_inputs if f in netlist.inputs]
-        design = bitblast(netlist, frozen)
+        netlist, design = self._blast(problem)
 
-        cex, budget_hit = self._bmc(design, problem, netlist, bound,
-                                    deadline, conflicts)
+        bmc = self._bmc_incremental if self.engine == "incremental" \
+            else self._bmc
+        induction = self._induction_incremental \
+            if self.engine == "incremental" else self._induction
+        cex, budget_hit = bmc(design, problem, netlist, bound,
+                              deadline, conflicts)
         self.stats["checks"] += 1
         if budget_hit is not None:
             elapsed = time.perf_counter() - start
@@ -165,8 +217,8 @@ class PropertyChecker:
             elapsed = time.perf_counter() - start
             return Verdict(REFUTED, "bmc", bound, elapsed, trace=cex, name=problem.name)
         if prove:
-            k_ok = self._induction(design, problem, netlist, bound,
-                                   deadline, conflicts)
+            k_ok = induction(design, problem, netlist, bound,
+                             deadline, conflicts)
             elapsed = time.perf_counter() - start
             if k_ok is not None:
                 return Verdict(PROVEN, "k-induction", bound, elapsed,
@@ -185,16 +237,41 @@ class PropertyChecker:
                           max_conflicts=params.max_conflicts)
 
     # ------------------------------------------------------------------
+    def _blast(self, problem: SafetyProblem) -> Tuple[Netlist, BlastedDesign]:
+        """COI-reduce and bit-blast the problem, via the shared cache
+        when ``share_bitblast`` is enabled."""
+        if self._blast_cache is not None:
+            hits0 = self._blast_cache.hits
+            misses0 = self._blast_cache.misses
+            netlist, design = self._blast_cache.get(
+                problem.netlist, problem.roots(), problem.frozen_inputs,
+                self.use_coi)
+            self.stats["blast_hits"] += self._blast_cache.hits - hits0
+            self.stats["blast_misses"] += self._blast_cache.misses - misses0
+            return netlist, design
+        netlist = problem.netlist
+        if self.use_coi:
+            netlist = cone_of_influence(netlist, problem.roots())
+        frozen = [f for f in problem.frozen_inputs if f in netlist.inputs]
+        self.stats["blast_misses"] += 1
+        return netlist, bitblast(netlist, frozen)
+
+    # ------------------------------------------------------------------
+    def _reset_unit(self, unroller: Unroller, problem: SafetyProblem,
+                    t: int, in_reset_frames: int = 1) -> int:
+        """Unit constraint for the reset input at frame ``t`` (high
+        during the first ``in_reset_frames`` frames, low after)."""
+        lit = unroller.wire_lit(problem.reset_input, t)
+        return lit if t < in_reset_frames else -lit
+
     def _reset_schedule(self, unroller: Unroller, netlist: Netlist,
                         problem: SafetyProblem, frames: int,
                         in_reset_frames: int = 1) -> List[int]:
         """Unit constraints pinning the reset input high then low."""
-        units = []
-        if problem.reset_input in netlist.inputs:
-            for t in range(frames):
-                lit = unroller.wire_lit(problem.reset_input, t)
-                units.append(lit if t < in_reset_frames else -lit)
-        return units
+        if problem.reset_input not in netlist.inputs:
+            return []
+        return [self._reset_unit(unroller, problem, t, in_reset_frames)
+                for t in range(frames)]
 
     def _frame_ok(self, unroller: Unroller, netlist: Netlist,
                   problem: SafetyProblem, cnf: Cnf, t: int) -> Tuple[int, int]:
@@ -226,7 +303,7 @@ class PropertyChecker:
             prefix_ok = cnf.encode_and((prefix_ok, assume_ok))
             violations.append(cnf.encode_and((prefix_ok, fail)))
         cnf.assert_lit(cnf.encode_or(violations))
-        solver = Solver()
+        solver = Solver(order=self.sat_order)
         solver.add_cnf(cnf)
         t0 = time.perf_counter()
         status = solver.solve(max_conflicts=max_conflicts, deadline=deadline)
@@ -276,7 +353,7 @@ class PropertyChecker:
             assume_ok, fail = self._frame_ok(unroller, netlist, problem, cnf, k)
             cnf.assert_lit(assume_ok)
             cnf.assert_lit(fail)
-            solver = Solver()
+            solver = Solver(order=self.sat_order)
             solver.add_cnf(cnf)
             t0 = time.perf_counter()
             status = solver.solve(max_conflicts=max_conflicts, deadline=deadline)
@@ -285,4 +362,129 @@ class PropertyChecker:
                 return k
             if status == _SAT_UNKNOWN:
                 return None
+        return None
+
+    # ------------------------------------------------------------------
+    # Incremental engine
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _feed_solver(solver: Solver, cnf: Cnf, fed: int) -> int:
+        """Push clauses ``cnf.clauses[fed:]`` into the retained solver;
+        returns the new fed watermark."""
+        total = len(cnf.clauses)
+        if fed < total:
+            solver._ensure_var(cnf.num_vars)
+            clauses = cnf.clauses
+            while fed < total:
+                solver.add_clause(clauses[fed])
+                fed += 1
+        return fed
+
+    def _bmc_incremental(self, design: BlastedDesign, problem: SafetyProblem,
+                         netlist: Netlist, bound: int,
+                         deadline: Optional[float] = None,
+                         max_conflicts: Optional[int] = None
+                         ) -> Tuple[Optional[Trace], Optional[str]]:
+        """Retained-solver BMC: same contract as :meth:`_bmc`.
+
+        One solver lives across all frames.  Frame ``t``'s violation
+        selector is decided under ``assumptions=[violation]``; a SAT
+        answer is a counterexample at the *minimal* failing cycle (no
+        deeper frame is ever encoded), and an UNSAT answer permanently
+        asserts ``-violation`` — sound because UNSAT under a single
+        assumption means the clause database already implies its
+        negation — and carries every learned clause into frame ``t+1``.
+        The conflict budget is shared across frames (the one-shot
+        engine's single solve call has the same total), while the
+        deadline is absolute as before.
+        """
+        cnf = Cnf()
+        unroller = Unroller(design, cnf)
+        solver = Solver(order=self.sat_order)
+        fed = 0
+        has_reset = problem.reset_input in netlist.inputs
+        prefix_ok = cnf.true_lit
+        used_conflicts = 0
+        for t in range(bound + 1):
+            if deadline is not None and time.perf_counter() >= deadline:
+                return None, "timeout"
+            unroller.extend_to(t + 1)
+            if has_reset:
+                cnf.assert_lit(self._reset_unit(unroller, problem, t))
+            assume_ok, fail = self._frame_ok(unroller, netlist, problem, cnf, t)
+            prefix_ok = cnf.encode_and((prefix_ok, assume_ok))
+            violation = cnf.encode_and((prefix_ok, fail))
+            fed = self._feed_solver(solver, cnf, fed)
+            remaining = None
+            if max_conflicts is not None:
+                remaining = max(0, max_conflicts - used_conflicts)
+            before = solver.conflicts
+            t0 = time.perf_counter()
+            status = solver.solve(assumptions=[violation],
+                                  max_conflicts=remaining, deadline=deadline)
+            self.stats["sat_time"] += time.perf_counter() - t0
+            used_conflicts += solver.conflicts - before
+            self.stats["bmc_frames"] += 1
+            if status == _SAT_UNKNOWN:
+                if deadline is not None and time.perf_counter() >= deadline:
+                    return None, "timeout"
+                return None, "conflict-budget"
+            if status == UNSAT:
+                solver.add_clause([-violation])
+                continue
+            return extract_trace(unroller, solver, t + 1, t), None
+        return None, None
+
+    def _induction_incremental(self, design: BlastedDesign,
+                               problem: SafetyProblem, netlist: Netlist,
+                               base_bound: int,
+                               deadline: Optional[float] = None,
+                               max_conflicts: Optional[int] = None
+                               ) -> Optional[int]:
+        """Retained-solver k-induction: same contract as :meth:`_induction`.
+
+        Escalating k only ever *adds* constraints: after the step query
+        fails at k (SAT under ``assumptions=[fail_k]``), frame k is
+        asserted clean and frame k+1 is appended, so the solver keeps
+        its learned clauses across depths.  Each step-k formula is
+        semantically identical to the one-shot engine's fresh per-k
+        query, hence the same ``induction_k``.  As in the one-shot
+        engine, each depth gets the full conflict budget.
+        """
+        cnf = Cnf()
+        unroller = Unroller(design, cnf, free_initial_state=True)
+        solver = Solver(order=self.sat_order)
+        fed = 0
+        has_reset = problem.reset_input in netlist.inputs
+        # Frame 0 starts clean: post-reset operation with assumptions
+        # honored and the property holding.
+        unroller.extend_to(1)
+        if has_reset:
+            cnf.assert_lit(-unroller.wire_lit(problem.reset_input, 0))
+        assume_ok, fail = self._frame_ok(unroller, netlist, problem, cnf, 0)
+        cnf.assert_lit(assume_ok)
+        cnf.assert_lit(-fail)
+        for k in range(1, self.max_k + 1):
+            if deadline is not None and time.perf_counter() >= deadline:
+                return None
+            if k > base_bound:
+                # Base case beyond the BMC bound has not been checked.
+                return None
+            unroller.extend_to(k + 1)
+            if has_reset:
+                cnf.assert_lit(-unroller.wire_lit(problem.reset_input, k))
+            assume_ok, fail = self._frame_ok(unroller, netlist, problem, cnf, k)
+            cnf.assert_lit(assume_ok)
+            fed = self._feed_solver(solver, cnf, fed)
+            t0 = time.perf_counter()
+            status = solver.solve(assumptions=[fail],
+                                  max_conflicts=max_conflicts,
+                                  deadline=deadline)
+            self.stats["sat_time"] += time.perf_counter() - t0
+            if status == UNSAT:
+                return k
+            if status == _SAT_UNKNOWN:
+                return None
+            # Step k failed: frame k is clean in every deeper query.
+            cnf.assert_lit(-fail)
         return None

@@ -325,7 +325,8 @@ class DischargeScheduler:
             self._task_counter += 1
 
         if self.jobs > 1 and len(to_run) > 1:
-            for index, verdict in self._run_pool(batch, to_run, task_indices).items():
+            for index, verdict in self._run_pool(
+                    batch, to_run, task_indices, problems).items():
                 outcomes[index] = verdict
         else:
             for index in to_run:
@@ -359,14 +360,18 @@ class DischargeScheduler:
     # Pool execution with crash/timeout/garbage recovery
     # ------------------------------------------------------------------
     def _run_pool(self, batch, to_run: List[int],
-                  task_indices: Dict[int, int]) -> Dict[int, Verdict]:
+                  task_indices: Dict[int, int],
+                  problems: Optional[Dict[int, object]] = None
+                  ) -> Dict[int, Verdict]:
         """Fan one wave out to the pool; survive worker faults.
 
         Failed obligations are retried in subsequent waves (with
         exponential backoff and a rebuilt pool when it broke); after
         ``max_retries`` failures an obligation degrades to inline
-        execution in the parent.
+        execution in the parent, reusing the problem instance already
+        built during cache/journal planning instead of rebuilding it.
         """
+        problems = problems or {}
         outcomes: Dict[int, Verdict] = {}
         pending: List[Tuple[int, int]] = [(index, 0) for index in to_run]
         wave = 0
@@ -414,7 +419,9 @@ class DischargeScheduler:
             for index, attempt in failed:
                 if attempt >= self.max_retries:
                     self.stats.inline_fallbacks += 1
-                    problem = batch[index].build(self.factory)
+                    problem = problems.get(index)
+                    if problem is None:
+                        problem = batch[index].build(self.factory)
                     outcomes[index] = self._check_once(
                         problem, task_indices[index], attempt + 1)
                 else:

@@ -24,7 +24,12 @@ from .ir import (
     Wire,
 )
 from .opseval import eval_cell, mask
-from .passes import cone_of_influence, fold_constants, support_wires
+from .passes import (
+    cone_of_influence,
+    fold_constants,
+    netlist_fingerprint,
+    support_wires,
+)
 from .verilog_out import write_verilog
 
 __all__ = [
@@ -48,6 +53,7 @@ __all__ = [
     "mask",
     "cone_of_influence",
     "fold_constants",
+    "netlist_fingerprint",
     "support_wires",
     "write_verilog",
 ]

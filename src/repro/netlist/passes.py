@@ -8,10 +8,63 @@ checks to the state that can actually affect the asserted signals — the
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Set
 
 from ..errors import NetlistError
 from .ir import Cell, Const, Dff, MemReadPort, Memory, Netlist
+
+
+def _ref_token(ref) -> str:
+    if isinstance(ref, Const):
+        return f"c{ref.width}:{ref.value}"
+    return f"w{ref}"
+
+
+def netlist_fingerprint(netlist: Netlist) -> str:
+    """A stable content hash of a netlist's structure.
+
+    Canonical under cell reordering (a netlist is a DAG over named
+    wires, so two cell lists equal as multisets denote the same
+    design).  Used to key the verdict cache and the shared bitblast
+    cache; the digest is memoized on the netlist instance and
+    invalidated if the structure is mutated afterwards (callers of the
+    mutating passes get a fresh hash).
+    """
+    count = (len(netlist.cells), len(netlist.wires), len(netlist.inputs),
+             len(netlist.dffs), len(netlist.memories))
+    cached = getattr(netlist, "_fingerprint_cache", None)
+    if cached is not None and cached[0] == count:
+        return cached[1]
+    hasher = hashlib.sha256()
+
+    def feed(text: str) -> None:
+        hasher.update(text.encode("utf-8"))
+        hasher.update(b"\x00")
+
+    for name in sorted(netlist.inputs):
+        feed(f"in {name} {netlist.inputs[name]}")
+    for name in sorted(netlist.wires):
+        feed(f"wire {name} {netlist.wires[name].width}")
+    for token in sorted(
+            f"cell {cell.op} {','.join(_ref_token(r) for r in cell.inputs)} "
+            f"-> {cell.output} {sorted(cell.attrs.items())}"
+            for cell in netlist.cells):
+        feed(token)
+    for name in sorted(netlist.dffs):
+        dff = netlist.dffs[name]
+        feed(f"dff {dff.q} <= {_ref_token(dff.d)} init={dff.init}")
+    for name in sorted(netlist.memories):
+        mem = netlist.memories[name]
+        feed(f"mem {name} {mem.width}x{mem.depth} init={sorted(mem.init.items())}")
+        for rp in mem.read_ports:
+            feed(f"rd {_ref_token(rp.addr)} -> {rp.data}")
+        for wp in mem.write_ports:
+            feed(f"wr {_ref_token(wp.addr)} {_ref_token(wp.data)} "
+                 f"en={_ref_token(wp.enable)}")
+    digest = hasher.hexdigest()
+    netlist._fingerprint_cache = (count, digest)
+    return digest
 
 
 def support_wires(netlist: Netlist, roots: Iterable[str]) -> Set[str]:

@@ -6,14 +6,23 @@ modern architecture:
 
 * two-literal watching for unit propagation,
 * first-UIP conflict analysis with clause learning and minimization,
-* VSIDS-style activity ordering with phase saving,
+* VSIDS-style activity ordering with phase saving, served by a lazy
+  indexed max-heap (MiniSat's ``order_heap``) instead of an
+  O(num_vars) scan per decision,
 * Luby-sequence restarts,
-* learned-clause database reduction ordered by LBD (glue),
+* learned-clause database reduction ordered by LBD (glue), with the
+  LBD recorded at learn time,
 * solving under assumptions (used for incremental BMC queries).
 
 The implementation favours flat ``list``/``array`` state over objects on
 the hot path; clauses are Python lists whose first two literals are the
 watched ones.
+
+The heap orders variables by ``(activity desc, index asc)``, which is
+exactly the variable the historical linear scan selected (first
+strict maximum in index order), so ``order="heap"`` (the default) and
+``order="scan"`` (the seed baseline, kept for A/B benchmarking)
+produce bit-identical search trajectories.
 """
 
 from __future__ import annotations
@@ -62,7 +71,9 @@ class Solver:
     database persists across calls and learned clauses are retained.
     """
 
-    def __init__(self):
+    def __init__(self, order: str = "heap"):
+        if order not in ("heap", "scan"):
+            raise SatError(f"unknown branch order {order!r}")
         self.num_vars = 0
         self.clauses: List[List[int]] = []  # problem clauses
         self.learned: List[List[int]] = []
@@ -84,9 +95,23 @@ class Solver:
         self.decisions = 0
         self.propagations = 0
         self.max_conflicts: Optional[int] = None
-        self._order_dirty = True
-        self._lbd_seen: List[int] = [0]
+        #: learned-clause count that triggers a database reduction
+        self.reduce_db_threshold = 2000
+        #: conflicts before the first restart (Luby-scaled thereafter)
+        self.restart_base = 64
+        self.order = order
+        self._use_heap = order == "heap"
+        # Indexed max-heap over VSIDS activity: _heap holds variables,
+        # _heap_pos[var] is the var's slot (-1 = not in heap). Assigned
+        # variables are removed lazily by _pick_branch_var.
+        self._heap: List[int] = []
+        self._heap_pos: List[int] = [-1]
+        #: failed-assumption set of the most recent UNSAT-under-
+        #: assumptions solve() (empty after SAT/UNKNOWN returns)
+        self.conflict_assumptions: List[int] = []
         self._seen: List[int] = [0]
+        #: id(learned clause) -> LBD recorded when the clause was learned
+        self._lbd: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -99,8 +124,10 @@ class Solver:
             self.reason.append(None)
             self.activity.append(0.0)
             self.phase.append(False)
-            self._lbd_seen.append(0)
             self._seen.append(0)
+            self._heap_pos.append(-1)
+            if self._use_heap:
+                self._heap_insert(self.num_vars)
 
     def add_clause(self, lits: Iterable[int]) -> bool:
         """Add a problem clause; returns False if it is trivially conflicting.
@@ -236,10 +263,79 @@ class Solver:
     def _bump_var(self, var: int) -> None:
         self.activity[var] += self.var_inc
         if self.activity[var] > 1e100:
+            # Rescaling multiplies every activity by the same factor,
+            # so the heap order is preserved and needs no repair.
             for i in range(1, self.num_vars + 1):
                 self.activity[i] *= 1e-100
             self.var_inc *= 1e-100
-        self._order_dirty = True
+        if self._heap_pos[var] >= 0:
+            self._heap_sift_up(self._heap_pos[var])
+
+    # ------------------------------------------------------------------
+    # Branch-order heap (indexed binary max-heap over VSIDS activity;
+    # ties break toward the lower variable index, matching the linear
+    # scan this replaced)
+    # ------------------------------------------------------------------
+    def _heap_before(self, a: int, b: int) -> bool:
+        """True when var ``a`` must sit above var ``b`` in the heap."""
+        act_a, act_b = self.activity[a], self.activity[b]
+        return act_a > act_b or (act_a == act_b and a < b)
+
+    def _heap_insert(self, var: int) -> None:
+        pos = self._heap_pos
+        if pos[var] >= 0:
+            return
+        heap = self._heap
+        pos[var] = len(heap)
+        heap.append(var)
+        self._heap_sift_up(pos[var])
+
+    def _heap_sift_up(self, i: int) -> None:
+        heap, pos, activity = self._heap, self._heap_pos, self.activity
+        var = heap[i]
+        act = activity[var]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pvar = heap[parent]
+            pact = activity[pvar]
+            if pact > act or (pact == act and pvar < var):
+                break
+            heap[i] = pvar
+            pos[pvar] = i
+            i = parent
+        heap[i] = var
+        pos[var] = i
+
+    def _heap_sift_down(self, i: int) -> None:
+        heap, pos = self._heap, self._heap_pos
+        size = len(heap)
+        var = heap[i]
+        while True:
+            left = 2 * i + 1
+            if left >= size:
+                break
+            best = left
+            right = left + 1
+            if right < size and self._heap_before(heap[right], heap[left]):
+                best = right
+            if not self._heap_before(heap[best], var):
+                break
+            heap[i] = heap[best]
+            pos[heap[i]] = i
+            i = best
+        heap[i] = var
+        pos[var] = i
+
+    def _heap_pop(self) -> int:
+        heap, pos = self._heap, self._heap_pos
+        top = heap[0]
+        pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._heap_sift_down(0)
+        return top
 
     def _analyze(self, conflict: List[int]):
         """First-UIP analysis; returns (learned_clause, backtrack_level)."""
@@ -314,6 +410,8 @@ class Solver:
         return len(levels)
 
     def _backtrack(self, target_level: int) -> None:
+        use_heap = self._use_heap
+        heap_pos = self._heap_pos
         while len(self.trail_lim) > target_level:
             lim = self.trail_lim.pop()
             for lit in self.trail[lim:]:
@@ -321,6 +419,8 @@ class Solver:
                 self.phase[var] = lit > 0
                 self.assign[var] = 0
                 self.reason[var] = None
+                if use_heap and heap_pos[var] < 0:
+                    self._heap_insert(var)
             del self.trail[lim:]
         self.qhead = len(self.trail)
 
@@ -328,6 +428,17 @@ class Solver:
     # Decisions
     # ------------------------------------------------------------------
     def _pick_branch_var(self) -> int:
+        if self._use_heap:
+            # Lazy deletion: variables assigned since their insertion
+            # are discarded as they surface (backtracking reinserts any
+            # that become unassigned again).
+            assign = self.assign
+            heap = self._heap
+            while heap:
+                var = self._heap_pop()
+                if assign[var] == 0:
+                    return var
+            return 0
         best = 0
         best_act = -1.0
         assign = self.assign
@@ -342,9 +453,11 @@ class Solver:
     # Learned clause DB management
     # ------------------------------------------------------------------
     def _reduce_db(self) -> None:
-        if len(self.learned) < 2000:
+        if len(self.learned) < self.reduce_db_threshold:
             return
-        scored = sorted(self.learned, key=lambda c: (self._clause_lbd(c), len(c)))
+        lbd = self._lbd
+        scored = sorted(self.learned,
+                        key=lambda c: (lbd.get(id(c), len(c)), len(c)))
         keep = set(map(id, scored[: len(scored) // 2]))
         locked = set()
         for var in range(1, self.num_vars + 1):
@@ -356,9 +469,20 @@ class Solver:
         if not removed:
             return
         self.learned = [c for c in self.learned if id(c) not in removed_ids]
-        for lit, wl in self.watches.items():
-            if wl:
-                self.watches[lit] = [c for c in wl if id(c) not in removed_ids]
+        for clause_id in removed_ids:
+            lbd.pop(clause_id, None)
+        # A live clause sits in exactly the two watchlists of its first
+        # two literals (the propagation invariant), so only the lists
+        # actually containing removed clauses need rebuilding — not
+        # every watchlist in the solver.
+        touched: Dict[int, set] = {}
+        for clause in removed:
+            touched.setdefault(clause[0], set()).add(id(clause))
+            touched.setdefault(clause[1], set()).add(id(clause))
+        for lit, ids in touched.items():
+            watchlist = self.watches.get(lit)
+            if watchlist:
+                self.watches[lit] = [c for c in watchlist if id(c) not in ids]
 
     # ------------------------------------------------------------------
     # Main search
@@ -373,9 +497,12 @@ class Solver:
         ``time.perf_counter()`` instant: the search polls the clock
         every few conflicts and returns UNKNOWN once it is past due.
         """
+        # Reset before any early return: a caller inspecting the
+        # failed-assumption set after a timed-out call must not read
+        # the previous query's core.
+        self.conflict_assumptions = []
         if deadline is not None and time.perf_counter() >= deadline:
             return UNKNOWN
-        self.conflict_assumptions: List[int] = []
         if not self.ok:
             return UNSAT
         self._backtrack(0)
@@ -389,7 +516,7 @@ class Solver:
         conflict_budget = max_conflicts if max_conflicts is not None else self.max_conflicts
         start_conflicts = self.conflicts
         restart_num = 1
-        restart_limit = 64 * luby(restart_num)
+        restart_limit = self.restart_base * luby(restart_num)
         conflicts_since_restart = 0
         while True:
             conflict = self._propagate()
@@ -410,6 +537,10 @@ class Solver:
                         self.ok = False
                         return UNSAT
                 else:
+                    # Record the LBD now, while the literals still carry
+                    # their conflict-time decision levels, instead of
+                    # recomputing it from stale levels at reduce time.
+                    self._lbd[id(learned)] = self._clause_lbd(learned)
                     self.learned.append(learned)
                     self._watch_clause(learned)
                     self._enqueue(learned[0], learned)
@@ -426,7 +557,7 @@ class Solver:
                     return UNKNOWN
                 if conflicts_since_restart >= restart_limit:
                     restart_num += 1
-                    restart_limit = 64 * luby(restart_num)
+                    restart_limit = self.restart_base * luby(restart_num)
                     conflicts_since_restart = 0
                     self._backtrack(0)
                 self._reduce_db()

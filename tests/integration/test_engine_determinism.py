@@ -1,0 +1,107 @@
+"""Integration: the incremental formal engine is an exact optimization.
+
+``engine="incremental"`` (retained solver + shared bitblast + heap
+order) and ``engine="oneshot"`` (the seed path: fresh CNF/solver per
+query) must produce the identical per-SVA verdict set, byte-identical
+emitted ``.uarch`` models, and identical verdict journals (modulo the
+wall-clock ``time_seconds`` field, which no two runs can share) — at
+``--jobs 1`` and ``--jobs 4`` alike.  Runs on the scoped unicore to
+keep the quadruple synthesis fast.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Rtl2Uspec
+from repro.designs import load_unicore, unicore_metadata
+from repro.formal import PropertyChecker, VerdictJournal
+from repro.uspec import format_model
+
+CANDIDATES = ["ir_de", "gpr", "dstore.cells"]
+
+
+def synthesize(tmp_path, engine, jobs):
+    journal_path = tmp_path / f"{engine}_j{jobs}.jsonl"
+    journal = VerdictJournal(str(journal_path))
+    checker = PropertyChecker(bound=10, max_k=1, engine=engine)
+    try:
+        synthesizer = Rtl2Uspec(
+            load_unicore(), load_unicore(formal=True), unicore_metadata(),
+            checker=checker, formal_cores=1, candidate_filter=CANDIDATES,
+            jobs=jobs, journal=journal)
+        result = synthesizer.synthesize()
+    finally:
+        journal.close()
+    return result, journal_path, checker
+
+
+def normalized_journal(path):
+    """Journal records with the wall-clock field zeroed: everything
+    else (order, fingerprints, statuses, bounds, induction depths)
+    must match across engines and job counts."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            record = json.loads(line)
+            if "verdict" in record:
+                record["verdict"]["time_seconds"] = 0.0
+            records.append(record)
+    return records
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("journals")
+    return {(engine, jobs): synthesize(tmp_path, engine, jobs)
+            for engine in ("oneshot", "incremental")
+            for jobs in (1, 4)}
+
+
+class TestEngineParity:
+    def test_identical_verdicts(self, runs):
+        keyed = {
+            config: [(r.signature, r.verdict.status, r.verdict.method,
+                      r.verdict.induction_k)
+                     for r in result.sva_records]
+            for config, (result, _, _) in runs.items()}
+        baseline = keyed[("oneshot", 1)]
+        assert baseline  # the scoped run discharges a non-trivial corpus
+        for config, verdicts in keyed.items():
+            assert verdicts == baseline, f"verdicts diverged for {config}"
+
+    def test_byte_identical_uarch(self, runs):
+        models = {config: format_model(result.model).encode("utf-8")
+                  for config, (result, _, _) in runs.items()}
+        assert len(set(models.values())) == 1, \
+            f"uarch bytes diverged across {sorted(models)}"
+
+    def test_identical_journals(self, runs):
+        journals = {config: normalized_journal(path)
+                    for config, (_, path, _) in runs.items()}
+        baseline = journals[("oneshot", 1)]
+        assert len(baseline) > 1  # header + at least one verdict
+        for config, records in journals.items():
+            assert records == baseline, f"journal diverged for {config}"
+
+    def test_repeat_checks_hit_the_blast_cache(self, runs):
+        """Each SVA grafts its own monitor netlist, so a cold single
+        pass blasts every problem exactly once (misses == checks and
+        zero hits).  Re-checking any problem — the scheduler-retry /
+        trace-rerun / A/B path the shared cache exists for — must skip
+        straight to unrolling."""
+        _, _, checker = runs[("incremental", 1)]
+        assert checker.stats["checks"] > 0
+        # Check a problem twice through the same checker: the second
+        # pass must be served from the blast cache (keyed on content,
+        # so a freshly rebuilt problem instance hits too).
+        from repro.sva import SvaFactory
+        factory = SvaFactory(load_unicore(formal=True), unicore_metadata())
+        first = checker.check(factory.functional_correctness())
+        hits_before = checker.stats["blast_hits"]
+        misses_before = checker.stats["blast_misses"]
+        second = checker.check(factory.functional_correctness())
+        assert checker.stats["blast_hits"] == hits_before + 1
+        assert checker.stats["blast_misses"] == misses_before
+        assert (first.status, first.induction_k) == \
+            (second.status, second.induction_k)

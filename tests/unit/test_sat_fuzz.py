@@ -1,0 +1,179 @@
+"""Random-CNF fuzz suite: the CDCL solver vs brute-force enumeration.
+
+Every instance is decided twice — by :class:`repro.sat.Solver` with its
+stress knobs cranked (``restart_base=1`` so restarts fire constantly,
+``reduce_db_threshold=1`` so every learned clause triggers a database
+reduction) and by exhaustive assignment enumeration — and the answers
+must agree.  The same harness fuzzes solving under assumptions,
+incremental clause addition between solves, and the heap-vs-scan branch
+orders (which the solver docstring promises are trajectory-identical).
+
+Seeded ``random.Random`` throughout: a failure reproduces from the
+printed (seed, round) pair.
+"""
+
+import random
+
+from repro.sat import SAT, UNSAT, Cnf, Solver
+
+NUM_VARS = 8
+ROUNDS = 60
+
+
+def random_cnf(rng, num_vars=NUM_VARS):
+    """A random CNF with a clause/variable ratio swept through the
+    under-, critically-, and over-constrained regimes."""
+    ratio = rng.choice((2.0, 3.5, 4.3, 5.5))
+    num_clauses = max(1, int(num_vars * ratio))
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.choice((1, 2, 3, 3, 3))
+        vs = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        clauses.append([v if rng.random() < 0.5 else -v for v in vs])
+    return clauses
+
+
+def brute_force(clauses, num_vars, assumptions=()):
+    """True iff some assignment satisfies all clauses and assumptions."""
+    fixed = {}
+    for lit in assumptions:
+        if fixed.get(abs(lit), lit > 0) != (lit > 0):
+            return False  # contradictory assumptions
+        fixed[abs(lit)] = lit > 0
+    for bits in range(1 << num_vars):
+        def value(lit):
+            var = abs(lit)
+            truth = fixed.get(var, bool(bits >> (var - 1) & 1))
+            return truth == (lit > 0)
+        if any(not value(lit) for lit in assumptions):
+            continue
+        if all(any(value(lit) for lit in cl) for cl in clauses):
+            return True
+    return False
+
+
+def stressed_solver(order="heap"):
+    solver = Solver(order=order)
+    solver.restart_base = 1        # restart after (almost) every conflict
+    solver.reduce_db_threshold = 1  # reduce the learned DB at every check
+    return solver
+
+
+def model_satisfies(solver, clauses):
+    return all(any(solver.model_value(lit) for lit in cl) for cl in clauses)
+
+
+class TestFuzzAgainstBruteForce:
+    def test_plain_solve(self):
+        rng = random.Random(0xC0FFEE)
+        for round_no in range(ROUNDS):
+            clauses = random_cnf(rng)
+            solver = stressed_solver()
+            for cl in clauses:
+                solver.add_clause(cl)
+            status = solver.solve()
+            expected = brute_force(clauses, NUM_VARS)
+            assert status == (SAT if expected else UNSAT), \
+                f"seed=0xC0FFEE round={round_no}: {clauses}"
+            if status == SAT:
+                assert model_satisfies(solver, clauses), \
+                    f"seed=0xC0FFEE round={round_no}: bad model"
+
+    def test_solve_under_assumptions(self):
+        rng = random.Random(0xBEEF)
+        for round_no in range(ROUNDS):
+            clauses = random_cnf(rng)
+            solver = stressed_solver()
+            for cl in clauses:
+                solver.add_clause(cl)
+            # Several assumption sets against ONE retained solver, so
+            # learned clauses from earlier queries stress later ones.
+            for _ in range(4):
+                k = rng.randint(0, 3)
+                vs = rng.sample(range(1, NUM_VARS + 1), k)
+                assumptions = [v if rng.random() < 0.5 else -v for v in vs]
+                status = solver.solve(assumptions=assumptions)
+                if not solver.ok:
+                    assert not brute_force(clauses, NUM_VARS)
+                    break
+                expected = brute_force(clauses, NUM_VARS, assumptions)
+                assert status == (SAT if expected else UNSAT), \
+                    f"seed=0xBEEF round={round_no} assume={assumptions}"
+                if status == SAT:
+                    assert model_satisfies(solver, clauses)
+                    assert all(solver.model_value(lit) for lit in assumptions)
+                else:
+                    # The failed-assumption set must be a subset of the
+                    # assumptions (modulo implied literals at level 0).
+                    assert all(lit in assumptions or -lit in assumptions
+                               or solver.level[abs(lit)] == 0
+                               for lit in solver.conflict_assumptions)
+
+    def test_incremental_clause_addition(self):
+        rng = random.Random(0xFEED)
+        for round_no in range(ROUNDS // 2):
+            clauses = random_cnf(rng)
+            solver = stressed_solver()
+            added = []
+            # Feed the formula in three slices, solving between slices:
+            # exactly the retained-solver BMC pattern.
+            third = max(1, len(clauses) // 3)
+            for start in range(0, len(clauses), third):
+                for cl in clauses[start:start + third]:
+                    solver.add_clause(cl)
+                    added.append(cl)
+                status = solver.solve()
+                expected = brute_force(added, NUM_VARS)
+                assert status == (SAT if expected else UNSAT), \
+                    f"seed=0xFEED round={round_no} prefix={len(added)}"
+                if status == UNSAT:
+                    break  # UNSAT is permanent for a monotone formula
+
+
+class TestHeapMatchesScan:
+    def test_identical_status_and_trajectory(self):
+        """order="heap" must make the same decisions as the seed's
+        linear scan: same status, same conflict/decision counts."""
+        rng = random.Random(0xD00D)
+        for round_no in range(ROUNDS // 2):
+            clauses = random_cnf(rng)
+            results = {}
+            for order in ("heap", "scan"):
+                solver = stressed_solver(order=order)
+                for cl in clauses:
+                    solver.add_clause(cl)
+                status = solver.solve()
+                results[order] = (status, solver.conflicts, solver.decisions,
+                                  solver.propagations)
+            assert results["heap"] == results["scan"], \
+                f"seed=0xD00D round={round_no}: {results}"
+
+
+class TestBudgetHygiene:
+    def test_deadline_return_clears_conflict_assumptions(self):
+        """A timed-out solve must not leak the previous query's failed
+        assumptions (the solver.py:377 stale-core bug)."""
+        solver = Solver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([-1, -2])
+        assert solver.solve(assumptions=[1]) == UNSAT
+        assert solver.conflict_assumptions  # core from this query
+        # Next query times out before the search starts.
+        assert solver.solve(assumptions=[2], deadline=0.0) == "UNKNOWN"
+        assert solver.conflict_assumptions == []
+
+    def test_reduce_db_keeps_solver_sound_on_hard_instance(self):
+        """PHP(6,5) forces thousands of conflicts; with reduction after
+        every conflict the answer must still be UNSAT."""
+        solver = stressed_solver()
+        holes, pigeons = 5, 6
+        def var(p, h):
+            return p * holes + h + 1
+        for p in range(pigeons):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        assert solver.solve() == UNSAT
+        assert solver.conflicts > 50  # reductions actually exercised
