@@ -3,7 +3,15 @@
 from .exhaustive import ExactnessReport, enumerate_programs, verify_exactness
 from .incremental import ProgramSolver, SymbolicContext
 from .instance import GroundContext, Microop
+from .journal import (
+    SuiteJournal,
+    SweepJournal,
+    model_fingerprint,
+    program_fingerprint,
+    test_fingerprint,
+)
 from .render import render_ascii
+from .runner import SuiteRunResult, run_suite, run_sweep
 from .solver import (
     ObservabilityResult,
     SolveStats,
@@ -32,6 +40,14 @@ __all__ = [
     "TestVerdict",
     "ProgramSolver",
     "SymbolicContext",
+    "SuiteJournal",
+    "SweepJournal",
+    "SuiteRunResult",
+    "run_suite",
+    "run_sweep",
+    "model_fingerprint",
+    "program_fingerprint",
+    "test_fingerprint",
     "format_suite_report",
     "suite_digest",
     "suite_report_json",

@@ -16,13 +16,23 @@ The sweep is where the incremental engine pays off: each program has
 one CNF but dozens of final conditions, so ``engine="incremental"``
 grounds once per program and decides each condition as an assumption
 flip (:class:`repro.check.incremental.ProgramSolver`).  ``jobs=N``
-distributes whole programs over a process pool; results are merged in
-enumeration order, so the report is identical for any job count.
+distributes whole programs over the shared resilience pool; results
+are merged in enumeration order, so the report is identical for any
+job count (and under injected worker crashes/hangs).
+
+Budgeted sweeps (``budget=``) degrade gracefully: a condition whose
+solve runs out of budget lands in ``report.undecided`` and blocks the
+EXACT claim — an exhausted budget is never silently a pass.  The
+crash-safe/resumable entry point is
+:func:`repro.check.runner.run_sweep`; :func:`verify_exactness`
+delegates to it when journaling is requested.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -30,9 +40,12 @@ from ..errors import CheckError
 from ..litmus import LitmusTest
 from ..mcm import sc_outcomes
 from ..mcm.events import Access, Program, R, W
-from ..uspec import Model
-from . import parallel
+from ..resilience import Budget
 from .solver import solve_observability
+
+#: one program's sweep outcome: (checked, unsound, overstrict, undecided)
+ProgramResult = Tuple[int, List[Tuple[str, Tuple]], List[Tuple[str, Tuple]],
+                      List[Tuple[str, Tuple]]]
 
 
 @dataclass
@@ -43,16 +56,41 @@ class ExactnessReport:
     outcomes_checked: int = 0
     unsound: List[Tuple[str, Tuple]] = field(default_factory=list)
     overstrict: List[Tuple[str, Tuple]] = field(default_factory=list)
+    #: conditions whose solve budget expired (conservative: blocks EXACT)
+    undecided: List[Tuple[str, Tuple]] = field(default_factory=list)
+    #: programs replayed from a resume journal (diagnostic, not digested)
+    resumed: int = 0
 
     @property
     def exact(self) -> bool:
-        return not self.unsound and not self.overstrict
+        return not self.unsound and not self.overstrict and \
+            not self.undecided
 
     def summary(self) -> str:
-        status = "EXACT" if self.exact else \
-            f"{len(self.unsound)} unsound / {len(self.overstrict)} overstrict"
+        if self.exact:
+            status = "EXACT"
+        else:
+            parts = [f"{len(self.unsound)} unsound",
+                     f"{len(self.overstrict)} overstrict"]
+            if self.undecided:
+                parts.append(f"{len(self.undecided)} undecided")
+            status = " / ".join(parts)
+        note = f" ({self.resumed} resumed)" if self.resumed else ""
         return (f"{self.programs} programs, {self.outcomes_checked} outcomes "
-                f"checked: {status}")
+                f"checked{note}: {status}")
+
+    def digest(self) -> str:
+        """SHA-256 over the deterministic projection of the sweep:
+        identical across job counts, engines, injected faults, and
+        interrupt/resume (timings and resume counters excluded)."""
+        canonical = json.dumps({
+            "programs": self.programs,
+            "outcomes_checked": self.outcomes_checked,
+            "unsound": [formatted for formatted, _ in self.unsound],
+            "overstrict": [formatted for formatted, _ in self.overstrict],
+            "undecided": [formatted for formatted, _ in self.undecided],
+        }, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def enumerate_programs(max_threads: int = 2, max_len: int = 2,
@@ -123,18 +161,20 @@ def _program_conditions(program: Program,
     return [condition for condition in conditions if condition]
 
 
-def _check_program(model: Model, program: Program,
+def _check_program(model, program: Program,
                    include_final_memory: bool, engine: str,
-                   order_encoding: str
-                   ) -> Tuple[int, List[Tuple[str, Tuple]],
-                              List[Tuple[str, Tuple]]]:
+                   order_encoding: str,
+                   budget: Optional[Budget] = None) -> ProgramResult:
     """Sweep every condition of one program; returns
-    (outcomes_checked, unsound, overstrict)."""
+    (outcomes_checked, unsound, overstrict, undecided).  The budget is
+    per *condition*; an expired solve lands in ``undecided`` rather
+    than claiming soundness or strictness either way."""
     reference = sc_outcomes(program)
     conditions = _program_conditions(program, include_final_memory)
     checked = 0
     unsound: List[Tuple[str, Tuple]] = []
     overstrict: List[Tuple[str, Tuple]] = []
+    undecided: List[Tuple[str, Tuple]] = []
     instance = None
     if engine == "incremental" and conditions:
         from .incremental import ProgramSolver
@@ -144,46 +184,28 @@ def _check_program(model: Model, program: Program,
     for condition in conditions:
         test = LitmusTest("sweep", program, condition)
         permitted = any(test.outcome_matches(o) for o in reference)
+        clock = budget.start() if budget else None
         if instance is not None:
-            observable = instance.decide(condition).observable
+            result = instance.decide(condition, clock=clock)
         else:
-            observable = solve_observability(
-                model, test, order_encoding=order_encoding).observable
+            result = solve_observability(
+                model, test, order_encoding=order_encoding, clock=clock)
         checked += 1
-        if observable and not permitted:
+        if not result.decided:
+            undecided.append((test.format(), condition))
+        elif result.observable and not permitted:
             unsound.append((test.format(), condition))
-        elif permitted and not observable:
+        elif permitted and not result.observable:
             overstrict.append((test.format(), condition))
-    return checked, unsound, overstrict
+    return checked, unsound, overstrict, undecided
 
 
-def _sweep_one_worker(payload: Tuple[Program, bool]):
-    """Pool task: sweep one program against the worker's model."""
-    state = parallel.worker_state()
-    program, include_final_memory = payload
-    return _check_program(state["model"], program, include_final_memory,
-                          state["engine"], state["order_encoding"])
-
-
-def verify_exactness(model: Model, max_threads: int = 2, max_len: int = 2,
-                     addresses: Sequence[str] = ("x", "y"),
-                     include_final_memory: bool = True,
-                     limit: Optional[int] = None,
-                     jobs: int = 1,
-                     engine: str = "incremental",
-                     order_encoding: str = "components") -> ExactnessReport:
-    """Sweep all bounded programs/outcomes; compare the model against SC.
-
-    ``limit`` bounds the number of programs (for incremental runs).
-    ``engine`` picks the per-program decision procedure (``incremental``
-    amortizes grounding across a program's conditions; ``fresh`` is the
-    seed's one-solve-per-condition path — verdict-identical).  ``jobs``
-    distributes programs over worker processes; the report is identical
-    for any job count.
-    """
-    if engine not in ("fresh", "incremental"):
-        raise CheckError(f"unknown check engine {engine!r} "
-                         f"(expected one of ('fresh', 'incremental'))")
+def enumerate_sweep_programs(max_threads: int = 2, max_len: int = 2,
+                             addresses: Sequence[str] = ("x", "y"),
+                             limit: Optional[int] = None) -> List[Program]:
+    """The deduplicated, deterministically ordered program list one
+    sweep covers (shared by :func:`verify_exactness` and the resumable
+    runner, so journals key the exact same programs)."""
     programs: List[Program] = []
     seen = set()
     for program in enumerate_programs(max_threads, max_len, addresses):
@@ -194,19 +216,53 @@ def verify_exactness(model: Model, max_threads: int = 2, max_len: int = 2,
         if limit is not None and len(programs) >= limit:
             break
         programs.append(program)
+    return programs
 
-    payloads = [(program, include_final_memory) for program in programs]
-    results = parallel.map_indexed(
-        payloads, _sweep_one_worker,
-        lambda payload: _check_program(model, payload[0], payload[1],
-                                       engine, order_encoding),
-        jobs,
-        state={"model": model, "engine": engine,
-               "order_encoding": order_encoding})
 
-    report = ExactnessReport(programs=len(programs))
-    for checked, unsound, overstrict in results:
+def merge_program_results(report: ExactnessReport,
+                          results: Sequence[Optional[ProgramResult]]) -> None:
+    """Fold per-program results (enumeration order) into the report."""
+    for result in results:
+        if result is None:
+            continue
+        checked, unsound, overstrict, undecided = result
         report.outcomes_checked += checked
         report.unsound.extend(unsound)
         report.overstrict.extend(overstrict)
-    return report
+        report.undecided.extend(undecided)
+
+
+def verify_exactness(model, max_threads: int = 2, max_len: int = 2,
+                     addresses: Sequence[str] = ("x", "y"),
+                     include_final_memory: bool = True,
+                     limit: Optional[int] = None,
+                     jobs: int = 1,
+                     engine: str = "incremental",
+                     order_encoding: str = "components",
+                     budget: Optional[Budget] = None,
+                     fault_plan=None,
+                     journal_path: Optional[str] = None,
+                     resume: bool = False) -> ExactnessReport:
+    """Sweep all bounded programs/outcomes; compare the model against SC.
+
+    ``limit`` bounds the number of programs (for incremental runs).
+    ``engine`` picks the per-program decision procedure (``incremental``
+    amortizes grounding across a program's conditions; ``fresh`` is the
+    seed's one-solve-per-condition path — verdict-identical).  ``jobs``
+    distributes programs over worker processes; the report is identical
+    for any job count.  ``budget`` bounds each condition's solve
+    (expiries land in ``report.undecided``); ``journal_path``/``resume``
+    make the sweep crash-safe, and ``fault_plan`` injects deterministic
+    worker faults for the resilience tests.
+    """
+    if engine not in ("fresh", "incremental"):
+        raise CheckError(f"unknown check engine {engine!r} "
+                         f"(expected one of ('fresh', 'incremental'))")
+    from .runner import run_sweep
+    return run_sweep(model, max_threads=max_threads, max_len=max_len,
+                     addresses=addresses,
+                     include_final_memory=include_final_memory,
+                     limit=limit, jobs=jobs, engine=engine,
+                     order_encoding=order_encoding, budget=budget,
+                     fault_plan=fault_plan, journal_path=journal_path,
+                     resume=resume)

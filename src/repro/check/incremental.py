@@ -33,7 +33,8 @@ import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..litmus import LitmusTest
-from ..sat import SAT, Cnf, Solver
+from ..resilience import DECIDED, TIMEOUT, BudgetClock
+from ..sat import SAT, UNSAT, Cnf, Solver
 from ..uspec import ast as U
 from .evaluator import ModelEvaluator, _Unsatisfiable
 from .instance import GroundContext, Microop
@@ -206,19 +207,27 @@ class ProgramSolver:
             cnf.add_clause([-sel, cnf.encode_or(options)])
 
     # ------------------------------------------------------------------
-    def _fresh_fallback(self, condition) -> ObservabilityResult:
+    def _fresh_fallback(self, condition,
+                        clock: Optional[BudgetClock] = None
+                        ) -> ObservabilityResult:
         self.fresh_fallbacks += 1
         return solve_observability(
             self.model,
             LitmusTest(self.test.name, self.test.program, tuple(condition)),
-            order_encoding=self.order_encoding)
+            order_encoding=self.order_encoding, clock=clock)
 
-    def decide(self, condition: Condition,
-               keep_graph: bool = False) -> ObservabilityResult:
-        """Observability of one final condition (assumption flip)."""
+    def decide(self, condition: Condition, keep_graph: bool = False,
+               clock: Optional[BudgetClock] = None) -> ObservabilityResult:
+        """Observability of one final condition (assumption flip).
+
+        ``clock`` is an already-running :class:`BudgetClock`; exhausting
+        it degrades to an undecided (TIMEOUT/UNKNOWN) result.
+        """
         start = time.perf_counter()
         self.decides += 1
         condition = tuple(condition)
+        if clock is not None and clock.expired():
+            return self._result(False, None, start, status=TIMEOUT)
         # Later entries win, matching dict(test.final) in GroundContext.
         entries = dict(condition)
         pins: Dict[int, int] = {}
@@ -234,9 +243,9 @@ class ProgramSolver:
                 pins[uid] = value
         domain = set(self.ctx.value_domain)
         if any(value not in domain for value in pins.values()):
-            return self._fresh_fallback(condition)
+            return self._fresh_fallback(condition, clock)
         if self.mem_fallback and mems:
-            return self._fresh_fallback(condition)
+            return self._fresh_fallback(condition, clock)
         for addr in list(mems):
             if (addr, 0) not in self.ctx.mem_sel:
                 # Address the program never touches: value 0 is the
@@ -246,7 +255,7 @@ class ProgramSolver:
                     return self._result(False, None, start)
                 del mems[addr]
             elif mems[addr] not in domain:
-                return self._fresh_fallback(condition)
+                return self._fresh_fallback(condition, clock)
         if self.always_unsat:
             return self._result(False, None, start)
         assumptions = [var if pins.get(uid) == value else -var
@@ -254,9 +263,15 @@ class ProgramSolver:
         assumptions.extend(var if mems.get(addr) == value else -var
                            for (addr, value), var in self.ctx.mem_sel.items())
         solve_start = time.perf_counter()
-        status = self.solver.solve(assumptions=assumptions)
+        status = self.solver.solve(
+            assumptions=assumptions,
+            **(clock.solve_args() if clock is not None else {}))
         solve_seconds = time.perf_counter() - solve_start
         self.stats.solve_seconds += solve_seconds
+        if status not in (SAT, UNSAT):
+            return self._result(False, None, start,
+                                solve_seconds=solve_seconds,
+                                status=clock.degraded_status())
         if status != SAT:
             return self._result(False, None, start,
                                 solve_seconds=solve_seconds)
@@ -268,7 +283,8 @@ class ProgramSolver:
 
     # ------------------------------------------------------------------
     def _result(self, observable: bool, graph, start: float,
-                solve_seconds: float = 0.0) -> ObservabilityResult:
+                solve_seconds: float = 0.0,
+                status: str = DECIDED) -> ObservabilityResult:
         stats = SolveStats(
             vars=self.stats.vars,
             clauses=self.stats.clauses,
@@ -280,4 +296,5 @@ class ProgramSolver:
             solve_seconds=solve_seconds,
         )
         return ObservabilityResult(observable, graph, 1,
-                                   time.perf_counter() - start, stats=stats)
+                                   time.perf_counter() - start, stats=stats,
+                                   status=status)

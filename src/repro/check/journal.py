@@ -1,0 +1,159 @@
+"""Crash-safe journals for the Check layer (suite runs and sweeps).
+
+Both journals build on the shared append-only, checksummed JSONL base
+(:class:`repro.resilience.journal.Journal`): commits are flush+fsync,
+a torn tail left by a crash is quarantined to ``<path>.quarantine`` and
+truncated away, and replay stops at the first corrupt record.  What
+this module adds is the Check-specific keying and encoding:
+
+* :class:`SuiteJournal` checkpoints one litmus-suite run.  Records are
+  keyed by a content fingerprint of (model text, litmus test text), so
+  a journal resumes correctly only against the same model and test —
+  renaming the model file or editing a test invalidates exactly the
+  affected entries, nothing else.
+* :class:`SweepJournal` checkpoints one exhaustive sweep at *program*
+  granularity (a program's dozens of final conditions are cheap once
+  grounded; re-running a half-swept program is simpler and safer than
+  splitting its verdict).
+
+Undecided (TIMEOUT/UNKNOWN) results are **never journaled**: a journal
+holds facts, and "the budget ran out" is a property of one run, not of
+the model.  A resumed run retries undecided work — possibly with a
+larger budget — rather than inheriting stale non-answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import List, Optional, Tuple
+
+from ..litmus import LitmusTest
+from ..resilience import DECIDED, UNDECIDED_STATUSES
+from ..resilience.journal import Journal
+from ..uspec import Model, format_model
+
+CHECK_STATUSES = (DECIDED,) + tuple(UNDECIDED_STATUSES)
+
+
+def model_fingerprint(model: Model) -> str:
+    """Content hash of a µspec model (its canonical text rendering)."""
+    text = format_model(model)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def test_fingerprint(model_fp: str, test: LitmusTest) -> str:
+    """Key for one (model, litmus test) pair: stable across processes,
+    job counts, engines, and runs."""
+    hasher = hashlib.sha256()
+    hasher.update(model_fp.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(test.format().encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def program_fingerprint(model_fp: str, program) -> str:
+    """Key for one (model, sweep program) pair."""
+    canonical = json.dumps(
+        [[(a.kind, a.addr, a.value, a.reg) for a in thread]
+         for thread in program],
+        sort_keys=True, separators=(",", ":"))
+    hasher = hashlib.sha256()
+    hasher.update(model_fp.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(canonical.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class SuiteJournal(Journal):
+    """Append-only JSONL checkpoint of litmus-suite verdicts."""
+
+    format = "rtl2uspec-check-suite-journal"
+
+    def _valid_entry(self, entry) -> bool:
+        return (isinstance(entry, dict)
+                and entry.get("status") in CHECK_STATUSES
+                and isinstance(entry.get("name"), str)
+                and isinstance(entry.get("observable"), bool)
+                and isinstance(entry.get("permitted_sc"), bool))
+
+    def lookup(self, fingerprint: str):
+        """Replay one verdict (or None).  Timings are zero: the work
+        was done by an earlier run."""
+        entry = self.lookup_entry(fingerprint)
+        if entry is None:
+            return None
+        from .verifier import TestVerdict
+        return TestVerdict(
+            name=entry["name"],
+            observable=entry["observable"],
+            permitted_sc=entry["permitted_sc"],
+            time_ms=0.0,
+            iterations=entry.get("iterations", 0),
+            vars=entry.get("vars", 0),
+            clauses=entry.get("clauses", 0),
+            status=entry["status"],
+        )
+
+    def record(self, fingerprint: str, verdict) -> None:
+        """Stage one verdict; undecided verdicts are not journaled (a
+        resumed run retries them instead of inheriting a non-answer)."""
+        if verdict.status != DECIDED:
+            return
+        self.record_entry(fingerprint, {
+            "name": verdict.name,
+            "status": verdict.status,
+            "observable": verdict.observable,
+            "permitted_sc": verdict.permitted_sc,
+            "iterations": verdict.iterations,
+            "vars": verdict.vars,
+            "clauses": verdict.clauses,
+        })
+
+
+def encode_condition(condition) -> List:
+    """JSON-safe form of a sweep final condition."""
+    return [[[tid, reg], value] for (tid, reg), value in condition]
+
+
+def decode_condition(payload) -> Tuple:
+    return tuple(((tid, reg), value) for (tid, reg), value in payload)
+
+
+class SweepJournal(Journal):
+    """Append-only JSONL checkpoint of per-program sweep results."""
+
+    format = "rtl2uspec-check-sweep-journal"
+
+    def _valid_entry(self, entry) -> bool:
+        return (isinstance(entry, dict)
+                and isinstance(entry.get("checked"), int)
+                and isinstance(entry.get("unsound"), list)
+                and isinstance(entry.get("overstrict"), list))
+
+    def lookup(self, fingerprint: str) -> Optional[Tuple]:
+        """Replay one program's (checked, unsound, overstrict) triple."""
+        entry = self.lookup_entry(fingerprint)
+        if entry is None:
+            return None
+        return (
+            entry["checked"],
+            [(formatted, decode_condition(condition))
+             for formatted, condition in entry["unsound"]],
+            [(formatted, decode_condition(condition))
+             for formatted, condition in entry["overstrict"]],
+        )
+
+    def record(self, fingerprint: str, checked: int, unsound, overstrict,
+               undecided=()) -> None:
+        """Stage one fully decided program.  A program with any
+        undecided condition is not journaled: resume re-sweeps it."""
+        if undecided:
+            return
+        self.record_entry(fingerprint, {
+            "checked": checked,
+            "unsound": [[formatted, encode_condition(condition)]
+                        for formatted, condition in unsound],
+            "overstrict": [[formatted, encode_condition(condition)]
+                           for formatted, condition in overstrict],
+        })

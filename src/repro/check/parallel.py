@@ -1,87 +1,33 @@
-"""Process-parallel execution for the Check layer.
+"""Process-parallel execution for the Check layer (compatibility shim).
 
-Follows the worker-pool patterns of :mod:`repro.formal.scheduler`: the
-(picklable) µspec model crosses the process boundary once per worker
-via the pool initializer, per-task payloads are just the litmus test or
-program, and results are consumed in submission-index order so
-``jobs=N`` output is identical to ``jobs=1``.
-
-Fault tolerance is the scheduler's degraded-mode policy scaled down to
-pure-compute tasks: a broken pool or dead worker never aborts the run —
-the affected items are recomputed inline in the parent process.  Real
-verification errors (:class:`repro.errors.CheckError` etc.) are *not*
-swallowed; they re-raise exactly as the serial path would.
+The worker-pool mechanics that used to live here — pool initializer
+state, index-ordered result consumption, inline fallback on a broken
+pool — were generalized into the shared :mod:`repro.resilience.pool`
+(which adds crash/hang retry waves, watchdogs, result validation, and
+deterministic fault injection on top).  This module re-exports the
+surface the Check layer historically imported, so existing call sites
+and tests keep working; new code should import from
+:mod:`repro.resilience` directly.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Sequence, TypeVar
+from ..resilience.pool import (
+    _POOL_FAILURES,
+    _WORKER_STATE,
+    init_worker,
+    map_indexed,
+    resolve_jobs,
+    run_tasks,
+    worker_state,
+)
 
-Item = TypeVar("Item")
-Result = TypeVar("Result")
-
-#: pool-infrastructure failures that trigger the inline fallback
-_POOL_FAILURES = (BrokenProcessPool, BrokenExecutor, OSError)
-
-# Worker-process state installed once by the pool initializer.
-_WORKER_STATE: Dict[str, object] = {}
-
-
-def resolve_jobs(jobs: int) -> int:
-    """``jobs<=0`` means all cores (the scheduler's convention)."""
-    if jobs is None or jobs <= 0:
-        return os.cpu_count() or 1
-    return jobs
-
-
-def worker_state() -> Dict[str, object]:
-    """The per-process state dict (filled by the pool initializer)."""
-    return _WORKER_STATE
-
-
-def init_worker(**state) -> None:
-    """Generic pool initializer: stash keyword state for the worker."""
-    _WORKER_STATE.clear()
-    _WORKER_STATE.update(state)
-    _WORKER_STATE["in_worker"] = True
-
-
-def _pool_initializer(state: Dict[str, object]) -> None:
-    init_worker(**state)
-
-
-def map_indexed(items: Sequence[Item], task: Callable[[Item], Result],
-                inline: Callable[[Item], Result], jobs: int,
-                state: Dict[str, object]) -> List[Result]:
-    """Map ``task`` over ``items`` on a worker pool, deterministically.
-
-    ``task`` runs in workers (against :func:`worker_state` filled from
-    ``state``); ``inline`` computes the same result in the parent and
-    serves as both the ``jobs=1`` path and the fallback when the pool
-    infrastructure fails.  Results are ordered by item index regardless
-    of completion order.
-    """
-    jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(items) <= 1:
-        return [inline(item) for item in items]
-    results: List[Result] = [None] * len(items)  # type: ignore[list-item]
-    failed: List[int] = []
-    try:
-        with ProcessPoolExecutor(
-                max_workers=min(jobs, len(items)),
-                initializer=_pool_initializer, initargs=(state,)) as pool:
-            futures = [pool.submit(task, item) for item in items]
-            for index, future in enumerate(futures):
-                try:
-                    results[index] = future.result()
-                except _POOL_FAILURES:
-                    failed.append(index)
-    except _POOL_FAILURES:
-        failed = [index for index in range(len(items))
-                  if results[index] is None and index not in failed]
-    for index in failed:
-        results[index] = inline(items[index])
-    return results
+__all__ = [
+    "init_worker",
+    "map_indexed",
+    "resolve_jobs",
+    "run_tasks",
+    "worker_state",
+    "_POOL_FAILURES",
+    "_WORKER_STATE",
+]

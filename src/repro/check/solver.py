@@ -25,7 +25,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CheckError
 from ..litmus import LitmusTest
-from ..sat import UNSAT, Solver
+from ..resilience import DECIDED, TIMEOUT, Budget, BudgetClock
+from ..sat import SAT, UNSAT, Solver
 from ..uspec import ast as U
 from .evaluator import ModelEvaluator, UhbEdge, UhbNode, _Unsatisfiable
 from .instance import GroundContext
@@ -91,6 +92,14 @@ class ObservabilityResult:
     time_seconds: float
     cycle_example: List[UhbNode] = field(default_factory=list)
     stats: SolveStats = field(default_factory=SolveStats)
+    #: DECIDED, or TIMEOUT/UNKNOWN when a budget expired mid-solve; an
+    #: undecided result always carries ``observable=False`` and must be
+    #: consumed conservatively (never as a PASS or an UNSAT proof).
+    status: str = DECIDED
+
+    @property
+    def decided(self) -> bool:
+        return self.status == DECIDED
 
 
 def _find_cycle(edges: List[UhbEdge]) -> Optional[List[UhbEdge]]:
@@ -219,16 +228,30 @@ def extract_witness(model: U.Model, evaluator: ModelEvaluator,
 
 def solve_observability(model: U.Model, test: LitmusTest,
                         max_iterations: int = 100000,
-                        order_encoding: str = "components"
+                        order_encoding: str = "components",
+                        budget: Optional[Budget] = None,
+                        clock: Optional[BudgetClock] = None
                         ) -> ObservabilityResult:
     """Decide whether the test's outcome is observable under the model.
 
     One fresh ground+encode+solve cycle per call; for deciding many
     final conditions of the same program, use
     :class:`repro.check.incremental.ProgramSolver` instead.
+
+    ``budget`` bounds the check (wall clock and/or SAT conflicts); a
+    budget hit degrades to a first-class undecided result
+    (``status=TIMEOUT/UNKNOWN``, ``observable=False``) rather than
+    raising.  Pass an already-running ``clock`` instead to share one
+    deadline across several calls (the incremental engine's fallback).
     """
     start = time.perf_counter()
+    if clock is None and budget:
+        clock = budget.start()
     stats = SolveStats()
+    if clock is not None and clock.expired():
+        return ObservabilityResult(False, None, 0,
+                                   time.perf_counter() - start, stats=stats,
+                                   status=TIMEOUT)
     ctx = GroundContext(test)
     evaluator = ModelEvaluator(model, ctx)
     try:
@@ -249,8 +272,13 @@ def solve_observability(model: U.Model, test: LitmusTest,
     solver.add_cnf(evaluator.cnf)
     stats.ground_seconds = time.perf_counter() - start
     solve_start = time.perf_counter()
-    status = solver.solve()
+    status = solver.solve(**(clock.solve_args() if clock is not None else {}))
     stats.solve_seconds = time.perf_counter() - solve_start
+    if status not in (SAT, UNSAT):
+        # Budget exhausted mid-search: degrade to an undecided verdict.
+        return ObservabilityResult(False, None, 1,
+                                   time.perf_counter() - start, stats=stats,
+                                   status=clock.degraded_status())
     if status == UNSAT:
         return ObservabilityResult(False, None, 1,
                                    time.perf_counter() - start, stats=stats)

@@ -10,12 +10,18 @@ under the model and compares with the ISA-level SC reference:
   ``overstrict`` flag (sound, but the model forbids more than SC does —
   possibly more than the hardware does).
 
+A check may also run out of budget (``--timeout`` / conflict limits):
+the verdict then carries status ``TIMEOUT`` or ``UNKNOWN`` and is
+consumed *conservatively* — it is never a PASS, never journaled, and
+"ALL TESTS PASS" requires every test decided.
+
 Two interchangeable solving engines (verdict-identical, pinned by the
 engine-equivalence tests): ``fresh`` grounds and solves each test from
 scratch; ``incremental`` grounds the program once and decides the final
 condition as an assumption flip (:mod:`repro.check.incremental`).
-``check_suite(tests, jobs=N)`` fans tests out to a process pool with
-deterministic, input-ordered results.
+``check_suite(tests, jobs=N)`` fans tests out through the shared
+resilience pool (:mod:`repro.resilience.pool`) with deterministic,
+input-ordered results that survive worker crashes and hangs.
 """
 
 from __future__ import annotations
@@ -24,11 +30,18 @@ import hashlib
 import json
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..litmus import LitmusTest
+from ..resilience import (
+    DECIDED,
+    Budget,
+    FaultPlan,
+    PoolStats,
+    run_tasks,
+    worker_state,
+)
 from ..uspec import Model
-from . import parallel
 from .solver import ObservabilityResult, UhbGraph, solve_observability
 
 ENGINES = ("fresh", "incremental")
@@ -46,17 +59,32 @@ class TestVerdict:
     clauses: int = 0
     ground_ms: float = 0.0
     solve_ms: float = 0.0
+    #: DECIDED, or TIMEOUT/UNKNOWN when the check's budget expired
+    status: str = DECIDED
+
+    @property
+    def decided(self) -> bool:
+        return self.status == DECIDED
 
     @property
     def passed(self) -> bool:
-        return self.permitted_sc or not self.observable
+        """Conservative: an undecided test never counts as a PASS."""
+        return self.decided and (self.permitted_sc or not self.observable)
+
+    @property
+    def failed(self) -> bool:
+        """A decided MCM violation (distinct from merely undecided)."""
+        return self.decided and self.observable and not self.permitted_sc
 
     @property
     def overstrict(self) -> bool:
-        return self.permitted_sc and not self.observable
+        return self.decided and self.permitted_sc and not self.observable
 
     def __repr__(self) -> str:
-        status = "PASS" if self.passed else "FAIL"
+        if not self.decided:
+            status = self.status
+        else:
+            status = "PASS" if self.passed else "FAIL"
         flag = " (overstrict)" if self.overstrict else ""
         return (f"TestVerdict({self.name}: {status}{flag}, "
                 f"observable={self.observable}, sc_permits={self.permitted_sc}, "
@@ -65,13 +93,14 @@ class TestVerdict:
 
 def _check_one_worker(test: LitmusTest) -> TestVerdict:
     """Pool task: check one litmus test against the worker's checker."""
-    state = parallel.worker_state()
+    state = worker_state()
     checker = state.get("checker")
     if checker is None:
         checker = Checker(state["model"],
                           keep_graphs=state["keep_graphs"],
                           engine=state["engine"],
-                          order_encoding=state["order_encoding"])
+                          order_encoding=state["order_encoding"],
+                          budget=state.get("budget"))
         state["checker"] = checker
     return checker.check_test(test)
 
@@ -80,7 +109,8 @@ class Checker:
     """Verifies litmus tests against one synthesized µspec model."""
 
     def __init__(self, model: Model, keep_graphs: bool = False,
-                 engine: str = "fresh", order_encoding: str = "components"):
+                 engine: str = "fresh", order_encoding: str = "components",
+                 budget: Optional[Budget] = None):
         if engine not in ENGINES:
             from ..errors import CheckError
             raise CheckError(f"unknown check engine {engine!r} "
@@ -89,16 +119,20 @@ class Checker:
         self.keep_graphs = keep_graphs
         self.engine = engine
         self.order_encoding = order_encoding
+        self.budget = budget
 
     def check_outcome(self, test: LitmusTest) -> ObservabilityResult:
         """Raw observability of the test's final condition."""
+        clock = self.budget.start() if self.budget else None
         if self.engine == "incremental":
             from .incremental import ProgramSolver
             instance = ProgramSolver(self.model, test,
                                      order_encoding=self.order_encoding)
-            return instance.decide(test.final, keep_graph=self.keep_graphs)
+            return instance.decide(test.final, keep_graph=self.keep_graphs,
+                                   clock=clock)
         return solve_observability(self.model, test,
-                                   order_encoding=self.order_encoding)
+                                   order_encoding=self.order_encoding,
+                                   clock=clock)
 
     def check_test(self, test: LitmusTest) -> TestVerdict:
         start = time.perf_counter()
@@ -117,18 +151,35 @@ class Checker:
             clauses=stats.clauses,
             ground_ms=stats.ground_ms,
             solve_ms=stats.solve_ms,
+            status=result.status,
         )
 
     def check_suite(self, tests: Iterable[LitmusTest],
-                    jobs: int = 1) -> List[TestVerdict]:
-        """Check every test; ``jobs>1`` fans out to a process pool with
-        results in input order (identical to ``jobs=1``)."""
+                    jobs: int = 1,
+                    fault_plan: Optional[FaultPlan] = None,
+                    on_result: Optional[Callable[[int, TestVerdict], None]]
+                    = None,
+                    pool_stats: Optional[PoolStats] = None
+                    ) -> List[TestVerdict]:
+        """Check every test; ``jobs`` follows the repo convention
+        (``<=0`` = all cores, ``1`` = serial) and results are in input
+        order, identical for any job count.  Worker crashes and hangs
+        are retried / recomputed inline by the resilience pool;
+        ``on_result`` fires once per completed test (the journaling
+        hook), and ``fault_plan`` injects deterministic faults for the
+        fault-tolerance tests.
+        """
         tests = list(tests)
-        return parallel.map_indexed(
+        return run_tasks(
             tests, _check_one_worker, self.check_test, jobs,
             state={"model": self.model, "keep_graphs": self.keep_graphs,
                    "engine": self.engine,
-                   "order_encoding": self.order_encoding})
+                   "order_encoding": self.order_encoding,
+                   "budget": self.budget},
+            fault_plan=fault_plan,
+            validate=lambda verdict: isinstance(verdict, TestVerdict),
+            on_result=on_result,
+            stats=pool_stats)
 
 
 def format_suite_report(verdicts: List[TestVerdict],
@@ -138,9 +189,14 @@ def format_suite_report(verdicts: List[TestVerdict],
     lines = []
     total_ms = 0.0
     failures = 0
+    undecided = 0
     for verdict in verdicts:
+        if not verdict.decided:
+            status = verdict.status
+        else:
+            status = "PASS" if verdict.passed else "FAIL"
         line = (f"{verdict.name + '.test':<24} {verdict.time_ms:10.3f} ms  "
-                f"{'PASS' if verdict.passed else 'FAIL'}"
+                f"{status}"
                 f"{' (overstrict)' if verdict.overstrict else ''}")
         if show_stats:
             line += (f"  [{verdict.vars}v/{verdict.clauses}c, "
@@ -148,12 +204,18 @@ def format_suite_report(verdicts: List[TestVerdict],
                      f"solve {verdict.solve_ms:.1f} ms]")
         lines.append(line)
         total_ms += verdict.time_ms
-        failures += 0 if verdict.passed else 1
+        failures += 1 if verdict.failed else 0
+        undecided += 0 if verdict.decided else 1
     lines.append(f"--- {total_ms:.3f} ms ---")
-    if failures == 0:
+    if failures == 0 and undecided == 0:
         lines.append("======= ALL TESTS PASS =======")
     else:
-        lines.append(f"======= {failures} TEST(S) FAILED =======")
+        parts = []
+        if failures:
+            parts.append(f"{failures} TEST(S) FAILED")
+        if undecided:
+            parts.append(f"{undecided} UNDECIDED (budget exhausted)")
+        lines.append(f"======= {', '.join(parts)} =======")
     return "\n".join(lines)
 
 
@@ -162,11 +224,12 @@ def format_suite_report(verdicts: List[TestVerdict],
 # ----------------------------------------------------------------------
 def _verdict_projection(verdicts: Sequence[TestVerdict]) -> List[Dict]:
     """The deterministic (timing-free, engine-independent) view of a
-    suite run: what must be byte-identical across job counts and solver
-    modes."""
+    suite run: what must be byte-identical across job counts, solver
+    modes, injected faults, and interrupt/resume."""
     return [
         {
             "name": v.name,
+            "status": v.status,
             "observable": v.observable,
             "permitted_sc": v.permitted_sc,
             "passed": v.passed,
@@ -184,30 +247,41 @@ def suite_digest(verdicts: Sequence[TestVerdict]) -> str:
 
 
 def suite_report_json(verdicts: Sequence[TestVerdict], model: str = "",
-                      engine: str = "", jobs: int = 1) -> Dict:
+                      engine: str = "", jobs: int = 1,
+                      deterministic: bool = False) -> Dict:
     """The ``--report-json`` artifact: verdicts + per-test stats.
 
     ``digest`` covers only the verdict projection, so it is identical
-    across ``--jobs`` values and solver engines; the per-test ``stats``
-    (vars/clauses/timings) are diagnostic and may vary by engine/run.
+    across ``--jobs`` values, solver engines, injected faults, and
+    interrupt/resume; the per-test ``stats`` (vars/clauses/timings) are
+    diagnostic and may vary by engine/run.  ``deterministic=True``
+    drops everything run-dependent (timings, the jobs count) so the
+    whole file is byte-identical across runs — the pipeline's
+    resume-equivalence guarantee.
     """
-    return {
-        "schema": "repro-check-suite/1",
+    report = {
+        "schema": "repro-check-suite/2",
         "model": model,
         "engine": engine,
-        "jobs": jobs,
         "digest": suite_digest(verdicts),
-        "failures": sum(0 if v.passed else 1 for v in verdicts),
+        "failures": sum(1 if v.failed else 0 for v in verdicts),
+        "undecided": sum(0 if v.decided else 1 for v in verdicts),
         "tests": [
             dict(projection,
                  stats={
                      "vars": v.vars,
                      "clauses": v.clauses,
                      "iterations": v.iterations,
-                     "time_ms": round(v.time_ms, 3),
-                     "ground_ms": round(v.ground_ms, 3),
-                     "solve_ms": round(v.solve_ms, 3),
                  })
             for projection, v in zip(_verdict_projection(verdicts), verdicts)
         ],
     }
+    if not deterministic:
+        report["jobs"] = jobs
+        for entry, v in zip(report["tests"], verdicts):
+            entry["stats"].update({
+                "time_ms": round(v.time_ms, 3),
+                "ground_ms": round(v.ground_ms, 3),
+                "solve_ms": round(v.solve_ms, 3),
+            })
+    return report

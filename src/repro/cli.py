@@ -6,9 +6,22 @@ Subcommands mirror the paper's artifact workflow (appendix A.4):
   (or any Verilog file + metadata preset) and write a ``.uarch`` file.
 * ``check``  — run the litmus suite (or named tests) against a µspec
   model with the Check-style verifier.
+* ``sweep``  — exhaustive small-program exactness sweep.
+* ``pipeline`` — end-to-end parse → synth → check with crash-safe
+  stage checkpoints in a state directory.
 * ``litmus`` — print suite tests in the litmus text format.
 * ``run``    — execute a litmus test on the RTL simulator.
 * ``stats``  — print design-size statistics (paper section 5.1).
+
+Every command follows one jobs convention (``-j/--jobs``): ``1`` is
+serial, ``N>1`` uses N worker processes, and ``0`` (or any value
+``<=0``) means all cores — verdicts and reports are identical for any
+job count.
+
+Exit codes: ``0`` success, ``1`` verification failures (or undecided
+budget-exhausted verdicts), ``2`` usage/data errors
+(:class:`repro.errors.ReproError`), ``130``/``143`` interrupted by
+SIGINT/SIGTERM after checkpointing (resume with ``--resume``).
 """
 
 from __future__ import annotations
@@ -18,6 +31,9 @@ import sys
 from typing import List, Optional
 
 from . import __version__
+
+JOBS_HELP = ("worker processes (1 = serial, N>1 = N workers, 0 = all "
+             "cores); verdicts are identical for any job count")
 
 
 def _install_interrupt_handlers(journal, argv_hint: str) -> None:
@@ -34,6 +50,57 @@ def _install_interrupt_handlers(journal, argv_hint: str) -> None:
 
     signal.signal(signal.SIGINT, handler)
     signal.signal(signal.SIGTERM, handler)
+
+
+def _convert_sigterm() -> dict:
+    """Route SIGTERM through the KeyboardInterrupt checkpoint path
+    (clean pool shutdown, journal commit) and remember which signal
+    fired so the exit code distinguishes 130 from 143."""
+    import signal
+
+    state = {"signum": None}
+
+    def handler(signum, _frame):
+        state["signum"] = signum
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, handler)
+    return state
+
+
+def _interrupt_exit_code(state: dict) -> int:
+    import signal
+    return 143 if state.get("signum") == signal.SIGTERM else 130
+
+
+def _print_interrupt(exc, resume_hint: str) -> None:
+    print(f"\ninterrupted — {exc}", file=sys.stderr)
+    if exc.resumable:
+        print(f"resume with: {resume_hint}", file=sys.stderr)
+    else:
+        print("(run again with --journal <path> to make interrupted runs "
+              "resumable)", file=sys.stderr)
+
+
+def _load_model(path: str):
+    from .uspec import parse_model
+
+    if path:
+        with open(path, "r", encoding="utf-8") as handle:
+            model = parse_model(handle.read())
+        return model
+    from .designs.models import load_reference_model
+    return load_reference_model()
+
+
+def _check_budget(timeout: float):
+    from .resilience import Budget
+    return Budget(timeout_seconds=timeout) if timeout else None
+
+
+def _fault_plan(spec: str):
+    from .resilience import parse_fault_spec
+    return parse_fault_spec(spec) if spec else None
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -90,36 +157,34 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from .check import Checker, format_suite_report, suite_report_json
-    from .errors import CheckError
-    from .litmus import load_suite, suite_by_name
-    from .uspec import parse_model
+    from .check import format_suite_report, run_suite, suite_report_json
+    from .errors import InterruptedRun
+    from .litmus import load_suite, resolve_tests
 
-    if args.model:
-        with open(args.model, "r", encoding="utf-8") as handle:
-            model = parse_model(handle.read())
-    else:
-        from .designs.models import load_reference_model
-        model = load_reference_model()
-    if args.tests:
-        by_name = suite_by_name()
-        unknown = [name for name in args.tests if name not in by_name]
-        if unknown:
-            import difflib
-            parts = []
-            for name in unknown:
-                close = difflib.get_close_matches(name, by_name, n=3)
-                hint = f" (did you mean: {', '.join(close)}?)" if close else ""
-                parts.append(f"{name!r}{hint}")
-            raise CheckError(
-                f"unknown litmus test(s): {'; '.join(parts)} — "
-                f"see `rtl2uspec litmus --names` for the suite")
-        tests = [by_name[name] for name in args.tests]
-    else:
-        tests = load_suite()
-    checker = Checker(model, keep_graphs=args.show_graph, engine=args.engine)
-    verdicts = checker.check_suite(tests, jobs=args.jobs)
+    model = _load_model(args.model)
+    tests = resolve_tests(args.tests) if args.tests else load_suite()
+    signal_state = _convert_sigterm()
+    resume_hint = (f"rtl2uspec check --journal {args.journal} --resume"
+                   + (f" --model {args.model}" if args.model else ""))
+    try:
+        run = run_suite(model, tests, jobs=args.jobs, engine=args.engine,
+                        keep_graphs=args.show_graph,
+                        budget=_check_budget(args.timeout),
+                        journal_path=args.journal or None,
+                        resume=args.resume,
+                        fault_plan=_fault_plan(args.inject_faults))
+    except InterruptedRun as exc:
+        if exc.partial:
+            print(format_suite_report(exc.partial))
+        _print_interrupt(exc, resume_hint)
+        return _interrupt_exit_code(signal_state)
+    verdicts = run.verdicts
+    if run.resumed:
+        print(f"resumed: {run.resumed} verdict(s) replayed from "
+              f"{args.journal}")
     print(format_suite_report(verdicts))
+    if run.pool_stats.faults_observed():
+        print(run.pool_stats.summary())
     if args.report_json:
         import json
         report = suite_report_json(verdicts, model=args.model or "reference",
@@ -172,43 +237,89 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _sweep_report_json(report, args) -> None:
+    import json
+    payload = {
+        "schema": "repro-check-sweep/2",
+        "engine": args.engine,
+        "jobs": args.jobs,
+        "digest": report.digest(),
+        "programs": report.programs,
+        "outcomes_checked": report.outcomes_checked,
+        "resumed": report.resumed,
+        "exact": report.exact,
+        "unsound": [formatted for formatted, _ in report.unsound],
+        "overstrict": [formatted for formatted, _ in report.overstrict],
+        "undecided": [formatted for formatted, _ in report.undecided],
+    }
+    with open(args.report_json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {args.report_json}")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .check import verify_exactness
-    from .uspec import parse_model
+    from .errors import InterruptedRun
 
-    if args.model:
-        with open(args.model, "r", encoding="utf-8") as handle:
-            model = parse_model(handle.read())
-    else:
-        from .designs.models import load_reference_model
-        model = load_reference_model()
-    report = verify_exactness(model, max_threads=args.threads,
-                              max_len=args.length,
-                              limit=args.limit if args.limit > 0 else None,
-                              jobs=args.jobs, engine=args.engine)
+    model = _load_model(args.model)
+    signal_state = _convert_sigterm()
+    resume_hint = (f"rtl2uspec sweep --journal {args.journal} --resume"
+                   + (f" --model {args.model}" if args.model else ""))
+    try:
+        report = verify_exactness(
+            model, max_threads=args.threads, max_len=args.length,
+            limit=args.limit if args.limit > 0 else None,
+            jobs=args.jobs, engine=args.engine,
+            budget=_check_budget(args.timeout),
+            journal_path=args.journal or None, resume=args.resume,
+            fault_plan=_fault_plan(args.inject_faults))
+    except InterruptedRun as exc:
+        print(exc.partial.summary())
+        _print_interrupt(exc, resume_hint)
+        return _interrupt_exit_code(signal_state)
     print(report.summary())
     if args.report_json:
-        import json
-        payload = {
-            "schema": "repro-check-sweep/1",
-            "engine": args.engine,
-            "jobs": args.jobs,
-            "programs": report.programs,
-            "outcomes_checked": report.outcomes_checked,
-            "exact": report.exact,
-            "unsound": [formatted for formatted, _ in report.unsound],
-            "overstrict": [formatted for formatted, _ in report.overstrict],
-        }
-        with open(args.report_json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"report written to {args.report_json}")
+        _sweep_report_json(report, args)
     for kind, entries in (("UNSOUND", report.unsound),
-                          ("OVERSTRICT", report.overstrict)):
+                          ("OVERSTRICT", report.overstrict),
+                          ("UNDECIDED", report.undecided)):
         for formatted, _condition in entries[:args.show]:
             print(f"--- {kind} ---")
             print(formatted)
     return 0 if report.exact else 1
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from .check import format_suite_report
+    from .errors import InterruptedRun
+    from .pipeline import PipelineConfig, run_pipeline
+
+    signal_state = _convert_sigterm()
+    config = PipelineConfig(
+        state_dir=args.state_dir, design=args.design, resume=args.resume,
+        jobs=args.jobs, engine=args.engine,
+        check_timeout=args.timeout or None,
+        synth_timeout=args.synth_timeout or None,
+        bound=args.bound if args.bound > 0 else None,
+        max_k=args.max_k if args.max_k >= 0 else None,
+        candidates=args.candidates.split(",") if args.candidates else None,
+        echo=print,
+    )
+    resume_hint = (f"rtl2uspec pipeline --state-dir {args.state_dir} "
+                   f"--design {args.design} --resume")
+    try:
+        result = run_pipeline(config)
+    except InterruptedRun as exc:
+        _print_interrupt(exc, resume_hint)
+        return _interrupt_exit_code(signal_state)
+    print(format_suite_report(result.verdicts, show_stats=False))
+    print(f"pipeline complete: model {result.model_path}, "
+          f"report {result.report_path} (digest {result.digest[:12]})")
+    if result.stages_resumed:
+        print(f"stages served from checkpoints: "
+              f"{', '.join(result.stages_resumed)}")
+    return 0 if result.passed else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -221,6 +332,27 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 "memory_bits"):
         print(f"{key:<16}{single[key]:>12}{multi[key]:>12}")
     return 0
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser,
+                          what: str) -> None:
+    """The shared --journal/--resume/--timeout/--inject-faults flags."""
+    parser.add_argument("--journal", default="",
+                        help=f"append-only {what} journal (JSONL) for "
+                             f"crash/Ctrl-C checkpointing")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay an existing --journal instead of "
+                             "starting it fresh (already-decided work is "
+                             "not re-executed)")
+    parser.add_argument("--timeout", type=float, default=0.0,
+                        help=f"per-{what} wall-clock budget in seconds "
+                             f"(0 = unlimited; exhaustion yields a "
+                             f"conservative TIMEOUT verdict, never a PASS)")
+    parser.add_argument("--inject-faults", default="",
+                        help="deterministic fault injection for resilience "
+                             "testing, e.g. 'crash:0,hang:3' "
+                             "(kinds: crash/hang/garbage/interrupt; "
+                             "verdicts are unaffected)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -253,8 +385,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "(0 = unlimited; exhaustion yields a "
                               "conservative UNKNOWN verdict)")
     p_synth.add_argument("-j", "--jobs", type=int, default=0,
-                         help="parallel SVA discharge workers "
-                              "(default: all cores; 1 = serial)")
+                         help=JOBS_HELP)
     p_synth.add_argument("--engine", choices=("incremental", "oneshot"),
                          default="incremental",
                          help="formal execution strategy: 'incremental' "
@@ -272,9 +403,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_check.add_argument("--show-graph", action="store_true",
                          help="render witness µhb graphs (text Fig. 1b)")
     p_check.add_argument("-j", "--jobs", type=int, default=1,
-                         help="parallel verification workers "
-                              "(1 = serial, 0 = all cores); verdicts are "
-                              "identical for any job count")
+                         help=JOBS_HELP)
     p_check.add_argument("--engine", choices=("fresh", "incremental"),
                          default="fresh",
                          help="solving engine: 'fresh' grounds each test "
@@ -283,6 +412,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "(verdict-identical)")
     p_check.add_argument("--report-json", default="",
                          help="write verdicts + solver stats as JSON")
+    _add_resilience_flags(p_check, "test")
     p_check.set_defaults(func=_cmd_check)
 
     p_litmus = sub.add_parser("litmus", help="print the litmus suite")
@@ -307,9 +437,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sweep.add_argument("--show", type=int, default=3,
                          help="mismatching tests to print")
     p_sweep.add_argument("-j", "--jobs", type=int, default=1,
-                         help="parallel sweep workers (1 = serial, "
-                              "0 = all cores); the report is identical "
-                              "for any job count")
+                         help=JOBS_HELP)
     p_sweep.add_argument("--engine", choices=("fresh", "incremental"),
                          default="incremental",
                          help="per-program decision procedure "
@@ -317,7 +445,45 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "a program's conditions; verdict-identical)")
     p_sweep.add_argument("--report-json", default="",
                          help="write the sweep report as JSON")
+    _add_resilience_flags(p_sweep, "condition")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_pipe = sub.add_parser(
+        "pipeline",
+        help="end-to-end parse -> synth -> check with crash-safe stage "
+             "checkpoints (kill it anywhere; --resume continues)")
+    p_pipe.add_argument("--state-dir", default="pipeline-state",
+                        help="directory for stage checkpoints, journals, "
+                             "and final artifacts")
+    p_pipe.add_argument("--design", choices=("multi", "unicore"),
+                        default="multi",
+                        help="bundled design: the 4-core multi-V-scale "
+                             "case study or the fast scoped unicore")
+    p_pipe.add_argument("--resume", action="store_true",
+                        help="continue from the state directory's last "
+                             "checkpoint (stages and journaled work are "
+                             "not re-executed; final artifacts are "
+                             "byte-identical to an uninterrupted run)")
+    p_pipe.add_argument("-j", "--jobs", type=int, default=1,
+                        help=JOBS_HELP)
+    p_pipe.add_argument("--engine", choices=("fresh", "incremental"),
+                        default="fresh",
+                        help="check-stage solving engine (verdict-identical)")
+    p_pipe.add_argument("--timeout", type=float, default=0.0,
+                        help="per-litmus-test wall-clock budget in seconds "
+                             "(0 = unlimited)")
+    p_pipe.add_argument("--synth-timeout", type=float, default=0.0,
+                        help="per-SVA wall-clock budget in seconds "
+                             "(0 = unlimited)")
+    p_pipe.add_argument("--bound", type=int, default=0,
+                        help="BMC bound for synthesis (0 = design preset)")
+    p_pipe.add_argument("--max-k", type=int, default=-1,
+                        help="induction depth for synthesis "
+                             "(-1 = design preset)")
+    p_pipe.add_argument("--candidates", default="",
+                        help="comma-separated state elements to restrict "
+                             "analysis (default: design preset)")
+    p_pipe.set_defaults(func=_cmd_pipeline)
 
     p_stats = sub.add_parser("stats", help="design statistics (section 5.1)")
     p_stats.set_defaults(func=_cmd_stats)

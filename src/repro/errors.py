@@ -77,7 +77,34 @@ class WorkerCrashError(FormalError):
 
 
 class JournalError(ReproError):
-    """The verdict journal could not be opened, written, or replayed."""
+    """A checkpoint journal could not be opened, written, or replayed."""
+
+
+class ResilienceError(ReproError):
+    """The shared resilience layer (worker pools, budgets) failed in a
+    way retries could not absorb — e.g. a task kept returning invalid
+    results past its retry budget."""
+
+
+class InterruptedRun(ReproError):
+    """A run was interrupted (SIGINT/SIGTERM) after checkpointing.
+
+    Raised by the crash-safe runners *after* committing their journals,
+    carrying whatever completed before the interrupt so the CLI can
+    print partial results and a resume recipe.  ``partial`` holds the
+    completed items (layer-specific); ``resumable`` says whether a
+    journal exists to resume from.
+    """
+
+    def __init__(self, message: str, partial=None, resumable: bool = False):
+        super().__init__(message)
+        self.partial = partial if partial is not None else []
+        self.resumable = resumable
+
+
+class PipelineError(ReproError):
+    """The end-to-end pipeline's stage state is missing or inconsistent
+    (e.g. a recorded stage artifact no longer matches its checksum)."""
 
 
 class PropertyError(ReproError):

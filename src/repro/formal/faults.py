@@ -8,7 +8,10 @@ proof: a :class:`FaultyPropertyChecker` that wraps any checker and
 injects failures at exact, reproducible points of the discharge
 schedule.
 
-Faults are keyed by the obligation's deterministic execution index
+The schedule itself is the layer-neutral
+:class:`repro.resilience.faults.FaultPlan` (extracted from this module;
+the Check layer's pool injects from the same class).  Here faults are
+keyed by the obligation's deterministic execution index
 (``CheckParams.task_index``, assigned by the scheduler in plan order,
 identical across job counts) and the retry ``attempt`` number:
 
@@ -20,6 +23,9 @@ identical across job counts) and the retry ``attempt`` number:
   tests) which the scheduler treats exactly like a watchdog firing.
 * ``garbage`` — returns a malformed verdict (bogus status, negative
   times) that the scheduler's validation must reject and retry.
+* ``interrupt`` — raises ``KeyboardInterrupt`` at the check site: a
+  deterministic stand-in for Ctrl-C landing mid-discharge, exercising
+  the journal-checkpoint-and-resume path.
 
 By default a site faults only on attempt 0 (``attempts=1``), so the
 scheduler's first retry succeeds and the run must converge to the
@@ -29,49 +35,14 @@ byte-identical fault-free model.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, Optional
 
 from ..errors import DischargeTimeout, WorkerCrashError
+from ..resilience.faults import CRASH, GARBAGE, HANG, INTERRUPT, FaultPlan
 from .engine import CheckParams, Verdict
 
-CRASH = "crash"
-HANG = "hang"
-GARBAGE = "garbage"
-
-
-@dataclass(frozen=True)
-class FaultPlan:
-    """A picklable, fully deterministic fault schedule.
-
-    ``crashes`` / ``hangs`` / ``garbage`` are sets of obligation
-    execution indices (``CheckParams.task_index``).  A listed site
-    misbehaves on attempts ``0..attempts-1`` and behaves normally from
-    attempt ``attempts`` on; set ``attempts`` beyond the scheduler's
-    retry budget to model a *persistent* fault.  ``hard_crashes``
-    selects real worker death (``os._exit``) over a raised
-    :class:`WorkerCrashError` when running inside a pool worker.
-    """
-
-    crashes: FrozenSet[int] = frozenset()
-    hangs: FrozenSet[int] = frozenset()
-    garbage: FrozenSet[int] = frozenset()
-    attempts: int = 1
-    hard_crashes: bool = True
-
-    def fault_for(self, task_index: int, attempt: int) -> Optional[str]:
-        if task_index < 0 or attempt >= self.attempts:
-            return None
-        if task_index in self.crashes:
-            return CRASH
-        if task_index in self.hangs:
-            return HANG
-        if task_index in self.garbage:
-            return GARBAGE
-        return None
-
-    def sites(self) -> FrozenSet[int]:
-        return self.crashes | self.hangs | self.garbage
+__all__ = ["CRASH", "HANG", "GARBAGE", "INTERRUPT", "FaultPlan",
+           "FaultyPropertyChecker"]
 
 
 def _in_pool_worker() -> bool:
@@ -115,6 +86,10 @@ class FaultyPropertyChecker:
         if fault == GARBAGE:
             return Verdict(status="SOLVED???", method="fault-injection",
                            bound=-7, time_seconds=-1.0, name=problem.name)
+        if fault == INTERRUPT:
+            raise KeyboardInterrupt(
+                f"injected interrupt at task {params.task_index} "
+                f"attempt {params.attempt}")
         return self.checker.check_problem(problem, params)
 
     def check(self, problem, bound=None, prove=True, **kwargs) -> Verdict:

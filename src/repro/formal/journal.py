@@ -8,37 +8,29 @@ as one JSON line and commits (flush + fsync) once per batch, and a
 restarted run replays the journal so already-decided obligations are
 served without touching the checker.
 
-The format is deliberately dumb — one self-describing header line, then
-one JSON object per verdict — because the failure mode it must survive
-is a process dying mid-write:
+The durability mechanics — torn-tail quarantine, per-record checksums,
+truncate-on-corruption replay — live in the shared
+:class:`repro.resilience.journal.Journal` base (extracted from this
+module; the Check layer's suite/sweep journals share them).  This
+subclass adds only the verdict-specific encoding:
 
-* a torn trailing line (crash mid-append) is detected and truncated
-  away on replay, keeping every complete record before it;
-* replay stops at the first malformed *interior* line and truncates
-  there, so subsequent appends always extend a well-formed stream;
 * records are keyed by the same canonical problem fingerprint as the
   :class:`VerdictCache`, so a journal is valid across process
-  restarts, job counts, and netlist cell reorderings.
-
-Journals store no counterexample traces (like the cache): a resumed
-refutation carries its status but not its witness.
+  restarts, job counts, and netlist cell reorderings;
+* journals store no counterexample traces (like the cache): a resumed
+  refutation carries its status but not its witness.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Optional
 
-from ..errors import JournalError
+from ..resilience.journal import Journal
 from .cache import decode_verdict, encode_verdict
 from .engine import VERDICT_STATUSES, Verdict
 
-_FORMAT = "rtl2uspec-verdict-journal"
-_VERSION = 1
 
-
-class VerdictJournal:
+class VerdictJournal(Journal):
     """Append-only JSONL checkpoint of discharge verdicts.
 
     ``resume=True`` replays an existing file at ``path`` (a missing
@@ -49,136 +41,18 @@ class VerdictJournal:
     of work can ever be lost.
     """
 
-    def __init__(self, path: str, resume: bool = False):
-        self.path = path
-        self._entries: Dict[str, Dict] = {}
-        self._pending: Dict[str, Dict] = {}
-        self._handle = None
-        #: verdicts served from the journal after replay
-        self.hits = 0
-        replayed_bytes = 0
-        if resume and os.path.exists(path):
-            replayed_bytes = self._replay(path)
-        directory = os.path.dirname(os.path.abspath(path))
-        try:
-            os.makedirs(directory, exist_ok=True)
-            if resume and replayed_bytes:
-                # Drop any torn/garbage tail before appending.
-                with open(path, "r+", encoding="utf-8") as handle:
-                    handle.truncate(replayed_bytes)
-                self._handle = open(path, "a", encoding="utf-8")
-            else:
-                self._handle = open(path, "w", encoding="utf-8")
-                self._write_line({"format": _FORMAT, "version": _VERSION})
-                self._fsync()
-        except OSError as exc:
-            raise JournalError(f"cannot open verdict journal {path!r}: {exc}")
+    format = "rtl2uspec-verdict-journal"
 
-    # ------------------------------------------------------------------
-    # Replay
-    # ------------------------------------------------------------------
-    def _replay(self, path: str) -> int:
-        """Load complete records; returns the byte offset of the end of
-        the last well-formed line (0 = nothing usable, start fresh)."""
-        good_end = 0
-        try:
-            with open(path, "rb") as handle:
-                raw = handle.read()
-        except OSError as exc:
-            raise JournalError(f"cannot read verdict journal {path!r}: {exc}")
-        offset = 0
-        first = True
-        for line in raw.split(b"\n"):
-            end = offset + len(line) + 1  # +1 for the newline
-            complete = end <= len(raw)  # a line without trailing \n is torn
-            if not line.strip():
-                offset = end
-                continue
-            if not complete:
-                break  # torn tail (crash mid-append): drop it
-            try:
-                record = json.loads(line.decode("utf-8"))
-            except (json.JSONDecodeError, UnicodeDecodeError):
-                break  # corrupt: keep everything before it
-            if not isinstance(record, dict):
-                break
-            if first:
-                if record.get("format") != _FORMAT:
-                    raise JournalError(
-                        f"{path!r} is not a verdict journal "
-                        f"(format={record.get('format')!r})")
-                first = False
-            elif self._valid_record(record):
-                self._entries[record["fingerprint"]] = record["verdict"]
-            else:
-                break
-            good_end = end
-            offset = end
-        return good_end
+    def _valid_entry(self, entry) -> bool:
+        return isinstance(entry, dict) and \
+            entry.get("status") in VERDICT_STATUSES
 
-    @staticmethod
-    def _valid_record(record: Dict) -> bool:
-        verdict = record.get("verdict")
-        return (isinstance(record.get("fingerprint"), str)
-                and isinstance(verdict, dict)
-                and verdict.get("status") in VERDICT_STATUSES)
-
-    # ------------------------------------------------------------------
-    # Recording
-    # ------------------------------------------------------------------
     def lookup(self, fingerprint: str) -> Optional[Verdict]:
-        entry = self._entries.get(fingerprint)
+        entry = self.lookup_entry(fingerprint)
         if entry is None:
             return None
-        self.hits += 1
         return decode_verdict(entry, default_name="journaled")
 
     def record(self, fingerprint: str, verdict: Verdict) -> None:
         """Stage one verdict; durable after the next :meth:`commit`."""
-        entry = encode_verdict(verdict)
-        self._entries[fingerprint] = entry
-        self._pending[fingerprint] = entry
-
-    def commit(self) -> None:
-        """Write staged verdicts and force them to disk (fsync)."""
-        if not self._pending or self._handle is None:
-            return
-        try:
-            for fingerprint, entry in self._pending.items():
-                self._write_line({"fingerprint": fingerprint, "verdict": entry})
-            self._fsync()
-        except OSError as exc:
-            raise JournalError(
-                f"cannot append to verdict journal {self.path!r}: {exc}")
-        self._pending.clear()
-
-    def _write_line(self, record: Dict) -> None:
-        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
-
-    def _fsync(self) -> None:
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-
-    def close(self) -> None:
-        """Commit anything pending and release the file handle."""
-        if self._handle is None:
-            return
-        self.commit()
-        self._handle.close()
-        self._handle = None
-
-    # ------------------------------------------------------------------
-    def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._entries
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def items(self) -> Iterator[Tuple[str, Dict]]:
-        return iter(self._entries.items())
-
-    def __enter__(self) -> "VerdictJournal":
-        return self
-
-    def __exit__(self, *_exc) -> None:
-        self.close()
+        self.record_entry(fingerprint, encode_verdict(verdict))

@@ -46,7 +46,6 @@ the same verdict map (and hence byte-identical synthesized models) as
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
@@ -55,6 +54,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import DischargeTimeout, FormalError, WorkerCrashError
+from ..resilience.pool import resolve_jobs
 from .cache import CachingPropertyChecker, VerdictCache, problem_fingerprint
 from .engine import VERDICT_STATUSES, CheckParams, PropertyChecker, Verdict
 from .journal import VerdictJournal
@@ -191,9 +191,7 @@ class DischargeScheduler:
                  watchdog_seconds: Optional[float] = None,
                  max_retries: int = 3,
                  retry_backoff: float = 0.05):
-        if jobs is None or jobs <= 0:
-            jobs = os.cpu_count() or 1
-        self.jobs = jobs
+        self.jobs = resolve_jobs(jobs)
         self.factory = factory
         if isinstance(checker, CachingPropertyChecker):
             self._engine: PropertyChecker = checker.checker

@@ -3,13 +3,14 @@
 from .compile import compile_test, location_map, register_map
 from .generator import generate_safe_tests
 from .io import read_suite, write_suite
-from .suite import SUITE_SIZE, load_suite, suite_by_name
+from .suite import SUITE_SIZE, load_suite, resolve_tests, suite_by_name
 from .test import LitmusTest, parse_litmus
 
 __all__ = [
     "LitmusTest",
     "parse_litmus",
     "load_suite",
+    "resolve_tests",
     "suite_by_name",
     "SUITE_SIZE",
     "generate_safe_tests",

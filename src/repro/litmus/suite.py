@@ -143,3 +143,24 @@ def load_suite(size: int = SUITE_SIZE) -> List[LitmusTest]:
 
 def suite_by_name(size: int = SUITE_SIZE) -> Dict[str, LitmusTest]:
     return {test.name: test for test in load_suite(size)}
+
+
+def resolve_tests(names: List[str]) -> List[LitmusTest]:
+    """Map test names to suite tests; unknown names raise a
+    :class:`repro.errors.LitmusError` with did-you-mean suggestions
+    (the CLI maps it to exit code 2)."""
+    by_name = suite_by_name()
+    unknown = [name for name in names if name not in by_name]
+    if unknown:
+        import difflib
+
+        from ..errors import LitmusError
+        parts = []
+        for name in unknown:
+            close = difflib.get_close_matches(name, by_name, n=3)
+            hint = f" (did you mean: {', '.join(close)}?)" if close else ""
+            parts.append(f"{name!r}{hint}")
+        raise LitmusError(
+            f"unknown litmus test(s): {'; '.join(parts)} — "
+            f"see `rtl2uspec litmus --names` for the suite")
+    return [by_name[name] for name in names]

@@ -1,0 +1,73 @@
+"""Shared resilience layer: budgets, journals, worker pools, faults.
+
+The synthesis half of the pipeline (PR 2) grew fault tolerance first —
+per-SVA budgets, retry waves, a resumable verdict journal, deterministic
+fault injection.  This package extracts that machinery into pieces any
+layer can reuse, and the Check layer (litmus suites, exhaustive sweeps,
+the end-to-end ``repro pipeline`` command) builds on the same four:
+
+* :mod:`repro.resilience.budgets` — wall-clock / conflict budgets that
+  degrade to first-class ``TIMEOUT`` / ``UNKNOWN`` verdict statuses
+  instead of hanging or crashing;
+* :mod:`repro.resilience.journal` — append-only, per-record checksummed
+  JSONL checkpoints that quarantine corrupt or torn tails on replay;
+* :mod:`repro.resilience.pool` — worker-pool lifecycle: one-shot
+  initializer state, crash/hang detection, bounded retry waves with
+  pool rebuilds, and inline fallback in the parent process;
+* :mod:`repro.resilience.faults` — deterministic fault injection keyed
+  by execution index, so fault tolerance can be *proven* not to change
+  results.
+
+The guiding invariant, shared with the discharge scheduler: faults and
+budgets may change wall clock and statistics, never the verdicts a
+clean run would produce (budget exhaustion is itself a first-class,
+conservatively consumed verdict).
+"""
+
+from .budgets import (
+    DECIDED,
+    TIMEOUT,
+    UNDECIDED_STATUSES,
+    UNKNOWN,
+    Budget,
+    BudgetClock,
+)
+from .faults import (
+    CRASH,
+    GARBAGE,
+    HANG,
+    INTERRUPT,
+    FaultPlan,
+    parse_fault_spec,
+)
+from .journal import Journal
+from .pool import (
+    PoolStats,
+    init_worker,
+    map_indexed,
+    resolve_jobs,
+    run_tasks,
+    worker_state,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetClock",
+    "DECIDED",
+    "TIMEOUT",
+    "UNKNOWN",
+    "UNDECIDED_STATUSES",
+    "Journal",
+    "PoolStats",
+    "init_worker",
+    "map_indexed",
+    "resolve_jobs",
+    "run_tasks",
+    "worker_state",
+    "FaultPlan",
+    "parse_fault_spec",
+    "CRASH",
+    "HANG",
+    "GARBAGE",
+    "INTERRUPT",
+]

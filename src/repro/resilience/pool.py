@@ -1,0 +1,371 @@
+"""Worker-pool lifecycle with crash/hang recovery and inline fallback.
+
+One pool abstraction serves every parallel fan-out in the repo: the
+(picklable) shared state crosses the process boundary once per worker
+via the pool initializer, per-task payloads are just the items, and
+results are consumed in submission-index order so ``jobs=N`` output is
+identical to ``jobs=1``.
+
+Fault tolerance follows the discharge scheduler's degraded-mode policy
+(:mod:`repro.formal.scheduler`): a dead worker (``BrokenProcessPool``),
+a hung task (watchdog timeout on the future), a simulated timeout
+(:class:`repro.errors.DischargeTimeout`), or an invalid result never
+aborts the run — the task is retried in bounded waves with exponential
+backoff on a rebuilt pool, and after ``max_retries`` failures it runs
+inline in the parent process.  Real task errors (``CheckError`` etc.)
+are *not* swallowed; they re-raise exactly as the serial path would.
+
+A :class:`repro.resilience.faults.FaultPlan` can be attached to inject
+deterministic crashes/hangs/garbage (executed at the task site, in the
+worker or inline) and interrupts (raised in the parent at the exact
+point the task's result would be consumed).  ``KeyboardInterrupt`` —
+real or injected — hard-kills the pool before propagating, so a Ctrl-C
+never leaves orphaned workers behind; results already delivered to
+``on_result`` (e.g. a journal) survive the interrupt.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from ..errors import DischargeTimeout, ResilienceError, WorkerCrashError
+from .faults import CRASH, GARBAGE, HANG, INTERRUPT, FaultPlan
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+#: pool-infrastructure failures that trigger retry / inline fallback
+_POOL_FAILURES = (BrokenProcessPool, BrokenExecutor, OSError)
+#: task-raised exceptions that mark one task as failed-but-retryable
+_RETRYABLE = (DischargeTimeout, WorkerCrashError)
+#: marker a worker returns for an injected garbage result
+GARBAGE_RESULT = "__repro-garbage-result__"
+
+# Worker-process state installed once by the pool initializer.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """The repo-wide jobs convention: ``jobs<=0`` (or ``None``) means
+    all cores, ``1`` means serial/inline, ``N>1`` means N workers."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def worker_state() -> Dict[str, object]:
+    """The per-process state dict (filled by the pool initializer)."""
+    return _WORKER_STATE
+
+
+def init_worker(**state) -> None:
+    """Generic pool initializer: stash keyword state for the worker."""
+    # Workers must not inherit the parent CLI's signal handlers: pool
+    # teardown SIGTERMs them, and an inherited SIGTERM→KeyboardInterrupt
+    # handler would spray tracebacks instead of dying quietly.  The
+    # parent owns interrupt handling; workers just terminate.
+    import signal
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(state)
+    _WORKER_STATE["in_worker"] = True
+
+
+def _pool_initializer(state: Dict[str, object]) -> None:
+    init_worker(**state)
+
+
+def _worker_entry(task, item, index: int, attempt: int,
+                  plan: Optional[FaultPlan]):
+    """Run one task in a worker, executing any planned fault first."""
+    fault = plan.fault_for(index, attempt) if plan is not None else None
+    if fault == CRASH:
+        if plan.hard_crashes:
+            os._exit(43)  # hard death: parent sees BrokenProcessPool
+        raise WorkerCrashError(
+            f"injected crash at task {index} attempt {attempt}")
+    if fault == HANG:
+        raise DischargeTimeout(
+            f"injected hang at task {index} attempt {attempt}")
+    if fault == GARBAGE:
+        return GARBAGE_RESULT
+    # INTERRUPT is a parent-side fault: the worker computes normally and
+    # the parent raises before consuming the result.
+    return task(item)
+
+
+@dataclass
+class PoolStats:
+    """Fault/recovery counters for one :func:`run_tasks` call (or an
+    accumulating object shared across calls)."""
+
+    jobs: int = 1
+    tasks: int = 0            # items executed (pool or inline)
+    pool_tasks: int = 0       # submissions that crossed the process boundary
+    retries: int = 0          # re-submissions after a recoverable failure
+    worker_crashes: int = 0   # dead workers / broken pools observed
+    timeouts: int = 0         # watchdog or simulated task timeouts
+    garbage_results: int = 0  # invalid results rejected by validation
+    inline_fallbacks: int = 0  # tasks that fell back to the parent
+
+    def faults_observed(self) -> int:
+        return self.worker_crashes + self.timeouts + self.garbage_results
+
+    def summary(self) -> str:
+        return (f"pool: jobs={self.jobs}, {self.tasks} task(s) "
+                f"({self.pool_tasks} pooled); faults: "
+                f"{self.worker_crashes} crash(es), {self.timeouts} "
+                f"timeout(s), {self.garbage_results} garbage; "
+                f"{self.retries} retried, {self.inline_fallbacks} inline "
+                f"fallback(s)")
+
+
+def run_tasks(items: Sequence[Item], task: Callable[[Item], Result],
+              inline: Callable[[Item], Result], jobs: int,
+              state: Dict[str, object], *,
+              watchdog_seconds: Optional[float] = None,
+              max_retries: int = 3,
+              retry_backoff: float = 0.05,
+              fault_plan: Optional[FaultPlan] = None,
+              validate: Optional[Callable[[Result], bool]] = None,
+              on_result: Optional[Callable[[int, Result], None]] = None,
+              stats: Optional[PoolStats] = None) -> List[Result]:
+    """Map ``task`` over ``items`` deterministically, surviving faults.
+
+    ``task`` runs in workers (against :func:`worker_state` filled from
+    ``state``); ``inline`` computes the same result in the parent and
+    serves as both the ``jobs<=1`` path and the last-resort fallback
+    when the pool keeps failing.  ``validate`` rejects malformed
+    results (they are retried like crashes); ``on_result`` fires once
+    per item as its result is finalized — under an interrupt, results
+    already delivered are the checkpointed prefix.  Results are ordered
+    by item index regardless of completion order.
+    """
+    jobs = resolve_jobs(jobs)
+    stats = stats if stats is not None else PoolStats()
+    stats.jobs = max(stats.jobs, jobs)
+    runner = _TaskRun(items, task, inline, jobs, state,
+                      watchdog_seconds=watchdog_seconds,
+                      max_retries=max(0, max_retries),
+                      retry_backoff=retry_backoff,
+                      fault_plan=fault_plan, validate=validate,
+                      on_result=on_result, stats=stats)
+    return runner.run()
+
+
+def map_indexed(items: Sequence[Item], task: Callable[[Item], Result],
+                inline: Callable[[Item], Result], jobs: int,
+                state: Dict[str, object]) -> List[Result]:
+    """The historical simple entry point (no faults, no journaling)."""
+    return run_tasks(items, task, inline, jobs, state)
+
+
+class _TaskRun:
+    """One :func:`run_tasks` invocation's mutable execution state."""
+
+    def __init__(self, items, task, inline, jobs, state, *,
+                 watchdog_seconds, max_retries, retry_backoff,
+                 fault_plan, validate, on_result, stats):
+        self.items = items
+        self.task = task
+        self.inline = inline
+        self.jobs = jobs
+        self.state = state
+        self.watchdog_seconds = watchdog_seconds
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.plan = fault_plan
+        self.validate = validate
+        self.on_result = on_result
+        self.stats = stats
+        self.results: List[Optional[Result]] = [None] * len(items)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Result]:
+        try:
+            if self.jobs <= 1 or len(self.items) <= 1:
+                for index, item in enumerate(self.items):
+                    self._maybe_interrupt(index, 0)
+                    self._finish(index, self._run_inline(index, item, 0))
+            else:
+                self._run_pool()
+        except KeyboardInterrupt:
+            self._kill_pool()
+            raise
+        finally:
+            self.close()
+        return self.results
+
+    def _finish(self, index: int, result: Result) -> None:
+        self.results[index] = result
+        self.stats.tasks += 1
+        if self.on_result is not None:
+            self.on_result(index, result)
+
+    def _valid(self, result) -> bool:
+        if isinstance(result, str) and result == GARBAGE_RESULT:
+            return False
+        return self.validate is None or self.validate(result)
+
+    def _maybe_interrupt(self, index: int, attempt: int) -> None:
+        if self.plan is not None and \
+                self.plan.fault_for(index, attempt) == INTERRUPT:
+            raise KeyboardInterrupt(
+                f"injected interrupt at task {index} attempt {attempt}")
+
+    # ------------------------------------------------------------------
+    # Inline execution (jobs=1 and the pool's last-resort fallback)
+    # ------------------------------------------------------------------
+    def _run_inline(self, index: int, item: Item, start_attempt: int
+                    ) -> Result:
+        """Decide one item in-process with the same retry policy as the
+        pool path (crash/hang injections raise here instead of killing
+        a worker; persistent faults eventually propagate)."""
+        attempt = start_attempt
+        while True:
+            try:
+                result = _worker_entry(self.inline, item, index, attempt,
+                                       self.plan)
+            except _RETRYABLE as exc:
+                self._count_failure(exc)
+                if attempt - start_attempt >= self.max_retries:
+                    raise
+                self.stats.retries += 1
+                attempt += 1
+                self._backoff(attempt - start_attempt)
+                continue
+            if self._valid(result):
+                return result
+            self.stats.garbage_results += 1
+            if attempt - start_attempt >= self.max_retries:
+                raise ResilienceError(
+                    f"task {index} returned an invalid result after "
+                    f"{attempt - start_attempt + 1} attempt(s)")
+            self.stats.retries += 1
+            attempt += 1
+            self._backoff(attempt - start_attempt)
+
+    def _count_failure(self, exc: Exception) -> None:
+        if isinstance(exc, DischargeTimeout):
+            self.stats.timeouts += 1
+        else:
+            self.stats.worker_crashes += 1
+
+    def _backoff(self, wave: int) -> None:
+        time.sleep(min(self.retry_backoff * (2 ** (wave - 1)), 2.0))
+
+    # ------------------------------------------------------------------
+    # Pool execution with crash/timeout/garbage recovery
+    # ------------------------------------------------------------------
+    def _run_pool(self) -> None:
+        pending: List[Tuple[int, int]] = [(i, 0) for i in range(len(self.items))]
+        wave = 0
+        while pending:
+            futures = self._submit_wave(pending)
+            failed: List[Tuple[int, int]] = []
+            pool_broken = False
+            for (index, attempt), future in zip(pending, futures):
+                if future is None:  # submission itself hit a broken pool
+                    pool_broken = True
+                    failed.append((index, attempt))
+                    continue
+                try:
+                    result = future.result(timeout=self.watchdog_seconds)
+                except _POOL_FAILURES:
+                    self.stats.worker_crashes += 1
+                    pool_broken = True
+                    failed.append((index, attempt))
+                    continue
+                except FuturesTimeout:
+                    # The worker is hung: the pool must be torn down to
+                    # kill it, which invalidates this wave's siblings
+                    # too (they resurface as BrokenProcessPool above).
+                    self.stats.timeouts += 1
+                    pool_broken = True
+                    failed.append((index, attempt))
+                    continue
+                except DischargeTimeout:
+                    self.stats.timeouts += 1
+                    failed.append((index, attempt))
+                    continue
+                except WorkerCrashError:
+                    self.stats.worker_crashes += 1
+                    failed.append((index, attempt))
+                    continue
+                if not self._valid(result):
+                    self.stats.garbage_results += 1
+                    failed.append((index, attempt))
+                    continue
+                self._maybe_interrupt(index, attempt)
+                self._finish(index, result)
+            if pool_broken:
+                self._kill_pool()
+            pending = []
+            for index, attempt in failed:
+                if attempt >= self.max_retries:
+                    self.stats.inline_fallbacks += 1
+                    self._maybe_interrupt(index, attempt + 1)
+                    self._finish(index, self._run_inline(
+                        index, self.items[index], attempt + 1))
+                else:
+                    self.stats.retries += 1
+                    pending.append((index, attempt + 1))
+            if pending:
+                wave += 1
+                self._backoff(wave)
+
+    def _submit_wave(self, pending: List[Tuple[int, int]]):
+        """Submit one retry wave; a broken pool during submission marks
+        the remaining entries as failed rather than raising."""
+        futures = []
+        for index, attempt in pending:
+            try:
+                pool = self._ensure_pool()
+                futures.append(pool.submit(
+                    _worker_entry, self.task, self.items[index], index,
+                    attempt, self.plan))
+                self.stats.pool_tasks += 1
+            except _POOL_FAILURES:
+                self.stats.worker_crashes += 1
+                self._kill_pool()
+                futures.append(None)
+        return futures
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(self.items)),
+                initializer=_pool_initializer, initargs=(self.state,))
+        return self._pool
+
+    def _kill_pool(self) -> None:
+        """Tear the pool down hard (terminate workers) so a hung or
+        crashed worker cannot outlive its wave; the next submission
+        rebuilds a fresh pool."""
+        if self._pool is None:
+            return
+        processes = getattr(self._pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError):
+                pass
+        self._pool.shutdown(wait=False)
+        self._pool = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -1,0 +1,135 @@
+"""Fault tolerance of the Check layer (ISSUE acceptance criteria).
+
+The guarantee pinned here: verdicts and suite digests for the full
+56-test litmus suite are byte-identical across a clean run, a run with
+injected worker crashes/hangs/garbage, and an interrupted-then-resumed
+run — at ``--jobs 1`` and ``--jobs 4``.  Faults change timing and pool
+statistics, never verdicts.
+"""
+
+import pytest
+
+from repro.check import run_suite, suite_digest, verify_exactness
+from repro.check.verifier import _verdict_projection
+from repro.errors import InterruptedRun
+from repro.resilience import Budget, FaultPlan
+
+TRANSIENT = FaultPlan(crashes=frozenset({0}), hangs=frozenset({4}),
+                      garbage=frozenset({2}), hard_crashes=False)
+
+
+@pytest.fixture(scope="module")
+def clean_suite(reference_model, litmus_suite):
+    run = run_suite(reference_model, litmus_suite, jobs=1,
+                    engine="incremental")
+    return (_verdict_projection(run.verdicts), suite_digest(run.verdicts))
+
+
+class TestFaultedSuiteParity:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_crashes_hangs_garbage_do_not_change_verdicts(
+            self, reference_model, litmus_suite, clean_suite, jobs):
+        run = run_suite(reference_model, litmus_suite, jobs=jobs,
+                        engine="incremental", fault_plan=TRANSIENT)
+        projection, digest = clean_suite
+        assert _verdict_projection(run.verdicts) == projection
+        assert suite_digest(run.verdicts) == digest
+        assert run.pool_stats.faults_observed()
+        assert run.pool_stats.retries >= 3
+
+    def test_hard_crash_in_pool_mode_recovers(
+            self, reference_model, litmus_suite, clean_suite):
+        plan = FaultPlan(crashes=frozenset({1}))  # kills the worker process
+        run = run_suite(reference_model, litmus_suite, jobs=4,
+                        engine="incremental", fault_plan=plan)
+        assert suite_digest(run.verdicts) == clean_suite[1]
+
+
+class TestInterruptResumeParity:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_interrupt_then_resume_matches_clean(
+            self, reference_model, litmus_suite, clean_suite, tmp_path, jobs):
+        journal = str(tmp_path / f"check-{jobs}.jsonl")
+        plan = FaultPlan(interrupts=frozenset({20}))
+        with pytest.raises(InterruptedRun) as excinfo:
+            run_suite(reference_model, litmus_suite, jobs=jobs,
+                      engine="incremental", journal_path=journal,
+                      fault_plan=plan)
+        assert excinfo.value.resumable
+        resumed = run_suite(reference_model, litmus_suite, jobs=jobs,
+                            engine="incremental", journal_path=journal,
+                            resume=True)
+        assert resumed.resumed >= 1  # checkpointed verdicts were replayed
+        projection, digest = clean_suite
+        assert _verdict_projection(resumed.verdicts) == projection
+        assert suite_digest(resumed.verdicts) == digest
+
+    def test_interrupt_without_journal_is_not_resumable(
+            self, reference_model, litmus_suite):
+        plan = FaultPlan(interrupts=frozenset({3}))
+        with pytest.raises(InterruptedRun) as excinfo:
+            run_suite(reference_model, litmus_suite[:8], jobs=1,
+                      engine="incremental", fault_plan=plan)
+        assert not excinfo.value.resumable
+        assert len(excinfo.value.partial) == 3
+
+
+class TestBudgetExpiry:
+    def test_expired_budget_yields_conservative_timeouts(
+            self, reference_model, litmus_suite):
+        run = run_suite(reference_model, litmus_suite[:6], jobs=1,
+                        engine="incremental",
+                        budget=Budget(timeout_seconds=1e-9))
+        assert all(not v.decided for v in run.verdicts)
+        assert all(not v.passed for v in run.verdicts)  # never PASS
+        assert all(v.status == "TIMEOUT" for v in run.verdicts)
+
+    def test_undecided_verdicts_are_retried_on_resume(
+            self, reference_model, litmus_suite, tmp_path):
+        journal = str(tmp_path / "check.jsonl")
+        starved = run_suite(reference_model, litmus_suite[:4], jobs=1,
+                            engine="incremental", journal_path=journal,
+                            budget=Budget(timeout_seconds=1e-9))
+        assert all(not v.decided for v in starved.verdicts)
+        retried = run_suite(reference_model, litmus_suite[:4], jobs=1,
+                            engine="incremental", journal_path=journal,
+                            resume=True)
+        assert retried.resumed == 0  # TIMEOUT verdicts were never journaled
+        assert all(v.decided for v in retried.verdicts)
+
+
+class TestSweepFaultTolerance:
+    @pytest.fixture(scope="class")
+    def clean_sweep(self, reference_model):
+        return verify_exactness(reference_model, limit=16, jobs=1,
+                                engine="incremental")
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_faulted_sweep_matches_clean(self, reference_model, clean_sweep,
+                                         jobs):
+        report = verify_exactness(reference_model, limit=16, jobs=jobs,
+                                  engine="incremental", fault_plan=TRANSIENT)
+        assert report.digest() == clean_sweep.digest()
+        assert report.exact == clean_sweep.exact
+
+    def test_interrupted_sweep_resumes_to_same_digest(
+            self, reference_model, clean_sweep, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        plan = FaultPlan(interrupts=frozenset({6}))
+        with pytest.raises(InterruptedRun) as excinfo:
+            verify_exactness(reference_model, limit=16, jobs=1,
+                             engine="incremental", journal_path=journal,
+                             fault_plan=plan)
+        assert excinfo.value.resumable
+        report = verify_exactness(reference_model, limit=16, jobs=1,
+                                  engine="incremental", journal_path=journal,
+                                  resume=True)
+        assert report.resumed >= 1
+        assert report.digest() == clean_sweep.digest()
+
+    def test_starved_sweep_is_not_exact(self, reference_model):
+        report = verify_exactness(reference_model, limit=8, jobs=1,
+                                  engine="incremental",
+                                  budget=Budget(timeout_seconds=1e-9))
+        assert report.undecided
+        assert not report.exact

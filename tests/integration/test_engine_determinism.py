@@ -37,15 +37,16 @@ def synthesize(tmp_path, engine, jobs):
 
 
 def normalized_journal(path):
-    """Journal records with the wall-clock field zeroed: everything
-    else (order, fingerprints, statuses, bounds, induction depths)
-    must match across engines and job counts."""
+    """Journal records with the wall-clock field (and the checksum that
+    covers it) zeroed: everything else (order, fingerprints, statuses,
+    bounds, induction depths) must match across engines and job counts."""
     records = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             record = json.loads(line)
-            if "verdict" in record:
-                record["verdict"]["time_seconds"] = 0.0
+            if "entry" in record:
+                record["entry"]["time_seconds"] = 0.0
+                record.pop("c", None)
             records.append(record)
     return records
 

@@ -1,0 +1,165 @@
+"""Unit tests for the Check layer's suite/sweep journals.
+
+Mirrors ``tests/unit/test_journal.py`` (the formal layer's verdict
+journal) on the check side: round-trips, torn-tail quarantine, corrupt
+records, and the never-journal-undecided policy."""
+
+import json
+import os
+
+import pytest
+
+from repro.check import SuiteJournal, SweepJournal, \
+    model_fingerprint, program_fingerprint
+from repro.check import TestVerdict as Verdict
+from repro.check import test_fingerprint as fingerprint_test
+from repro.errors import JournalError
+from repro.litmus import load_suite
+from repro.mcm.events import R, W
+from repro.resilience import DECIDED, TIMEOUT, UNKNOWN
+
+
+def verdict(name="mp", status=DECIDED, observable=False, permitted=False):
+    return Verdict(name=name, observable=observable,
+                   permitted_sc=permitted, time_ms=1.0, iterations=1,
+                   vars=10, clauses=20, status=status)
+
+
+class TestSuiteJournalRoundTrip:
+    def test_record_commit_replay(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with SuiteJournal(path) as journal:
+            journal.record("fp-a", verdict("mp"))
+            journal.record("fp-b", verdict("sb", observable=True,
+                                           permitted=True))
+            journal.commit()
+        resumed = SuiteJournal(path, resume=True)
+        assert len(resumed) == 2
+        replayed = resumed.lookup("fp-a")
+        assert replayed.name == "mp" and replayed.passed
+        assert replayed.time_ms == 0.0  # the work was done earlier
+        assert replayed.vars == 10 and replayed.clauses == 20
+        other = resumed.lookup("fp-b")
+        assert other.observable and other.permitted_sc
+        assert resumed.lookup("fp-missing") is None
+        resumed.close()
+
+    def test_undecided_verdicts_are_never_journaled(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with SuiteJournal(path) as journal:
+            journal.record("fp-t", verdict(status=TIMEOUT))
+            journal.record("fp-u", verdict(status=UNKNOWN))
+            journal.record("fp-d", verdict())
+        resumed = SuiteJournal(path, resume=True)
+        assert len(resumed) == 1
+        assert "fp-d" in resumed
+        assert resumed.lookup("fp-t") is None
+        resumed.close()
+
+    def test_fresh_open_truncates(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with SuiteJournal(path) as journal:
+            journal.record("fp", verdict())
+        with SuiteJournal(path, resume=False) as journal:
+            assert len(journal) == 0
+
+
+class TestSuiteJournalQuarantine:
+    def _journal_bytes(self, tmp_path, n=3):
+        path = str(tmp_path / "j.jsonl")
+        with SuiteJournal(path) as journal:
+            for i in range(n):
+                journal.record(f"fp-{i}", verdict(f"t{i}"))
+        with open(path, "rb") as handle:
+            return path, handle.read()
+
+    def test_torn_tail_is_quarantined(self, tmp_path):
+        path, raw = self._journal_bytes(tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(raw[:-15])  # crash mid-append
+        resumed = SuiteJournal(path, resume=True)
+        assert len(resumed) == 2
+        assert resumed.quarantined
+        assert os.path.exists(resumed.quarantined)
+        resumed.record("fp-new", verdict("new"))
+        resumed.close()
+        again = SuiteJournal(path, resume=True)
+        assert len(again) == 3 and "fp-new" in again
+        again.close()
+
+    def test_corrupt_interior_record_truncates_there(self, tmp_path):
+        path, raw = self._journal_bytes(tmp_path)
+        lines = raw.split(b"\n")
+        lines[2] = b'{"key": "fp-1", "entry": {"hacked": true}}'
+        with open(path, "wb") as handle:
+            handle.write(b"\n".join(lines))
+        resumed = SuiteJournal(path, resume=True)
+        assert len(resumed) == 1  # only the record before the corruption
+        resumed.close()
+
+    def test_checksum_mismatch_is_rejected(self, tmp_path):
+        path, raw = self._journal_bytes(tmp_path)
+        text = raw.decode("utf-8").replace('"observable":false',
+                                           '"observable":true')
+        with open(path, "wb") as handle:
+            handle.write(text.encode("utf-8"))
+        resumed = SuiteJournal(path, resume=True)
+        assert len(resumed) == 0  # bit-flipped records do not replay
+        resumed.close()
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"format": "rtl2uspec-verdict-journal",
+                                     "version": 2}) + "\n")
+        with pytest.raises(JournalError):
+            SuiteJournal(path, resume=True)
+
+
+class TestSweepJournal:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "sw.jsonl")
+        condition = (((1, "r1"), 0),)
+        with SweepJournal(path) as journal:
+            journal.record("fp-p", 12, [("formatted-test", condition)], [])
+        resumed = SweepJournal(path, resume=True)
+        checked, unsound, overstrict = resumed.lookup("fp-p")
+        assert checked == 12
+        assert unsound == [("formatted-test", condition)]
+        assert overstrict == []
+        resumed.close()
+
+    def test_programs_with_undecided_conditions_are_not_journaled(
+            self, tmp_path):
+        path = str(tmp_path / "sw.jsonl")
+        with SweepJournal(path) as journal:
+            journal.record("fp-p", 5, [], [], undecided=[("t", ())])
+            journal.record("fp-q", 5, [], [])
+        resumed = SweepJournal(path, resume=True)
+        assert len(resumed) == 1 and "fp-q" in resumed
+        resumed.close()
+
+    def test_suite_and_sweep_journals_do_not_cross_replay(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with SuiteJournal(path) as journal:
+            journal.record("fp", verdict())
+        with pytest.raises(JournalError):
+            SweepJournal(path, resume=True)
+
+
+class TestFingerprints:
+    def test_test_fingerprint_depends_on_model_and_test(self, reference_model):
+        fp_model = model_fingerprint(reference_model)
+        tests = load_suite()[:2]
+        a = fingerprint_test(fp_model, tests[0])
+        b = fingerprint_test(fp_model, tests[1])
+        assert a != b
+        assert fingerprint_test("other-model", tests[0]) != a
+        assert fingerprint_test(fp_model, tests[0]) == a  # stable
+
+    def test_program_fingerprint_stable_and_distinct(self):
+        p1 = ((W("x", 1),), (R("x", "r1"),))
+        p2 = ((W("y", 1),), (R("y", "r1"),))
+        assert program_fingerprint("m", p1) == program_fingerprint("m", p1)
+        assert program_fingerprint("m", p1) != program_fingerprint("m", p2)
+        assert program_fingerprint("m", p1) != program_fingerprint("n", p1)

@@ -66,12 +66,52 @@ def test_check_unknown_test_without_close_match(capsys, reference_model):
     assert "zzzzqqqq" in err
 
 
+def test_check_bad_fault_spec_is_usage_error(capsys, reference_model):
+    assert main(["check", "mp", "--inject-faults", "explode:1"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "explode" in err
+
+
+def test_check_injected_interrupt_exits_130_and_resumes(
+        capsys, reference_model, tmp_path):
+    journal = str(tmp_path / "check.jsonl")
+    code = main(["check", "mp", "sb", "lb", "--journal", journal,
+                 "--inject-faults", "interrupt:1"])
+    captured = capsys.readouterr()
+    assert code == 130
+    assert "interrupted" in captured.err
+    assert "--resume" in captured.err  # resume hint
+    assert main(["check", "mp", "sb", "lb", "--journal", journal,
+                 "--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "resumed: 1 verdict(s) replayed" in out
+    assert "ALL TESTS PASS" in out
+
+
+def test_check_interrupt_without_journal_is_not_resumable(
+        capsys, reference_model):
+    assert main(["check", "mp", "sb",
+                 "--inject-faults", "interrupt:0"]) == 130
+    err = capsys.readouterr().err
+    assert "--journal" in err  # points at how to make runs resumable
+
+
+def test_check_budget_expiry_is_conservative(capsys, reference_model):
+    assert main(["check", "mp", "--timeout", "0.0000001"]) == 1
+    out = capsys.readouterr().out
+    assert "TIMEOUT" in out
+    assert "UNDECIDED" in out
+    assert "ALL TESTS PASS" not in out
+
+
 def test_check_report_json(capsys, reference_model, tmp_path):
     path = tmp_path / "report.json"
     assert main(["check", "mp", "sb", "--report-json", str(path)]) == 0
     import json
     report = json.loads(path.read_text())
-    assert report["schema"] == "repro-check-suite/1"
+    assert report["schema"] == "repro-check-suite/2"
+    assert report["undecided"] == 0
     assert report["failures"] == 0
     assert len(report["digest"]) == 64
     assert [t["name"] for t in report["tests"]] == ["mp", "sb"]

@@ -113,7 +113,7 @@ class TestCrashResilience:
             journal.commit()
         with open(path, "r", encoding="utf-8") as handle:
             records = [json.loads(line) for line in handle if line.strip()]
-        assert sum(1 for r in records if "fingerprint" in r) == 1
+        assert sum(1 for r in records if "key" in r) == 1
 
 
 class TestErrors:
