@@ -88,6 +88,15 @@ def main(argv=None):
                         help="where to write the JSON record")
     args = parser.parse_args(argv)
     limit = 40 if args.quick else (args.limit or None)
+    cpus = os.cpu_count() or 1
+    # A jobs>1 row on a single-CPU box times process-pool overhead, not
+    # parallel scaling — skip those rows and say so in the record rather
+    # than publishing a phantom slowdown.
+    parallel_skipped = None
+    if cpus <= 1:
+        parallel_skipped = (f"host exposes {cpus} CPU; jobs>1 rows would "
+                            "measure process overhead, not scaling")
+        print(f"skipping --jobs {args.jobs} rows: {parallel_skipped}")
 
     from repro.designs.models import load_reference_model
     from repro.litmus import load_suite
@@ -99,20 +108,26 @@ def main(argv=None):
     suite_stages = [
         run_suite_stage(model, tests, "seed_serial", 1, "fresh"),
         run_suite_stage(model, tests, "incremental", 1, "incremental"),
-        run_suite_stage(model, tests, "parallel", args.jobs, "fresh"),
     ]
+    if parallel_skipped is None:
+        suite_stages.append(
+            run_suite_stage(model, tests, "parallel", args.jobs, "fresh"))
     digests = {stage["digest"] for stage in suite_stages}
     assert len(digests) == 1, f"suite verdicts diverged: {digests}"
 
     scope = f"limit={limit}" if limit else "all canonical 2x2 programs"
     print(f"exhaustive sweep ({scope}):")
+    sweep_plan = [
+        ("seed_serial", 1, "fresh", "allpairs"),
+        ("fresh_components", 1, "fresh", "components"),
+        ("incremental", 1, "incremental", "components"),
+    ]
+    if parallel_skipped is None:
+        sweep_plan.append(
+            ("incremental_parallel", args.jobs, "incremental", "components"))
     sweep_stages = []
     signatures = set()
-    for name, jobs, engine, encoding in (
-            ("seed_serial", 1, "fresh", "allpairs"),
-            ("fresh_components", 1, "fresh", "components"),
-            ("incremental", 1, "incremental", "components"),
-            ("incremental_parallel", args.jobs, "incremental", "components")):
+    for name, jobs, engine, encoding in sweep_plan:
         stage, signature = run_sweep_stage(model, name, limit, jobs, engine,
                                            encoding)
         sweep_stages.append(stage)
@@ -126,9 +141,10 @@ def main(argv=None):
     best = max(stage["speedup_vs_seed"] for stage in sweep_stages[1:])
 
     record = {
-        "schema": "repro-bench-check/1",
+        "schema": "repro-bench-check/2",
         "scope": scope,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpus,
+        "parallel_skipped": parallel_skipped,
         "platform": platform.platform(),
         "python": platform.python_version(),
         "suite": suite_stages,

@@ -51,7 +51,8 @@ def verdict_digest(result) -> str:
     return hasher.hexdigest()
 
 
-def run_stage(name, engine, share_bitblast, sat_order, jobs, candidates):
+def run_stage(name, engine, share_bitblast, sat_order, jobs, candidates,
+              compose=False):
     from repro import synthesize_uspec
     from repro.formal import PropertyChecker
     from repro.uspec import format_model
@@ -61,26 +62,33 @@ def run_stage(name, engine, share_bitblast, sat_order, jobs, candidates):
                               sat_order=sat_order)
     start = time.perf_counter()
     result = synthesize_uspec(checker=checker, jobs=jobs,
-                              candidate_filter=candidates)
+                              candidate_filter=candidates, compose=compose)
     elapsed = time.perf_counter() - start
     uarch = format_model(result.model).encode("utf-8")
     stats = checker.stats
+    discharge = result.discharge_stats
     print(f"  {name:<18} {elapsed:8.2f}s  {int(stats['checks'])} checks, "
           f"sat {stats['sat_time']:.2f}s, "
-          f"{int(stats['bmc_frames'])} bmc frames")
+          f"{int(stats['bmc_frames'])} bmc frames" +
+          (f", {discharge.fingerprint_dedup} deduped" if compose else ""))
     return {
         "name": name,
         "engine": engine,
         "share_bitblast": share_bitblast,
         "sat_order": sat_order,
         "jobs": jobs,
+        "compose": compose,
         "seconds": round(elapsed, 3),
         "checks": int(stats["checks"]),
         "sat_seconds": round(stats["sat_time"], 3),
         "bmc_frames": int(stats["bmc_frames"]),
         "blast_hits": int(stats["blast_hits"]),
         "blast_misses": int(stats["blast_misses"]),
+        "executed": discharge.executed,
+        "fingerprint_dedup": discharge.fingerprint_dedup,
+        "per_module": discharge.per_module,
         "verdict_digest": verdict_digest(result),
+        "trichotomy_digest": result.verdict_digest(),
         "uarch_sha256": hashlib.sha256(uarch).hexdigest(),
     }
 
@@ -101,6 +109,7 @@ def main(argv=None):
     candidates = QUICK_CANDIDATES if args.quick else None
     scope = "quick (CI smoke candidates)" if args.quick \
         else "full multi-V-scale SVA corpus"
+    cpus = os.cpu_count() or 1
 
     print(f"engine trajectory ({scope}, serial):")
     stages = [
@@ -111,8 +120,18 @@ def main(argv=None):
                   candidates),
     ]
 
+    # jobs>1 wall clock on a single-CPU box measures scheduling overhead,
+    # not parallel speedup; the rows would read as a regression (ROADMAP
+    # item: the recorded BENCH numbers came from a 1-CPU container).
+    parallel_skipped = None
+    if args.skip_parallel:
+        parallel_skipped = "--skip-parallel"
+    elif cpus <= 1:
+        parallel_skipped = (f"host exposes {cpus} CPU; jobs>1 rows would "
+                            "measure process overhead, not scaling")
+        print(f"skipping --jobs {args.jobs} parity rows: {parallel_skipped}")
     parity = []
-    if not args.skip_parallel:
+    if parallel_skipped is None:
         print(f"engine x jobs parity (--jobs {args.jobs}):")
         parity = [
             run_stage("oneshot_parallel", "oneshot", True, "heap",
@@ -121,6 +140,16 @@ def main(argv=None):
                       args.jobs, candidates),
         ]
 
+    print("compose vs monolithic (hierarchical compositional synthesis):")
+    compose_rows = [
+        run_stage("compose_serial", "incremental", True, "heap", 1,
+                  candidates, compose=True),
+    ]
+    if parallel_skipped is None:
+        compose_rows.append(
+            run_stage("compose_parallel", "incremental", True, "heap",
+                      args.jobs, candidates, compose=True))
+
     every = stages + parity
     verdict_digests = {stage["verdict_digest"] for stage in every}
     assert len(verdict_digests) == 1, \
@@ -128,21 +157,34 @@ def main(argv=None):
     uarch_digests = {stage["uarch_sha256"] for stage in every}
     assert len(uarch_digests) == 1, \
         f".uarch bytes diverged across stages: {uarch_digests}"
+    # Compose reaches the same model/verdicts on different proof
+    # obligations (module-scoped, k-induction depths differ), so it is
+    # held to the trichotomy digest and byte-identical .uarch — not the
+    # strict per-verdict digest above.
+    for row in compose_rows:
+        assert row["uarch_sha256"] == stages[-1]["uarch_sha256"], \
+            f"compose .uarch diverged: {row['name']}"
+        assert row["trichotomy_digest"] == stages[-1]["trichotomy_digest"], \
+            f"compose verdict trichotomy diverged: {row['name']}"
+        assert row["fingerprint_dedup"] > 0, \
+            "compose mode deduplicated no isomorphic problems"
 
     baseline = stages[0]["seconds"]
-    for stage in every:
+    for stage in every + compose_rows:
         stage["speedup_vs_seed"] = round(baseline / stage["seconds"], 2) \
             if stage["seconds"] else None
     shipped = stages[-1]["speedup_vs_seed"]
 
     record = {
-        "schema": "repro-bench-synth/1",
+        "schema": "repro-bench-synth/2",
         "scope": scope,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpus,
+        "parallel_skipped": parallel_skipped,
         "platform": platform.platform(),
         "python": platform.python_version(),
         "trajectory": stages,
         "parity": parity,
+        "compose": compose_rows,
         "verdict_digest": verdict_digests.pop(),
         "uarch_sha256": uarch_digests.pop(),
         "incremental_speedup_vs_seed": shipped,

@@ -37,9 +37,12 @@ from .core import DesignMetadata, InstructionEncoding, Rtl2Uspec, SynthesisResul
 from .designs import (
     FORMAL_CONFIG,
     FORMAL_CONFIG_4CORE,
+    FORMAL_CONFIG_8CORE,
+    FORMAL_CONFIG_16CORE,
     SIM_CONFIG,
     DesignConfig,
     load_design,
+    load_design_hier,
     multi_vscale_metadata,
 )
 from .formal import PropertyChecker
@@ -57,7 +60,8 @@ def synthesize_uspec(sim_config: DesignConfig = SIM_CONFIG,
                      jobs: int = 1,
                      journal=None,
                      check_timeout: Optional[float] = None,
-                     engine: str = "incremental") -> SynthesisResult:
+                     engine: str = "incremental",
+                     compose: bool = False) -> SynthesisResult:
     """One-call rtl2uspec run on the bundled multi-V-scale.
 
     ``buggy`` selects the design variant with the section-6.1 decoder
@@ -72,17 +76,24 @@ def synthesize_uspec(sim_config: DesignConfig = SIM_CONFIG,
     ``engine`` selects the formal execution strategy for the default
     checker ("incremental" retained-solver vs the historical "oneshot"
     A/B path); both produce identical verdicts and models.
+    ``compose`` switches property discharge to hierarchical
+    compositional synthesis (per-module obligation graphs with
+    assume-guarantee interfaces and module-granularity caching); the
+    synthesized model and verdict trichotomies match the monolithic
+    flow.
     """
     sim_cfg = sim_config.with_variant(buggy=buggy)
     formal_cfg = formal_config.with_variant(buggy=buggy)
     sim_netlist = load_design(sim_cfg)
-    formal_netlist = load_design(formal_cfg)
+    hier = load_design_hier(formal_cfg) if compose else None
+    formal_netlist = hier.flatten() if compose else load_design(formal_cfg)
     metadata = multi_vscale_metadata(sim_cfg)
     with Rtl2Uspec(sim_netlist, formal_netlist, metadata,
                    checker=checker, candidate_filter=candidate_filter,
                    jobs=jobs, journal=journal,
                    check_timeout=check_timeout,
-                   engine=engine) as synthesizer:
+                   engine=engine, hier=hier,
+                   compose=compose) as synthesizer:
         return synthesizer.synthesize()
 
 
@@ -106,7 +117,10 @@ __all__ = [
     "SIM_CONFIG",
     "FORMAL_CONFIG",
     "FORMAL_CONFIG_4CORE",
+    "FORMAL_CONFIG_8CORE",
+    "FORMAL_CONFIG_16CORE",
     "load_design",
+    "load_design_hier",
     "multi_vscale_metadata",
     "__version__",
 ]

@@ -103,13 +103,29 @@ def _fault_plan(spec: str):
     return parse_fault_spec(spec) if spec else None
 
 
+#: --cores value -> formal design configuration
+_FORMAL_CONFIGS = (2, 4, 8, 16)
+
+
+def _formal_config(cores: int):
+    from .designs import (
+        FORMAL_CONFIG,
+        FORMAL_CONFIG_4CORE,
+        FORMAL_CONFIG_8CORE,
+        FORMAL_CONFIG_16CORE,
+    )
+    return {2: FORMAL_CONFIG, 4: FORMAL_CONFIG_4CORE,
+            8: FORMAL_CONFIG_8CORE, 16: FORMAL_CONFIG_16CORE}[cores]
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     from . import synthesize_uspec
     from .formal import PropertyChecker
     from .uspec import format_model
 
-    checker = PropertyChecker(bound=args.bound, max_k=args.max_k,
-                              engine=args.engine)
+    engine_checker = PropertyChecker(bound=args.bound, max_k=args.max_k,
+                                     engine=args.engine)
+    checker = engine_checker
     cache = None
     if args.cache:
         from .formal import CachingPropertyChecker, VerdictCache
@@ -135,12 +151,21 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         result = synthesize_uspec(buggy=args.buggy, checker=checker,
                                   candidate_filter=candidates, jobs=args.jobs,
                                   journal=journal,
-                                  check_timeout=args.timeout or None)
+                                  check_timeout=args.timeout or None,
+                                  formal_config=_formal_config(args.cores),
+                                  compose=args.compose)
     finally:
         if journal is not None:
             journal.close()
     from .core import full_report
     print(full_report(result))
+    engine_stats = engine_checker.stats
+    print(f"engine: {int(engine_stats['checks'])} check(s), bitblast "
+          f"{int(engine_stats['blast_hits'])} hit(s) / "
+          f"{int(engine_stats['blast_misses'])} miss(es)")
+    # The digest is the A/B parity anchor: --compose and --monolithic
+    # runs of the same design must print the same value.
+    print(f"verdict digest: {result.verdict_digest()}")
     text = format_model(result.model)
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(text)
@@ -371,6 +396,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_synth.add_argument("--max-k", type=int, default=2)
     p_synth.add_argument("--candidates", default="",
                          help="comma-separated state elements to restrict analysis")
+    p_synth.add_argument("--cores", type=int, choices=_FORMAL_CONFIGS,
+                         default=2,
+                         help="formal design core count (the simulation/"
+                              "DFG side always uses the 4-core config)")
+    synth_mode = p_synth.add_mutually_exclusive_group()
+    synth_mode.add_argument("--compose", action="store_true",
+                            help="hierarchical compositional synthesis: "
+                                 "per-module obligation graphs with "
+                                 "assume-guarantee interfaces and module-"
+                                 "granularity caching (verdict digest and "
+                                 ".uarch output match --monolithic)")
+    synth_mode.add_argument("--monolithic", action="store_true",
+                            help="flatten-then-prove discharge over the "
+                                 "whole design (the default)")
     p_synth.add_argument("--cache", default="",
                          help="verdict-cache JSON file (repeat runs become fast)")
     p_synth.add_argument("--journal", default="",

@@ -46,8 +46,8 @@ from ..errors import SynthesisError
 from ..formal import PropertyChecker
 from ..formal.journal import VerdictJournal
 from ..formal.scheduler import DischargeScheduler, DischargeStats
-from ..netlist import Netlist
-from ..sva import EventSpec, InstrSpec, SvaFactory
+from ..netlist import HierNetlist, Netlist
+from ..sva import ComposedSvaFactory, EventSpec, InstrSpec, SvaFactory
 from ..uspec import Model
 from .emitter import emit_model
 from .merging import MergePlan, merge_nodes
@@ -92,6 +92,28 @@ class SynthesisResult:
     @property
     def total_seconds(self) -> float:
         return sum(p.seconds for p in self.phases)
+
+    def verdict_digest(self) -> str:
+        """Mode-independent digest of the decided SVA set: sha256 over
+        the sorted ``(signature, proven/refuted/unknown)`` pairs.
+        Compose and monolithic synthesis discharge structurally
+        different problems (module vs flat monitors, differing methods
+        and induction depths), but must agree on every obligation's
+        trichotomy — this is the A/B parity check's second half, next
+        to byte-identical ``.uarch`` output."""
+        import hashlib
+        items = []
+        for record in self.sva_records:
+            verdict = record.verdict
+            if verdict.refuted:
+                tri = "refuted"
+            elif verdict.unknown:
+                tri = "unknown"
+            else:
+                tri = "proven"
+            items.append(f"{record.signature!r} {tri}")
+        payload = "\n".join(sorted(items))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def proof_coverage(self) -> Dict[str, float]:
         """Proof-coverage summary (paper section 6.3: rtl2uspec achieves
@@ -170,7 +192,9 @@ class Rtl2Uspec:
                  jobs: int = 1,
                  journal: Optional[VerdictJournal] = None,
                  check_timeout: Optional[float] = None,
-                 engine: str = "incremental"):
+                 engine: str = "incremental",
+                 hier: Optional[HierNetlist] = None,
+                 compose: bool = False):
         metadata.validate(sim_netlist)
         self.sim_netlist = sim_netlist
         self.formal_netlist = formal_netlist
@@ -180,14 +204,29 @@ class Rtl2Uspec:
         # ignored when an explicit ``checker`` is supplied.
         self.checker = checker or PropertyChecker(bound=12, max_k=3,
                                                   engine=engine)
-        self.factory = SvaFactory(formal_netlist, metadata)
+        # ``compose`` switches to hierarchical compositional synthesis:
+        # module-scoped obligation graphs with assume-guarantee
+        # interface obligations, isomorphic-problem dedupe, and
+        # module-granularity blast sharing. ``hier`` must then carry
+        # the hierarchy-preserving elaboration of the formal design.
+        self.compose = compose
+        if compose:
+            if hier is None:
+                raise SynthesisError(
+                    "compose=True needs the hierarchical netlist (hier=...)")
+            self.factory = ComposedSvaFactory(hier, metadata)
+            #: number of core module instances obligations echo across
+            self._compose_instances = self.factory.service_bound
+        else:
+            self.factory = SvaFactory(formal_netlist, metadata)
         self.formal_cores = formal_cores
         self.relaxed = relaxed
         self.progress_horizon = progress_horizon or (metadata.num_cores + 6)
         self.candidate_filter = set(candidate_filter) if candidate_filter else None
         self.scheduler = DischargeScheduler(self.checker, self.factory, jobs=jobs,
                                             journal=journal,
-                                            timeout_seconds=check_timeout)
+                                            timeout_seconds=check_timeout,
+                                            dedupe=compose)
         # State populated during synthesis:
         self.sva_records: List[SvaRecord] = []
         self.hbi_records: List[HbiRecord] = []
@@ -232,6 +271,13 @@ class Rtl2Uspec:
             record = SvaRecord(verdict.name, obligation.category, verdict,
                               obligation.signature)
             self._verdicts[obligation.signature] = record
+            # Compose-only scaffolding obligations (per-instance echoes,
+            # assume-guarantee interface guarantees) are deliberately
+            # kept out of the SVA record set: the emitted model and the
+            # verdict digest must be mode-independent, and the emitter
+            # bakes the intra record count into the .uarch text.
+            if obligation.signature[0] in ("inst", "iface-service"):
+                continue
             self.sva_records.append(record)
             self.stats.record_sva(record)
 
@@ -313,6 +359,22 @@ class Rtl2Uspec:
                     args=(InstrSpec(0, enc), pcr_index, self.progress_horizon),
                     after=watched,
                     gate=("any-refuted", watched)))
+        if self.compose:
+            # Per-instance echo obligations: identical builder args for
+            # every further core instance, so the scheduler's
+            # fingerprint dedupe serves instances 1..N-1 from instance
+            # 0's module-level proof at zero additional checks.  They
+            # make N-core coverage explicit in the plan without
+            # entering the (mode-independent) SVA record set.
+            for instance in range(1, self._compose_instances):
+                for enc in self.md.encodings:
+                    for state, stage in self._intra_candidates:
+                        graph.add(SvaObligation(
+                            signature=("inst", instance, "a0", enc.name, state),
+                            category=INTRA,
+                            builder="never_updates",
+                            args=(InstrSpec(0, enc),
+                                  self._event_spec(state, stage))))
 
     def _consume_intra(self) -> None:
         """Fold A0/A1 verdicts into updated/accessed sets, hypothesis
@@ -594,6 +656,14 @@ class Rtl2Uspec:
             graph.add(SvaObligation(
                 signature=("attr", core), category=INTERFACE,
                 builder="attribution", args=(core,)))
+        if self.compose:
+            # Guarantee half of the assume-guarantee pair: the bounded
+            # request service the module-scoped A1 proofs assume is
+            # asserted per core slot on the arbiter's module netlist.
+            for core in range(self._compose_instances):
+                graph.add(SvaObligation(
+                    signature=("iface-service", core), category=INTERFACE,
+                    builder="interface_service", args=(core,)))
 
     def _consume_interface(self) -> None:
         if self.iface is None:
@@ -606,6 +676,14 @@ class Rtl2Uspec:
             record = self._record(("attr", core))
             if record.verdict.refuted:
                 self.bug_reports.append(record)
+        if self.compose:
+            for core in range(self._compose_instances):
+                record = self._record(("iface-service", core))
+                # A refuted guarantee means the bounded-service
+                # assumption in the module proofs is unsound for this
+                # composition: surface it like any soundness bug.
+                if record.verdict.refuted:
+                    self.bug_reports.append(record)
 
     # ------------------------------------------------------------------
     # Entry point

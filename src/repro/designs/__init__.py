@@ -11,11 +11,14 @@ from .loader import (
     unicore_metadata,
     FORMAL_CONFIG,
     FORMAL_CONFIG_4CORE,
+    FORMAL_CONFIG_8CORE,
+    FORMAL_CONFIG_16CORE,
     LW_SW_ENCODINGS,
     RTL_DIR,
     SIM_CONFIG,
     DesignConfig,
     load_design,
+    load_design_hier,
     load_single_core,
     multi_vscale_metadata,
     read_rtl_sources,
@@ -29,9 +32,12 @@ __all__ = [
     "SIM_CONFIG",
     "FORMAL_CONFIG",
     "FORMAL_CONFIG_4CORE",
+    "FORMAL_CONFIG_8CORE",
+    "FORMAL_CONFIG_16CORE",
     "LW_SW_ENCODINGS",
     "RTL_DIR",
     "load_design",
+    "load_design_hier",
     "load_single_core",
     "multi_vscale_metadata",
     "read_rtl_sources",

@@ -14,8 +14,8 @@ from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from ..core.metadata import DesignMetadata, InstructionEncoding, RequestResponseInterface
-from ..netlist import Netlist
-from ..verilog import compile_verilog
+from ..netlist import HierNetlist, Netlist
+from ..verilog import compile_verilog, compile_verilog_hier
 
 RTL_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "rtl")
 
@@ -72,6 +72,20 @@ FORMAL_CONFIG = DesignConfig(num_cores=2, xlen=8, pc_width=4,
 FORMAL_CONFIG_4CORE = DesignConfig(num_cores=4, xlen=8, pc_width=4,
                                    dmem_addr_width=2, formal=True)
 
+#: Wide formal configurations for compositional synthesis (ROADMAP item
+#: 5): at these core counts monolithic discharge is impractical, but the
+#: per-module obligation graph only ever proves ONE core instance, so
+#: synthesis cost stays near the 2-core config's.
+FORMAL_CONFIG_8CORE = DesignConfig(num_cores=8, xlen=8, pc_width=4,
+                                   dmem_addr_width=2, formal=True)
+
+#: 16-core stretch config. Note: the default A1 progress horizon
+#: (num_cores + 6 over the *simulation* metadata) is tighter than the
+#: 16-entry round-robin service bound, so compose-mode A1 obligations
+#: need an explicit wider horizon at this scale (docs/compositional.md).
+FORMAL_CONFIG_16CORE = DesignConfig(num_cores=16, xlen=8, pc_width=4,
+                                    dmem_addr_width=2, formal=True)
+
 
 def read_rtl_sources() -> str:
     """Concatenate the bundled RTL source files."""
@@ -82,8 +96,7 @@ def read_rtl_sources() -> str:
     return "\n".join(chunks)
 
 
-def load_design(config: DesignConfig = SIM_CONFIG) -> Netlist:
-    """Compile the multi-V-scale with the given configuration."""
+def _design_frontend_args(config: DesignConfig):
     defines: Dict[str, str] = {}
     if config.formal:
         defines["FORMAL"] = "1"
@@ -98,8 +111,23 @@ def load_design(config: DesignConfig = SIM_CONFIG) -> Netlist:
         "DMEM_ADDR_WIDTH": config.dmem_addr_width,
         "CORE_ID_WIDTH": config.core_id_width,
     }
+    return params, defines
+
+
+def load_design(config: DesignConfig = SIM_CONFIG) -> Netlist:
+    """Compile the multi-V-scale with the given configuration."""
+    params, defines = _design_frontend_args(config)
     return compile_verilog(read_rtl_sources(), "multi_vscale",
                            params=params, defines=defines)
+
+
+def load_design_hier(config: DesignConfig = SIM_CONFIG) -> HierNetlist:
+    """Hierarchy-preserving variant of :func:`load_design` — same flat
+    netlist (``flatten()`` is fingerprint-identical) plus per-module
+    netlists and instance boundary records for compositional synthesis."""
+    params, defines = _design_frontend_args(config)
+    return compile_verilog_hier(read_rtl_sources(), "multi_vscale",
+                                params=params, defines=defines)
 
 
 def load_single_core(config: DesignConfig = SIM_CONFIG) -> Netlist:

@@ -7,7 +7,7 @@ it either proves an assertion or refutes it with a counterexample trace.
 
 from .aig import Aig, lit_neg
 from .aiger import export_problem, write_aiger
-from .bitblast import BlastCache, BlastedDesign, bitblast
+from .bitblast import BlastCache, BlastedDesign, bitblast, extend_bitblast
 from .cache import CachingPropertyChecker, VerdictCache, problem_fingerprint
 from .engine import (
     ENGINES,
@@ -34,6 +34,7 @@ __all__ = [
     "export_problem",
     "lit_neg",
     "bitblast",
+    "extend_bitblast",
     "BlastCache",
     "ENGINES",
     "VerdictCache",

@@ -218,6 +218,23 @@ class Aig:
             acc = self.add_vector(acc, gated)
         return acc
 
+    def copy(self) -> "Aig":
+        """An independent duplicate; extending the copy (new inputs,
+        latches, AND nodes) leaves this AIG untouched.  Structural
+        hashes carry over, so nodes added to the copy dedupe against
+        the shared prefix."""
+        dup = Aig.__new__(Aig)
+        dup.kind = list(self.kind)
+        dup.fanin0 = list(self.fanin0)
+        dup.fanin1 = list(self.fanin1)
+        dup.tag = list(self.tag)
+        dup.latch_init = dict(self.latch_init)
+        dup.latch_next = dict(self.latch_next)
+        dup.inputs = list(self.inputs)
+        dup.latches = list(self.latches)
+        dup._strash = dict(self._strash)
+        return dup
+
     def num_nodes(self) -> int:
         return len(self.kind)
 

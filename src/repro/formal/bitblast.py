@@ -150,6 +150,107 @@ def bitblast(netlist: Netlist, frozen_inputs: Sequence[str] = ()) -> BlastedDesi
     return BlastedDesign(netlist, aig, wire_lits, mem_cell_lits, frozen_inputs)
 
 
+def extend_bitblast(base: BlastedDesign, netlist: Netlist,
+                    frozen_inputs: Sequence[str] = ()) -> BlastedDesign:
+    """Blast only the delta of ``netlist`` over an already blasted base.
+
+    ``netlist`` must be a monotone extension of ``base.netlist`` — a
+    ``Netlist.copy()`` of it with wires/inputs/DFFs/cells/read ports
+    appended (exactly what :class:`MonitorContext` produces in
+    share-base mode).  The shared design prefix is copied from
+    ``base`` instead of being re-blasted, which is what lets N monitor
+    circuits over one module netlist pay the blast cost once.
+    """
+    base_nl = base.netlist
+    for mem_name, mem in base_nl.memories.items():
+        new_mem = netlist.memories.get(mem_name)
+        if new_mem is None or len(new_mem.write_ports) != len(mem.write_ports):
+            raise FormalError("extend_bitblast: base memories must be "
+                              "extended by read ports only")
+    if len(netlist.memories) != len(base_nl.memories):
+        raise FormalError("extend_bitblast: extension may not add memories")
+    if netlist.cells[:len(base_nl.cells)] != base_nl.cells:
+        raise FormalError("extend_bitblast: netlist is not an extension "
+                          "of the blasted base")
+
+    frozen = set(frozen_inputs)
+    for name in frozen:
+        if name not in netlist.inputs:
+            raise FormalError(f"frozen input {name!r} is not a design input")
+
+    aig = base.aig.copy()
+    wire_lits: Dict[str, List[int]] = dict(base.wire_lits)
+    mem_cell_lits: Dict[str, List[List[int]]] = {
+        name: [list(cell) for cell in cells]
+        for name, cells in base.mem_cell_lits.items()
+    }
+
+    # Delta inputs (symbolic constants / free monitor inputs).
+    for name, width in netlist.inputs.items():
+        if name in base_nl.inputs:
+            continue
+        wire_lits[name] = [aig.new_input(name, bit) for bit in range(width)]
+
+    # Delta DFF latches first: monitor builders reference q wires in
+    # cells created before the matching add_dff call.
+    delta_dffs = [dff for key, dff in netlist.dffs.items()
+                  if key not in base_nl.dffs]
+    for dff in delta_dffs:
+        wire_lits[dff.q] = [
+            aig.new_latch(dff.q, bit, (dff.init >> bit) & 1)
+            for bit in range(dff.width)
+        ]
+
+    def resolve(ref: SignalRef) -> List[int]:
+        if isinstance(ref, Const):
+            return aig.const_vector(ref.value, ref.width)
+        lits = wire_lits.get(ref)
+        if lits is None:
+            raise FormalError(f"extend_bitblast: wire {ref!r} not yet computed")
+        return lits
+
+    # Delta read ports on base memories, resolvable on demand (the base
+    # blast already computed every base read port).
+    read_port_by_data = {}
+    for mem in netlist.memories.values():
+        base_ports = len(base_nl.memories[mem.name].read_ports)
+        for port in mem.read_ports[base_ports:]:
+            read_port_by_data[port.data] = port
+
+    def blast_read_port(port) -> None:
+        mem = netlist.memories[port.memory]
+        addr_lits = resolve(port.addr)
+        cells = mem_cell_lits[port.memory]
+        result = aig.const_vector(0, mem.width)
+        for addr in range(mem.depth):
+            sel = aig.eq_vector(addr_lits, aig.const_vector(addr, len(addr_lits)))
+            result = aig.mux_vector(sel, cells[addr], result)
+        wire_lits[port.data] = result
+
+    def ensure(ref: SignalRef) -> List[int]:
+        if isinstance(ref, str) and ref not in wire_lits and ref in read_port_by_data:
+            blast_read_port(read_port_by_data[ref])
+        return resolve(ref)
+
+    # Monitor cells are appended operand-first, so list order is a
+    # valid evaluation order for the delta.
+    for cell in netlist.cells[len(base_nl.cells):]:
+        operands = [ensure(ref) for ref in cell.inputs]
+        out_width = netlist.wires[cell.output].width
+        wire_lits[cell.output] = _blast_cell(aig, cell, operands, out_width)
+
+    for data, port in read_port_by_data.items():
+        if data not in wire_lits:
+            blast_read_port(port)
+
+    for dff in delta_dffs:
+        next_lits = resolve(dff.d)
+        for bit, q_lit in enumerate(wire_lits[dff.q]):
+            aig.set_latch_next(q_lit, next_lits[bit])
+
+    return BlastedDesign(netlist, aig, wire_lits, mem_cell_lits, frozen_inputs)
+
+
 def _blast_cell(aig: Aig, cell: Cell, operands: List[List[int]], out_width: int) -> List[int]:
     op = cell.op
     if op == "not":

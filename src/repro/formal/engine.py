@@ -54,7 +54,7 @@ from typing import Dict, List, Optional, Tuple
 from ..netlist import Netlist, cone_of_influence
 from ..sat import UNSAT, Cnf, Solver
 from ..sat import UNKNOWN as _SAT_UNKNOWN
-from .bitblast import BlastCache, BlastedDesign, bitblast
+from .bitblast import BlastCache, BlastedDesign, bitblast, extend_bitblast
 from .trace import Trace, extract_trace
 from .unroll import Unroller
 
@@ -82,6 +82,11 @@ class SafetyProblem:
     frozen_inputs: List[str] = field(default_factory=list)
     reset_input: str = "reset"
     name: str = "property"
+    #: shared design the monitor netlist extends (share-base mode): the
+    #: checker blasts ``base`` once via the BlastCache and only blasts
+    #: the monitor delta per problem, so every problem over the same
+    #: module after the first is a blast hit
+    base: Optional[Netlist] = None
 
     def roots(self) -> List[str]:
         return list(self.assume_wires) + list(self.assert_wires)
@@ -240,6 +245,18 @@ class PropertyChecker:
     def _blast(self, problem: SafetyProblem) -> Tuple[Netlist, BlastedDesign]:
         """COI-reduce and bit-blast the problem, via the shared cache
         when ``share_bitblast`` is enabled."""
+        if problem.base is not None and self._blast_cache is not None:
+            # Share-base path: the (module) base design is blasted whole
+            # once — no COI, so one cache entry serves every monitor —
+            # and only the monitor delta is blasted per problem.
+            hits0 = self._blast_cache.hits
+            misses0 = self._blast_cache.misses
+            _, base_blasted = self._blast_cache.get(problem.base, (), (), False)
+            self.stats["blast_hits"] += self._blast_cache.hits - hits0
+            self.stats["blast_misses"] += self._blast_cache.misses - misses0
+            design = extend_bitblast(base_blasted, problem.netlist,
+                                     problem.frozen_inputs)
+            return problem.netlist, design
         if self._blast_cache is not None:
             hits0 = self._blast_cache.hits
             misses0 = self._blast_cache.misses

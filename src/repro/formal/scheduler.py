@@ -50,7 +50,7 @@ import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import DischargeTimeout, FormalError, WorkerCrashError
@@ -129,6 +129,9 @@ class DischargeStats:
     garbage_verdicts: int = 0  # malformed verdicts rejected by validation
     inline_fallbacks: int = 0  # obligations that fell back to the parent
     unknowns: int = 0         # first-class UNKNOWN verdicts (budget hits)
+    fingerprint_dedup: int = 0  # isomorphic problems served from a prior run
+    #: module name -> {"executed": n, "dedupe": m} for share-base problems
+    per_module: Dict[str, Dict[str, int]] = field(default_factory=dict)
     wall_seconds: float = 0.0
     check_seconds: float = 0.0  # sum of per-verdict times (CPU, not wall)
 
@@ -158,6 +161,14 @@ class DischargeStats:
         if self.unknowns:
             lines.append(f"  {self.unknowns} UNKNOWN verdict(s) "
                          "(budget exhausted; treated conservatively)")
+        if self.fingerprint_dedup or self.per_module:
+            detail = ", ".join(
+                f"{module}: {counts.get('executed', 0)} executed / "
+                f"{counts.get('dedupe', 0)} deduped"
+                for module, counts in sorted(self.per_module.items()))
+            lines.append(
+                f"  module dedupe: {self.fingerprint_dedup} isomorphic "
+                f"problem(s) served without a check ({detail})")
         lines.append(
             f"  wall {self.wall_seconds:.2f} s, checker time "
             f"{self.check_seconds:.2f} s, {self.pool_tasks} pool task(s)")
@@ -190,9 +201,15 @@ class DischargeScheduler:
                  timeout_seconds: Optional[float] = None,
                  watchdog_seconds: Optional[float] = None,
                  max_retries: int = 3,
-                 retry_backoff: float = 0.05):
+                 retry_backoff: float = 0.05,
+                 dedupe: bool = False):
         self.jobs = resolve_jobs(jobs)
         self.factory = factory
+        #: compose mode: fingerprint share-base problems at plan time and
+        #: serve isomorphic repeats (N identical module instances) from
+        #: the first instance's verdict instead of spawning a check
+        self.dedupe = dedupe
+        self._decided: Dict[str, Verdict] = {}
         if isinstance(checker, CachingPropertyChecker):
             self._engine: PropertyChecker = checker.checker
             self._cache: Optional[VerdictCache] = checker.cache
@@ -278,10 +295,14 @@ class DischargeScheduler:
         to_run: List[int] = []
         problems: Dict[int, object] = {}
         fingerprints: Dict[int, str] = {}
+        #: fingerprint -> primary index running it on behalf of followers
+        dedupe_primary: Dict[str, int] = {}
+        dedupe_followers: Dict[str, List[int]] = {}
 
-        if self._cache is not None or self._journal is not None:
+        if self._cache is not None or self._journal is not None or self.dedupe:
             # Plan-time probes: journal first (resumed verdicts), then
-            # the cache; only misses are ever executed.
+            # isomorphic-problem dedupe, then the cache; only misses are
+            # ever executed.
             for index, obligation in enumerate(batch):
                 problem = obligation.build(self.factory)
                 problems[index] = problem
@@ -295,17 +316,38 @@ class DischargeScheduler:
                     outcomes[index] = journaled
                     self.stats.journal_hits += 1
                     continue
+                # Any two problems with equal fingerprints are the same
+                # netlist + property: echo obligations over full-design
+                # problems (resource states) dedupe exactly like module-
+                # scoped ones do.
+                dedupable = self.dedupe
+                if dedupable:
+                    prior = self._decided.get(fingerprint)
+                    if prior is not None:
+                        outcomes[index] = replace(prior, name=problem.name)
+                        self._count_dedupe(problem)
+                        continue
+                    if fingerprint in dedupe_primary:
+                        dedupe_followers.setdefault(fingerprint, []).append(index)
+                        self._count_dedupe(problem)
+                        continue
                 if self._cache is None:
+                    if dedupable:
+                        dedupe_primary[fingerprint] = index
                     to_run.append(index)
                     continue
                 cached = self._cache.lookup(fingerprint)
                 if cached is None:
                     self.stats.cache_misses += 1
+                    if dedupable:
+                        dedupe_primary[fingerprint] = index
                     to_run.append(index)
                 elif cached.refuted and self._need_traces:
                     # The cache stores no traces; re-run for the CEX.
                     self._cache.trace_reruns += 1
                     self.stats.trace_reruns += 1
+                    if dedupable:
+                        dedupe_primary[fingerprint] = index
                     to_run.append(index)
                 else:
                     cached.name = problem.name
@@ -333,6 +375,26 @@ class DischargeScheduler:
                     problem = batch[index].build(self.factory)
                 outcomes[index] = self._check_inline(
                     batch[index], problem, task_indices[index])
+
+        # Serve isomorphic followers from their primary's verdict, and
+        # remember decided share-base fingerprints across batches so the
+        # next wave of an identical module instance costs nothing.
+        for fingerprint, follower_indices in dedupe_followers.items():
+            primary = outcomes[dedupe_primary[fingerprint]]
+            if primary is None:
+                continue
+            for follower in follower_indices:
+                outcomes[follower] = replace(
+                    primary, name=problems[follower].name)
+        if self.dedupe:
+            for index in to_run:
+                verdict = outcomes[index]
+                problem = problems.get(index)
+                if verdict is None or problem is None:
+                    continue
+                self._count_executed(problem)
+                if not verdict.unknown:
+                    self._decided.setdefault(fingerprints[index], verdict)
 
         if self._cache is not None:
             for index in to_run:
@@ -486,6 +548,21 @@ class DischargeScheduler:
     def _check_once(self, problem, task_index: int, attempt: int) -> Verdict:
         params = replace(self._params, task_index=task_index, attempt=attempt)
         return self._engine.check_problem(problem, params)
+
+    # ------------------------------------------------------------------
+    # Module-granularity dedupe accounting
+    # ------------------------------------------------------------------
+    def _module_counts(self, problem) -> Dict[str, int]:
+        module = problem.netlist.name.split("$", 1)[0]
+        return self.stats.per_module.setdefault(
+            module, {"executed": 0, "dedupe": 0})
+
+    def _count_dedupe(self, problem) -> None:
+        self.stats.fingerprint_dedup += 1
+        self._module_counts(problem)["dedupe"] += 1
+
+    def _count_executed(self, problem) -> None:
+        self._module_counts(problem)["executed"] += 1
 
     def _count_failure(self, exc: Exception) -> None:
         if isinstance(exc, DischargeTimeout):

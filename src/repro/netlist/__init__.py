@@ -5,6 +5,7 @@ Produced by ``repro.verilog`` elaboration; consumed by ``repro.dfg``
 and ``repro.formal`` (bit-blasting for property checks).
 """
 
+from .hier import HierNetlist, InstanceInterface, InstancePort
 from .ir import (
     ARITH_OPS,
     BITWISE_OPS,
@@ -34,6 +35,9 @@ from .verilog_out import write_verilog
 
 __all__ = [
     "Netlist",
+    "HierNetlist",
+    "InstanceInterface",
+    "InstancePort",
     "Wire",
     "Cell",
     "Const",

@@ -7,5 +7,7 @@ builder callables for the parallel discharge scheduler.
 from .builders import BUILDERS
 from .monitor import MonitorContext
 from .templates import EventSpec, InstrSpec, SvaFactory
+from .compose import ComposedSvaFactory
 
-__all__ = ["MonitorContext", "SvaFactory", "InstrSpec", "EventSpec", "BUILDERS"]
+__all__ = ["MonitorContext", "SvaFactory", "ComposedSvaFactory",
+           "InstrSpec", "EventSpec", "BUILDERS"]

@@ -57,6 +57,12 @@ def functional_correctness(factory):
     return factory.functional_correctness()
 
 
+def interface_service(factory, core):
+    """Arbiter-side bounded-service guarantee (compose mode only: the
+    factory must be a :class:`repro.sva.compose.ComposedSvaFactory`)."""
+    return factory.interface_service(core)
+
+
 #: builder-name -> callable registry used by obligations and workers
 BUILDERS = {
     "never_updates": never_updates,
@@ -67,4 +73,5 @@ BUILDERS = {
     "req_proc": req_proc,
     "attribution": attribution,
     "functional_correctness": functional_correctness,
+    "interface_service": interface_service,
 }

@@ -27,10 +27,13 @@ class MonitorContext:
     """Builds one property's monitor over a private copy of the design."""
 
     def __init__(self, base: Netlist, name: str = "property",
-                 reset: str = "reset"):
+                 reset: str = "reset", share_base: bool = False):
         self.netlist = base.copy(f"{base.name}${name}")
         self.name = name
         self.reset = reset
+        #: with ``share_base`` the emitted problem records ``base`` so
+        #: the engine can bit-blast it once and extend per monitor
+        self._base = base if share_base else None
         self.assume_wires: List[str] = []
         self.assert_wires: List[str] = []
         self.frozen_inputs: List[str] = []
@@ -253,4 +256,5 @@ class MonitorContext:
             frozen_inputs=list(self.frozen_inputs),
             reset_input=self.reset,
             name=self.name,
+            base=self._base,
         )

@@ -86,6 +86,11 @@ class EventSpec:
 class SvaFactory:
     """Builds :class:`SafetyProblem` instances over the formal design."""
 
+    #: subclasses set this so every problem records its base netlist,
+    #: letting the engine bit-blast the design once per base and extend
+    #: it with each monitor's delta (compose mode)
+    share_base = False
+
     def __init__(self, base: Netlist, metadata: DesignMetadata):
         self.base = base
         self.md = metadata
@@ -97,6 +102,16 @@ class SvaFactory:
     # ------------------------------------------------------------------
     # Shared construction helpers
     # ------------------------------------------------------------------
+    def _ctx(self, name: str) -> MonitorContext:
+        return MonitorContext(self.base, name, reset=self.md.reset,
+                              share_base=self.share_base)
+
+    def _module_assumes(self, ctx: MonitorContext) -> None:
+        """Hook for compositional subclasses: environment assumptions a
+        module-scoped progress proof needs (the assume half of an
+        assume-guarantee pair).  The monolithic factory needs none —
+        the whole environment is in the netlist."""
+
     def _pcr(self, ctx: MonitorContext, core: int, index: int) -> str:
         """PCR[index] for a core; index -1 is the IM_PC; indexes past the
         array are virtual (delayed copies of the last PCR)."""
@@ -194,8 +209,7 @@ class SvaFactory:
     def never_updates(self, spec: InstrSpec, event: EventSpec,
                       name: Optional[str] = None) -> SafetyProblem:
         """A0: instructions of this type never update ``event.state``."""
-        ctx = MonitorContext(self.base, name or f"a0[{spec.label()}][{event.state}]",
-                             reset=self.md.reset)
+        ctx = self._ctx(name or f"a0[{spec.label()}][{event.state}]")
         pc_sym, _instr, _occ = self._track_instruction(ctx, spec, "0")
         # A0 asks *whether* s is ever updated on op's behalf, so it uses
         # the paper's value-change form directly (Fig. 4a: s == $past(s))
@@ -218,9 +232,9 @@ class SvaFactory:
                  name: Optional[str] = None) -> SafetyProblem:
         """A1: instructions of this type spend at most ``horizon`` cycles
         occupying ``stage`` (bounded forward progress)."""
-        ctx = MonitorContext(self.base, name or f"a1[{spec.label()}][s{stage}]",
-                             reset=self.md.reset)
+        ctx = self._ctx(name or f"a1[{spec.label()}][s{stage}]")
         pc_sym, _instr, _occ0 = self._track_instruction(ctx, spec, "0")
+        self._module_assumes(ctx)
         pcr = self._pcr(ctx, spec.core, stage)
         occupied = ctx.eq(pcr, pc_sym)
         width = max(4, horizon.bit_length() + 1)
@@ -244,7 +258,7 @@ class SvaFactory:
         direction = "inv" if inverted else "fwd"
         label = name or (f"order[{spec0.label()}:{event0.state}->"
                          f"{spec1.label()}:{event1.state}][{direction}]")
-        ctx = MonitorContext(self.base, label, reset=self.md.reset)
+        ctx = self._ctx(label)
         pc0, _i0, _o0 = self._track_instruction(ctx, spec0, "0")
         pc1, _i1, _o1 = self._track_instruction(ctx, spec1, "1")
         if reference == "po":
@@ -267,7 +281,7 @@ class SvaFactory:
         if self.iface is None:
             raise PropertyError("no request-response interface in metadata")
         label = name or f"req-snd[{spec0.label()},{spec1.label()}]"
-        ctx = MonitorContext(self.base, label, reset=self.md.reset)
+        ctx = self._ctx(label)
         pc0, _i0, _o0 = self._track_instruction(ctx, spec0, "0")
         pc1, _i1, _o1 = self._track_instruction(ctx, spec1, "1")
         self._assume_program_order(ctx, spec0, spec1, pc0, pc1)
@@ -285,7 +299,7 @@ class SvaFactory:
         order (and here, the cycle) they were sent."""
         if self.iface is None:
             raise PropertyError("no request-response interface in metadata")
-        ctx = MonitorContext(self.base, name or f"req-rec[c{core}]", reset=self.md.reset)
+        ctx = self._ctx(name or f"req-rec[c{core}]")
         iface = self.iface
         sent = self.md.core_signal(iface.core_req_sent, core)
         core_id_width = ctx.width_of(iface.mem_req_core)
@@ -300,7 +314,7 @@ class SvaFactory:
         the order received (here: exactly one cycle after reception)."""
         if self.iface is None:
             raise PropertyError("no request-response interface in metadata")
-        ctx = MonitorContext(self.base, name or f"req-proc[c{core}]", reset=self.md.reset)
+        ctx = self._ctx(name or f"req-proc[c{core}]")
         iface = self.iface
         core_id_width = ctx.width_of(iface.mem_req_core)
         received = ctx.and_(iface.mem_req_valid,
@@ -322,8 +336,7 @@ class SvaFactory:
         iface = self.iface
         if iface.resp_valid is None or iface.resp_data is None:
             raise PropertyError("interface metadata declares no response signals")
-        ctx = MonitorContext(self.base, name or "functional[mem]",
-                             reset=self.md.reset)
+        ctx = self._ctx(name or "functional[mem]")
         mem = ctx.netlist.memories.get(iface.resource)
         if mem is None:
             raise PropertyError(f"resource {iface.resource!r} is not a memory array")
@@ -342,7 +355,7 @@ class SvaFactory:
         """
         if self.iface is None:
             raise PropertyError("no request-response interface in metadata")
-        ctx = MonitorContext(self.base, name or f"attr[c{core}]", reset=self.md.reset)
+        ctx = self._ctx(name or f"attr[c{core}]")
         iface = self.iface
         md = self.md
         ifr = md.core_signal(md.ifr, core)

@@ -7,7 +7,7 @@ The frontend replaces the commercial Verific+Yosys flow of the paper
 
 from typing import Dict, List, Optional
 
-from ..netlist import Netlist
+from ..netlist import HierNetlist, Netlist
 from .ast import Module, SourceFile
 from .elaborator import Elaborator, elaborate
 from .lexer import tokenize
@@ -27,6 +27,30 @@ def compile_verilog(source: str, top: str,
     text = preprocess(source, dict(defines or {}), include_dirs)
     parsed = parse(text)
     return elaborate(parsed, top, params)
+
+
+def compile_verilog_hier(source: str, top: str,
+                         params: Optional[Dict[str, int]] = None,
+                         defines: Optional[Dict[str, str]] = None,
+                         include_dirs: Optional[List[str]] = None) -> HierNetlist:
+    """Hierarchy-preserving frontend for compositional synthesis.
+
+    Produces the same flattened netlist as :func:`compile_verilog`
+    (``HierNetlist.flatten()`` is fingerprint-identical), plus a typed
+    boundary record per instance and one standalone netlist per unique
+    (module, resolved-params) definition with all inputs free.
+    """
+    text = preprocess(source, dict(defines or {}), include_dirs)
+    parsed = parse(text)
+    flat_elab = Elaborator(parsed, top, params, keep_hierarchy=True)
+    flat = flat_elab.elaborate()
+    hier = HierNetlist(flat=flat, instances=list(flat_elab.hierarchy))
+    for inst in hier.instances:
+        if inst.module_key in hier.module_netlists:
+            continue
+        module_elab = Elaborator(parsed, inst.module, dict(inst.params))
+        hier.module_netlists[inst.module_key] = module_elab.elaborate()
+    return hier
 
 
 def compile_files(paths: List[str], top: str,
@@ -49,6 +73,7 @@ __all__ = [
     "elaborate",
     "Elaborator",
     "compile_verilog",
+    "compile_verilog_hier",
     "compile_files",
     "Module",
     "SourceFile",

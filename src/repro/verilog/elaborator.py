@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ElaborationError
-from ..netlist import Const, Netlist, SignalRef
+from ..netlist import Const, InstanceInterface, InstancePort, Netlist, SignalRef
 from . import ast
 
 # ---------------------------------------------------------------------------
@@ -62,12 +62,17 @@ class Elaborator:
     """Drives elaboration of one top module into a :class:`Netlist`."""
 
     def __init__(self, source: ast.SourceFile, top: str,
-                 params: Optional[Dict[str, int]] = None):
+                 params: Optional[Dict[str, int]] = None,
+                 keep_hierarchy: bool = False):
         if top not in source.modules:
             raise ElaborationError(f"top module {top!r} not found; have {sorted(source.modules)}")
         self.source = source
         self.top = top
         self.top_params = dict(params or {})
+        self.keep_hierarchy = keep_hierarchy
+        # Boundary records of every instance, appended as each child is
+        # elaborated (innermost first). Only filled when keep_hierarchy.
+        self.hierarchy: List[InstanceInterface] = []
         self.netlist = Netlist(top)
         self.clock_name: Optional[str] = None
         # Signals assigned by clocked blocks (future DFF outputs), keyed by netname.
@@ -250,6 +255,17 @@ class Elaborator:
                 port_map[pname] = None
                 output_conns.append((port, expr))
         child_scope = self._instantiate(child_module, child_prefix, overrides, port_map, scope)
+        if self.keep_hierarchy:
+            resolved = tuple(sorted((p.name, child_scope.params[p.name])
+                                    for p in child_module.params))
+            boundary = tuple(
+                InstancePort(name=p.name, direction=p.direction,
+                             width=child_scope.signals[p.name][1],
+                             flat_wire=child_scope.signals[p.name][0])
+                for p in child_module.ports)
+            self.hierarchy.append(
+                InstanceInterface(path=child_prefix, module=inst.module,
+                                  params=resolved, ports=boundary))
         # Wire outputs into the parent.
         for port, expr in output_conns:
             netname, width = child_scope.signals[port.name]
@@ -304,7 +320,10 @@ class Elaborator:
             cond = self._const_eval_with(expr.cond, scope, extra)
             branch = expr.if_true if cond else expr.if_false
             return self._const_eval_with(branch, scope, extra)
-        raise ElaborationError(f"expression is not elaboration-constant: {type(expr).__name__}")
+        line = getattr(expr, "line", 0)
+        where = f" (line {line})" if line else ""
+        raise ElaborationError(
+            f"expression is not elaboration-constant: {type(expr).__name__}{where}")
 
     def _range_width(self, rng: Optional[ast.Range], scope: _ModuleScope) -> int:
         if rng is None:

@@ -1,0 +1,131 @@
+"""Hierarchical elaboration: flatten parity, boundary records, and the
+small fixes riding along (DesignConfig derived widths, elaborator
+error locations)."""
+
+import os
+
+import pytest
+
+from repro.designs import (
+    FORMAL_CONFIG,
+    FORMAL_CONFIG_8CORE,
+    FORMAL_CONFIG_16CORE,
+    DesignConfig,
+    load_design,
+    load_design_hier,
+)
+from repro.designs.loader import RTL_DIR
+from repro.errors import ElaborationError
+from repro.netlist import netlist_fingerprint
+from repro.verilog import compile_verilog, compile_verilog_hier
+
+#: The exact RTL boundary ports of vscale_core, in declaration order.
+VSCALE_CORE_PORTS = [
+    ("clk", "input"),
+    ("reset", "input"),
+    ("imem_addr", "output"),
+    ("imem_rdata", "input"),
+    ("dmem_req_valid", "output"),
+    ("dmem_req_write", "output"),
+    ("dmem_req_addr", "output"),
+    ("dmem_req_data", "output"),
+    ("dmem_req_ready", "input"),
+    ("dmem_resp_valid", "input"),
+    ("dmem_resp_data", "input"),
+]
+
+
+def _unicore_source():
+    with open(os.path.join(RTL_DIR, "unicore.v"), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+class TestFlattenParity:
+    def test_multi_vscale_flatten_is_byte_identical(self):
+        flat = load_design(FORMAL_CONFIG)
+        hier = load_design_hier(FORMAL_CONFIG)
+        assert netlist_fingerprint(hier.flatten()) == netlist_fingerprint(flat)
+
+    def test_unicore_flatten_is_byte_identical(self):
+        source = _unicore_source()
+        params = {"XLEN": 16, "PCW": 4, "AW": 3}
+        flat = compile_verilog(source, "unicore", params=params,
+                               defines={"FORMAL": "1"})
+        hier = compile_verilog_hier(source, "unicore", params=params,
+                                    defines={"FORMAL": "1"})
+        assert netlist_fingerprint(hier.flatten()) == netlist_fingerprint(flat)
+        assert hier.instances, "unicore has sub-instances (dstore)"
+
+
+class TestInstanceBoundaries:
+    def test_core_interface_names_exact_rtl_ports(self):
+        hier = load_design_hier(FORMAL_CONFIG)
+        core = hier.instance_at("core_gen[0].core")
+        assert [(p.name, p.direction) for p in core.ports] == VSCALE_CORE_PORTS
+        assert core.port("dmem_req_data").width == FORMAL_CONFIG.xlen
+        assert core.port("dmem_req_addr").width == FORMAL_CONFIG.dmem_addr_width
+        assert core.port("dmem_req_valid").flat_wire == \
+            "core_gen[0].core.dmem_req_valid"
+
+    def test_identical_cores_share_one_module_netlist(self):
+        hier = load_design_hier(FORMAL_CONFIG_8CORE)
+        cores = hier.instances_of("vscale_core")
+        assert len(cores) == 8
+        assert len({inst.module_key for inst in cores}) == 1
+        module = hier.module_netlist(cores[0])
+        assert module.name == "vscale_core"
+        # Standalone elaboration leaves every boundary input free.
+        for name in ("imem_rdata", "dmem_req_ready", "dmem_resp_valid",
+                     "dmem_resp_data", "reset"):
+            assert name in module.inputs
+
+    def test_module_netlists_are_isomorphic_across_core_counts(self):
+        fp2 = netlist_fingerprint(
+            load_design_hier(FORMAL_CONFIG).module_netlist(
+                load_design_hier(FORMAL_CONFIG).instance_at("core_gen[0].core")))
+        h8 = load_design_hier(FORMAL_CONFIG_8CORE)
+        fp8 = netlist_fingerprint(
+            h8.module_netlist(h8.instance_at("core_gen[5].core")))
+        assert fp2 == fp8
+
+    def test_find_instance_locates_arbiter_structurally(self):
+        hier = load_design_hier(FORMAL_CONFIG)
+        arb = hier.find_instance(["core_req_valid", "core_req_ready"])
+        assert arb is not None and arb.module == "arbiter"
+        assert hier.find_instance(["no_such_port"]) is None
+
+
+class TestDesignConfigWidths:
+    @pytest.mark.parametrize("cores,id_width", [
+        (1, 1), (2, 1), (4, 2), (8, 3), (16, 4)])
+    def test_core_id_width(self, cores, id_width):
+        assert DesignConfig(num_cores=cores).core_id_width == id_width
+
+    @pytest.mark.parametrize("addr_width,depth", [(2, 4), (4, 16)])
+    def test_dmem_depth(self, addr_width, depth):
+        assert DesignConfig(dmem_addr_width=addr_width).dmem_depth == depth
+
+    @pytest.mark.parametrize("pc_width,depth", [(4, 16), (6, 64)])
+    def test_imem_depth(self, pc_width, depth):
+        assert DesignConfig(pc_width=pc_width).imem_depth == depth
+
+    def test_wide_formal_configs(self):
+        assert FORMAL_CONFIG_8CORE.num_cores == 8
+        assert FORMAL_CONFIG_8CORE.core_id_width == 3
+        assert FORMAL_CONFIG_16CORE.num_cores == 16
+        assert FORMAL_CONFIG_16CORE.core_id_width == 4
+        assert FORMAL_CONFIG_8CORE.formal and FORMAL_CONFIG_16CORE.formal
+
+
+class TestElaboratorErrorLocation:
+    def test_non_constant_expression_reports_line(self):
+        source = """
+module m(input [3:0] a, output [3:0] y);
+  wire [{2'd1, 2'd0}:0] w;
+  assign y = a;
+endmodule
+"""
+        with pytest.raises(ElaborationError) as err:
+            compile_verilog(source, "m")
+        assert "line" in str(err.value)
+        assert "not elaboration-constant" in str(err.value)
