@@ -60,6 +60,10 @@ class ExactnessReport:
     undecided: List[Tuple[str, Tuple]] = field(default_factory=list)
     #: programs replayed from a resume journal (diagnostic, not digested)
     resumed: int = 0
+    #: corrupt/torn journal records dropped (and re-swept) on resume
+    quarantined_records: int = 0
+    #: where the dropped journal bytes were moved (None if clean)
+    quarantined_path: Optional[str] = None
 
     @property
     def exact(self) -> bool:
@@ -75,7 +79,13 @@ class ExactnessReport:
             if self.undecided:
                 parts.append(f"{len(self.undecided)} undecided")
             status = " / ".join(parts)
-        note = f" ({self.resumed} resumed)" if self.resumed else ""
+        notes = []
+        if self.resumed:
+            notes.append(f"{self.resumed} resumed")
+        if self.quarantined_records:
+            notes.append(f"{self.quarantined_records} journal record(s) "
+                         f"quarantined")
+        note = f" ({', '.join(notes)})" if notes else ""
         return (f"{self.programs} programs, {self.outcomes_checked} outcomes "
                 f"checked{note}: {status}")
 

@@ -61,6 +61,10 @@ class SuiteRunResult:
     resumed: int = 0
     pool_stats: PoolStats = field(default_factory=PoolStats)
     journal_path: Optional[str] = None
+    #: corrupt/torn journal records dropped (and re-executed) on resume
+    quarantined_records: int = 0
+    #: where the dropped journal bytes were moved (None if clean)
+    quarantined_path: Optional[str] = None
 
 
 def run_suite(model: Model, tests: Iterable[LitmusTest], *,
@@ -88,6 +92,8 @@ def run_suite(model: Model, tests: Iterable[LitmusTest], *,
         fp_model = model_fingerprint(model)
         fingerprints = [test_fingerprint(fp_model, test) for test in tests]
         journal = SuiteJournal(journal_path, resume=resume)
+        result.quarantined_records = journal.quarantined_records
+        result.quarantined_path = journal.quarantined
         for index, fingerprint in enumerate(fingerprints):
             replayed = journal.lookup(fingerprint)
             if replayed is not None:
@@ -168,6 +174,8 @@ def run_sweep(model: Model, *, max_threads: int = 2, max_len: int = 2,
         fingerprints = [program_fingerprint(fp_model, program)
                         for program in programs]
         journal = SweepJournal(journal_path, resume=resume)
+        report.quarantined_records = journal.quarantined_records
+        report.quarantined_path = journal.quarantined
         for index, fingerprint in enumerate(fingerprints):
             replayed = journal.lookup(fingerprint)
             if replayed is not None:

@@ -248,7 +248,8 @@ def suite_digest(verdicts: Sequence[TestVerdict]) -> str:
 
 def suite_report_json(verdicts: Sequence[TestVerdict], model: str = "",
                       engine: str = "", jobs: int = 1,
-                      deterministic: bool = False) -> Dict:
+                      deterministic: bool = False,
+                      quarantined_records: int = 0) -> Dict:
     """The ``--report-json`` artifact: verdicts + per-test stats.
 
     ``digest`` covers only the verdict projection, so it is identical
@@ -278,6 +279,11 @@ def suite_report_json(verdicts: Sequence[TestVerdict], model: str = "",
     }
     if not deterministic:
         report["jobs"] = jobs
+        # Run-dependent resilience diagnostics: a resumed run that had
+        # to quarantine a corrupt journal tail says so instead of
+        # silently recomputing.  Excluded from the deterministic report
+        # (whose bytes must match across fresh/resumed runs).
+        report["quarantined_records"] = quarantined_records
         for entry, v in zip(report["tests"], verdicts):
             entry["stats"].update({
                 "time_ms": round(v.time_ms, 3),

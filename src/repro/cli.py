@@ -12,6 +12,10 @@ Subcommands mirror the paper's artifact workflow (appendix A.4):
 * ``litmus`` — print suite tests in the litmus text format.
 * ``run``    — execute a litmus test on the RTL simulator.
 * ``stats``  — print design-size statistics (paper section 5.1).
+* ``serve``  — persistent verification daemon: warm workers, crash-safe
+  job ledger, persistent verdict/bitblast store (see docs/service.md).
+* ``submit`` / ``status`` / ``result`` — clients of a running daemon.
+* ``cache``  — inspect/verify/gc the daemon's persistent store.
 
 Every command follows one jobs convention (``-j/--jobs``): ``1`` is
 serial, ``N>1`` uses N worker processes, and ``0`` (or any value
@@ -142,6 +146,10 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         if args.resume and len(journal):
             print(f"resuming: {len(journal)} verdict(s) replayed from "
                   f"{args.journal}")
+        if journal.quarantined_records:
+            print(f"warning: {journal.quarantined_records} corrupt journal "
+                  f"record(s) quarantined to {journal.quarantined}; they "
+                  f"will be re-executed", file=sys.stderr)
         _install_interrupt_handlers(
             journal,
             f"rtl2uspec synth --journal {args.journal} --resume "
@@ -207,13 +215,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if run.resumed:
         print(f"resumed: {run.resumed} verdict(s) replayed from "
               f"{args.journal}")
+    if run.quarantined_records:
+        print(f"warning: {run.quarantined_records} corrupt journal "
+              f"record(s) quarantined to {run.quarantined_path}; they "
+              f"were re-executed", file=sys.stderr)
     print(format_suite_report(verdicts))
     if run.pool_stats.faults_observed():
         print(run.pool_stats.summary())
     if args.report_json:
         import json
         report = suite_report_json(verdicts, model=args.model or "reference",
-                                   engine=args.engine, jobs=args.jobs)
+                                   engine=args.engine, jobs=args.jobs,
+                                   quarantined_records=run.quarantined_records)
         with open(args.report_json, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -272,6 +285,7 @@ def _sweep_report_json(report, args) -> None:
         "programs": report.programs,
         "outcomes_checked": report.outcomes_checked,
         "resumed": report.resumed,
+        "quarantined_records": report.quarantined_records,
         "exact": report.exact,
         "unsound": [formatted for formatted, _ in report.unsound],
         "overstrict": [formatted for formatted, _ in report.overstrict],
@@ -303,6 +317,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(exc.partial.summary())
         _print_interrupt(exc, resume_hint)
         return _interrupt_exit_code(signal_state)
+    if report.quarantined_records:
+        print(f"warning: {report.quarantined_records} corrupt journal "
+              f"record(s) quarantined to {report.quarantined_path}; they "
+              f"were re-executed", file=sys.stderr)
     print(report.summary())
     if args.report_json:
         _sweep_report_json(report, args)
@@ -357,6 +375,133 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 "memory_bits"):
         print(f"{key:<16}{single[key]:>12}{multi[key]:>12}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import Daemon, ServeConfig
+
+    config = ServeConfig(
+        state_dir=args.state_dir,
+        socket_path=args.socket or None,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        max_attempts=args.max_attempts,
+        hang_timeout=args.hang_timeout,
+        job_deadline=args.job_deadline or None,
+        recycle_after=args.recycle_after,
+    )
+    return Daemon(config).run()
+
+
+def _service_client(args: argparse.Namespace):
+    from .service import ServiceClient, default_socket_path
+
+    return ServiceClient(args.socket or default_socket_path(args.state_dir))
+
+
+def _print_job_result(response: dict) -> int:
+    import json
+
+    print(json.dumps(response, indent=2, sort_keys=True))
+    state = response.get("state")
+    if state == "done":
+        return 0
+    return 1 if state == "unknown" else 2
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    params = {}
+    if args.kind in ("parse", "synth"):
+        params["design"] = args.design
+    if args.kind == "synth":
+        if args.bound > 0:
+            params["bound"] = args.bound
+        if args.max_k >= 0:
+            params["max_k"] = args.max_k
+    if args.kind in ("check", "sweep") and args.model:
+        with open(args.model, "r", encoding="utf-8") as handle:
+            params["model_text"] = handle.read()
+    if args.kind == "check" and args.tests:
+        params["tests"] = args.tests.split(",")
+    if args.kind == "sweep":
+        params["threads"] = args.threads
+        params["length"] = args.length
+        if args.limit > 0:
+            params["limit"] = args.limit
+    if args.kind in ("synth", "check", "sweep"):
+        if args.engine:
+            params["engine"] = args.engine
+        if args.timeout > 0:
+            params["timeout"] = args.timeout
+    job = client.submit(args.kind, params)
+    print(f"submitted {job} ({args.kind})")
+    if not args.wait:
+        return 0
+    return _print_job_result(client.wait(job, timeout=args.wait_timeout))
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    client = _service_client(args)
+    status = client.status(args.job or None)
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if args.wait:
+        return _print_job_result(client.wait(args.job,
+                                             timeout=args.wait_timeout))
+    response = client.result(args.job)
+    if response.get("pending"):
+        print(f"{args.job}: still {response['state']} "
+              f"(re-run with --wait to block)")
+        return 3
+    return _print_job_result(response)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .service import ArtifactStore
+
+    root = args.store or os.path.join(args.state_dir, "store")
+    with ArtifactStore(root) as store:
+        if args.action == "stats":
+            print(json.dumps(store.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.action == "verify":
+            outcome = store.verify()
+            print(f"verified {outcome['checked']} entr(ies): "
+                  f"{outcome['ok']} ok, {outcome['quarantined']} "
+                  f"quarantined")
+            for path in store.quarantined:
+                print(f"  quarantined: {path}", file=sys.stderr)
+            return 0 if not outcome["quarantined"] else 1
+        # gc
+        max_bytes = args.max_bytes
+        if max_bytes is None:
+            print("error: gc needs --max-bytes", file=sys.stderr)
+            return 2
+        outcome = store.gc(max_bytes)
+        print(f"evicted {outcome['evicted']} entr(ies) "
+              f"({outcome['freed_bytes']} bytes freed, "
+              f"{outcome['swept_tmp']} stale temp file(s) swept); "
+              f"{outcome['remaining_bytes']} bytes remain")
+        return 0
+
+
+def _add_service_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--state-dir", default="serve-state",
+                        help="daemon state directory (ledger, store, "
+                             "artifacts, socket)")
+    parser.add_argument("--socket", default="",
+                        help="socket path override (default: "
+                             "<state-dir>/serve.sock)")
 
 
 def _add_resilience_flags(parser: argparse.ArgumentParser,
@@ -526,6 +671,96 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_stats = sub.add_parser("stats", help="design statistics (section 5.1)")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="persistent verification daemon: warm workers, a crash-safe "
+             "job ledger, and a persistent verdict/bitblast store "
+             "(kill -9 safe; clients use submit/status/result)")
+    _add_service_flags(p_serve)
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="warm worker processes")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="queued-job admission limit; past it, "
+                              "submissions are refused with 'queue-full' "
+                              "(backpressure, never unbounded buffering)")
+    p_serve.add_argument("--max-attempts", type=int, default=3,
+                         help="dispatch attempts per job before a "
+                              "crash-looping job is recorded failed")
+    p_serve.add_argument("--hang-timeout", type=float, default=60.0,
+                         help="seconds without a worker heartbeat before "
+                              "it is declared hung and recycled")
+    p_serve.add_argument("--job-deadline", type=float, default=0.0,
+                         help="per-job wall-clock ceiling in seconds; "
+                              "expiry degrades the job to a first-class "
+                              "UNKNOWN (0 = unlimited)")
+    p_serve.add_argument("--recycle-after", type=int, default=0,
+                         help="retire each worker after N jobs to bound "
+                              "leak accumulation (0 = never)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a job to a running serve daemon")
+    p_submit.add_argument("kind",
+                          choices=("parse", "synth", "check", "sweep"))
+    _add_service_flags(p_submit)
+    p_submit.add_argument("--design", choices=("multi", "unicore"),
+                          default="multi", help="design for parse/synth")
+    p_submit.add_argument("--model", default="",
+                          help=".uarch file for check/sweep (default: "
+                               "shipped reference model)")
+    p_submit.add_argument("--tests", default="",
+                          help="comma-separated litmus test names for "
+                               "check (default: all 56)")
+    p_submit.add_argument("--bound", type=int, default=0,
+                          help="synth BMC bound (0 = design preset)")
+    p_submit.add_argument("--max-k", type=int, default=-1,
+                          help="synth induction depth (-1 = preset)")
+    p_submit.add_argument("--threads", type=int, default=2,
+                          help="sweep thread count")
+    p_submit.add_argument("--length", type=int, default=2,
+                          help="sweep max program length")
+    p_submit.add_argument("--limit", type=int, default=0,
+                          help="sweep program limit (0 = all)")
+    p_submit.add_argument("--engine", default="",
+                          help="solver engine (kind-specific default)")
+    p_submit.add_argument("--timeout", type=float, default=0.0,
+                          help="per-obligation solver budget in seconds")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the job finishes and print "
+                               "its result")
+    p_submit.add_argument("--wait-timeout", type=float, default=600.0,
+                          help="seconds to wait with --wait")
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="daemon/queue/fleet/store status (or one job's)")
+    _add_service_flags(p_status)
+    p_status.add_argument("--job", default="", help="job id to inspect")
+    p_status.set_defaults(func=_cmd_status)
+
+    p_result = sub.add_parser(
+        "result", help="fetch a submitted job's terminal result")
+    p_result.add_argument("job", help="job id")
+    _add_service_flags(p_result)
+    p_result.add_argument("--wait", action="store_true",
+                          help="block until the job reaches a terminal "
+                               "state (tolerates daemon restarts)")
+    p_result.add_argument("--wait-timeout", type=float, default=600.0,
+                          help="seconds to wait with --wait")
+    p_result.set_defaults(func=_cmd_result)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect/verify/gc the persistent artifact store")
+    p_cache.add_argument("action", choices=("stats", "verify", "gc"))
+    _add_service_flags(p_cache)
+    p_cache.add_argument("--store", default="",
+                         help="store root override (default: "
+                              "<state-dir>/store)")
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="gc: evict least-recently-used entries "
+                              "until the store fits this many bytes")
+    p_cache.set_defaults(func=_cmd_cache)
 
     args = parser.parse_args(argv)
     from .errors import ReproError

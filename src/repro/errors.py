@@ -107,6 +107,20 @@ class PipelineError(ReproError):
     (e.g. a recorded stage artifact no longer matches its checksum)."""
 
 
+class ServiceError(ReproError):
+    """The ``repro serve`` daemon (or its client protocol) was misused,
+    is unreachable, or refused a request (e.g. queue backpressure)."""
+
+
+class StoreError(ServiceError):
+    """The content-addressed artifact store was driven with invalid
+    namespaces/keys or hit an unrecoverable I/O failure.
+
+    Note: *corruption* of stored entries is not an error — corrupt
+    entries are quarantined and reported as misses so callers
+    recompute."""
+
+
 class PropertyError(ReproError):
     """An SVA-style property is malformed or unsupported."""
 

@@ -90,7 +90,10 @@ class VerdictCache:
     dict) are still read.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: Optional[str] = None):
+        """``path=None`` keeps the cache purely in memory (``save()``
+        becomes a no-op) — the base for store-backed subclasses like
+        :class:`repro.service.caches.PersistentVerdictCache`."""
         self.path = path
         self._entries: Dict[str, Dict] = {}
         self.hits = 0
@@ -99,7 +102,7 @@ class VerdictCache:
         self.trace_reruns = 0
         #: path the last corrupt cache file was renamed to (None if ok)
         self.quarantined: Optional[str] = None
-        if os.path.exists(path):
+        if path and os.path.exists(path):
             self._load(path)
 
     def _load(self, path: str) -> None:
@@ -152,6 +155,8 @@ class VerdictCache:
         crashed or concurrent run can never leave a truncated JSON file
         behind — the previous cache survives any failure mid-write.
         """
+        if not self.path:
+            return  # in-memory cache (or a store-backed subclass)
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         fd, temp_path = tempfile.mkstemp(

@@ -153,7 +153,8 @@ class PropertyChecker:
                  use_coi: bool = True, max_conflicts: Optional[int] = None,
                  timeout_seconds: Optional[float] = None,
                  engine: str = "incremental", share_bitblast: bool = True,
-                 sat_order: str = "heap", blast_cache_size: int = 64):
+                 sat_order: str = "heap", blast_cache_size: int = 64,
+                 blast_cache: Optional[BlastCache] = None):
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.bound = bound
@@ -165,8 +166,12 @@ class PropertyChecker:
         self.share_bitblast = share_bitblast
         self.sat_order = sat_order
         self.blast_cache_size = blast_cache_size
-        self._blast_cache: Optional[BlastCache] = \
-            BlastCache(blast_cache_size) if share_bitblast else None
+        # ``blast_cache`` injects a custom cache (e.g. the service's
+        # store-backed PersistentBlastCache); workers unpickling this
+        # checker still rebuild a plain in-memory cache (__setstate__).
+        self._blast_cache: Optional[BlastCache] = blast_cache if \
+            blast_cache is not None else \
+            (BlastCache(blast_cache_size) if share_bitblast else None)
         #: cumulative statistics across check() calls
         self.stats: Dict[str, float] = {
             "checks": 0, "sat_time": 0.0, "bmc_frames": 0,

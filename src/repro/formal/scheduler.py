@@ -54,6 +54,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import DischargeTimeout, FormalError, WorkerCrashError
+from ..resilience.backoff import BackoffSchedule
 from ..resilience.pool import resolve_jobs
 from .cache import CachingPropertyChecker, VerdictCache, problem_fingerprint
 from .engine import VERDICT_STATUSES, CheckParams, PropertyChecker, Verdict
@@ -128,6 +129,7 @@ class DischargeStats:
     timeouts: int = 0         # watchdog or simulated check timeouts
     garbage_verdicts: int = 0  # malformed verdicts rejected by validation
     inline_fallbacks: int = 0  # obligations that fell back to the parent
+    pool_rebuilds: int = 0    # fresh pools built after a kill (backoff paid)
     unknowns: int = 0         # first-class UNKNOWN verdicts (budget hits)
     fingerprint_dedup: int = 0  # isomorphic problems served from a prior run
     #: module name -> {"executed": n, "dedupe": m} for share-base problems
@@ -157,7 +159,8 @@ class DischargeStats:
                 f"  faults: {self.worker_crashes} worker crash(es), "
                 f"{self.timeouts} timeout(s), {self.garbage_verdicts} garbage "
                 f"verdict(s); {self.retries} retried, "
-                f"{self.inline_fallbacks} inline fallback(s)")
+                f"{self.inline_fallbacks} inline fallback(s), "
+                f"{self.pool_rebuilds} pool rebuild(s)")
         if self.unknowns:
             lines.append(f"  {self.unknowns} UNKNOWN verdict(s) "
                          "(budget exhausted; treated conservatively)")
@@ -223,9 +226,12 @@ class DischargeScheduler:
         self.watchdog_seconds = watchdog_seconds
         self.max_retries = max(0, max_retries)
         self.retry_backoff = retry_backoff
+        self.schedule = BackoffSchedule(base=retry_backoff)
         self._params = CheckParams(timeout_seconds=timeout_seconds)
         self.stats = DischargeStats(jobs=self.jobs)
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_was_killed = False
+        self._consecutive_rebuilds = 0
         #: deterministic execution index of the next fresh obligation
         self._task_counter = 0
 
@@ -475,6 +481,10 @@ class DischargeScheduler:
                 outcomes[index] = verdict
             if pool_broken:
                 self._kill_pool()
+            else:
+                # A wave that consumed results without breaking the pool
+                # resets the rebuild backoff (the fleet is healthy again).
+                self._consecutive_rebuilds = 0
             pending = []
             for index, attempt in failed:
                 if attempt >= self.max_retries:
@@ -489,7 +499,7 @@ class DischargeScheduler:
                     pending.append((index, attempt + 1))
             if pending:
                 wave += 1
-                time.sleep(min(self.retry_backoff * (2 ** (wave - 1)), 2.0))
+                time.sleep(self.schedule.delay(wave))
         return outcomes
 
     def _submit_wave(self, batch, pending, task_indices):
@@ -532,7 +542,7 @@ class DischargeScheduler:
                     raise
                 self.stats.retries += 1
                 attempt += 1
-                time.sleep(min(self.retry_backoff * (2 ** (attempt - 1)), 2.0))
+                time.sleep(self.schedule.delay(attempt))
                 continue
             if _verdict_valid(verdict):
                 return verdict
@@ -573,6 +583,13 @@ class DischargeScheduler:
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            if self._pool_was_killed:
+                # Rebuilding after a crash/hang: pay a deterministic
+                # capped exponential delay so a persistently dying pool
+                # cannot spin through rebuilds at full speed.
+                self._consecutive_rebuilds += 1
+                self.stats.pool_rebuilds += 1
+                time.sleep(self.schedule.delay(self._consecutive_rebuilds))
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_worker_init,
@@ -582,7 +599,8 @@ class DischargeScheduler:
     def _kill_pool(self) -> None:
         """Tear the pool down hard (terminate workers) so a hung or
         crashed worker cannot outlive its batch; the next submission
-        rebuilds a fresh pool."""
+        rebuilds a fresh pool (after a capped backoff delay)."""
+        self._pool_was_killed = True
         if self._pool is None:
             return
         processes = getattr(self._pool, "_processes", None) or {}

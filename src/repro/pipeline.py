@@ -89,6 +89,24 @@ class PipelineResult:
         return bool(self.verdicts) and all(v.passed for v in self.verdicts)
 
 
+def design_preset(design: str):
+    """(sim_netlist, formal_netlist, metadata, bound, max_k, candidates,
+    formal_cores) for a bundled design name — shared by the pipeline
+    supervisor and the service's synth/parse jobs."""
+    if design not in DESIGNS:
+        raise PipelineError(f"unknown design {design!r} "
+                            f"(expected one of {DESIGNS})")
+    if design == "unicore":
+        from .designs import load_unicore, unicore_metadata
+        return (load_unicore(), load_unicore(formal=True),
+                unicore_metadata(), 10, 1,
+                ["ir_de", "gpr", "dstore.cells"], 1)
+    from .designs import FORMAL_CONFIG, SIM_CONFIG, load_design
+    from .designs import multi_vscale_metadata
+    return (load_design(SIM_CONFIG), load_design(FORMAL_CONFIG),
+            multi_vscale_metadata(SIM_CONFIG), 12, 2, None, 2)
+
+
 def _sha256_file(path: str) -> str:
     hasher = hashlib.sha256()
     with open(path, "rb") as handle:
@@ -190,17 +208,9 @@ class Pipeline:
     # Stages
     # ------------------------------------------------------------------
     def _design_preset(self):
-        """(sim_netlist, formal_netlist, metadata, bound, max_k,
-        candidates, formal_cores) for the configured design."""
-        if self.config.design == "unicore":
-            from .designs import load_unicore, unicore_metadata
-            return (load_unicore(), load_unicore(formal=True),
-                    unicore_metadata(), 10, 1,
-                    ["ir_de", "gpr", "dstore.cells"], 1)
-        from .designs import FORMAL_CONFIG, SIM_CONFIG, load_design
-        from .designs import multi_vscale_metadata
-        return (load_design(SIM_CONFIG), load_design(FORMAL_CONFIG),
-                multi_vscale_metadata(SIM_CONFIG), 12, 2, None, 2)
+        """See :func:`design_preset` (module level, shared with the
+        service's jobs)."""
+        return design_preset(self.config.design)
 
     def _run_parse(self):
         """Elaborate the design; verify fingerprints against any prior
@@ -245,6 +255,11 @@ class Pipeline:
             checker = self.config.checker_factory(checker)
         resume = os.path.exists(self.synth_journal) and self.config.resume
         journal = VerdictJournal(self.synth_journal, resume=resume)
+        if journal.quarantined_records:
+            self.config.echo(
+                f"[synth] warning: {journal.quarantined_records} corrupt "
+                f"journal record(s) quarantined to {journal.quarantined}; "
+                f"they will be re-executed")
         if resume and len(journal):
             self.config.echo(f"[synth] resuming: {len(journal)} verdict(s) "
                              f"replayed from {self.synth_journal}")
@@ -305,6 +320,11 @@ class Pipeline:
                 "pipeline interrupted during check; completed verdicts "
                 f"are checkpointed in {self.check_journal}",
                 resumable=True) from exc
+        if run.quarantined_records:
+            self.config.echo(
+                f"[check] warning: {run.quarantined_records} corrupt "
+                f"journal record(s) quarantined to {run.quarantined_path}; "
+                f"they were re-executed")
         if run.resumed:
             self.config.echo(f"[check] resumed: {run.resumed} verdict(s) "
                              f"replayed from {self.check_journal}")

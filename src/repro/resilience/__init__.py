@@ -24,6 +24,7 @@ clean run would produce (budget exhaustion is itself a first-class,
 conservatively consumed verdict).
 """
 
+from .backoff import DEFAULT_BACKOFF, BackoffSchedule
 from .budgets import (
     DECIDED,
     TIMEOUT,
@@ -51,6 +52,8 @@ from .pool import (
 )
 
 __all__ = [
+    "BackoffSchedule",
+    "DEFAULT_BACKOFF",
     "Budget",
     "BudgetClock",
     "DECIDED",

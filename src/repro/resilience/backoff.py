@@ -1,0 +1,42 @@
+"""Deterministic capped exponential backoff schedules.
+
+Every recovery loop in the repo — pool retry waves, crashed-pool
+rebuilds, the service fleet's worker respawns — delays by the same
+schedule shape: ``base * factor**(attempt-1)`` capped at ``cap``.
+Centralizing it keeps two properties the fault-injection tests rely
+on:
+
+* **deterministic** — no jitter, so a test that injects ``crash:0``
+  twice observes the exact same delay sequence on every run;
+* **capped** — a persistently failing worker slot converges to a fixed
+  recycle period instead of backing off forever (the job it was
+  running has already degraded to UNKNOWN by then).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class BackoffSchedule:
+    """A capped exponential delay sequence (attempt 1, 2, 3, ...)."""
+
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Delay in seconds before retry number ``attempt`` (>= 1)."""
+        if attempt <= 0:
+            return 0.0
+        return min(self.base * (self.factor ** (attempt - 1)), self.cap)
+
+    def delays(self, attempts: int) -> List[float]:
+        """The first ``attempts`` delays, for tests and documentation."""
+        return [self.delay(i) for i in range(1, attempts + 1)]
+
+
+#: the historical pool retry schedule (50 ms doubling, capped at 2 s)
+DEFAULT_BACKOFF = BackoffSchedule()

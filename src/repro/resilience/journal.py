@@ -61,6 +61,8 @@ class Journal:
         self.hits = 0
         #: path the last corrupt/torn tail was moved to (None if clean)
         self.quarantined: Optional[str] = None
+        #: non-empty lines dropped from a corrupt/torn tail on resume
+        self.quarantined_records = 0
         replayed_bytes = 0
         if resume and os.path.exists(path):
             replayed_bytes = self._replay(path)
@@ -143,6 +145,10 @@ class Journal:
             handle.seek(good_end)
             tail = handle.read()
             if tail:
+                # Count what is being dropped so callers can *report* the
+                # quarantine instead of silently recomputing the records.
+                self.quarantined_records = sum(
+                    1 for line in tail.split(b"\n") if line.strip())
                 target = path + ".quarantine"
                 try:
                     with open(target, "wb") as quarantine:

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..errors import DischargeTimeout, ResilienceError, WorkerCrashError
+from .backoff import BackoffSchedule
 from .faults import CRASH, GARBAGE, HANG, INTERRUPT, FaultPlan
 
 Item = TypeVar("Item")
@@ -117,6 +118,7 @@ class PoolStats:
     timeouts: int = 0         # watchdog or simulated task timeouts
     garbage_results: int = 0  # invalid results rejected by validation
     inline_fallbacks: int = 0  # tasks that fell back to the parent
+    pool_rebuilds: int = 0    # fresh pools built after a kill (backoff paid)
 
     def faults_observed(self) -> int:
         return self.worker_crashes + self.timeouts + self.garbage_results
@@ -127,7 +129,7 @@ class PoolStats:
                 f"{self.worker_crashes} crash(es), {self.timeouts} "
                 f"timeout(s), {self.garbage_results} garbage; "
                 f"{self.retries} retried, {self.inline_fallbacks} inline "
-                f"fallback(s)")
+                f"fallback(s), {self.pool_rebuilds} pool rebuild(s)")
 
 
 def run_tasks(items: Sequence[Item], task: Callable[[Item], Result],
@@ -188,8 +190,11 @@ class _TaskRun:
         self.validate = validate
         self.on_result = on_result
         self.stats = stats
+        self.schedule = BackoffSchedule(base=retry_backoff)
         self.results: List[Optional[Result]] = [None] * len(items)
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_was_killed = False
+        self._consecutive_rebuilds = 0
 
     # ------------------------------------------------------------------
     def run(self) -> List[Result]:
@@ -263,7 +268,7 @@ class _TaskRun:
             self.stats.worker_crashes += 1
 
     def _backoff(self, wave: int) -> None:
-        time.sleep(min(self.retry_backoff * (2 ** (wave - 1)), 2.0))
+        time.sleep(self.schedule.delay(wave))
 
     # ------------------------------------------------------------------
     # Pool execution with crash/timeout/garbage recovery
@@ -311,6 +316,10 @@ class _TaskRun:
                 self._finish(index, result)
             if pool_broken:
                 self._kill_pool()
+            else:
+                # A wave that consumed results without breaking the pool
+                # resets the rebuild backoff (the fleet is healthy again).
+                self._consecutive_rebuilds = 0
             pending = []
             for index, attempt in failed:
                 if attempt >= self.max_retries:
@@ -345,6 +354,13 @@ class _TaskRun:
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            if self._pool_was_killed:
+                # Rebuilding after a crash/hang: pay a deterministic
+                # capped exponential delay so a persistently dying pool
+                # cannot spin through rebuilds at full speed.
+                self._consecutive_rebuilds += 1
+                self.stats.pool_rebuilds += 1
+                time.sleep(self.schedule.delay(self._consecutive_rebuilds))
             self._pool = ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(self.items)),
                 initializer=_pool_initializer, initargs=(self.state,))
@@ -353,7 +369,8 @@ class _TaskRun:
     def _kill_pool(self) -> None:
         """Tear the pool down hard (terminate workers) so a hung or
         crashed worker cannot outlive its wave; the next submission
-        rebuilds a fresh pool."""
+        rebuilds a fresh pool (after a capped backoff delay)."""
+        self._pool_was_killed = True
         if self._pool is None:
             return
         processes = getattr(self._pool, "_processes", None) or {}

@@ -1,0 +1,153 @@
+"""Client side of the serve protocol.
+
+One request per connection, newline-delimited JSON — the transport is
+deliberately boring so ``repro submit`` can also be replaced by five
+lines of ``socket``/``json`` in a shell harness.
+
+The one interesting method is :meth:`wait`: it polls a job to a
+terminal state and **tolerates the daemon being down** (connection
+refused / socket missing) for up to ``down_grace`` seconds before
+giving up.  That is what makes "``kill -9`` the daemon, restart it,
+clients never notice" an actual test rather than a slogan.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, List, Optional
+
+from ..errors import ServiceError
+
+#: errors that mean "daemon not reachable right now" (retryable)
+_DOWN_ERRORS = (ConnectionRefusedError, ConnectionResetError,
+                FileNotFoundError, BrokenPipeError)
+
+
+class ServiceClient:
+    """Talk to a ``repro serve`` daemon over its Unix socket."""
+
+    def __init__(self, socket_path: str, timeout: float = 30.0):
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def request(self, payload: Dict) -> Dict:
+        """One round-trip.  Raises :class:`ServiceError` on transport
+        failure or a ``{"ok": false}`` reply (with the daemon's error
+        text)."""
+        response = self.raw_request(payload)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "request failed"))
+        return response
+
+    def raw_request(self, payload: Dict) -> Dict:
+        """One round-trip without the ``ok`` check (callers that want
+        to branch on refusals — e.g. backpressure — use this)."""
+        try:
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.settimeout(self.timeout)
+            conn.connect(self.socket_path)
+            conn.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+            chunks = []
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+            conn.close()
+        except _DOWN_ERRORS as exc:
+            raise ServiceError(
+                f"daemon not reachable on {self.socket_path}: {exc}")
+        except socket.timeout:
+            raise ServiceError(
+                f"daemon on {self.socket_path} timed out after "
+                f"{self.timeout:.0f}s")
+        except OSError as exc:
+            raise ServiceError(f"transport error talking to "
+                               f"{self.socket_path}: {exc}")
+        raw = b"".join(chunks)
+        if not raw.strip():
+            raise ServiceError("daemon closed the connection without "
+                               "a response")
+        try:
+            response = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(f"malformed daemon response: {exc}")
+        if not isinstance(response, dict):
+            raise ServiceError("malformed daemon response: not an object")
+        return response
+
+    # ------------------------------------------------------------------
+    # Convenience ops
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict:
+        return self.request({"op": "ping"})
+
+    def submit(self, kind: str, params: Optional[Dict] = None) -> str:
+        """Submit one job; returns its id.  A backpressure refusal
+        (``queue-full`` / ``draining``) raises ServiceError with that
+        text — callers may retry."""
+        response = self.request({"op": "submit", "kind": kind,
+                                 "params": params or {}})
+        return response["job"]
+
+    def status(self, job: Optional[str] = None) -> Dict:
+        payload = {"op": "status"}
+        if job is not None:
+            payload["job"] = job
+        return self.request(payload)
+
+    def result(self, job: str) -> Dict:
+        return self.request({"op": "result", "job": job})
+
+    def shutdown(self) -> Dict:
+        return self.request({"op": "shutdown"})
+
+    def kill_worker(self) -> Dict:
+        return self.request({"op": "kill-worker"})
+
+    # ------------------------------------------------------------------
+    def wait(self, job: str, timeout: float = 600.0,
+             poll_interval: float = 0.1,
+             down_grace: float = 60.0) -> Dict:
+        """Poll ``job`` until it reaches a terminal state.
+
+        Daemon downtime (restart window after a crash) is tolerated for
+        ``down_grace`` contiguous seconds — the restarted daemon replays
+        its ledger and the job id remains valid.
+        """
+        deadline = time.time() + timeout
+        down_since: Optional[float] = None
+        while True:
+            try:
+                response = self.result(job)
+                down_since = None
+            except ServiceError as exc:
+                if "not reachable" not in str(exc):
+                    raise
+                now = time.time()
+                down_since = down_since or now
+                if now - down_since > down_grace:
+                    raise ServiceError(
+                        f"daemon stayed down longer than "
+                        f"{down_grace:.0f}s while waiting for {job}")
+                response = None
+            if response is not None and not response.get("pending"):
+                return response
+            if time.time() > deadline:
+                raise ServiceError(f"timed out after {timeout:.0f}s "
+                                   f"waiting for {job}")
+            time.sleep(poll_interval)
+
+    def wait_all(self, jobs: List[str], timeout: float = 600.0) -> Dict:
+        """Wait for several jobs; returns ``{job_id: result}``."""
+        deadline = time.time() + timeout
+        results = {}
+        for job in jobs:
+            remaining = max(1.0, deadline - time.time())
+            results[job] = self.wait(job, timeout=remaining)
+        return results

@@ -1,0 +1,509 @@
+"""The ``repro serve`` verification daemon.
+
+One single-threaded :mod:`selectors` event loop owns everything the
+fleet does not: the Unix-domain listening socket, the newline-delimited
+JSON protocol, the FIFO job queue with admission control, the
+crash-safe :class:`~repro.service.ledger.JobLedger`, and job artifacts
+on disk.  Workers never touch the ledger or the socket; the daemon
+never runs a solver.  That split keeps every durability decision in
+one process with one writer.
+
+Protocol (one request per connection, ``\\n``-terminated JSON)::
+
+    {"op": "submit", "kind": "check", "params": {...}}
+        -> {"ok": true, "job": "job-000001", "state": "queued"}
+    {"op": "status"}            -> daemon/queue/fleet/store overview
+    {"op": "status", "job": j}  -> one job's state
+    {"op": "result", "job": j}  -> terminal summary + artifact path
+    {"op": "ping"}              -> {"ok": true, "pid": ...}
+    {"op": "kill-worker"}       -> fault injection (tests/serve-smoke)
+    {"op": "shutdown"}          -> graceful drain, then exit
+
+Failure contract:
+
+* an accepted submission is committed to the ledger *before* the
+  ``ok`` response is sent — ``kill -9`` after the reply can never lose
+  the job;
+* a full queue refuses with ``queue-full`` instead of buffering
+  unboundedly (backpressure is the client's problem to retry);
+* a crashed/hung worker's job is re-dispatched up to ``max_attempts``
+  times, then recorded ``failed``; a deadline expiry is recorded
+  ``unknown`` immediately (deterministic jobs don't get faster);
+* SIGTERM drains: running jobs finish, queued jobs stay in the ledger
+  and are re-enqueued by the next ``repro serve`` on the same state
+  directory, as is everything in flight after a ``kill -9``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import selectors
+import signal
+import socket
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ServiceError
+from ..resilience import BackoffSchedule
+from .fleet import WorkerFleet
+from .jobs import validate_params
+from .ledger import JobLedger
+from .store import ArtifactStore
+
+#: queue/running states a job passes through before a terminal one
+ACTIVE_STATES = ("queued", "running")
+
+_MAX_REQUEST_BYTES = 8 * 1024 * 1024  # model texts are small; 8 MiB is lots
+
+
+def default_socket_path(state_dir: str) -> str:
+    return os.path.join(state_dir, "serve.sock")
+
+
+@dataclass
+class ServeConfig:
+    """Daemon tuning; everything has a safe default."""
+
+    state_dir: str
+    socket_path: Optional[str] = None
+    workers: int = 1
+    max_queue: int = 64
+    max_attempts: int = 3
+    heartbeat_interval: float = 0.25
+    hang_timeout: float = 60.0
+    job_deadline: Optional[float] = None
+    recycle_after: int = 0
+    store_cap_bytes: Optional[int] = None
+    backoff: BackoffSchedule = field(default_factory=BackoffSchedule)
+
+    def resolved_socket(self) -> str:
+        return self.socket_path or default_socket_path(self.state_dir)
+
+
+@dataclass
+class _JobRecord:
+    """In-memory view of one job (authoritative copy is the ledger)."""
+
+    job_id: str
+    kind: str
+    params: Dict
+    seq: int
+    state: str = "queued"
+    attempts: int = 0
+    result: Optional[Dict] = None
+    artifact: Optional[str] = None
+    sha256: Optional[str] = None
+
+
+class JobQueue:
+    """Bounded FIFO with admission control.
+
+    ``offer`` refuses past ``max_depth`` (backpressure); ``requeue``
+    puts a crash-retried job at the *front* and always succeeds —
+    retries were admitted once and must not be lost to a full queue.
+    """
+
+    def __init__(self, max_depth: int = 64):
+        self.max_depth = max_depth
+        self._items: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def offer(self, job_id: str) -> bool:
+        if len(self._items) >= self.max_depth:
+            return False
+        self._items.append(job_id)
+        return True
+
+    def requeue(self, job_id: str) -> None:
+        self._items.insert(0, job_id)
+
+    def take(self) -> Optional[str]:
+        return self._items.pop(0) if self._items else None
+
+    def snapshot(self) -> List[str]:
+        return list(self._items)
+
+
+class Daemon:
+    """The serve event loop.  Construct, then :meth:`run`."""
+
+    def __init__(self, config: ServeConfig, echo=print):
+        self.config = config
+        self.echo = echo
+        os.makedirs(config.state_dir, exist_ok=True)
+        self.store_root = os.path.join(config.state_dir, "store")
+        self.jobs_dir = os.path.join(config.state_dir, "jobs")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        self.ledger = JobLedger(os.path.join(config.state_dir,
+                                             "jobs.jsonl"))
+        self.queue = JobQueue(config.max_queue)
+        self.fleet = WorkerFleet(
+            self.store_root, workers=config.workers,
+            heartbeat_interval=config.heartbeat_interval,
+            hang_timeout=config.hang_timeout,
+            job_deadline=config.job_deadline,
+            recycle_after=config.recycle_after,
+            backoff=config.backoff,
+            extra_child_closers=self._forked_socket_closers)
+        self._jobs: Dict[str, _JobRecord] = {}
+        self._seq = self.ledger.next_seq()
+        self._draining = False
+        self._shutdown = False
+        self._selector = selectors.DefaultSelector()
+        self._listener: Optional[socket.socket] = None
+        self._started_at = time.time()
+        self._resume_ledger()
+
+    # ------------------------------------------------------------------
+    # Startup / resume
+    # ------------------------------------------------------------------
+    def _resume_ledger(self) -> None:
+        """Replay the ledger: terminal jobs become queryable history,
+        submitted-but-unfinished jobs go back on the queue in
+        submission order."""
+        if self.ledger.quarantined_records:
+            self.echo(f"[serve] warning: {self.ledger.quarantined_records} "
+                      f"corrupt ledger record(s) quarantined; affected "
+                      f"jobs will re-run")
+        resumed = 0
+        for _seq, job_id, entry in self.ledger.jobs():
+            record = _JobRecord(job_id=job_id, kind=entry["kind"],
+                                params=entry["params"], seq=entry["seq"])
+            done = self.ledger.completion(job_id)
+            if done is not None:
+                record.state = done["state"]
+                record.result = done["result"]
+                record.artifact = done.get("artifact")
+                record.sha256 = done.get("sha256")
+            else:
+                record.state = "queued"
+                self.queue.requeue(job_id)  # front; reversed below
+                resumed += 1
+            self._jobs[job_id] = record
+        # requeue() prepends, so flip back to submission order.
+        self.queue._items.reverse()
+        if resumed:
+            self.echo(f"[serve] resumed {resumed} in-flight job(s) "
+                      f"from the ledger")
+
+    def _forked_socket_closers(self) -> List[socket.socket]:
+        """Every daemon-side socket a forked worker must close: the
+        listener (else a killed daemon's orphans keep the socket path
+        accepting doomed connections) and any client connection open at
+        fork time."""
+        return [key.fileobj for key in self._selector.get_map().values()]
+
+    def _bind(self) -> None:
+        path = self.config.resolved_socket()
+        if os.path.exists(path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.connect(path)
+            except (ConnectionRefusedError, FileNotFoundError, OSError):
+                os.unlink(path)  # stale socket from a killed daemon
+            else:
+                probe.close()
+                raise ServiceError(f"another daemon is already serving "
+                                   f"on {path}")
+            finally:
+                probe.close()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(path)
+        listener.listen(16)
+        listener.setblocking(False)
+        self._listener = listener
+        self._selector.register(listener, selectors.EVENT_READ,
+                                ("accept", None))
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        self._bind()
+        self.fleet.start()
+        signal.signal(signal.SIGTERM, self._on_sigterm)
+        signal.signal(signal.SIGINT, self._on_sigterm)
+        self.echo(f"[serve] pid {os.getpid()} listening on "
+                  f"{self.config.resolved_socket()} "
+                  f"({self.config.workers} worker(s))")
+        try:
+            while not self._shutdown:
+                for key, _mask in self._selector.select(timeout=0.05):
+                    what, conn = key.data
+                    if what == "accept":
+                        self._accept()
+                    else:
+                        self._service_client(key.fileobj, conn)
+                self._tick()
+        finally:
+            self._teardown()
+        return 0
+
+    def _on_sigterm(self, _signum, _frame) -> None:
+        # Idempotent: a second signal forces exit.
+        if self._draining:
+            self._shutdown = True
+        self._draining = True
+
+    def _tick(self) -> None:
+        """One scheduling beat: fold fleet events, dispatch, drain."""
+        for event in self.fleet.poll():
+            if event[0] == "done":
+                _, job_id, state, summary, artifact, name = event
+                self._finish_job(job_id, state, summary, artifact, name)
+            elif event[0] == "crashed":
+                _, job_id, kind, params, reason = event
+                self._retry_or_fail(job_id, reason)
+        while self.queue and not self._draining:
+            job_id = self.queue.snapshot()[0]
+            record = self._jobs.get(job_id)
+            if record is None:
+                self.queue.take()
+                continue
+            if not self.fleet.dispatch(job_id, record.kind, record.params):
+                break
+            self.queue.take()
+            record.state = "running"
+            record.attempts += 1
+        if self._draining and not self.fleet.busy_jobs():
+            self._shutdown = True
+
+    def _finish_job(self, job_id: str, state: str, summary: Dict,
+                    artifact: Optional[bytes],
+                    name: Optional[str]) -> None:
+        record = self._jobs.get(job_id)
+        if record is None:
+            return
+        artifact_path = sha = None
+        if artifact is not None and name is not None:
+            artifact_path = self._write_artifact(job_id, name, artifact)
+            sha = hashlib.sha256(artifact).hexdigest()
+        self.ledger.record_done(job_id, state, summary,
+                                artifact=artifact_path, sha256=sha)
+        record.state = state
+        record.result = summary
+        record.artifact = artifact_path
+        record.sha256 = sha
+        self.echo(f"[serve] {job_id} {record.kind}: {state}")
+
+    def _retry_or_fail(self, job_id: str, reason: str) -> None:
+        record = self._jobs.get(job_id)
+        if record is None:
+            return
+        if record.attempts < self.config.max_attempts:
+            self.echo(f"[serve] {job_id} attempt {record.attempts} "
+                      f"lost ({reason}); re-queueing")
+            record.state = "queued"
+            self.queue.requeue(job_id)
+            return
+        summary = {"error": f"{reason} ({record.attempts} attempt(s))"}
+        self.ledger.record_done(job_id, "failed", summary)
+        record.state = "failed"
+        record.result = summary
+        self.echo(f"[serve] {job_id} failed permanently: {reason}")
+
+    def _write_artifact(self, job_id: str, name: str,
+                        payload: bytes) -> str:
+        """Atomic artifact write (same discipline as the store)."""
+        job_dir = os.path.join(self.jobs_dir, job_id)
+        os.makedirs(job_dir, exist_ok=True)
+        final = os.path.join(job_dir, os.path.basename(name))
+        fd, tmp = tempfile.mkstemp(dir=job_dir, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, final)
+        except OSError:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return final
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def _accept(self) -> None:
+        try:
+            conn, _addr = self._listener.accept()
+        except OSError:
+            return
+        conn.setblocking(False)
+        self._selector.register(conn, selectors.EVENT_READ,
+                                ("client", bytearray()))
+
+    def _service_client(self, conn: socket.socket,
+                        buffer: bytearray) -> None:
+        try:
+            chunk = conn.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop_client(conn)
+            return
+        if not chunk:
+            self._drop_client(conn)
+            return
+        buffer.extend(chunk)
+        if len(buffer) > _MAX_REQUEST_BYTES:
+            self._respond(conn, {"ok": False, "error": "request too large"})
+            return
+        if b"\n" not in buffer:
+            return
+        line = bytes(buffer[:buffer.index(b"\n")])
+        try:
+            request = json.loads(line.decode("utf-8"))
+            if not isinstance(request, dict):
+                raise ValueError("request must be an object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._respond(conn, {"ok": False,
+                                 "error": f"bad request: {exc}"})
+            return
+        self._respond(conn, self._handle(request))
+
+    def _drop_client(self, conn: socket.socket) -> None:
+        try:
+            self._selector.unregister(conn)
+        except KeyError:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _respond(self, conn: socket.socket, response: Dict) -> None:
+        payload = (json.dumps(response) + "\n").encode("utf-8")
+        try:
+            conn.setblocking(True)
+            conn.settimeout(5.0)
+            conn.sendall(payload)
+        except OSError:
+            pass
+        self._drop_client(conn)
+
+    # ------------------------------------------------------------------
+    def _handle(self, request: Dict) -> Dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pid": os.getpid(),
+                    "uptime_seconds": round(time.time() - self._started_at,
+                                            3)}
+        if op == "submit":
+            return self._handle_submit(request)
+        if op == "status":
+            return self._handle_status(request)
+        if op == "result":
+            return self._handle_result(request)
+        if op == "kill-worker":
+            pid = self.fleet.kill_one_worker()
+            return {"ok": pid is not None, "pid": pid}
+        if op == "shutdown":
+            self._draining = True
+            return {"ok": True, "draining": True,
+                    "running": len(self.fleet.busy_jobs())}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _handle_submit(self, request: Dict) -> Dict:
+        if self._draining:
+            return {"ok": False, "error": "draining",
+                    "retryable": True}
+        kind = request.get("kind")
+        try:
+            params = validate_params(kind, request.get("params"))
+        except ServiceError as exc:
+            return {"ok": False, "error": str(exc)}
+        if len(self.queue) >= self.queue.max_depth:
+            return {"ok": False, "error": "queue-full",
+                    "retryable": True, "depth": len(self.queue)}
+        job_id = f"job-{self._seq:06d}"
+        seq = self._seq
+        self._seq += 1
+        # Durability before acknowledgement: the ledger commit must
+        # land before the client hears "ok".
+        self.ledger.record_submit(job_id, kind, params, seq)
+        self._jobs[job_id] = _JobRecord(job_id=job_id, kind=kind,
+                                        params=params, seq=seq)
+        self.queue.offer(job_id)
+        self.echo(f"[serve] {job_id} {kind}: queued")
+        return {"ok": True, "job": job_id, "state": "queued"}
+
+    def _job_view(self, record: _JobRecord) -> Dict:
+        view = {"job": record.job_id, "kind": record.kind,
+                "state": record.state, "attempts": record.attempts}
+        if record.state not in ACTIVE_STATES:
+            view["result"] = record.result
+            if record.artifact:
+                view["artifact"] = record.artifact
+                view["sha256"] = record.sha256
+        return view
+
+    def _handle_status(self, request: Dict) -> Dict:
+        job_id = request.get("job")
+        if job_id is not None:
+            record = self._jobs.get(job_id)
+            if record is None:
+                return {"ok": False, "error": f"unknown job {job_id!r}"}
+            return {"ok": True, **self._job_view(record)}
+        with ArtifactStore(self.store_root) as store:
+            store_stats = store.stats()
+        states: Dict[str, int] = {}
+        for record in self._jobs.values():
+            states[record.state] = states.get(record.state, 0) + 1
+        return {
+            "ok": True,
+            "pid": os.getpid(),
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "draining": self._draining,
+            "queue": {"depth": len(self.queue),
+                      "max_depth": self.queue.max_depth,
+                      "jobs": self.queue.snapshot()},
+            "jobs": states,
+            "fleet": self.fleet.status(),
+            "ledger": {
+                "path": self.ledger.path,
+                "quarantined_records": self.ledger.quarantined_records,
+            },
+            "store": store_stats,
+        }
+
+    def _handle_result(self, request: Dict) -> Dict:
+        job_id = request.get("job")
+        record = self._jobs.get(job_id)
+        if record is None:
+            return {"ok": False, "error": f"unknown job {job_id!r}"}
+        if record.state in ACTIVE_STATES:
+            return {"ok": True, "job": job_id, "state": record.state,
+                    "pending": True}
+        return {"ok": True, **self._job_view(record)}
+
+    # ------------------------------------------------------------------
+    def _teardown(self) -> None:
+        self.fleet.stop()
+        if self._listener is not None:
+            try:
+                self._selector.unregister(self._listener)
+            except KeyError:
+                pass
+            self._listener.close()
+        for key in list(self._selector.get_map().values()):
+            try:
+                key.fileobj.close()
+            except OSError:
+                pass
+        self._selector.close()
+        path = self.config.resolved_socket()
+        if os.path.exists(path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self.ledger.close()
+        self.echo(f"[serve] stopped; {len(self.queue)} job(s) left "
+                  f"queued in the ledger")

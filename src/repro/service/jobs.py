@@ -1,0 +1,283 @@
+"""Job kinds, parameter validation, and warm execution contexts.
+
+A job is ``(kind, params)`` where ``kind`` is one of
+:data:`JOB_KINDS` and ``params`` is a JSON-safe dict validated and
+normalized by :func:`validate_params` *at submission time* — a bad
+request is rejected at the socket, never discovered by a worker.
+
+Execution (:func:`execute_job`) is **deterministic**: the result
+summary and artifact bytes depend only on ``(kind, params)`` and the
+repo's bundled designs/suite.  That is the property the whole
+resilience story rests on — a job re-run after a daemon ``kill -9``,
+or re-dispatched after its worker died, reproduces byte-identical
+artifacts, so crash recovery is indistinguishable from slowness.
+
+:class:`WorkerContext` is the warm state a service worker keeps
+between jobs — the reason ``repro serve`` exists:
+
+* elaborated design netlists (``parse`` once, reuse for every synth);
+* one :class:`~repro.formal.PropertyChecker` per (design, bound, k,
+  engine), whose retained solvers and in-memory BlastCache survive
+  across jobs;
+* the persistent store tier (:mod:`repro.service.caches`), so verdict
+  and bitblast reuse also crosses process and daemon restarts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+from ..errors import ServiceError
+from ..resilience import Budget
+from .caches import PersistentBlastCache, PersistentVerdictCache
+from .store import ArtifactStore
+
+JOB_KINDS = ("parse", "synth", "check", "sweep")
+
+#: designs a parse/synth job may name (mirrors ``repro pipeline``)
+JOB_DESIGNS = ("multi", "unicore")
+
+#: per-kind allowed parameter names and defaults (None = optional)
+_PARAM_DEFAULTS: Dict[str, Dict[str, object]] = {
+    "parse": {"design": "multi"},
+    "synth": {"design": "multi", "bound": None, "max_k": None,
+              "candidates": None, "engine": "incremental", "timeout": None},
+    "check": {"model_text": None, "tests": None, "engine": "fresh",
+              "timeout": None},
+    "sweep": {"model_text": None, "threads": 2, "length": 2, "limit": None,
+              "engine": "incremental", "timeout": None},
+}
+
+
+def validate_params(kind: str, params: Optional[Dict]) -> Dict:
+    """Normalize one submission's parameters; raise
+    :class:`ServiceError` on anything malformed.  The returned dict has
+    every key of the kind's schema (defaults filled in), in canonical
+    form — two submissions asking for the same work validate to equal
+    dicts."""
+    if kind not in JOB_KINDS:
+        raise ServiceError(f"unknown job kind {kind!r} "
+                           f"(expected one of {JOB_KINDS})")
+    params = dict(params or {})
+    schema = _PARAM_DEFAULTS[kind]
+    unknown = sorted(set(params) - set(schema))
+    if unknown:
+        raise ServiceError(f"unknown {kind} parameter(s): "
+                           f"{', '.join(unknown)}")
+    normalized = dict(schema)
+    normalized.update(params)
+    if kind in ("parse", "synth") and \
+            normalized["design"] not in JOB_DESIGNS:
+        raise ServiceError(f"unknown design {normalized['design']!r} "
+                           f"(expected one of {JOB_DESIGNS})")
+    for key in ("bound", "max_k", "threads", "length", "limit"):
+        if key in normalized and normalized[key] is not None:
+            if not isinstance(normalized[key], int) or \
+                    isinstance(normalized[key], bool) or normalized[key] < 0:
+                raise ServiceError(f"{kind} parameter {key!r} must be a "
+                                   f"non-negative integer")
+    if normalized.get("timeout") is not None:
+        if not isinstance(normalized["timeout"], (int, float)) or \
+                isinstance(normalized["timeout"], bool) or \
+                normalized["timeout"] <= 0:
+            raise ServiceError(f"{kind} parameter 'timeout' must be a "
+                               f"positive number of seconds")
+    if normalized.get("model_text") is not None and \
+            not isinstance(normalized["model_text"], str):
+        raise ServiceError(f"{kind} parameter 'model_text' must be the "
+                           f"model file's text")
+    tests = normalized.get("tests")
+    if tests is not None:
+        if not isinstance(tests, list) or \
+                not all(isinstance(name, str) for name in tests):
+            raise ServiceError("check parameter 'tests' must be a list "
+                               "of test names")
+    engine = normalized.get("engine")
+    if engine is not None and engine not in ("fresh", "incremental"):
+        raise ServiceError(f"unknown engine {engine!r} "
+                           f"(expected 'fresh' or 'incremental')")
+    try:
+        json.dumps(normalized)
+    except (TypeError, ValueError):
+        raise ServiceError(f"{kind} parameters are not JSON-serializable")
+    return normalized
+
+
+# ----------------------------------------------------------------------
+# Warm execution context (lives in one worker process)
+# ----------------------------------------------------------------------
+class WorkerContext:
+    """Per-worker warm state: elaborated designs, retained checkers,
+    and the persistent store tier."""
+
+    def __init__(self, store_root: str, blast_capacity: int = 64):
+        self.store = ArtifactStore(store_root)
+        self.blast_capacity = blast_capacity
+        self._presets: Dict[str, Tuple] = {}
+        self._checkers: Dict[Tuple, object] = {}
+        #: jobs executed by this context (recycling bookkeeping)
+        self.jobs_executed = 0
+
+    def preset(self, design: str) -> Tuple:
+        """The (cached) elaborated design preset."""
+        if design not in self._presets:
+            from ..pipeline import design_preset
+            self._presets[design] = design_preset(design)
+        return self._presets[design]
+
+    def checker(self, design: str, bound: int, max_k: int, engine: str,
+                timeout: Optional[float]):
+        """One caching checker per problem shape, kept warm across
+        jobs.  Its blast cache and verdict cache are store-backed, so a
+        cold *process* still starts warm from disk."""
+        key = (design, bound, max_k, engine)
+        if key not in self._checkers:
+            from ..formal import CachingPropertyChecker, PropertyChecker
+            engine_checker = PropertyChecker(
+                bound=bound, max_k=max_k, engine=engine,
+                blast_cache=PersistentBlastCache(self.store,
+                                                 self.blast_capacity))
+            self._checkers[key] = CachingPropertyChecker(
+                engine_checker, PersistentVerdictCache(self.store),
+                need_traces=True)
+        checker = self._checkers[key]
+        # Per-job budget without losing the warm caches.
+        checker.checker.timeout_seconds = timeout
+        return checker
+
+    def close(self) -> None:
+        self.store.close()
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def execute_job(kind: str, params: Dict, ctx: WorkerContext
+                ) -> Tuple[Dict, Optional[bytes], Optional[str]]:
+    """Run one validated job; returns ``(summary, artifact_bytes,
+    artifact_name)``.  Summary and artifact are deterministic functions
+    of ``(kind, params)``; errors raise (the fleet maps them to a
+    ``failed`` job)."""
+    ctx.jobs_executed += 1
+    if kind == "parse":
+        return _run_parse(params, ctx)
+    if kind == "synth":
+        return _run_synth(params, ctx)
+    if kind == "check":
+        return _run_check(params, ctx)
+    if kind == "sweep":
+        return _run_sweep(params, ctx)
+    raise ServiceError(f"unknown job kind {kind!r}")
+
+
+def _load_model(model_text: Optional[str]):
+    from ..uspec import parse_model
+    if model_text:
+        return parse_model(model_text)
+    from ..designs.models import load_reference_model
+    return load_reference_model()
+
+
+def _run_parse(params: Dict, ctx: WorkerContext):
+    from ..netlist import netlist_fingerprint
+    sim_netlist, formal_netlist = ctx.preset(params["design"])[:2]
+    summary = {
+        "design": params["design"],
+        "fingerprints": {
+            "sim": netlist_fingerprint(sim_netlist),
+            "formal": netlist_fingerprint(formal_netlist),
+        },
+        "stats": sim_netlist.stats(),
+    }
+    artifact = (json.dumps(summary, indent=2, sort_keys=True) + "\n"
+                ).encode("utf-8")
+    return summary, artifact, "parse.json"
+
+
+def _run_synth(params: Dict, ctx: WorkerContext):
+    from ..core.synthesizer import Rtl2Uspec
+    from ..uspec import format_model
+    sim_netlist, formal_netlist, metadata, bound, max_k, candidates, \
+        formal_cores = ctx.preset(params["design"])
+    bound = params["bound"] if params["bound"] is not None else bound
+    max_k = params["max_k"] if params["max_k"] is not None else max_k
+    if params["candidates"] is not None:
+        candidates = params["candidates"]
+    checker = ctx.checker(params["design"], bound, max_k,
+                          params["engine"], params["timeout"])
+    with Rtl2Uspec(sim_netlist, formal_netlist, metadata,
+                   checker=checker, formal_cores=formal_cores,
+                   candidate_filter=candidates, jobs=1) as synthesizer:
+        result = synthesizer.synthesize()
+    engine_stats = checker.checker.stats
+    blast_cache = checker.checker._blast_cache
+    summary = {
+        "design": params["design"],
+        "verdict_digest": result.verdict_digest(),
+        "engine": {
+            "checks": int(engine_stats.get("checks", 0)),
+            "blast_hits": int(engine_stats.get("blast_hits", 0)),
+            "blast_misses": int(engine_stats.get("blast_misses", 0)),
+        },
+        "store": {
+            "blast_hits": getattr(blast_cache, "store_hits", 0),
+            "verdict_hits": getattr(checker.cache, "store_hits", 0),
+        },
+    }
+    artifact = format_model(result.model).encode("utf-8")
+    return summary, artifact, "model.uarch"
+
+
+def _run_check(params: Dict, ctx: WorkerContext):
+    from ..check import run_suite, suite_digest, suite_report_json
+    from ..litmus import load_suite, resolve_tests
+    model = _load_model(params["model_text"])
+    tests = resolve_tests(params["tests"]) if params["tests"] \
+        else load_suite()
+    budget = Budget(timeout_seconds=params["timeout"]) \
+        if params["timeout"] else None
+    run = run_suite(model, tests, jobs=1, engine=params["engine"],
+                    budget=budget)
+    report = suite_report_json(run.verdicts, model="submitted",
+                               engine=params["engine"], deterministic=True)
+    summary = {
+        "digest": suite_digest(run.verdicts),
+        "tests": len(run.verdicts),
+        "failures": report["failures"],
+        "undecided": report["undecided"],
+        "passed": report["failures"] == 0 and report["undecided"] == 0,
+    }
+    artifact = (json.dumps(report, indent=2, sort_keys=True) + "\n"
+                ).encode("utf-8")
+    return summary, artifact, "report.json"
+
+
+def _run_sweep(params: Dict, ctx: WorkerContext):
+    from ..check import verify_exactness
+    model = _load_model(params["model_text"])
+    budget = Budget(timeout_seconds=params["timeout"]) \
+        if params["timeout"] else None
+    report = verify_exactness(
+        model, max_threads=params["threads"], max_len=params["length"],
+        limit=params["limit"], jobs=1, engine=params["engine"],
+        budget=budget)
+    payload = {
+        "schema": "repro-check-sweep/2",
+        "digest": report.digest(),
+        "programs": report.programs,
+        "outcomes_checked": report.outcomes_checked,
+        "exact": report.exact,
+        "unsound": [formatted for formatted, _ in report.unsound],
+        "overstrict": [formatted for formatted, _ in report.overstrict],
+        "undecided": [formatted for formatted, _ in report.undecided],
+    }
+    summary = {
+        "digest": report.digest(),
+        "programs": report.programs,
+        "outcomes_checked": report.outcomes_checked,
+        "exact": report.exact,
+    }
+    artifact = (json.dumps(payload, indent=2, sort_keys=True) + "\n"
+                ).encode("utf-8")
+    return summary, artifact, "sweep.json"

@@ -1,0 +1,105 @@
+"""The daemon's crash-safe job ledger.
+
+Built on the shared checksummed JSONL journal
+(:class:`repro.resilience.journal.Journal`), so it inherits the whole
+resilience contract for free: fsynced commits, per-record checksums, a
+torn tail (daemon ``kill -9`` mid-append) quarantined and counted on
+replay.
+
+Two records per job, keyed so the later one supersedes nothing:
+
+* ``<job>:submit`` — the submission (kind, validated params, client
+  label).  Written and committed *before* the submit response is sent,
+  so an accepted job can never be lost.
+* ``<job>:done`` — the terminal state (``done`` / ``failed`` /
+  ``unknown``), the result summary, and the artifact path + sha256.
+
+A restarted daemon replays the ledger and re-enqueues every job that
+has a ``submit`` record but no ``done`` record — in submission order.
+Because job execution is deterministic (the repo-wide invariant), a
+re-run job reproduces byte-identical artifacts; clients polling across
+the restart never observe anything but a delay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..resilience.journal import Journal
+
+#: terminal job states recorded in ``:done`` entries
+TERMINAL_STATES = ("done", "failed", "unknown")
+
+
+class JobLedger(Journal):
+    """Append-only journal of job submissions and completions."""
+
+    format = "repro-serve-job-ledger"
+
+    def __init__(self, path: str):
+        # A ledger is durable by definition: always replay what exists
+        # (the base class would truncate with resume=False).
+        super().__init__(path, resume=True)
+
+    def _valid_entry(self, entry) -> bool:
+        if not isinstance(entry, dict):
+            return False
+        event = entry.get("event")
+        if event == "submit":
+            return (isinstance(entry.get("job"), str)
+                    and isinstance(entry.get("kind"), str)
+                    and isinstance(entry.get("params"), dict)
+                    and isinstance(entry.get("seq"), int))
+        if event == "done":
+            return (isinstance(entry.get("job"), str)
+                    and entry.get("state") in TERMINAL_STATES
+                    and isinstance(entry.get("result"), dict))
+        return False
+
+    # ------------------------------------------------------------------
+    def record_submit(self, job_id: str, kind: str, params: Dict,
+                      seq: int) -> None:
+        self.record_entry(f"{job_id}:submit", {
+            "event": "submit", "job": job_id, "kind": kind,
+            "params": params, "seq": seq,
+        })
+        self.commit()
+
+    def record_done(self, job_id: str, state: str, result: Dict,
+                    artifact: Optional[str] = None,
+                    sha256: Optional[str] = None) -> None:
+        entry = {"event": "done", "job": job_id, "state": state,
+                 "result": result}
+        if artifact is not None:
+            entry["artifact"] = artifact
+            entry["sha256"] = sha256
+        self.record_entry(f"{job_id}:done", entry)
+        self.commit()
+
+    # ------------------------------------------------------------------
+    def submission(self, job_id: str) -> Optional[Dict]:
+        return self._entries.get(f"{job_id}:submit")
+
+    def completion(self, job_id: str) -> Optional[Dict]:
+        return self._entries.get(f"{job_id}:done")
+
+    def jobs(self) -> List[Tuple[int, str, Dict]]:
+        """All submitted jobs as ``(seq, job_id, submit_entry)``, in
+        submission order."""
+        found = []
+        for key, entry in self._entries.items():
+            if key.endswith(":submit"):
+                found.append((entry["seq"], entry["job"], entry))
+        found.sort()
+        return found
+
+    def pending_jobs(self) -> List[Tuple[str, Dict]]:
+        """Jobs submitted but never completed — the restart re-enqueue
+        list, in submission order."""
+        return [(job_id, entry) for _seq, job_id, entry in self.jobs()
+                if self.completion(job_id) is None]
+
+    def next_seq(self) -> int:
+        """The next submission sequence number (max replayed + 1)."""
+        jobs = self.jobs()
+        return (jobs[-1][0] + 1) if jobs else 1

@@ -1,0 +1,38 @@
+"""Unit tests for the shared deterministic backoff schedule."""
+
+import pytest
+
+from repro.resilience import DEFAULT_BACKOFF, BackoffSchedule
+
+
+class TestSchedule:
+    def test_capped_exponential_series(self):
+        schedule = BackoffSchedule(base=0.05, factor=2.0, cap=2.0)
+        assert schedule.delays(8) == pytest.approx(
+            [0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 2.0, 2.0])
+
+    def test_first_attempt_is_base(self):
+        assert BackoffSchedule(base=0.25).delay(1) == pytest.approx(0.25)
+
+    def test_cap_binds(self):
+        schedule = BackoffSchedule(base=1.0, factor=10.0, cap=3.0)
+        assert schedule.delay(100) == 3.0
+
+    def test_attempt_zero_or_negative_is_free(self):
+        schedule = BackoffSchedule()
+        assert schedule.delay(0) == 0.0
+        assert schedule.delay(-3) == 0.0
+
+    def test_deterministic_no_jitter(self):
+        # Fault-injection reproducibility: same attempt, same delay.
+        schedule = BackoffSchedule()
+        assert [schedule.delay(4) for _ in range(5)] == \
+            [schedule.delay(4)] * 5
+
+    def test_default_schedule(self):
+        assert DEFAULT_BACKOFF.base == pytest.approx(0.05)
+        assert DEFAULT_BACKOFF.cap == pytest.approx(2.0)
+
+    def test_custom_factor(self):
+        schedule = BackoffSchedule(base=0.1, factor=3.0, cap=100.0)
+        assert schedule.delay(3) == pytest.approx(0.9)

@@ -178,3 +178,30 @@ class TestParseFaultSpec:
         assert plan.fault_for(7, 0) == HANG
         assert parse_fault_spec("interrupt:1").fault_for(1, 0) == INTERRUPT
         assert parse_fault_spec("garbage:1").fault_for(1, 0) == GARBAGE
+
+
+class TestPoolRebuilds:
+    def test_hard_crash_rebuild_is_counted(self):
+        # A real worker death (os._exit) breaks the ProcessPoolExecutor;
+        # the wave retry must rebuild it and say so in the stats.
+        plan = FaultPlan(crashes=frozenset({0}), hard_crashes=True)
+        stats = PoolStats()
+        out = run_tasks([1, 2], _double, _double, 2, {},
+                        fault_plan=plan, stats=stats, retry_backoff=0.001)
+        assert out == [2, 4]
+        assert stats.pool_rebuilds >= 1
+        assert "pool rebuild(s)" in stats.summary()
+
+    def test_serial_crashes_never_rebuild(self):
+        plan = FaultPlan(crashes=frozenset({0}), hard_crashes=False)
+        stats = PoolStats()
+        run_tasks([1, 2], _double, _double, 1, {},
+                  fault_plan=plan, stats=stats, retry_backoff=0.001)
+        assert stats.pool_rebuilds == 0
+
+    def test_clean_pool_run_has_no_rebuilds(self):
+        stats = PoolStats()
+        out = run_tasks([1, 2, 3], _double, _double, 2, {}, stats=stats)
+        assert out == [2, 4, 6]
+        assert stats.pool_rebuilds == 0
+        assert "0 pool rebuild(s)" in stats.summary()

@@ -1,0 +1,173 @@
+"""Unit tests for the serve layer: parameter validation, queue
+backpressure, the crash-safe job ledger, and the fleet's framing."""
+
+import os
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import JobLedger, JobQueue, validate_params
+from repro.service.fleet import parse_frames, send_frame
+from repro.service.jobs import JOB_KINDS
+
+
+class TestValidateParams:
+    def test_defaults_filled_in(self):
+        params = validate_params("synth", {"design": "unicore"})
+        assert params["design"] == "unicore"
+        assert params["engine"] == "incremental"
+        assert params["bound"] is None
+
+    def test_same_request_validates_identically(self):
+        assert validate_params("check", {"tests": ["mp"]}) == \
+            validate_params("check", {"tests": ["mp"]})
+
+    def test_unknown_kind_refused(self):
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            validate_params("frobnicate", {})
+
+    def test_unknown_parameter_refused(self):
+        with pytest.raises(ServiceError, match="unknown synth parameter"):
+            validate_params("synth", {"depth": 3})
+
+    def test_unknown_design_refused(self):
+        with pytest.raises(ServiceError, match="unknown design"):
+            validate_params("parse", {"design": "zen5"})
+
+    def test_negative_bound_refused(self):
+        with pytest.raises(ServiceError, match="non-negative integer"):
+            validate_params("synth", {"bound": -1})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(ServiceError):
+            validate_params("synth", {"bound": True})
+
+    def test_bad_timeout_refused(self):
+        with pytest.raises(ServiceError, match="timeout"):
+            validate_params("check", {"timeout": -2.0})
+
+    def test_bad_tests_refused(self):
+        with pytest.raises(ServiceError, match="list"):
+            validate_params("check", {"tests": "mp,sb"})
+
+    def test_bad_engine_refused(self):
+        with pytest.raises(ServiceError, match="unknown engine"):
+            validate_params("check", {"engine": "quantum"})
+
+    def test_every_kind_validates_empty_params(self):
+        for kind in JOB_KINDS:
+            assert isinstance(validate_params(kind, None), dict)
+
+
+class TestJobQueue:
+    def test_fifo_order(self):
+        queue = JobQueue(max_depth=4)
+        for job in ("a", "b", "c"):
+            assert queue.offer(job)
+        assert [queue.take(), queue.take(), queue.take()] == ["a", "b", "c"]
+        assert queue.take() is None
+
+    def test_backpressure_refuses_past_depth(self):
+        queue = JobQueue(max_depth=2)
+        assert queue.offer("a") and queue.offer("b")
+        assert not queue.offer("c")  # admission control, not buffering
+        assert len(queue) == 2
+        queue.take()
+        assert queue.offer("c")  # capacity freed -> admitted again
+
+    def test_requeue_goes_to_front_and_always_succeeds(self):
+        queue = JobQueue(max_depth=2)
+        queue.offer("a")
+        queue.offer("b")
+        queue.requeue("crashed")  # retries bypass admission control
+        assert len(queue) == 3
+        assert queue.take() == "crashed"
+
+
+class TestJobLedger:
+    def test_submit_then_done_round_trip(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        ledger = JobLedger(path)
+        ledger.record_submit("job-000001", "check", {"tests": None}, 1)
+        assert ledger.pending_jobs() == [
+            ("job-000001", ledger.submission("job-000001"))]
+        ledger.record_done("job-000001", "done", {"digest": "abc"},
+                           artifact="/tmp/report.json", sha256="ff" * 32)
+        assert ledger.pending_jobs() == []
+        ledger.close()
+
+    def test_restart_reenqueues_unfinished_in_submission_order(
+            self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        ledger = JobLedger(path)
+        ledger.record_submit("job-000001", "synth", {}, 1)
+        ledger.record_submit("job-000002", "check", {}, 2)
+        ledger.record_submit("job-000003", "check", {}, 3)
+        ledger.record_done("job-000002", "done", {})
+        ledger.close()
+
+        replayed = JobLedger(path)  # the daemon-restart path
+        pending = [job_id for job_id, _entry in replayed.pending_jobs()]
+        assert pending == ["job-000001", "job-000003"]
+        assert replayed.next_seq() == 4
+        assert replayed.completion("job-000002")["state"] == "done"
+        replayed.close()
+
+    def test_torn_tail_quarantined_and_counted(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        ledger = JobLedger(path)
+        ledger.record_submit("job-000001", "check", {}, 1)
+        ledger.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn mid-append')  # kill -9 mid-write
+
+        replayed = JobLedger(path)
+        assert replayed.quarantined_records == 1
+        assert replayed.quarantined and os.path.exists(replayed.quarantined)
+        # The committed record survived the torn tail.
+        assert [j for j, _ in replayed.pending_jobs()] == ["job-000001"]
+        replayed.close()
+
+    def test_invalid_terminal_state_not_replayed(self, tmp_path):
+        """A done record with a made-up state must not replay as a
+        completion — the job stays pending and is re-run."""
+        path = str(tmp_path / "jobs.jsonl")
+        ledger = JobLedger(path)
+        ledger.record_submit("job-000001", "check", {}, 1)
+        ledger.record_done("job-000001", "meandering", {})
+        ledger.close()
+
+        replayed = JobLedger(path)
+        assert replayed.completion("job-000001") is None
+        assert [j for j, _ in replayed.pending_jobs()] == ["job-000001"]
+        replayed.close()
+
+
+class TestFleetFraming:
+    """The supervisor parses frames from a byte buffer without ever
+    blocking — a torn frame stays buffered, never wedges the loop."""
+
+    def test_round_trip(self):
+        import socket
+
+        a, b = socket.socketpair()
+        send_frame(a, ("done", "job-1", "done", {"x": 1}, b"bytes", "f"))
+        send_frame(a, ("hb", 123.0))
+        buffer = bytearray(b.recv(65536))
+        messages = parse_frames(buffer)
+        assert messages[0][1] == "job-1"
+        assert messages[1] == ("hb", 123.0)
+        assert not buffer  # fully consumed
+        a.close(); b.close()
+
+    def test_partial_frame_stays_buffered(self):
+        import pickle
+        import struct
+
+        payload = pickle.dumps(("hb", 1.0))
+        wire = struct.pack("!I", len(payload)) + payload
+        buffer = bytearray(wire[:len(wire) - 3])  # torn mid-send
+        assert parse_frames(buffer) == []
+        assert len(buffer) == len(wire) - 3  # untouched, not dropped
+        buffer.extend(wire[len(wire) - 3:])
+        assert parse_frames(buffer) == [("hb", 1.0)]
