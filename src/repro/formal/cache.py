@@ -16,7 +16,19 @@ import tempfile
 from typing import Dict, Optional
 
 from ..netlist import Netlist, netlist_fingerprint
-from .engine import REFUTED, CheckParams, Verdict
+from .engine import REFUTED, UNKNOWN, CheckParams, Verdict
+
+
+def _decided(entry: Dict) -> bool:
+    """True for entries safe to share across runs.
+
+    UNKNOWN verdicts are shaped by the run's budget (timeout/conflict
+    caps), which :func:`problem_fingerprint` deliberately excludes —
+    persisting one would let a tightly-budgeted run poison every later
+    run with a larger budget for the same problem.  They stay cached in
+    memory (one process has one budget) but never cross processes.
+    """
+    return entry.get("status") != UNKNOWN
 
 
 def encode_verdict(verdict: Verdict) -> Dict:
@@ -116,12 +128,16 @@ class VerdictCache:
                 if not isinstance(entries, dict) or \
                         data.get("checksum") != _entries_checksum(entries):
                     raise ValueError("cache checksum mismatch")
-                self._entries = entries
             else:
                 # Version-1 file: a bare fingerprint -> entry dict.
                 if not all(isinstance(v, dict) for v in data.values()):
                     raise ValueError("cache entries are not objects")
-                self._entries = data
+                entries = data
+            # Drop budget-shaped verdicts written by older versions:
+            # this run's budget may differ from the writer's.
+            self._entries = {fingerprint: entry
+                             for fingerprint, entry in entries.items()
+                             if _decided(entry)}
         except (json.JSONDecodeError, OSError, ValueError, KeyError):
             self._entries = {}
             self._quarantine(path)
@@ -157,6 +173,9 @@ class VerdictCache:
         """
         if not self.path:
             return  # in-memory cache (or a store-backed subclass)
+        persisted = {fingerprint: entry
+                     for fingerprint, entry in self._entries.items()
+                     if _decided(entry)}
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         fd, temp_path = tempfile.mkstemp(
@@ -167,8 +186,8 @@ class VerdictCache:
                 json.dump({
                     "format": "rtl2uspec-verdict-cache",
                     "version": 2,
-                    "checksum": _entries_checksum(self._entries),
-                    "entries": self._entries,
+                    "checksum": _entries_checksum(persisted),
+                    "entries": persisted,
                 }, handle, indent=0)
             os.replace(temp_path, self.path)
         except BaseException:

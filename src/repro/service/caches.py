@@ -27,7 +27,7 @@ from typing import Optional, Sequence, Tuple
 
 from ..formal.bitblast import BlastCache, BlastedDesign, bitblast
 from ..formal.cache import VerdictCache, decode_verdict
-from ..formal.engine import Verdict
+from ..formal.engine import UNKNOWN, Verdict
 from ..netlist import Netlist, cone_of_influence, netlist_fingerprint
 from .store import ArtifactStore
 
@@ -40,7 +40,18 @@ _VERDICT_REQUIRED = ("status", "method", "bound", "time_seconds")
 
 class PersistentVerdictCache(VerdictCache):
     """A :class:`VerdictCache` whose entries live in the artifact store,
-    keyed by the existing canonical problem fingerprint."""
+    keyed by the existing canonical problem fingerprint.
+
+    UNKNOWN verdicts are never cached — in either tier.  They are
+    shaped by the submitting job's budget, which the fingerprint
+    excludes, and this cache outlives any single budget: the store is
+    shared across runs and clients, and the in-memory tier lives in a
+    warm worker whose checker is re-budgeted per job
+    (:meth:`repro.service.jobs.WorkerContext.checker`).  Caching one
+    would let a tightly-budgeted submission pin every later submission
+    of the same problem to UNKNOWN, breaking the determinism contract
+    (same ``(kind, params)`` ⇒ same result regardless of history).
+    """
 
     def __init__(self, store: ArtifactStore):
         super().__init__(path=None)
@@ -53,7 +64,11 @@ class PersistentVerdictCache(VerdictCache):
         if entry is None:
             entry = self._store.get_json(VERDICT_NAMESPACE, fingerprint)
             if entry is None or \
-                    not all(key in entry for key in _VERDICT_REQUIRED):
+                    not all(key in entry for key in _VERDICT_REQUIRED) or \
+                    entry["status"] == UNKNOWN:
+                # A stored UNKNOWN (written by a pre-fix daemon) is a
+                # miss: recompute, and the decided verdict's
+                # write-through heals the entry.
                 self.misses += 1
                 return None
             self._entries[fingerprint] = entry
@@ -62,6 +77,9 @@ class PersistentVerdictCache(VerdictCache):
         return decode_verdict(entry)
 
     def store(self, fingerprint: str, verdict: Verdict) -> None:
+        if verdict.status == UNKNOWN:
+            self._entries.pop(fingerprint, None)
+            return
         super().store(fingerprint, verdict)
         self._store.put_json(VERDICT_NAMESPACE, fingerprint,
                              self._entries[fingerprint])

@@ -36,6 +36,7 @@ Failure contract:
 
 from __future__ import annotations
 
+import fcntl
 import hashlib
 import json
 import os
@@ -58,6 +59,10 @@ from .store import ArtifactStore
 ACTIVE_STATES = ("queued", "running")
 
 _MAX_REQUEST_BYTES = 8 * 1024 * 1024  # model texts are small; 8 MiB is lots
+
+#: a queued reply not drained within this window means the client is
+#: wedged; the connection is dropped (never blocks the event loop)
+_SEND_TIMEOUT_SECONDS = 10.0
 
 
 def default_socket_path(state_dir: str) -> str:
@@ -82,6 +87,17 @@ class ServeConfig:
 
     def resolved_socket(self) -> str:
         return self.socket_path or default_socket_path(self.state_dir)
+
+
+@dataclass
+class _ClientConn:
+    """Per-connection buffers.  Replies are queued in ``txbuf`` and
+    written on ``EVENT_WRITE`` readiness — the single-threaded event
+    loop never blocks on a slow or wedged client."""
+
+    rxbuf: bytearray = field(default_factory=bytearray)
+    txbuf: bytearray = field(default_factory=bytearray)
+    send_deadline: float = 0.0
 
 
 @dataclass
@@ -157,6 +173,7 @@ class Daemon:
         self._shutdown = False
         self._selector = selectors.DefaultSelector()
         self._listener: Optional[socket.socket] = None
+        self._lock_file = None  # held (flock) for the daemon's lifetime
         self._started_at = time.time()
         self._resume_ledger()
 
@@ -193,22 +210,65 @@ class Daemon:
                       f"from the ledger")
 
     def _forked_socket_closers(self) -> List[socket.socket]:
-        """Every daemon-side socket a forked worker must close: the
+        """Every daemon-side handle a forked worker must close: the
         listener (else a killed daemon's orphans keep the socket path
-        accepting doomed connections) and any client connection open at
-        fork time."""
-        return [key.fileobj for key in self._selector.get_map().values()]
+        accepting doomed connections), any client connection open at
+        fork time, and the state-dir lock file (else those orphans keep
+        the flock held and a restarted daemon cannot acquire it)."""
+        closers = [key.fileobj for key in self._selector.get_map().values()]
+        if self._lock_file is not None:
+            closers.append(self._lock_file)
+        return closers
+
+    def _acquire_lock(self) -> None:
+        """Take the state directory's exclusive daemon lock.
+
+        The flock is the single-writer guarantee: whatever the socket
+        probe concludes, two daemons can never share one state dir,
+        ledger, and job store.  Held until :meth:`_teardown`; the file
+        itself is left behind (unlinking would race a successor opening
+        the same path)."""
+        lock_path = os.path.join(self.config.state_dir, "serve.lock")
+        # "a", not "w": a losing contender must not truncate the
+        # holder's pid note before the flock decides.
+        lock_file = open(lock_path, "a", encoding="utf-8")
+        try:
+            fcntl.flock(lock_file, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            lock_file.close()
+            raise ServiceError(f"another daemon already owns "
+                               f"{self.config.state_dir} "
+                               f"(lock held on {lock_path})")
+        lock_file.truncate(0)
+        lock_file.write(f"{os.getpid()}\n")
+        lock_file.flush()
+        self._lock_file = lock_file
+
+    def _release_lock(self) -> None:
+        if self._lock_file is not None:
+            try:
+                self._lock_file.close()  # closing releases the flock
+            except OSError:
+                pass
+            self._lock_file = None
 
     def _bind(self) -> None:
+        self._acquire_lock()
         path = self.config.resolved_socket()
         if os.path.exists(path):
             probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             try:
                 probe.connect(path)
-            except (ConnectionRefusedError, FileNotFoundError, OSError):
+            except (ConnectionRefusedError, FileNotFoundError):
                 os.unlink(path)  # stale socket from a killed daemon
+            except OSError as exc:
+                # Anything else (backlog pressure, EPERM, ...) may be a
+                # live daemon: never unlink a socket we can't prove dead.
+                self._release_lock()
+                raise ServiceError(f"cannot probe existing socket "
+                                   f"{path}: {exc}")
             else:
-                probe.close()
+                self._release_lock()
                 raise ServiceError(f"another daemon is already serving "
                                    f"on {path}")
             finally:
@@ -234,12 +294,14 @@ class Daemon:
                   f"({self.config.workers} worker(s))")
         try:
             while not self._shutdown:
-                for key, _mask in self._selector.select(timeout=0.05):
-                    what, conn = key.data
+                for key, mask in self._selector.select(timeout=0.05):
+                    what, state = key.data
                     if what == "accept":
                         self._accept()
+                    elif mask & selectors.EVENT_WRITE:
+                        self._flush_client(key.fileobj, state)
                     else:
-                        self._service_client(key.fileobj, conn)
+                        self._service_client(key.fileobj, state)
                 self._tick()
         finally:
             self._teardown()
@@ -253,6 +315,7 @@ class Daemon:
 
     def _tick(self) -> None:
         """One scheduling beat: fold fleet events, dispatch, drain."""
+        self._reap_stalled_clients()
         for event in self.fleet.poll():
             if event[0] == "done":
                 _, job_id, state, summary, artifact, name = event
@@ -337,10 +400,10 @@ class Daemon:
             return
         conn.setblocking(False)
         self._selector.register(conn, selectors.EVENT_READ,
-                                ("client", bytearray()))
+                                ("client", _ClientConn()))
 
     def _service_client(self, conn: socket.socket,
-                        buffer: bytearray) -> None:
+                        state: _ClientConn) -> None:
         try:
             chunk = conn.recv(65536)
         except (BlockingIOError, InterruptedError):
@@ -351,22 +414,23 @@ class Daemon:
         if not chunk:
             self._drop_client(conn)
             return
-        buffer.extend(chunk)
-        if len(buffer) > _MAX_REQUEST_BYTES:
-            self._respond(conn, {"ok": False, "error": "request too large"})
+        state.rxbuf.extend(chunk)
+        if len(state.rxbuf) > _MAX_REQUEST_BYTES:
+            self._respond(conn, state,
+                          {"ok": False, "error": "request too large"})
             return
-        if b"\n" not in buffer:
+        if b"\n" not in state.rxbuf:
             return
-        line = bytes(buffer[:buffer.index(b"\n")])
+        line = bytes(state.rxbuf[:state.rxbuf.index(b"\n")])
         try:
             request = json.loads(line.decode("utf-8"))
             if not isinstance(request, dict):
                 raise ValueError("request must be an object")
         except (ValueError, UnicodeDecodeError) as exc:
-            self._respond(conn, {"ok": False,
-                                 "error": f"bad request: {exc}"})
+            self._respond(conn, state, {"ok": False,
+                                        "error": f"bad request: {exc}"})
             return
-        self._respond(conn, self._handle(request))
+        self._respond(conn, state, self._handle(request))
 
     def _drop_client(self, conn: socket.socket) -> None:
         try:
@@ -378,15 +442,45 @@ class Daemon:
         except OSError:
             pass
 
-    def _respond(self, conn: socket.socket, response: Dict) -> None:
-        payload = (json.dumps(response) + "\n").encode("utf-8")
+    def _respond(self, conn: socket.socket, state: _ClientConn,
+                 response: Dict) -> None:
+        """Queue the reply and switch the connection to
+        write-readiness; the event loop drains it without blocking
+        (a wedged client costs nothing but its own connection)."""
+        state.txbuf.extend((json.dumps(response) + "\n").encode("utf-8"))
+        state.send_deadline = time.time() + _SEND_TIMEOUT_SECONDS
         try:
-            conn.setblocking(True)
-            conn.settimeout(5.0)
-            conn.sendall(payload)
+            self._selector.modify(conn, selectors.EVENT_WRITE,
+                                  ("client", state))
+        except (KeyError, ValueError, OSError):
+            self._drop_client(conn)
+            return
+        self._flush_client(conn, state)
+
+    def _flush_client(self, conn: socket.socket,
+                      state: _ClientConn) -> None:
+        try:
+            while state.txbuf:
+                sent = conn.send(state.txbuf)
+                del state.txbuf[:sent]
+        except (BlockingIOError, InterruptedError):
+            return  # socket full: wait for the next EVENT_WRITE
         except OSError:
             pass
-        self._drop_client(conn)
+        self._drop_client(conn)  # reply fully sent (or client dead)
+
+    def _reap_stalled_clients(self) -> None:
+        """Drop connections whose queued reply has not drained within
+        the send window (the client stopped reading)."""
+        now = time.time()
+        stalled = [
+            key.fileobj
+            for key in list(self._selector.get_map().values())
+            if key.data[0] == "client" and key.data[1].txbuf
+            and now > key.data[1].send_deadline
+        ]
+        for conn in stalled:
+            self._drop_client(conn)
 
     # ------------------------------------------------------------------
     def _handle(self, request: Dict) -> Dict:
@@ -505,5 +599,6 @@ class Daemon:
             except OSError:
                 pass
         self.ledger.close()
+        self._release_lock()
         self.echo(f"[serve] stopped; {len(self.queue)} job(s) left "
                   f"queued in the ledger")

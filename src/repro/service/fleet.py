@@ -85,17 +85,24 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def parse_frames(buffer: bytearray) -> List:
+def parse_frames(buffer: bytearray, messages: Optional[List] = None) -> List:
     """Pop every complete frame off ``buffer`` (supervisor side);
-    an incomplete tail is left in place for the next read."""
-    messages = []
+    an incomplete tail is left in place for the next read.
+
+    Pass ``messages`` to keep the frames parsed before a garbled one:
+    each frame is appended as it is decoded, so when a decode raises
+    the caller still holds the good prefix.
+    """
+    if messages is None:
+        messages = []
     while len(buffer) >= _HEADER.size:
         length = _HEADER.unpack(bytes(buffer[:_HEADER.size]))[0]
         end = _HEADER.size + length
         if len(buffer) < end:
             break
-        messages.append(pickle.loads(bytes(buffer[_HEADER.size:end])))
+        payload = bytes(buffer[_HEADER.size:end])
         del buffer[:end]
+        messages.append(pickle.loads(payload))
     return messages
 
 
@@ -208,6 +215,8 @@ class _WorkerSlot:
     process: Optional[mp.process.BaseProcess] = None
     sock: Optional[socket.socket] = None
     rxbuf: bytearray = None
+    txbuf: bytearray = None
+    tx_since: float = 0.0  # when txbuf last went empty -> non-empty
     busy_job: Optional[Tuple[str, str, Dict]] = None  # (id, kind, params)
     started_at: float = 0.0
     last_seen: float = 0.0
@@ -273,6 +282,7 @@ class WorkerFleet:
         slot.process = process
         slot.sock = parent_sock
         slot.rxbuf = bytearray()
+        slot.txbuf = bytearray()
         slot.busy_job = None
         slot.last_seen = time.time()
         slot.jobs_done = 0
@@ -292,6 +302,7 @@ class WorkerFleet:
                 pass
             slot.sock = None
         slot.rxbuf = bytearray()
+        slot.txbuf = bytearray()
         slot.busy_job = None
 
     def _schedule_respawn(self, slot: _WorkerSlot, now: float) -> None:
@@ -302,20 +313,31 @@ class WorkerFleet:
         slot.respawn_at = now + self.backoff.delay(slot.respawn_attempt)
 
     def _send(self, slot: _WorkerSlot, message) -> bool:
-        """Send one frame to a worker; small control frames, so a full
-        socket buffer (worker wedged) is treated as a send failure."""
-        try:
-            slot.sock.settimeout(5.0)
-            send_frame(slot.sock, message)
-            return True
-        except (OSError, socket.timeout):
+        """Queue one frame for the worker and push what fits *without
+        blocking* — the daemon's event loop must never stall on a
+        wedged worker.  The remainder drains from :meth:`poll`; a
+        worker that stops reading for ``hang_timeout`` is reaped by
+        the stalled-send check in :meth:`_poll_slot`.  Returns False
+        only when the seat's socket is dead."""
+        if slot.sock is None:
             return False
-        finally:
-            if slot.sock is not None:
-                try:
-                    slot.sock.setblocking(False)
-                except OSError:
-                    pass
+        payload = pickle.dumps(message)
+        if not slot.txbuf:
+            slot.tx_since = time.time()
+        slot.txbuf.extend(_HEADER.pack(len(payload)) + payload)
+        return self._flush(slot)
+
+    def _flush(self, slot: _WorkerSlot) -> bool:
+        """Non-blocking push of queued bytes; False on a dead socket."""
+        while slot.txbuf:
+            try:
+                sent = slot.sock.send(slot.txbuf)
+            except (BlockingIOError, InterruptedError):
+                return True  # socket buffer full: retry next poll
+            except OSError:
+                return False
+            del slot.txbuf[:sent]
+        return True
 
     # ------------------------------------------------------------------
     def idle_slots(self) -> int:
@@ -365,21 +387,33 @@ class WorkerFleet:
 
     def _drain(self, slot: _WorkerSlot) -> Tuple[List, bool]:
         """Non-blocking read of everything the worker sent.  Returns
-        ``(messages, torn)``."""
+        ``(messages, torn)``.
+
+        Complete frames already buffered are parsed and returned even
+        when the stream then tears (EOF, reset, garbage): a worker
+        that sends its ``done`` frame and exits in the same poll has
+        *delivered* its result — discarding it would re-dispatch (or,
+        on the last attempt, fail) a job that completed.
+        """
+        torn = False
         while True:
             try:
                 chunk = slot.sock.recv(65536)
             except (BlockingIOError, InterruptedError):
                 break
             except OSError:
-                return [], True
+                torn = True
+                break
             if not chunk:
-                return [], True  # EOF: worker gone
+                torn = True  # EOF: worker gone
+                break
             slot.rxbuf.extend(chunk)
+        messages: List = []
         try:
-            return parse_frames(slot.rxbuf), False
+            parse_frames(slot.rxbuf, messages)
         except (pickle.UnpicklingError, ValueError, EOFError):
-            return [], True  # garbled stream: treat as torn
+            torn = True  # garbled tail; the good prefix stands
+        return messages, torn
 
     def _poll_slot(self, slot: _WorkerSlot, now: float) -> List[FleetEvent]:
         events: List[FleetEvent] = []
@@ -389,7 +423,9 @@ class WorkerFleet:
                 self._spawn(slot)
             return events
 
+        sendable = self._flush(slot)  # drain any buffered outbound frames
         messages, torn = self._drain(slot)
+        torn = torn or not sendable
         for message in messages:
             if message[0] == "hb":
                 slot.last_seen = now
@@ -436,6 +472,18 @@ class WorkerFleet:
                                "worker heartbeat stalled"))
                 self._schedule_respawn(slot, now)
                 return events
+
+        # A worker that heartbeats but never reads its socket would
+        # otherwise hold queued frames forever (the heartbeat thread
+        # keeps last_seen fresh while the main loop is wedged).
+        if slot.txbuf and now - slot.tx_since > self.hang_timeout:
+            self.stats.hangs += 1
+            if slot.busy_job is not None:
+                job_id, kind, params = slot.busy_job
+                events.append(("crashed", job_id, kind, params,
+                               "worker stopped reading its socket"))
+            self._schedule_respawn(slot, now)
+            return events
 
         # Idle recycling: retire leak-prone workers between jobs only.
         if self.recycle_after and slot.busy_job is None and \

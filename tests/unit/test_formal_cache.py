@@ -272,3 +272,41 @@ class TestChecksumQuarantine:
             path.write_text(shape)
             cache = VerdictCache(str(path))
             assert len(cache) == 0
+
+
+class TestBudgetVerdictsNeverPersist:
+    """UNKNOWN verdicts are shaped by the run's budget, which the
+    fingerprint excludes — they may be served within one run (one
+    process, one budget) but never cross runs via the cache file."""
+
+    def test_save_filters_unknown_entries(self, tmp_path):
+        from repro.formal.engine import UNKNOWN, Verdict
+
+        path = str(tmp_path / "cache.json")
+        cache = VerdictCache(path)
+        cache.store("f" * 64, Verdict(
+            status=UNKNOWN, method="bmc", bound=10, time_seconds=0.1,
+            reason="timeout"))
+        cache.store("a" * 64, Verdict(
+            status="PROVEN", method="bmc", bound=10, time_seconds=0.1))
+        assert cache.lookup("f" * 64) is not None  # same-run hit is fine
+        cache.save()
+        reloaded = VerdictCache(path)
+        assert reloaded.quarantined is None  # checksum covers the filtered set
+        assert reloaded.lookup("a" * 64) is not None
+        assert reloaded.lookup("f" * 64) is None
+
+    def test_pre_fix_file_with_unknown_entry_filtered_on_load(self, tmp_path):
+        import json
+
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({
+            "f" * 64: {"status": "UNKNOWN", "method": "bmc", "bound": 10,
+                       "time_seconds": 0.1, "reason": "timeout"},
+            "a" * 64: {"status": "PROVEN", "method": "bmc", "bound": 10,
+                       "time_seconds": 0.1},
+        }))
+        cache = VerdictCache(str(path))
+        assert cache.quarantined is None
+        assert cache.lookup("a" * 64) is not None
+        assert cache.lookup("f" * 64) is None

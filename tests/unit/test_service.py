@@ -171,3 +171,113 @@ class TestFleetFraming:
         assert len(buffer) == len(wire) - 3  # untouched, not dropped
         buffer.extend(wire[len(wire) - 3:])
         assert parse_frames(buffer) == [("hb", 1.0)]
+
+
+class TestFleetDrain:
+    """A worker that delivers its ``done`` frame and dies in the same
+    poll has *completed* — the result must survive the EOF, not be
+    discarded and the job re-dispatched (or failed on the last
+    attempt)."""
+
+    def _slot_with_pipe(self, tmp_path):
+        import socket
+
+        from repro.service.fleet import WorkerFleet
+
+        fleet = WorkerFleet(str(tmp_path / "store"), workers=1)
+        slot = fleet._slots[0]
+        far, near = socket.socketpair()
+        near.setblocking(False)
+        slot.sock = near
+        slot.rxbuf = bytearray()
+        slot.txbuf = bytearray()
+        return fleet, slot, far
+
+    def test_eof_still_yields_buffered_frames(self, tmp_path):
+        fleet, slot, far = self._slot_with_pipe(tmp_path)
+        send_frame(far, ("done", "job-1", "done", {"ok": True}, b"x", "f"))
+        far.close()  # worker exits right after its last send
+        messages, torn = fleet._drain(slot)
+        assert torn
+        assert [m[1] for m in messages if m[0] == "done"] == ["job-1"]
+        slot.sock.close()
+
+    def test_done_then_death_is_completion_not_a_crash(self, tmp_path):
+        class _DeadProcess:
+            pid = 0
+
+            def is_alive(self):
+                return False
+
+            def kill(self):
+                pass
+
+            def join(self, timeout=None):
+                pass
+
+        fleet, slot, far = self._slot_with_pipe(tmp_path)
+        slot.process = _DeadProcess()
+        slot.busy_job = ("job-1", "check", {})
+        send_frame(far, ("done", "job-1", "done", {"ok": True}, None, None))
+        far.close()
+        events = fleet._poll_slot(slot, 1000.0)
+        kinds = [event[0] for event in events]
+        assert "done" in kinds and "crashed" not in kinds
+        assert fleet.stats.jobs_completed == 1
+
+
+class TestDaemonSingleWriter:
+    """Exactly one daemon may own a state directory (flock), and a
+    socket path is only unlinked when provably stale."""
+
+    @staticmethod
+    def _quiet(*_args, **_kwargs):
+        pass
+
+    def test_second_daemon_refused_while_lock_held(self, tmp_path):
+        from repro.service.daemon import Daemon, ServeConfig
+
+        state = str(tmp_path / "state")
+        first = Daemon(ServeConfig(state_dir=state), echo=self._quiet)
+        first._bind()
+        try:
+            second = Daemon(ServeConfig(state_dir=state), echo=self._quiet)
+            with pytest.raises(ServiceError, match="already owns"):
+                second._bind()
+            second.ledger.close()
+        finally:
+            first._teardown()
+
+    def test_stale_socket_unlinked_and_rebound(self, tmp_path):
+        import socket
+
+        from repro.service.daemon import Daemon, ServeConfig
+
+        state = tmp_path / "state"
+        state.mkdir()
+        sock_path = str(state / "serve.sock")
+        stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        stale.bind(sock_path)
+        stale.close()  # nothing listening; the path is left behind
+        daemon = Daemon(ServeConfig(state_dir=str(state)), echo=self._quiet)
+        daemon._bind()
+        assert daemon._listener is not None
+        daemon._teardown()
+
+    def test_live_socket_refused_and_not_unlinked(self, tmp_path):
+        from repro.service.daemon import Daemon, ServeConfig
+
+        sock_path = str(tmp_path / "shared.sock")
+        first = Daemon(ServeConfig(state_dir=str(tmp_path / "s1"),
+                                   socket_path=sock_path), echo=self._quiet)
+        first._bind()
+        try:
+            second = Daemon(ServeConfig(state_dir=str(tmp_path / "s2"),
+                                        socket_path=sock_path),
+                            echo=self._quiet)
+            with pytest.raises(ServiceError, match="already serving"):
+                second._bind()
+            assert os.path.exists(sock_path)  # the live socket survives
+            second.ledger.close()
+        finally:
+            first._teardown()

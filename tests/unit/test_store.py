@@ -194,6 +194,46 @@ class TestPersistentCaches:
         assert verdict is not None and verdict.proven
         assert cache.store_hits == 1 and cache.hits == 1
 
+    def test_unknown_verdict_never_persisted(self, tmp_path):
+        from repro.formal.engine import UNKNOWN, Verdict
+        from repro.service.caches import VERDICT_NAMESPACE
+
+        root = str(tmp_path / "store")
+        fingerprint = hashlib.sha256(b"problem").hexdigest()
+        store = ArtifactStore(root)
+        cache = PersistentVerdictCache(store)
+        cache.store(fingerprint, Verdict(
+            status=UNKNOWN, method="bmc", bound=10, time_seconds=0.1,
+            reason="timeout"))
+        # Neither tier serves it: the fingerprint excludes the job's
+        # budget, so a later job with a larger budget must recompute
+        # rather than inherit this job's exhaustion.
+        assert cache.lookup(fingerprint) is None
+        assert store.get_json(VERDICT_NAMESPACE, fingerprint) is None
+        fresh = PersistentVerdictCache(store)
+        assert fresh.lookup(fingerprint) is None
+
+    def test_poisoned_unknown_entry_is_a_miss_and_heals(self, tmp_path):
+        from repro.formal.engine import UNKNOWN, Verdict
+        from repro.service.caches import VERDICT_NAMESPACE
+
+        root = str(tmp_path / "store")
+        fingerprint = hashlib.sha256(b"problem").hexdigest()
+        store = ArtifactStore(root)
+        # An UNKNOWN written by a pre-fix daemon must read as a miss...
+        store.put_json(VERDICT_NAMESPACE, fingerprint, {
+            "status": UNKNOWN, "method": "bmc", "bound": 10,
+            "time_seconds": 0.1})
+        cache = PersistentVerdictCache(store)
+        assert cache.lookup(fingerprint) is None
+        assert cache.misses == 1 and cache.store_hits == 0
+        # ...and the decided recompute overwrites (heals) the entry.
+        cache.store(fingerprint, Verdict(
+            status="PROVEN", method="bmc", bound=10, time_seconds=0.1))
+        fresh = PersistentVerdictCache(store)
+        verdict = fresh.lookup(fingerprint)
+        assert verdict is not None and verdict.proven
+
     def test_corrupt_verdict_entry_recomputes(self, tmp_path):
         from repro.service.caches import VERDICT_NAMESPACE
 
