@@ -1,6 +1,12 @@
 """Check-style µhb verification of µspec models against litmus tests."""
 
-from .exhaustive import ExactnessReport, enumerate_programs, verify_exactness
+from .exhaustive import (
+    ExactnessReport,
+    enumerate_programs,
+    enumerate_sweep_programs,
+    normalize_limit,
+    verify_exactness,
+)
 from .incremental import ProgramSolver, SymbolicContext
 from .instance import GroundContext, Microop
 from .journal import (
@@ -31,6 +37,8 @@ __all__ = [
     "verify_exactness",
     "ExactnessReport",
     "enumerate_programs",
+    "enumerate_sweep_programs",
+    "normalize_limit",
     "GroundContext",
     "solve_observability",
     "ObservabilityResult",

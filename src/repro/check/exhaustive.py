@@ -210,12 +210,27 @@ def _check_program(model, program: Program,
     return checked, unsound, overstrict, undecided
 
 
+def normalize_limit(limit: Optional[int]) -> Optional[int]:
+    """Pin down the sweep-limit convention in ONE place.
+
+    ``None``, ``0``, and negative values all mean "no limit" (the CLI's
+    ``--limit`` defaults to 0 = sweep everything; service jobs accept
+    the same convention, so a raw ``limit: 0`` submission no longer
+    sweeps zero programs). A positive value caps the program count.
+    """
+    if limit is None:
+        return None
+    limit = int(limit)
+    return limit if limit > 0 else None
+
+
 def enumerate_sweep_programs(max_threads: int = 2, max_len: int = 2,
                              addresses: Sequence[str] = ("x", "y"),
                              limit: Optional[int] = None) -> List[Program]:
     """The deduplicated, deterministically ordered program list one
     sweep covers (shared by :func:`verify_exactness` and the resumable
     runner, so journals key the exact same programs)."""
+    limit = normalize_limit(limit)
     programs: List[Program] = []
     seen = set()
     for program in enumerate_programs(max_threads, max_len, addresses):
@@ -252,18 +267,22 @@ def verify_exactness(model, max_threads: int = 2, max_len: int = 2,
                      budget: Optional[Budget] = None,
                      fault_plan=None,
                      journal_path: Optional[str] = None,
-                     resume: bool = False) -> ExactnessReport:
+                     resume: bool = False,
+                     programs: Optional[Sequence[Program]] = None) -> ExactnessReport:
     """Sweep all bounded programs/outcomes; compare the model against SC.
 
-    ``limit`` bounds the number of programs (for incremental runs).
-    ``engine`` picks the per-program decision procedure (``incremental``
+    ``limit`` bounds the number of programs (for incremental runs; 0 or
+    ``None`` means unlimited — see :func:`normalize_limit`).  ``engine``
+    picks the per-program decision procedure (``incremental``
     amortizes grounding across a program's conditions; ``fresh`` is the
     seed's one-solve-per-condition path — verdict-identical).  ``jobs``
     distributes programs over worker processes; the report is identical
     for any job count.  ``budget`` bounds each condition's solve
     (expiries land in ``report.undecided``); ``journal_path``/``resume``
     make the sweep crash-safe, and ``fault_plan`` injects deterministic
-    worker faults for the resilience tests.
+    worker faults for the resilience tests.  ``programs`` replaces the
+    built-in shape enumeration with an explicit program list (e.g. a
+    generated-corpus chunk); ``limit`` still caps the prefix swept.
     """
     if engine not in ("fresh", "incremental"):
         raise CheckError(f"unknown check engine {engine!r} "
@@ -275,4 +294,4 @@ def verify_exactness(model, max_threads: int = 2, max_len: int = 2,
                      limit=limit, jobs=jobs, engine=engine,
                      order_encoding=order_encoding, budget=budget,
                      fault_plan=fault_plan, journal_path=journal_path,
-                     resume=resume)
+                     resume=resume, programs=programs)

@@ -59,6 +59,12 @@ class GroundContext:
         uid = 0
         for tid, thread in enumerate(test.program):
             for index, access in enumerate(thread):
+                if access.kind == "F":
+                    # Fences carry no microop: the synthesized models order
+                    # memory events only, and index gaps preserve program
+                    # order across a skipped fence.
+                    uid += 1
+                    continue
                 if access.kind == "W":
                     self.uops.append(Microop(uid, tid, index, "W",
                                              access.addr, access.value))

@@ -33,6 +33,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..errors import InterruptedRun
 from ..litmus import LitmusTest
+from ..mcm.events import Program
 from ..resilience import Budget, FaultPlan, PoolStats, run_tasks, worker_state
 from ..uspec import Model
 from .exhaustive import (
@@ -41,6 +42,7 @@ from .exhaustive import (
     _check_program,
     enumerate_sweep_programs,
     merge_program_results,
+    normalize_limit,
 )
 from .journal import (
     SuiteJournal,
@@ -156,15 +158,28 @@ def run_sweep(model: Model, *, max_threads: int = 2, max_len: int = 2,
               journal_path: Optional[str] = None,
               resume: bool = False,
               fault_plan: Optional[FaultPlan] = None,
-              pool_stats: Optional[PoolStats] = None) -> ExactnessReport:
+              pool_stats: Optional[PoolStats] = None,
+              programs: Optional[Sequence[Program]] = None) -> ExactnessReport:
     """Exhaustive sweep with program-granular journaling and resume.
 
     Raises :class:`InterruptedRun` (partial report attached, journal
     committed) if interrupted.  The returned report's :meth:`digest`
     is identical across job counts, engines, faults, and resume.
+
+    ``programs`` substitutes an explicit program list (e.g. a generated
+    corpus chunk) for the built-in shape enumeration; journal keys are
+    content fingerprints either way, so chunked corpus sweeps resume
+    against the same journal.  ``limit`` (0/None = unlimited) caps the
+    prefix in both modes.
     """
-    programs = enumerate_sweep_programs(max_threads, max_len, addresses,
-                                        limit)
+    if programs is None:
+        programs = enumerate_sweep_programs(max_threads, max_len, addresses,
+                                            limit)
+    else:
+        programs = list(programs)
+        cap = normalize_limit(limit)
+        if cap is not None:
+            programs = programs[:cap]
     report = ExactnessReport(programs=len(programs))
     results: List[Optional[ProgramResult]] = [None] * len(programs)
     journal = None

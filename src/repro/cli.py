@@ -31,6 +31,7 @@ SIGINT/SIGTERM after checkpointing (resume with ``--resume``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -297,6 +298,63 @@ def _sweep_report_json(report, args) -> None:
     print(f"report written to {args.report_json}")
 
 
+def _run_generated_sweep(model, args, signal_state, resume_hint):
+    """Sweep a generated corpus: stream programs from the template
+    enumerator and feed :func:`run_sweep` in chunks, so journaling
+    bounds crash loss and memory stays flat at 10k+ programs.
+
+    Chunk 2+ opens the journal with ``resume=True`` (a fresh open would
+    truncate the earlier chunks' records); reports merge in enumeration
+    order, so the final digest is identical to a single-shot sweep and
+    to any ``--jobs`` count.
+    """
+    import itertools
+
+    from .check import ExactnessReport
+    from .check.exhaustive import merge_program_results, normalize_limit
+    from .check.runner import run_sweep
+    from .errors import InterruptedRun
+    from .litmus.generator import iter_programs, parse_spec
+
+    spec = parse_spec(args.generate)
+    limit = normalize_limit(args.limit)
+    chunk_size = max(1, args.chunk)
+    stream = (program for _, program in iter_programs(spec))
+    if limit is not None:
+        stream = itertools.islice(stream, limit)
+    total = ExactnessReport()
+    first = True
+    interrupted = None
+    while True:
+        chunk = list(itertools.islice(stream, chunk_size))
+        if not chunk:
+            break
+        resume = args.resume if first else True
+        first = False
+        try:
+            report = run_sweep(
+                model, programs=chunk, jobs=args.jobs, engine=args.engine,
+                budget=_check_budget(args.timeout),
+                journal_path=args.journal or None, resume=resume,
+                fault_plan=_fault_plan(args.inject_faults))
+        except InterruptedRun as exc:
+            report = exc.partial
+            interrupted = exc
+        total.programs += report.programs
+        total.resumed += report.resumed
+        total.quarantined_records += report.quarantined_records
+        total.quarantined_path = report.quarantined_path or \
+            total.quarantined_path
+        merge_program_results(
+            total, [(report.outcomes_checked, report.unsound,
+                     report.overstrict, report.undecided)])
+        if interrupted is not None:
+            print(total.summary())
+            _print_interrupt(interrupted, resume_hint)
+            return None, _interrupt_exit_code(signal_state)
+    return total, None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .check import verify_exactness
     from .errors import InterruptedRun
@@ -304,19 +362,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
     signal_state = _convert_sigterm()
     resume_hint = (f"rtl2uspec sweep --journal {args.journal} --resume"
+                   + (f" --generate {args.generate}" if args.generate else "")
                    + (f" --model {args.model}" if args.model else ""))
-    try:
-        report = verify_exactness(
-            model, max_threads=args.threads, max_len=args.length,
-            limit=args.limit if args.limit > 0 else None,
-            jobs=args.jobs, engine=args.engine,
-            budget=_check_budget(args.timeout),
-            journal_path=args.journal or None, resume=args.resume,
-            fault_plan=_fault_plan(args.inject_faults))
-    except InterruptedRun as exc:
-        print(exc.partial.summary())
-        _print_interrupt(exc, resume_hint)
-        return _interrupt_exit_code(signal_state)
+    if args.generate:
+        report, exit_code = _run_generated_sweep(model, args, signal_state,
+                                                 resume_hint)
+        if report is None:
+            return exit_code
+    else:
+        try:
+            report = verify_exactness(
+                model, max_threads=args.threads, max_len=args.length,
+                limit=args.limit,
+                jobs=args.jobs, engine=args.engine,
+                budget=_check_budget(args.timeout),
+                journal_path=args.journal or None, resume=args.resume,
+                fault_plan=_fault_plan(args.inject_faults))
+        except InterruptedRun as exc:
+            print(exc.partial.summary())
+            _print_interrupt(exc, resume_hint)
+            return _interrupt_exit_code(signal_state)
     if report.quarantined_records:
         print(f"warning: {report.quarantined_records} corrupt journal "
               f"record(s) quarantined to {report.quarantined_path}; they "
@@ -331,6 +396,97 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"--- {kind} ---")
             print(formatted)
     return 0 if report.exact else 1
+
+
+def _format_program_line(name: str, program) -> str:
+    """One-line rendering of a generated program for streaming output."""
+    threads = []
+    for thread in program:
+        parts = []
+        for access in thread:
+            if access.kind == "W":
+                parts.append(f"st {access.addr} {access.value}")
+            elif access.kind == "F":
+                parts.append("fence")
+            else:
+                parts.append(f"ld {access.reg} {access.addr}")
+        threads.append("; ".join(parts))
+    return f"{name}  " + " || ".join(threads)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    import hashlib
+    import itertools
+    import os
+
+    from .litmus.generator import iter_programs, iter_tests, parse_spec
+
+    spec = parse_spec(args.spec)
+    count = args.count if args.count > 0 else None
+    acc = hashlib.sha256()
+    emitted = 0
+    if args.export:
+        os.makedirs(args.export, exist_ok=True)
+    if args.tests or args.export:
+        stream = iter_tests(spec)
+        if count is not None:
+            stream = itertools.islice(stream, count)
+        for test in stream:
+            emitted += 1
+            fingerprint = test.name[len("gen-"):]
+            acc.update(fingerprint.encode("utf-8"))
+            acc.update(b"\n")
+            if args.export:
+                path = os.path.join(args.export, f"{test.name}.test")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(test.format() + "\n")
+            elif args.names:
+                print(test.name)
+            else:
+                print(test.format())
+                print()
+        what = "test(s)"
+    else:
+        stream = iter_programs(spec)
+        if count is not None:
+            stream = itertools.islice(stream, count)
+        for fingerprint, program in stream:
+            emitted += 1
+            acc.update(fingerprint.encode("utf-8"))
+            acc.update(b"\n")
+            name = f"gen-{fingerprint}"
+            if args.names:
+                print(name)
+            else:
+                print(_format_program_line(name, program))
+        what = "program(s)"
+    digest = acc.hexdigest()
+    print(f"generated {emitted} {what} ({spec.describe()}), "
+          f"corpus digest {digest}", file=sys.stderr)
+    if count is not None and emitted < count:
+        print(f"error: corpus exhausted at {emitted}/{count} {what} — "
+              f"widen the spec (more threads/len/addrs/values or "
+              f"fences=enum)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_bugmatrix(args: argparse.Namespace) -> int:
+    from .bugmatrix import format_matrix, matrix_json, run_bugmatrix
+
+    designs = [name for name in args.designs.split(",") if name] \
+        if args.designs else None
+    matrix = run_bugmatrix(designs=designs, bound=args.bound,
+                           max_k=args.max_k, max_skew=args.max_skew)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(matrix_json(matrix))
+        print(f"matrix written to {args.out}")
+    if args.json:
+        print(matrix_json(matrix), end="")
+    else:
+        print(format_matrix(matrix))
+    return 0 if matrix["ok"] else 1
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
@@ -429,6 +585,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         params["length"] = args.length
         if args.limit > 0:
             params["limit"] = args.limit
+    if args.kind == "generate":
+        if args.spec:
+            params["spec"] = args.spec
+        if args.count > 0:
+            params["count"] = args.count
     if args.kind in ("synth", "check", "sweep"):
         if args.engine:
             params["engine"] = args.engine
@@ -611,6 +772,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("--buggy", action="store_true")
     p_run.set_defaults(func=_cmd_run)
 
+    p_gen = sub.add_parser(
+        "generate",
+        help="stream a template-generated litmus corpus (TriCheck-style "
+             "enumerator; deduped, deterministically named gen-<fp>)")
+    p_gen.add_argument("spec", nargs="?", default="threads=2,len=2",
+                       help="corpus spec, e.g. "
+                            "'threads=2,len=3,addrs=2,values=2,"
+                            "fences=enum,kind=safe' (all keys optional)")
+    p_gen.add_argument("--count", type=int, default=0,
+                       help="stop after N items (0 = stream the whole "
+                            "corpus); delivering fewer than N exits 2")
+    p_gen.add_argument("--tests", action="store_true",
+                       help="emit full litmus tests (program + final "
+                            "condition) instead of programs")
+    p_gen.add_argument("--names", action="store_true",
+                       help="print deterministic gen-<fingerprint> names "
+                            "only")
+    p_gen.add_argument("--export", default="",
+                       help="write tests as .test files to a directory "
+                            "(implies --tests)")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_bug = sub.add_parser(
+        "bugmatrix",
+        help="seeded-bug detection matrix: every RTL bug variant must be "
+             "caught at synthesis (refuted SVA) or check time (forbidden "
+             "litmus outcome observed); the clean design by neither")
+    p_bug.add_argument("--designs", default="",
+                       help="comma-separated variant subset (default: "
+                            "clean,decoder,mcm,arbiter,drop,bypass)")
+    p_bug.add_argument("--out", default="",
+                       help="write the JSON detection matrix to this path")
+    p_bug.add_argument("--json", action="store_true",
+                       help="print the JSON matrix instead of the table")
+    p_bug.add_argument("--bound", type=int, default=10,
+                       help="BMC bound for the synthesis-stage SVA slice")
+    p_bug.add_argument("--max-k", type=int, default=2,
+                       help="induction depth for the synthesis-stage slice")
+    p_bug.add_argument("--max-skew", type=int, default=1,
+                       help="per-core start-skew bound for the check stage")
+    p_bug.set_defaults(func=_cmd_bugmatrix)
+
     p_sweep = sub.add_parser(
         "sweep", help="exhaustive small-program exactness sweep (PipeProof-style)")
     p_sweep.add_argument("--model", default="")
@@ -618,6 +821,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sweep.add_argument("--length", type=int, default=2)
     p_sweep.add_argument("--limit", type=int, default=0,
                          help="bound the number of programs (0 = all)")
+    p_sweep.add_argument("--generate", default="",
+                         help="sweep a generated corpus instead of the "
+                              "built-in shape enumeration: a corpus spec "
+                              "like 'threads=2,len=3,fences=enum' "
+                              "(--threads/--length are ignored; --limit "
+                              "caps the corpus prefix)")
+    p_sweep.add_argument("--chunk", type=int, default=500,
+                         help="programs per run_sweep chunk with "
+                              "--generate (journaling bounds crash loss; "
+                              "digest is chunk-size invariant)")
     p_sweep.add_argument("--show", type=int, default=3,
                          help="mismatching tests to print")
     p_sweep.add_argument("-j", "--jobs", type=int, default=1,
@@ -702,7 +915,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_submit = sub.add_parser(
         "submit", help="submit a job to a running serve daemon")
     p_submit.add_argument("kind",
-                          choices=("parse", "synth", "check", "sweep"))
+                          choices=("parse", "synth", "check", "sweep",
+                                   "generate"))
     _add_service_flags(p_submit)
     p_submit.add_argument("--design", choices=("multi", "unicore"),
                           default="multi", help="design for parse/synth")
@@ -722,6 +936,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="sweep max program length")
     p_submit.add_argument("--limit", type=int, default=0,
                           help="sweep program limit (0 = all)")
+    p_submit.add_argument("--spec", default="",
+                          help="generate: corpus spec "
+                               "(e.g. 'threads=2,len=3,fences=enum')")
+    p_submit.add_argument("--count", type=int, default=0,
+                          help="generate: corpus item cap (0 = kind "
+                               "default)")
     p_submit.add_argument("--engine", default="",
                           help="solver engine (kind-specific default)")
     p_submit.add_argument("--timeout", type=float, default=0.0,
@@ -769,6 +989,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro generate | head`):
+        # conventional silent exit.  Detach stdout so the interpreter's
+        # shutdown flush doesn't raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":  # pragma: no cover

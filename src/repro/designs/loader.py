@@ -30,9 +30,12 @@ class DesignConfig:
     xlen: int = 32
     pc_width: int = 6
     dmem_addr_width: int = 4
-    formal: bool = False     # replace instruction memories with free inputs
-    buggy: bool = False      # select the section-6.1 decoder bug
-    mcm_buggy: bool = False  # select the stale-read memory bug (MCM violation)
+    formal: bool = False      # replace instruction memories with free inputs
+    buggy: bool = False       # select the section-6.1 decoder bug
+    mcm_buggy: bool = False   # select the stale-read memory bug (MCM violation)
+    arb_bug: bool = False     # arbiter priority pointer frozen (starvation)
+    drop_bug: bool = False    # store dropped when the dmem buffer holds a write
+    bypass_bug: bool = False  # address-blind write-to-read bypass forwarding
 
     @property
     def core_id_width(self) -> int:
@@ -48,13 +51,19 @@ class DesignConfig:
 
     def with_variant(self, formal: Optional[bool] = None,
                      buggy: Optional[bool] = None,
-                     mcm_buggy: Optional[bool] = None) -> "DesignConfig":
+                     mcm_buggy: Optional[bool] = None,
+                     arb_bug: Optional[bool] = None,
+                     drop_bug: Optional[bool] = None,
+                     bypass_bug: Optional[bool] = None) -> "DesignConfig":
         """Derive a config differing only in variant flags."""
         return replace(
             self,
             formal=self.formal if formal is None else formal,
             buggy=self.buggy if buggy is None else buggy,
             mcm_buggy=self.mcm_buggy if mcm_buggy is None else mcm_buggy,
+            arb_bug=self.arb_bug if arb_bug is None else arb_bug,
+            drop_bug=self.drop_bug if drop_bug is None else drop_bug,
+            bypass_bug=self.bypass_bug if bypass_bug is None else bypass_bug,
         )
 
 
@@ -104,6 +113,12 @@ def _design_frontend_args(config: DesignConfig):
         defines["BUG"] = "1"
     if config.mcm_buggy:
         defines["MCM_BUG"] = "1"
+    if config.arb_bug:
+        defines["ARB_BUG"] = "1"
+    if config.drop_bug:
+        defines["DROP_BUG"] = "1"
+    if config.bypass_bug:
+        defines["BYPASS_BUG"] = "1"
     params = {
         "NCORES": config.num_cores,
         "XLEN": config.xlen,

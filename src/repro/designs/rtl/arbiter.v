@@ -64,6 +64,19 @@ module arbiter #(
     assign mem_req_core = grant_idx;
 
     // Advance the priority pointer past the granted core.
+`ifdef ARB_BUG
+    // ARB_BUG variant (seeded-bug corpus): the priority pointer never
+    // advances, so arbitration degenerates to fixed priority — a
+    // continuously-requesting core 0 starves every other core.  This
+    // falsifies the bounded-service guarantee (`iface-service`) the
+    // compositional A1 proofs assume, without ever changing the
+    // outcome of any finite program.
+    always @(posedge clk) begin
+        if (reset) begin
+            rr_ptr <= {CORE_ID_WIDTH{1'b0}};
+        end
+    end
+`else
     always @(posedge clk) begin
         if (reset) begin
             rr_ptr <= {CORE_ID_WIDTH{1'b0}};
@@ -72,5 +85,6 @@ module arbiter #(
                                                 : (grant_idx + 1'b1);
         end
     end
+`endif
 
 endmodule

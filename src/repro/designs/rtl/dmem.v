@@ -41,6 +41,20 @@ module dmem #(
             r_addr <= {ADDR_WIDTH{1'b0}};
             r_data <= {XLEN{1'b0}};
             r_core <= {CORE_ID_WIDTH{1'b0}};
+`ifdef DROP_BUG
+        // DROP_BUG variant (seeded-bug corpus): a write arriving while
+        // the one-deep buffer still holds an uncommitted write is
+        // silently dropped instead of being latched — the classic
+        // "store lost on buffer-full" bug.  The request was accepted
+        // by the arbiter (the core believes the store completed), but
+        // it never reaches the array.
+        end else if (r_valid && r_write && req_valid && req_write) begin
+            r_valid <= 1'b0;
+            r_write <= 1'b0;
+            r_addr <= {ADDR_WIDTH{1'b0}};
+            r_data <= {XLEN{1'b0}};
+            r_core <= {CORE_ID_WIDTH{1'b0}};
+`endif
         end else begin
             r_valid <= req_valid;
             r_write <= req_write;
@@ -70,6 +84,25 @@ module dmem #(
         else early_data <= mem[req_addr];
     end
     assign resp_data = early_data;
+`elsif BYPASS_BUG
+    // BYPASS_BUG variant (seeded-bug corpus): a write-to-read bypass
+    // path forwards the most recently committed write's data to the
+    // next read response *without comparing addresses* — a read that
+    // immediately follows any write returns that write's (possibly
+    // unrelated, stale-for-this-address) data instead of the array
+    // content.
+    reg bypass_armed;
+    reg [XLEN-1:0] bypass_data;
+    always @(posedge clk) begin
+        if (reset) begin
+            bypass_armed <= 1'b0;
+            bypass_data <= {XLEN{1'b0}};
+        end else begin
+            bypass_armed <= r_valid && r_write;
+            bypass_data <= r_data;
+        end
+    end
+    assign resp_data = bypass_armed ? bypass_data : mem[r_addr];
 `else
     assign resp_data = mem[r_addr];
 `endif

@@ -1,7 +1,17 @@
 """Litmus tests: representation, suite, diy-style generation, compilation."""
 
 from .compile import compile_test, location_map, register_map
-from .generator import generate_safe_tests
+from .generator import (
+    CorpusSpec,
+    canonical_program,
+    corpus_digest,
+    fingerprint,
+    generate_safe_tests,
+    iter_programs,
+    iter_tests,
+    parse_spec,
+    program_name,
+)
 from .io import read_suite, write_suite
 from .suite import SUITE_SIZE, load_suite, resolve_tests, suite_by_name
 from .test import LitmusTest, parse_litmus
@@ -14,6 +24,14 @@ __all__ = [
     "suite_by_name",
     "SUITE_SIZE",
     "generate_safe_tests",
+    "CorpusSpec",
+    "parse_spec",
+    "iter_programs",
+    "iter_tests",
+    "canonical_program",
+    "fingerprint",
+    "program_name",
+    "corpus_digest",
     "write_suite",
     "read_suite",
     "compile_test",

@@ -51,6 +51,11 @@ def compile_test(test: LitmusTest) -> List[List[int]]:
     for tid, thread in enumerate(test.program):
         words: List[int] = []
         for access in thread:
+            if access.kind == "F":
+                # The multi-V-scale commits memory operations in order, so
+                # a fence compiles to a NOP (keeps instruction spacing).
+                words.append(isa.NOP)
+                continue
             byte_addr = locations[access.addr]
             if access.kind == "W":
                 words.append(isa.li(scratch, access.value))

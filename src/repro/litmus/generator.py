@@ -1,20 +1,34 @@
 """diy-style litmus test generation.
 
 The diy tool (Alglave et al., paper ref [2]) synthesizes litmus tests
-from *critical cycles* of relaxed-ordering edges. This generator follows
-the same idea at small scale: enumerate candidate 2- and 3-thread
-programs over two or three shared locations, pick the final condition
-that would witness a relaxation, and keep exactly the tests whose
-condition is **forbidden under SC** (the "safe" tests of the RTLCheck
-suite) and unique up to renaming.
+from *critical cycles* of relaxed-ordering edges. Two generations of
+that idea live here:
+
+* the **legacy fixed-shape generator** (:func:`generate_safe_tests`),
+  which enumerates five hand-listed program shapes over two locations
+  and backs the ``safeNNN`` members of the canonical 56-test suite —
+  its enumeration order is frozen so existing suite names stay stable;
+
+* the **streaming template enumerator** (:class:`CorpusSpec`,
+  :func:`iter_programs`, :func:`iter_tests`), a TriCheck-style corpus
+  generator (Trippel et al.) parameterized over threads × addresses ×
+  store values × fence placement. It yields lazily, dedups by a
+  canonical fingerprint (modulo thread permutation and address
+  renaming), and names tests deterministically ``gen-<fingerprint>``,
+  so corpora of tens of thousands of programs stream with a stable
+  digest across runs.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
-from typing import Iterable, List, Sequence, Set, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..mcm.events import Access, Program, R, W
+from ..errors import LitmusError
+from ..mcm.events import Access, Program, R, W, F
 from ..mcm.sc import sc_outcomes
 from .test import LitmusTest
 
@@ -101,7 +115,15 @@ def _useful(program: Program) -> bool:
 
 
 def generate_safe_tests(count: int, seed_names: str = "safe") -> List[LitmusTest]:
-    """Generate ``count`` unique SC-forbidden ("safe") litmus tests."""
+    """Generate up to ``count`` unique SC-forbidden ("safe") litmus tests.
+
+    The enumeration order (and therefore the ``safeNNN`` naming) is
+    frozen: the canonical 56-test suite depends on it. If the fixed
+    shape list is exhausted before ``count`` tests are found, the tests
+    found so far are returned and a :class:`UserWarning` is emitted —
+    callers needing larger corpora should use :func:`iter_tests` with a
+    :class:`CorpusSpec` instead.
+    """
     found: List[LitmusTest] = []
     seen: Set[Tuple] = set()
     addrs = ("x", "y")
@@ -137,5 +159,365 @@ def generate_safe_tests(count: int, seed_names: str = "safe") -> List[LitmusTest
                 if len(found) >= count:
                     break
     if len(found) < count:
-        raise RuntimeError(f"generator produced only {len(found)}/{count} tests")
+        warnings.warn(
+            f"fixed-shape generator exhausted: produced {len(found)}/{count} "
+            f"tests; use a CorpusSpec corpus (repro generate) for larger runs",
+            UserWarning, stacklevel=2)
     return found
+
+
+# ---------------------------------------------------------------------------
+# Streaming template enumerator (ROADMAP item 4).
+# ---------------------------------------------------------------------------
+
+#: Symbolic location names handed out by address-count specs.
+SPEC_ADDRESSES = ("x", "y", "z", "w", "u", "v")
+
+#: Recognised fence-placement modes.
+FENCE_MODES = ("none", "full", "enum")
+
+#: Recognised condition kinds.
+TEST_KINDS = ("safe", "all")
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Parameter box for the streaming enumerator.
+
+    ``threads`` is the exact thread count; per-thread lengths range over
+    ``1..max_len`` (only non-increasing length shapes are enumerated —
+    thread-permutation dedup makes the rest redundant). ``addresses``
+    and ``values`` are the location and store-value palettes. ``fences``
+    places full fences in the gaps between a thread's accesses:
+    ``"none"`` (no fences), ``"full"`` (every gap), or ``"enum"``
+    (every subset of gaps — the fence-placement axis). ``kind`` selects
+    which final conditions :func:`iter_tests` emits: ``"safe"`` keeps
+    only SC-forbidden conditions, ``"all"`` keeps every full load
+    assignment.
+    """
+
+    threads: int = 2
+    max_len: int = 2
+    addresses: Tuple[str, ...] = ("x", "y")
+    values: Tuple[int, ...] = (1,)
+    fences: str = "none"
+    kind: str = "safe"
+
+    def __post_init__(self):
+        if self.threads < 1:
+            raise LitmusError("corpus spec needs threads >= 1")
+        if self.max_len < 1:
+            raise LitmusError("corpus spec needs len >= 1")
+        if not self.addresses:
+            raise LitmusError("corpus spec needs at least one address")
+        if len(set(self.addresses)) != len(self.addresses):
+            raise LitmusError("corpus spec addresses must be distinct")
+        if "-" in self.addresses:
+            raise LitmusError("'-' is reserved for fence placeholders")
+        if not self.values:
+            raise LitmusError("corpus spec needs at least one store value")
+        if self.fences not in FENCE_MODES:
+            raise LitmusError(
+                f"unknown fence mode {self.fences!r} (one of {FENCE_MODES})")
+        if self.kind not in TEST_KINDS:
+            raise LitmusError(
+                f"unknown corpus kind {self.kind!r} (one of {TEST_KINDS})")
+
+    def describe(self) -> str:
+        return (f"threads={self.threads},len={self.max_len},"
+                f"addrs={len(self.addresses)},values={len(self.values)},"
+                f"fences={self.fences},kind={self.kind}")
+
+
+def parse_spec(text: str) -> CorpusSpec:
+    """Parse a ``key=value,...`` corpus spec as accepted by
+    ``repro generate`` and ``repro sweep --generate``.
+
+    Keys: ``threads`` (exact thread count), ``len`` (max per-thread
+    accesses), ``addrs`` (number of locations, up to 6), ``values``
+    (number of distinct store values, 1..N), ``fences``
+    (none|full|enum), ``kind`` (safe|all). All optional; unknown keys
+    raise :class:`LitmusError`.
+    """
+    fields: Dict[str, str] = {}
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise LitmusError(f"bad corpus spec entry {chunk!r} (want key=value)")
+        key, value = chunk.split("=", 1)
+        fields[key.strip()] = value.strip()
+    kwargs: Dict[str, object] = {}
+    for key, value in fields.items():
+        if key == "threads":
+            kwargs["threads"] = _spec_int(key, value)
+        elif key == "len":
+            kwargs["max_len"] = _spec_int(key, value)
+        elif key == "addrs":
+            n = _spec_int(key, value)
+            if n > len(SPEC_ADDRESSES):
+                raise LitmusError(
+                    f"corpus spec supports at most {len(SPEC_ADDRESSES)} addresses")
+            kwargs["addresses"] = SPEC_ADDRESSES[:n]
+        elif key == "values":
+            kwargs["values"] = tuple(range(1, _spec_int(key, value) + 1))
+        elif key == "fences":
+            kwargs["fences"] = value
+        elif key == "kind":
+            kwargs["kind"] = value
+        else:
+            raise LitmusError(f"unknown corpus spec key {key!r}")
+    return CorpusSpec(**kwargs)
+
+
+def _spec_int(key: str, value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise LitmusError(f"corpus spec {key}={value!r} is not an integer")
+    if parsed < 1:
+        raise LitmusError(f"corpus spec {key} must be >= 1")
+    return parsed
+
+
+# -- canonical fingerprints -------------------------------------------------
+
+def _thread_key(thread: Sequence[Access],
+                rename: Dict[str, str]) -> Tuple:
+    return tuple((a.kind, rename.get(a.addr, a.addr), a.value) for a in thread)
+
+
+def _address_renamings(program: Program) -> List[Dict[str, str]]:
+    """All bijective renamings of the program's used addresses onto the
+    canonical name sequence ``SPEC_ADDRESSES[:n]``.
+
+    Address identity is meaningless up to renaming (``x`` vs ``y``), so
+    the canonical form minimizes over every such bijection — and mapping
+    onto a *fixed* target sequence also makes programs over different
+    address subsets (``{x,z}`` vs ``{x,y}``) compare equal. Bounded by
+    6! in principle, but programs typically touch 2-3 addresses.
+    """
+    used = sorted({a.addr for t in program for a in t if a.kind != "F"})
+    targets = SPEC_ADDRESSES[:len(used)]
+    return [dict(zip(used, perm)) for perm in itertools.permutations(targets)]
+
+
+def canonical_program(program: Program) -> Tuple:
+    """Canonical form of a program modulo thread order and address
+    renaming (registers are already canonical: loads are numbered in
+    program order per thread)."""
+    best: Optional[Tuple] = None
+    for rename in _address_renamings(program):
+        key = tuple(sorted(_thread_key(t, rename) for t in program))
+        if best is None or key < best:
+            best = key
+    return best if best is not None else tuple()
+
+
+def canonical_test(program: Program, final) -> Tuple:
+    """Canonical form of (program, condition) modulo thread order and
+    address renaming; the condition travels with its thread."""
+    final_by_thread: Dict[int, List[Tuple[str, int]]] = {}
+    for (tid, reg), val in final:
+        final_by_thread.setdefault(tid, []).append((reg, val))
+    best: Optional[Tuple] = None
+    for rename in _address_renamings(program):
+        per_thread = tuple(sorted(
+            (_thread_key(t, rename), tuple(sorted(final_by_thread.get(tid, []))))
+            for tid, t in enumerate(program)))
+        mem_cond = tuple(sorted(
+            (rename.get(addr, addr), val)
+            for addr, val in final_by_thread.get(-1, [])))
+        key = (per_thread, mem_cond)
+        if best is None or key < best:
+            best = key
+    return best if best is not None else tuple()
+
+
+def fingerprint(canon: Tuple) -> str:
+    """Deterministic 12-hex-digit fingerprint of a canonical form.
+
+    Built from ``repr`` of plain tuples/strings/ints, so it does not
+    depend on ``PYTHONHASHSEED`` and is stable across runs and
+    machines.
+    """
+    return hashlib.sha256(repr(canon).encode("utf-8")).hexdigest()[:12]
+
+
+def program_name(program: Program) -> str:
+    """The deterministic ``gen-<fingerprint>`` name of a program."""
+    return "gen-" + fingerprint(canonical_program(program))
+
+
+def test_name(program: Program, final) -> str:
+    """The deterministic ``gen-<fingerprint>`` name of a (program,
+    condition) pair."""
+    return "gen-" + fingerprint(canonical_test(program, final))
+
+
+def corpus_digest(fingerprints: Iterable[str]) -> str:
+    """Digest of a whole corpus: sha256 over the fingerprint stream in
+    emission order. Stable across runs because enumeration order is
+    deterministic."""
+    acc = hashlib.sha256()
+    for item in fingerprints:
+        acc.update(item.encode("utf-8"))
+        acc.update(b"\n")
+    return acc.hexdigest()
+
+
+# -- enumeration ------------------------------------------------------------
+
+def _corpus_useful(program: Program) -> bool:
+    """Degenerate-program filter for generated corpora.
+
+    Requires at least one store and one load (ignoring fences), every
+    thread to touch a written address, and — when there are two or more
+    threads — cross-thread communication on some address. Single-thread
+    programs only need a load of a written address (they exercise
+    same-core forwarding paths, e.g. the bypass bug class)."""
+    kinds = {a.kind for t in program for a in t if a.kind != "F"}
+    if kinds != {"R", "W"}:
+        return False
+    written = {a.addr for t in program for a in t if a.kind == "W"}
+    for thread in program:
+        touched = {a.addr for a in thread if a.kind != "F"}
+        if not touched & written:
+            return False
+    read = {a.addr for t in program for a in t if a.kind == "R"}
+    if not read & written:
+        return False
+    if len(program) == 1:
+        return True
+    for addr in written:
+        writers = {tid for tid, t in enumerate(program)
+                   for a in t if a.kind == "W" and a.addr == addr}
+        readers = {tid for tid, t in enumerate(program)
+                   for a in t if a.kind == "R" and a.addr == addr}
+        if readers - writers:
+            return True
+    return False
+
+
+def _fence_variants(base: Tuple[Access, ...], mode: str) -> Iterator[Tuple[Access, ...]]:
+    """Expand one base access sequence into its fence placements.
+
+    Fences go only in the gaps *between* accesses (a leading or
+    trailing fence orders nothing)."""
+    if mode == "none" or len(base) < 2:
+        yield base
+        return
+    gaps = len(base) - 1
+    if mode == "full":
+        fenced: List[Access] = []
+        for i, access in enumerate(base):
+            fenced.append(access)
+            if i < gaps:
+                fenced.append(F())
+        yield tuple(fenced)
+        return
+    # mode == "enum": every subset of gaps, no-fence variant first.
+    for mask in range(1 << gaps):
+        fenced = []
+        for i, access in enumerate(base):
+            fenced.append(access)
+            if i < gaps and (mask >> i) & 1:
+                fenced.append(F())
+        yield tuple(fenced)
+
+
+def _thread_sequences(spec: CorpusSpec, length: int) -> List[Tuple[Access, ...]]:
+    """All per-thread sequences of ``length`` accesses (before register
+    assignment), expanded by the spec's fence mode."""
+    per_slot: List[Access] = []
+    for addr in spec.addresses:
+        for value in spec.values:
+            per_slot.append(W(addr, value))
+        per_slot.append(R(addr, "r?"))
+    out: List[Tuple[Access, ...]] = []
+    for combo in itertools.product(per_slot, repeat=length):
+        out.extend(_fence_variants(combo, spec.fences))
+    return out
+
+
+def _shapes(spec: CorpusSpec) -> Iterator[Tuple[int, ...]]:
+    """Non-increasing per-thread length tuples: any program can be
+    thread-permuted into this form, and the canonical fingerprint dedups
+    permutations anyway — enumerating only sorted shapes skips the
+    guaranteed duplicates."""
+    for shape in itertools.product(range(1, spec.max_len + 1),
+                                   repeat=spec.threads):
+        if all(shape[i] >= shape[i + 1] for i in range(len(shape) - 1)):
+            yield shape
+
+
+def iter_programs(spec: CorpusSpec) -> Iterator[Tuple[str, Program]]:
+    """Stream ``(fingerprint, program)`` pairs, lazily, deduped by the
+    canonical program fingerprint. Enumeration order is deterministic
+    for a given spec, so re-running yields the identical stream."""
+    seen: Set[str] = set()
+    cache: Dict[int, List[Tuple[Access, ...]]] = {}
+    for shape in _shapes(spec):
+        for length in set(shape):
+            if length not in cache:
+                cache[length] = _thread_sequences(spec, length)
+        for combo in itertools.product(*(cache[length] for length in shape)):
+            program = _assign_registers(combo)
+            if not _corpus_useful(program):
+                continue
+            fp = fingerprint(canonical_program(program))
+            if fp in seen:
+                continue
+            seen.add(fp)
+            yield fp, program
+
+
+def _condition_values(program: Program, spec: CorpusSpec):
+    """Per-load candidate value sets: zero plus every value stored to
+    that load's address anywhere in the program."""
+    loads = [(tid, access.reg, access.addr)
+             for tid, thread in enumerate(program)
+             for access in thread if access.kind == "R"]
+    stored: Dict[str, Set[int]] = {}
+    for thread in program:
+        for access in thread:
+            if access.kind == "W":
+                stored.setdefault(access.addr, set()).add(access.value)
+    domains = [sorted({0} | stored.get(addr, set())) for _, _, addr in loads]
+    return loads, domains
+
+
+def iter_tests(spec: CorpusSpec) -> Iterator[LitmusTest]:
+    """Stream generated litmus tests: each deduped program crossed with
+    its candidate final conditions, filtered by ``spec.kind``.
+
+    ``kind="safe"`` keeps only conditions *forbidden under SC* (the
+    interesting witnesses: observing one on hardware is a violation).
+    ``kind="all"`` keeps every full load assignment. Tests are named
+    ``gen-<fingerprint>`` from the canonical (program, condition) form.
+    """
+    seen: Set[str] = set()
+    for _, program in iter_programs(spec):
+        loads, domains = _condition_values(program, spec)
+        if not loads:
+            continue
+        outcomes = None
+        for values in itertools.product(*domains):
+            final = tuple((((tid, reg), val))
+                          for (tid, reg, _), val in zip(loads, values))
+            fp = fingerprint(canonical_test(program, final))
+            if fp in seen:
+                continue
+            if spec.kind == "safe":
+                if outcomes is None:
+                    outcomes = sc_outcomes(program)
+                observable = any(
+                    all(dict(o).get(key) == val for key, val in final)
+                    for o in outcomes)
+                if observable:
+                    continue
+            seen.add(fp)
+            yield LitmusTest(
+                "gen-" + fp, program, final,
+                comment=f"generated corpus ({spec.describe()})")

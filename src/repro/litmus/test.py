@@ -32,7 +32,7 @@ class LitmusTest:
         seen: List[str] = []
         for thread in self.program:
             for access in thread:
-                if access.addr not in seen:
+                if access.kind != "F" and access.addr not in seen:
                     seen.append(access.addr)
         return seen
 
@@ -74,6 +74,8 @@ class LitmusTest:
             for access in thread:
                 if access.kind == "W":
                     col.append(f"st {access.addr} {access.value}")
+                elif access.kind == "F":
+                    col.append("fence")
                 else:
                     col.append(f"ld {access.reg} {access.addr}")
             columns.append(col)
@@ -133,6 +135,8 @@ def parse_litmus(text: str) -> LitmusTest:
                 threads[tid].append(Access("W", parts[1], value=int(parts[2])))
             elif parts[0] == "ld":
                 threads[tid].append(Access("R", parts[2], reg=parts[1]))
+            elif parts[0] == "fence":
+                threads[tid].append(Access("F", "-"))
             else:
                 raise LitmusError(f"unknown litmus instruction {cell!r}")
     return LitmusTest(name, tuple(tuple(t) for t in threads), final, comment)

@@ -10,8 +10,10 @@ from typing import Dict, Optional, Tuple
 class Access:
     """One memory access in a litmus thread.
 
-    ``kind`` is ``"R"`` (load into ``reg``) or ``"W"`` (store of constant
-    ``value``). Addresses are symbolic location names (``"x"``, ``"y"``).
+    ``kind`` is ``"R"`` (load into ``reg``), ``"W"`` (store of constant
+    ``value``), or ``"F"`` (a full fence: a no-op under SC, a store-buffer
+    drain under TSO). Addresses are symbolic location names (``"x"``,
+    ``"y"``); fences carry the placeholder address ``"-"``.
     """
 
     kind: str
@@ -20,7 +22,7 @@ class Access:
     value: Optional[int] = None  # stored constant for writes
 
     def __post_init__(self):
-        if self.kind not in ("R", "W"):
+        if self.kind not in ("R", "W", "F"):
             raise ValueError(f"bad access kind {self.kind!r}")
         if self.kind == "R" and self.reg is None:
             raise ValueError("loads need a destination register")
@@ -48,3 +50,8 @@ def R(addr: str, reg: str) -> Access:
 def W(addr: str, value: int) -> Access:
     """Shorthand for a store."""
     return Access("W", addr, value=value)
+
+
+def F() -> Access:
+    """Shorthand for a full fence."""
+    return Access("F", "-")

@@ -16,7 +16,7 @@ def sc_outcomes(program: Program) -> Set[Outcome]:
     results: Set[Outcome] = set()
     num_threads = len(program)
     seen: Set[Tuple] = set()
-    all_addrs = sorted({a.addr for t in program for a in t})
+    all_addrs = sorted({a.addr for t in program for a in t if a.kind != "F"})
 
     def explore(pcs: Tuple[int, ...], memory: Tuple[Tuple[str, int], ...],
                 regs: Tuple[Tuple[Tuple[int, str], int], ...]) -> None:
@@ -33,7 +33,11 @@ def sc_outcomes(program: Program) -> Set[Outcome]:
             done = False
             access = program[tid][pc]
             new_pcs = pcs[:tid] + (pc + 1,) + pcs[tid + 1:]
-            if access.kind == "W":
+            if access.kind == "F":
+                # Fences order nothing extra under SC: every interleaving
+                # is already totally ordered.
+                explore(new_pcs, memory, regs)
+            elif access.kind == "W":
                 new_mem = dict(mem_map)
                 new_mem[access.addr] = access.value
                 explore(new_pcs, tuple(sorted(new_mem.items())), regs)

@@ -19,7 +19,7 @@ def tso_outcomes(program: Program) -> Set[Outcome]:
     results: Set[Outcome] = set()
     num_threads = len(program)
     seen: Set[Tuple] = set()
-    all_addrs = sorted({a.addr for t in program for a in t})
+    all_addrs = sorted({a.addr for t in program for a in t if a.kind != "F"})
 
     def explore(pcs: Tuple[int, ...], memory: Tuple[Tuple[str, int], ...],
                 buffers: Tuple[Tuple[Tuple[str, int], ...], ...],
@@ -42,16 +42,25 @@ def tso_outcomes(program: Program) -> Set[Outcome]:
             # Option 2: execute the next instruction.
             pc = pcs[tid]
             if pc < len(program[tid]):
-                progressed = True
                 access = program[tid][pc]
                 new_pcs = pcs[:tid] + (pc + 1,) + pcs[tid + 1:]
-                if access.kind == "W":
+                if access.kind == "F":
+                    # A fence commits only once the thread's store buffer
+                    # has fully drained (mfence semantics in x86-TSO).
+                    # A blocked fence is not progress, but the thread's
+                    # own drain option above keeps the state live.
+                    if not buffers[tid]:
+                        progressed = True
+                        explore(new_pcs, memory, buffers, regs)
+                elif access.kind == "W":
+                    progressed = True
                     new_buffers = buffers[:tid] + \
                         (buffers[tid] + ((access.addr, access.value),),) + buffers[tid + 1:]
                     explore(new_pcs, memory, new_buffers, regs)
                 else:
                     # Store-to-load forwarding: newest matching buffered
                     # store wins; otherwise read memory.
+                    progressed = True
                     value = None
                     for addr, buffered in reversed(buffers[tid]):
                         if addr == access.addr:

@@ -120,7 +120,9 @@ class ServiceClient:
         ``down_grace`` contiguous seconds — the restarted daemon replays
         its ledger and the job id remains valid.
         """
-        deadline = time.time() + timeout
+        # Monotonic deadlines: an NTP step or DST change must neither
+        # expire a wait early nor extend it arbitrarily.
+        deadline = time.monotonic() + timeout
         down_since: Optional[float] = None
         while True:
             try:
@@ -129,7 +131,7 @@ class ServiceClient:
             except ServiceError as exc:
                 if "not reachable" not in str(exc):
                     raise
-                now = time.time()
+                now = time.monotonic()
                 down_since = down_since or now
                 if now - down_since > down_grace:
                     raise ServiceError(
@@ -138,16 +140,26 @@ class ServiceClient:
                 response = None
             if response is not None and not response.get("pending"):
                 return response
-            if time.time() > deadline:
+            if time.monotonic() > deadline:
                 raise ServiceError(f"timed out after {timeout:.0f}s "
                                    f"waiting for {job}")
             time.sleep(poll_interval)
 
     def wait_all(self, jobs: List[str], timeout: float = 600.0) -> Dict:
-        """Wait for several jobs; returns ``{job_id: result}``."""
-        deadline = time.time() + timeout
+        """Wait for several jobs; returns ``{job_id: result}``.
+
+        ``timeout`` bounds the *whole batch*: each job's wait gets the
+        time actually remaining (no per-job floor — an old 1 s minimum
+        overshot the caller's budget by up to a second per pending
+        job).  A batch whose budget is already spent times out rather
+        than silently granting extra time.
+        """
+        deadline = time.monotonic() + timeout
         results = {}
         for job in jobs:
-            remaining = max(1.0, deadline - time.time())
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(f"timed out after {timeout:.0f}s "
+                                   f"waiting for {job}")
             results[job] = self.wait(job, timeout=remaining)
         return results

@@ -33,7 +33,7 @@ from ..resilience import Budget
 from .caches import PersistentBlastCache, PersistentVerdictCache
 from .store import ArtifactStore
 
-JOB_KINDS = ("parse", "synth", "check", "sweep")
+JOB_KINDS = ("parse", "synth", "check", "sweep", "generate")
 
 #: designs a parse/synth job may name (mirrors ``repro pipeline``)
 JOB_DESIGNS = ("multi", "unicore")
@@ -47,6 +47,7 @@ _PARAM_DEFAULTS: Dict[str, Dict[str, object]] = {
               "timeout": None},
     "sweep": {"model_text": None, "threads": 2, "length": 2, "limit": None,
               "engine": "incremental", "timeout": None},
+    "generate": {"spec": "threads=2,len=2", "count": 1000, "tests": False},
 }
 
 
@@ -71,12 +72,25 @@ def validate_params(kind: str, params: Optional[Dict]) -> Dict:
             normalized["design"] not in JOB_DESIGNS:
         raise ServiceError(f"unknown design {normalized['design']!r} "
                            f"(expected one of {JOB_DESIGNS})")
-    for key in ("bound", "max_k", "threads", "length", "limit"):
+    for key in ("bound", "max_k", "threads", "length", "limit", "count"):
         if key in normalized and normalized[key] is not None:
             if not isinstance(normalized[key], int) or \
                     isinstance(normalized[key], bool) or normalized[key] < 0:
                 raise ServiceError(f"{kind} parameter {key!r} must be a "
                                    f"non-negative integer")
+    if kind == "generate":
+        if not isinstance(normalized["spec"], str):
+            raise ServiceError("generate parameter 'spec' must be a "
+                               "corpus spec string")
+        if not isinstance(normalized["tests"], bool):
+            raise ServiceError("generate parameter 'tests' must be a "
+                               "boolean")
+        from ..errors import LitmusError
+        from ..litmus.generator import parse_spec
+        try:
+            parse_spec(normalized["spec"])
+        except LitmusError as exc:
+            raise ServiceError(f"bad generate spec: {exc}")
     if normalized.get("timeout") is not None:
         if not isinstance(normalized["timeout"], (int, float)) or \
                 isinstance(normalized["timeout"], bool) or \
@@ -87,8 +101,10 @@ def validate_params(kind: str, params: Optional[Dict]) -> Dict:
             not isinstance(normalized["model_text"], str):
         raise ServiceError(f"{kind} parameter 'model_text' must be the "
                            f"model file's text")
+    # ("tests" is a bool for generate jobs — validated above — and a
+    # list of test names for check jobs.)
     tests = normalized.get("tests")
-    if tests is not None:
+    if tests is not None and kind != "generate":
         if not isinstance(tests, list) or \
                 not all(isinstance(name, str) for name in tests):
             raise ServiceError("check parameter 'tests' must be a list "
@@ -168,6 +184,8 @@ def execute_job(kind: str, params: Dict, ctx: WorkerContext
         return _run_check(params, ctx)
     if kind == "sweep":
         return _run_sweep(params, ctx)
+    if kind == "generate":
+        return _run_generate(params, ctx)
     raise ServiceError(f"unknown job kind {kind!r}")
 
 
@@ -251,6 +269,41 @@ def _run_check(params: Dict, ctx: WorkerContext):
     artifact = (json.dumps(report, indent=2, sort_keys=True) + "\n"
                 ).encode("utf-8")
     return summary, artifact, "report.json"
+
+
+def _run_generate(params: Dict, ctx: WorkerContext):
+    import itertools
+
+    from ..litmus.generator import (corpus_digest, iter_programs, iter_tests,
+                                    parse_spec)
+    spec = parse_spec(params["spec"])
+    count = params["count"] or None
+    if params["tests"]:
+        stream = (test.name for test in iter_tests(spec))
+    else:
+        stream = ("gen-" + fp for fp, _ in iter_programs(spec))
+    if count is not None:
+        stream = itertools.islice(stream, count)
+    names = list(stream)
+    digest = corpus_digest(name[len("gen-"):] for name in names)
+    payload = {
+        "schema": "repro-litmus-generate/1",
+        "spec": spec.describe(),
+        "tests": bool(params["tests"]),
+        "count": len(names),
+        "digest": digest,
+        "names": names,
+    }
+    summary = {
+        "spec": spec.describe(),
+        "tests": bool(params["tests"]),
+        "count": len(names),
+        "digest": digest,
+        "sample": names[:10],
+    }
+    artifact = (json.dumps(payload, indent=2, sort_keys=True) + "\n"
+                ).encode("utf-8")
+    return summary, artifact, "corpus.json"
 
 
 def _run_sweep(params: Dict, ctx: WorkerContext):

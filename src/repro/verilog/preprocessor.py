@@ -54,6 +54,17 @@ def preprocess(source: str, defines: Optional[Dict[str, str]] = None,
                 cond_stack.append(hold if active() else False)
                 taken_stack.append(hold)
                 continue
+            if name == "elsif":
+                if not cond_stack:
+                    raise VerilogError(f"`elsif without `ifdef (line {lineno})")
+                if not rest:
+                    raise VerilogError(f"`elsif with no name (line {lineno})")
+                was_taken = taken_stack[-1]
+                parent_active = all(cond_stack[:-1])
+                hold = rest.split()[0] in macros
+                cond_stack[-1] = parent_active and not was_taken and hold
+                taken_stack[-1] = was_taken or hold
+                continue
             if name == "else":
                 if not cond_stack:
                     raise VerilogError(f"`else without `ifdef (line {lineno})")

@@ -7,6 +7,8 @@ from repro.check.exhaustive import (
     _canonical,
     enumerate_conditions,
     enumerate_programs,
+    enumerate_sweep_programs,
+    normalize_limit,
 )
 from repro.mcm.events import R, W
 
@@ -55,3 +57,31 @@ class TestReport:
         report.unsound.append(("t", ()))
         assert not report.exact
         assert "unsound" in report.summary()
+
+
+class TestNormalizeLimit:
+    """One convention for "no limit": None, 0, and negatives all mean
+    unlimited; positives cap (regression for the service `limit: 0`
+    zero-program sweep)."""
+
+    def test_none_is_unlimited(self):
+        assert normalize_limit(None) is None
+
+    def test_zero_is_unlimited(self):
+        assert normalize_limit(0) is None
+
+    def test_negative_is_unlimited(self):
+        assert normalize_limit(-5) is None
+
+    def test_positive_caps(self):
+        assert normalize_limit(7) == 7
+
+    def test_sweep_enumeration_honours_the_convention(self):
+        everything = list(enumerate_sweep_programs(max_threads=1, max_len=1))
+        assert list(enumerate_sweep_programs(max_threads=1, max_len=1,
+                                             limit=0)) == everything
+        assert list(enumerate_sweep_programs(max_threads=1, max_len=1,
+                                             limit=None)) == everything
+        capped = list(enumerate_sweep_programs(max_threads=1, max_len=1,
+                                               limit=1))
+        assert len(capped) == 1

@@ -116,3 +116,78 @@ def test_check_report_json(capsys, reference_model, tmp_path):
     assert len(report["digest"]) == 64
     assert [t["name"] for t in report["tests"]] == ["mp", "sb"]
     assert report["tests"][0]["stats"]["clauses"] > 0
+
+
+class TestGenerateCli:
+    def test_streams_named_programs(self, capsys):
+        assert main(["generate", "threads=2,len=2", "--count", "5"]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 5
+        assert all(line.startswith("gen-") for line in lines)
+        assert "corpus digest" in captured.err
+
+    def test_digest_deterministic(self, capsys):
+        def digest():
+            assert main(["generate", "threads=2,len=2,fences=enum",
+                         "--count", "40", "--names"]) == 0
+            err = capsys.readouterr().err
+            return err.rsplit("corpus digest", 1)[1].strip()
+        assert digest() == digest()
+
+    def test_exhausted_corpus_exits_2(self, capsys):
+        assert main(["generate", "threads=1,len=1", "--count", "100"]) == 2
+        err = capsys.readouterr().err
+        assert "corpus exhausted" in err
+
+    def test_bad_spec_exits_2(self, capsys):
+        assert main(["generate", "threads=zero"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_tests_mode_emits_litmus_format(self, capsys):
+        assert main(["generate", "threads=2,len=2", "--count", "2",
+                     "--tests"]) == 0
+        out = capsys.readouterr().out
+        assert "RISCV gen-" in out
+        assert "exists" in out
+
+    def test_export_writes_test_files(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "corpus")
+        assert main(["generate", "threads=2,len=2", "--count", "3",
+                     "--tests", "--export", out_dir]) == 0
+        files = sorted((tmp_path / "corpus").iterdir())
+        assert len(files) == 3
+        assert all(f.suffix == ".test" for f in files)
+
+
+class TestSweepGenerateCli:
+    def test_generated_sweep_digest_matches_across_jobs(
+            self, tmp_path, capsys, reference_model):
+        import json
+        digests = {}
+        for jobs in ("1", "2"):
+            report = str(tmp_path / f"rep{jobs}.json")
+            assert main(["sweep", "--generate", "threads=2,len=2",
+                         "--limit", "12", "--chunk", "5",
+                         "--jobs", jobs, "--report-json", report]) == 0
+            capsys.readouterr()
+            with open(report, "r", encoding="utf-8") as handle:
+                digests[jobs] = json.load(handle)["digest"]
+        assert digests["1"] == digests["2"]
+
+
+class TestBugmatrixCli:
+    def test_clean_design_subset_passes(self, tmp_path, capsys):
+        out = str(tmp_path / "matrix.json")
+        assert main(["bugmatrix", "--designs", "clean", "--out", out]) == 0
+        printed = capsys.readouterr().out
+        assert "PASS" in printed
+        import json
+        with open(out, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["ok"] is True
+        assert list(payload["designs"]) == ["clean"]
+
+    def test_unknown_design_exits_2(self, capsys):
+        assert main(["bugmatrix", "--designs", "nosuch"]) == 2
+        assert "unknown bugmatrix design" in capsys.readouterr().err

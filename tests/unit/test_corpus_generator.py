@@ -1,0 +1,233 @@
+"""Streaming template enumerator: spec parsing, canonicalization,
+dedup, fingerprint/digest stability, and the SC cross-check."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LitmusError
+from repro.litmus import generate_safe_tests
+from repro.litmus.generator import (
+    SPEC_ADDRESSES,
+    CorpusSpec,
+    canonical_program,
+    canonical_test,
+    corpus_digest,
+    fingerprint,
+    iter_programs,
+    iter_tests,
+    parse_spec,
+    program_name,
+)
+from repro.mcm.events import F, R, W
+from repro.mcm.sc import sc_outcomes
+
+
+class TestParseSpec:
+    def test_defaults(self):
+        spec = parse_spec("")
+        assert spec == CorpusSpec()
+
+    def test_full_spec(self):
+        spec = parse_spec("threads=3,len=2,addrs=3,values=2,"
+                          "fences=enum,kind=all")
+        assert spec.threads == 3
+        assert spec.max_len == 2
+        assert spec.addresses == SPEC_ADDRESSES[:3]
+        assert spec.values == (1, 2)
+        assert spec.fences == "enum"
+        assert spec.kind == "all"
+
+    def test_whitespace_tolerated(self):
+        assert parse_spec(" threads = 2 , len = 3 ").max_len == 3
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(LitmusError, match="unknown corpus spec key"):
+            parse_spec("cores=4")
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(LitmusError, match="not an integer"):
+            parse_spec("threads=two")
+
+    def test_zero_rejected(self):
+        with pytest.raises(LitmusError, match="must be >= 1"):
+            parse_spec("len=0")
+
+    def test_too_many_addresses_rejected(self):
+        with pytest.raises(LitmusError, match="at most"):
+            parse_spec(f"addrs={len(SPEC_ADDRESSES) + 1}")
+
+    def test_bad_fence_mode_rejected(self):
+        with pytest.raises(LitmusError, match="unknown fence mode"):
+            parse_spec("fences=sometimes")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(LitmusError, match="unknown corpus kind"):
+            parse_spec("kind=liveness")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(LitmusError, match="want key=value"):
+            parse_spec("threads")
+
+    def test_describe_roundtrips(self):
+        spec = parse_spec("threads=2,len=3,addrs=2,values=2,fences=full")
+        assert parse_spec(spec.describe()) == spec
+
+
+class TestCanonicalization:
+    def test_thread_permutation_collapses(self):
+        a = ((W("x", 1),), (R("x", "r1"),))
+        b = ((R("x", "r1"),), (W("x", 1),))
+        assert canonical_program(a) == canonical_program(b)
+
+    def test_address_renaming_collapses(self):
+        a = ((W("x", 1), R("y", "r1")), (W("y", 1), R("x", "r1")))
+        b = ((W("y", 1), R("x", "r1")), (W("x", 1), R("y", "r1")))
+        assert canonical_program(a) == canonical_program(b)
+
+    def test_different_address_subsets_collapse(self):
+        # {x, z} and {x, y} programs are isomorphic: both map onto the
+        # fixed canonical target sequence.
+        a = ((W("x", 1),), (R("x", "r1"), R("z", "r2")), (W("z", 1),))
+        b = ((W("x", 1),), (R("x", "r1"), R("y", "r2")), (W("y", 1),))
+        assert canonical_program(a) == canonical_program(b)
+
+    def test_distinct_programs_stay_distinct(self):
+        mp_like = ((W("x", 1), W("y", 1)), (R("y", "r1"), R("x", "r2")))
+        sb_like = ((W("x", 1), R("y", "r1")), (W("y", 1), R("x", "r2")))
+        assert canonical_program(mp_like) != canonical_program(sb_like)
+
+    def test_fence_placement_distinguishes(self):
+        plain = ((W("x", 1), R("y", "r1")), (W("y", 1), R("x", "r2")))
+        fenced = ((W("x", 1), F(), R("y", "r1")),
+                  (W("y", 1), F(), R("x", "r2")))
+        assert canonical_program(plain) != canonical_program(fenced)
+
+    def test_condition_travels_with_thread(self):
+        program = ((W("x", 1),), (R("x", "r1"),))
+        hit = (((1, "r1"), 1),)
+        miss = (((1, "r1"), 0),)
+        assert canonical_test(program, hit) != canonical_test(program, miss)
+
+    def test_condition_follows_thread_permutation(self):
+        a = ((W("x", 1),), (R("x", "r1"),))
+        b = ((R("x", "r1"),), (W("x", 1),))
+        assert canonical_test(a, (((1, "r1"), 1),)) == \
+            canonical_test(b, (((0, "r1"), 1),))
+
+    def test_fingerprint_is_stable_hex(self):
+        fp = fingerprint(canonical_program(((W("x", 1),), (R("x", "r1"),))))
+        assert len(fp) == 12
+        int(fp, 16)  # raises if not hex
+
+    def test_program_name_prefix(self):
+        assert program_name(((W("x", 1),), (R("x", "r1"),))).startswith("gen-")
+
+
+class TestIterPrograms:
+    def test_no_duplicate_fingerprints(self):
+        spec = parse_spec("threads=2,len=2,fences=enum")
+        fps = [fp for fp, _ in iter_programs(spec)]
+        assert len(fps) == len(set(fps))
+
+    def test_deterministic_stream(self):
+        spec = parse_spec("threads=2,len=2,values=2")
+        first = [fp for fp, _ in iter_programs(spec)]
+        second = [fp for fp, _ in iter_programs(spec)]
+        assert first == second
+
+    def test_every_program_is_useful(self):
+        spec = parse_spec("threads=2,len=2")
+        for _, program in iter_programs(spec):
+            kinds = {a.kind for t in program for a in t}
+            assert "W" in kinds and "R" in kinds
+
+    def test_fences_none_emits_no_fences(self):
+        spec = parse_spec("threads=2,len=2,fences=none")
+        for _, program in iter_programs(spec):
+            assert all(a.kind != "F" for t in program for a in t)
+
+    def test_fences_enum_is_superset_of_none(self):
+        none_fps = {fp for fp, _ in
+                    iter_programs(parse_spec("threads=2,len=2"))}
+        enum_fps = {fp for fp, _ in
+                    iter_programs(parse_spec("threads=2,len=2,fences=enum"))}
+        assert none_fps < enum_fps
+
+    def test_thread_count_is_exact(self):
+        spec = parse_spec("threads=3,len=1")
+        for _, program in iter_programs(spec):
+            assert len(program) == 3
+
+    def test_streaming_is_lazy(self):
+        # A huge spec must hand back its first programs immediately.
+        spec = parse_spec("threads=3,len=3,addrs=3,values=3,fences=enum")
+        stream = iter_programs(spec)
+        head = list(itertools.islice(stream, 5))
+        assert len(head) == 5
+
+    def test_scales_past_ten_thousand_unique(self):
+        spec = parse_spec("threads=2,len=3,addrs=2,values=2,fences=enum")
+        fps = [fp for fp, _ in
+               itertools.islice(iter_programs(spec), 10_000)]
+        assert len(fps) == 10_000
+        assert len(set(fps)) == 10_000
+
+    def test_corpus_digest_stable(self):
+        spec = parse_spec("threads=2,len=2,fences=full")
+        one = corpus_digest(fp for fp, _ in iter_programs(spec))
+        two = corpus_digest(fp for fp, _ in iter_programs(spec))
+        assert one == two
+        assert len(one) == 64
+
+    def test_corpus_digest_order_sensitive(self):
+        assert corpus_digest(["a", "b"]) != corpus_digest(["b", "a"])
+
+
+class TestIterTests:
+    def test_safe_tests_are_sc_forbidden(self):
+        spec = parse_spec("threads=2,len=2")
+        for test in itertools.islice(iter_tests(spec), 50):
+            # Cross-check against the independent SC explorer.
+            outcomes = sc_outcomes(test.program)
+            final = dict(test.final)
+            assert not any(
+                all(dict(o).get(key) == val for key, val in final.items())
+                for o in outcomes), test.name
+
+    def test_all_kind_includes_sc_observable(self):
+        safe = {t.name for t in
+                itertools.islice(iter_tests(parse_spec("threads=2,len=2")),
+                                 200)}
+        every = {t.name for t in
+                 itertools.islice(
+                     iter_tests(parse_spec("threads=2,len=2,kind=all")), 400)}
+        assert safe < every
+
+    def test_names_unique_and_deterministic(self):
+        spec = parse_spec("threads=2,len=2,values=2")
+        first = [t.name for t in itertools.islice(iter_tests(spec), 100)]
+        second = [t.name for t in itertools.islice(iter_tests(spec), 100)]
+        assert first == second
+        assert len(set(first)) == len(first)
+        assert all(name.startswith("gen-") for name in first)
+
+    def test_emitted_tests_format_roundtrip(self):
+        from repro.litmus import parse_litmus
+        spec = parse_spec("threads=2,len=2,fences=full")
+        for test in itertools.islice(iter_tests(spec), 20):
+            parsed = parse_litmus(test.format())
+            assert parsed.program == test.program
+            assert tuple(sorted(parsed.final)) == tuple(sorted(test.final))
+
+
+class TestLegacyGenerator:
+    def test_suite_naming_frozen(self):
+        tests = generate_safe_tests(3)
+        assert [t.name for t in tests] == ["safe001", "safe002", "safe003"]
+
+    def test_exhaustion_warns_and_returns_partial(self):
+        with pytest.warns(UserWarning, match="exhausted"):
+            tests = generate_safe_tests(10_000_000)
+        assert tests  # partial corpus, not an exception
+        assert len(tests) < 10_000_000

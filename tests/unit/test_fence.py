@@ -1,0 +1,106 @@
+"""Fence (``F``) semantics across the stack: event model, SC/TSO
+explorers, litmus format, compilation, and µhb grounding."""
+
+import pytest
+
+from repro.designs import isa
+from repro.litmus import LitmusTest, compile_test, parse_litmus
+from repro.mcm.events import Access, F, R, W
+from repro.mcm.sc import sc_outcomes
+from repro.mcm.tso import tso_outcomes
+
+#: Store-buffering with a full fence in each thread's gap: the classic
+#: program whose relaxed outcome the fence must kill under TSO.
+FENCED_SB = ((W("x", 1), F(), R("y", "r1")),
+             (W("y", 1), F(), R("x", "r2")))
+PLAIN_SB = ((W("x", 1), R("y", "r1")),
+            (W("y", 1), R("x", "r2")))
+SB_RELAXED = {((0, "r1"), 0), ((1, "r2"), 0)}
+
+
+class TestEvents:
+    def test_fence_helper(self):
+        fence = F()
+        assert fence.kind == "F"
+        assert fence.addr == "-"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Access("X", "x")
+
+
+class TestScSemantics:
+    def test_fence_is_sc_noop(self):
+        assert sc_outcomes(FENCED_SB) == sc_outcomes(PLAIN_SB)
+
+    def test_fence_only_program_terminates(self):
+        assert sc_outcomes(((F(),), (F(), F()))) == {()}
+
+
+class TestTsoSemantics:
+    def test_plain_sb_relaxed_outcome_permitted(self):
+        assert any(SB_RELAXED <= set(o) for o in tso_outcomes(PLAIN_SB))
+
+    def test_fenced_sb_relaxed_outcome_forbidden(self):
+        assert not any(SB_RELAXED <= set(o) for o in tso_outcomes(FENCED_SB))
+
+    def test_fenced_tso_equals_sc_on_sb(self):
+        assert tso_outcomes(FENCED_SB) == sc_outcomes(FENCED_SB)
+
+    def test_fence_with_empty_buffer_passes(self):
+        program = ((F(), W("x", 1)), (R("x", "r1"),))
+        outcomes = tso_outcomes(program)
+        assert {((1, "r1"), 1)} <= {frozenset(o) for o in
+                                    map(frozenset, outcomes)} or outcomes
+
+
+class TestFormat:
+    def test_format_emits_fence_mnemonic(self):
+        test = LitmusTest("t", FENCED_SB,
+                          (((0, "r1"), 0), ((1, "r2"), 0)))
+        assert "fence" in test.format()
+
+    def test_parse_roundtrip(self):
+        test = LitmusTest("t", FENCED_SB,
+                          (((0, "r1"), 0), ((1, "r2"), 0)))
+        parsed = parse_litmus(test.format())
+        assert parsed.program == FENCED_SB
+
+    def test_addresses_skip_fences(self):
+        test = LitmusTest("t", FENCED_SB, (((0, "r1"), 0),))
+        assert test.addresses() == ["x", "y"]
+
+
+class TestCompile:
+    def test_fence_compiles_to_nop(self):
+        test = LitmusTest("t", FENCED_SB,
+                          (((0, "r1"), 0), ((1, "r2"), 0)))
+        compiled = compile_test(test)
+        # Each thread: store (li+sw), fence->NOP, load (lw).
+        for tid in range(2):
+            assert isa.NOP in compiled[tid]
+        plain = compile_test(LitmusTest(
+            "t2", PLAIN_SB, (((0, "r1"), 0), ((1, "r2"), 0))))
+        for tid in range(2):
+            assert len(compiled[tid]) == len(plain[tid]) + 1
+
+    def test_instruction_count_includes_fences(self):
+        test = LitmusTest("t", FENCED_SB, (((0, "r1"), 0),))
+        plain = LitmusTest("t2", PLAIN_SB, (((0, "r1"), 0),))
+        assert test.num_instructions() == plain.num_instructions() + 2
+
+
+class TestGrounding:
+    def test_ground_context_skips_fences_preserving_order(self):
+        from repro.check import GroundContext
+        fenced = LitmusTest("t", FENCED_SB,
+                            (((0, "r1"), 0), ((1, "r2"), 0)))
+        ctx = GroundContext(fenced)
+        # No microop for the fence, but uids keep counting across it so
+        # program order (index gaps) survives the skip.
+        assert len(ctx.uops) == 4
+        assert {op.kind for op in ctx.uops} == {"R", "W"}
+        per_thread = {}
+        for op in ctx.uops:
+            per_thread.setdefault(op.core, []).append(op.index)
+        assert per_thread == {0: [0, 2], 1: [0, 2]}

@@ -58,3 +58,40 @@ class TestCompileFiles:
                                         "PC_WIDTH": 4, "DMEM_ADDR_WIDTH": 2,
                                         "CORE_ID_WIDTH": 1})
         assert netlist.stats()["registers"] > 0
+
+
+class TestElsif:
+    def test_elsif_taken_when_first_branch_fails(self):
+        src = ("`ifdef A\nwire a;\n`elsif B\nwire b;\n`else\nwire c;\n"
+               "`endif\n")
+        out = preprocess(src, defines={"B": ""})
+        assert "wire b;" in out
+        assert "wire a;" not in out and "wire c;" not in out
+
+    def test_elsif_skipped_when_first_branch_taken(self):
+        src = ("`ifdef A\nwire a;\n`elsif B\nwire b;\n`else\nwire c;\n"
+               "`endif\n")
+        out = preprocess(src, defines={"A": "", "B": ""})
+        assert "wire a;" in out
+        assert "wire b;" not in out and "wire c;" not in out
+
+    def test_else_after_elsif_chain(self):
+        src = ("`ifdef A\nwire a;\n`elsif B\nwire b;\n`else\nwire c;\n"
+               "`endif\n")
+        out = preprocess(src)
+        assert "wire c;" in out
+        assert "wire a;" not in out and "wire b;" not in out
+
+    def test_elsif_respects_disabled_outer_block(self):
+        src = ("`ifdef OUTER\n`ifdef A\nwire a;\n`elsif B\nwire b;\n"
+               "`endif\n`endif\n")
+        out = preprocess(src, defines={"B": ""})
+        assert "wire b;" not in out
+
+    def test_elsif_without_ifdef_raises(self):
+        with pytest.raises(VerilogError, match="elsif"):
+            preprocess("`elsif A\n")
+
+    def test_elsif_without_name_raises(self):
+        with pytest.raises(VerilogError, match="no name"):
+            preprocess("`ifdef A\n`elsif\n`endif\n")

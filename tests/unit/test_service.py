@@ -281,3 +281,114 @@ class TestDaemonSingleWriter:
             second.ledger.close()
         finally:
             first._teardown()
+
+
+class TestGenerateJob:
+    def test_defaults(self):
+        params = validate_params("generate", None)
+        assert params["spec"] == "threads=2,len=2"
+        assert params["count"] == 1000
+        assert params["tests"] is False
+
+    def test_bad_spec_refused_at_validation(self):
+        with pytest.raises(ServiceError, match="bad generate spec"):
+            validate_params("generate", {"spec": "cores=4"})
+
+    def test_tests_is_a_bool_here(self):
+        params = validate_params("generate", {"tests": True})
+        assert params["tests"] is True
+        with pytest.raises(ServiceError, match="boolean"):
+            validate_params("generate", {"tests": ["mp"]})
+
+    def test_negative_count_refused(self):
+        with pytest.raises(ServiceError, match="non-negative integer"):
+            validate_params("generate", {"count": -1})
+
+    def test_execution_produces_named_corpus(self, tmp_path):
+        import json as _json
+
+        from repro.litmus.generator import corpus_digest, iter_programs, \
+            parse_spec
+        from repro.service.jobs import WorkerContext, execute_job
+        params = validate_params("generate",
+                                 {"spec": "threads=2,len=2", "count": 10})
+        ctx = WorkerContext(str(tmp_path / "store"))
+        summary, artifact, name = execute_job("generate", params, ctx)
+        assert name == "corpus.json"
+        assert summary["count"] == 10
+        payload = _json.loads(artifact.decode("utf-8"))
+        assert payload["schema"] == "repro-litmus-generate/1"
+        assert payload["names"] == summary["sample"]
+        # The digest matches a direct library-side enumeration.
+        import itertools as _it
+        fps = [fp for fp, _ in _it.islice(
+            iter_programs(parse_spec("threads=2,len=2")), 10)]
+        assert payload["digest"] == corpus_digest(fps)
+
+
+class TestClientWait:
+    """`wait`/`wait_all` must key off the monotonic clock: an NTP step
+    or DST change in `time.time` must neither expire a wait early nor
+    extend it."""
+
+    def _client(self, results):
+        from repro.service.client import ServiceClient
+        client = ServiceClient("/nonexistent.sock", timeout=1.0)
+        feed = iter(results)
+        client.result = lambda job: next(feed)
+        return client
+
+    def test_wait_survives_wall_clock_jump(self, monkeypatch):
+        import time as time_mod
+        # Wall clock leaps +1e6 s per call; a time.time()-based deadline
+        # would "expire" instantly even though the job finishes.
+        wall = {"now": 1.0e9}
+
+        def jumping_time():
+            wall["now"] += 1.0e6
+            return wall["now"]
+
+        monkeypatch.setattr(time_mod, "time", jumping_time)
+        client = self._client([{"ok": True, "pending": True},
+                               {"ok": True, "pending": True},
+                               {"ok": True, "state": "done"}])
+        response = client.wait("j1", timeout=30.0, poll_interval=0.001)
+        assert response["state"] == "done"
+
+    def test_wait_times_out_on_monotonic_budget(self):
+        client = self._client(iter(
+            lambda: {"ok": True, "pending": True}, None))
+        client.result = lambda job: {"ok": True, "pending": True}
+        with pytest.raises(ServiceError, match="timed out"):
+            client.wait("j1", timeout=0.05, poll_interval=0.001)
+
+    def test_wait_all_grants_no_floor_past_budget(self):
+        # The old implementation floored each per-job wait at 1 s,
+        # overshooting an exhausted batch budget by a second per job.
+        from repro.service.client import ServiceClient
+        client = ServiceClient("/nonexistent.sock")
+        calls = []
+
+        def fake_wait(job, timeout):
+            calls.append((job, timeout))
+            return {"ok": True}
+
+        client.wait = fake_wait
+        with pytest.raises(ServiceError, match="timed out"):
+            client.wait_all(["a", "b"], timeout=0.0)
+        assert calls == []  # budget already spent: no extra grants
+
+    def test_wait_all_passes_remaining_budget(self):
+        from repro.service.client import ServiceClient
+        client = ServiceClient("/nonexistent.sock")
+        timeouts = []
+
+        def fake_wait(job, timeout):
+            timeouts.append(timeout)
+            return {"ok": True}
+
+        client.wait = fake_wait
+        results = client.wait_all(["a", "b", "c"], timeout=10.0)
+        assert set(results) == {"a", "b", "c"}
+        assert all(t <= 10.0 for t in timeouts)
+        assert timeouts == sorted(timeouts, reverse=True)
