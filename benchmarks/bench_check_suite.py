@@ -8,9 +8,17 @@ through the engine trajectory this repo grew through:
 * ``fresh_components``     — fresh solves, component-restricted order
   encoding;
 * ``incremental``          — one retained solver per program, conditions
-  decided as assumption flips;
+  decided as assumption flips, one ``solve_batch`` pass per program
+  (``incremental_seq`` is the same engine with batching disabled, for
+  the batching A/B);
+* ``incremental_arena``    — the batched engine on the packed-arena
+  CDCL core (the shipped default);
 * ``incremental_parallel`` — the incremental engine across ``--jobs``
   worker processes.
+
+The suite trajectory also carries an ``auto`` row (the shipped check
+default, which resolves to the measured-faster fresh engine for
+single-condition tests).
 
 Every stage must produce the identical report (asserted); timings and
 speedups land in ``BENCH_check.json``.
@@ -36,18 +44,21 @@ def _sweep_signature(report):
             tuple(report.unsound), tuple(report.overstrict))
 
 
-def run_sweep_stage(model, name, limit, jobs, engine, order_encoding):
+def run_sweep_stage(model, name, limit, jobs, engine, order_encoding,
+                    sat_core="object"):
     from repro.check import verify_exactness
 
     start = time.perf_counter()
     report = verify_exactness(model, limit=limit, jobs=jobs, engine=engine,
-                              order_encoding=order_encoding)
+                              order_encoding=order_encoding,
+                              sat_core=sat_core)
     elapsed = time.perf_counter() - start
     print(f"  {name:<22} {elapsed:8.2f}s  {report.summary()}")
     return {
         "name": name,
         "engine": engine,
         "order_encoding": order_encoding,
+        "sat_core": sat_core,
         "jobs": jobs,
         "seconds": round(elapsed, 3),
         "programs": report.programs,
@@ -56,11 +67,12 @@ def run_sweep_stage(model, name, limit, jobs, engine, order_encoding):
     }, _sweep_signature(report)
 
 
-def run_suite_stage(model, tests, name, jobs, engine):
+def run_suite_stage(model, tests, name, jobs, engine, sat_core="object"):
     from repro.check import Checker, suite_digest
 
     start = time.perf_counter()
-    verdicts = Checker(model, engine=engine).check_suite(tests, jobs=jobs)
+    checker = Checker(model, engine=engine, sat_core=sat_core)
+    verdicts = checker.check_suite(tests, jobs=jobs)
     elapsed = time.perf_counter() - start
     failures = sum(0 if v.passed else 1 for v in verdicts)
     print(f"  {name:<22} {elapsed:8.2f}s  "
@@ -68,6 +80,8 @@ def run_suite_stage(model, tests, name, jobs, engine):
     return {
         "name": name,
         "engine": engine,
+        "engine_used": checker.engine_used,
+        "sat_core": sat_core,
         "jobs": jobs,
         "seconds": round(elapsed, 3),
         "tests": len(verdicts),
@@ -108,6 +122,8 @@ def main(argv=None):
     suite_stages = [
         run_suite_stage(model, tests, "seed_serial", 1, "fresh"),
         run_suite_stage(model, tests, "incremental", 1, "incremental"),
+        run_suite_stage(model, tests, "auto_arena", 1, "auto",
+                        sat_core="arena"),
     ]
     if parallel_skipped is None:
         suite_stages.append(
@@ -118,18 +134,21 @@ def main(argv=None):
     scope = f"limit={limit}" if limit else "all canonical 2x2 programs"
     print(f"exhaustive sweep ({scope}):")
     sweep_plan = [
-        ("seed_serial", 1, "fresh", "allpairs"),
-        ("fresh_components", 1, "fresh", "components"),
-        ("incremental", 1, "incremental", "components"),
+        ("seed_serial", 1, "fresh", "allpairs", "object"),
+        ("fresh_components", 1, "fresh", "components", "object"),
+        ("incremental_seq", 1, "incremental-seq", "components", "object"),
+        ("incremental", 1, "incremental", "components", "object"),
+        ("incremental_arena", 1, "incremental", "components", "arena"),
     ]
     if parallel_skipped is None:
         sweep_plan.append(
-            ("incremental_parallel", args.jobs, "incremental", "components"))
+            ("incremental_parallel", args.jobs, "incremental", "components",
+             "arena"))
     sweep_stages = []
     signatures = set()
-    for name, jobs, engine, encoding in sweep_plan:
+    for name, jobs, engine, encoding, sat_core in sweep_plan:
         stage, signature = run_sweep_stage(model, name, limit, jobs, engine,
-                                           encoding)
+                                           encoding, sat_core=sat_core)
         sweep_stages.append(stage)
         signatures.add(signature)
     assert len(signatures) == 1, "sweep reports diverged across stages"
@@ -139,9 +158,14 @@ def main(argv=None):
         stage["speedup_vs_seed"] = round(baseline / stage["seconds"], 2) \
             if stage["seconds"] else None
     best = max(stage["speedup_vs_seed"] for stage in sweep_stages[1:])
+    by_name = {stage["name"]: stage for stage in sweep_stages}
+    seq_seconds = by_name["incremental_seq"]["seconds"]
+    batch_seconds = by_name["incremental"]["seconds"]
+    batch_speedup = round(seq_seconds / batch_seconds, 2) \
+        if batch_seconds else None
 
     record = {
-        "schema": "repro-bench-check/2",
+        "schema": "repro-bench-check/3",
         "scope": scope,
         "cpu_count": cpus,
         "parallel_skipped": parallel_skipped,
@@ -150,12 +174,14 @@ def main(argv=None):
         "suite": suite_stages,
         "sweep": sweep_stages,
         "best_sweep_speedup_vs_seed": best,
+        "batch_speedup_vs_sequential": batch_speedup,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"\nbest sweep speedup vs seed serial: {best:.2f}x "
-          f"(target >= 2x) — record in {args.output}")
+          f"(target >= 2x); batched vs sequential incremental: "
+          f"{batch_speedup}x — record in {args.output}")
     return 0 if best >= 2.0 else 1
 
 

@@ -11,8 +11,11 @@ through the formal-layer configurations this repo grew through:
   each SVA's monitor netlist is unique, so expect parity here);
 * ``incremental``      — ONE retained solver per SVA: frame-by-frame
   BMC decided via assumption selectors, monotone k-escalation;
-* ``incremental_heap`` — the shipped default: retained solvers served
-  by the indexed VSIDS max-heap.
+* ``incremental_heap`` — retained solvers served by the indexed VSIDS
+  max-heap (PR 4's shipped default, object-core clauses);
+* ``incremental_arena`` — the shipped default: the packed-arena CDCL
+  core (clauses flattened into one literal arena, flat-array
+  watchlists) on a bit-identical decision/conflict trajectory.
 
 Every stage must produce the identical per-SVA verdict digest and
 byte-identical ``.uarch`` text (asserted), and the engines are also
@@ -52,14 +55,15 @@ def verdict_digest(result) -> str:
 
 
 def run_stage(name, engine, share_bitblast, sat_order, jobs, candidates,
-              compose=False):
+              compose=False, sat_core="object", portfolio=1):
     from repro import synthesize_uspec
     from repro.formal import PropertyChecker
     from repro.uspec import format_model
 
     checker = PropertyChecker(bound=12, max_k=2, engine=engine,
                               share_bitblast=share_bitblast,
-                              sat_order=sat_order)
+                              sat_order=sat_order, sat_core=sat_core,
+                              portfolio=portfolio)
     start = time.perf_counter()
     result = synthesize_uspec(checker=checker, jobs=jobs,
                               candidate_filter=candidates, compose=compose)
@@ -76,11 +80,17 @@ def run_stage(name, engine, share_bitblast, sat_order, jobs, candidates,
         "engine": engine,
         "share_bitblast": share_bitblast,
         "sat_order": sat_order,
+        "sat_core": sat_core,
+        "portfolio": portfolio,
         "jobs": jobs,
         "compose": compose,
         "seconds": round(elapsed, 3),
         "checks": int(stats["checks"]),
         "sat_seconds": round(stats["sat_time"], 3),
+        "sat_propagations": int(stats.get("sat_propagations", 0)),
+        "sat_conflicts": int(stats.get("sat_conflicts", 0)),
+        "sat_reductions": int(stats.get("sat_reductions", 0)),
+        "arena_bytes": int(stats.get("arena_bytes", 0)),
         "bmc_frames": int(stats["bmc_frames"]),
         "blast_hits": int(stats["blast_hits"]),
         "blast_misses": int(stats["blast_misses"]),
@@ -118,6 +128,8 @@ def main(argv=None):
         run_stage("incremental", "incremental", True, "scan", 1, candidates),
         run_stage("incremental_heap", "incremental", True, "heap", 1,
                   candidates),
+        run_stage("incremental_arena", "incremental", True, "heap", 1,
+                  candidates, sat_core="arena"),
     ]
 
     # jobs>1 wall clock on a single-CPU box measures scheduling overhead,
@@ -138,6 +150,14 @@ def main(argv=None):
                       args.jobs, candidates),
             run_stage("incremental_parallel", "incremental", True, "heap",
                       args.jobs, candidates),
+            run_stage("arena_parallel", "incremental", True, "heap",
+                      args.jobs, candidates, sat_core="arena"),
+            # Portfolio racing is held to the same strict per-verdict
+            # digest: statuses, methods, bounds, and induction depths
+            # are formula-determined, so the winning config cannot
+            # change them — only REFUTED traces (unhashed) may differ.
+            run_stage("arena_portfolio", "incremental", True, "heap", 1,
+                      candidates, sat_core="arena", portfolio=3),
         ]
 
     print("compose vs monolithic (hierarchical compositional synthesis):")
@@ -174,9 +194,13 @@ def main(argv=None):
         stage["speedup_vs_seed"] = round(baseline / stage["seconds"], 2) \
             if stage["seconds"] else None
     shipped = stages[-1]["speedup_vs_seed"]
+    by_name = {stage["name"]: stage for stage in stages}
+    heap_sat = by_name["incremental_heap"]["sat_seconds"]
+    arena_sat = by_name["incremental_arena"]["sat_seconds"]
+    arena_sat_speedup = round(heap_sat / arena_sat, 2) if arena_sat else None
 
     record = {
-        "schema": "repro-bench-synth/2",
+        "schema": "repro-bench-synth/3",
         "scope": scope,
         "cpu_count": cpus,
         "parallel_skipped": parallel_skipped,
@@ -188,12 +212,14 @@ def main(argv=None):
         "verdict_digest": verdict_digests.pop(),
         "uarch_sha256": uarch_digests.pop(),
         "incremental_speedup_vs_seed": shipped,
+        "arena_sat_speedup_vs_object": arena_sat_speedup,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"\nincremental+heap speedup vs seed one-shot: {shipped:.2f}x "
-          f"(target >= 2x) — record in {args.output}")
+    print(f"\nincremental+arena speedup vs seed one-shot: {shipped:.2f}x "
+          f"(target >= 2x); arena sat_seconds vs object core: "
+          f"{arena_sat_speedup}x — record in {args.output}")
     return 0 if shipped >= 2.0 else 1
 
 

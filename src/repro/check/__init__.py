@@ -1,10 +1,12 @@
 """Check-style µhb verification of µspec models against litmus tests."""
 
 from .exhaustive import (
+    SWEEP_ENGINES,
     ExactnessReport,
     enumerate_programs,
     enumerate_sweep_programs,
     normalize_limit,
+    resolve_sweep_engine,
     verify_exactness,
 )
 from .incremental import ProgramSolver, SymbolicContext
@@ -25,11 +27,14 @@ from .solver import (
     solve_observability,
 )
 from .verifier import (
+    ENGINES,
     Checker,
     TestVerdict,
     format_suite_report,
+    resolve_suite_engine,
     suite_digest,
     suite_report_json,
+    suite_sat_profile,
 )
 
 __all__ = [
@@ -59,5 +64,10 @@ __all__ = [
     "format_suite_report",
     "suite_digest",
     "suite_report_json",
+    "suite_sat_profile",
     "render_ascii",
+    "ENGINES",
+    "SWEEP_ENGINES",
+    "resolve_suite_engine",
+    "resolve_sweep_engine",
 ]

@@ -171,14 +171,28 @@ def _program_conditions(program: Program,
     return [condition for condition in conditions if condition]
 
 
+#: engines verify_exactness accepts; ``auto`` resolves per workload
+SWEEP_ENGINES = ("auto", "fresh", "incremental", "incremental-seq")
+
+
+def resolve_sweep_engine(engine: str) -> str:
+    """``auto`` → ``incremental`` for the sweep: one CNF per program
+    amortized over dozens of conditions is the measured-fastest path
+    (the suite's auto resolves differently — see
+    :func:`repro.check.verifier.resolve_suite_engine`)."""
+    return "incremental" if engine == "auto" else engine
+
+
 def _check_program(model, program: Program,
                    include_final_memory: bool, engine: str,
                    order_encoding: str,
-                   budget: Optional[Budget] = None) -> ProgramResult:
+                   budget: Optional[Budget] = None,
+                   sat_core: str = "arena") -> ProgramResult:
     """Sweep every condition of one program; returns
     (outcomes_checked, unsound, overstrict, undecided).  The budget is
     per *condition*; an expired solve lands in ``undecided`` rather
     than claiming soundness or strictness either way."""
+    engine = resolve_sweep_engine(engine)
     reference = sc_outcomes(program)
     conditions = _program_conditions(program, include_final_memory)
     checked = 0
@@ -186,20 +200,30 @@ def _check_program(model, program: Program,
     overstrict: List[Tuple[str, Tuple]] = []
     undecided: List[Tuple[str, Tuple]] = []
     instance = None
-    if engine == "incremental" and conditions:
+    if engine in ("incremental", "incremental-seq") and conditions:
         from .incremental import ProgramSolver
         instance = ProgramSolver(
             model, LitmusTest("sweep", program, conditions[0]),
-            order_encoding=order_encoding)
-    for condition in conditions:
+            order_encoding=order_encoding, sat_core=sat_core)
+    # One solve_batch call decides every condition sharing the common
+    # assumption prefix; budgeted runs need a per-condition clock, so
+    # they (and the incremental-seq A/B engine) stay sequential.
+    batch = None
+    if instance is not None and budget is None and engine == "incremental":
+        batch = instance.decide_batch(conditions)
+    for index, condition in enumerate(conditions):
         test = LitmusTest("sweep", program, condition)
         permitted = any(test.outcome_matches(o) for o in reference)
-        clock = budget.start() if budget else None
-        if instance is not None:
-            result = instance.decide(condition, clock=clock)
+        if batch is not None:
+            result = batch[index]
         else:
-            result = solve_observability(
-                model, test, order_encoding=order_encoding, clock=clock)
+            clock = budget.start() if budget else None
+            if instance is not None:
+                result = instance.decide(condition, clock=clock)
+            else:
+                result = solve_observability(
+                    model, test, order_encoding=order_encoding, clock=clock,
+                    sat_core=sat_core)
         checked += 1
         if not result.decided:
             undecided.append((test.format(), condition))
@@ -268,7 +292,8 @@ def verify_exactness(model, max_threads: int = 2, max_len: int = 2,
                      fault_plan=None,
                      journal_path: Optional[str] = None,
                      resume: bool = False,
-                     programs: Optional[Sequence[Program]] = None) -> ExactnessReport:
+                     programs: Optional[Sequence[Program]] = None,
+                     sat_core: str = "arena") -> ExactnessReport:
     """Sweep all bounded programs/outcomes; compare the model against SC.
 
     ``limit`` bounds the number of programs (for incremental runs; 0 or
@@ -284,9 +309,9 @@ def verify_exactness(model, max_threads: int = 2, max_len: int = 2,
     built-in shape enumeration with an explicit program list (e.g. a
     generated-corpus chunk); ``limit`` still caps the prefix swept.
     """
-    if engine not in ("fresh", "incremental"):
+    if engine not in SWEEP_ENGINES:
         raise CheckError(f"unknown check engine {engine!r} "
-                         f"(expected one of ('fresh', 'incremental'))")
+                         f"(expected one of {SWEEP_ENGINES})")
     from .runner import run_sweep
     return run_sweep(model, max_threads=max_threads, max_len=max_len,
                      addresses=addresses,
@@ -294,4 +319,4 @@ def verify_exactness(model, max_threads: int = 2, max_len: int = 2,
                      limit=limit, jobs=jobs, engine=engine,
                      order_encoding=order_encoding, budget=budget,
                      fault_plan=fault_plan, journal_path=journal_path,
-                     resume=resume, programs=programs)
+                     resume=resume, programs=programs, sat_core=sat_core)

@@ -34,7 +34,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..litmus import LitmusTest
 from ..resilience import DECIDED, TIMEOUT, BudgetClock
-from ..sat import SAT, UNSAT, Cnf, Solver
+from ..resilience import UNKNOWN as _UNDECIDED
+from ..sat import SAT, UNSAT, Cnf, make_solver
 from ..uspec import ast as U
 from .evaluator import ModelEvaluator, _Unsatisfiable
 from .instance import GroundContext, Microop
@@ -150,17 +151,19 @@ class ProgramSolver:
     """
 
     def __init__(self, model: U.Model, test: LitmusTest,
-                 order_encoding: str = "components"):
+                 order_encoding: str = "components",
+                 sat_core: str = "arena"):
         start = time.perf_counter()
         self.model = model
         self.test = test
         self.order_encoding = order_encoding
+        self.sat_core = sat_core
         self.cnf = Cnf()
         self.ctx = SymbolicContext(test, self.cnf)
         self.evaluator = ModelEvaluator(model, self.ctx, cnf=self.cnf)
         self.always_unsat = False
         self.mem_fallback = False
-        self.solver: Optional[Solver] = None
+        self.solver = None
         self.stats = SolveStats()
         self.decides = 0
         self.fresh_fallbacks = 0
@@ -174,7 +177,7 @@ class ProgramSolver:
             self._encode_final_memory()
             self.stats.order_components = _add_order_constraints(
                 self.evaluator, order_encoding)
-            self.solver = Solver()
+            self.solver = make_solver(core=sat_core)
             self.solver.add_cnf(self.cnf)
         self.stats.vars = self.cnf.num_vars
         self.stats.clauses = len(self.cnf.clauses)
@@ -214,20 +217,18 @@ class ProgramSolver:
         return solve_observability(
             self.model,
             LitmusTest(self.test.name, self.test.program, tuple(condition)),
-            order_encoding=self.order_encoding, clock=clock)
+            order_encoding=self.order_encoding, clock=clock,
+            sat_core=self.sat_core)
 
-    def decide(self, condition: Condition, keep_graph: bool = False,
-               clock: Optional[BudgetClock] = None) -> ObservabilityResult:
-        """Observability of one final condition (assumption flip).
+    # Plan kinds: how one condition will be decided.
+    _FALLBACK = "fallback"   # route to the fresh per-condition path
+    _UNSAT = "unsat"         # decided without solving (unobservable)
+    _SOLVE = "solve"         # a complete assumption set for the solver
 
-        ``clock`` is an already-running :class:`BudgetClock`; exhausting
-        it degrades to an undecided (TIMEOUT/UNKNOWN) result.
-        """
-        start = time.perf_counter()
-        self.decides += 1
-        condition = tuple(condition)
-        if clock is not None and clock.expired():
-            return self._result(False, None, start, status=TIMEOUT)
+    def _plan(self, condition: Tuple) -> Tuple[str, Optional[List[int]]]:
+        """Classify one condition: decide-by-construction, fresh-path
+        fallback, or a complete selector assumption list to solve.  The
+        precedence mirrors the historical ``decide`` exactly."""
         # Later entries win, matching dict(test.final) in GroundContext.
         entries = dict(condition)
         pins: Dict[int, int] = {}
@@ -243,25 +244,44 @@ class ProgramSolver:
                 pins[uid] = value
         domain = set(self.ctx.value_domain)
         if any(value not in domain for value in pins.values()):
-            return self._fresh_fallback(condition, clock)
+            return self._FALLBACK, None
         if self.mem_fallback and mems:
-            return self._fresh_fallback(condition, clock)
+            return self._FALLBACK, None
         for addr in list(mems):
             if (addr, 0) not in self.ctx.mem_sel:
                 # Address the program never touches: value 0 is the
                 # initial state (no constraint), anything else is
                 # unsatisfiable at grounding time on the fresh path.
                 if mems[addr] != 0:
-                    return self._result(False, None, start)
+                    return self._UNSAT, None
                 del mems[addr]
             elif mems[addr] not in domain:
-                return self._fresh_fallback(condition, clock)
+                return self._FALLBACK, None
         if self.always_unsat:
-            return self._result(False, None, start)
+            return self._UNSAT, None
         assumptions = [var if pins.get(uid) == value else -var
                        for (uid, value), var in self.ctx.load_sel.items()]
         assumptions.extend(var if mems.get(addr) == value else -var
                            for (addr, value), var in self.ctx.mem_sel.items())
+        return self._SOLVE, assumptions
+
+    def decide(self, condition: Condition, keep_graph: bool = False,
+               clock: Optional[BudgetClock] = None) -> ObservabilityResult:
+        """Observability of one final condition (assumption flip).
+
+        ``clock`` is an already-running :class:`BudgetClock`; exhausting
+        it degrades to an undecided (TIMEOUT/UNKNOWN) result.
+        """
+        start = time.perf_counter()
+        self.decides += 1
+        condition = tuple(condition)
+        if clock is not None and clock.expired():
+            return self._result(False, None, start, status=TIMEOUT)
+        kind, assumptions = self._plan(condition)
+        if kind is self._FALLBACK:
+            return self._fresh_fallback(condition, clock)
+        if kind is self._UNSAT:
+            return self._result(False, None, start)
         solve_start = time.perf_counter()
         status = self.solver.solve(
             assumptions=assumptions,
@@ -280,6 +300,73 @@ class ProgramSolver:
             graph = extract_witness(self.model, self.evaluator, self.ctx,
                                     self.solver)
         return self._result(True, graph, start, solve_seconds=solve_seconds)
+
+    def decide_batch(self, conditions: Iterable[Condition],
+                     keep_graph: bool = False) -> List[ObservabilityResult]:
+        """Decide many final conditions in one batched solver pass.
+
+        Verdict-identical to calling :meth:`decide` per condition
+        (pinned by the batch-equivalence tests), but all solvable
+        conditions go through a single
+        :meth:`~repro.sat.solver.BatchedSolveMixin.solve_batch` call,
+        which skips re-propagating the shared assumption prefix between
+        consecutive conditions.  Conditions planned as fallbacks or
+        decided by construction resolve exactly as in :meth:`decide`.
+        Budgeted runs (a per-condition clock) use :meth:`decide`; this
+        path is for the unbudgeted bulk sweep.
+        """
+        conditions = [tuple(condition) for condition in conditions]
+        results: List[Optional[ObservabilityResult]] = [None] * len(conditions)
+        batch_indices: List[int] = []
+        assumption_sets: List[List[int]] = []
+        for i, condition in enumerate(conditions):
+            start = time.perf_counter()
+            self.decides += 1
+            kind, assumptions = self._plan(condition)
+            if kind is self._SOLVE:
+                batch_indices.append(i)
+                assumption_sets.append(assumptions)
+            elif kind is self._FALLBACK:
+                results[i] = self._fresh_fallback(condition)
+            else:
+                results[i] = self._result(False, None, start)
+        if not assumption_sets:
+            return results
+        solver = self.solver
+        shared0 = solver.batch_shared_levels
+        total0 = solver.batch_assumption_levels
+        last = [time.perf_counter()]
+
+        def on_result(j: int, status: str) -> None:
+            # Fires while the solver still holds condition j's model
+            # (the next batched solve would clobber it), so witness
+            # extraction must happen here.
+            now = time.perf_counter()
+            solve_seconds = now - last[0]
+            last[0] = now
+            self.stats.solve_seconds += solve_seconds
+            i = batch_indices[j]
+            if status == SAT:
+                graph = None
+                if keep_graph:
+                    graph = extract_witness(self.model, self.evaluator,
+                                            self.ctx, solver)
+                results[i] = self._result(True, graph, now - solve_seconds,
+                                          solve_seconds=solve_seconds)
+            elif status == UNSAT:
+                results[i] = self._result(False, None, now - solve_seconds,
+                                          solve_seconds=solve_seconds)
+            else:  # pragma: no cover - no budget is threaded through
+                results[i] = self._result(False, None, now - solve_seconds,
+                                          solve_seconds=solve_seconds,
+                                          status=_UNDECIDED)
+
+        solver.solve_batch(assumption_sets, on_result=on_result)
+        self.stats.batch_shared_levels += \
+            solver.batch_shared_levels - shared0
+        self.stats.batch_assumption_levels += \
+            solver.batch_assumption_levels - total0
+        return results
 
     # ------------------------------------------------------------------
     def _result(self, observable: bool, graph, start: float,

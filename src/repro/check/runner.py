@@ -67,6 +67,8 @@ class SuiteRunResult:
     quarantined_records: int = 0
     #: where the dropped journal bytes were moved (None if clean)
     quarantined_path: Optional[str] = None
+    #: the engine that actually ran (``auto`` resolved by the Checker)
+    engine_used: str = ""
 
 
 def run_suite(model: Model, tests: Iterable[LitmusTest], *,
@@ -76,7 +78,8 @@ def run_suite(model: Model, tests: Iterable[LitmusTest], *,
               budget: Optional[Budget] = None,
               journal_path: Optional[str] = None,
               resume: bool = False,
-              fault_plan: Optional[FaultPlan] = None) -> SuiteRunResult:
+              fault_plan: Optional[FaultPlan] = None,
+              sat_core: str = "arena") -> SuiteRunResult:
     """Check a litmus suite crash-safely; see the module docstring.
 
     Raises :class:`InterruptedRun` (partial verdicts attached, journal
@@ -85,8 +88,10 @@ def run_suite(model: Model, tests: Iterable[LitmusTest], *,
     """
     tests = list(tests)
     checker = Checker(model, keep_graphs=keep_graphs, engine=engine,
-                      order_encoding=order_encoding, budget=budget)
-    result = SuiteRunResult(verdicts=[], journal_path=journal_path)
+                      order_encoding=order_encoding, budget=budget,
+                      sat_core=sat_core)
+    result = SuiteRunResult(verdicts=[], journal_path=journal_path,
+                            engine_used=checker.engine_used)
     journal = None
     fingerprints: List[str] = []
     verdicts: List[Optional[TestVerdict]] = [None] * len(tests)
@@ -139,7 +144,8 @@ def _sweep_one_worker(payload) -> ProgramResult:
     program, include_final_memory = payload
     return _check_program(state["model"], program, include_final_memory,
                           state["engine"], state["order_encoding"],
-                          budget=state.get("budget"))
+                          budget=state.get("budget"),
+                          sat_core=state.get("sat_core", "arena"))
 
 
 def _valid_program_result(result) -> bool:
@@ -159,7 +165,8 @@ def run_sweep(model: Model, *, max_threads: int = 2, max_len: int = 2,
               resume: bool = False,
               fault_plan: Optional[FaultPlan] = None,
               pool_stats: Optional[PoolStats] = None,
-              programs: Optional[Sequence[Program]] = None) -> ExactnessReport:
+              programs: Optional[Sequence[Program]] = None,
+              sat_core: str = "arena") -> ExactnessReport:
     """Exhaustive sweep with program-granular journaling and resume.
 
     Raises :class:`InterruptedRun` (partial report attached, journal
@@ -215,10 +222,11 @@ def run_sweep(model: Model, *, max_threads: int = 2, max_len: int = 2,
             _sweep_one_worker,
             lambda payload: _check_program(model, payload[0], payload[1],
                                            engine, order_encoding,
-                                           budget=budget),
+                                           budget=budget, sat_core=sat_core),
             jobs,
             state={"model": model, "engine": engine,
-                   "order_encoding": order_encoding, "budget": budget},
+                   "order_encoding": order_encoding, "budget": budget,
+                   "sat_core": sat_core},
             fault_plan=fault_plan,
             validate=_valid_program_result,
             on_result=on_result,

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import CheckError
 from ..litmus import LitmusTest
 from ..resilience import DECIDED, TIMEOUT, Budget, BudgetClock
-from ..sat import SAT, UNSAT, Solver
+from ..sat import SAT, UNSAT, make_solver
 from ..uspec import ast as U
 from .evaluator import ModelEvaluator, UhbEdge, UhbNode, _Unsatisfiable
 from .instance import GroundContext
@@ -67,13 +67,27 @@ class UhbGraph:
 
 @dataclass
 class SolveStats:
-    """Per-instance encoding/solving statistics (surfaced in reports)."""
+    """Per-instance encoding/solving statistics (surfaced in reports).
+
+    The ``sat_*`` counters and ``arena_bytes`` are cumulative CDCL-core
+    totals feeding ``--profile-sat``; ``batch_shared_levels`` /
+    ``batch_assumption_levels`` measure how much assumption-prefix
+    propagation :meth:`ProgramSolver.decide_batch` reused (their ratio
+    is the prefix-share ratio in profile reports).
+    """
 
     vars: int = 0
     clauses: int = 0
     order_components: int = 0
     ground_seconds: float = 0.0
     solve_seconds: float = 0.0
+    sat_propagations: int = 0
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+    sat_reductions: int = 0
+    arena_bytes: int = 0
+    batch_shared_levels: int = 0
+    batch_assumption_levels: int = 0
 
     @property
     def ground_ms(self) -> float:
@@ -82,6 +96,19 @@ class SolveStats:
     @property
     def solve_ms(self) -> float:
         return self.solve_seconds * 1000.0
+
+    def absorb_solver(self, solver) -> None:
+        """Fold a CDCL core's cumulative counters into these stats.
+        Call once per solver (the counters are lifetime totals)."""
+        self.sat_propagations += solver.propagations
+        self.sat_conflicts += solver.conflicts
+        self.sat_decisions += solver.decisions
+        self.sat_reductions += solver.reductions
+        bytes_now = solver.arena_bytes()
+        if bytes_now > self.arena_bytes:
+            self.arena_bytes = bytes_now
+        self.batch_shared_levels += solver.batch_shared_levels
+        self.batch_assumption_levels += solver.batch_assumption_levels
 
 
 @dataclass
@@ -210,7 +237,7 @@ def _add_order_constraints(evaluator: ModelEvaluator,
 
 
 def extract_witness(model: U.Model, evaluator: ModelEvaluator,
-                    ctx: GroundContext, solver: Solver) -> UhbGraph:
+                    ctx: GroundContext, solver) -> UhbGraph:
     """Read the chosen edges out of a SAT model and build the witness
     graph, sanity-checking that the order encoding kept it acyclic."""
     chosen = [edge for edge, var in evaluator.edge_vars.items()
@@ -230,7 +257,8 @@ def solve_observability(model: U.Model, test: LitmusTest,
                         max_iterations: int = 100000,
                         order_encoding: str = "components",
                         budget: Optional[Budget] = None,
-                        clock: Optional[BudgetClock] = None
+                        clock: Optional[BudgetClock] = None,
+                        sat_core: str = "arena"
                         ) -> ObservabilityResult:
     """Decide whether the test's outcome is observable under the model.
 
@@ -268,12 +296,13 @@ def solve_observability(model: U.Model, test: LitmusTest,
     stats.order_components = _add_order_constraints(evaluator, order_encoding)
     stats.vars = evaluator.cnf.num_vars
     stats.clauses = len(evaluator.cnf.clauses)
-    solver = Solver()
+    solver = make_solver(core=sat_core)
     solver.add_cnf(evaluator.cnf)
     stats.ground_seconds = time.perf_counter() - start
     solve_start = time.perf_counter()
     status = solver.solve(**(clock.solve_args() if clock is not None else {}))
     stats.solve_seconds = time.perf_counter() - solve_start
+    stats.absorb_solver(solver)
     if status not in (SAT, UNSAT):
         # Budget exhausted mid-search: degrade to an undecided verdict.
         return ObservabilityResult(False, None, 1,

@@ -44,7 +44,21 @@ from ..resilience import (
 from ..uspec import Model
 from .solver import ObservabilityResult, UhbGraph, solve_observability
 
-ENGINES = ("fresh", "incremental")
+ENGINES = ("auto", "fresh", "incremental", "incremental-seq")
+
+
+def resolve_suite_engine(engine: str) -> str:
+    """``auto`` → ``fresh`` for the litmus suite: each test decides a
+    single condition, so the incremental engine's symbolic grounding is
+    pure overhead here (measured ~2× slower on the 56-test suite; the
+    sweep's auto resolves the other way).  ``incremental-seq`` is a
+    sweep-only A/B distinction — for single-condition tests it is the
+    incremental engine."""
+    if engine == "auto":
+        return "fresh"
+    if engine == "incremental-seq":
+        return "incremental"
+    return engine
 
 
 @dataclass
@@ -61,6 +75,14 @@ class TestVerdict:
     solve_ms: float = 0.0
     #: DECIDED, or TIMEOUT/UNKNOWN when the check's budget expired
     status: str = DECIDED
+    # --profile-sat counters (zero unless the engine reported them)
+    sat_propagations: int = 0
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+    sat_reductions: int = 0
+    arena_bytes: int = 0
+    batch_shared_levels: int = 0
+    batch_assumption_levels: int = 0
 
     @property
     def decided(self) -> bool:
@@ -100,7 +122,8 @@ def _check_one_worker(test: LitmusTest) -> TestVerdict:
                           keep_graphs=state["keep_graphs"],
                           engine=state["engine"],
                           order_encoding=state["order_encoding"],
-                          budget=state.get("budget"))
+                          budget=state.get("budget"),
+                          sat_core=state.get("sat_core", "arena"))
         state["checker"] = checker
     return checker.check_test(test)
 
@@ -110,7 +133,7 @@ class Checker:
 
     def __init__(self, model: Model, keep_graphs: bool = False,
                  engine: str = "fresh", order_encoding: str = "components",
-                 budget: Optional[Budget] = None):
+                 budget: Optional[Budget] = None, sat_core: str = "arena"):
         if engine not in ENGINES:
             from ..errors import CheckError
             raise CheckError(f"unknown check engine {engine!r} "
@@ -118,21 +141,29 @@ class Checker:
         self.model = model
         self.keep_graphs = keep_graphs
         self.engine = engine
+        #: what actually runs (``auto`` resolved); recorded in reports
+        self.engine_used = resolve_suite_engine(engine)
         self.order_encoding = order_encoding
         self.budget = budget
+        self.sat_core = sat_core
 
     def check_outcome(self, test: LitmusTest) -> ObservabilityResult:
         """Raw observability of the test's final condition."""
         clock = self.budget.start() if self.budget else None
-        if self.engine == "incremental":
+        if self.engine_used == "incremental":
             from .incremental import ProgramSolver
             instance = ProgramSolver(self.model, test,
-                                     order_encoding=self.order_encoding)
-            return instance.decide(test.final, keep_graph=self.keep_graphs,
-                                   clock=clock)
+                                     order_encoding=self.order_encoding,
+                                     sat_core=self.sat_core)
+            result = instance.decide(test.final,
+                                     keep_graph=self.keep_graphs,
+                                     clock=clock)
+            if instance.solver is not None:
+                instance.stats.absorb_solver(instance.solver)
+            return result
         return solve_observability(self.model, test,
                                    order_encoding=self.order_encoding,
-                                   clock=clock)
+                                   clock=clock, sat_core=self.sat_core)
 
     def check_test(self, test: LitmusTest) -> TestVerdict:
         start = time.perf_counter()
@@ -152,6 +183,13 @@ class Checker:
             ground_ms=stats.ground_ms,
             solve_ms=stats.solve_ms,
             status=result.status,
+            sat_propagations=stats.sat_propagations,
+            sat_conflicts=stats.sat_conflicts,
+            sat_decisions=stats.sat_decisions,
+            sat_reductions=stats.sat_reductions,
+            arena_bytes=stats.arena_bytes,
+            batch_shared_levels=stats.batch_shared_levels,
+            batch_assumption_levels=stats.batch_assumption_levels,
         )
 
     def check_suite(self, tests: Iterable[LitmusTest],
@@ -175,7 +213,8 @@ class Checker:
             state={"model": self.model, "keep_graphs": self.keep_graphs,
                    "engine": self.engine,
                    "order_encoding": self.order_encoding,
-                   "budget": self.budget},
+                   "budget": self.budget,
+                   "sat_core": self.sat_core},
             fault_plan=fault_plan,
             validate=lambda verdict: isinstance(verdict, TestVerdict),
             on_result=on_result,
@@ -246,10 +285,30 @@ def suite_digest(verdicts: Sequence[TestVerdict]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def suite_sat_profile(verdicts: Sequence[TestVerdict]) -> Dict:
+    """Aggregate the per-test SAT counters (``--profile-sat``)."""
+    profile = {
+        "sat_propagations": sum(v.sat_propagations for v in verdicts),
+        "sat_conflicts": sum(v.sat_conflicts for v in verdicts),
+        "sat_decisions": sum(v.sat_decisions for v in verdicts),
+        "sat_reductions": sum(v.sat_reductions for v in verdicts),
+        "arena_bytes": max((v.arena_bytes for v in verdicts), default=0),
+        "batch_shared_levels": sum(v.batch_shared_levels for v in verdicts),
+        "batch_assumption_levels": sum(v.batch_assumption_levels
+                                       for v in verdicts),
+    }
+    total = profile["batch_assumption_levels"]
+    profile["batch_prefix_share"] = round(
+        profile["batch_shared_levels"] / total, 4) if total else 0.0
+    return profile
+
+
 def suite_report_json(verdicts: Sequence[TestVerdict], model: str = "",
                       engine: str = "", jobs: int = 1,
                       deterministic: bool = False,
-                      quarantined_records: int = 0) -> Dict:
+                      quarantined_records: int = 0,
+                      engine_used: str = "", sat_core: str = "",
+                      profile_sat: bool = False) -> Dict:
     """The ``--report-json`` artifact: verdicts + per-test stats.
 
     ``digest`` covers only the verdict projection, so it is identical
@@ -258,12 +317,16 @@ def suite_report_json(verdicts: Sequence[TestVerdict], model: str = "",
     diagnostic and may vary by engine/run.  ``deterministic=True``
     drops everything run-dependent (timings, the jobs count) so the
     whole file is byte-identical across runs — the pipeline's
-    resume-equivalence guarantee.
+    resume-equivalence guarantee.  ``engine_used`` records what an
+    ``auto`` engine resolved to; ``profile_sat`` adds the aggregated
+    SAT counters (run-dependent — suppressed in deterministic mode).
     """
     report = {
-        "schema": "repro-check-suite/2",
+        "schema": "repro-check-suite/3",
         "model": model,
         "engine": engine,
+        "engine_used": engine_used or engine,
+        "sat_core": sat_core,
         "digest": suite_digest(verdicts),
         "failures": sum(1 if v.failed else 0 for v in verdicts),
         "undecided": sum(0 if v.decided else 1 for v in verdicts),
@@ -284,6 +347,8 @@ def suite_report_json(verdicts: Sequence[TestVerdict], model: str = "",
         # silently recomputing.  Excluded from the deterministic report
         # (whose bytes must match across fresh/resumed runs).
         report["quarantined_records"] = quarantined_records
+        if profile_sat:
+            report["sat_profile"] = suite_sat_profile(verdicts)
         for entry, v in zip(report["tests"], verdicts):
             entry["stats"].update({
                 "time_ms": round(v.time_ms, 3),

@@ -129,7 +129,9 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     from .uspec import format_model
 
     engine_checker = PropertyChecker(bound=args.bound, max_k=args.max_k,
-                                     engine=args.engine)
+                                     engine=args.engine,
+                                     sat_core=args.sat_core,
+                                     portfolio=args.portfolio)
     checker = engine_checker
     cache = None
     if args.cache:
@@ -172,6 +174,18 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     print(f"engine: {int(engine_stats['checks'])} check(s), bitblast "
           f"{int(engine_stats['blast_hits'])} hit(s) / "
           f"{int(engine_stats['blast_misses'])} miss(es)")
+    if args.profile_sat:
+        import json
+        profile = {key: int(engine_stats.get(key, 0))
+                   for key in ("sat_solves", "sat_propagations",
+                               "sat_conflicts", "sat_decisions",
+                               "sat_reductions", "arena_bytes")}
+        profile["sat_seconds"] = round(engine_stats.get("sat_time", 0.0), 3)
+        profile["sat_core"] = args.sat_core
+        for key in sorted(engine_stats):
+            if key.startswith("portfolio_"):
+                profile[key] = int(engine_stats[key])
+        print(f"sat profile: {json.dumps(profile, sort_keys=True)}")
     # The digest is the A/B parity anchor: --compose and --monolithic
     # runs of the same design must print the same value.
     print(f"verdict digest: {result.verdict_digest()}")
@@ -206,7 +220,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
                         budget=_check_budget(args.timeout),
                         journal_path=args.journal or None,
                         resume=args.resume,
-                        fault_plan=_fault_plan(args.inject_faults))
+                        fault_plan=_fault_plan(args.inject_faults),
+                        sat_core=args.sat_core)
     except InterruptedRun as exc:
         if exc.partial:
             print(format_suite_report(exc.partial))
@@ -221,13 +236,23 @@ def _cmd_check(args: argparse.Namespace) -> int:
               f"record(s) quarantined to {run.quarantined_path}; they "
               f"were re-executed", file=sys.stderr)
     print(format_suite_report(verdicts))
+    if args.engine == "auto":
+        print(f"engine: auto -> {run.engine_used}")
     if run.pool_stats.faults_observed():
         print(run.pool_stats.summary())
+    if args.profile_sat:
+        import json
+        from .check import suite_sat_profile
+        print(f"sat profile: "
+              f"{json.dumps(suite_sat_profile(verdicts), sort_keys=True)}")
     if args.report_json:
         import json
         report = suite_report_json(verdicts, model=args.model or "reference",
                                    engine=args.engine, jobs=args.jobs,
-                                   quarantined_records=run.quarantined_records)
+                                   quarantined_records=run.quarantined_records,
+                                   engine_used=run.engine_used,
+                                   sat_core=args.sat_core,
+                                   profile_sat=args.profile_sat)
         with open(args.report_json, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -278,9 +303,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _sweep_report_json(report, args) -> None:
     import json
+
+    from .check import resolve_sweep_engine
     payload = {
-        "schema": "repro-check-sweep/2",
+        "schema": "repro-check-sweep/3",
         "engine": args.engine,
+        "engine_used": resolve_sweep_engine(args.engine),
+        "sat_core": args.sat_core,
         "jobs": args.jobs,
         "digest": report.digest(),
         "programs": report.programs,
@@ -336,7 +365,8 @@ def _run_generated_sweep(model, args, signal_state, resume_hint):
                 model, programs=chunk, jobs=args.jobs, engine=args.engine,
                 budget=_check_budget(args.timeout),
                 journal_path=args.journal or None, resume=resume,
-                fault_plan=_fault_plan(args.inject_faults))
+                fault_plan=_fault_plan(args.inject_faults),
+                sat_core=args.sat_core)
         except InterruptedRun as exc:
             report = exc.partial
             interrupted = exc
@@ -377,7 +407,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 jobs=args.jobs, engine=args.engine,
                 budget=_check_budget(args.timeout),
                 journal_path=args.journal or None, resume=args.resume,
-                fault_plan=_fault_plan(args.inject_faults))
+                fault_plan=_fault_plan(args.inject_faults),
+                sat_core=args.sat_core)
         except InterruptedRun as exc:
             print(exc.partial.summary())
             _print_interrupt(exc, resume_hint)
@@ -739,6 +770,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "historical fresh-solver path kept for A/B "
                               "runs (verdicts and the emitted model are "
                               "identical)")
+    p_synth.add_argument("--sat-core", choices=("arena", "object"),
+                         default="arena",
+                         help="CDCL clause representation: 'arena' packs "
+                              "clauses into one flat literal arena; "
+                              "'object' is the historical per-clause-list "
+                              "core (decision/conflict trajectories are "
+                              "bit-identical)")
+    p_synth.add_argument("--portfolio", type=int, default=1,
+                         help="race N diversified solver configs per "
+                              "property via worker processes; first "
+                              "finisher wins (verdict digest unchanged; "
+                              "1 = off)")
+    p_synth.add_argument("--profile-sat", action="store_true",
+                         help="print per-phase SAT counters "
+                              "(propagations, conflicts, reductions, "
+                              "arena bytes) after synthesis")
     p_synth.set_defaults(func=_cmd_synth)
 
     p_check = sub.add_parser("check", help="verify litmus tests against a model")
@@ -749,12 +796,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="render witness µhb graphs (text Fig. 1b)")
     p_check.add_argument("-j", "--jobs", type=int, default=1,
                          help=JOBS_HELP)
-    p_check.add_argument("--engine", choices=("fresh", "incremental"),
-                         default="fresh",
+    p_check.add_argument("--engine",
+                         choices=("auto", "fresh", "incremental",
+                                  "incremental-seq"),
+                         default="auto",
                          help="solving engine: 'fresh' grounds each test "
                               "from scratch, 'incremental' reuses one "
-                              "retained solver per program "
-                              "(verdict-identical)")
+                              "retained solver per program, 'auto' picks "
+                              "the measured-fastest for the workload "
+                              "(fresh for single-condition suites); "
+                              "verdict-identical either way")
+    p_check.add_argument("--sat-core", choices=("arena", "object"),
+                         default="arena",
+                         help="CDCL clause representation (A/B flag; "
+                              "verdicts identical)")
+    p_check.add_argument("--profile-sat", action="store_true",
+                         help="aggregate per-test SAT counters into the "
+                              "report (stdout + --report-json)")
     p_check.add_argument("--report-json", default="",
                          help="write verdicts + solver stats as JSON")
     _add_resilience_flags(p_check, "test")
@@ -835,11 +893,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="mismatching tests to print")
     p_sweep.add_argument("-j", "--jobs", type=int, default=1,
                          help=JOBS_HELP)
-    p_sweep.add_argument("--engine", choices=("fresh", "incremental"),
+    p_sweep.add_argument("--engine",
+                         choices=("auto", "fresh", "incremental",
+                                  "incremental-seq"),
                          default="incremental",
-                         help="per-program decision procedure "
-                              "(incremental amortizes grounding across "
-                              "a program's conditions; verdict-identical)")
+                         help="per-program decision procedure: "
+                              "incremental amortizes grounding across a "
+                              "program's conditions and batches its "
+                              "solves ('incremental-seq' disables the "
+                              "batching for A/B runs; 'auto' = "
+                              "incremental); verdict-identical")
+    p_sweep.add_argument("--sat-core", choices=("arena", "object"),
+                         default="arena",
+                         help="CDCL clause representation (A/B flag; "
+                              "verdicts identical)")
     p_sweep.add_argument("--report-json", default="",
                          help="write the sweep report as JSON")
     _add_resilience_flags(p_sweep, "condition")

@@ -24,6 +24,7 @@ from .engine import (
 )
 from .faults import FaultPlan, FaultyPropertyChecker
 from .journal import VerdictJournal
+from .portfolio import portfolio_configs, race_check
 from .scheduler import DischargeScheduler, DischargeStats
 from .trace import Trace, extract_trace, trace_to_vcd
 from .unroll import Unroller
@@ -54,6 +55,8 @@ __all__ = [
     "VerdictJournal",
     "FaultPlan",
     "FaultyPropertyChecker",
+    "portfolio_configs",
+    "race_check",
     "PROVEN",
     "REFUTED",
     "PROVEN_BOUNDED",

@@ -52,7 +52,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..netlist import Netlist, cone_of_influence
-from ..sat import UNSAT, Cnf, Solver
+from ..sat import CORES, UNSAT, Cnf, make_solver
 from ..sat import UNKNOWN as _SAT_UNKNOWN
 from .bitblast import BlastCache, BlastedDesign, bitblast, extend_bitblast
 from .trace import Trace, extract_trace
@@ -153,10 +153,18 @@ class PropertyChecker:
                  use_coi: bool = True, max_conflicts: Optional[int] = None,
                  timeout_seconds: Optional[float] = None,
                  engine: str = "incremental", share_bitblast: bool = True,
-                 sat_order: str = "heap", blast_cache_size: int = 64,
+                 sat_order: str = "heap", sat_core: str = "arena",
+                 phase_seed: int = 0,
+                 restart_base: Optional[int] = None,
+                 portfolio: int = 1,
+                 blast_cache_size: int = 64,
                  blast_cache: Optional[BlastCache] = None):
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if sat_core not in CORES:
+            raise ValueError(f"sat_core must be one of {CORES}, got {sat_core!r}")
+        if portfolio < 1:
+            raise ValueError(f"portfolio size must be >= 1, got {portfolio}")
         self.bound = bound
         self.max_k = max_k
         self.use_coi = use_coi
@@ -165,6 +173,17 @@ class PropertyChecker:
         self.engine = engine
         self.share_bitblast = share_bitblast
         self.sat_order = sat_order
+        self.sat_core = sat_core
+        # Portfolio diversification knobs (see repro.formal.portfolio):
+        # phase_seed perturbs initial saved phases, restart_base overrides
+        # the solver's Luby restart unit.  Defaults reproduce the
+        # historical trajectory exactly.
+        self.phase_seed = phase_seed
+        self.restart_base = restart_base
+        #: race N diversified configs per check (1 = no racing); see
+        #: repro.formal.portfolio
+        self.portfolio = portfolio
+        self._in_race = False
         self.blast_cache_size = blast_cache_size
         # ``blast_cache`` injects a custom cache (e.g. the service's
         # store-backed PersistentBlastCache); workers unpickling this
@@ -172,11 +191,48 @@ class PropertyChecker:
         self._blast_cache: Optional[BlastCache] = blast_cache if \
             blast_cache is not None else \
             (BlastCache(blast_cache_size) if share_bitblast else None)
-        #: cumulative statistics across check() calls
+        #: cumulative statistics across check() calls; the ``sat_*``
+        #: counters and ``arena_bytes`` feed ``--profile-sat`` (the
+        #: scheduler sums worker deltas key-by-key, so ``arena_bytes``
+        #: aggregates each worker's peak)
         self.stats: Dict[str, float] = {
             "checks": 0, "sat_time": 0.0, "bmc_frames": 0,
             "blast_hits": 0, "blast_misses": 0,
+            "sat_solves": 0, "sat_propagations": 0, "sat_conflicts": 0,
+            "sat_decisions": 0, "sat_reductions": 0, "arena_bytes": 0,
         }
+        self._arena_bytes_peak = 0
+
+    def _new_solver(self):
+        """A fresh CDCL core per the checker's ``sat_core``/``sat_order``
+        configuration (plus portfolio knobs)."""
+        solver = make_solver(order=self.sat_order, core=self.sat_core,
+                             phase_seed=self.phase_seed)
+        if self.restart_base is not None:
+            solver.restart_base = self.restart_base
+        return solver
+
+    def _timed_solve(self, solver, **kwargs) -> str:
+        """``solver.solve(**kwargs)`` with wall time and per-phase SAT
+        counters accumulated into ``self.stats``."""
+        stats = self.stats
+        c0 = solver.conflicts
+        d0 = solver.decisions
+        p0 = solver.propagations
+        r0 = solver.reductions
+        t0 = time.perf_counter()
+        status = solver.solve(**kwargs)
+        stats["sat_time"] += time.perf_counter() - t0
+        stats["sat_solves"] += 1
+        stats["sat_conflicts"] += solver.conflicts - c0
+        stats["sat_decisions"] += solver.decisions - d0
+        stats["sat_propagations"] += solver.propagations - p0
+        stats["sat_reductions"] += solver.reductions - r0
+        bytes_now = solver.arena_bytes()
+        if bytes_now > self._arena_bytes_peak:
+            stats["arena_bytes"] += bytes_now - self._arena_bytes_peak
+            self._arena_bytes_peak = bytes_now
+        return status
 
     def __getstate__(self):
         # Workers rebuild an empty blast cache on unpickle: a warm cache
@@ -203,6 +259,14 @@ class PropertyChecker:
         an exhausted budget during induction soundly degrades the
         result to PROVEN_BOUNDED, since BMC already cleared the bound.
         """
+        if self.portfolio > 1 and not self._in_race:
+            from ..resilience.pool import worker_state
+            if not worker_state().get("in_worker"):
+                from .portfolio import race_check
+                return race_check(self, problem, CheckParams(
+                    bound=bound, prove=prove,
+                    timeout_seconds=timeout_seconds,
+                    max_conflicts=max_conflicts))
         start = time.perf_counter()
         bound = bound if bound is not None else self.bound
         timeout = timeout_seconds if timeout_seconds is not None \
@@ -325,11 +389,10 @@ class PropertyChecker:
             prefix_ok = cnf.encode_and((prefix_ok, assume_ok))
             violations.append(cnf.encode_and((prefix_ok, fail)))
         cnf.assert_lit(cnf.encode_or(violations))
-        solver = Solver(order=self.sat_order)
+        solver = self._new_solver()
         solver.add_cnf(cnf)
-        t0 = time.perf_counter()
-        status = solver.solve(max_conflicts=max_conflicts, deadline=deadline)
-        self.stats["sat_time"] += time.perf_counter() - t0
+        status = self._timed_solve(solver, max_conflicts=max_conflicts,
+                                   deadline=deadline)
         if status == _SAT_UNKNOWN:
             if deadline is not None and time.perf_counter() >= deadline:
                 return None, "timeout"
@@ -375,11 +438,10 @@ class PropertyChecker:
             assume_ok, fail = self._frame_ok(unroller, netlist, problem, cnf, k)
             cnf.assert_lit(assume_ok)
             cnf.assert_lit(fail)
-            solver = Solver(order=self.sat_order)
+            solver = self._new_solver()
             solver.add_cnf(cnf)
-            t0 = time.perf_counter()
-            status = solver.solve(max_conflicts=max_conflicts, deadline=deadline)
-            self.stats["sat_time"] += time.perf_counter() - t0
+            status = self._timed_solve(solver, max_conflicts=max_conflicts,
+                                       deadline=deadline)
             if status == UNSAT:
                 return k
             if status == _SAT_UNKNOWN:
@@ -390,7 +452,7 @@ class PropertyChecker:
     # Incremental engine
     # ------------------------------------------------------------------
     @staticmethod
-    def _feed_solver(solver: Solver, cnf: Cnf, fed: int) -> int:
+    def _feed_solver(solver, cnf: Cnf, fed: int) -> int:
         """Push clauses ``cnf.clauses[fed:]`` into the retained solver;
         returns the new fed watermark."""
         total = len(cnf.clauses)
@@ -422,7 +484,7 @@ class PropertyChecker:
         """
         cnf = Cnf()
         unroller = Unroller(design, cnf)
-        solver = Solver(order=self.sat_order)
+        solver = self._new_solver()
         fed = 0
         has_reset = problem.reset_input in netlist.inputs
         prefix_ok = cnf.true_lit
@@ -441,10 +503,9 @@ class PropertyChecker:
             if max_conflicts is not None:
                 remaining = max(0, max_conflicts - used_conflicts)
             before = solver.conflicts
-            t0 = time.perf_counter()
-            status = solver.solve(assumptions=[violation],
-                                  max_conflicts=remaining, deadline=deadline)
-            self.stats["sat_time"] += time.perf_counter() - t0
+            status = self._timed_solve(solver, assumptions=[violation],
+                                       max_conflicts=remaining,
+                                       deadline=deadline)
             used_conflicts += solver.conflicts - before
             self.stats["bmc_frames"] += 1
             if status == _SAT_UNKNOWN:
@@ -475,7 +536,7 @@ class PropertyChecker:
         """
         cnf = Cnf()
         unroller = Unroller(design, cnf, free_initial_state=True)
-        solver = Solver(order=self.sat_order)
+        solver = self._new_solver()
         fed = 0
         has_reset = problem.reset_input in netlist.inputs
         # Frame 0 starts clean: post-reset operation with assumptions
@@ -498,11 +559,9 @@ class PropertyChecker:
             assume_ok, fail = self._frame_ok(unroller, netlist, problem, cnf, k)
             cnf.assert_lit(assume_ok)
             fed = self._feed_solver(solver, cnf, fed)
-            t0 = time.perf_counter()
-            status = solver.solve(assumptions=[fail],
-                                  max_conflicts=max_conflicts,
-                                  deadline=deadline)
-            self.stats["sat_time"] += time.perf_counter() - t0
+            status = self._timed_solve(solver, assumptions=[fail],
+                                       max_conflicts=max_conflicts,
+                                       deadline=deadline)
             if status == UNSAT:
                 return k
             if status == _SAT_UNKNOWN:

@@ -76,6 +76,10 @@ def _worker_init(factory, engine) -> None:
     _WORKER_STATE["factory"] = factory
     _WORKER_STATE["engine"] = engine
     _WORKER_STATE["in_worker"] = True
+    # Mark the shared resilience-pool state too: portfolio racing keys
+    # on it to refuse nesting a race pool inside a discharge worker.
+    from ..resilience.pool import worker_state
+    worker_state()["in_worker"] = True
 
 
 def _worker_check(builder: str, args: Tuple, params: CheckParams

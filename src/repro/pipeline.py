@@ -333,6 +333,7 @@ class Pipeline:
         report = suite_report_json(run.verdicts,
                                    model=os.path.basename(self.model_path),
                                    engine=self.config.engine,
+                                   engine_used=run.engine_used,
                                    deterministic=True)
         payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
         with open(self.report_path, "w", encoding="utf-8") as handle:

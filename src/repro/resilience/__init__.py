@@ -46,6 +46,7 @@ from .pool import (
     PoolStats,
     init_worker,
     map_indexed,
+    race_tasks,
     resolve_jobs,
     run_tasks,
     worker_state,
@@ -64,6 +65,7 @@ __all__ = [
     "PoolStats",
     "init_worker",
     "map_indexed",
+    "race_tasks",
     "resolve_jobs",
     "run_tasks",
     "worker_state",

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, \
+    ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -170,6 +171,76 @@ def map_indexed(items: Sequence[Item], task: Callable[[Item], Result],
                 state: Dict[str, object]) -> List[Result]:
     """The historical simple entry point (no faults, no journaling)."""
     return run_tasks(items, task, inline, jobs, state)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-kill a pool's workers (losers of a race must not keep
+    burning CPU) and shut it down without waiting."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, ValueError):
+            pass
+    pool.shutdown(wait=False)
+
+
+def race_tasks(items: Sequence[Item], task: Callable[[Item], Result],
+               inline: Callable[[Item], Result],
+               state: Dict[str, object], *,
+               watchdog_seconds: Optional[float] = None
+               ) -> Tuple[int, Result]:
+    """Race ``task`` over every item concurrently; the first finisher
+    wins.  Returns ``(winner_index, result)``.
+
+    Unlike :func:`run_tasks` (map semantics, all results), this is a
+    disjunction: every item computes the *same* answer by different
+    means (e.g. portfolio SAT configs), so whichever worker finishes
+    first settles the question and the losers are terminated.  Items
+    completing within one poll interval tie-break to the lowest index,
+    and item 0 is the fallback executed inline — in a pool worker
+    (racing must not nest pools), with a single item, when every racer
+    fails, or when the watchdog expires — so callers should put their
+    baseline configuration first.
+    """
+    if len(items) <= 1 or _WORKER_STATE.get("in_worker"):
+        return 0, inline(items[0])
+    try:
+        pool = ProcessPoolExecutor(max_workers=len(items),
+                                   initializer=_pool_initializer,
+                                   initargs=(state,))
+    except _POOL_FAILURES:
+        return 0, inline(items[0])
+    futures = []
+    try:
+        try:
+            for item in items:
+                futures.append(pool.submit(task, item))
+        except _POOL_FAILURES:
+            return 0, inline(items[0])
+        deadline = (time.monotonic() + watchdog_seconds) \
+            if watchdog_seconds is not None else None
+        pending = set(futures)
+        while pending:
+            timeout = None
+            if deadline is not None:
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    break
+            done, pending = wait(pending, timeout=timeout,
+                                 return_when=FIRST_COMPLETED)
+            if not done:
+                break  # watchdog expired
+            # Deterministic tie-break within a poll: lowest index wins.
+            for future in sorted(done, key=futures.index):
+                try:
+                    result = future.result()
+                except Exception:
+                    continue  # this racer crashed; others may finish
+                return futures.index(future), result
+    finally:
+        _terminate_pool(pool)
+    return 0, inline(items[0])
 
 
 class _TaskRun:

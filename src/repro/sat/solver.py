@@ -27,8 +27,9 @@ produce bit-identical search trajectories.
 
 from __future__ import annotations
 
+import heapq
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import SatError
 from .cnf import Cnf
@@ -56,7 +57,143 @@ def luby(i: int) -> int:
     return 1 << seq
 
 
-class Solver:
+class VsidsHeapMixin:
+    """Branch ordering shared by the object and arena cores.
+
+    A lazy binary heap over VSIDS activity built on the C-implemented
+    :mod:`heapq`: entries are ``(-activity, var)`` tuples snapshotted
+    at push time, popped smallest-first, which is (activity desc,
+    index asc) — exactly the variable the historical linear scan and
+    the indexed sift-up/sift-down heap selected.  Because that
+    comparator is a *total* order, every valid heap arrangement pops
+    the identical variable sequence, so the heapq rewrite is
+    trajectory-identical to both (``tests/unit/test_sat_fuzz.py``).
+
+    Laziness: VSIDS bumps touch only trail (assigned) variables, so a
+    bump never repairs the heap — the var re-enters with a fresh
+    snapshot when backtracking unassigns it.  Stale entries (vars
+    assigned since their push, or superseded snapshots) are discarded
+    as they surface in ``_pick_branch_var``; a size trigger rebuilds
+    the heap from the unassigned vars before duplicates accumulate
+    beyond a small multiple of the variable count.
+    """
+
+    def _bump_var(self, var: int) -> None:
+        act = self.activity[var] + self.var_inc
+        self.activity[var] = act
+        if act > 1e100:
+            self._rescale_activity()
+
+    def _rescale_activity(self) -> None:
+        # Rescaling multiplies every activity by the same factor, so
+        # the selection order is preserved; the stored snapshots are
+        # invalidated wholesale, so rebuild the heap outright.
+        for i in range(1, self.num_vars + 1):
+            self.activity[i] *= 1e-100
+        self.var_inc *= 1e-100
+        if self._use_heap:
+            self._heap_rebuild()
+
+    def _heap_rebuild(self) -> None:
+        assign = self.assign
+        activity = self.activity
+        self._heap = [(-activity[v], v)
+                      for v in range(1, self.num_vars + 1)
+                      if assign[v] == 0]
+        heapq.heapify(self._heap)
+
+    def _heap_insert(self, var: int) -> None:
+        heapq.heappush(self._heap, (-self.activity[var], var))
+
+    def _pick_branch_var(self) -> int:
+        if self._use_heap:
+            # Lazy deletion: pop until an unassigned variable
+            # surfaces.  An unassigned var always carries a
+            # current-snapshot entry (pushed at its latest unassign),
+            # and activity only grows between rescales, so a stale
+            # duplicate can only surface after the current entry — by
+            # which time the var is assigned and skipped.
+            assign = self.assign
+            heap = self._heap
+            pop = heapq.heappop
+            while heap:
+                var = pop(heap)[1]
+                if assign[var] == 0:
+                    return var
+            return 0
+        best = 0
+        best_act = -1.0
+        assign = self.assign
+        activity = self.activity
+        for var in range(1, self.num_vars + 1):
+            if assign[var] == 0 and activity[var] > best_act:
+                best_act = activity[var]
+                best = var
+        return best
+
+    def _initial_phase(self, var: int) -> bool:
+        """Saved-phase seed value for a fresh variable.
+
+        ``phase_seed=0`` (the default) is the historical all-False
+        init; nonzero seeds perturb it deterministically, which is how
+        portfolio configs diversify their search without touching
+        soundness (used by ``repro synth --portfolio``).
+        """
+        if not self.phase_seed:
+            return False
+        return bool((var * 0x9E3779B1 + self.phase_seed * 0x85EBCA77) >> 13 & 1)
+
+
+class BatchedSolveMixin:
+    """``solve_batch`` over any core exposing ``solve(keep_levels=...)``.
+
+    Consecutive assumption sets that share a prefix reuse the trail:
+    each assumption occupies exactly one (pseudo-)decision level, so
+    after a SAT answer the solver only backtracks to the first level
+    where the next set's assumptions diverge, skipping re-propagation
+    of the shared prefix.  Verdicts are identical to per-call
+    ``solve(assumptions=...)`` (pinned by the fuzz suite); trajectories
+    may legitimately differ.  ``batch_shared_levels`` /
+    ``batch_assumption_levels`` accumulate the prefix-share ratio for
+    ``--profile-sat``.
+    """
+
+    def solve_batch(self, assumption_sets: Sequence[Sequence[int]],
+                    max_conflicts: Optional[int] = None,
+                    deadline: Optional[float] = None,
+                    on_result=None) -> List[str]:
+        """Solve each assumption set in order; returns their statuses.
+
+        ``on_result(index, status)`` fires after each set while its
+        model (for SAT answers) is still intact, so callers can extract
+        witnesses before the next set reuses the solver.
+        """
+        results: List[str] = []
+        prev: Optional[List[int]] = None
+        for assumptions in assumption_sets:
+            assumptions = list(assumptions)
+            keep = 0
+            if prev is not None:
+                for a, b in zip(prev, assumptions):
+                    if a != b:
+                        break
+                    keep += 1
+            self.batch_shared_levels += keep
+            self.batch_assumption_levels += len(assumptions)
+            status = self.solve(assumptions=assumptions,
+                                max_conflicts=max_conflicts,
+                                deadline=deadline, keep_levels=keep)
+            results.append(status)
+            if on_result is not None:
+                on_result(len(results) - 1, status)
+            # Only a SAT exit leaves the assumption levels on the trail
+            # (UNSAT/UNKNOWN backtrack to level 0), so only then can the
+            # next set inherit a prefix.
+            prev = assumptions if status == SAT else None
+        return results
+
+
+class Solver(VsidsHeapMixin, BatchedSolveMixin):
     """CDCL solver over DIMACS-style integer literals.
 
     Typical use::
@@ -71,9 +208,10 @@ class Solver:
     database persists across calls and learned clauses are retained.
     """
 
-    def __init__(self, order: str = "heap"):
+    def __init__(self, order: str = "heap", phase_seed: int = 0):
         if order not in ("heap", "scan"):
             raise SatError(f"unknown branch order {order!r}")
+        self.phase_seed = phase_seed
         self.num_vars = 0
         self.clauses: List[List[int]] = []  # problem clauses
         self.learned: List[List[int]] = []
@@ -94,6 +232,11 @@ class Solver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        #: learned-DB reductions actually performed (``--profile-sat``)
+        self.reductions = 0
+        #: cumulative shared/total assumption levels across solve_batch
+        self.batch_shared_levels = 0
+        self.batch_assumption_levels = 0
         self.max_conflicts: Optional[int] = None
         #: learned-clause count that triggers a database reduction
         self.reduce_db_threshold = 2000
@@ -101,11 +244,10 @@ class Solver:
         self.restart_base = 64
         self.order = order
         self._use_heap = order == "heap"
-        # Indexed max-heap over VSIDS activity: _heap holds variables,
-        # _heap_pos[var] is the var's slot (-1 = not in heap). Assigned
-        # variables are removed lazily by _pick_branch_var.
-        self._heap: List[int] = []
-        self._heap_pos: List[int] = [-1]
+        # Lazy heapq max-heap over VSIDS activity: entries are
+        # (-activity, var) snapshots; stale entries (var assigned, or
+        # superseded by a fresher snapshot) are discarded at pop time.
+        self._heap: List[Tuple[float, int]] = []
         #: failed-assumption set of the most recent UNSAT-under-
         #: assumptions solve() (empty after SAT/UNKNOWN returns)
         self.conflict_assumptions: List[int] = []
@@ -123,9 +265,8 @@ class Solver:
             self.level.append(0)
             self.reason.append(None)
             self.activity.append(0.0)
-            self.phase.append(False)
+            self.phase.append(self._initial_phase(self.num_vars))
             self._seen.append(0)
-            self._heap_pos.append(-1)
             if self._use_heap:
                 self._heap_insert(self.num_vars)
 
@@ -260,83 +401,6 @@ class Solver:
     # ------------------------------------------------------------------
     # Conflict analysis
     # ------------------------------------------------------------------
-    def _bump_var(self, var: int) -> None:
-        self.activity[var] += self.var_inc
-        if self.activity[var] > 1e100:
-            # Rescaling multiplies every activity by the same factor,
-            # so the heap order is preserved and needs no repair.
-            for i in range(1, self.num_vars + 1):
-                self.activity[i] *= 1e-100
-            self.var_inc *= 1e-100
-        if self._heap_pos[var] >= 0:
-            self._heap_sift_up(self._heap_pos[var])
-
-    # ------------------------------------------------------------------
-    # Branch-order heap (indexed binary max-heap over VSIDS activity;
-    # ties break toward the lower variable index, matching the linear
-    # scan this replaced)
-    # ------------------------------------------------------------------
-    def _heap_before(self, a: int, b: int) -> bool:
-        """True when var ``a`` must sit above var ``b`` in the heap."""
-        act_a, act_b = self.activity[a], self.activity[b]
-        return act_a > act_b or (act_a == act_b and a < b)
-
-    def _heap_insert(self, var: int) -> None:
-        pos = self._heap_pos
-        if pos[var] >= 0:
-            return
-        heap = self._heap
-        pos[var] = len(heap)
-        heap.append(var)
-        self._heap_sift_up(pos[var])
-
-    def _heap_sift_up(self, i: int) -> None:
-        heap, pos, activity = self._heap, self._heap_pos, self.activity
-        var = heap[i]
-        act = activity[var]
-        while i > 0:
-            parent = (i - 1) >> 1
-            pvar = heap[parent]
-            pact = activity[pvar]
-            if pact > act or (pact == act and pvar < var):
-                break
-            heap[i] = pvar
-            pos[pvar] = i
-            i = parent
-        heap[i] = var
-        pos[var] = i
-
-    def _heap_sift_down(self, i: int) -> None:
-        heap, pos = self._heap, self._heap_pos
-        size = len(heap)
-        var = heap[i]
-        while True:
-            left = 2 * i + 1
-            if left >= size:
-                break
-            best = left
-            right = left + 1
-            if right < size and self._heap_before(heap[right], heap[left]):
-                best = right
-            if not self._heap_before(heap[best], var):
-                break
-            heap[i] = heap[best]
-            pos[heap[i]] = i
-            i = best
-        heap[i] = var
-        pos[var] = i
-
-    def _heap_pop(self) -> int:
-        heap, pos = self._heap, self._heap_pos
-        top = heap[0]
-        pos[top] = -1
-        last = heap.pop()
-        if heap:
-            heap[0] = last
-            pos[last] = 0
-            self._heap_sift_down(0)
-        return top
-
     def _analyze(self, conflict: List[int]):
         """First-UIP analysis; returns (learned_clause, backtrack_level)."""
         seen = self._seen
@@ -411,7 +475,9 @@ class Solver:
 
     def _backtrack(self, target_level: int) -> None:
         use_heap = self._use_heap
-        heap_pos = self._heap_pos
+        heap = self._heap
+        activity = self.activity
+        heappush = heapq.heappush
         while len(self.trail_lim) > target_level:
             lim = self.trail_lim.pop()
             for lit in self.trail[lim:]:
@@ -419,35 +485,12 @@ class Solver:
                 self.phase[var] = lit > 0
                 self.assign[var] = 0
                 self.reason[var] = None
-                if use_heap and heap_pos[var] < 0:
-                    self._heap_insert(var)
+                if use_heap:
+                    heappush(heap, (-activity[var], var))
             del self.trail[lim:]
         self.qhead = len(self.trail)
-
-    # ------------------------------------------------------------------
-    # Decisions
-    # ------------------------------------------------------------------
-    def _pick_branch_var(self) -> int:
-        if self._use_heap:
-            # Lazy deletion: variables assigned since their insertion
-            # are discarded as they surface (backtracking reinserts any
-            # that become unassigned again).
-            assign = self.assign
-            heap = self._heap
-            while heap:
-                var = self._heap_pop()
-                if assign[var] == 0:
-                    return var
-            return 0
-        best = 0
-        best_act = -1.0
-        assign = self.assign
-        activity = self.activity
-        for var in range(1, self.num_vars + 1):
-            if assign[var] == 0 and activity[var] > best_act:
-                best_act = activity[var]
-                best = var
-        return best
+        if use_heap and len(heap) > 4 * self.num_vars + 16:
+            self._heap_rebuild()
 
     # ------------------------------------------------------------------
     # Learned clause DB management
@@ -468,6 +511,7 @@ class Solver:
         removed_ids = set(map(id, removed))
         if not removed:
             return
+        self.reductions += 1
         self.learned = [c for c in self.learned if id(c) not in removed_ids]
         for clause_id in removed_ids:
             lbd.pop(clause_id, None)
@@ -488,7 +532,7 @@ class Solver:
     # Main search
     # ------------------------------------------------------------------
     def solve(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None,
-              deadline: Optional[float] = None) -> str:
+              deadline: Optional[float] = None, keep_levels: int = 0) -> str:
         """Run CDCL search; returns SAT, UNSAT or UNKNOWN (budget hit).
 
         ``assumptions`` are literals treated as temporary decisions; on
@@ -496,6 +540,11 @@ class Solver:
         subset of failed assumptions.  ``deadline`` is an absolute
         ``time.perf_counter()`` instant: the search polls the clock
         every few conflicts and returns UNKNOWN once it is past due.
+
+        ``keep_levels`` (used by :meth:`solve_batch`) retains that many
+        leading decision levels from the previous call instead of
+        restarting at level 0; the caller guarantees they correspond to
+        a shared prefix of the new assumption list.
         """
         # Reset before any early return: a caller inspecting the
         # failed-assumption set after a timed-out call must not read
@@ -505,11 +554,21 @@ class Solver:
             return UNKNOWN
         if not self.ok:
             return UNSAT
-        self._backtrack(0)
+        if keep_levels:
+            keep_levels = min(keep_levels, len(self.trail_lim))
+        self._backtrack(keep_levels if keep_levels else 0)
         conflict = self._propagate()
         if conflict is not None:
-            self.ok = False
-            return UNSAT
+            if self.trail_lim:
+                # A conflict while kept assumption levels are still on
+                # the trail (possible only if clauses were added since
+                # the previous call) is not a global UNSAT: retry from
+                # level 0 before concluding anything.
+                self._backtrack(0)
+                conflict = self._propagate()
+            if conflict is not None:
+                self.ok = False
+                return UNSAT
         assumptions = list(assumptions)
         for lit in assumptions:
             self._ensure_var(abs(lit))
@@ -622,6 +681,12 @@ class Solver:
         for var in range(1, self.num_vars + 1):
             out.append(var if self.assign[var] == 1 else -var)
         return out
+
+    def arena_bytes(self) -> int:
+        """Bytes held by the packed clause arena (0: this is the
+        per-clause object core — the counter exists so ``--profile-sat``
+        reads uniformly across cores)."""
+        return 0
 
 
 def solve_cnf(cnf: Cnf, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None):

@@ -258,7 +258,9 @@ def _run_check(params: Dict, ctx: WorkerContext):
     run = run_suite(model, tests, jobs=1, engine=params["engine"],
                     budget=budget)
     report = suite_report_json(run.verdicts, model="submitted",
-                               engine=params["engine"], deterministic=True)
+                               engine=params["engine"],
+                               engine_used=run.engine_used,
+                               deterministic=True)
     summary = {
         "digest": suite_digest(run.verdicts),
         "tests": len(run.verdicts),

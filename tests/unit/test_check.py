@@ -171,3 +171,58 @@ class TestMissingPathAxioms:
         model.axioms = [a for a in model.axioms if a.name != "PO_mem"]
         result = solve_observability(model, suite_by_name()["mp"])
         assert result.observable
+
+
+class TestEngineResolution:
+    """The 'auto' engine resolves per workload (fresh for the suite,
+    incremental for the sweep), and the resolution is recorded."""
+
+    def test_resolvers(self):
+        from repro.check import resolve_suite_engine, resolve_sweep_engine
+        assert resolve_suite_engine("auto") == "fresh"
+        assert resolve_suite_engine("incremental-seq") == "incremental"
+        assert resolve_suite_engine("fresh") == "fresh"
+        assert resolve_suite_engine("incremental") == "incremental"
+        assert resolve_sweep_engine("auto") == "incremental"
+        assert resolve_sweep_engine("incremental-seq") == "incremental-seq"
+        assert resolve_sweep_engine("fresh") == "fresh"
+
+    def test_checker_records_engine_used(self):
+        model = sc_hand_model()
+        assert Checker(model, engine="auto").engine_used == "fresh"
+        assert Checker(model, engine="incremental").engine_used == \
+            "incremental"
+        with pytest.raises(Exception):
+            Checker(model, engine="bogus")
+
+    def test_run_suite_reports_engine_used(self):
+        from repro.check import run_suite, suite_report_json
+        model = sc_hand_model()
+        tests = [suite_by_name()["mp"]]
+        run = run_suite(model, tests, engine="auto")
+        assert run.engine_used == "fresh"
+        report = suite_report_json(run.verdicts, engine="auto",
+                                   engine_used=run.engine_used,
+                                   sat_core="arena", profile_sat=True)
+        assert report["schema"] == "repro-check-suite/3"
+        assert report["engine_used"] == "fresh"
+        assert report["sat_core"] == "arena"
+        assert report["sat_profile"]["sat_propagations"] > 0
+
+    def test_auto_and_explicit_engines_verdict_identical(self):
+        from repro.check import run_suite, suite_digest
+        model = sc_hand_model()
+        tests = [suite_by_name()[n] for n in ("mp", "sb", "lb")]
+        digests = {
+            engine: suite_digest(run_suite(model, tests,
+                                           engine=engine).verdicts)
+            for engine in ("auto", "fresh", "incremental",
+                           "incremental-seq")
+        }
+        assert len(set(digests.values())) == 1, digests
+
+    def test_sweep_engine_validation(self):
+        from repro.check import verify_exactness
+        model = sc_hand_model()
+        with pytest.raises(Exception):
+            verify_exactness(model, limit=1, engine="bogus")

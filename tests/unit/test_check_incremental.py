@@ -143,3 +143,86 @@ class TestEdgeCases:
         assert result.stats.vars > 0
         assert result.stats.clauses > 0
         assert result.stats.order_components >= 1
+
+
+class TestDecideBatch:
+    """decide_batch must be verdict-identical to per-condition decide
+    (the batching only skips re-propagating shared assumption
+    prefixes), including the fallback and decided-by-construction
+    plans."""
+
+    def test_matches_decide_per_condition(self, hand_model):
+        test = suite_by_name()["mp"]
+        conditions = [(((1, "r1"), a), ((1, "r2"), b))
+                      for a in (0, 1) for b in (0, 1)]
+        batched = ProgramSolver(hand_model, test)
+        sequential = ProgramSolver(hand_model, test)
+        got = batched.decide_batch(conditions)
+        want = [sequential.decide(c) for c in conditions]
+        assert [r.observable for r in got] == [r.observable for r in want]
+        assert all(r.decided for r in got)
+        assert batched.decides == sequential.decides == 4
+        # Consecutive sorted conditions share assumption prefixes.
+        assert batched.stats.batch_assumption_levels > 0
+        assert batched.stats.batch_shared_levels >= 0
+
+    def test_mixed_plans_in_one_batch(self, hand_model):
+        program = ((W("x", 1), R("x", "r1")),)
+        instance = ProgramSolver(hand_model, LitmusTest("t", program, ()))
+        conditions = [
+            (((0, "r1"), 1),),                     # solve -> observable
+            (((0, "r1"), 5),),                     # out of domain -> fallback
+            (((0, "r1"), 1), ((-1, "z"), 1)),      # untouched addr -> unsat
+            (((0, "r1"), 0),),                     # solve -> observable
+        ]
+        results = instance.decide_batch(conditions)
+        expected = [fresh_verdict(hand_model, program, c)
+                    for c in conditions]
+        assert [r.observable for r in results] == expected
+        assert instance.fresh_fallbacks == 1
+
+    def test_sweep_parity_against_sequential(self, hand_model):
+        from repro.check.exhaustive import _program_conditions
+        programs = []
+        seen = set()
+        for program in enumerate_programs():
+            key = tuple(sorted(tuple((a.kind, a.addr) for a in t)
+                               for t in program))
+            if key in seen:
+                continue
+            seen.add(key)
+            programs.append(program)
+            if len(programs) == 10:
+                break
+        for program in programs:
+            conditions = _program_conditions(program, True)
+            if not conditions:
+                continue
+            test = LitmusTest("t", program, conditions[0])
+            batched = ProgramSolver(hand_model, test)
+            sequential = ProgramSolver(hand_model, test)
+            got = [r.observable for r in batched.decide_batch(conditions)]
+            want = [sequential.decide(c).observable for c in conditions]
+            assert got == want, program
+
+    def test_keep_graph_extracts_witnesses(self, hand_model):
+        test = suite_by_name()["mp"]
+        conditions = [(((1, "r1"), 1), ((1, "r2"), 1)),  # observable
+                      (((1, "r1"), 1), ((1, "r2"), 0))]  # forbidden by mp?
+        instance = ProgramSolver(hand_model, test)
+        results = instance.decide_batch(conditions, keep_graph=True)
+        for result in results:
+            if result.observable:
+                assert result.graph is not None and result.graph.edges
+            else:
+                assert result.graph is None
+
+    def test_object_core_parity(self, hand_model):
+        test = suite_by_name()["sb"]
+        conditions = [(((0, "r1"), a), ((1, "r2"), b))
+                      for a in (0, 1) for b in (0, 1)]
+        arena = ProgramSolver(hand_model, test, sat_core="arena")
+        obj = ProgramSolver(hand_model, test, sat_core="object")
+        got_a = [r.observable for r in arena.decide_batch(conditions)]
+        got_o = [r.observable for r in obj.decide_batch(conditions)]
+        assert got_a == got_o

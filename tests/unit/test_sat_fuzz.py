@@ -14,7 +14,7 @@ printed (seed, round) pair.
 
 import random
 
-from repro.sat import SAT, UNSAT, Cnf, Solver
+from repro.sat import SAT, UNSAT, Cnf, Solver, make_solver
 
 NUM_VARS = 8
 ROUNDS = 60
@@ -52,8 +52,8 @@ def brute_force(clauses, num_vars, assumptions=()):
     return False
 
 
-def stressed_solver(order="heap"):
-    solver = Solver(order=order)
+def stressed_solver(order="heap", core="object"):
+    solver = make_solver(order=order, core=core)
     solver.restart_base = 1        # restart after (almost) every conflict
     solver.reduce_db_threshold = 1  # reduce the learned DB at every check
     return solver
@@ -147,6 +147,180 @@ class TestHeapMatchesScan:
                                   solver.propagations)
             assert results["heap"] == results["scan"], \
                 f"seed=0xD00D round={round_no}: {results}"
+
+
+class TestArenaMatchesObject:
+    """The packed-arena core must replay the object core's search
+    bit for bit: same statuses, same conflict/decision/propagation/
+    reduction counts, same models, same failed-assumption sets — with
+    restarts and DB reduction firing constantly and assumption queries
+    reusing the retained solvers."""
+
+    def _pair(self, order="heap"):
+        return (stressed_solver(order=order, core="arena"),
+                stressed_solver(order=order, core="object"))
+
+    @staticmethod
+    def _trajectory(solver):
+        return (solver.conflicts, solver.decisions, solver.propagations,
+                solver.reductions)
+
+    def test_identical_trajectory_with_assumptions(self):
+        rng = random.Random(0xA12E7A)
+        for round_no in range(ROUNDS):
+            clauses = random_cnf(rng)
+            arena, obj = self._pair()
+            for cl in clauses:
+                arena.add_clause(list(cl))
+                obj.add_clause(list(cl))
+            queries = [[]]
+            for _ in range(3):
+                k = rng.randint(0, 3)
+                vs = rng.sample(range(1, NUM_VARS + 1), k)
+                queries.append([v if rng.random() < 0.5 else -v for v in vs])
+            for assumptions in queries:
+                sa = arena.solve(assumptions=list(assumptions))
+                so = obj.solve(assumptions=list(assumptions))
+                context = f"seed=0xA12E7A round={round_no} " \
+                          f"assume={assumptions}"
+                assert sa == so, context
+                assert self._trajectory(arena) == self._trajectory(obj), \
+                    context
+                if sa == SAT:
+                    assert [arena.model_value(v)
+                            for v in range(1, arena.num_vars + 1)] == \
+                           [obj.model_value(v)
+                            for v in range(1, obj.num_vars + 1)], context
+                elif sa == UNSAT:
+                    assert sorted(arena.conflict_assumptions) == \
+                        sorted(obj.conflict_assumptions), context
+                if not arena.ok:
+                    break
+
+    def test_identical_trajectory_incremental_rounds(self):
+        """Clause addition between solves (the BMC pattern) must keep
+        the cores in lockstep across the arena compaction boundary."""
+        rng = random.Random(0x5EC0DD)
+        for round_no in range(ROUNDS // 2):
+            clauses = random_cnf(rng)
+            arena, obj = self._pair()
+            third = max(1, len(clauses) // 3)
+            for start in range(0, len(clauses), third):
+                for cl in clauses[start:start + third]:
+                    arena.add_clause(list(cl))
+                    obj.add_clause(list(cl))
+                sa = arena.solve()
+                so = obj.solve()
+                assert sa == so, f"seed=0x5EC0DD round={round_no}"
+                assert self._trajectory(arena) == self._trajectory(obj), \
+                    f"seed=0x5EC0DD round={round_no}"
+                if sa == UNSAT:
+                    break
+
+    def test_scan_order_also_matches(self):
+        """Both A/B axes at once: core x order stay on one trajectory
+        per order (the order changes the path, the core never does)."""
+        rng = random.Random(0x08DE8)
+        for round_no in range(ROUNDS // 3):
+            clauses = random_cnf(rng)
+            for order in ("heap", "scan"):
+                arena, obj = self._pair(order=order)
+                for cl in clauses:
+                    arena.add_clause(list(cl))
+                    obj.add_clause(list(cl))
+                assert arena.solve() == obj.solve()
+                assert self._trajectory(arena) == self._trajectory(obj), \
+                    f"seed=0x08DE8 round={round_no} order={order}"
+
+    def test_php_reduce_db_trajectory_pinned(self):
+        """PHP(6,5) under constant reduction: thousands of conflicts,
+        every reduce-db rebuilds only touched watchlists — both cores
+        must land on the exact same conflict count."""
+        counts = {}
+        for core in ("arena", "object"):
+            solver = stressed_solver(core=core)
+            holes, pigeons = 5, 6
+
+            def var(p, h):
+                return p * holes + h + 1
+            for p in range(pigeons):
+                solver.add_clause([var(p, h) for h in range(holes)])
+            for h in range(holes):
+                for p1 in range(pigeons):
+                    for p2 in range(p1 + 1, pigeons):
+                        solver.add_clause([-var(p1, h), -var(p2, h)])
+            assert solver.solve() == UNSAT
+            assert solver.reductions > 0  # reduce-db actually fired
+            counts[core] = self._trajectory(solver)
+        assert counts["arena"] == counts["object"], counts
+
+
+class TestSolveBatch:
+    """solve_batch must return the same verdicts as per-call solve()
+    with the same assumption sets (prefix sharing is a pure
+    optimization), on both cores."""
+
+    def _assumption_sets(self, rng):
+        sets = []
+        for _ in range(6):
+            k = rng.randint(0, 4)
+            vs = rng.sample(range(1, NUM_VARS + 1), k)
+            sets.append([v if rng.random() < 0.5 else -v for v in vs])
+        # Sorted sets share longer prefixes, like the sweep's selector
+        # assumption lists; keep a couple unsorted for the general case.
+        return [sorted(s, key=abs) for s in sets[:4]] + sets[4:]
+
+    def test_verdict_parity_both_cores(self):
+        rng = random.Random(0xBA7C4)
+        for round_no in range(ROUNDS // 2):
+            clauses = random_cnf(rng)
+            sets = self._assumption_sets(rng)
+            for core in ("arena", "object"):
+                batch = stressed_solver(core=core)
+                single = stressed_solver(core=core)
+                for cl in clauses:
+                    batch.add_clause(list(cl))
+                    single.add_clause(list(cl))
+                got = batch.solve_batch([list(s) for s in sets])
+                want = [single.solve(assumptions=list(s)) for s in sets]
+                assert got == want, \
+                    f"seed=0xBA7C4 round={round_no} core={core}"
+                assert batch.batch_assumption_levels == \
+                    sum(len(s) for s in sets)
+                assert 0 <= batch.batch_shared_levels <= \
+                    batch.batch_assumption_levels
+
+    def test_on_result_sees_the_model(self):
+        """The callback fires while the SAT model is still intact —
+        the window decide_batch uses for witness extraction."""
+        for core in ("arena", "object"):
+            solver = make_solver(core=core)
+            solver.add_clause([1, 2])
+            solver.add_clause([-1, 3])
+            seen = []
+
+            def on_result(index, status):
+                if status == SAT:
+                    seen.append((index, solver.model_value(1),
+                                 solver.model_value(3)))
+                else:
+                    seen.append((index, None, None))
+
+            statuses = solver.solve_batch(
+                [[1], [1, -3], [-1]], on_result=on_result)
+            assert statuses == [SAT, UNSAT, SAT]
+            assert seen[0][0] == 0 and seen[0][1] is True \
+                and seen[0][2] is True
+            assert seen[1] == (1, None, None)
+            assert seen[2][0] == 2 and seen[2][1] is False
+
+    def test_empty_and_singleton_batches(self):
+        for core in ("arena", "object"):
+            solver = make_solver(core=core)
+            solver.add_clause([1])
+            assert solver.solve_batch([]) == []
+            assert solver.solve_batch([[]]) == [SAT]
+            assert solver.solve_batch([[-1]]) == [UNSAT]
 
 
 class TestBudgetHygiene:
