@@ -23,10 +23,19 @@ single-condition tests).
 Every stage must produce the identical report (asserted); timings and
 speedups land in ``BENCH_check.json``.
 
+With ``--serve STATE_DIR`` the same workloads run against an already
+running ``repro serve`` fleet instead of in-process: ``bench`` jobs
+time warm-versus-cold suite/synth passes and a sharded sweep is raced
+against the unsharded one (byte-identical digests asserted).  The
+fleet's ``store.blast_hits`` and shard counts land in the record's
+``serve`` section.
+
 Standalone (not a pytest-benchmark module)::
 
     PYTHONPATH=src python benchmarks/bench_check_suite.py --quick
     PYTHONPATH=src python benchmarks/bench_check_suite.py --jobs 4
+    PYTHONPATH=src python benchmarks/bench_check_suite.py \
+        --quick --serve /tmp/repro-serve --shards 4
 """
 
 from __future__ import annotations
@@ -90,6 +99,89 @@ def run_suite_stage(model, tests, name, jobs, engine, sat_core="object"):
     }
 
 
+def _read_artifact(result):
+    with open(result["artifact"], "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _serve_job(client, kind, params, label):
+    start = time.perf_counter()
+    job = client.submit(kind, params)
+    result = client.wait(job, timeout=1800)
+    elapsed = time.perf_counter() - start
+    if result["state"] != "done":
+        raise RuntimeError(
+            f"{label}: job {job} ended {result['state']}: {result}")
+    print(f"  {label:<22} {elapsed:8.2f}s  (round trip)")
+    return result, elapsed
+
+
+def run_serve_mode(args, limit):
+    """Benchmark an already-running ``repro serve`` fleet.
+
+    Returns the ``serve`` section for the record: warm/cold bench
+    timings, the sharded-versus-unsharded sweep race, and the fleet's
+    ``store.blast_hits`` counters.
+    """
+    from repro.service import ServiceClient, default_socket_path
+
+    client = ServiceClient(default_socket_path(args.serve))
+    client.ping()
+    sweep_limit = limit or 40
+    print(f"service fleet at {args.serve} "
+          f"(sweep limit={sweep_limit}, shards={args.shards}):")
+
+    bench_check, _ = _serve_job(
+        client, "bench", {"workload": "check", "repeat": 2},
+        "bench_check")
+    check_payload = _read_artifact(bench_check)
+
+    bench_synth, _ = _serve_job(
+        client, "bench", {"workload": "synth", "design": "multi",
+                          "repeat": 2},
+        "bench_synth")
+    synth_payload = _read_artifact(bench_synth)
+
+    sweep_params = {"threads": 2, "length": 3, "limit": sweep_limit}
+    plain, plain_s = _serve_job(client, "sweep", dict(sweep_params),
+                                "sweep_unsharded")
+    sharded, sharded_s = _serve_job(
+        client, "sweep", {**sweep_params, "shards": args.shards},
+        f"sweep_{args.shards}_shards")
+    plain_digest = plain["result"]["digest"]
+    sharded_digest = sharded["result"]["digest"]
+    assert plain_digest == sharded_digest, \
+        f"sharded sweep diverged: {plain_digest} != {sharded_digest}"
+
+    status = client.status()
+    return {
+        "state_dir": args.serve,
+        "workers": len(status["fleet"]["workers"]),
+        "bench_check": {
+            "times_ms": check_payload["times_ms"],
+            "cold_ms": bench_check["result"]["cold_ms"],
+            "warm_ms": bench_check["result"]["warm_ms"],
+            "digest": check_payload["digest"],
+        },
+        "bench_synth": {
+            "times_ms": synth_payload["times_ms"],
+            "cold_ms": bench_synth["result"]["cold_ms"],
+            "warm_ms": bench_synth["result"]["warm_ms"],
+            "store_blast_hits": synth_payload["store"].get(
+                "blast_hits", 0),
+        },
+        "sweep": {
+            "limit": sweep_limit,
+            "shards": args.shards,
+            "unsharded_seconds": round(plain_s, 3),
+            "sharded_seconds": round(sharded_s, 3),
+            "digest": plain_digest,
+            "digests_match": True,
+        },
+        "shards_dispatched": status["shards"]["dispatch_sites"],
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--limit", type=int, default=0,
@@ -98,10 +190,35 @@ def main(argv=None):
                         help="shortcut for --limit 40")
     parser.add_argument("--jobs", type=int, default=4,
                         help="workers for the parallel stage")
+    parser.add_argument("--serve", metavar="STATE_DIR", default=None,
+                        help="benchmark the running repro-serve fleet at "
+                             "this state dir instead of in-process stages")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard count for the --serve sweep race")
     parser.add_argument("--output", default="BENCH_check.json",
                         help="where to write the JSON record")
     args = parser.parse_args(argv)
     limit = 40 if args.quick else (args.limit or None)
+
+    if args.serve:
+        serve = run_serve_mode(args, limit)
+        record = {
+            "schema": "repro-bench-check-serve/1",
+            "scope": f"limit={limit or 40}",
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "serve": serve,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nfleet bench: warm check {serve['bench_check']['warm_ms']}ms"
+              f" (cold {serve['bench_check']['cold_ms']}ms), sharded sweep "
+              f"{serve['sweep']['sharded_seconds']}s vs unsharded "
+              f"{serve['sweep']['unsharded_seconds']}s — record in "
+              f"{args.output}")
+        return 0
     cpus = os.cpu_count() or 1
     # A jobs>1 row on a single-CPU box times process-pool overhead, not
     # parallel scaling — skip those rows and say so in the record rather

@@ -565,8 +565,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service import Daemon, ServeConfig
+    from .resilience import BackoffSchedule
+    from .service import Daemon, ServeConfig, parse_chaos_spec
 
+    chaos = parse_chaos_spec(args.inject_chaos) if args.inject_chaos \
+        else None
+    backoff = BackoffSchedule(jitter=args.respawn_jitter,
+                              seed=chaos.seed if chaos else 0) \
+        if args.respawn_jitter > 0 else BackoffSchedule()
     config = ServeConfig(
         state_dir=args.state_dir,
         socket_path=args.socket or None,
@@ -576,6 +582,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         hang_timeout=args.hang_timeout,
         job_deadline=args.job_deadline or None,
         recycle_after=args.recycle_after,
+        backoff=backoff,
+        store_root=args.store_root or None,
+        chaos=chaos,
     )
     return Daemon(config).run()
 
@@ -599,8 +608,12 @@ def _print_job_result(response: dict) -> int:
 def _cmd_submit(args: argparse.Namespace) -> int:
     client = _service_client(args)
     params = {}
-    if args.kind in ("parse", "synth"):
+    if args.kind in ("parse", "synth", "bench"):
         params["design"] = args.design
+    if args.kind == "bench":
+        params["workload"] = args.workload
+        if args.repeat > 0:
+            params["repeat"] = args.repeat
     if args.kind == "synth":
         if args.bound > 0:
             params["bound"] = args.bound
@@ -609,19 +622,23 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if args.kind in ("check", "sweep") and args.model:
         with open(args.model, "r", encoding="utf-8") as handle:
             params["model_text"] = handle.read()
-    if args.kind == "check" and args.tests:
+    if args.kind in ("check", "bench") and args.tests:
         params["tests"] = args.tests.split(",")
     if args.kind == "sweep":
         params["threads"] = args.threads
         params["length"] = args.length
         if args.limit > 0:
             params["limit"] = args.limit
+        if args.generate:
+            params["generate"] = args.generate
+    if args.kind in ("check", "sweep") and args.shards > 0:
+        params["shards"] = args.shards
     if args.kind == "generate":
         if args.spec:
             params["spec"] = args.spec
         if args.count > 0:
             params["count"] = args.count
-    if args.kind in ("synth", "check", "sweep"):
+    if args.kind in ("synth", "check", "sweep", "bench"):
         if args.engine:
             params["engine"] = args.engine
         if args.timeout > 0:
@@ -630,7 +647,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(f"submitted {job} ({args.kind})")
     if not args.wait:
         return 0
-    return _print_job_result(client.wait(job, timeout=args.wait_timeout))
+    return _print_job_result(client.wait(job, timeout=args.wait_timeout,
+                                         down_grace=args.down_grace))
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -646,7 +664,8 @@ def _cmd_result(args: argparse.Namespace) -> int:
     client = _service_client(args)
     if args.wait:
         return _print_job_result(client.wait(args.job,
-                                             timeout=args.wait_timeout))
+                                             timeout=args.wait_timeout,
+                                             down_grace=args.down_grace))
     response = client.result(args.job)
     if response.get("pending"):
         print(f"{args.job}: still {response['state']} "
@@ -977,13 +996,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument("--recycle-after", type=int, default=0,
                          help="retire each worker after N jobs to bound "
                               "leak accumulation (0 = never)")
+    p_serve.add_argument("--store-root", default="",
+                         help="artifact store root override; two daemons "
+                              "with separate state dirs may safely share "
+                              "one store this way (default: "
+                              "<state-dir>/store)")
+    p_serve.add_argument("--respawn-jitter", type=float, default=0.0,
+                         help="opt-in deterministic seeded jitter "
+                              "fraction on worker respawn backoff "
+                              "(0 = byte-identical classic schedule)")
+    p_serve.add_argument("--inject-chaos", default="",
+                         help="seeded replayable service fault plan, "
+                              "e.g. 'seed=7,kill%%=20,daemon-kill:3,"
+                              "store-budget=4096' (see docs/service.md)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser(
         "submit", help="submit a job to a running serve daemon")
     p_submit.add_argument("kind",
                           choices=("parse", "synth", "check", "sweep",
-                                   "generate"))
+                                   "generate", "bench"))
     _add_service_flags(p_submit)
     p_submit.add_argument("--design", choices=("multi", "unicore"),
                           default="multi", help="design for parse/synth")
@@ -1003,6 +1035,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="sweep max program length")
     p_submit.add_argument("--limit", type=int, default=0,
                           help="sweep program limit (0 = all)")
+    p_submit.add_argument("--shards", type=int, default=0,
+                          help="check/sweep: split the job into N "
+                               "deterministic stripes dispatched across "
+                               "idle workers; the merged report is "
+                               "byte-identical to a single-worker run "
+                               "(0 = unsharded)")
+    p_submit.add_argument("--generate", default="",
+                          help="sweep: sweep a generated corpus spec "
+                               "instead of the built-in shape "
+                               "enumeration (needs --limit)")
+    p_submit.add_argument("--workload", choices=("check", "synth"),
+                          default="check",
+                          help="bench: workload to time on the warm "
+                               "fleet")
+    p_submit.add_argument("--repeat", type=int, default=0,
+                          help="bench: repetitions (repeat >= 2 shows "
+                               "warm-cache effects; 0 = kind default)")
     p_submit.add_argument("--spec", default="",
                           help="generate: corpus spec "
                                "(e.g. 'threads=2,len=3,fences=enum')")
@@ -1018,6 +1067,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                                "its result")
     p_submit.add_argument("--wait-timeout", type=float, default=600.0,
                           help="seconds to wait with --wait")
+    p_submit.add_argument("--down-grace", type=float, default=60.0,
+                          help="with --wait: seconds to tolerate an "
+                               "unreachable daemon (rides through "
+                               "restarts)")
     p_submit.set_defaults(func=_cmd_submit)
 
     p_status = sub.add_parser(
@@ -1035,6 +1088,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                                "state (tolerates daemon restarts)")
     p_result.add_argument("--wait-timeout", type=float, default=600.0,
                           help="seconds to wait with --wait")
+    p_result.add_argument("--down-grace", type=float, default=60.0,
+                          help="with --wait: seconds to tolerate an "
+                               "unreachable daemon (rides through "
+                               "restarts)")
     p_result.set_defaults(func=_cmd_result)
 
     p_cache = sub.add_parser(

@@ -24,7 +24,15 @@ away.  This package keeps that work alive between requests:
   over a Unix domain socket: job queue with admission control and
   backpressure, graceful drain on SIGTERM;
 * :mod:`repro.service.client` — the line-JSON protocol client used by
-  ``repro submit`` / ``status`` / ``result``.
+  ``repro submit`` / ``status`` / ``result``;
+* :mod:`repro.service.shards` — fleet sharding for sweep/check jobs:
+  deterministic contiguous stripes dispatched across idle workers and
+  merged back into the byte-identical single-worker artifact, with
+  exhausted shards degrading to a first-class partial-UNKNOWN report;
+* :mod:`repro.service.chaos` — seeded, replayable service-level fault
+  plans (``repro serve --inject-chaos``): worker kills at frame
+  boundaries, torn frames, heartbeat stalls, stragglers, store ENOSPC
+  budgets, and daemon ``kill -9`` between shard completions.
 
 The invariant carried over from the rest of the repo: the service may
 change wall-clock time and recovery statistics, never verdicts — a
@@ -32,20 +40,30 @@ check-suite job's report digest is byte-identical to a one-shot
 ``repro check`` of the same model.
 """
 
+from .chaos import ChaosPlan, parse_chaos_spec
 from .client import ServiceClient
 from .daemon import Daemon, JobQueue, ServeConfig, default_socket_path
 from .jobs import JOB_KINDS, validate_params
 from .ledger import JobLedger
+from .shards import (MAX_SHARDS, SHARDABLE_KINDS, merge_check_shards,
+                     merge_sweep_shards, shard_bounds)
 from .store import ArtifactStore
 
 __all__ = [
     "ArtifactStore",
+    "ChaosPlan",
     "Daemon",
     "JobLedger",
     "JobQueue",
     "JOB_KINDS",
+    "MAX_SHARDS",
+    "SHARDABLE_KINDS",
     "ServeConfig",
     "ServiceClient",
     "default_socket_path",
+    "merge_check_shards",
+    "merge_sweep_shards",
+    "parse_chaos_spec",
+    "shard_bounds",
     "validate_params",
 ]

@@ -16,7 +16,11 @@ layer underneath the in-memory tier:
 
 Corrupt store entries are quarantined by the store itself and surface
 here as plain misses — a bit flip can cost a recompute, never a wrong
-verdict.
+verdict.  The same degradation applies on the write path: a store
+write failure (a full disk, or the chaos harness's ENOSPC byte-budget
+shim) is swallowed and counted in ``store_write_errors`` — the job
+keeps its in-memory entry and completes; only cross-process reuse is
+lost.
 """
 
 from __future__ import annotations
@@ -58,6 +62,8 @@ class PersistentVerdictCache(VerdictCache):
         self._store = store
         #: lookups served from disk rather than this session's memory
         self.store_hits = 0
+        #: write-throughs refused by the store (full disk / byte budget)
+        self.store_write_errors = 0
 
     def lookup(self, fingerprint: str) -> Optional[Verdict]:
         entry = self._entries.get(fingerprint)
@@ -81,8 +87,14 @@ class PersistentVerdictCache(VerdictCache):
             self._entries.pop(fingerprint, None)
             return
         super().store(fingerprint, verdict)
-        self._store.put_json(VERDICT_NAMESPACE, fingerprint,
-                             self._entries[fingerprint])
+        try:
+            self._store.put_json(VERDICT_NAMESPACE, fingerprint,
+                                 self._entries[fingerprint])
+        except OSError:
+            # Disk full (or the chaos byte-budget shim): the verdict
+            # stays in memory and the job completes; the next process
+            # just recomputes instead of starting warm.
+            self.store_write_errors += 1
 
     def save(self) -> None:
         """Entries are written through on :meth:`store`; nothing to do."""
@@ -111,6 +123,8 @@ class PersistentBlastCache(BlastCache):
         super().__init__(capacity)
         self._store = store
         self.store_hits = 0
+        #: write-throughs refused by the store (full disk / byte budget)
+        self.store_write_errors = 0
 
     def get(self, netlist: Netlist, roots: Sequence[str],
             frozen_inputs: Sequence[str],
@@ -136,7 +150,12 @@ class PersistentBlastCache(BlastCache):
         blasted = bitblast(cone, frozen_inputs=frozen)
         entry = (cone, blasted)
         self._remember(key, entry)
-        self._store.put_pickle(BLAST_NAMESPACE, disk_key, entry)
+        try:
+            self._store.put_pickle(BLAST_NAMESPACE, disk_key, entry)
+        except OSError:
+            # Same degradation as the verdict cache: a refused write
+            # costs cross-process reuse, never the blast itself.
+            self.store_write_errors += 1
         return entry
 
     def _remember(self, key, entry) -> None:

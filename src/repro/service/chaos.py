@@ -1,0 +1,200 @@
+"""Deterministic service-level chaos plans for ``repro serve``.
+
+The resilience layer's :class:`~repro.resilience.faults.FaultPlan`
+injects faults *below* the service — inside the worker pool that runs
+solver tasks.  This module injects them *at* the service layer, where
+the daemon, the fleet transport, the artifact store, and the job
+ledger all meet: worker SIGKILL at frame boundaries, torn frames on
+the wire, heartbeat stalls, slow-shard stragglers, store write
+failures (ENOSPC via the store's byte-budget shim), and daemon
+``kill -9`` between shard completions.
+
+A plan is **seeded and replayable**: every decision is a pure function
+of the plan and a monotonically increasing *dispatch site* index the
+daemon assigns as it hands jobs (and shards) to workers.  Faults may
+be pinned to explicit sites (``kill:3``), to every dispatch of one
+shard index (``kill:@s1`` — the way to exhaust a shard's attempts and
+force a partial report), or drawn at a seeded rate (``kill%=20``).
+Running the same plan against the same submissions replays the same
+fault sequence; the integration tests assert the job reports converge
+to the fault-free digests anyway.
+
+Spec grammar (comma-separated tokens)::
+
+    seed=N               hash seed for the %-rate draws (default 0)
+    kill:S               SIGKILL the worker at dispatch site S,
+                         before it sends its result frame
+    torn:S               the worker sends a torn frame (a length
+                         header with a truncated body), then dies
+    stall:S              the worker stops heartbeating and sleeps
+                         (the supervisor's hang detector reaps it)
+    slow:S               straggler: the worker sleeps, then completes
+    kill:@sJ | torn:@sJ | stall:@sJ | slow:@sJ
+                         same, on *every* dispatch of shard index J
+    kill%=P | torn%=P | stall%=P | slow%=P
+                         seeded rate: fire at P percent of sites
+    daemon-kill:K        the daemon os._exit(137)s immediately after
+                         recording its K-th completion (0-based) —
+                         after the ledger append, before the merge/reply
+    store-budget=N       workers' stores raise ENOSPC after N payload
+                         bytes written (per worker process)
+    stall-secs=F         how long a stalled worker sleeps (default 5)
+    slow-secs=F          how long a straggler sleeps (default 0.25)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..errors import ServiceError
+
+#: worker-side fault kinds, in priority order when several match a site
+FAULT_KINDS = ("kill", "torn", "stall", "slow")
+
+#: a worker directive shipped inside the job frame:
+#: ("kill",) | ("torn",) | ("stall", seconds) | ("slow", seconds)
+ChaosFault = Tuple
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One parsed ``--inject-chaos`` plan.  Immutable and replayable:
+    :meth:`fault_for` depends only on the plan and its arguments."""
+
+    seed: int = 0
+    #: fault kind -> explicit dispatch-site indices
+    sites: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+    #: fault kind -> shard indices hit on every dispatch (all attempts)
+    shard_sites: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+    #: fault kind -> seeded firing rate in [0, 1]
+    rates: Dict[str, float] = field(default_factory=dict)
+    #: per-worker store byte budget (None = no ENOSPC injection)
+    store_budget: Optional[int] = None
+    #: completion ordinals after which the daemon hard-exits
+    daemon_kills: FrozenSet[int] = frozenset()
+    stall_seconds: float = 5.0
+    slow_seconds: float = 0.25
+    #: the spec string this plan was parsed from (for logs/restarts)
+    spec: str = ""
+
+    # ------------------------------------------------------------------
+    def _directive(self, kind: str) -> ChaosFault:
+        if kind == "stall":
+            return ("stall", self.stall_seconds)
+        if kind == "slow":
+            return ("slow", self.slow_seconds)
+        return (kind,)
+
+    def _rate_hit(self, kind: str, site: int) -> bool:
+        rate = self.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return False
+        canonical = f"{self.seed}:{kind}:{site}".encode("utf-8")
+        word = int.from_bytes(hashlib.sha256(canonical).digest()[:8], "big")
+        return word / 2.0 ** 64 < rate
+
+    def fault_for(self, site: int,
+                  shard_index: Optional[int] = None) -> Optional[ChaosFault]:
+        """The fault (if any) to inject at dispatch site ``site`` —
+        ``shard_index`` is the shard being dispatched, or None for a
+        whole job."""
+        for kind in FAULT_KINDS:
+            if site in self.sites.get(kind, frozenset()):
+                return self._directive(kind)
+            if shard_index is not None and \
+                    shard_index in self.shard_sites.get(kind, frozenset()):
+                return self._directive(kind)
+            if self._rate_hit(kind, site):
+                return self._directive(kind)
+        return None
+
+    def kill_daemon_after(self, completions: int) -> bool:
+        """True when the plan schedules a daemon ``kill -9`` right
+        after the ``completions``-th (0-based) recorded completion."""
+        return completions in self.daemon_kills
+
+    def describe(self) -> str:
+        return self.spec or "(empty plan)"
+
+
+def _parse_int(token: str, raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ServiceError(f"bad chaos token {token!r}: "
+                           f"{raw!r} is not an integer")
+    if value < 0:
+        raise ServiceError(f"bad chaos token {token!r}: must be >= 0")
+    return value
+
+
+def _parse_float(token: str, raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ServiceError(f"bad chaos token {token!r}: "
+                           f"{raw!r} is not a number")
+    if value < 0:
+        raise ServiceError(f"bad chaos token {token!r}: must be >= 0")
+    return value
+
+
+def parse_chaos_spec(spec: str) -> ChaosPlan:
+    """Parse one ``--inject-chaos`` spec; see the module docstring for
+    the grammar.  Raises :class:`ServiceError` on anything malformed
+    (submission-time validation, not worker-discovery time)."""
+    seed = 0
+    sites: Dict[str, set] = {kind: set() for kind in FAULT_KINDS}
+    shard_sites: Dict[str, set] = {kind: set() for kind in FAULT_KINDS}
+    rates: Dict[str, float] = {}
+    store_budget: Optional[int] = None
+    daemon_kills: set = set()
+    stall_seconds = 5.0
+    slow_seconds = 0.25
+    for token in filter(None, (part.strip()
+                               for part in (spec or "").split(","))):
+        if token.startswith("seed="):
+            seed = _parse_int(token, token[len("seed="):])
+        elif token.startswith("store-budget="):
+            store_budget = _parse_int(token, token[len("store-budget="):])
+        elif token.startswith("stall-secs="):
+            stall_seconds = _parse_float(token, token[len("stall-secs="):])
+        elif token.startswith("slow-secs="):
+            slow_seconds = _parse_float(token, token[len("slow-secs="):])
+        elif token.startswith("daemon-kill:"):
+            daemon_kills.add(_parse_int(token,
+                                        token[len("daemon-kill:"):]))
+        else:
+            for kind in FAULT_KINDS:
+                if token.startswith(f"{kind}%="):
+                    percent = _parse_float(token, token[len(kind) + 2:])
+                    if percent > 100:
+                        raise ServiceError(f"bad chaos token {token!r}: "
+                                           f"rate is a percentage (0-100)")
+                    rates[kind] = percent / 100.0
+                    break
+                if token.startswith(f"{kind}:@s"):
+                    shard_sites[kind].add(
+                        _parse_int(token, token[len(kind) + 3:]))
+                    break
+                if token.startswith(f"{kind}:"):
+                    sites[kind].add(_parse_int(token, token[len(kind) + 1:]))
+                    break
+            else:
+                raise ServiceError(
+                    f"unknown chaos token {token!r} (expected seed=, "
+                    f"store-budget=, stall-secs=, slow-secs=, "
+                    f"daemon-kill:, or one of {FAULT_KINDS} with "
+                    f":SITE, :@sSHARD, or %=RATE)")
+    return ChaosPlan(
+        seed=seed,
+        sites={k: frozenset(v) for k, v in sites.items() if v},
+        shard_sites={k: frozenset(v) for k, v in shard_sites.items() if v},
+        rates=rates,
+        store_budget=store_budget,
+        daemon_kills=frozenset(daemon_kills),
+        stall_seconds=stall_seconds,
+        slow_seconds=slow_seconds,
+        spec=spec or "")

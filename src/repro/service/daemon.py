@@ -50,9 +50,12 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import ServiceError
 from ..resilience import BackoffSchedule
+from .chaos import ChaosPlan
 from .fleet import WorkerFleet
 from .jobs import validate_params
 from .ledger import JobLedger
+from .shards import (SHARDABLE_KINDS, ShardedJob, normalize_shards, shard_id,
+                     split_shard_id)
 from .store import ArtifactStore
 
 #: queue/running states a job passes through before a terminal one
@@ -84,6 +87,13 @@ class ServeConfig:
     recycle_after: int = 0
     store_cap_bytes: Optional[int] = None
     backoff: BackoffSchedule = field(default_factory=BackoffSchedule)
+    #: artifact-store root override — lets two daemons (separate state
+    #: dirs, separate ledgers) share one store, which the store's
+    #: flock discipline makes safe
+    store_root: Optional[str] = None
+    #: seeded fault-injection plan (``--inject-chaos``); None in
+    #: production
+    chaos: Optional[ChaosPlan] = None
 
     def resolved_socket(self) -> str:
         return self.socket_path or default_socket_path(self.state_dir)
@@ -153,12 +163,15 @@ class Daemon:
         self.config = config
         self.echo = echo
         os.makedirs(config.state_dir, exist_ok=True)
-        self.store_root = os.path.join(config.state_dir, "store")
+        self.store_root = config.store_root or \
+            os.path.join(config.state_dir, "store")
         self.jobs_dir = os.path.join(config.state_dir, "jobs")
         os.makedirs(self.jobs_dir, exist_ok=True)
         self.ledger = JobLedger(os.path.join(config.state_dir,
                                              "jobs.jsonl"))
         self.queue = JobQueue(config.max_queue)
+        self._chaos = config.chaos
+        self._chaos_path = os.path.join(config.state_dir, "chaos.jsonl")
         self.fleet = WorkerFleet(
             self.store_root, workers=config.workers,
             heartbeat_interval=config.heartbeat_interval,
@@ -166,8 +179,19 @@ class Daemon:
             job_deadline=config.job_deadline,
             recycle_after=config.recycle_after,
             backoff=config.backoff,
-            extra_child_closers=self._forked_socket_closers)
+            extra_child_closers=self._forked_socket_closers,
+            store_byte_budget=(config.chaos.store_budget
+                               if config.chaos else None))
         self._jobs: Dict[str, _JobRecord] = {}
+        #: in-flight sharded jobs by parent id (rebuilt from the
+        #: ledger's shard records when a restart re-expands the job)
+        self._sharded: Dict[str, ShardedJob] = {}
+        #: FIFO of (parent_id, shard_index) awaiting an idle worker
+        self._shard_queue: List[Tuple[str, int]] = []
+        #: monotone dispatch-site counter (the chaos plan's time axis)
+        self._dispatch_sites = 0
+        #: completions recorded (shard + whole-job) — daemon-kill axis
+        self._completions = 0
         self._seq = self.ledger.next_seq()
         self._draining = False
         self._shutdown = False
@@ -318,24 +342,223 @@ class Daemon:
         self._reap_stalled_clients()
         for event in self.fleet.poll():
             if event[0] == "done":
-                _, job_id, state, summary, artifact, name = event
-                self._finish_job(job_id, state, summary, artifact, name)
+                _, dispatch_id, state, summary, artifact, name = event
+                address = split_shard_id(dispatch_id)
+                if address is not None and address[0] in self._sharded:
+                    self._finish_shard(address[0], address[1], state,
+                                       summary, artifact)
+                else:
+                    self._finish_job(dispatch_id, state, summary,
+                                     artifact, name)
             elif event[0] == "crashed":
-                _, job_id, kind, params, reason = event
-                self._retry_or_fail(job_id, reason)
+                _, dispatch_id, kind, params, reason = event
+                address = split_shard_id(dispatch_id)
+                if address is not None and address[0] in self._sharded:
+                    self._retry_shard(address[0], address[1], reason)
+                else:
+                    self._retry_or_fail(dispatch_id, reason)
+        # Shards first, and regardless of draining: a graceful drain
+        # finishes running jobs, and a half-merged sharded job is a
+        # running job.
+        while self._shard_queue:
+            parent_id, index = self._shard_queue[0]
+            sharded = self._sharded.get(parent_id)
+            if sharded is None:
+                self._shard_queue.pop(0)
+                continue
+            fault = self._chaos.fault_for(self._dispatch_sites, index) \
+                if self._chaos else None
+            if not self.fleet.dispatch(shard_id(parent_id, index),
+                                       sharded.kind,
+                                       sharded.shard_params(index),
+                                       fault=fault):
+                break
+            self._shard_queue.pop(0)
+            sharded.attempts[index] += 1
+            self._note_dispatch(shard_id(parent_id, index), fault)
         while self.queue and not self._draining:
             job_id = self.queue.snapshot()[0]
             record = self._jobs.get(job_id)
             if record is None:
                 self.queue.take()
                 continue
-            if not self.fleet.dispatch(job_id, record.kind, record.params):
+            shards = normalize_shards(record.params) \
+                if record.kind in SHARDABLE_KINDS else 1
+            if shards > 1:
+                self.queue.take()
+                self._expand_shards(record, shards)
+                continue
+            fault = self._chaos.fault_for(self._dispatch_sites) \
+                if self._chaos else None
+            if not self.fleet.dispatch(job_id, record.kind, record.params,
+                                       fault=fault):
                 break
             self.queue.take()
             record.state = "running"
             record.attempts += 1
-        if self._draining and not self.fleet.busy_jobs():
+            self._note_dispatch(job_id, fault)
+        if self._draining and not self.fleet.busy_jobs() \
+                and not self._shard_queue:
             self._shutdown = True
+
+    # ------------------------------------------------------------------
+    # Sharded jobs
+    # ------------------------------------------------------------------
+    def _expand_shards(self, record: _JobRecord, count: int) -> None:
+        """Turn one queued sharded job into ``count`` fleet dispatches.
+        Shard results already in the ledger (a restart mid-job) are
+        credited immediately — only the missing stripes re-run."""
+        sharded = ShardedJob(record.job_id, record.kind, record.params,
+                             count)
+        replayed = 0
+        for index, payload in self.ledger.shard_payloads(
+                record.job_id).items():
+            if 0 <= index < count:
+                sharded.record(index, payload)
+                replayed += 1
+        self._sharded[record.job_id] = sharded
+        record.state = "running"
+        record.attempts += 1
+        if replayed:
+            self.echo(f"[serve] {record.job_id}: replayed {replayed} "
+                      f"shard result(s) from the ledger")
+        pending = sharded.pending()
+        if not pending:
+            self._merge_shards(record.job_id)
+            return
+        self._shard_queue.extend((record.job_id, index)
+                                 for index in pending)
+
+    def _finish_shard(self, parent_id: str, index: int, state: str,
+                      summary: Dict, artifact: Optional[bytes]) -> None:
+        sharded = self._sharded.get(parent_id)
+        if sharded is None or index in sharded.payloads:
+            return
+        if state == "failed":
+            # A deterministic in-job exception recurs on every retry:
+            # fail the whole job, like an unsharded run would.
+            self._fail_sharded(parent_id,
+                               f"shard {index} failed: "
+                               f"{summary.get('error', 'job error')}")
+            return
+        if artifact is None:
+            # Deadline expiry: first-class unknown, no retry (policy
+            # mirrors unsharded jobs) — the stripe degrades to UNKNOWN.
+            sharded.record_lost(index)
+            self.echo(f"[serve] {shard_id(parent_id, index)}: "
+                      f"{summary.get('error', 'no result')}; stripe "
+                      f"degrades to UNKNOWN")
+            if sharded.finished():
+                self._merge_shards(parent_id)
+            return
+        try:
+            payload = json.loads(artifact.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("shard payload must be an object")
+        except (ValueError, UnicodeDecodeError):
+            self._retry_shard(parent_id, index,
+                              "undecodable shard payload")
+            return
+        sharded.record(index, payload)
+        # Durability before merge/reply: a daemon killed right here
+        # replays this shard from the ledger instead of re-running it.
+        self.ledger.record_shard(parent_id, index, payload)
+        self._note_completion(shard_id(parent_id, index))
+        if sharded.finished():
+            self._merge_shards(parent_id)
+
+    def _retry_shard(self, parent_id: str, index: int,
+                     reason: str) -> None:
+        sharded = self._sharded.get(parent_id)
+        if sharded is None or index in sharded.payloads:
+            return
+        if sharded.attempts[index] < self.config.max_attempts:
+            self.echo(f"[serve] {shard_id(parent_id, index)} attempt "
+                      f"{sharded.attempts[index]} lost ({reason}); "
+                      f"re-queueing")
+            self._shard_queue.insert(0, (parent_id, index))
+            return
+        sharded.record_lost(index)
+        self.echo(f"[serve] {shard_id(parent_id, index)} lost after "
+                  f"{sharded.attempts[index]} attempt(s) ({reason}); "
+                  f"stripe degrades to UNKNOWN")
+        if sharded.finished():
+            self._merge_shards(parent_id)
+
+    def _merge_shards(self, parent_id: str) -> None:
+        sharded = self._sharded.pop(parent_id, None)
+        if sharded is None:
+            return
+        try:
+            state, summary, artifact, name = sharded.merge()
+        except Exception as exc:  # noqa: BLE001 - merge isolation
+            summary = {"error": f"shard merge failed: "
+                       f"{type(exc).__name__}: {exc}"}
+            record = self._jobs.get(parent_id)
+            self.ledger.record_done(parent_id, "failed", summary)
+            if record is not None:
+                record.state = "failed"
+                record.result = summary
+            self.echo(f"[serve] {parent_id} failed: {summary['error']}")
+            return
+        if summary.get("partial"):
+            self.echo(f"[serve] {parent_id}: partial report — shard(s) "
+                      f"{summary['unknown_shards']} degraded to UNKNOWN")
+        self._finish_job(parent_id, state, summary, artifact, name)
+
+    def _fail_sharded(self, parent_id: str, reason: str) -> None:
+        self._sharded.pop(parent_id, None)
+        self._shard_queue = [(parent, index)
+                             for parent, index in self._shard_queue
+                             if parent != parent_id]
+        record = self._jobs.get(parent_id)
+        summary = {"error": reason}
+        self.ledger.record_done(parent_id, "failed", summary)
+        if record is not None:
+            record.state = "failed"
+            record.result = summary
+        self.echo(f"[serve] {parent_id} failed permanently: {reason}")
+
+    # ------------------------------------------------------------------
+    # Chaos bookkeeping
+    # ------------------------------------------------------------------
+    def _chaos_log(self, event: Dict) -> None:
+        """Append one event to the replayable chaos journal (CI uploads
+        it next to the partial reports)."""
+        if self._chaos is None:
+            return
+        line = json.dumps({"t": round(time.time(), 3), **event},
+                          sort_keys=True)
+        try:
+            with open(self._chaos_path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        except OSError:
+            pass  # the journal is diagnostics, never load-bearing
+
+    def _note_dispatch(self, dispatch_id: str, fault) -> None:
+        site = self._dispatch_sites
+        self._dispatch_sites += 1
+        if fault is not None:
+            self.echo(f"[serve] chaos: {fault[0]} injected into "
+                      f"{dispatch_id} (site {site})")
+            self._chaos_log({"event": "fault", "site": site,
+                             "dispatch": dispatch_id,
+                             "fault": list(fault)})
+
+    def _note_completion(self, dispatch_id: str) -> None:
+        """Count one recorded completion and honor a scheduled daemon
+        ``kill -9`` — after the ledger append, before any merge or
+        client reply, which is exactly the window the ledger-replay
+        tests exercise."""
+        ordinal = self._completions
+        self._completions += 1
+        if self._chaos is not None and \
+                self._chaos.kill_daemon_after(ordinal):
+            self._chaos_log({"event": "daemon-kill", "ordinal": ordinal,
+                             "after": dispatch_id})
+            self.echo(f"[serve] chaos: daemon kill -9 after completion "
+                      f"{ordinal} ({dispatch_id})")
+            os._exit(137)
 
     def _finish_job(self, job_id: str, state: str, summary: Dict,
                     artifact: Optional[bytes],
@@ -354,6 +577,7 @@ class Daemon:
         record.artifact = artifact_path
         record.sha256 = sha
         self.echo(f"[serve] {job_id} {record.kind}: {state}")
+        self._note_completion(job_id)
 
     def _retry_or_fail(self, job_id: str, reason: str) -> None:
         record = self._jobs.get(job_id)
@@ -531,6 +755,11 @@ class Daemon:
     def _job_view(self, record: _JobRecord) -> Dict:
         view = {"job": record.job_id, "kind": record.kind,
                 "state": record.state, "attempts": record.attempts}
+        sharded = self._sharded.get(record.job_id)
+        if sharded is not None:
+            view["shards"] = {"count": sharded.count,
+                             "delivered": len(sharded.payloads),
+                             "lost": sorted(sharded.lost)}
         if record.state not in ACTIVE_STATES:
             view["result"] = record.result
             if record.artifact:
@@ -565,6 +794,14 @@ class Daemon:
                 "quarantined_records": self.ledger.quarantined_records,
             },
             "store": store_stats,
+            "shards": {
+                "active": len(self._sharded),
+                "queued": len(self._shard_queue),
+                "dispatch_sites": self._dispatch_sites,
+                "completions": self._completions,
+            },
+            "chaos": (self._chaos.describe()
+                      if self._chaos is not None else None),
         }
 
     def _handle_result(self, request: Dict) -> Dict:

@@ -37,6 +37,7 @@ loop and *schedules* respawns by timestamp instead of blocking.
 
 from __future__ import annotations
 
+import os
 import pickle
 import signal
 import socket
@@ -110,7 +111,8 @@ def parse_frames(buffer: bytearray, messages: Optional[List] = None) -> List:
 # Worker process
 # ----------------------------------------------------------------------
 def _worker_main(sock: socket.socket, inherited: List[socket.socket],
-                 store_root: str, heartbeat_interval: float) -> None:
+                 store_root: str, heartbeat_interval: float,
+                 store_byte_budget: Optional[int] = None) -> None:
     """Worker entry point: execute jobs off the socket until told to
     stop.  The heartbeat runs on its own thread so a long solver call
     still pings the supervisor; sends share a lock because interleaved
@@ -129,8 +131,9 @@ def _worker_main(sock: socket.socket, inherited: List[socket.socket],
         except OSError:
             pass
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    ctx = WorkerContext(store_root)
+    ctx = WorkerContext(store_root, store_byte_budget=store_byte_budget)
     stop = threading.Event()
+    stalled = threading.Event()  # chaos: heartbeats pause while set
     send_lock = threading.Lock()
 
     def _send(message) -> None:
@@ -139,6 +142,8 @@ def _worker_main(sock: socket.socket, inherited: List[socket.socket],
 
     def _beat() -> None:
         while not stop.wait(heartbeat_interval):
+            if stalled.is_set():
+                continue
             try:
                 _send(("hb", time.time()))
             except OSError:
@@ -154,7 +159,38 @@ def _worker_main(sock: socket.socket, inherited: List[socket.socket],
                 break
             if message is None or message[0] == "stop":
                 break
-            _, job_id, kind, params = message
+            job_id, kind, params = message[1], message[2], message[3]
+            fault = message[4] if len(message) > 4 else None
+            if fault is not None:
+                # Chaos directives ride inside the job frame so the
+                # injected failure lands exactly at a frame boundary —
+                # the job is dispatched (the supervisor holds it as
+                # busy) but no result frame will arrive intact.
+                if fault[0] == "kill":
+                    # SIGKILL-equivalent: no cleanup, no result frame.
+                    os._exit(137)
+                if fault[0] == "torn":
+                    # A length header promising more bytes than will
+                    # ever come, then death: the supervisor must hold
+                    # the torn tail and reap us, not block or crash.
+                    with send_lock:
+                        try:
+                            sock.sendall(_HEADER.pack(1 << 20)
+                                         + b"\x80\x04 torn frame")
+                        except OSError:
+                            pass
+                    os._exit(137)
+                if fault[0] == "stall":
+                    # Heartbeats stop; the hang detector decides.  If
+                    # the stall outlives hang_timeout we are reaped
+                    # mid-sleep; otherwise the job proceeds normally.
+                    stalled.set()
+                    time.sleep(fault[1])
+                    stalled.clear()
+                elif fault[0] == "slow":
+                    # Straggler: heartbeats keep flowing, the result
+                    # is just late.  Shard merging must wait, not drop.
+                    time.sleep(fault[1])
             try:
                 summary, artifact, name = execute_job(kind, params, ctx)
             except Exception as exc:  # noqa: BLE001 - job isolation
@@ -245,11 +281,14 @@ class WorkerFleet:
                  job_deadline: Optional[float] = None,
                  recycle_after: int = 0,
                  backoff: Optional[BackoffSchedule] = None,
-                 extra_child_closers=None):
+                 extra_child_closers=None,
+                 store_byte_budget: Optional[int] = None):
         #: callable returning extra sockets a forked worker must close
         #: (the daemon registers its listener + live client conns here)
         self.extra_child_closers = extra_child_closers
         self.store_root = store_root
+        #: chaos ENOSPC shim: workers' stores refuse writes past this
+        self.store_byte_budget = store_byte_budget
         self.heartbeat_interval = heartbeat_interval
         self.hang_timeout = hang_timeout
         self.job_deadline = job_deadline
@@ -274,7 +313,7 @@ class WorkerFleet:
         process = self._mp.Process(
             target=_worker_main,
             args=(child_sock, inherited, self.store_root,
-                  self.heartbeat_interval),
+                  self.heartbeat_interval, self.store_byte_budget),
             daemon=True)
         process.start()
         child_sock.close()
@@ -310,7 +349,8 @@ class WorkerFleet:
         deterministic backoff delay."""
         self._kill(slot)
         slot.respawn_attempt += 1
-        slot.respawn_at = now + self.backoff.delay(slot.respawn_attempt)
+        slot.respawn_at = now + self.backoff.delay(slot.respawn_attempt,
+                                                   salt=slot.index)
 
     def _send(self, slot: _WorkerSlot, message) -> bool:
         """Queue one frame for the worker and push what fits *without
@@ -349,11 +389,15 @@ class WorkerFleet:
         return [slot.busy_job[0] for slot in self._slots
                 if slot.busy_job is not None]
 
-    def dispatch(self, job_id: str, kind: str, params: Dict) -> bool:
-        """Hand one job to an idle live worker; False when none free."""
+    def dispatch(self, job_id: str, kind: str, params: Dict,
+                 fault=None) -> bool:
+        """Hand one job to an idle live worker; False when none free.
+        ``fault`` is an optional chaos directive shipped in the job
+        frame (see :mod:`repro.service.chaos`)."""
         for slot in self._slots:
             if slot.alive and slot.busy_job is None and not slot.retiring:
-                if not self._send(slot, ("job", job_id, kind, params)):
+                if not self._send(slot, ("job", job_id, kind, params,
+                                         fault)):
                     continue  # found dead at dispatch: poll() reaps it
                 slot.busy_job = (job_id, kind, params)
                 slot.started_at = time.time()

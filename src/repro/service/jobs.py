@@ -33,10 +33,13 @@ from ..resilience import Budget
 from .caches import PersistentBlastCache, PersistentVerdictCache
 from .store import ArtifactStore
 
-JOB_KINDS = ("parse", "synth", "check", "sweep", "generate")
+JOB_KINDS = ("parse", "synth", "check", "sweep", "generate", "bench")
 
 #: designs a parse/synth job may name (mirrors ``repro pipeline``)
 JOB_DESIGNS = ("multi", "unicore")
+
+#: workloads a bench job may time against the warm fleet
+BENCH_WORKLOADS = ("check", "synth")
 
 #: per-kind allowed parameter names and defaults (None = optional)
 _PARAM_DEFAULTS: Dict[str, Dict[str, object]] = {
@@ -44,10 +47,13 @@ _PARAM_DEFAULTS: Dict[str, Dict[str, object]] = {
     "synth": {"design": "multi", "bound": None, "max_k": None,
               "candidates": None, "engine": "incremental", "timeout": None},
     "check": {"model_text": None, "tests": None, "engine": "fresh",
-              "timeout": None},
+              "timeout": None, "shards": None},
     "sweep": {"model_text": None, "threads": 2, "length": 2, "limit": None,
-              "engine": "incremental", "timeout": None},
+              "engine": "incremental", "timeout": None, "shards": None,
+              "generate": None},
     "generate": {"spec": "threads=2,len=2", "count": 1000, "tests": False},
+    "bench": {"workload": "check", "design": "multi", "tests": None,
+              "repeat": 2, "engine": None, "timeout": None},
 }
 
 
@@ -72,12 +78,42 @@ def validate_params(kind: str, params: Optional[Dict]) -> Dict:
             normalized["design"] not in JOB_DESIGNS:
         raise ServiceError(f"unknown design {normalized['design']!r} "
                            f"(expected one of {JOB_DESIGNS})")
-    for key in ("bound", "max_k", "threads", "length", "limit", "count"):
+    for key in ("bound", "max_k", "threads", "length", "limit", "count",
+                "shards", "repeat"):
         if key in normalized and normalized[key] is not None:
             if not isinstance(normalized[key], int) or \
                     isinstance(normalized[key], bool) or normalized[key] < 0:
                 raise ServiceError(f"{kind} parameter {key!r} must be a "
                                    f"non-negative integer")
+    if "shards" in normalized and normalized["shards"] is not None:
+        from .shards import MAX_SHARDS
+        if normalized["shards"] > MAX_SHARDS:
+            raise ServiceError(f"{kind} parameter 'shards' must be at "
+                               f"most {MAX_SHARDS}")
+    if kind == "sweep" and normalized.get("generate") is not None:
+        if not isinstance(normalized["generate"], str):
+            raise ServiceError("sweep parameter 'generate' must be a "
+                               "corpus spec string")
+        from ..check.exhaustive import normalize_limit
+        from ..errors import LitmusError
+        from ..litmus.generator import parse_spec
+        try:
+            parse_spec(normalized["generate"])
+        except LitmusError as exc:
+            raise ServiceError(f"bad sweep generate spec: {exc}")
+        if normalize_limit(normalized["limit"]) is None:
+            raise ServiceError("sweep with 'generate' needs a positive "
+                               "'limit' (generated corpora are unbounded)")
+    if kind == "bench":
+        if normalized["workload"] not in BENCH_WORKLOADS:
+            raise ServiceError(f"unknown bench workload "
+                               f"{normalized['workload']!r} (expected one "
+                               f"of {BENCH_WORKLOADS})")
+        if normalized["design"] not in JOB_DESIGNS:
+            raise ServiceError(f"unknown design {normalized['design']!r} "
+                               f"(expected one of {JOB_DESIGNS})")
+        if not normalized["repeat"]:
+            normalized["repeat"] = 1
     if kind == "generate":
         if not isinstance(normalized["spec"], str):
             raise ServiceError("generate parameter 'spec' must be a "
@@ -127,8 +163,10 @@ class WorkerContext:
     """Per-worker warm state: elaborated designs, retained checkers,
     and the persistent store tier."""
 
-    def __init__(self, store_root: str, blast_capacity: int = 64):
-        self.store = ArtifactStore(store_root)
+    def __init__(self, store_root: str, blast_capacity: int = 64,
+                 store_byte_budget: Optional[int] = None):
+        self.store = ArtifactStore(store_root,
+                                   byte_budget=store_byte_budget)
         self.blast_capacity = blast_capacity
         self._presets: Dict[str, Tuple] = {}
         self._checkers: Dict[Tuple, object] = {}
@@ -163,7 +201,13 @@ class WorkerContext:
         return checker
 
     def close(self) -> None:
-        self.store.close()
+        try:
+            self.store.close()
+        except OSError:
+            # Counter folds are diagnostics; a full disk (or the chaos
+            # byte budget) must not turn a clean worker exit into a
+            # crash.
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -186,6 +230,8 @@ def execute_job(kind: str, params: Dict, ctx: WorkerContext
         return _run_sweep(params, ctx)
     if kind == "generate":
         return _run_generate(params, ctx)
+    if kind == "bench":
+        return _run_bench(params, ctx)
     raise ServiceError(f"unknown job kind {kind!r}")
 
 
@@ -250,9 +296,14 @@ def _run_synth(params: Dict, ctx: WorkerContext):
 def _run_check(params: Dict, ctx: WorkerContext):
     from ..check import run_suite, suite_digest, suite_report_json
     from ..litmus import load_suite, resolve_tests
+    from .shards import check_report_bytes, shard_address, shard_bounds
     model = _load_model(params["model_text"])
     tests = resolve_tests(params["tests"]) if params["tests"] \
         else load_suite()
+    address = shard_address(params)
+    if address is not None:
+        start, end = shard_bounds(len(tests), *address)
+        tests = tests[start:end]
     budget = Budget(timeout_seconds=params["timeout"]) \
         if params["timeout"] else None
     run = run_suite(model, tests, jobs=1, engine=params["engine"],
@@ -261,6 +312,28 @@ def _run_check(params: Dict, ctx: WorkerContext):
                                engine=params["engine"],
                                engine_used=run.engine_used,
                                deterministic=True)
+    if address is not None:
+        # A shard ships its slice of the deterministic report; the
+        # daemon concatenates slices (contiguous, in shard order) and
+        # rebuilds the byte-identical single-worker report.json.
+        from .shards import CHECK_SHARD_SCHEMA
+        payload = {
+            "schema": CHECK_SHARD_SCHEMA,
+            "shard": address[0],
+            "of": address[1],
+            "engine_used": run.engine_used,
+            "tests": report["tests"],
+        }
+        summary = {
+            "shard": address[0],
+            "of": address[1],
+            "tests": len(run.verdicts),
+            "failures": report["failures"],
+            "undecided": report["undecided"],
+        }
+        artifact = (json.dumps(payload, indent=2, sort_keys=True) + "\n"
+                    ).encode("utf-8")
+        return summary, artifact, f"shard-{address[0]}.json"
     summary = {
         "digest": suite_digest(run.verdicts),
         "tests": len(run.verdicts),
@@ -268,9 +341,7 @@ def _run_check(params: Dict, ctx: WorkerContext):
         "undecided": report["undecided"],
         "passed": report["failures"] == 0 and report["undecided"] == 0,
     }
-    artifact = (json.dumps(report, indent=2, sort_keys=True) + "\n"
-                ).encode("utf-8")
-    return summary, artifact, "report.json"
+    return summary, check_report_bytes(report), "report.json"
 
 
 def _run_generate(params: Dict, ctx: WorkerContext):
@@ -308,15 +379,111 @@ def _run_generate(params: Dict, ctx: WorkerContext):
     return summary, artifact, "corpus.json"
 
 
+def _run_bench(params: Dict, ctx: WorkerContext):
+    """Time a workload against this worker's *warm* context.
+
+    The one job kind whose artifact is deliberately not deterministic:
+    the per-repeat wall times are the product.  The digests inside it
+    still are, and a re-run after a crash produces the same verdicts —
+    only the timings differ.  ``benchmarks/bench_check_suite.py
+    --serve`` submits these to record warm-fleet rows (store blast
+    hits, shard counts) into ``BENCH_check.json``.
+    """
+    import time
+    repeat = params["repeat"] or 1
+    times_ms: list = []
+    if params["workload"] == "synth":
+        inner = {"design": params["design"], "bound": None, "max_k": None,
+                 "candidates": None,
+                 "engine": params["engine"] or "incremental",
+                 "timeout": params["timeout"]}
+        summary = {}
+        for _ in range(repeat):
+            started = time.perf_counter()
+            summary, _artifact, _name = _run_synth(inner, ctx)
+            times_ms.append(round((time.perf_counter() - started) * 1e3, 3))
+        digest = summary.get("verdict_digest", "")
+        store_counters = summary.get("store", {})
+        engine_counters = summary.get("engine", {})
+        detail = {"design": params["design"]}
+    else:
+        from ..check import run_suite, suite_digest
+        from ..litmus import load_suite, resolve_tests
+        model = _load_model(None)
+        tests = resolve_tests(params["tests"]) if params["tests"] \
+            else load_suite()
+        budget = Budget(timeout_seconds=params["timeout"]) \
+            if params["timeout"] else None
+        digest = ""
+        for _ in range(repeat):
+            started = time.perf_counter()
+            run = run_suite(model, tests, jobs=1,
+                            engine=params["engine"] or "fresh",
+                            budget=budget)
+            times_ms.append(round((time.perf_counter() - started) * 1e3, 3))
+            digest = suite_digest(run.verdicts)
+        store_counters = {"blast_hits": 0, "verdict_hits": 0}
+        engine_counters = {}
+        detail = {"tests": len(tests)}
+    payload = {
+        "schema": "repro-bench-service/1",
+        "workload": params["workload"],
+        "repeat": repeat,
+        "times_ms": times_ms,
+        "digest": digest,
+        "engine": engine_counters,
+        "store": store_counters,
+        **detail,
+    }
+    summary = {
+        "workload": params["workload"],
+        "repeat": repeat,
+        "digest": digest,
+        "warm_ms": times_ms[-1] if times_ms else 0.0,
+        "cold_ms": times_ms[0] if times_ms else 0.0,
+        "store": store_counters,
+    }
+    artifact = (json.dumps(payload, indent=2, sort_keys=True) + "\n"
+                ).encode("utf-8")
+    return summary, artifact, "bench.json"
+
+
 def _run_sweep(params: Dict, ctx: WorkerContext):
     from ..check import verify_exactness
+    from .shards import (SWEEP_SHARD_SCHEMA, shard_address, shard_bounds,
+                         sweep_payload_bytes, sweep_program_list)
     model = _load_model(params["model_text"])
     budget = Budget(timeout_seconds=params["timeout"]) \
         if params["timeout"] else None
+    programs = sweep_program_list(params)
+    address = shard_address(params)
+    if address is not None:
+        start, end = shard_bounds(len(programs), *address)
+        programs = programs[start:end]
     report = verify_exactness(
-        model, max_threads=params["threads"], max_len=params["length"],
-        limit=params["limit"], jobs=1, engine=params["engine"],
-        budget=budget)
+        model, limit=None, jobs=1, engine=params["engine"],
+        budget=budget, programs=programs)
+    if address is not None:
+        payload = {
+            "schema": SWEEP_SHARD_SCHEMA,
+            "shard": address[0],
+            "of": address[1],
+            "programs": report.programs,
+            "outcomes_checked": report.outcomes_checked,
+            "unsound": [formatted for formatted, _ in report.unsound],
+            "overstrict": [formatted for formatted, _ in report.overstrict],
+            "undecided": [formatted for formatted, _ in report.undecided],
+        }
+        summary = {
+            "shard": address[0],
+            "of": address[1],
+            "programs": report.programs,
+            "outcomes_checked": report.outcomes_checked,
+            "undecided": len(report.undecided),
+        }
+        artifact = (json.dumps(payload, indent=2, sort_keys=True) + "\n"
+                    ).encode("utf-8")
+        return summary, artifact, f"shard-{address[0]}.json"
     payload = {
         "schema": "repro-check-sweep/2",
         "digest": report.digest(),
@@ -332,7 +499,6 @@ def _run_sweep(params: Dict, ctx: WorkerContext):
         "programs": report.programs,
         "outcomes_checked": report.outcomes_checked,
         "exact": report.exact,
+        "undecided": len(report.undecided),
     }
-    artifact = (json.dumps(payload, indent=2, sort_keys=True) + "\n"
-                ).encode("utf-8")
-    return summary, artifact, "sweep.json"
+    return summary, sweep_payload_bytes(payload), "sweep.json"

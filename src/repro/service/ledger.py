@@ -54,6 +54,10 @@ class JobLedger(Journal):
             return (isinstance(entry.get("job"), str)
                     and entry.get("state") in TERMINAL_STATES
                     and isinstance(entry.get("result"), dict))
+        if event == "shard":
+            return (isinstance(entry.get("job"), str)
+                    and isinstance(entry.get("index"), int)
+                    and isinstance(entry.get("payload"), dict))
         return False
 
     # ------------------------------------------------------------------
@@ -76,12 +80,31 @@ class JobLedger(Journal):
         self.record_entry(f"{job_id}:done", entry)
         self.commit()
 
+    def record_shard(self, job_id: str, index: int, payload: Dict) -> None:
+        """One delivered shard result, committed *before* anything is
+        merged or replied: a daemon killed between this append and the
+        final ``:done`` record replays the shard instead of re-running
+        it, so restart recovery converges on the identical merge."""
+        self.record_entry(f"{job_id}:shard:{index}", {
+            "event": "shard", "job": job_id, "index": index,
+            "payload": payload,
+        })
+        self.commit()
+
     # ------------------------------------------------------------------
     def submission(self, job_id: str) -> Optional[Dict]:
         return self._entries.get(f"{job_id}:submit")
 
     def completion(self, job_id: str) -> Optional[Dict]:
         return self._entries.get(f"{job_id}:done")
+
+    def shard_payloads(self, job_id: str) -> Dict[int, Dict]:
+        """The shard results already delivered for one job (replayed
+        after a restart to pre-fill the merge)."""
+        prefix = f"{job_id}:shard:"
+        return {entry["index"]: entry["payload"]
+                for key, entry in self._entries.items()
+                if key.startswith(prefix)}
 
     def jobs(self) -> List[Tuple[int, str, Dict]]:
         """All submitted jobs as ``(seq, job_id, submit_entry)``, in

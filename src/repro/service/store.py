@@ -29,14 +29,29 @@ Durability and integrity are the point of this module:
   deltas are folded into ``<root>/counters.json`` on :meth:`close`, so
   ``repro cache stats`` can show lifetime effectiveness.
 
-Concurrent access (daemon workers, overlapping CLI runs) is safe by
-construction: entries are immutable once written (same key ⇒ same
-content), writes are atomic renames, and the worst race on counters is
-an undercount.
+Concurrent access (daemon workers, overlapping CLI runs, and *two
+daemons sharing one root*) is safe by construction plus one advisory
+lock: entries are immutable once written (same key ⇒ same content) and
+writes are atomic renames, so readers never see a half-entry; the
+``store.lock`` flock arbitrates the remaining races.  Writers hold it
+*shared* for the tmp-write → rename window and :meth:`gc` holds it
+*exclusive* for its whole sweep, so a concurrent ``repro cache gc``
+(or a second daemon's gc) can never unlink files out from under a
+mid-flight writer, and counter folds are exact rather than merely
+undercounting.
+
+``byte_budget`` is a fault-injection shim for the service chaos
+harness: once the session has written that many payload bytes, every
+further :meth:`put_bytes` raises ``ENOSPC`` — the deterministic stand-
+in for a full disk.  Callers (the persistent caches) must degrade to
+cache misses, never to failed jobs.
 """
 
 from __future__ import annotations
 
+import contextlib
+import errno
+import fcntl
 import hashlib
 import json
 import os
@@ -51,6 +66,10 @@ ENTRY_FORMAT = "repro-store-entry"
 ENTRY_VERSION = 1
 _KEY_CHARS = set("0123456789abcdef")
 
+#: advisory lock file at the store root (shared by writers, exclusive
+#: for gc/counter folds); never a namespace, so entry scans skip it
+LOCK_NAME = "store.lock"
+
 #: session counters folded into counters.json on close()
 _COUNTER_KEYS = ("hits", "misses", "writes", "corrupt", "evictions")
 
@@ -64,7 +83,7 @@ def _valid_key(key: str) -> bool:
 class ArtifactStore:
     """See the module docstring.  ``root`` is created on first write."""
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, byte_budget: Optional[int] = None):
         self.root = root
         self.hits = 0
         self.misses = 0
@@ -73,6 +92,42 @@ class ArtifactStore:
         self.evictions = 0
         #: entry paths quarantined (renamed ``.corrupt``) this session
         self.quarantined: List[str] = []
+        #: chaos shim: payload bytes this session may write before
+        #: put_bytes starts raising ENOSPC (None = unlimited)
+        self.byte_budget = byte_budget
+        self.bytes_written = 0
+        #: writes refused by the byte budget (diagnostic)
+        self.budget_refusals = 0
+
+    # ------------------------------------------------------------------
+    # Locking
+    # ------------------------------------------------------------------
+    def _lock_path(self) -> str:
+        return os.path.join(self.root, LOCK_NAME)
+
+    @contextlib.contextmanager
+    def _locked(self, exclusive: bool = False):
+        """Hold the store's advisory flock for the duration.
+
+        Shared for writers (many may interleave — their renames are
+        atomic), exclusive for gc and counter folds (which enumerate
+        and unlink, and must not race a writer's tmp → rename window).
+        A fresh fd per acquisition keeps this re-entrant across store
+        instances; the same *instance* never nests an exclusive inside
+        a shared section (gc and put_bytes never call each other).
+        """
+        os.makedirs(self.root, exist_ok=True)
+        handle = open(self._lock_path(), "a")
+        try:
+            fcntl.flock(handle,
+                        fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            yield
+        finally:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            handle.close()
 
     # ------------------------------------------------------------------
     # Paths
@@ -90,29 +145,40 @@ class ArtifactStore:
     def put_bytes(self, namespace: str, key: str, payload: bytes,
                   codec: str = "bytes") -> None:
         """Write one entry atomically (idempotent: same key, same
-        content — rewriting is harmless)."""
+        content — rewriting is harmless).  Holds the store flock
+        *shared* for the tmp-write → rename window so a concurrent
+        exclusive :meth:`gc` cannot sweep the temp file or unlink the
+        shard directory mid-flight."""
         path = self._entry_path(namespace, key)
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
         header = json.dumps({
             "format": ENTRY_FORMAT, "version": ENTRY_VERSION,
             "namespace": namespace, "key": key, "codec": codec,
             "sha256": hashlib.sha256(payload).hexdigest(),
             "size": len(payload),
         }, sort_keys=True, separators=(",", ":")).encode("utf-8")
-        fd, tmp_path = tempfile.mkstemp(prefix=".tmp-", dir=directory)
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(header + b"\n" + payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, path)
-        except BaseException:
+        if self.byte_budget is not None and \
+                self.bytes_written + len(payload) > self.byte_budget:
+            self.budget_refusals += 1
+            raise OSError(errno.ENOSPC,
+                          f"store byte budget exhausted "
+                          f"({self.byte_budget} bytes)")
+        with self._locked(exclusive=False):
+            directory = os.path.dirname(path)
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(prefix=".tmp-", dir=directory)
             try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(header + b"\n" + payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        self.bytes_written += len(payload)
         self.writes += 1
 
     def get_bytes(self, namespace: str, key: str
@@ -276,7 +342,18 @@ class ArtifactStore:
         ``max_bytes``; also sweeps orphaned temp files from crashed
         writes.  Returns ``{"evicted": n, "freed_bytes": n,
         "remaining_bytes": n, "swept_tmp": n}``.
+
+        Holds the store flock *exclusive* for the whole sweep: without
+        it, ``repro cache gc`` racing a live daemon could unlink a
+        writer's temp file (or its freshly renamed entry's directory
+        scan state) between the tmp-write and the rename.  Writers
+        hold the lock shared, so gc simply waits for in-flight writes
+        to land and blocks new ones for the duration.
         """
+        with self._locked(exclusive=True):
+            return self._gc_locked(max_bytes)
+
+    def _gc_locked(self, max_bytes: int) -> Dict[str, int]:
         swept = 0
         now = time.time()
         if os.path.isdir(self.root):
@@ -357,30 +434,32 @@ class ArtifactStore:
         return {key: int(data.get(key, 0) or 0) for key in _COUNTER_KEYS}
 
     def flush_counters(self) -> None:
-        """Fold this session's counters into the lifetime totals
-        (atomic write; concurrent sessions may undercount, never
-        corrupt)."""
+        """Fold this session's counters into the lifetime totals.
+
+        The read-modify-write runs under the exclusive store flock, so
+        two daemons closing against one root fold both deltas instead
+        of the last writer silently dropping the other's counts."""
         deltas = {key: getattr(self, key) for key in _COUNTER_KEYS}
         if not any(deltas.values()):
             return
-        os.makedirs(self.root, exist_ok=True)
-        totals = self._read_counters()
-        for key, value in deltas.items():
-            totals[key] = totals.get(key, 0) + value
-            setattr(self, key, 0)
-        fd, tmp_path = tempfile.mkstemp(prefix=".tmp-", dir=self.root)
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(totals, handle, sort_keys=True)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, self._counters_path())
-        except BaseException:
+        with self._locked(exclusive=True):
+            totals = self._read_counters()
+            for key, value in deltas.items():
+                totals[key] = totals.get(key, 0) + value
+                setattr(self, key, 0)
+            fd, tmp_path = tempfile.mkstemp(prefix=".tmp-", dir=self.root)
             try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(totals, handle, sort_keys=True)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, self._counters_path())
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
 
     def close(self) -> None:
         self.flush_counters()

@@ -36,3 +36,37 @@ class TestSchedule:
     def test_custom_factor(self):
         schedule = BackoffSchedule(base=0.1, factor=3.0, cap=100.0)
         assert schedule.delay(3) == pytest.approx(0.9)
+
+
+class TestSeededJitter:
+    def test_default_is_byte_identical_to_classic_schedule(self):
+        # The opt-in must not perturb anyone who didn't opt in: with
+        # jitter unset, the series is exactly the historical one.
+        assert BackoffSchedule().delays(8) == \
+            BackoffSchedule(jitter=0.0, seed=99).delays(8)
+        assert BackoffSchedule().delays(8) == pytest.approx(
+            [0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 2.0, 2.0])
+
+    def test_jitter_is_deterministic(self):
+        a = BackoffSchedule(jitter=0.5, seed=7)
+        b = BackoffSchedule(jitter=0.5, seed=7)
+        assert a.delays(10) == b.delays(10)
+        assert a.delays(10, salt=3) == b.delays(10, salt=3)
+
+    def test_jitter_is_bounded(self):
+        plain = BackoffSchedule()
+        jittered = BackoffSchedule(jitter=0.5, seed=1)
+        for attempt in range(1, 12):
+            base = plain.delay(attempt)
+            spread = jittered.delay(attempt)
+            assert base <= spread <= base * 1.5
+
+    def test_seed_and_salt_spread_the_series(self):
+        base = BackoffSchedule(jitter=0.5, seed=1)
+        other_seed = BackoffSchedule(jitter=0.5, seed=2)
+        assert base.delays(10) != other_seed.delays(10)
+        # Different worker seats (salt) must not respawn in lockstep.
+        assert base.delays(10, salt=0) != base.delays(10, salt=1)
+
+    def test_zero_attempt_stays_free_with_jitter(self):
+        assert BackoffSchedule(jitter=0.9, seed=5).delay(0) == 0.0

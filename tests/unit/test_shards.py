@@ -1,0 +1,219 @@
+"""Unit tests for fleet sharding (stripes, merge, byte-identity).
+
+The acceptance bar pinned here, all in-process (no daemon): running a
+check/sweep job as N shards and merging the shard payloads produces
+the **byte-identical** artifact of the unsharded run — same digest,
+same JSON bytes — and losing a shard degrades exactly its stripe to
+first-class UNKNOWN in a ``partial: true`` report.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.jobs import WorkerContext, execute_job, validate_params
+from repro.service.shards import (
+    ShardedJob, merge_check_shards, merge_sweep_shards, normalize_shards,
+    shard_bounds, shard_id, shard_member_names, shard_params, split_shard_id)
+
+TESTS = ["mp", "sb", "lb", "corr", "corw"]
+
+
+# ----------------------------------------------------------------------
+# Stripe arithmetic
+# ----------------------------------------------------------------------
+class TestShardBounds:
+    @pytest.mark.parametrize("total,count", [
+        (0, 1), (1, 1), (5, 2), (7, 3), (10, 4), (3, 5), (64, 7)])
+    def test_stripes_partition_the_range(self, total, count):
+        seen = []
+        for index in range(count):
+            start, end = shard_bounds(total, index, count)
+            assert 0 <= start <= end <= total
+            seen.extend(range(start, end))
+        assert seen == list(range(total))  # coverage, order, no overlap
+
+    def test_stripes_are_balanced(self):
+        sizes = [end - start
+                 for start, end in (shard_bounds(10, i, 4)
+                                    for i in range(4))]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 10
+
+    @pytest.mark.parametrize("index,count", [(-1, 4), (4, 4), (0, 0)])
+    def test_bad_addresses_rejected(self, index, count):
+        with pytest.raises(ServiceError):
+            shard_bounds(10, index, count)
+
+
+class TestAddressing:
+    def test_shard_id_round_trip(self):
+        assert split_shard_id(shard_id("job-000007", 3)) == \
+            ("job-000007", 3)
+
+    def test_whole_job_id_has_no_shard(self):
+        assert split_shard_id("job-000007") is None
+
+    def test_normalize_shards(self):
+        assert normalize_shards({}) == 1
+        assert normalize_shards({"shards": None}) == 1
+        assert normalize_shards({"shards": 0}) == 1
+        assert normalize_shards({"shards": 4}) == 4
+
+    def test_shard_params_swaps_fanout_for_address(self):
+        params = validate_params("check", {"tests": TESTS, "shards": 2})
+        sliced = shard_params(params, 1, 2)
+        assert "shards" not in sliced
+        assert sliced["_shard"] == [1, 2]
+        assert sliced["tests"] == TESTS
+
+
+# ----------------------------------------------------------------------
+# Byte-identical merge (the tentpole invariant)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def ctx(tmp_path):
+    context = WorkerContext(str(tmp_path / "store"))
+    yield context
+    context.close()
+
+
+def _run_sharded(kind, params, count, ctx):
+    """Execute every shard in-process and return its payload dict."""
+    payloads = {}
+    for index in range(count):
+        sliced = shard_params(params, index, count)
+        summary, artifact, name = execute_job(kind, sliced, ctx)
+        assert name == f"shard-{index}.json"
+        assert summary["shard"] == index and summary["of"] == count
+        payloads[index] = json.loads(artifact.decode("utf-8"))
+    return payloads
+
+
+class TestCheckParity:
+    def test_merge_is_byte_identical_to_single_worker(self, ctx):
+        params = validate_params("check", {"tests": TESTS})
+        summary, artifact, _ = execute_job("check", params, ctx)
+        payloads = _run_sharded("check", params, 3, ctx)
+        state, merged_summary, merged, name = merge_check_shards(
+            params, payloads, {})
+        assert name == "report.json"
+        assert merged == artifact  # bytes, not just digest
+        assert merged_summary["digest"] == summary["digest"]
+        assert merged_summary["shards"] == 3
+        assert state == "done"
+        assert "partial" not in merged_summary
+
+    def test_lost_shard_degrades_its_stripe_to_unknown(self, ctx):
+        params = validate_params("check", {"tests": TESTS})
+        payloads = _run_sharded("check", params, 3, ctx)
+        lost_names = shard_member_names("check", params, 1, 3)
+        del payloads[1]
+        state, summary, artifact, _ = merge_check_shards(
+            params, payloads, {1: lost_names})
+        report = json.loads(artifact.decode("utf-8"))
+        assert state == "unknown"
+        assert report["partial"] is True
+        assert report["unknown_shards"] == [1]
+        assert report["unknown_tests"] == lost_names
+        unknown = [t["name"] for t in report["tests"]
+                   if t["status"] == "UNKNOWN"]
+        assert unknown == lost_names  # exactly the stripe, nothing else
+        assert report["undecided"] == len(lost_names)
+        assert summary["partial"] is True
+        # the decided prefix/suffix still carry their real verdicts
+        decided = [t for t in report["tests"] if t["status"] == "DECIDED"]
+        assert len(decided) == len(TESTS) - len(lost_names)
+
+
+class TestSweepParity:
+    PARAMS = {"threads": 2, "length": 2, "limit": 12}
+
+    def test_merge_is_byte_identical_to_single_worker(self, ctx):
+        params = validate_params("sweep", dict(self.PARAMS))
+        summary, artifact, _ = execute_job("sweep", params, ctx)
+        payloads = _run_sharded("sweep", params, 4, ctx)
+        state, merged_summary, merged, name = merge_sweep_shards(
+            params, payloads, {})
+        assert name == "sweep.json"
+        assert merged == artifact
+        assert merged_summary["digest"] == summary["digest"]
+        assert state == ("unknown" if summary["undecided"] else "done")
+
+    def test_lost_shard_yields_partial_with_named_programs(self, ctx):
+        params = validate_params("sweep", dict(self.PARAMS))
+        payloads = _run_sharded("sweep", params, 4, ctx)
+        lost_names = shard_member_names("sweep", params, 2, 4)
+        assert lost_names  # the stripe is non-empty
+        del payloads[2]
+        state, summary, artifact, _ = merge_sweep_shards(
+            params, payloads, {2: lost_names})
+        payload = json.loads(artifact.decode("utf-8"))
+        assert state == "unknown"
+        assert payload["partial"] is True
+        assert payload["unknown_shards"] == [2]
+        assert payload["unknown_programs"] == lost_names
+        assert payload["exact"] is False
+        assert summary["undecided"] >= len(lost_names)
+        # the total program count still covers every stripe
+        assert payload["programs"] == 12
+
+
+# ----------------------------------------------------------------------
+# Daemon-side bookkeeping
+# ----------------------------------------------------------------------
+class TestShardedJob:
+    def _job(self, count=3):
+        params = validate_params("check", {"tests": TESTS,
+                                           "shards": count})
+        return ShardedJob("job-000001", "check", params, count)
+
+    def test_pending_and_finished_lifecycle(self):
+        job = self._job(3)
+        assert job.pending() == [0, 1, 2]
+        job.record(0, {"tests": []})
+        job.record_lost(2)
+        assert job.pending() == [1]
+        assert not job.finished()
+        job.record(1, {"tests": []})
+        assert job.finished()
+
+    def test_late_payload_supersedes_lost(self):
+        job = self._job(2)
+        job.record_lost(0)
+        job.record(0, {"tests": []})
+        assert job.lost == set()
+        assert 0 in job.payloads
+
+    def test_lost_never_shadows_a_delivered_payload(self):
+        job = self._job(2)
+        job.record(1, {"tests": []})
+        job.record_lost(1)
+        assert job.lost == set()
+
+    def test_unshardable_kind_rejected(self):
+        with pytest.raises(ServiceError):
+            ShardedJob("job-000001", "synth", {}, 2)
+
+
+class TestValidation:
+    def test_shards_cap_enforced_at_submission(self):
+        with pytest.raises(ServiceError):
+            validate_params("check", {"shards": 65})
+
+    def test_generated_sweep_requires_limit(self):
+        with pytest.raises(ServiceError):
+            validate_params("sweep", {"generate": "threads=2,len=2"})
+
+    def test_generated_sweep_spec_validated_at_submission(self):
+        with pytest.raises(ServiceError):
+            validate_params("sweep", {"generate": "nonsense=spec",
+                                      "limit": 5})
+
+    def test_bench_params(self):
+        params = validate_params("bench", {"workload": "check",
+                                           "repeat": 0})
+        assert params["repeat"] == 1
+        with pytest.raises(ServiceError):
+            validate_params("bench", {"workload": "nope"})

@@ -291,3 +291,73 @@ class TestPersistentCaches:
         assert store.corrupt == 1
         assert sorted(blasted.wire_lits) == sorted(blasted0.wire_lits)
         assert cone.stats() == _cone0.stats()
+
+
+class TestStoreLock:
+    """The advisory flock closing the gc-vs-writer races (two daemons,
+    or ``repro cache gc`` against a live one)."""
+
+    def _hold(self, store, exclusive=False):
+        import fcntl
+        os.makedirs(store.root, exist_ok=True)
+        handle = open(os.path.join(store.root, "store.lock"), "a")
+        fcntl.flock(handle,
+                    fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+        return handle
+
+    def test_gc_blocks_behind_an_in_flight_writer(self, tmp_path):
+        import fcntl
+        import threading
+        import time
+
+        store = ArtifactStore(str(tmp_path / "store"))
+        store.put_bytes("ns", KEY_A, b"payload")
+        writer = self._hold(store)  # a writer mid tmp->rename window
+        done = threading.Event()
+
+        def run_gc():
+            store.gc(0)
+            done.set()
+
+        thread = threading.Thread(target=run_gc, daemon=True)
+        thread.start()
+        time.sleep(0.3)
+        assert not done.is_set()  # exclusive gc waits for the writer
+        assert store.get_bytes("ns", KEY_A) is not None  # nothing swept
+        fcntl.flock(writer, fcntl.LOCK_UN)
+        writer.close()
+        thread.join(timeout=30)
+        assert done.is_set()
+        assert store.get_bytes("ns", KEY_A) is None  # then gc proceeds
+
+    def test_writers_do_not_block_each_other(self, tmp_path):
+        # Shared mode: concurrent puts from two store instances (two
+        # daemons' workers) interleave freely.
+        root = str(tmp_path / "store")
+        store_a = ArtifactStore(root)
+        store_b = ArtifactStore(root)
+        holder = self._hold(store_a)  # a's write in flight
+        store_b.put_bytes("ns", KEY_B, b"from-b")  # must not deadlock
+        holder.close()
+        assert store_a.get_bytes("ns", KEY_B) is not None
+
+    def test_counter_folds_are_exact_across_two_sessions(self, tmp_path):
+        root = str(tmp_path / "store")
+        store_a = ArtifactStore(root)
+        store_b = ArtifactStore(root)
+        store_a.put_bytes("ns", KEY_A, b"x")
+        store_b.put_bytes("ns", KEY_B, b"y")
+        store_a.close()
+        store_b.close()
+        with ArtifactStore(root) as fresh:
+            stats = fresh.stats()
+        # Both sessions' deltas landed (no lost update).
+        assert stats["lifetime"]["writes"] == 2
+
+    def test_lock_file_never_scanned_as_an_entry(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        store.put_bytes("ns", KEY_A, b"x")  # creates store.lock too
+        assert store.verify() == {"checked": 1, "ok": 1,
+                                  "quarantined": 0}
+        stats = store.stats()
+        assert stats["entries"] == 1
